@@ -1,0 +1,98 @@
+//! Measurement and experiment toolkit for the hybrid NEMS-CMOS study.
+//!
+//! This crate holds the *generic* experiment machinery; circuit-specific
+//! glue (how to bias an SRAM cell, which node is the dynamic-gate output)
+//! lives in the `nemscmos` core crate:
+//!
+//! * [`measure`] — propagation delay and edge timing between traces.
+//! * [`power`] — supply energy/power extraction from transient results
+//!   and leakage extraction from operating points.
+//! * [`snm`] — static-noise-margin geometry: butterfly curves and the
+//!   maximum-inscribed-square method (Figure 14).
+//! * [`noise_margin`] — bisection driver for pass/fail threshold searches
+//!   (dynamic-gate input noise margin, Figure 9).
+//! * [`oscillation`] — frequency/jitter, overshoot, and settling-time
+//!   measurement for periodic and step responses.
+//! * [`montecarlo`] — seeded, parallel Monte Carlo over model parameters
+//!   (process variation, Figure 9).
+//! * [`pdp`] — the paper's Equation 1 power-delay-product metric
+//!   (Figure 12).
+//! * [`table`] — plain-text experiment tables for the bench binaries.
+
+pub mod measure;
+pub mod montecarlo;
+pub mod noise_margin;
+pub mod oscillation;
+pub mod pdp;
+pub mod power;
+pub mod snm;
+pub mod table;
+
+use std::error::Error;
+use std::fmt;
+
+use nemscmos_spice::SpiceError;
+
+/// Errors produced by measurements and experiment drivers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// The underlying circuit simulation failed.
+    Spice(SpiceError),
+    /// A waveform never crossed the requested threshold.
+    MissingCrossing {
+        /// Which signal was being measured.
+        what: String,
+        /// The threshold level (V).
+        level: f64,
+    },
+    /// The measurement inputs were malformed (empty curves, bad ranges).
+    InvalidInput(String),
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Spice(e) => write!(f, "simulation failure: {e}"),
+            AnalysisError::MissingCrossing { what, level } => {
+                write!(f, "{what} never crossed {level} V")
+            }
+            AnalysisError::InvalidInput(msg) => write!(f, "invalid measurement input: {msg}"),
+        }
+    }
+}
+
+impl Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AnalysisError::Spice(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for AnalysisError {
+    fn from(e: SpiceError) -> Self {
+        AnalysisError::Spice(e)
+    }
+}
+
+/// Convenience alias for results of analysis routines.
+pub type Result<T> = std::result::Result<T, AnalysisError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_nonempty() {
+        let errs = [
+            AnalysisError::Spice(SpiceError::InvalidCircuit("x".into())),
+            AnalysisError::MissingCrossing { what: "out".into(), level: 0.6 },
+            AnalysisError::InvalidInput("y".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

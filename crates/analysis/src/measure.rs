@@ -1,0 +1,155 @@
+//! Propagation delay and edge timing.
+
+use nemscmos_spice::result::Trace;
+
+use crate::{AnalysisError, Result};
+
+/// Edge direction of a threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edge {
+    /// Low-to-high transition.
+    Rising,
+    /// High-to-low transition.
+    Falling,
+}
+
+/// Time of the first `edge`-direction crossing of `level` at or after
+/// `from`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::MissingCrossing`] if the trace never crosses.
+pub fn crossing_time(trace: &Trace, level: f64, edge: Edge, from: f64) -> Result<f64> {
+    let t = match edge {
+        Edge::Rising => trace.crossing_rising(level, from),
+        Edge::Falling => trace.crossing_falling(level, from),
+    };
+    t.ok_or(AnalysisError::MissingCrossing { what: format!("trace ({edge:?})"), level })
+}
+
+/// Propagation delay from the `in_edge` crossing of `v_mid` on `input` to
+/// the subsequent `out_edge` crossing of `v_mid` on `output`, both at or
+/// after `from`.
+///
+/// This is the standard 50%-to-50% gate delay when `v_mid = v_dd/2`.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_analysis::measure::{propagation_delay, Edge};
+/// use nemscmos_spice::result::Trace;
+///
+/// # fn main() -> nemscmos_analysis::Result<()> {
+/// let input = Trace::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 1.0]);
+/// let output = Trace::new(vec![0.0, 2.0, 3.0], vec![1.0, 1.0, 0.0]);
+/// let d = propagation_delay(&input, Edge::Rising, &output, Edge::Falling, 0.5, 0.0)?;
+/// assert!((d - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::MissingCrossing`] if either signal never
+/// crosses.
+pub fn propagation_delay(
+    input: &Trace,
+    in_edge: Edge,
+    output: &Trace,
+    out_edge: Edge,
+    v_mid: f64,
+    from: f64,
+) -> Result<f64> {
+    let t_in = crossing_time(input, v_mid, in_edge, from)?;
+    let t_out = crossing_time(output, v_mid, out_edge, t_in)?;
+    Ok(t_out - t_in)
+}
+
+/// 10%–90% rise time of a trace (with `v_lo`/`v_hi` the signal rails),
+/// measured from the first rising 10% crossing at or after `from`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::MissingCrossing`] if the edge is incomplete,
+/// and [`AnalysisError::InvalidInput`] if `v_hi <= v_lo`.
+pub fn rise_time(trace: &Trace, v_lo: f64, v_hi: f64, from: f64) -> Result<f64> {
+    if v_hi <= v_lo {
+        return Err(AnalysisError::InvalidInput(format!("bad rails [{v_lo}, {v_hi}]")));
+    }
+    let span = v_hi - v_lo;
+    let t10 = crossing_time(trace, v_lo + 0.1 * span, Edge::Rising, from)?;
+    let t90 = crossing_time(trace, v_lo + 0.9 * span, Edge::Rising, t10)?;
+    Ok(t90 - t10)
+}
+
+/// 90%–10% fall time of a trace.
+///
+/// # Errors
+///
+/// See [`rise_time`].
+pub fn fall_time(trace: &Trace, v_lo: f64, v_hi: f64, from: f64) -> Result<f64> {
+    if v_hi <= v_lo {
+        return Err(AnalysisError::InvalidInput(format!("bad rails [{v_lo}, {v_hi}]")));
+    }
+    let span = v_hi - v_lo;
+    let t90 = crossing_time(trace, v_lo + 0.9 * span, Edge::Falling, from)?;
+    let t10 = crossing_time(trace, v_lo + 0.1 * span, Edge::Falling, t90)?;
+    Ok(t10 - t90)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_pair() -> (Trace, Trace) {
+        // Input rises at t = 1..2; output falls at t = 3..4.
+        let input = Trace::new(vec![0.0, 1.0, 2.0, 5.0], vec![0.0, 0.0, 1.0, 1.0]);
+        let output = Trace::new(vec![0.0, 3.0, 4.0, 5.0], vec![1.0, 1.0, 0.0, 0.0]);
+        (input, output)
+    }
+
+    #[test]
+    fn inverter_style_delay() {
+        let (input, output) = edge_pair();
+        let d = propagation_delay(&input, Edge::Rising, &output, Edge::Falling, 0.5, 0.0).unwrap();
+        // Input crosses 0.5 at t = 1.5; output at t = 3.5.
+        assert!((d - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_output_crossing_is_reported() {
+        let (input, _) = edge_pair();
+        let flat = Trace::new(vec![0.0, 5.0], vec![1.0, 1.0]);
+        let err =
+            propagation_delay(&input, Edge::Rising, &flat, Edge::Falling, 0.5, 0.0).unwrap_err();
+        assert!(matches!(err, AnalysisError::MissingCrossing { .. }));
+    }
+
+    #[test]
+    fn rise_and_fall_times_of_linear_ramp() {
+        let ramp_up = Trace::new(vec![0.0, 1.0], vec![0.0, 1.0]);
+        let r = rise_time(&ramp_up, 0.0, 1.0, 0.0).unwrap();
+        assert!((r - 0.8).abs() < 1e-12);
+        let ramp_down = Trace::new(vec![0.0, 1.0], vec![1.0, 0.0]);
+        let f = fall_time(&ramp_down, 0.0, 1.0, 0.0).unwrap();
+        assert!((f - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_rails_rejected() {
+        let t = Trace::new(vec![0.0, 1.0], vec![0.0, 1.0]);
+        assert!(rise_time(&t, 1.0, 0.0, 0.0).is_err());
+        assert!(fall_time(&t, 1.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn from_parameter_skips_earlier_edges() {
+        // Two rising edges; measure from after the first.
+        let t = Trace::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 1.0, 0.0, 0.0, 1.0],
+        );
+        let c = crossing_time(&t, 0.5, Edge::Rising, 2.5).unwrap();
+        assert!((c - 3.5).abs() < 1e-12);
+    }
+}

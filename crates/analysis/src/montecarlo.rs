@@ -1,0 +1,162 @@
+//! Seeded, parallel Monte Carlo over model parameters.
+//!
+//! Figure 9 of the paper characterizes dynamic-gate noise margins under
+//! process variation expressed as `σ_Vth / µ_Vth` percentages. Each trial
+//! draws per-device threshold shifts from a normal distribution; trials
+//! are deterministic in the master seed and fan out over scoped threads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nemscmos_numeric::stats::Summary;
+
+use crate::Result;
+
+/// A normal distribution sampler (Box–Muller; avoids an extra dependency).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation (≥ 0).
+    pub std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Normal {
+        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0, "bad normal parameters");
+        Normal { mean, std_dev }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+        // Box–Muller with rejection of u1 = 0.
+        let mut u1: f64 = rng.gen();
+        while u1 <= f64::MIN_POSITIVE {
+            u1 = rng.gen();
+        }
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+/// Runs `trials` independent experiments in parallel.
+///
+/// Each trial gets its own `StdRng` derived deterministically from
+/// `seed` and the trial index, so results are reproducible regardless of
+/// thread scheduling. Errors from individual trials are propagated (the
+/// first one encountered by trial order).
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_analysis::montecarlo::{monte_carlo, Normal};
+///
+/// # fn main() -> nemscmos_analysis::Result<()> {
+/// let draws = monte_carlo(64, 42, |rng, _| Ok(Normal::new(0.0, 1.0).sample(rng)))?;
+/// assert_eq!(draws.len(), 64);
+/// # Ok(())
+/// # }
+/// ```
+pub fn monte_carlo<T, F>(trials: usize, seed: u64, f: F) -> Result<Vec<T>>
+where
+    T: Send,
+    F: Fn(&mut StdRng, usize) -> Result<T> + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(trials.max(1));
+    let mut results: Vec<Option<Result<T>>> = Vec::with_capacity(trials);
+    results.resize_with(trials, || None);
+    let chunk = trials.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (tid, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (k, slot) in slot_chunk.iter_mut().enumerate() {
+                    let idx = tid * chunk + k;
+                    // Distinct, deterministic stream per trial.
+                    let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(idx as u64 + 1)));
+                    *slot = Some(f(&mut rng, idx));
+                }
+            });
+        }
+    })
+    .expect("monte carlo worker panicked");
+    results
+        .into_iter()
+        .map(|slot| slot.expect("all trials filled"))
+        .collect()
+}
+
+/// Convenience: Monte Carlo where each trial yields a scalar, summarized.
+///
+/// # Errors
+///
+/// Propagates trial errors and summary failures (empty/non-finite).
+pub fn monte_carlo_summary<F>(trials: usize, seed: u64, f: F) -> Result<Summary>
+where
+    F: Fn(&mut StdRng, usize) -> Result<f64> + Sync,
+{
+    let samples = monte_carlo(trials, seed, f)?;
+    Summary::of(&samples)
+        .map_err(|e| crate::AnalysisError::InvalidInput(format!("summary failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            monte_carlo(32, 42, |rng, _| Ok(Normal::new(0.0, 1.0).sample(rng))).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trial_indices_cover_range() {
+        let idxs = monte_carlo(17, 1, |_, i| Ok(i)).unwrap();
+        let mut sorted = idxs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..17).collect::<Vec<_>>());
+        // And they arrive in order (chunked layout preserves ordering).
+        assert_eq!(idxs, sorted);
+    }
+
+    #[test]
+    fn normal_sampler_statistics() {
+        let samples = monte_carlo(4000, 7, |rng, _| Ok(Normal::new(2.0, 0.5).sample(rng))).unwrap();
+        let s = Summary::of(&samples).unwrap();
+        assert!((s.mean - 2.0).abs() < 0.05, "mean = {}", s.mean);
+        assert!((s.std_dev - 0.5).abs() < 0.05, "std = {}", s.std_dev);
+    }
+
+    #[test]
+    fn summary_helper_works() {
+        let s = monte_carlo_summary(100, 3, |rng, _| Ok(Normal::new(1.0, 0.1).sample(rng))).unwrap();
+        assert_eq!(s.count, 100);
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let r = monte_carlo(8, 5, |_, i| {
+            if i == 3 {
+                Err(crate::AnalysisError::InvalidInput("boom".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad normal")]
+    fn negative_std_dev_panics() {
+        let _ = Normal::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Pass/fail threshold search: the driver behind the dynamic-gate input
+//! noise-margin measurement (Figure 9).
+//!
+//! The noise margin of a dynamic gate is the largest DC noise level on its
+//! inputs that does *not* corrupt the evaluated output. Each probe of a
+//! candidate level requires a full transient simulation, so the search
+//! wraps an arbitrary fallible pass/fail closure with plain bisection.
+
+use crate::{AnalysisError, Result};
+
+/// Finds the largest `level` in `[lo, hi]` for which `passes(level)`
+/// returns `Ok(true)`, to within `tol`.
+///
+/// Assumes monotonicity: if a level fails, all higher levels fail. The
+/// endpoints are probed first: if even `lo` fails the result is `lo`; if
+/// `hi` passes the result is `hi`.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InvalidInput`] for a degenerate interval or
+/// non-positive tolerance, and propagates the first error from `passes`.
+pub fn max_passing_level<F>(mut passes: F, lo: f64, hi: f64, tol: f64) -> Result<f64>
+where
+    F: FnMut(f64) -> Result<bool>,
+{
+    let valid = hi > lo && tol > 0.0; // also rejects NaN inputs
+    if !valid {
+        return Err(AnalysisError::InvalidInput(format!(
+            "bad search interval [{lo}, {hi}] / tol {tol}"
+        )));
+    }
+    if !passes(lo)? {
+        return Ok(lo);
+    }
+    if passes(hi)? {
+        return Ok(hi);
+    }
+    let mut a = lo; // known passing
+    let mut b = hi; // known failing
+    while b - a > tol {
+        let mid = 0.5 * (a + b);
+        if passes(mid)? {
+            a = mid;
+        } else {
+            b = mid;
+        }
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_exact_threshold() {
+        let nm = max_passing_level(|v| Ok(v <= 0.437), 0.0, 1.2, 1e-6).unwrap();
+        assert!((nm - 0.437).abs() < 1e-5);
+    }
+
+    #[test]
+    fn all_failing_returns_lo() {
+        let nm = max_passing_level(|_| Ok(false), 0.0, 1.0, 1e-3).unwrap();
+        assert_eq!(nm, 0.0);
+    }
+
+    #[test]
+    fn all_passing_returns_hi() {
+        let nm = max_passing_level(|_| Ok(true), 0.0, 1.0, 1e-3).unwrap();
+        assert_eq!(nm, 1.0);
+    }
+
+    #[test]
+    fn probe_errors_propagate() {
+        let r = max_passing_level(
+            |_| Err(AnalysisError::InvalidInput("sim blew up".into())),
+            0.0,
+            1.0,
+            1e-3,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn degenerate_interval_rejected() {
+        assert!(max_passing_level(|_| Ok(true), 1.0, 1.0, 1e-3).is_err());
+        assert!(max_passing_level(|_| Ok(true), 0.0, 1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let mut count = 0;
+        let _ = max_passing_level(
+            |v| {
+                count += 1;
+                Ok(v < 0.5)
+            },
+            0.0,
+            1.0,
+            1e-3,
+        )
+        .unwrap();
+        assert!(count < 20, "used {count} probes");
+    }
+}

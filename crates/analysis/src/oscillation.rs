@@ -1,0 +1,177 @@
+//! Periodic-signal measurements: frequency, period jitter, overshoot and
+//! settling time — used for ring-oscillator process monitors and the
+//! NEMS resonator studies.
+
+use nemscmos_spice::result::Trace;
+
+use crate::{AnalysisError, Result};
+
+/// Frequency statistics of a periodic signal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyMeasure {
+    /// Mean frequency over the measured cycles (Hz).
+    pub frequency: f64,
+    /// Mean period (s).
+    pub period: f64,
+    /// Peak-to-peak period variation across the measured cycles (s).
+    pub period_jitter: f64,
+    /// Number of full cycles measured.
+    pub cycles: usize,
+}
+
+/// Measures frequency from successive rising crossings of `level`,
+/// ignoring everything before `from` (startup transient).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::MissingCrossing`] if fewer than two rising
+/// crossings exist after `from`.
+pub fn measure_frequency(trace: &Trace, level: f64, from: f64) -> Result<FrequencyMeasure> {
+    let mut crossings = Vec::new();
+    let mut t = from;
+    // Step far enough past each crossing that floating-point addition
+    // actually advances the time.
+    let nudge = (trace.t_end() - trace.t_start()).abs() * 1e-9 + f64::MIN_POSITIVE;
+    while let Some(tc) = trace.crossing_rising(level, t) {
+        crossings.push(tc);
+        t = tc + nudge;
+        if crossings.len() > 100_000 {
+            break;
+        }
+    }
+    if crossings.len() < 2 {
+        return Err(AnalysisError::MissingCrossing {
+            what: format!("periodic signal (found {} rising crossings)", crossings.len()),
+            level,
+        });
+    }
+    let periods: Vec<f64> = crossings.windows(2).map(|w| w[1] - w[0]).collect();
+    let period = periods.iter().sum::<f64>() / periods.len() as f64;
+    let p_min = periods.iter().cloned().fold(f64::INFINITY, f64::min);
+    let p_max = periods.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    Ok(FrequencyMeasure {
+        frequency: 1.0 / period,
+        period,
+        period_jitter: p_max - p_min,
+        cycles: periods.len(),
+    })
+}
+
+/// Fractional overshoot of a step response above its final value:
+/// `(max − final) / |final − initial|`. Returns `0` for a monotone
+/// response.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InvalidInput`] if the trace never moves
+/// (degenerate step).
+pub fn overshoot(trace: &Trace) -> Result<f64> {
+    let initial = trace.values()[0];
+    let fin = trace.last_value();
+    let span = (fin - initial).abs();
+    if span < 1e-15 {
+        return Err(AnalysisError::InvalidInput("flat trace has no step to measure".into()));
+    }
+    let peak = if fin > initial { trace.max_value() - fin } else { fin - trace.min_value() };
+    Ok((peak / span).max(0.0))
+}
+
+/// Time after which the signal stays within `±tolerance` of its final
+/// value (settling time, measured from the trace start).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InvalidInput`] for a non-positive tolerance.
+pub fn settling_time(trace: &Trace, tolerance: f64) -> Result<f64> {
+    let valid = tolerance > 0.0; // also rejects NaN
+    if !valid {
+        return Err(AnalysisError::InvalidInput(format!("bad settling tolerance {tolerance}")));
+    }
+    let fin = trace.last_value();
+    let mut settled_at = trace.t_start();
+    for (&t, &v) in trace.times().iter().zip(trace.values()) {
+        if (v - fin).abs() > tolerance {
+            settled_at = t;
+        }
+    }
+    Ok(settled_at - trace.t_start())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sine_trace(freq: f64, cycles: usize) -> Trace {
+        let pts = 200 * cycles;
+        let t_end = cycles as f64 / freq;
+        let times: Vec<f64> = (0..pts).map(|k| t_end * k as f64 / (pts - 1) as f64).collect();
+        let values: Vec<f64> =
+            times.iter().map(|&t| (2.0 * std::f64::consts::PI * freq * t).sin()).collect();
+        Trace::new(times, values)
+    }
+
+    #[test]
+    fn frequency_of_clean_sine() {
+        let tr = sine_trace(1e6, 8);
+        let m = measure_frequency(&tr, 0.0, 0.0).unwrap();
+        assert!((m.frequency - 1e6).abs() / 1e6 < 1e-3, "f = {:.4e}", m.frequency);
+        assert!(m.cycles >= 6);
+        assert!(m.period_jitter < 0.01 * m.period);
+    }
+
+    #[test]
+    fn startup_region_is_skipped() {
+        let tr = sine_trace(1e6, 8);
+        let m = measure_frequency(&tr, 0.0, 3e-6).unwrap();
+        assert!(m.cycles < 8);
+        assert!((m.frequency - 1e6).abs() / 1e6 < 1e-3);
+    }
+
+    #[test]
+    fn aperiodic_signal_is_rejected() {
+        let tr = Trace::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 2.0]);
+        assert!(measure_frequency(&tr, 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn overshoot_of_damped_step() {
+        // Step to 1.0 with a 20% overshoot sample.
+        let tr = Trace::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0],
+            vec![0.0, 1.2, 0.9, 1.02, 1.0],
+        );
+        let os = overshoot(&tr).unwrap();
+        assert!((os - 0.2).abs() < 1e-12, "overshoot {os}");
+    }
+
+    #[test]
+    fn monotone_step_has_zero_overshoot() {
+        let tr = Trace::new(vec![0.0, 1.0, 2.0], vec![0.0, 0.7, 1.0]);
+        assert_eq!(overshoot(&tr).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn falling_step_overshoot() {
+        let tr = Trace::new(vec![0.0, 1.0, 2.0, 3.0], vec![1.0, -0.1, 0.05, 0.0]);
+        let os = overshoot(&tr).unwrap();
+        assert!((os - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flat_trace_rejected_for_overshoot() {
+        let tr = Trace::new(vec![0.0, 1.0], vec![0.5, 0.5]);
+        assert!(overshoot(&tr).is_err());
+    }
+
+    #[test]
+    fn settling_time_of_ringing_step() {
+        let tr = Trace::new(
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![0.0, 1.3, 0.85, 1.06, 0.99, 1.0],
+        );
+        let ts = settling_time(&tr, 0.05).unwrap();
+        // Last excursion beyond ±0.05 is at t = 3 (1.06).
+        assert!((ts - 3.0).abs() < 1e-12, "t_settle = {ts}");
+        assert!(settling_time(&tr, 0.0).is_err());
+    }
+}

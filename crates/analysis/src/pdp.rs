@@ -1,0 +1,96 @@
+//! The paper's Equation 1: activity-weighted power-delay product.
+
+/// Measured operating figures of one gate implementation.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_analysis::pdp::GateFigures;
+///
+/// let g = GateFigures { leakage_power: 1e-9, switching_power: 1e-6, delay: 40e-12 };
+/// // At α = 0 only leakage matters; at α = 1 only switching power.
+/// assert!(g.power_delay_product(0.0) < g.power_delay_product(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateFigures {
+    /// Leakage (idle) power `P_L` (W).
+    pub leakage_power: f64,
+    /// Switching power `P_S` (W).
+    pub switching_power: f64,
+    /// Worst-case delay `D` (s).
+    pub delay: f64,
+}
+
+impl GateFigures {
+    /// Equation 1 of the paper:
+    /// `P·D = ((1 − α)·P_L + α·P_S) · D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `activity` is outside `[0, 1]`.
+    pub fn power_delay_product(&self, activity: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&activity),
+            "activity factor must be in [0, 1], got {activity}"
+        );
+        ((1.0 - activity) * self.leakage_power + activity * self.switching_power) * self.delay
+    }
+
+    /// Sweeps Equation 1 over `points` evenly spaced activity factors in
+    /// `[0, 1]`, returning `(α, P·D)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points < 2`.
+    pub fn pdp_sweep(&self, points: usize) -> Vec<(f64, f64)> {
+        assert!(points >= 2, "need at least two sweep points");
+        (0..points)
+            .map(|k| {
+                let a = k as f64 / (points - 1) as f64;
+                (a, self.power_delay_product(a))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figures() -> GateFigures {
+        GateFigures { leakage_power: 1e-9, switching_power: 1e-6, delay: 100e-12 }
+    }
+
+    #[test]
+    fn endpoints_isolate_each_power_term() {
+        let g = figures();
+        assert!((g.power_delay_product(0.0) - 1e-9 * 100e-12).abs() < 1e-30);
+        assert!((g.power_delay_product(1.0) - 1e-6 * 100e-12).abs() < 1e-27);
+    }
+
+    #[test]
+    fn pdp_is_linear_in_activity() {
+        let g = figures();
+        let mid = g.power_delay_product(0.5);
+        let expect = 0.5 * (g.power_delay_product(0.0) + g.power_delay_product(1.0));
+        assert!((mid - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn sweep_covers_unit_interval() {
+        let pts = figures().pdp_sweep(11);
+        assert_eq!(pts.len(), 11);
+        assert_eq!(pts[0].0, 0.0);
+        assert_eq!(pts[10].0, 1.0);
+        // Monotone increasing when switching power dominates leakage.
+        for w in pts.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "activity factor")]
+    fn out_of_range_activity_panics() {
+        figures().power_delay_product(1.5);
+    }
+}

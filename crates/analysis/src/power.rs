@@ -1,0 +1,133 @@
+//! Supply energy and leakage power extraction.
+
+use nemscmos_spice::element::SourceRef;
+use nemscmos_spice::result::{OpResult, TranResult};
+
+use crate::{AnalysisError, Result};
+
+/// Energy delivered *by* a supply between `t0` and `t1` (joules).
+///
+/// The through-source current convention makes a sourcing supply negative,
+/// so delivered energy is `−V_supply ∫ i dt`; a positive result means the
+/// supply did net work on the circuit.
+pub fn supply_energy(res: &TranResult, supply: SourceRef, v_supply: f64, t0: f64, t1: f64) -> f64 {
+    let i = res.source_current(supply);
+    -v_supply * i.integral_between(t0, t1)
+}
+
+/// Average power delivered by a supply over `[t0, t1]` (watts).
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::InvalidInput`] if the window is degenerate.
+pub fn average_supply_power(
+    res: &TranResult,
+    supply: SourceRef,
+    v_supply: f64,
+    t0: f64,
+    t1: f64,
+) -> Result<f64> {
+    let valid_window = t1 > t0; // also rejects NaN endpoints
+    if !valid_window {
+        return Err(AnalysisError::InvalidInput(format!("bad power window [{t0}, {t1}]")));
+    }
+    Ok(supply_energy(res, supply, v_supply, t0, t1) / (t1 - t0))
+}
+
+/// Static (leakage) power drawn from a supply at a DC operating point
+/// (watts): `P = V · |I_source|` with a sourcing supply.
+pub fn leakage_power(op: &OpResult, supply: SourceRef, v_supply: f64) -> f64 {
+    v_supply * (-op.source_current(supply)).max(0.0)
+}
+
+/// Total standby current delivered by several supplies at an operating
+/// point (amperes) — used for SRAM standby leakage where the cell draws
+/// from both V_dd and the precharged bitlines.
+pub fn total_standby_current(op: &OpResult, supplies: &[SourceRef]) -> f64 {
+    supplies.iter().map(|&s| (-op.source_current(s)).max(0.0)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemscmos_spice::analysis::op::op;
+    use nemscmos_spice::analysis::tran::{transient, TranOptions};
+    use nemscmos_spice::circuit::Circuit;
+    use nemscmos_spice::waveform::Waveform;
+
+    #[test]
+    fn resistive_load_power_matches_v2_over_r() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let v = ckt.vsource(a, Circuit::GROUND, Waveform::dc(2.0));
+        ckt.resistor(a, Circuit::GROUND, 1e3);
+        let res = transient(&mut ckt, 1e-6, &TranOptions::default()).unwrap();
+        let p = average_supply_power(&res, v, 2.0, 0.0, 1e-6).unwrap();
+        assert!((p - 4e-3).abs() / 4e-3 < 1e-6, "P = {p}");
+    }
+
+    #[test]
+    fn capacitor_charge_energy_is_cv2() {
+        // Charging C through R consumes C·V² from the supply (half stored,
+        // half dissipated).
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let v = ckt.vsource(a, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        ckt.resistor(a, b, 1e3);
+        ckt.capacitor(b, Circuit::GROUND, 1e-9);
+        let res = transient(&mut ckt, 20e-6, &TranOptions::default()).unwrap();
+        let e = supply_energy(&res, v, 1.0, 0.0, 20e-6);
+        let cv2 = 1e-9 * 1.0;
+        assert!((e - cv2).abs() / cv2 < 0.02, "E = {e:.4e}, CV² = {cv2:.4e}");
+    }
+
+    #[test]
+    fn dc_leakage_power() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let v = ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.2));
+        ckt.resistor(a, Circuit::GROUND, 1.2e6); // 1 µA leak
+        let res = op(&mut ckt).unwrap();
+        let p = leakage_power(&res, v, 1.2);
+        assert!((p - 1.2e-6).abs() / 1.2e-6 < 1e-4);
+    }
+
+    #[test]
+    fn sinking_supply_reports_zero_leakage() {
+        // A 0 V source across a resistor sinks no static current.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        let vzero = ckt.vsource(b, Circuit::GROUND, Waveform::dc(0.0));
+        ckt.resistor(a, b, 1e3);
+        let res = op(&mut ckt).unwrap();
+        // The 0 V source *absorbs* current; leakage_power clamps at zero.
+        assert_eq!(leakage_power(&res, vzero, 0.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_window_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let v = ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.resistor(a, Circuit::GROUND, 1e3);
+        let res = transient(&mut ckt, 1e-6, &TranOptions::default()).unwrap();
+        assert!(average_supply_power(&res, v, 1.0, 1e-6, 1e-6).is_err());
+    }
+
+    #[test]
+    fn multiple_supply_standby_current_sums() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let v1 = ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        let v2 = ckt.vsource(b, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.resistor(a, Circuit::GROUND, 1e6);
+        ckt.resistor(b, Circuit::GROUND, 1e6);
+        let res = op(&mut ckt).unwrap();
+        let i = total_standby_current(&res, &[v1, v2]);
+        assert!((i - 2e-6).abs() / 2e-6 < 1e-4);
+    }
+}

@@ -1,0 +1,263 @@
+//! Static noise margin: butterfly curves and the maximum-inscribed-square
+//! method (Figure 14 of the paper).
+
+use crate::{AnalysisError, Result};
+
+/// A sampled voltage transfer curve `v_out = f(v_in)`, with strictly
+/// increasing inputs and (weakly) decreasing outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Vtc {
+    points: Vec<(f64, f64)>,
+}
+
+impl Vtc {
+    /// Creates a VTC from `(v_in, v_out)` samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidInput`] if fewer than two samples
+    /// are given, inputs are not strictly increasing, or outputs increase
+    /// by more than 1 mV anywhere (not an inverting characteristic).
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Vtc> {
+        if points.len() < 2 {
+            return Err(AnalysisError::InvalidInput("VTC needs at least two samples".into()));
+        }
+        for w in points.windows(2) {
+            let increasing = w[1].0 > w[0].0; // also rejects NaN inputs
+            if !increasing {
+                return Err(AnalysisError::InvalidInput(
+                    "VTC inputs must be strictly increasing".into(),
+                ));
+            }
+            if w[1].1 > w[0].1 + 1e-3 {
+                return Err(AnalysisError::InvalidInput(
+                    "VTC output rises: not an inverting transfer curve".into(),
+                ));
+            }
+        }
+        Ok(Vtc { points })
+    }
+
+    /// The samples.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Linear interpolation, clamped to the end values.
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        let idx = pts.partition_point(|&(px, _)| px <= x);
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// The inverse curve `v_in = f⁻¹(v_out)` as a function of its output,
+    /// usable via [`Vtc::eval`] on the swapped axes. Near-vertical
+    /// segments of idealized curves create duplicate abscissae; among
+    /// duplicates the point closest to mid-swing is kept — that is the
+    /// transition branch, which bounds the butterfly lobes (rail-segment
+    /// endpoints bound nothing).
+    fn inverse_as_function_of_x(&self) -> Vec<(f64, f64)> {
+        let y_lo = self.points.iter().map(|&(a, _)| a).fold(f64::INFINITY, f64::min);
+        let y_hi = self.points.iter().map(|&(a, _)| a).fold(f64::NEG_INFINITY, f64::max);
+        let y_mid = 0.5 * (y_lo + y_hi);
+        // Swap (vin, vout) → (vout, vin), sort ascending in the new x.
+        let mut swapped: Vec<(f64, f64)> = self.points.iter().map(|&(a, b)| (b, a)).collect();
+        swapped.sort_by(|p, q| p.0.partial_cmp(&q.0).expect("finite VTC"));
+        // Collapse duplicate abscissae, keeping the transition branch.
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(swapped.len());
+        for (x, y) in swapped {
+            match out.last_mut() {
+                Some(last) if (last.0 - x).abs() < 1e-12 => {
+                    if (y - y_mid).abs() < (last.1 - y_mid).abs() {
+                        last.1 = y;
+                    }
+                }
+                _ => out.push((x, y)),
+            }
+        }
+        out
+    }
+}
+
+/// Result of a butterfly SNM extraction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnmResult {
+    /// Side of the largest square in the upper-left lobe (V).
+    pub lobe_high: f64,
+    /// Side of the largest square in the lower-right lobe (V).
+    pub lobe_low: f64,
+}
+
+impl SnmResult {
+    /// The static noise margin: the smaller lobe (V).
+    pub fn snm(&self) -> f64 {
+        self.lobe_high.min(self.lobe_low)
+    }
+}
+
+/// Largest square inscribed between the decreasing curves
+/// `upper(x)` (curve A, a plain VTC) and `lower(x)` (curve B *inverted*
+/// onto the same axes), scanning anchor points over `[0, vmax]`.
+fn lobe_square(upper: &Vtc, lower_pts: &[(f64, f64)], vmax: f64) -> f64 {
+    let lower_eval = |x: f64| -> f64 {
+        if lower_pts.is_empty() {
+            return 0.0;
+        }
+        if x <= lower_pts[0].0 {
+            return lower_pts[0].1;
+        }
+        if x >= lower_pts[lower_pts.len() - 1].0 {
+            return lower_pts[lower_pts.len() - 1].1;
+        }
+        let idx = lower_pts.partition_point(|&(px, _)| px <= x);
+        let (x0, y0) = lower_pts[idx - 1];
+        let (x1, y1) = lower_pts[idx];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    };
+    let grid = 400;
+    let mut best = 0.0f64;
+    for k in 0..=grid {
+        let x0 = vmax * k as f64 / grid as f64;
+        let y0 = lower_eval(x0);
+        // g(s) = upper(x0 + s) − (y0 + s): decreasing in s.
+        let g = |s: f64| upper.eval(x0 + s) - y0 - s;
+        if g(0.0) <= 0.0 {
+            continue;
+        }
+        let (mut lo, mut hi) = (0.0f64, vmax);
+        if g(hi) > 0.0 {
+            best = best.max(hi);
+            continue;
+        }
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if g(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        best = best.max(lo);
+    }
+    best
+}
+
+/// Extracts the static noise margin of a cross-coupled pair from the two
+/// inverter transfer curves (the butterfly of Figure 14).
+///
+/// `vtc_a` maps node Q̄ → Q (the left inverter), `vtc_b` maps Q → Q̄; both
+/// sampled over `[0, vmax]`.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError::InvalidInput`] for malformed curves.
+pub fn butterfly_snm(vtc_a: &Vtc, vtc_b: &Vtc, vmax: f64) -> Result<SnmResult> {
+    let valid = vmax > 0.0; // also rejects NaN
+    if !valid {
+        return Err(AnalysisError::InvalidInput(format!("bad vmax {vmax}")));
+    }
+    // Upper-left lobe: curve A as y(x), curve B mirrored onto the same axes.
+    let lobe_high = lobe_square(vtc_a, &vtc_b.inverse_as_function_of_x(), vmax);
+    // Lower-right lobe: swap the roles.
+    let lobe_low = lobe_square(vtc_b, &vtc_a.inverse_as_function_of_x(), vmax);
+    Ok(SnmResult { lobe_high, lobe_low })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A near-ideal inverter VTC: full rails with a steep transition at
+    /// `vth`.
+    fn steep_vtc(vth: f64, vdd: f64) -> Vtc {
+        Vtc::new(vec![
+            (0.0, vdd),
+            (vth - 1e-4, vdd),
+            (vth + 1e-4, 0.0),
+            (vdd, 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn ideal_symmetric_butterfly_snm_is_half_rail() {
+        let vdd = 1.2;
+        let a = steep_vtc(0.6, vdd);
+        let b = steep_vtc(0.6, vdd);
+        let r = butterfly_snm(&a, &b, vdd).unwrap();
+        assert!((r.lobe_high - 0.6).abs() < 2e-2, "lobe {}", r.lobe_high);
+        assert!((r.lobe_low - 0.6).abs() < 2e-2);
+        assert!((r.snm() - 0.6).abs() < 2e-2);
+    }
+
+    #[test]
+    fn skewed_thresholds_shrink_one_lobe() {
+        let vdd = 1.2;
+        let a = steep_vtc(0.4, vdd);
+        let b = steep_vtc(0.6, vdd);
+        let r = butterfly_snm(&a, &b, vdd).unwrap();
+        // Lobes become 0.4/0.6-ish; SNM limited by the smaller one.
+        assert!(r.snm() < 0.52);
+        assert!(r.snm() > 0.3);
+        assert!((r.lobe_high - r.lobe_low).abs() > 0.05, "lobes should differ");
+    }
+
+    #[test]
+    fn snm_is_symmetric_under_inverter_swap() {
+        let vdd = 1.2;
+        let a = steep_vtc(0.45, vdd);
+        let b = steep_vtc(0.7, vdd);
+        let r1 = butterfly_snm(&a, &b, vdd).unwrap();
+        let r2 = butterfly_snm(&b, &a, vdd).unwrap();
+        assert!((r1.snm() - r2.snm()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn degenerate_identical_diagonal_curves_have_zero_snm() {
+        // A "wire" (non-regenerative) transfer: y = vdd − x for both.
+        let vdd = 1.2;
+        let line = Vtc::new(vec![(0.0, vdd), (vdd, 0.0)]).unwrap();
+        let r = butterfly_snm(&line, &line, vdd).unwrap();
+        assert!(r.snm() < 1e-2, "snm = {}", r.snm());
+    }
+
+    #[test]
+    fn weak_pullup_reduces_high_lobe() {
+        let vdd = 1.2;
+        // Inverter A can only pull up to 0.9 V (degraded high level).
+        let a = Vtc::new(vec![(0.0, 0.9), (0.55, 0.9), (0.65, 0.0), (vdd, 0.0)]).unwrap();
+        let b = steep_vtc(0.6, vdd);
+        let weak = butterfly_snm(&a, &b, vdd).unwrap();
+        let strong = butterfly_snm(&steep_vtc(0.6, vdd), &b, vdd).unwrap();
+        assert!(weak.snm() < strong.snm());
+    }
+
+    #[test]
+    fn vtc_validation() {
+        assert!(Vtc::new(vec![(0.0, 1.0)]).is_err());
+        assert!(Vtc::new(vec![(0.0, 1.0), (0.0, 0.5)]).is_err());
+        assert!(Vtc::new(vec![(0.0, 0.2), (1.0, 1.0)]).is_err(), "rising curve rejected");
+    }
+
+    #[test]
+    fn eval_clamps() {
+        let v = Vtc::new(vec![(0.2, 1.0), (0.8, 0.0)]).unwrap();
+        assert_eq!(v.eval(0.0), 1.0);
+        assert_eq!(v.eval(1.0), 0.0);
+        assert!((v.eval(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn butterfly_rejects_bad_vmax() {
+        let v = steep_vtc(0.6, 1.2);
+        assert!(butterfly_snm(&v, &v, 0.0).is_err());
+    }
+}

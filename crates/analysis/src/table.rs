@@ -1,0 +1,140 @@
+//! Plain-text experiment tables for the bench binaries and EXPERIMENTS.md.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_analysis::table::Table;
+///
+/// let mut t = Table::new(vec!["fan-out", "delay (ps)"]);
+/// t.row(vec!["1".into(), "23.5".into()]);
+/// t.row(vec!["3".into(), "41.0".into()]);
+/// let s = t.render();
+/// assert!(s.contains("fan-out"));
+/// assert!(s.contains("41.0"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no headers are given.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        assert!(!headers.is_empty(), "table needs at least one column");
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Table {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders as column-aligned text with a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit_row = |cells: &[String], out: &mut String| {
+            for (c, (cell, w)) in cells.iter().zip(widths.iter()).enumerate() {
+                if c > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        emit_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a quantity in engineering notation with a unit, e.g.
+/// `fmt_eng(2.3e-11, "s")` → `"23.00 ps"`.
+pub fn fmt_eng(value: f64, unit: &str) -> String {
+    if value == 0.0 {
+        return format!("0 {unit}");
+    }
+    let prefixes: [(f64, &str); 9] = [
+        (1e12, "T"),
+        (1e9, "G"),
+        (1e6, "M"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "µ"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let mag = value.abs();
+    for &(scale, prefix) in &prefixes {
+        if mag >= scale {
+            return format!("{:.2} {}{}", value / scale, prefix, unit);
+        }
+    }
+    format!("{:.2} f{}", value / 1e-15, unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(vec!["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines have the same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn engineering_formatting() {
+        assert_eq!(fmt_eng(0.0, "W"), "0 W");
+        assert_eq!(fmt_eng(2.3e-11, "s"), "23.00 ps");
+        assert_eq!(fmt_eng(1.5e-3, "A"), "1.50 mA");
+        assert_eq!(fmt_eng(4.2e6, "Hz"), "4.20 MHz");
+        assert_eq!(fmt_eng(-5e-9, "s"), "-5.00 ns");
+        assert_eq!(fmt_eng(3e-15, "F"), "3.00 fF");
+    }
+}

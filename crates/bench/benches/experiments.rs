@@ -1,0 +1,110 @@
+//! Criterion benchmarks of the paper's experiment workloads (scaled-down
+//! variants so `cargo bench` finishes in minutes, one group per figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nemscmos::gates::PdnStyle;
+use nemscmos::sram::{
+    butterfly_curves, read_latency, standby_leakage, ReadMode, SramKind, SramParams, ZeroSide,
+};
+use nemscmos::tech::Technology;
+use nemscmos_bench::experiments::device_tables::{render_fig01, render_fig02, render_table1};
+use nemscmos_bench::experiments::dynamic_or::{fig09_with, measure_gate};
+use nemscmos_bench::experiments::sleep::fig17;
+
+fn bench_device_tables(c: &mut Criterion) {
+    c.bench_function("table1_fig01_fig02", |b| {
+        b.iter(|| {
+            let t1 = render_table1();
+            let f1 = render_fig01();
+            let f2 = render_fig02();
+            t1.len() + f1.len() + f2.len()
+        })
+    });
+}
+
+fn bench_fig09(c: &mut Criterion) {
+    let tech = Technology::n90();
+    let mut g = c.benchmark_group("fig09");
+    g.sample_size(10);
+    g.bench_function("one_keeper_point", |b| {
+        b.iter(|| fig09_with(&tech, &[0.10], &[1.0]).expect("fig09 point"))
+    });
+    g.finish();
+}
+
+fn bench_fig10_fig11(c: &mut Criterion) {
+    let tech = Technology::n90();
+    let mut g = c.benchmark_group("fig10_fig11");
+    g.sample_size(10);
+    g.bench_function("gate_point_cmos_8in_fo1", |b| {
+        b.iter(|| measure_gate(&tech, 8, 1, PdnStyle::Cmos).expect("point"))
+    });
+    g.bench_function("gate_point_hybrid_8in_fo1", |b| {
+        b.iter(|| measure_gate(&tech, 8, 1, PdnStyle::HybridNems).expect("point"))
+    });
+    g.bench_function("gate_point_hybrid_16in_fo3", |b| {
+        b.iter(|| measure_gate(&tech, 16, 3, PdnStyle::HybridNems).expect("point"))
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let tech = Technology::n90();
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    g.bench_function("pdp_sweep_from_measurement", |b| {
+        b.iter(|| {
+            let p = measure_gate(&tech, 8, 1, PdnStyle::HybridNems).expect("point");
+            p.figures.pdp_sweep(11)
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig14_fig15(c: &mut Criterion) {
+    let tech = Technology::n90();
+    let mut g = c.benchmark_group("fig14_fig15");
+    g.sample_size(10);
+    g.bench_function("butterfly_conventional", |b| {
+        b.iter(|| {
+            butterfly_curves(&tech, &SramParams::new(SramKind::Conventional), ReadMode::Read)
+                .expect("butterfly")
+        })
+    });
+    g.bench_function("butterfly_hybrid", |b| {
+        b.iter(|| {
+            butterfly_curves(&tech, &SramParams::new(SramKind::Hybrid), ReadMode::Read)
+                .expect("butterfly")
+        })
+    });
+    g.bench_function("read_latency_conventional", |b| {
+        b.iter(|| {
+            read_latency(&tech, &SramParams::new(SramKind::Conventional), ZeroSide::Right)
+                .expect("latency")
+        })
+    });
+    g.bench_function("standby_leakage_hybrid", |b| {
+        b.iter(|| {
+            standby_leakage(&tech, &SramParams::new(SramKind::Hybrid), ZeroSide::Right)
+                .expect("leak")
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    let tech = Technology::n90();
+    c.bench_function("fig17_model_sweep", |b| b.iter(|| fig17(&tech)));
+}
+
+criterion_group!(
+    experiments,
+    bench_device_tables,
+    bench_fig09,
+    bench_fig10_fig11,
+    bench_fig12,
+    bench_fig14_fig15,
+    bench_fig17
+);
+criterion_main!(experiments);

@@ -1,0 +1,179 @@
+//! Criterion benchmarks of the simulator kernels: sparse/dense LU,
+//! transient integration, device model evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use nemscmos::devices::mosfet::MosModel;
+use nemscmos::numeric::dense::{DenseLu, DenseMatrix};
+use nemscmos::numeric::sparse::{CscMatrix, SparseLu};
+use nemscmos::spice::analysis::tran::{transient, TranOptions};
+use nemscmos::spice::circuit::Circuit;
+use nemscmos::spice::waveform::Waveform;
+use nemscmos::tech::Technology;
+
+fn poisson_csc(n: usize) -> CscMatrix {
+    let mut tr = Vec::with_capacity(3 * n);
+    for i in 0..n {
+        tr.push((i, i, 4.0));
+        if i + 1 < n {
+            tr.push((i, i + 1, -1.0));
+            tr.push((i + 1, i, -1.0));
+        }
+        if i + 16 < n {
+            tr.push((i, i + 16, -0.5));
+            tr.push((i + 16, i, -0.5));
+        }
+    }
+    CscMatrix::from_triplets(n, n, &tr)
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lu");
+    g.sample_size(20);
+    let a_sparse = poisson_csc(512);
+    let b = vec![1.0; 512];
+    g.bench_function("sparse_512_factor_solve", |bench| {
+        bench.iter(|| {
+            let lu = SparseLu::factor(&a_sparse).expect("factor");
+            lu.solve(&b).expect("solve")
+        })
+    });
+    let mut dense = DenseMatrix::zeros(64, 64);
+    for i in 0..64 {
+        dense.set(i, i, 4.0);
+        if i + 1 < 64 {
+            dense.set(i, i + 1, -1.0);
+            dense.set(i + 1, i, -1.0);
+        }
+    }
+    let bd = vec![1.0; 64];
+    g.bench_function("dense_64_factor_solve", |bench| {
+        bench.iter_batched(
+            || dense.clone(),
+            |m| {
+                let lu = DenseLu::factor(m).expect("factor");
+                lu.solve(&bd).expect("solve")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_device_eval(c: &mut Criterion) {
+    let nmos = MosModel::nmos_90nm();
+    c.bench_function("mosfet_ids_eval_100", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in 0..100 {
+                let vg = 1.2 * (k as f64) / 100.0;
+                let (i, ..) = nmos.ids(vg, 1.2, 0.0, 1.0);
+                acc += i;
+            }
+            acc
+        })
+    });
+}
+
+fn bench_transient(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transient");
+    g.sample_size(10);
+    g.bench_function("inverter_chain_8", |bench| {
+        let tech = Technology::n90();
+        bench.iter_batched(
+            || {
+                let mut ckt = Circuit::new();
+                let vdd = ckt.node("vdd");
+                let vin = ckt.node("in");
+                ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+                ckt.vsource(
+                    vin,
+                    Circuit::GROUND,
+                    Waveform::pulse(0.0, 1.2, 0.2e-9, 30e-12, 30e-12, 1e-9, 2.5e-9),
+                );
+                let mut prev = vin;
+                for k in 0..8 {
+                    let out = ckt.node(&format!("n{k}"));
+                    tech.add_inverter(&mut ckt, &format!("i{k}"), vdd, prev, out, 2.0, 1.0);
+                    prev = out;
+                }
+                ckt
+            },
+            |mut ckt| transient(&mut ckt, 2.5e-9, &TranOptions::default()).expect("tran"),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_ac(c: &mut Criterion) {
+    use nemscmos::spice::analysis::ac::{ac, log_sweep};
+    let mut g = c.benchmark_group("ac");
+    g.sample_size(20);
+    g.bench_function("rc_ladder_60pts", |bench| {
+        bench.iter_batched(
+            || {
+                let mut ckt = Circuit::new();
+                let mut prev = ckt.node("in");
+                let src = ckt.vsource(prev, Circuit::GROUND, Waveform::dc(0.0));
+                for k in 0..10 {
+                    let n = ckt.node(&format!("n{k}"));
+                    ckt.resistor(prev, n, 1e3);
+                    ckt.capacitor(n, Circuit::GROUND, 1e-12);
+                    prev = n;
+                }
+                (ckt, src)
+            },
+            |(mut ckt, src)| {
+                let freqs = log_sweep(1e3, 1e9, 10);
+                ac(&mut ckt, src, &freqs, &Default::default()).expect("ac")
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_netlist_parse(c: &mut Criterion) {
+    use nemscmos::factory::StandardFactory;
+    use nemscmos::spice::netlist::parse_deck;
+    // A ~200-card deck.
+    let mut deck = String::from("VDD vdd 0 DC 1.2\n");
+    for k in 0..100 {
+        deck.push_str(&format!("R{k} n{k} n{} 1k\n", k + 1));
+        deck.push_str(&format!("C{k} n{k} 0 1f\n"));
+    }
+    deck.push_str("R_last n100 0 1k\n.op\n");
+    let factory = StandardFactory::n90();
+    c.bench_function("netlist_parse_200_cards", |b| {
+        b.iter(|| parse_deck(&deck, &factory).expect("parse"))
+    });
+}
+
+fn bench_sram_array(c: &mut Criterion) {
+    use nemscmos::sram::{ArraySequence, SramArray, SramKind, SramParams};
+    let mut g = c.benchmark_group("sram_array");
+    g.sample_size(10);
+    g.bench_function("2x2_write_read_sequence", |bench| {
+        let tech = Technology::n90();
+        let params = SramParams::new(SramKind::Conventional);
+        let seq = ArraySequence::checkerboard(2, 2);
+        bench.iter_batched(
+            || SramArray::build(&tech, &params, &seq),
+            |mut array| array.run_and_verify(&tech, &seq).expect("sequence"),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_lu,
+    bench_device_eval,
+    bench_transient,
+    bench_ac,
+    bench_netlist_parse,
+    bench_sram_array
+);
+criterion_main!(kernels);

@@ -1,0 +1,52 @@
+//! Runs the ablation suite: keeper style, NEMS sizing, pull-up-only SRAM,
+//! mechanical switching delay, and stiction fault injection.
+
+use nemscmos::tech::Technology;
+use nemscmos_bench::experiments::ablations::*;
+
+fn main() {
+    let tech = Technology::n90();
+    let sections: Vec<(&str, nemscmos_analysis::Result<String>)> = vec![
+        ("Keeper style (always-on vs feedback)", keeper_style_ablation(&tech)),
+        ("NEMS series-switch width (hybrid OR)", nems_width_ablation(&tech)),
+        ("Hybrid SRAM NEMS upsizing", sram_upsize_ablation(&tech)),
+        ("SRAM: pull-up-only vs full hybrid (§5.3)", pullup_only_ablation(&tech)),
+        ("Mechanical switching delay sensitivity", switching_delay_ablation(&tech)),
+        ("Stiction (stuck-open beam) fault", stiction_fault_study(&tech)),
+        ("SRAM write margin & retention voltage", sram_margins_study(&tech)),
+        ("Charge sharing at a 0.49 V input glitch", charge_sharing_study(&tech)),
+    ];
+    let mut failures = 0;
+    for (title, result) in sections {
+        match result {
+            Ok(table) => println!("=== {title} ===\n{table}"),
+            Err(e) => {
+                eprintln!("{title}: FAILED: {e}");
+                failures += 1;
+            }
+        }
+    }
+    match beam_fidelity_study(&tech) {
+        Ok((qs, dynamic)) => println!(
+            "beam fidelity: quasi-static discharge {} vs co-simulated beam {} after the step",
+            qs.map_or("never".into(), |t| format!("{:.0} ps", t * 1e12)),
+            dynamic.map_or("never".into(), |t| format!("{:.0} ps", t * 1e12)),
+        ),
+        Err(e) => {
+            eprintln!("beam fidelity study failed: {e}");
+            failures += 1;
+        }
+    }
+    match stuck_beam_circuit_demo(&tech) {
+        Ok((healthy, stuck)) => println!(
+            "stuck-beam circuit demo: healthy v(d) = {healthy:.3} V, stuck v(d) = {stuck:.3} V"
+        ),
+        Err(e) => {
+            eprintln!("stuck-beam demo failed: {e}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Dumps the device I–V characteristics behind the paper's Section 2:
+//! the CMOS transfer/output families and the NEMS hysteresis loop
+//! (CSV on stdout, one block per curve family).
+
+use nemscmos::devices::characterize::id_vg_curve;
+use nemscmos::devices::mosfet::{MosModel, Polarity};
+use nemscmos::devices::nemfet::{Nemfet, NemsModel};
+use nemscmos::spice::analysis::dc_sweep::dc_sweep;
+use nemscmos::spice::analysis::op::OpOptions;
+use nemscmos::spice::circuit::Circuit;
+use nemscmos::spice::waveform::Waveform;
+
+fn main() {
+    let vdd = 1.2;
+
+    println!("# Id-Vg transfer curves at Vds = {vdd} V (A/µm)");
+    println!("vg,nmos90,pmos90,nmos90hvt");
+    let n = id_vg_curve(&MosModel::nmos_90nm(), vdd, 61);
+    let p = id_vg_curve(&MosModel::pmos_90nm(), vdd, 61);
+    let h = id_vg_curve(&MosModel::nmos_90nm_hvt(), vdd, 61);
+    for k in 0..n.len() {
+        println!("{:.3},{:.6e},{:.6e},{:.6e}", n[k].0, n[k].1, p[k].1, h[k].1);
+    }
+
+    println!("# Id-Vd output family, nmos90 (A/µm)");
+    print!("vd");
+    let vgs = [0.4, 0.6, 0.8, 1.0, 1.2];
+    for vg in vgs {
+        print!(",vg={vg}");
+    }
+    println!();
+    let m = MosModel::nmos_90nm();
+    for k in 0..=60 {
+        let vd = vdd * k as f64 / 60.0;
+        print!("{vd:.3}");
+        for vg in vgs {
+            let (i, ..) = m.ids(vg, vd, 0.0, 1.0);
+            print!(",{i:.6e}");
+        }
+        println!();
+    }
+
+    println!("# NEMS hysteresis loop: drain current vs gate, up then down sweep");
+    println!("vg,direction,id");
+    let mut ckt = Circuit::new();
+    let vd_node = ckt.node("d_rail");
+    let g = ckt.node("g");
+    let d = ckt.node("d");
+    let supply = ckt.vsource(vd_node, Circuit::GROUND, Waveform::dc(vdd));
+    let vg_src = ckt.vsource(g, Circuit::GROUND, Waveform::dc(0.0));
+    ckt.resistor(vd_node, d, 10.0); // near-ideal drain bias, probes current
+    ckt.add_device(Nemfet::new(
+        "x1",
+        NemsModel::nems_90nm(Polarity::Nmos),
+        d,
+        g,
+        Circuit::GROUND,
+        1.0,
+    ));
+    let n_pts = 61;
+    let up: Vec<f64> = (0..n_pts).map(|k| vdd * k as f64 / (n_pts - 1) as f64).collect();
+    let down: Vec<f64> = up.iter().rev().copied().collect();
+    let run = |ckt: &mut Circuit, vals: &[f64]| {
+        dc_sweep(ckt, vg_src, vals, &OpOptions::default()).expect("hysteresis sweep")
+    };
+    for (vg, r) in up.iter().zip(run(&mut ckt, &up)) {
+        println!("{vg:.3},up,{:.6e}", -r.source_current(supply));
+    }
+    for (vg, r) in down.iter().zip(run(&mut ckt, &down)) {
+        println!("{vg:.3},down,{:.6e}", -r.source_current(supply));
+    }
+}

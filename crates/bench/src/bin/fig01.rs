@@ -1,0 +1,8 @@
+//! Regenerates Figure 1: the ITRS leakage-scaling trend.
+
+use nemscmos_bench::experiments::device_tables::render_fig01;
+
+fn main() {
+    println!("Figure 1 — technology scaling and subthreshold leakage\n");
+    println!("{}", render_fig01());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 2: the subthreshold-swing survey.
+
+use nemscmos_bench::experiments::device_tables::render_fig02;
+
+fn main() {
+    println!("Figure 2 — minimum subthreshold swing by device family\n");
+    println!("{}", render_fig02());
+}

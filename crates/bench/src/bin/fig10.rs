@@ -1,0 +1,37 @@
+//! Regenerates Figure 10: 8-input dynamic OR power/delay vs fan-out.
+
+use nemscmos::gates::PdnStyle;
+use nemscmos::tech::Technology;
+use nemscmos_bench::experiments::dynamic_or::{fig10, render_fig10};
+
+fn main() {
+    let tech = Technology::n90();
+    println!("Figure 10 — 8-input dynamic OR vs fan-out (CMOS vs hybrid)\n");
+    match fig10(&tech) {
+        Ok(points) => {
+            println!("{}", render_fig10(&points));
+            // Headline claims: 60-80% switching-power saving, 10-20% delay
+            // penalty across fan-out.
+            for fo in [1usize, 5] {
+                let get = |style| {
+                    points
+                        .iter()
+                        .find(|p| p.style == style && p.fan_out == fo)
+                        .expect("point")
+                        .figures
+                };
+                let c = get(PdnStyle::Cmos);
+                let h = get(PdnStyle::HybridNems);
+                println!(
+                    "FO{fo}: hybrid saves {:.0}% switching power, delay {:+.0}%",
+                    (1.0 - h.switching_power / c.switching_power) * 100.0,
+                    (h.delay / c.delay - 1.0) * 100.0
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

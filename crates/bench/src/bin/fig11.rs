@@ -1,0 +1,42 @@
+//! Regenerates Figure 11: dynamic OR power/delay vs fan-in (fan-out 3).
+
+use nemscmos::gates::PdnStyle;
+use nemscmos::tech::Technology;
+use nemscmos_bench::experiments::dynamic_or::{fig11, render_fig11};
+
+fn main() {
+    let tech = Technology::n90();
+    println!("Figure 11 — dynamic OR vs fan-in at fan-out 3 (CMOS vs hybrid)\n");
+    match fig11(&tech) {
+        Ok(points) => {
+            println!("{}", render_fig11(&points));
+            // Headline claim: beyond fan-in ~12 the hybrid gate wins on
+            // *both* delay and switching power.
+            for fi in [4usize, 8, 12, 16] {
+                let get = |style| {
+                    points
+                        .iter()
+                        .find(|p| p.style == style && p.fan_in == fi)
+                        .expect("point")
+                        .figures
+                };
+                let c = get(PdnStyle::Cmos);
+                let h = get(PdnStyle::HybridNems);
+                println!(
+                    "fan-in {fi:>2}: delay hybrid/CMOS = {:.2}, power hybrid/CMOS = {:.2}{}",
+                    h.delay / c.delay,
+                    h.switching_power / c.switching_power,
+                    if h.delay < c.delay && h.switching_power < c.switching_power {
+                        "  <- hybrid wins both"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

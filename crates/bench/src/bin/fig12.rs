@@ -1,0 +1,16 @@
+//! Regenerates Figure 12: power-delay product vs activity factor.
+
+use nemscmos::tech::Technology;
+use nemscmos_bench::experiments::dynamic_or::{fig12, render_fig12};
+
+fn main() {
+    let tech = Technology::n90();
+    println!("Figure 12 — power-delay product (Eq. 1) vs activity factor\n");
+    match fig12(&tech) {
+        Ok(data) => println!("{}", render_fig12(&data)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

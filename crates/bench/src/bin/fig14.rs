@@ -1,0 +1,16 @@
+//! Regenerates Figure 14: SRAM butterfly curves and SNM.
+
+use nemscmos::tech::Technology;
+use nemscmos_bench::experiments::sram::{fig14, render_fig14};
+
+fn main() {
+    let tech = Technology::n90();
+    println!("Figure 14 — SRAM read butterfly / static noise margin\n");
+    match fig14(&tech) {
+        Ok(rows) => println!("{}", render_fig14(&rows)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 15: SRAM read latency and standby leakage.
+
+use nemscmos::tech::Technology;
+use nemscmos_bench::experiments::sram::{fig15, render_fig15};
+
+fn main() {
+    let tech = Technology::n90();
+    println!("Figure 15 — SRAM read latency and standby leakage (normalized)\n");
+    match fig15(&tech) {
+        Ok(rows) => println!("{}", render_fig15(&rows)),
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 17: sleep-transistor R_ON / I_OFF vs area, plus the
+//! gated-block companion study.
+
+use nemscmos::tech::Technology;
+use nemscmos_bench::experiments::sleep::{fig17, gated_block_study, render_fig17};
+
+fn main() {
+    let tech = Technology::n90();
+    println!("Figure 17 — sleep transistor R_on and I_off vs normalized area\n");
+    println!("{}", render_fig17(&fig17(&tech)));
+    println!("Companion: power-gated inverter chain (coarse-grain footer)\n");
+    match gated_block_study(&tech) {
+        Ok(table) => println!("{table}"),
+        Err(e) => {
+            eprintln!("gated-block study failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

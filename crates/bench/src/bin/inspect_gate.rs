@@ -1,0 +1,26 @@
+//! Diagnostic tool: prints the absolute figures and sizing of one dynamic
+//! OR configuration (`cargo run -p nemscmos-bench --bin inspect_gate -- 8 1`).
+
+use nemscmos::gates::{DynamicOrGate, DynamicOrParams, PdnStyle};
+use nemscmos::tech::Technology;
+use nemscmos_analysis::table::fmt_eng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let fan_in: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let fan_out: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let tech = Technology::n90();
+    for style in [PdnStyle::Cmos, PdnStyle::HybridNems] {
+        let params = DynamicOrParams::new(fan_in, fan_out, style);
+        let wk = params.resolved_keeper_width(&tech);
+        match DynamicOrGate::build(&tech, &params).characterize(&tech) {
+            Ok(f) => println!(
+                "{style:?}: keeper {wk:.3} µm, delay {}, P_sw {}, P_leak {}",
+                fmt_eng(f.delay, "s"),
+                fmt_eng(f.switching_power, "W"),
+                fmt_eng(f.leakage_power, "W"),
+            ),
+            Err(e) => println!("{style:?}: FAILED: {e}"),
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Table 1: I_ON / I_OFF of the calibrated devices.
+
+use nemscmos_bench::experiments::device_tables::render_table1;
+
+fn main() {
+    println!("Table 1 — device on/off currents at 90 nm, V_dd = 1.2 V\n");
+    println!("{}", render_table1());
+}

@@ -1,0 +1,24 @@
+//! Leakage–temperature coupling study (the paper's ref. \[5\] motivation).
+
+use nemscmos::tech::Technology;
+use nemscmos_bench::experiments::thermal::{leakage_vs_temperature, runaway_study};
+
+fn main() {
+    let tech = Technology::n90();
+    println!("Leakage vs temperature (8-input dynamic OR core)\n");
+    match leakage_vs_temperature(&tech) {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("leakage sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("Self-consistent junction temperature (50k gates, 0.4 W dynamic)\n");
+    match runaway_study(&tech) {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("runaway study failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Statistical variation studies: SRAM SNM Monte Carlo and a five-corner
+//! sweep of the headline circuits.
+
+use nemscmos::tech::Technology;
+use nemscmos_bench::experiments::variation::{render_corner_sweep, render_sram_mc};
+
+fn main() {
+    let tech = Technology::n90();
+    println!("SRAM read-SNM Monte Carlo (sigma_Vth = 30 mV/device, 64 trials)\n");
+    match render_sram_mc(&tech, 0.03, 64) {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("SRAM Monte Carlo failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("Five-corner sweep\n");
+    match render_corner_sweep(&tech) {
+        Ok(t) => println!("{t}"),
+        Err(e) => {
+            eprintln!("corner sweep failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

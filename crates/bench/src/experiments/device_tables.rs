@@ -1,0 +1,110 @@
+//! Table 1 (device currents), Figure 1 (scaling trend) and Figure 2
+//! (subthreshold-swing survey).
+
+use nemscmos::devices::characterize::{figure2_survey, ion, ioff};
+use nemscmos::devices::mosfet::{MosModel, Polarity};
+use nemscmos::devices::nemfet::NemsModel;
+use nemscmos::devices::scaling::itrs_trend;
+use nemscmos_analysis::table::{fmt_eng, Table};
+
+/// One row of the Table 1 reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Row {
+    /// Device label.
+    pub device: &'static str,
+    /// On current (A/µm).
+    pub ion: f64,
+    /// Off current (A/µm).
+    pub ioff: f64,
+    /// The paper's value for I_ON (A/µm).
+    pub paper_ion: f64,
+    /// The paper's value for I_OFF (A/µm).
+    pub paper_ioff: f64,
+}
+
+/// Regenerates Table 1 from the calibrated model cards.
+pub fn table1() -> Vec<Table1Row> {
+    let vdd = 1.2;
+    let nmos = MosModel::nmos_90nm();
+    let nems = NemsModel::nems_90nm(Polarity::Nmos);
+    let (nems_ion, ..) = nems.contact.ids(vdd, vdd, 0.0, 1.0);
+    vec![
+        Table1Row {
+            device: "CMOS [4]",
+            ion: ion(&nmos, vdd),
+            ioff: ioff(&nmos, vdd),
+            paper_ion: 1110e-6,
+            paper_ioff: 50e-9,
+        },
+        Table1Row {
+            device: "NEMS [13]",
+            ion: nems_ion,
+            ioff: nems.g_off_per_um * vdd,
+            paper_ion: 330e-6,
+            paper_ioff: 110e-12,
+        },
+    ]
+}
+
+/// Renders Table 1 with paper-vs-measured columns.
+pub fn render_table1() -> String {
+    let mut t = Table::new(vec!["Device", "I_ON (meas)", "I_ON (paper)", "I_OFF (meas)", "I_OFF (paper)"]);
+    for r in table1() {
+        t.row(vec![
+            r.device.to_string(),
+            fmt_eng(r.ion, "A/µm"),
+            fmt_eng(r.paper_ion, "A/µm"),
+            fmt_eng(r.ioff, "A/µm"),
+            fmt_eng(r.paper_ioff, "A/µm"),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the Figure 1 scaling trend.
+pub fn render_fig01() -> String {
+    let mut t = Table::new(vec!["Node (nm)", "V_dd (V)", "V_th (V)", "I_OFF", "I_ON"]);
+    for p in itrs_trend() {
+        t.row(vec![
+            format!("{:.0}", p.node_nm),
+            format!("{:.2}", p.vdd),
+            format!("{:.2}", p.vth),
+            fmt_eng(p.ioff, "A/µm"),
+            fmt_eng(p.ion, "A/µm"),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the Figure 2 swing survey.
+pub fn render_fig02() -> String {
+    let mut t = Table::new(vec!["Device", "S (mV/dec)", "Source"]);
+    for r in figure2_survey() {
+        t.row(vec![
+            r.device.to_string(),
+            format!("{:.2}", r.swing_mv_per_dec),
+            if r.measured_here { "measured from our model".into() } else { "literature [7]-[12]".into() },
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_within_one_percent() {
+        for r in table1() {
+            assert!((r.ion - r.paper_ion).abs() / r.paper_ion < 0.01, "{}: ion", r.device);
+            assert!((r.ioff - r.paper_ioff).abs() / r.paper_ioff < 0.01, "{}: ioff", r.device);
+        }
+    }
+
+    #[test]
+    fn renders_are_nonempty() {
+        assert!(render_table1().contains("NEMS"));
+        assert!(render_fig01().contains("90"));
+        assert!(render_fig02().contains("IMOS"));
+    }
+}

@@ -1,0 +1,297 @@
+//! Dynamic OR gate experiments: Figures 9, 10, 11 and 12.
+
+use nemscmos::gates::{
+    input_noise_margin, with_worst_case_vth, DynamicOrGate, DynamicOrParams, PdnStyle,
+};
+use nemscmos::tech::Technology;
+use nemscmos_analysis::montecarlo::{monte_carlo_summary, Normal};
+use nemscmos_analysis::pdp::GateFigures;
+use nemscmos_analysis::table::{fmt_eng, Table};
+use nemscmos_analysis::Result;
+use nemscmos_numeric::stats::Summary;
+
+/// One point of the Figure 9 trade-off curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig09Point {
+    /// Keeper width (µm).
+    pub keeper_width: f64,
+    /// Worst-case (3σ) input noise margin (V).
+    pub noise_margin: f64,
+    /// Worst-case delay normalized to the smallest-keeper delay.
+    pub delay_norm: f64,
+}
+
+/// One σ-level curve of Figure 9.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig09Curve {
+    /// `σ_Vth/µ_Vth` of this curve.
+    pub sigma_frac: f64,
+    /// Sweep points (increasing keeper width).
+    pub points: Vec<Fig09Point>,
+}
+
+/// Figure 9: delay vs noise margin of an 8-input CMOS dynamic OR under
+/// increasing keeper width, for several process-variation levels.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig09(tech: &Technology) -> Result<Vec<Fig09Curve>> {
+    fig09_with(tech, &[0.05, 0.10, 0.15], &[0.2, 0.5, 1.0, 1.5, 2.0, 2.6])
+}
+
+/// Figure 9 with explicit σ levels and keeper widths (scaled-down variants
+/// for the Criterion benches).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig09_with(tech: &Technology, sigmas: &[f64], keepers: &[f64]) -> Result<Vec<Fig09Curve>> {
+    let mut curves = Vec::new();
+    for &sigma in sigmas {
+        let mut points = Vec::new();
+        let mut base_delay = None;
+        for &wk in keepers {
+            let mut params = DynamicOrParams::new(8, 1, PdnStyle::Cmos);
+            params.keeper_width = Some(wk);
+            params.sigma_vth_frac = sigma;
+            // Delay at nominal process; noise margin at the 3σ-leaky corner.
+            let figures = DynamicOrGate::build(tech, &params).characterize(tech)?;
+            let nm = input_noise_margin(tech, &with_worst_case_vth(&params, tech))?;
+            let base = *base_delay.get_or_insert(figures.delay);
+            points.push(Fig09Point {
+                keeper_width: wk,
+                noise_margin: nm,
+                delay_norm: figures.delay / base,
+            });
+        }
+        curves.push(Fig09Curve { sigma_frac: sigma, points });
+    }
+    Ok(curves)
+}
+
+/// Renders Figure 9.
+pub fn render_fig09(curves: &[Fig09Curve]) -> String {
+    let mut t = Table::new(vec!["sigma/mu", "W_keeper (µm)", "noise margin (V)", "delay (norm)"]);
+    for c in curves {
+        for p in &c.points {
+            t.row(vec![
+                format!("{:.0}%", c.sigma_frac * 100.0),
+                format!("{:.2}", p.keeper_width),
+                format!("{:.3}", p.noise_margin),
+                format!("{:.3}", p.delay_norm),
+            ]);
+        }
+    }
+    t.render()
+}
+
+/// True Monte Carlo version of one Figure 9 point: per-branch V_th draws
+/// from `N(0, σ·V_th)` for an 8-input CMOS gate with a fixed keeper, each
+/// trial measuring the input noise margin. Runs in parallel (crossbeam
+/// scoped threads) and is deterministic in `seed`.
+///
+/// # Errors
+///
+/// Propagates simulation failures from any trial.
+pub fn fig09_monte_carlo(
+    tech: &Technology,
+    keeper_width: f64,
+    sigma_frac: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<Summary> {
+    let sigma_volts = sigma_frac * tech.nmos.vth;
+    monte_carlo_summary(trials, seed, |rng, _| {
+        let dist = Normal::new(0.0, sigma_volts);
+        let mut params = DynamicOrParams::new(8, 1, PdnStyle::Cmos);
+        params.keeper_width = Some(keeper_width);
+        params.pdn_vth_shifts = (0..8).map(|_| dist.sample(rng)).collect();
+        input_noise_margin(tech, &params)
+    })
+}
+
+/// One gate measurement of Figures 10–12.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatePoint {
+    /// Fan-in.
+    pub fan_in: usize,
+    /// Fan-out.
+    pub fan_out: usize,
+    /// Style.
+    pub style: PdnStyle,
+    /// Measured figures.
+    pub figures: GateFigures,
+}
+
+/// Measures one gate configuration (keeper auto-sized per style).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn measure_gate(tech: &Technology, fan_in: usize, fan_out: usize, style: PdnStyle) -> Result<GatePoint> {
+    let params = DynamicOrParams::new(fan_in, fan_out, style);
+    let figures = DynamicOrGate::build(tech, &params).characterize(tech)?;
+    Ok(GatePoint { fan_in, fan_out, style, figures })
+}
+
+/// Figure 10: 8-input OR, fan-out 1–5, both styles.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig10(tech: &Technology) -> Result<Vec<GatePoint>> {
+    let mut points = Vec::new();
+    for fan_out in 1..=5 {
+        for style in [PdnStyle::Cmos, PdnStyle::HybridNems] {
+            points.push(measure_gate(tech, 8, fan_out, style)?);
+        }
+    }
+    Ok(points)
+}
+
+/// Renders Figure 10 with the paper's normalization: power to the hybrid
+/// FO1 power, delay to the CMOS FO1 delay.
+pub fn render_fig10(points: &[GatePoint]) -> String {
+    let p_ref = points
+        .iter()
+        .find(|p| p.style == PdnStyle::HybridNems && p.fan_out == 1)
+        .map(|p| p.figures.switching_power)
+        .unwrap_or(1.0);
+    let d_ref = points
+        .iter()
+        .find(|p| p.style == PdnStyle::Cmos && p.fan_out == 1)
+        .map(|p| p.figures.delay)
+        .unwrap_or(1.0);
+    let mut t = Table::new(vec!["fan-out", "style", "P_switch (norm)", "delay (norm)", "P_leak"]);
+    for p in points {
+        t.row(vec![
+            p.fan_out.to_string(),
+            style_label(p.style).to_string(),
+            format!("{:.3}", p.figures.switching_power / p_ref),
+            format!("{:.3}", p.figures.delay / d_ref),
+            fmt_eng(p.figures.leakage_power, "W"),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 11: fan-in 4–16 at fan-out 3, both styles.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig11(tech: &Technology) -> Result<Vec<GatePoint>> {
+    let mut points = Vec::new();
+    for fan_in in [4usize, 8, 12, 16] {
+        for style in [PdnStyle::Cmos, PdnStyle::HybridNems] {
+            points.push(measure_gate(tech, fan_in, 3, style)?);
+        }
+    }
+    Ok(points)
+}
+
+/// Renders Figure 11, normalized to the hybrid fan-in-4 point.
+pub fn render_fig11(points: &[GatePoint]) -> String {
+    let reference = points
+        .iter()
+        .find(|p| p.style == PdnStyle::HybridNems && p.fan_in == 4)
+        .map(|p| p.figures)
+        .expect("hybrid fan-in-4 point present");
+    let mut t = Table::new(vec!["fan-in", "style", "P_switch (norm)", "delay (norm)"]);
+    for p in points {
+        t.row(vec![
+            p.fan_in.to_string(),
+            style_label(p.style).to_string(),
+            format!("{:.3}", p.figures.switching_power / reference.switching_power),
+            format!("{:.3}", p.figures.delay / reference.delay),
+        ]);
+    }
+    t.render()
+}
+
+/// One Figure 12 series: the measured gate point and its `(α, P·D)` sweep.
+pub type PdpSeries = (GatePoint, Vec<(f64, f64)>);
+
+/// Figure 12: power-delay product (Equation 1) versus activity factor for
+/// output loads C_L = 1 and C_L = 3 (fan-outs 1 and 3).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig12(tech: &Technology) -> Result<Vec<PdpSeries>> {
+    let mut out = Vec::new();
+    for fan_out in [1usize, 3] {
+        for style in [PdnStyle::Cmos, PdnStyle::HybridNems] {
+            let point = measure_gate(tech, 8, fan_out, style)?;
+            let sweep = point.figures.pdp_sweep(11);
+            out.push((point, sweep));
+        }
+    }
+    Ok(out)
+}
+
+/// Renders Figure 12.
+pub fn render_fig12(data: &[PdpSeries]) -> String {
+    let mut t = Table::new(vec!["C_L", "style", "alpha", "P·D (J)"]);
+    for (p, sweep) in data {
+        for &(alpha, pd) in sweep {
+            t.row(vec![
+                p.fan_out.to_string(),
+                style_label(p.style).to_string(),
+                format!("{alpha:.1}"),
+                format!("{pd:.3e}"),
+            ]);
+        }
+    }
+    t.render()
+}
+
+/// Short display label of a PDN style.
+pub fn style_label(style: PdnStyle) -> &'static str {
+    match style {
+        PdnStyle::Cmos => "CMOS",
+        PdnStyle::HybridNems => "Hybrid",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_gate_measurement_is_sane() {
+        let tech = Technology::n90();
+        let p = measure_gate(&tech, 4, 1, PdnStyle::Cmos).unwrap();
+        assert!(p.figures.delay > 0.0);
+        assert!(p.figures.switching_power > p.figures.leakage_power);
+    }
+
+    #[test]
+    fn fig09_monte_carlo_statistics_are_sane() {
+        let tech = Technology::n90();
+        let s = fig09_monte_carlo(&tech, 1.0, 0.10, 12, 42).unwrap();
+        assert_eq!(s.count, 12);
+        // The mean MC noise margin sits near the nominal value and the
+        // worst draw is below the mean (variation only hurts).
+        assert!(s.mean > 0.15 && s.mean < 0.6, "mean NM = {}", s.mean);
+        assert!(s.min < s.mean);
+        assert!(s.std_dev > 0.0, "per-device draws must spread the NM");
+        // Determinism.
+        let s2 = fig09_monte_carlo(&tech, 1.0, 0.10, 12, 42).unwrap();
+        assert_eq!(s.mean, s2.mean);
+    }
+
+    #[test]
+    fn fig09_scaled_down_runs() {
+        let tech = Technology::n90();
+        let curves = fig09_with(&tech, &[0.10], &[0.5, 2.0]).unwrap();
+        assert_eq!(curves.len(), 1);
+        assert_eq!(curves[0].points.len(), 2);
+        // Bigger keeper → better noise margin, more delay.
+        let (a, b) = (curves[0].points[0], curves[0].points[1]);
+        assert!(b.noise_margin >= a.noise_margin);
+        assert!(b.delay_norm >= a.delay_norm);
+        assert!(!render_fig09(&curves).is_empty());
+    }
+}

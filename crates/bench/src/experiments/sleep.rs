@@ -1,0 +1,100 @@
+//! Sleep-transistor experiments: Figure 17 plus the gated-block study.
+
+use nemscmos::sleep::{
+    characterize_block, sleep_device_figures, GatedBlock, SleepDeviceFigures, SleepStyle,
+};
+use nemscmos::tech::Technology;
+use nemscmos_analysis::table::{fmt_eng, Table};
+use nemscmos_analysis::Result;
+
+/// Figure 17: R_ON and I_OFF of CMOS and NEMS sleep devices over a width
+/// sweep (areas normalized to the W/L = 5 reference).
+pub fn fig17(tech: &Technology) -> Vec<(SleepDeviceFigures, SleepDeviceFigures)> {
+    let widths = [0.45, 0.9, 1.8, 3.6, 7.2, 14.4];
+    widths
+        .iter()
+        .map(|&w| {
+            (
+                sleep_device_figures(tech, SleepStyle::CmosFooter, w),
+                sleep_device_figures(tech, SleepStyle::NemsFooter, w),
+            )
+        })
+        .collect()
+}
+
+/// Renders Figure 17.
+pub fn render_fig17(rows: &[(SleepDeviceFigures, SleepDeviceFigures)]) -> String {
+    let mut t = Table::new(vec![
+        "area (norm)",
+        "R_on CMOS",
+        "R_on NEMS",
+        "I_off CMOS",
+        "I_off NEMS",
+        "I_off ratio",
+    ]);
+    for (cmos, nems) in rows {
+        t.row(vec![
+            format!("{:.1}", cmos.area_norm),
+            fmt_eng(cmos.r_on_ohms, "Ω"),
+            fmt_eng(nems.r_on_ohms, "Ω"),
+            fmt_eng(cmos.i_off, "A"),
+            fmt_eng(nems.i_off, "A"),
+            format!("{:.0}x", cmos.i_off / nems.i_off),
+        ]);
+    }
+    t.render()
+}
+
+/// The circuit-level companion experiment: a power-gated inverter chain
+/// with CMOS vs (sized-up) NEMS footers.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn gated_block_study(tech: &Technology) -> Result<String> {
+    let mut t = Table::new(vec![
+        "sleep switch",
+        "W (µm)",
+        "delay penalty",
+        "sleep leak",
+        "leak reduction",
+    ]);
+    for (label, nems, width) in [
+        ("CMOS footer", false, 2.0),
+        ("NEMS footer", true, 2.0),
+        ("NEMS footer (sized up)", true, 8.0),
+    ] {
+        let fig = characterize_block(tech, &GatedBlock::coarse_footer(4, nems, width))?;
+        t.row(vec![
+            label.to_string(),
+            format!("{width:.1}"),
+            format!("{:+.1}%", fig.delay_penalty() * 100.0),
+            fmt_eng(fig.sleep_leakage, "W"),
+            format!("{:.0}x", fig.leakage_reduction()),
+        ]);
+    }
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig17_ron_gap_closes_with_area() {
+        let tech = Technology::n90();
+        let rows = fig17(&tech);
+        // The paper's observation: the NEMS I_OFF advantage holds at every
+        // size (≈3 decades), while the absolute R_on difference shrinks as
+        // the devices get wider.
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        let gap_first = first.1.r_on_ohms - first.0.r_on_ohms;
+        let gap_last = last.1.r_on_ohms - last.0.r_on_ohms;
+        assert!(gap_last < gap_first / 10.0, "absolute R_on gap must shrink");
+        for (cmos, nems) in &rows {
+            assert!(cmos.i_off / nems.i_off > 100.0);
+        }
+        assert!(render_fig17(&rows).contains("ratio"));
+    }
+}

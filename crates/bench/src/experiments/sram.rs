@@ -1,0 +1,150 @@
+//! SRAM experiments: Figures 14 and 15.
+
+use nemscmos::sram::{
+    butterfly_curves, read_latency, standby_leakage, ReadMode, SramKind, SramParams, ZeroSide,
+};
+use nemscmos::tech::Technology;
+use nemscmos_analysis::table::{fmt_eng, Table};
+use nemscmos_analysis::Result;
+
+/// A sampled VTC as `(v_in, v_out)` points.
+pub type CurvePoints = Vec<(f64, f64)>;
+
+/// Figure 14 data for one cell architecture.
+#[derive(Debug, Clone)]
+pub struct Fig14Row {
+    /// Architecture.
+    pub kind: SramKind,
+    /// Read static noise margin (V).
+    pub snm: f64,
+    /// The two lobes (V).
+    pub lobes: (f64, f64),
+    /// The traced butterfly curves (for plotting): left and right VTC
+    /// sample points.
+    pub curves: (CurvePoints, CurvePoints),
+}
+
+/// Figure 14: butterfly curves and read SNM of all four architectures.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig14(tech: &Technology) -> Result<Vec<Fig14Row>> {
+    let mut rows = Vec::new();
+    for kind in SramKind::all() {
+        let params = SramParams::new(kind);
+        let b = butterfly_curves(tech, &params, ReadMode::Read)?;
+        rows.push(Fig14Row {
+            kind,
+            snm: b.snm.snm(),
+            lobes: (b.snm.lobe_high, b.snm.lobe_low),
+            curves: (b.vtc_left.points().to_vec(), b.vtc_right.points().to_vec()),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders Figure 14 (SNM summary; the curves are available in the data).
+pub fn render_fig14(rows: &[Fig14Row]) -> String {
+    let conv = rows
+        .iter()
+        .find(|r| r.kind == SramKind::Conventional)
+        .map(|r| r.snm)
+        .unwrap_or(1.0);
+    let mut t = Table::new(vec!["cell", "SNM (mV)", "lobe hi (mV)", "lobe lo (mV)", "vs Conv."]);
+    for r in rows {
+        t.row(vec![
+            r.kind.label().to_string(),
+            format!("{:.1}", r.snm * 1e3),
+            format!("{:.1}", r.lobes.0 * 1e3),
+            format!("{:.1}", r.lobes.1 * 1e3),
+            format!("{:+.1}%", (r.snm / conv - 1.0) * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+/// Figure 15 data for one cell architecture.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig15Row {
+    /// Architecture.
+    pub kind: SramKind,
+    /// Read latency, averaged over both stored states (s).
+    pub read_latency: f64,
+    /// Standby leakage current, averaged over both stored states (A).
+    pub standby_current: f64,
+}
+
+/// Figure 15: read latency and standby leakage of all four architectures
+/// (state-averaged, as the paper does for the asymmetric cell).
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn fig15(tech: &Technology) -> Result<Vec<Fig15Row>> {
+    let mut rows = Vec::new();
+    for kind in SramKind::all() {
+        let params = SramParams::new(kind);
+        let lat_l = read_latency(tech, &params, ZeroSide::Left)?;
+        let lat_r = read_latency(tech, &params, ZeroSide::Right)?;
+        let leak_l = standby_leakage(tech, &params, ZeroSide::Left)?;
+        let leak_r = standby_leakage(tech, &params, ZeroSide::Right)?;
+        rows.push(Fig15Row {
+            kind,
+            read_latency: 0.5 * (lat_l + lat_r),
+            standby_current: 0.5 * (leak_l + leak_r),
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders Figure 15 normalized to the conventional cell (paper style).
+pub fn render_fig15(rows: &[Fig15Row]) -> String {
+    let conv = rows
+        .iter()
+        .find(|r| r.kind == SramKind::Conventional)
+        .copied()
+        .expect("conventional row present");
+    let mut t = Table::new(vec![
+        "cell",
+        "read latency",
+        "latency (norm)",
+        "standby leak",
+        "leak (norm)",
+    ]);
+    for r in rows {
+        t.row(vec![
+            r.kind.label().to_string(),
+            fmt_eng(r.read_latency, "s"),
+            format!("{:.3}", r.read_latency / conv.read_latency),
+            fmt_eng(r.standby_current, "A"),
+            format!("{:.3}", r.standby_current / conv.standby_current),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig15_shapes_match_paper() {
+        let tech = Technology::n90();
+        let rows = fig15(&tech).unwrap();
+        let get = |k: SramKind| rows.iter().find(|r| r.kind == k).copied().unwrap();
+        let conv = get(SramKind::Conventional);
+        let hybrid = get(SramKind::Hybrid);
+        // Hybrid: markedly lower leakage, moderately higher latency.
+        assert!(hybrid.standby_current < conv.standby_current / 3.0);
+        assert!(hybrid.read_latency > conv.read_latency);
+        assert!(hybrid.read_latency < 2.0 * conv.read_latency);
+        // Every low-leakage cell pays some latency.
+        for r in &rows {
+            if r.kind != SramKind::Conventional {
+                assert!(r.read_latency >= conv.read_latency * 0.99, "{:?}", r.kind);
+            }
+        }
+        assert!(render_fig15(&rows).contains("Hybrid"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Leakage–temperature coupling study.
+//!
+//! The paper's introduction (citing its ref. \[5\]) motivates NEMS precisely
+//! because "most leakage mechanisms are strongly temperature dependent.
+//! This strong coupling between temperature and leakage can cause further
+//! increase in total power dissipation." This experiment quantifies the
+//! coupling on our circuits and runs the self-consistent
+//! junction-temperature iteration of \[5\]: `T = T_amb + R_th · P(T)` —
+//! CMOS leakage feeds back into temperature and can run away; the hybrid
+//! gate's mechanical leakage floor does not.
+
+use nemscmos::gates::{DynamicOrGate, DynamicOrParams, PdnStyle};
+use nemscmos::tech::Technology;
+use nemscmos_analysis::table::{fmt_eng, Table};
+use nemscmos_analysis::Result;
+
+/// Leakage of one 8-input OR core (W) for both styles at `kelvin`.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn gate_leakage_at(tech: &Technology, kelvin: f64, style: PdnStyle) -> Result<f64> {
+    let hot = tech.at_temperature(kelvin);
+    let params = DynamicOrParams::new(8, 1, style);
+    Ok(DynamicOrGate::build(&hot, &params).characterize(&hot)?.leakage_power)
+}
+
+/// Renders the leakage-vs-temperature table for the two gate styles.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn leakage_vs_temperature(tech: &Technology) -> Result<String> {
+    let mut t = Table::new(vec!["T (K)", "CMOS P_leak", "hybrid P_leak", "ratio"]);
+    for kelvin in [300.0, 325.0, 350.0, 375.0, 400.0] {
+        let cmos = gate_leakage_at(tech, kelvin, PdnStyle::Cmos)?;
+        let hybrid = gate_leakage_at(tech, kelvin, PdnStyle::HybridNems)?;
+        t.row(vec![
+            format!("{kelvin:.0}"),
+            fmt_eng(cmos, "W"),
+            fmt_eng(hybrid, "W"),
+            format!("{:.0}x", cmos / hybrid),
+        ]);
+    }
+    Ok(t.render())
+}
+
+/// Outcome of the self-consistent junction-temperature iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThermalOutcome {
+    /// Converged to a stable junction temperature (K).
+    Stable(f64),
+    /// Thermal runaway: temperature exceeded the ceiling before converging.
+    Runaway,
+}
+
+/// Self-consistent junction temperature of a block of `gates` OR gates
+/// dissipating `p_dynamic` watts of activity power behind a thermal
+/// resistance `r_th` (K/W): iterates `T ← T_amb + R_th·(P_dyn +
+/// gates·P_leak(T))` until it converges or passes 500 K.
+///
+/// # Errors
+///
+/// Propagates simulation failures from the per-temperature leakage
+/// evaluations.
+pub fn junction_temperature(
+    tech: &Technology,
+    style: PdnStyle,
+    gates: f64,
+    p_dynamic: f64,
+    r_th: f64,
+    t_amb: f64,
+) -> Result<ThermalOutcome> {
+    let mut t = t_amb;
+    for _ in 0..60 {
+        let p_leak = gates * gate_leakage_at(tech, t, style)?;
+        let t_new = t_amb + r_th * (p_dynamic + p_leak);
+        if t_new > 500.0 {
+            return Ok(ThermalOutcome::Runaway);
+        }
+        if (t_new - t).abs() < 0.05 {
+            return Ok(ThermalOutcome::Stable(t_new));
+        }
+        // Damped update keeps the iteration stable near the knee.
+        t = 0.5 * t + 0.5 * t_new;
+    }
+    Ok(ThermalOutcome::Stable(t))
+}
+
+/// Renders the runaway comparison: the same thermal environment where the
+/// CMOS block's leakage feedback diverges and the hybrid block settles.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn runaway_study(tech: &Technology) -> Result<String> {
+    let mut t = Table::new(vec!["R_th·gates", "CMOS", "hybrid"]);
+    let gates = 50_000.0;
+    let p_dynamic = 0.4; // W of activity power shared by the block
+    for r_th in [50.0, 100.0, 150.0, 200.0] {
+        let fmt = |o: ThermalOutcome| match o {
+            ThermalOutcome::Stable(tj) => format!("stable at {tj:.0} K"),
+            ThermalOutcome::Runaway => "RUNAWAY".to_string(),
+        };
+        let cmos = junction_temperature(tech, PdnStyle::Cmos, gates, p_dynamic, r_th, 300.0)?;
+        let hybrid = junction_temperature(tech, PdnStyle::HybridNems, gates, p_dynamic, r_th, 300.0)?;
+        t.row(vec![format!("{r_th:.0} K/W"), fmt(cmos), fmt(hybrid)]);
+    }
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmos_leakage_grows_steeply_with_temperature() {
+        let tech = Technology::n90();
+        let cold = gate_leakage_at(&tech, 300.0, PdnStyle::Cmos).unwrap();
+        let hot = gate_leakage_at(&tech, 400.0, PdnStyle::Cmos).unwrap();
+        assert!(hot > 10.0 * cold, "100 K should cost >10x leakage: {cold:.3e} -> {hot:.3e}");
+    }
+
+    #[test]
+    fn hybrid_leakage_is_nearly_flat() {
+        let tech = Technology::n90();
+        let cold = gate_leakage_at(&tech, 300.0, PdnStyle::HybridNems).unwrap();
+        let hot = gate_leakage_at(&tech, 400.0, PdnStyle::HybridNems).unwrap();
+        // The beam-up floor dominates; only the (tiny) channel terms heat.
+        assert!(hot < 5.0 * cold, "hybrid should stay near its mechanical floor");
+    }
+
+    #[test]
+    fn hybrid_survives_where_cmos_runs_away() {
+        let tech = Technology::n90();
+        // Find an R_th where CMOS diverges.
+        let mut found = false;
+        for r_th in [100.0, 200.0, 400.0, 800.0] {
+            let cmos =
+                junction_temperature(&tech, PdnStyle::Cmos, 50_000.0, 0.4, r_th, 300.0).unwrap();
+            if cmos == ThermalOutcome::Runaway {
+                let hybrid =
+                    junction_temperature(&tech, PdnStyle::HybridNems, 50_000.0, 0.4, r_th, 300.0)
+                        .unwrap();
+                assert!(
+                    matches!(hybrid, ThermalOutcome::Stable(_)),
+                    "hybrid must stay stable at R_th = {r_th}"
+                );
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "expected a runaway corner for CMOS in the swept range");
+    }
+}

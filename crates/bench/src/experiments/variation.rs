@@ -1,0 +1,220 @@
+//! Statistical variation studies: SRAM SNM distributions / yield under
+//! per-device mismatch, and five-corner sweeps of the headline circuits.
+//!
+//! The paper treats variation through the keeper study (Figure 9); these
+//! experiments extend the same σ_Vth machinery to the SRAM cells — the
+//! question a memory designer asks first — and to systematic corners.
+
+use nemscmos::devices::corners::Corner;
+use nemscmos::gates::{ring_oscillator_frequency, DynamicOrGate, DynamicOrParams, PdnStyle};
+use nemscmos::sram::{butterfly_curves, ReadMode, SramKind, SramParams};
+use nemscmos::tech::Technology;
+use nemscmos_analysis::montecarlo::{monte_carlo, Normal};
+use nemscmos_analysis::table::{fmt_eng, Table};
+use nemscmos_analysis::Result;
+use nemscmos_numeric::stats::{quantile, Summary};
+
+/// Monte Carlo read-SNM distribution of one cell architecture.
+#[derive(Debug, Clone)]
+pub struct SnmDistribution {
+    /// Architecture.
+    pub kind: SramKind,
+    /// Summary statistics of the sampled SNMs (V).
+    pub summary: Summary,
+    /// 1st-percentile SNM (V) — the yield-setting tail.
+    pub p1: f64,
+    /// Fraction of samples below `fail_threshold`.
+    pub fail_fraction: f64,
+}
+
+/// Samples the read SNM of `kind` under per-device `N(0, σ_vth)` mismatch
+/// (six independent draws per cell; NEMS roles also move their pull-in
+/// voltage by the draw). Deterministic in `seed`; trials run in parallel.
+///
+/// # Errors
+///
+/// Propagates simulation failures from any trial.
+pub fn sram_snm_distribution(
+    tech: &Technology,
+    kind: SramKind,
+    sigma_vth: f64,
+    fail_threshold: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<SnmDistribution> {
+    let samples = monte_carlo(trials, seed, |rng, _| {
+        let dist = Normal::new(0.0, sigma_vth);
+        let mut shifts = [0.0; 6];
+        for s in &mut shifts {
+            *s = dist.sample(rng);
+        }
+        let params = SramParams::new(kind).with_vth_shifts(shifts);
+        Ok(butterfly_curves(tech, &params, ReadMode::Read)?.snm.snm())
+    })?;
+    let summary = Summary::of(&samples)
+        .map_err(|e| nemscmos_analysis::AnalysisError::InvalidInput(e.to_string()))?;
+    let p1 = quantile(&samples, 0.01)
+        .map_err(|e| nemscmos_analysis::AnalysisError::InvalidInput(e.to_string()))?;
+    let fails = samples.iter().filter(|&&s| s < fail_threshold).count();
+    Ok(SnmDistribution {
+        kind,
+        summary,
+        p1,
+        fail_fraction: fails as f64 / samples.len() as f64,
+    })
+}
+
+/// Pelgrom-law variant of [`sram_snm_distribution`]: each of the six
+/// devices draws from `N(0, A_vt/√(W·L))` with its own width, so wide
+/// pull-downs match better than the minimum-size access transistors.
+///
+/// # Errors
+///
+/// Propagates simulation failures from any trial.
+pub fn sram_snm_distribution_pelgrom(
+    tech: &Technology,
+    kind: SramKind,
+    fail_threshold: f64,
+    trials: usize,
+    seed: u64,
+) -> Result<SnmDistribution> {
+    use nemscmos::devices::mismatch::sigma_vth_90nm;
+    let base = SramParams::new(kind);
+    // Role order: [PL, NL, PR, NR, AL, AR].
+    let widths = [
+        base.pu_width,
+        base.pd_width,
+        base.pu_width,
+        base.pd_width,
+        base.acc_width,
+        base.acc_width,
+    ];
+    let samples = monte_carlo(trials, seed, |rng, _| {
+        let mut shifts = [0.0; 6];
+        for (s, &w) in shifts.iter_mut().zip(widths.iter()) {
+            *s = Normal::new(0.0, sigma_vth_90nm(w)).sample(rng);
+        }
+        let params = base.with_vth_shifts(shifts);
+        Ok(butterfly_curves(tech, &params, ReadMode::Read)?.snm.snm())
+    })?;
+    let summary = Summary::of(&samples)
+        .map_err(|e| nemscmos_analysis::AnalysisError::InvalidInput(e.to_string()))?;
+    let p1 = quantile(&samples, 0.01)
+        .map_err(|e| nemscmos_analysis::AnalysisError::InvalidInput(e.to_string()))?;
+    let fails = samples.iter().filter(|&&s| s < fail_threshold).count();
+    Ok(SnmDistribution {
+        kind,
+        summary,
+        p1,
+        fail_fraction: fails as f64 / samples.len() as f64,
+    })
+}
+
+/// Renders the SNM-distribution comparison across architectures.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn render_sram_mc(tech: &Technology, sigma_vth: f64, trials: usize) -> Result<String> {
+    use nemscmos_numeric::stats::gaussian_yield_above;
+    let mut t = Table::new(vec![
+        "cell",
+        "SNM mean",
+        "SNM sigma",
+        "p1",
+        "fails <100mV",
+        "1Mb yield @150mV*",
+    ]);
+    for kind in SramKind::all() {
+        let d = sram_snm_distribution(tech, kind, sigma_vth, 0.1, trials, 90_07)?;
+        // Gaussian projection of per-cell pass probability (SNM >= 150 mV)
+        // to a 1 Mb array (all cells must pass) — the standard tail
+        // extrapolation.
+        let cell_pass = gaussian_yield_above(d.summary.mean, d.summary.std_dev.max(1e-6), 0.15);
+        let array_yield = cell_pass.powf(1_048_576.0);
+        t.row(vec![
+            kind.label().to_string(),
+            format!("{:.1} mV", d.summary.mean * 1e3),
+            format!("{:.1} mV", d.summary.std_dev * 1e3),
+            format!("{:.1} mV", d.p1 * 1e3),
+            format!("{:.1}%", d.fail_fraction * 100.0),
+            format!("{:.1}%", array_yield * 100.0),
+        ]);
+    }
+    Ok(t.render())
+}
+
+/// Five-corner sweep of the 8-input OR gates and the ring-oscillator
+/// monitor.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn render_corner_sweep(tech: &Technology) -> Result<String> {
+    let mut t = Table::new(vec![
+        "corner",
+        "ring f0",
+        "CMOS OR delay",
+        "CMOS OR leak",
+        "hybrid OR delay",
+        "hybrid OR leak",
+    ]);
+    for corner in Corner::all() {
+        let tc = tech.at_corner(corner);
+        let ring = ring_oscillator_frequency(&tc, 5)?;
+        let cmos =
+            DynamicOrGate::build(&tc, &DynamicOrParams::new(8, 1, PdnStyle::Cmos)).characterize(&tc)?;
+        let hybrid = DynamicOrGate::build(&tc, &DynamicOrParams::new(8, 1, PdnStyle::HybridNems))
+            .characterize(&tc)?;
+        t.row(vec![
+            corner.label().to_string(),
+            format!("{:.2} GHz", ring.frequency / 1e9),
+            fmt_eng(cmos.delay, "s"),
+            fmt_eng(cmos.leakage_power, "W"),
+            fmt_eng(hybrid.delay, "s"),
+            fmt_eng(hybrid.leakage_power, "W"),
+        ]);
+    }
+    Ok(t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mismatch_spreads_the_snm() {
+        let tech = Technology::n90();
+        let d = sram_snm_distribution(&tech, SramKind::Conventional, 0.03, 0.1, 16, 7).unwrap();
+        assert_eq!(d.summary.count, 16);
+        assert!(d.summary.std_dev > 1e-3, "σ_SNM = {:.4}", d.summary.std_dev);
+        assert!(d.p1 <= d.summary.mean);
+        // Nominal-ish mean.
+        assert!((d.summary.mean - 0.285).abs() < 0.08, "mean = {:.3}", d.summary.mean);
+    }
+
+    #[test]
+    fn mc_is_deterministic_in_seed() {
+        let tech = Technology::n90();
+        let a = sram_snm_distribution(&tech, SramKind::Hybrid, 0.03, 0.1, 8, 3).unwrap();
+        let b = sram_snm_distribution(&tech, SramKind::Hybrid, 0.03, 0.1, 8, 3).unwrap();
+        assert_eq!(a.summary.mean, b.summary.mean);
+    }
+
+    #[test]
+    fn pelgrom_mc_runs_and_access_mismatch_dominates() {
+        let tech = Technology::n90();
+        let d = sram_snm_distribution_pelgrom(&tech, SramKind::Conventional, 0.1, 16, 11).unwrap();
+        assert_eq!(d.summary.count, 16);
+        assert!(d.summary.std_dev > 1e-3);
+    }
+
+    #[test]
+    fn corner_sweep_renders_all_five() {
+        let tech = Technology::n90();
+        let table = render_corner_sweep(&tech).unwrap();
+        for c in ["TT", "FF", "SS", "FS", "SF"] {
+            assert!(table.contains(c), "missing corner {c}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The standard device factory: makes the calibrated 90 nm model cards
+//! available to SPICE netlists parsed by `nemscmos_spice::netlist`.
+
+use std::collections::HashMap;
+
+use nemscmos_devices::mosfet::Mosfet;
+use nemscmos_devices::nemfet::Nemfet;
+use nemscmos_spice::device::Device;
+use nemscmos_spice::element::NodeId;
+use nemscmos_spice::netlist::DeviceFactory;
+
+use crate::tech::Technology;
+
+/// Resolves netlist device models against a [`Technology`].
+///
+/// Recognized model names (case-insensitive):
+///
+/// | Model | Device |
+/// |---|---|
+/// | `nmos90` / `pmos90` | low-V_t 90 nm MOSFETs |
+/// | `nmos90hvt` / `pmos90hvt` | high-V_t variants |
+/// | `nems90n` / `nems90p` | NEMS switches |
+///
+/// Cards use three terminals (`drain gate source`) and accept `W=<width>`
+/// in metres (SPICE convention: `W=2u` is 2 µm). Unlike the
+/// [`Technology::add_nmos`]-style helpers, the factory does **not** attach
+/// implicit parasitic capacitors — netlists state their parasitics
+/// explicitly, as SPICE decks do.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos::factory::StandardFactory;
+/// use nemscmos::spice::netlist::parse_deck;
+///
+/// # fn main() -> Result<(), nemscmos::spice::SpiceError> {
+/// let deck = "\
+/// VDD vdd 0 DC 1.2
+/// VIN g 0 DC 1.2
+/// M1 d g 0 nmos90 W=2u
+/// R1 vdd d 10k
+/// C1 d 0 1f
+/// .op
+/// ";
+/// let parsed = parse_deck(deck, &StandardFactory::n90())?;
+/// assert_eq!(parsed.directives.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct StandardFactory {
+    tech: Technology,
+}
+
+impl StandardFactory {
+    /// A factory over the given technology.
+    pub fn new(tech: Technology) -> StandardFactory {
+        StandardFactory { tech }
+    }
+
+    /// A factory over the default 90 nm technology.
+    pub fn n90() -> StandardFactory {
+        StandardFactory::new(Technology::n90())
+    }
+
+    /// The underlying technology.
+    pub fn tech(&self) -> &Technology {
+        &self.tech
+    }
+}
+
+impl DeviceFactory for StandardFactory {
+    fn make(
+        &self,
+        name: &str,
+        model: &str,
+        nodes: &[NodeId],
+        params: &HashMap<String, f64>,
+    ) -> Option<Box<dyn Device>> {
+        if nodes.len() != 3 {
+            return None;
+        }
+        let (d, g, s) = (nodes[0], nodes[1], nodes[2]);
+        // SPICE widths are metres; the models take µm.
+        let width_um = params.get("W").map_or(1.0, |w| w * 1e6);
+        if !(width_um.is_finite() && width_um > 0.0) {
+            return None;
+        }
+        match model.to_ascii_lowercase().as_str() {
+            "nmos90" => Some(Box::new(Mosfet::new(name, self.tech.nmos.clone(), d, g, s, width_um))),
+            "pmos90" => Some(Box::new(Mosfet::new(name, self.tech.pmos.clone(), d, g, s, width_um))),
+            "nmos90hvt" => {
+                Some(Box::new(Mosfet::new(name, self.tech.nmos_hvt.clone(), d, g, s, width_um)))
+            }
+            "pmos90hvt" => {
+                Some(Box::new(Mosfet::new(name, self.tech.pmos_hvt.clone(), d, g, s, width_um)))
+            }
+            "nems90n" => Some(Box::new(Nemfet::new(name, self.tech.nems_n.clone(), d, g, s, width_um))),
+            "nems90p" => Some(Box::new(Nemfet::new(name, self.tech.nems_p.clone(), d, g, s, width_um))),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemscmos_spice::analysis::op::op;
+    use nemscmos_spice::netlist::parse_deck;
+
+    #[test]
+    fn cmos_inverter_deck_runs() {
+        let deck = "\
+VDD vdd 0 DC 1.2
+VIN in 0 DC 0
+M1 out in vdd pmos90 W=2u
+M2 out in 0 nmos90 W=1u
+C1 out 0 1f
+.op
+";
+        let parsed = parse_deck(deck, &StandardFactory::n90()).unwrap();
+        let mut ckt = parsed.circuit;
+        let res = op(&mut ckt).unwrap();
+        assert!(res.voltage(parsed.nodes["out"]) > 1.15);
+    }
+
+    #[test]
+    fn nems_switch_deck_runs() {
+        let deck = "\
+VDD vdd 0 DC 1.2
+VG g 0 DC 1.2
+X1 d g 0 nems90n W=2u
+R1 vdd d 10k
+C1 d 0 1f
+.op
+";
+        let parsed = parse_deck(deck, &StandardFactory::n90()).unwrap();
+        let mut ckt = parsed.circuit;
+        let res = op(&mut ckt).unwrap();
+        // Pulled in and conducting: drain near ground.
+        assert!(res.voltage(parsed.nodes["d"]) < 0.15);
+    }
+
+    #[test]
+    fn default_width_is_one_micron() {
+        let f = StandardFactory::n90();
+        let dev = f.make("M1", "nmos90", &[NodeId::GROUND, NodeId::GROUND, NodeId::GROUND], &HashMap::new());
+        assert!(dev.is_some());
+    }
+
+    #[test]
+    fn unknown_model_and_bad_terminals_rejected() {
+        let f = StandardFactory::n90();
+        assert!(f
+            .make("M1", "bsim4", &[NodeId::GROUND; 3], &HashMap::new())
+            .is_none());
+        assert!(f
+            .make("M1", "nmos90", &[NodeId::GROUND; 4], &HashMap::new())
+            .is_none());
+    }
+}

@@ -1,0 +1,515 @@
+//! Wide fan-in dynamic OR gates (Figure 8) and their characterization.
+//!
+//! The conventional gate (Fig. 8(a)) is a domino OR: clocked PMOS
+//! precharge, parallel NMOS pull-down network (PDN), clocked NMOS foot,
+//! PMOS keeper cross-coupled from the output inverter. The hybrid gate
+//! (Fig. 8(b)) inserts an N-type NEMS switch in series with each pull-down
+//! branch: the PDN's subthreshold leakage collapses to the NEMS
+//! beam-up leakage (pA), so the keeper can shrink to minimum size and the
+//! keeper-contention power disappears.
+
+use nemscmos_analysis::measure::{propagation_delay, Edge};
+use nemscmos_analysis::noise_margin::max_passing_level;
+use nemscmos_analysis::pdp::GateFigures;
+use nemscmos_analysis::power::{leakage_power, supply_energy};
+use nemscmos_analysis::Result;
+use nemscmos_spice::analysis::op::op;
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::element::{NodeId, SourceRef};
+use nemscmos_spice::waveform::Waveform;
+
+use crate::tech::Technology;
+
+/// Pull-down network style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PdnStyle {
+    /// Conventional all-CMOS pull-down (Fig. 8(a)).
+    Cmos,
+    /// NEMS switch in series with each pull-down branch (Fig. 8(b)).
+    HybridNems,
+}
+
+/// How the keeper PMOS is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeeperStyle {
+    /// Gate tied to ground: the keeper is always on and fights the
+    /// pull-down for the whole evaluation (the conventional weak keeper
+    /// whose contention the paper attributes the CMOS gate's switching
+    /// power to).
+    AlwaysOn,
+    /// Gate driven by the output inverter: contention stops once the gate
+    /// evaluates (the conditional-keeper ablation).
+    Feedback,
+}
+
+/// Parameters of a dynamic OR gate instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicOrParams {
+    /// Number of OR inputs.
+    pub fan_in: usize,
+    /// Number of inverter loads on the output.
+    pub fan_out: usize,
+    /// Pull-down style.
+    pub style: PdnStyle,
+    /// Width of each input NMOS (µm).
+    pub input_width: f64,
+    /// Width of each series NEMS switch (µm, hybrid only). Upsized 1.5×
+    /// to partially offset the 330 vs 1110 µA/µm drive gap.
+    pub nems_width: f64,
+    /// Width of the clocked foot NMOS (µm).
+    pub foot_width: f64,
+    /// Width of the precharge PMOS (µm).
+    pub precharge_width: f64,
+    /// Keeper PMOS width (µm); `None` auto-sizes via [`keeper_width_for`].
+    pub keeper_width: Option<f64>,
+    /// Keeper drive style.
+    pub keeper_style: KeeperStyle,
+    /// Process-variation level `σ_Vth/µ_Vth` assumed when auto-sizing the
+    /// keeper (the paper's Figure 9 parameter).
+    pub sigma_vth_frac: f64,
+    /// Clock period (s); precharge occupies the first quarter, evaluation
+    /// the middle half.
+    pub period: f64,
+    /// Per-branch V_th shifts applied to the PDN NMOS devices (process
+    /// variation draws); empty = nominal.
+    pub pdn_vth_shifts: Vec<f64>,
+}
+
+impl DynamicOrParams {
+    /// Defaults for an OR gate of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in` is zero.
+    pub fn new(fan_in: usize, fan_out: usize, style: PdnStyle) -> DynamicOrParams {
+        assert!(fan_in > 0, "fan-in must be at least 1");
+        DynamicOrParams {
+            fan_in,
+            fan_out,
+            style,
+            input_width: 2.0,
+            nems_width: 3.0,
+            foot_width: 4.0,
+            precharge_width: 3.0,
+            keeper_width: None,
+            keeper_style: KeeperStyle::AlwaysOn,
+            sigma_vth_frac: 0.10,
+            period: 4e-9,
+            pdn_vth_shifts: Vec::new(),
+        }
+    }
+
+    /// The keeper width this instance will use (explicit or auto-sized).
+    pub fn resolved_keeper_width(&self, tech: &Technology) -> f64 {
+        self.keeper_width.unwrap_or_else(|| {
+            keeper_width_for(tech, self.style, self.fan_in, self.input_width, self.nems_width, self.sigma_vth_frac)
+        })
+    }
+}
+
+/// Sizes the keeper so it can hold the dynamic node against the
+/// worst-case pull-down leakage at an input noise level of `0.215 V_dd`
+/// (allowing only a `0.1 V_dd` droop) with every PDN threshold skewed low
+/// by `3σ` — the aggressive wide-fan-in criterion of the paper's keeper
+/// study \[24\].
+///
+/// For the CMOS PDN the leakage is subthreshold conduction at the noise
+/// level; for the hybrid PDN it is the NEMS beam-up leakage (the noise
+/// level is far below pull-in), which is orders of magnitude smaller —
+/// the keeper collapses to minimum width, eliminating contention.
+pub fn keeper_width_for(
+    tech: &Technology,
+    style: PdnStyle,
+    fan_in: usize,
+    input_width: f64,
+    nems_width: f64,
+    sigma_vth_frac: f64,
+) -> f64 {
+    let vn = 0.215 * tech.vdd;
+    let droop = 0.1 * tech.vdd;
+    let i_pdn = match style {
+        PdnStyle::Cmos => {
+            let worst = tech.nmos.with_vth_shift(-3.0 * sigma_vth_frac * tech.nmos.vth);
+            let (i, ..) = worst.ids(vn, tech.vdd, 0.0, input_width);
+            fan_in as f64 * i
+        }
+        PdnStyle::HybridNems => {
+            // Below pull-in the branch current is the beam-up leakage.
+            fan_in as f64 * nems_width * tech.nems_n.g_off_per_um * tech.vdd
+        }
+    };
+    // Keeper current per µm at the allowed droop (gate at 0: fully on).
+    let (ik, ..) = tech.pmos.ids(0.0, tech.vdd - droop, tech.vdd, 1.0);
+    // Evaluability cap: the keeper's saturated fight current must stay
+    // below ~72% of the (stack-degraded) single-path pull-down strength,
+    // or the gate can never discharge its dynamic node. Wide fan-in CMOS
+    // gates hit this wall — exactly the limitation motivating the hybrid.
+    let (ion_n, ..) = tech.nmos.ids(tech.vdd, tech.vdd, 0.0, input_width);
+    let (ion_p_per_um, ..) = tech.pmos.ids(0.0, 0.0, tech.vdd, 1.0);
+    let w_cap = 0.9 * 0.8 * ion_n / ion_p_per_um.abs();
+    (i_pdn / ik.abs()).min(w_cap).max(tech.w_min)
+}
+
+/// A constructed dynamic OR gate ready for simulation.
+#[derive(Debug)]
+pub struct BuiltGate {
+    /// The netlist.
+    pub circuit: Circuit,
+    /// Core supply (precharge, keeper, pull-down network). Leakage is
+    /// measured on this rail alone — the paper's "almost zero leakage"
+    /// claim concerns the dynamic gate, not its static buffer.
+    pub vdd_src: SourceRef,
+    /// Buffer/load supply (output inverter and fan-out loads).
+    pub vdd_buf_src: SourceRef,
+    /// Clock source.
+    pub clk_src: SourceRef,
+    /// The dynamic (precharged) node.
+    pub dyn_node: NodeId,
+    /// The buffered output node.
+    pub out_node: NodeId,
+    /// The switching input node (worst-case single path).
+    pub in_node: NodeId,
+    /// Time at which the evaluated input rises (s).
+    pub t_input_rise: f64,
+    /// Full clock period (s).
+    pub period: f64,
+}
+
+/// Builder entry points for the two gate styles.
+#[derive(Debug, Clone, Copy)]
+pub struct DynamicOrGate;
+
+impl DynamicOrGate {
+    /// Builds the gate with the worst-case evaluation stimulus: clock
+    /// rises at `period/4`, exactly one input rises shortly after, the
+    /// rest stay low.
+    pub fn build(tech: &Technology, params: &DynamicOrParams) -> BuiltGate {
+        Self::build_with_inputs(tech, params, InputStimulus::WorstCaseEvaluate)
+    }
+
+    /// Builds the gate with all inputs tied to a DC noise level
+    /// (noise-margin probing: the gate must *not* evaluate).
+    ///
+    /// The clock is parked high and the dynamic node is released from a
+    /// precharged initial condition — probing the evaluation phase
+    /// directly avoids the precharge-phase DC ambiguity of hysteretic
+    /// switches with floating sources (a genuine relaxation-oscillator
+    /// configuration with no DC solution).
+    pub fn build_noise_probe(tech: &Technology, params: &DynamicOrParams, vn: f64) -> BuiltGate {
+        let mut built = Self::build_with_inputs(tech, params, InputStimulus::DcNoise(vn));
+        built.circuit.set_ic(built.dyn_node, tech.vdd);
+        // Rails and clock start at their driven levels (the probe runs
+        // `use_ic_only`, so every node needs a sensible t = 0 value).
+        for rail in ["vdd", "vdd_buf", "clk"] {
+            if let Some(n) = built.circuit.find_node(rail) {
+                built.circuit.set_ic(n, tech.vdd);
+            }
+        }
+        built
+    }
+
+    fn build_with_inputs(
+        tech: &Technology,
+        params: &DynamicOrParams,
+        stimulus: InputStimulus,
+    ) -> BuiltGate {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vdd_buf = ckt.node("vdd_buf");
+        let clk = ckt.node("clk");
+        let dyn_node = ckt.node("dyn");
+        let out = ckt.node("out");
+        let foot = ckt.node("foot");
+
+        let vdd_src = ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+        let vdd_buf_src = ckt.vsource(vdd_buf, Circuit::GROUND, Waveform::dc(tech.vdd));
+        let t_clk_rise = params.period / 4.0;
+        let t_eval_end = 3.0 * params.period / 4.0;
+        let edge = 30e-12;
+        let clk_wave = match stimulus {
+            InputStimulus::WorstCaseEvaluate => Waveform::pulse(
+                0.0,
+                tech.vdd,
+                t_clk_rise,
+                edge,
+                edge,
+                t_eval_end - t_clk_rise - edge,
+                10.0 * params.period, // single evaluation per run
+            ),
+            // Noise probing evaluates continuously.
+            InputStimulus::DcNoise(_) => Waveform::dc(tech.vdd),
+        };
+        let clk_src = ckt.vsource(clk, Circuit::GROUND, clk_wave);
+        let t_input_rise = t_clk_rise + 100e-12;
+
+        // Precharge PMOS and keeper.
+        tech.add_pmos(&mut ckt, "mprech", dyn_node, clk, vdd, params.precharge_width);
+        let wk = params.resolved_keeper_width(tech);
+        let keeper_gate = match params.keeper_style {
+            KeeperStyle::AlwaysOn => Circuit::GROUND,
+            KeeperStyle::Feedback => out,
+        };
+        tech.add_pmos(&mut ckt, "mkeep", dyn_node, keeper_gate, vdd, wk);
+
+        // Output inverter (the domino buffer) and loads, on their own rail.
+        tech.add_inverter(&mut ckt, "buf", vdd_buf, dyn_node, out, 2.0, 1.0);
+        for k in 0..params.fan_out {
+            tech.add_inverter_load(&mut ckt, &format!("load{k}"), vdd_buf, out);
+        }
+
+        // Pull-down network.
+        let mut in_node = Circuit::GROUND;
+        for i in 0..params.fan_in {
+            let input = ckt.node(&format!("in{i}"));
+            if i == 0 {
+                in_node = input;
+            }
+            let wave = match stimulus {
+                InputStimulus::WorstCaseEvaluate => {
+                    if i == 0 {
+                        Waveform::step(0.0, tech.vdd, t_input_rise, edge)
+                    } else {
+                        Waveform::dc(0.0)
+                    }
+                }
+                InputStimulus::DcNoise(vn) => Waveform::dc(vn),
+            };
+            ckt.vsource(input, Circuit::GROUND, wave);
+            let shift = params.pdn_vth_shifts.get(i).copied().unwrap_or(0.0);
+            let nmodel = if shift == 0.0 { tech.nmos.clone() } else { tech.nmos.with_vth_shift(shift) };
+            match params.style {
+                PdnStyle::Cmos => {
+                    tech.add_mos(
+                        &mut ckt,
+                        &format!("mn{i}"),
+                        &nmodel,
+                        dyn_node,
+                        input,
+                        foot,
+                        params.input_width,
+                    );
+                }
+                PdnStyle::HybridNems => {
+                    let mid = ckt.node(&format!("mid{i}"));
+                    tech.add_mos(
+                        &mut ckt,
+                        &format!("mn{i}"),
+                        &nmodel,
+                        dyn_node,
+                        input,
+                        mid,
+                        params.input_width,
+                    );
+                    tech.add_nems_n(&mut ckt, &format!("xn{i}"), mid, input, foot, params.nems_width);
+                }
+            }
+        }
+        // Clocked foot.
+        tech.add_nmos(&mut ckt, "mfoot", foot, clk, Circuit::GROUND, params.foot_width);
+
+        BuiltGate {
+            circuit: ckt,
+            vdd_src,
+            vdd_buf_src,
+            clk_src,
+            dyn_node,
+            out_node: out,
+            in_node,
+            t_input_rise,
+            period: params.period,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum InputStimulus {
+    WorstCaseEvaluate,
+    DcNoise(f64),
+}
+
+impl BuiltGate {
+    /// Runs one evaluation cycle and extracts the paper's three figures of
+    /// merit: worst-case delay (switching input 50% → output 50%),
+    /// switching power (supply energy over the cycle divided by the
+    /// period), and leakage power (DC, parked in precharge).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures and missing output transitions
+    /// (e.g. a keeper so strong the gate cannot evaluate).
+    pub fn characterize(&mut self, tech: &Technology) -> Result<GateFigures> {
+        let opts = TranOptions { dt_max: Some(self.period / 400.0), ..Default::default() };
+        let res = transient(&mut self.circuit, self.period, &opts)?;
+        let vin = res.voltage(self.in_node);
+        let vout = res.voltage(self.out_node);
+        let delay = propagation_delay(
+            &vin,
+            Edge::Rising,
+            &vout,
+            Edge::Rising,
+            tech.vdd / 2.0,
+            self.t_input_rise - 50e-12,
+        )?;
+        let energy = supply_energy(&res, self.vdd_src, tech.vdd, 0.0, self.period)
+            + supply_energy(&res, self.vdd_buf_src, tech.vdd, 0.0, self.period);
+        let switching_power = energy / self.period;
+        // Leakage: DC with the clock at its t = 0 (precharge) level, on
+        // the dynamic core rail only (the buffer is common to both styles).
+        let op_res = op(&mut self.circuit)?;
+        let leak = leakage_power(&op_res, self.vdd_src, tech.vdd);
+        Ok(GateFigures { leakage_power: leak, switching_power, delay })
+    }
+
+    /// Returns `true` if the gate held its output low (did not falsely
+    /// evaluate) through one clock period of continuous evaluation — the
+    /// pass criterion of the noise-margin search. Starts from the
+    /// registered initial conditions (precharged dynamic node).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn holds_output_low(&mut self, tech: &Technology) -> Result<bool> {
+        let opts = TranOptions {
+            dt_max: Some(self.period / 400.0),
+            use_ic_only: true,
+            ..Default::default()
+        };
+        let res = transient(&mut self.circuit, self.period, &opts)?;
+        let vout = res.voltage(self.out_node);
+        Ok(vout.max_value() < tech.vdd / 2.0)
+    }
+}
+
+/// Measures the input noise margin of a gate configuration: the largest
+/// DC level applied to *all* inputs that does not flip the evaluated
+/// output (Figure 9's X axis).
+///
+/// # Errors
+///
+/// Propagates simulation failures from the probing transients.
+pub fn input_noise_margin(tech: &Technology, params: &DynamicOrParams) -> Result<f64> {
+    max_passing_level(
+        |vn| DynamicOrGate::build_noise_probe(tech, params, vn).holds_output_low(tech),
+        0.0,
+        tech.vdd,
+        2e-3,
+    )
+}
+
+/// Worst-case (3σ-low V_th on every PDN branch) variant of the parameters,
+/// used for the deterministic corner of Figure 9.
+pub fn with_worst_case_vth(params: &DynamicOrParams, tech: &Technology) -> DynamicOrParams {
+    let shift = -3.0 * params.sigma_vth_frac * tech.nmos.vth;
+    DynamicOrParams { pdn_vth_shifts: vec![shift; params.fan_in], ..params.clone() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::n90()
+    }
+
+    #[test]
+    fn cmos_gate_evaluates_and_has_ps_delay() {
+        let t = tech();
+        let params = DynamicOrParams::new(8, 1, PdnStyle::Cmos);
+        let fig = DynamicOrGate::build(&t, &params).characterize(&t).unwrap();
+        assert!(fig.delay > 1e-12 && fig.delay < 1e-9, "delay = {:.3e}", fig.delay);
+        assert!(fig.switching_power > 0.0);
+        assert!(fig.leakage_power > 0.0);
+    }
+
+    #[test]
+    fn hybrid_gate_evaluates() {
+        let t = tech();
+        let params = DynamicOrParams::new(8, 1, PdnStyle::HybridNems);
+        let fig = DynamicOrGate::build(&t, &params).characterize(&t).unwrap();
+        assert!(fig.delay > 1e-12 && fig.delay < 1e-9, "delay = {:.3e}", fig.delay);
+    }
+
+    #[test]
+    fn hybrid_keeper_collapses_to_minimum() {
+        let t = tech();
+        let wk_cmos = keeper_width_for(&t, PdnStyle::Cmos, 8, 1.0, 2.0, 0.10);
+        let wk_hybrid = keeper_width_for(&t, PdnStyle::HybridNems, 8, 1.0, 2.0, 0.10);
+        assert_eq!(wk_hybrid, t.w_min);
+        assert!(wk_cmos > 2.0 * wk_hybrid, "CMOS keeper {wk_cmos:.3} vs hybrid {wk_hybrid:.3}");
+    }
+
+    #[test]
+    fn keeper_grows_with_fan_in_and_variation() {
+        let t = tech();
+        let w8 = keeper_width_for(&t, PdnStyle::Cmos, 8, 1.0, 2.0, 0.10);
+        let w16 = keeper_width_for(&t, PdnStyle::Cmos, 16, 1.0, 2.0, 0.10);
+        let w8hi = keeper_width_for(&t, PdnStyle::Cmos, 8, 1.0, 2.0, 0.15);
+        assert!(w16 > w8);
+        assert!(w8hi > w8);
+    }
+
+    #[test]
+    fn hybrid_leaks_orders_of_magnitude_less() {
+        let t = tech();
+        let cmos = DynamicOrGate::build(&t, &DynamicOrParams::new(8, 1, PdnStyle::Cmos))
+            .characterize(&t)
+            .unwrap();
+        let hybrid = DynamicOrGate::build(&t, &DynamicOrParams::new(8, 1, PdnStyle::HybridNems))
+            .characterize(&t)
+            .unwrap();
+        assert!(
+            hybrid.leakage_power < cmos.leakage_power / 10.0,
+            "hybrid {:.3e} vs cmos {:.3e}",
+            hybrid.leakage_power,
+            cmos.leakage_power
+        );
+    }
+
+    #[test]
+    fn hybrid_switching_power_is_lower() {
+        let t = tech();
+        let cmos = DynamicOrGate::build(&t, &DynamicOrParams::new(8, 3, PdnStyle::Cmos))
+            .characterize(&t)
+            .unwrap();
+        let hybrid = DynamicOrGate::build(&t, &DynamicOrParams::new(8, 3, PdnStyle::HybridNems))
+            .characterize(&t)
+            .unwrap();
+        assert!(
+            hybrid.switching_power < cmos.switching_power,
+            "hybrid {:.3e} vs cmos {:.3e}",
+            hybrid.switching_power,
+            cmos.switching_power
+        );
+    }
+
+    #[test]
+    fn hybrid_noise_margin_exceeds_cmos() {
+        let t = tech();
+        let nm_cmos = input_noise_margin(&t, &DynamicOrParams::new(4, 1, PdnStyle::Cmos)).unwrap();
+        let nm_hybrid =
+            input_noise_margin(&t, &DynamicOrParams::new(4, 1, PdnStyle::HybridNems)).unwrap();
+        assert!(
+            nm_hybrid > nm_cmos,
+            "hybrid NM {nm_hybrid:.3} should beat CMOS NM {nm_cmos:.3}"
+        );
+        // The hybrid gate is protected up to roughly the pull-in voltage.
+        assert!(nm_hybrid > 0.4, "NM = {nm_hybrid:.3}");
+    }
+
+    #[test]
+    fn worst_case_vth_reduces_noise_margin() {
+        let t = tech();
+        let nominal = DynamicOrParams::new(4, 1, PdnStyle::Cmos);
+        let worst = with_worst_case_vth(&nominal, &t);
+        let nm_nom = input_noise_margin(&t, &nominal).unwrap();
+        let nm_worst = input_noise_margin(&t, &worst).unwrap();
+        assert!(nm_worst < nm_nom, "worst {nm_worst:.3} vs nominal {nm_nom:.3}");
+    }
+
+    #[test]
+    #[should_panic(expected = "fan-in")]
+    fn zero_fan_in_rejected() {
+        let _ = DynamicOrParams::new(0, 1, PdnStyle::Cmos);
+    }
+}

@@ -1,0 +1,12 @@
+//! Dynamic (domino) gate architectures: conventional CMOS and the
+//! proposed hybrid NEMS-CMOS style (Section 4 of the paper).
+
+mod dynamic_or;
+mod static_gates;
+
+pub use static_gates::{add_nand2, add_nor2, ring_oscillator_frequency};
+
+pub use dynamic_or::{
+    input_noise_margin, keeper_width_for, with_worst_case_vth, BuiltGate, DynamicOrGate,
+    DynamicOrParams, KeeperStyle, PdnStyle,
+};

@@ -1,0 +1,157 @@
+//! Static CMOS gates (NAND2/NOR2) and the ring-oscillator process
+//! monitor built from them.
+
+use nemscmos_analysis::oscillation::{measure_frequency, FrequencyMeasure};
+use nemscmos_analysis::Result;
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::element::NodeId;
+use nemscmos_spice::waveform::Waveform;
+
+use crate::tech::Technology;
+
+/// Adds a 2-input static NAND between `a`, `b` and `out`.
+///
+/// Series NMOS pull-down (b-input device at the bottom), parallel PMOS
+/// pull-up; widths follow the usual series-stack upsizing.
+pub fn add_nand2(
+    tech: &Technology,
+    ckt: &mut Circuit,
+    name: &str,
+    vdd: NodeId,
+    a: NodeId,
+    b: NodeId,
+    out: NodeId,
+) {
+    let mid = ckt.node(&format!("{name}.mid"));
+    tech.add_pmos(ckt, &format!("{name}.pa"), out, a, vdd, 2.0);
+    tech.add_pmos(ckt, &format!("{name}.pb"), out, b, vdd, 2.0);
+    tech.add_nmos(ckt, &format!("{name}.na"), out, a, mid, 2.0);
+    tech.add_nmos(ckt, &format!("{name}.nb"), mid, b, Circuit::GROUND, 2.0);
+}
+
+/// Adds a 2-input static NOR between `a`, `b` and `out`.
+pub fn add_nor2(
+    tech: &Technology,
+    ckt: &mut Circuit,
+    name: &str,
+    vdd: NodeId,
+    a: NodeId,
+    b: NodeId,
+    out: NodeId,
+) {
+    let mid = ckt.node(&format!("{name}.mid"));
+    tech.add_pmos(ckt, &format!("{name}.pa"), mid, a, vdd, 4.0);
+    tech.add_pmos(ckt, &format!("{name}.pb"), out, b, mid, 4.0);
+    tech.add_nmos(ckt, &format!("{name}.na"), out, a, Circuit::GROUND, 1.0);
+    tech.add_nmos(ckt, &format!("{name}.nb"), out, b, Circuit::GROUND, 1.0);
+}
+
+/// Builds and runs an N-stage inverter ring oscillator, returning its
+/// measured frequency statistics — the classic silicon process monitor.
+///
+/// # Errors
+///
+/// Propagates simulation failures and
+/// [`nemscmos_analysis::AnalysisError::MissingCrossing`] if the ring does
+/// not oscillate.
+///
+/// # Panics
+///
+/// Panics if `stages` is even or below 3 (an even ring latches).
+pub fn ring_oscillator_frequency(tech: &Technology, stages: usize) -> Result<FrequencyMeasure> {
+    assert!(stages >= 3 && stages % 2 == 1, "ring needs an odd stage count >= 3");
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+    let nodes: Vec<_> = (0..stages).map(|k| ckt.node(&format!("n{k}"))).collect();
+    for k in 0..stages {
+        tech.add_inverter(&mut ckt, &format!("inv{k}"), vdd, nodes[k], nodes[(k + 1) % stages], 2.0, 1.0);
+    }
+    // Kick the ring off its metastable point.
+    ckt.set_ic(nodes[0], tech.vdd);
+    ckt.set_ic(nodes[1], 0.0);
+    let opts = TranOptions { dt_max: Some(5e-12), ..Default::default() };
+    let res = transient(&mut ckt, 4e-9, &opts)?;
+    // Skip the first nanosecond of startup.
+    measure_frequency(&res.voltage(nodes[0]), tech.vdd / 2.0, 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemscmos_devices::corners::Corner;
+    use nemscmos_spice::analysis::op::op;
+
+    fn truth_table(build: impl Fn(&Technology, &mut Circuit, NodeId, NodeId, NodeId, NodeId)) -> Vec<(u8, u8, bool)> {
+        let tech = Technology::n90();
+        let mut rows = Vec::new();
+        for (va, vb) in [(0u8, 0u8), (0, 1), (1, 0), (1, 1)] {
+            let mut ckt = Circuit::new();
+            let vdd = ckt.node("vdd");
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            let out = ckt.node("out");
+            ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+            ckt.vsource(a, Circuit::GROUND, Waveform::dc(va as f64 * tech.vdd));
+            ckt.vsource(b, Circuit::GROUND, Waveform::dc(vb as f64 * tech.vdd));
+            build(&tech, &mut ckt, vdd, a, b, out);
+            let res = op(&mut ckt).unwrap();
+            rows.push((va, vb, res.voltage(out) > tech.vdd / 2.0));
+        }
+        rows
+    }
+
+    #[test]
+    fn nand2_truth_table() {
+        let rows = truth_table(|t, c, vdd, a, b, out| add_nand2(t, c, "g", vdd, a, b, out));
+        for (a, b, q) in rows {
+            assert_eq!(q, !(a == 1 && b == 1), "NAND({a},{b}) = {q}");
+        }
+    }
+
+    #[test]
+    fn nor2_truth_table() {
+        let rows = truth_table(|t, c, vdd, a, b, out| add_nor2(t, c, "g", vdd, a, b, out));
+        for (a, b, q) in rows {
+            assert_eq!(q, a == 0 && b == 0, "NOR({a},{b}) = {q}");
+        }
+    }
+
+    #[test]
+    fn ring_oscillator_runs_in_the_gigahertz() {
+        let tech = Technology::n90();
+        let m = ring_oscillator_frequency(&tech, 5).unwrap();
+        assert!(m.frequency > 1e9 && m.frequency < 100e9, "f = {:.3e}", m.frequency);
+        assert!(m.cycles >= 3);
+        assert!(m.period_jitter < 0.1 * m.period, "steady-state ring should be clean");
+    }
+
+    #[test]
+    fn corner_ordering_shows_in_ring_frequency() {
+        let tech = Technology::n90();
+        let f = |c: Corner| ring_oscillator_frequency(&tech.at_corner(c), 5).unwrap().frequency;
+        let tt = f(Corner::Tt);
+        let ff = f(Corner::Ff);
+        let ss = f(Corner::Ss);
+        assert!(ff > tt, "FF {ff:.3e} should beat TT {tt:.3e}");
+        assert!(ss < tt, "SS {ss:.3e} should trail TT {tt:.3e}");
+    }
+
+    #[test]
+    fn longer_ring_is_slower() {
+        let tech = Technology::n90();
+        let f5 = ring_oscillator_frequency(&tech, 5).unwrap().frequency;
+        let f9 = ring_oscillator_frequency(&tech, 9).unwrap().frequency;
+        assert!(f9 < f5);
+        // Roughly inversely proportional to stage count.
+        let ratio = f5 / f9;
+        assert!((1.2..2.8).contains(&ratio), "ratio {ratio:.2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "odd stage count")]
+    fn even_ring_rejected() {
+        let _ = ring_oscillator_frequency(&Technology::n90(), 4);
+    }
+}

@@ -1,0 +1,51 @@
+//! Hybrid NEMS-CMOS circuit library — a reproduction of
+//! *"Design and Analysis of Hybrid NEMS-CMOS Circuits for Ultra Low-Power
+//! Applications"* (Dadgour & Banerjee, DAC 2007).
+//!
+//! The paper proposes integrating near-zero-leakage nano-electro-mechanical
+//! switches (suspended-gate NEMFETs) with 90 nm CMOS, and evaluates three
+//! circuit applications. This crate implements all three on top of the
+//! workspace's from-scratch SPICE engine and calibrated device models:
+//!
+//! * [`gates`] — wide fan-in **dynamic (domino) OR gates**, conventional
+//!   CMOS-keeper style and the proposed hybrid style with NEMS devices in
+//!   series with the pull-down network (Figures 8–12).
+//! * [`sram`] — the four **SRAM cells** of Figure 13 (conventional 6T,
+//!   dual-V_t, asymmetric, hybrid NEMS-CMOS) with standby-leakage,
+//!   butterfly/SNM and read-latency experiments (Figures 14–15).
+//! * [`sleep`] — **sleep transistors** (header/footer, CMOS vs NEMS) and
+//!   power-gated logic blocks (Figures 16–17).
+//! * [`tech`] — the 90 nm [`Technology`](tech::Technology) bundle tying
+//!   the calibrated model cards to circuit construction.
+//!
+//! Re-exports make the whole stack reachable from this one crate.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use nemscmos::tech::Technology;
+//! use nemscmos::gates::{DynamicOrGate, DynamicOrParams, PdnStyle};
+//!
+//! # fn main() -> Result<(), nemscmos::analysis::AnalysisError> {
+//! let tech = Technology::n90();
+//! // An 8-input hybrid NEMS-CMOS domino OR gate with fan-out 1.
+//! let params = DynamicOrParams::new(8, 1, PdnStyle::HybridNems);
+//! let figures = DynamicOrGate::build(&tech, &params).characterize(&tech)?;
+//! assert!(figures.delay > 0.0);
+//! assert!(figures.leakage_power < 1e-9); // near-zero leakage pull-down
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod factory;
+pub mod gates;
+pub mod prelude;
+pub mod sleep;
+pub mod sram;
+pub mod tech;
+
+pub use nemscmos_analysis as analysis;
+pub use nemscmos_devices as devices;
+pub use nemscmos_mems as mems;
+pub use nemscmos_numeric as numeric;
+pub use nemscmos_spice as spice;

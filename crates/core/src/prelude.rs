@@ -1,0 +1,25 @@
+//! One-stop imports for the common workflow:
+//!
+//! ```
+//! use nemscmos::prelude::*;
+//!
+//! # fn main() -> Result<(), nemscmos::analysis::AnalysisError> {
+//! let tech = Technology::n90();
+//! let gate = DynamicOrParams::new(4, 1, PdnStyle::HybridNems);
+//! let figures = DynamicOrGate::build(&tech, &gate).characterize(&tech)?;
+//! assert!(figures.delay > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use crate::factory::StandardFactory;
+pub use crate::gates::{
+    DynamicOrGate, DynamicOrParams, KeeperStyle, PdnStyle,
+};
+pub use crate::sleep::{GatedBlock, SleepStyle};
+pub use crate::sram::{SramCell, SramKind, SramParams, ZeroSide};
+pub use crate::tech::Technology;
+pub use nemscmos_analysis::pdp::GateFigures;
+pub use nemscmos_spice::analysis::{op, transient, TranOptions};
+pub use nemscmos_spice::circuit::Circuit;
+pub use nemscmos_spice::waveform::Waveform;

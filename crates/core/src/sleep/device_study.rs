@@ -1,0 +1,161 @@
+//! Device-level sleep-transistor comparison (Figure 17): ON resistance
+//! and OFF current versus device area for CMOS and NEMS switches.
+
+use crate::tech::Technology;
+
+/// Sleep-switch implementation style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SleepStyle {
+    /// NMOS footer between the circuit and real ground (Fig. 16(b)).
+    CmosFooter,
+    /// PMOS header between V_dd and the circuit (Fig. 16(a)).
+    CmosHeader,
+    /// N-type NEMS footer.
+    NemsFooter,
+    /// P-type NEMS header.
+    NemsHeader,
+}
+
+impl SleepStyle {
+    /// The label used in the Figure 17 table.
+    pub fn label(self) -> &'static str {
+        match self {
+            SleepStyle::CmosFooter => "CMOS footer",
+            SleepStyle::CmosHeader => "CMOS header",
+            SleepStyle::NemsFooter => "NEMS footer",
+            SleepStyle::NemsHeader => "NEMS header",
+        }
+    }
+}
+
+/// Figure-of-merit pair of one sized sleep device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SleepDeviceFigures {
+    /// Device width (µm).
+    pub width_um: f64,
+    /// Area normalized to a W/L = 5 CMOS device at 90 nm (the paper's
+    /// Figure 17 normalization).
+    pub area_norm: f64,
+    /// ON resistance at a 5% V_dd drop (Ω).
+    pub r_on_ohms: f64,
+    /// OFF-state leakage at full V_dd across the switch (A).
+    pub i_off: f64,
+}
+
+/// Width of the W/L = 5 reference device at L = 90 nm (µm).
+const REFERENCE_WIDTH_UM: f64 = 5.0 * 0.09;
+
+/// Evaluates the ON resistance and OFF current of a sleep device directly
+/// from the calibrated model cards.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos::sleep::{sleep_device_figures, SleepStyle};
+/// use nemscmos::tech::Technology;
+///
+/// let tech = Technology::n90();
+/// let cmos = sleep_device_figures(&tech, SleepStyle::CmosFooter, 2.0);
+/// let nems = sleep_device_figures(&tech, SleepStyle::NemsFooter, 2.0);
+/// assert!(nems.i_off < cmos.i_off / 100.0); // the Figure 17 story
+/// ```
+///
+/// # Panics
+///
+/// Panics if `width_um` is not strictly positive.
+pub fn sleep_device_figures(tech: &Technology, style: SleepStyle, width_um: f64) -> SleepDeviceFigures {
+    assert!(width_um > 0.0, "width must be positive");
+    let vds = 0.05 * tech.vdd;
+    let (i_on, i_off) = match style {
+        SleepStyle::CmosFooter => {
+            let (on, ..) = tech.nmos.ids(tech.vdd, vds, 0.0, width_um);
+            let (off, ..) = tech.nmos.ids(0.0, tech.vdd, 0.0, width_um);
+            (on.abs(), off.abs())
+        }
+        SleepStyle::CmosHeader => {
+            let (on, ..) = tech.pmos.ids(0.0, tech.vdd - vds, tech.vdd, width_um);
+            let (off, ..) = tech.pmos.ids(tech.vdd, 0.0, tech.vdd, width_um);
+            (on.abs(), off.abs())
+        }
+        SleepStyle::NemsFooter => {
+            let (on, ..) = tech.nems_n.contact.ids(tech.vdd, vds, 0.0, width_um);
+            (on.abs(), tech.nems_n.g_off_per_um * width_um * tech.vdd)
+        }
+        SleepStyle::NemsHeader => {
+            let (on, ..) = tech.nems_p.contact.ids(0.0, tech.vdd - vds, tech.vdd, width_um);
+            (on.abs(), tech.nems_p.g_off_per_um * width_um * tech.vdd)
+        }
+    };
+    SleepDeviceFigures {
+        width_um,
+        area_norm: width_um / REFERENCE_WIDTH_UM,
+        r_on_ohms: vds / i_on,
+        i_off,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::n90()
+    }
+
+    #[test]
+    fn nems_leaks_about_three_decades_less() {
+        let t = tech();
+        let w = 1.0;
+        let cmos = sleep_device_figures(&t, SleepStyle::CmosFooter, w);
+        let nems = sleep_device_figures(&t, SleepStyle::NemsFooter, w);
+        let ratio = cmos.i_off / nems.i_off;
+        assert!(
+            (100.0..100_000.0).contains(&ratio),
+            "expected ~3 decades, got {ratio:.1}x"
+        );
+    }
+
+    #[test]
+    fn nems_has_higher_on_resistance_at_equal_area() {
+        let t = tech();
+        let cmos = sleep_device_figures(&t, SleepStyle::CmosFooter, 1.0);
+        let nems = sleep_device_figures(&t, SleepStyle::NemsFooter, 1.0);
+        assert!(nems.r_on_ohms > cmos.r_on_ohms);
+    }
+
+    #[test]
+    fn upsizing_nems_matches_cmos_on_resistance() {
+        // The Figure 17 argument: a wider NEMS device reaches the ON
+        // resistance of a reference CMOS switch while leaking far less.
+        let t = tech();
+        let cmos = sleep_device_figures(&t, SleepStyle::CmosFooter, 1.0);
+        let nems_big = sleep_device_figures(&t, SleepStyle::NemsFooter, 4.0);
+        assert!(nems_big.r_on_ohms <= cmos.r_on_ohms * 1.1);
+        assert!(nems_big.i_off < cmos.i_off / 100.0);
+    }
+
+    #[test]
+    fn ron_scales_inversely_with_width() {
+        let t = tech();
+        let a = sleep_device_figures(&t, SleepStyle::NemsFooter, 1.0);
+        let b = sleep_device_figures(&t, SleepStyle::NemsFooter, 2.0);
+        assert!((a.r_on_ohms / b.r_on_ohms - 2.0).abs() < 1e-6);
+        assert!((b.i_off / a.i_off - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn header_styles_mirror_footers() {
+        let t = tech();
+        let f = sleep_device_figures(&t, SleepStyle::NemsFooter, 1.0);
+        let h = sleep_device_figures(&t, SleepStyle::NemsHeader, 1.0);
+        assert!((f.i_off - h.i_off).abs() < 1e-18);
+        assert!(h.r_on_ohms > 0.0);
+    }
+
+    #[test]
+    fn area_normalization_reference() {
+        let t = tech();
+        let f = sleep_device_figures(&t, SleepStyle::CmosFooter, REFERENCE_WIDTH_UM);
+        assert!((f.area_norm - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,297 @@
+//! Power-gated logic blocks: fine- and coarse-grain sleep transistors
+//! over an inverter chain (Figure 16), with delay-degradation and
+//! sleep-leakage measurement.
+
+use nemscmos_analysis::measure::{propagation_delay, Edge};
+use nemscmos_analysis::power::leakage_power;
+use nemscmos_analysis::Result;
+use nemscmos_spice::analysis::op::op;
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::element::{NodeId, SourceRef};
+use nemscmos_spice::waveform::Waveform;
+
+use crate::tech::Technology;
+
+/// Which rail the sleep switch gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RailStyle {
+    /// NMOS/N-NEMS between the virtual ground and real ground.
+    Footer,
+    /// PMOS/P-NEMS between V_dd and the virtual supply.
+    Header,
+}
+
+/// Sleep-switch granularity (Fig. 16(c)/(d)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrainStyle {
+    /// One sleep device per gate.
+    Fine,
+    /// One shared sleep device for the whole block.
+    Coarse,
+}
+
+/// Parameters of a power-gated inverter-chain block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatedBlock {
+    /// Number of inverter stages (even, so input and output edges align).
+    pub stages: usize,
+    /// Gated rail.
+    pub rail: RailStyle,
+    /// Granularity.
+    pub grain: GrainStyle,
+    /// True for a NEMS sleep switch, false for CMOS.
+    pub nems: bool,
+    /// Total sleep-switch width (µm); fine-grain splits it evenly.
+    pub sleep_width: f64,
+}
+
+impl GatedBlock {
+    /// A coarse-grain footer block — the common microprocessor
+    /// configuration.
+    pub fn coarse_footer(stages: usize, nems: bool, sleep_width: f64) -> GatedBlock {
+        assert!(stages >= 2 && stages.is_multiple_of(2), "need an even number of stages");
+        assert!(sleep_width > 0.0, "sleep width must be positive");
+        GatedBlock { stages, rail: RailStyle::Footer, grain: GrainStyle::Fine, nems, sleep_width }
+            .with_grain(GrainStyle::Coarse)
+    }
+
+    /// Returns a copy with a different granularity.
+    pub fn with_grain(mut self, grain: GrainStyle) -> GatedBlock {
+        self.grain = grain;
+        self
+    }
+}
+
+/// Measured figures of one gated-block configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatedBlockFigures {
+    /// Input-to-output delay with the block active (s).
+    pub active_delay: f64,
+    /// Delay of the identical chain without any sleep device (s).
+    pub ungated_delay: f64,
+    /// Supply leakage with the block asleep (W).
+    pub sleep_leakage: f64,
+    /// Supply leakage of the ungated chain (W).
+    pub ungated_leakage: f64,
+}
+
+impl GatedBlockFigures {
+    /// Fractional delay penalty of the sleep switch.
+    pub fn delay_penalty(&self) -> f64 {
+        self.active_delay / self.ungated_delay - 1.0
+    }
+
+    /// Leakage reduction factor in sleep mode.
+    pub fn leakage_reduction(&self) -> f64 {
+        self.ungated_leakage / self.sleep_leakage
+    }
+}
+
+struct BuiltBlock {
+    circuit: Circuit,
+    vdd_src: SourceRef,
+    in_node: NodeId,
+    out_node: NodeId,
+    t_in_rise: f64,
+}
+
+/// `sleeping` drives the sleep input to the off state; `gated = false`
+/// builds the ungated reference chain.
+fn build_block(tech: &Technology, block: &GatedBlock, gated: bool, sleeping: bool) -> BuiltBlock {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let vin = ckt.node("in");
+    let vdd_src = ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+    let t_in_rise = 0.5e-9;
+    ckt.vsource(
+        vin,
+        Circuit::GROUND,
+        if sleeping {
+            Waveform::dc(0.0)
+        } else {
+            Waveform::step(0.0, tech.vdd, t_in_rise, 30e-12)
+        },
+    );
+    // Sleep control: ON level keeps the block connected.
+    let sleep_ctl = ckt.node("sleep_ctl");
+    let (on_level, off_level) = match block.rail {
+        RailStyle::Footer => (tech.vdd, 0.0),
+        RailStyle::Header => (0.0, tech.vdd),
+    };
+    ckt.vsource(
+        sleep_ctl,
+        Circuit::GROUND,
+        Waveform::dc(if sleeping { off_level } else { on_level }),
+    );
+
+    // Shared virtual rail for the coarse style.
+    let coarse_rail = ckt.node("vrail");
+    let num_devices = match block.grain {
+        GrainStyle::Fine => block.stages,
+        GrainStyle::Coarse => 1,
+    };
+    let per_device_width = block.sleep_width / num_devices as f64;
+
+    let add_sleep_device = |ckt: &mut Circuit, name: &str, rail_node: NodeId| match (block.rail, block.nems) {
+        (RailStyle::Footer, false) => {
+            tech.add_nmos(ckt, name, rail_node, sleep_ctl, Circuit::GROUND, per_device_width);
+        }
+        (RailStyle::Footer, true) => {
+            tech.add_nems_n(ckt, name, rail_node, sleep_ctl, Circuit::GROUND, per_device_width);
+        }
+        (RailStyle::Header, false) => {
+            tech.add_pmos(ckt, name, rail_node, sleep_ctl, vdd, per_device_width);
+        }
+        (RailStyle::Header, true) => {
+            tech.add_nems_p(ckt, name, rail_node, sleep_ctl, vdd, per_device_width);
+        }
+    };
+
+    if gated {
+        match block.grain {
+            GrainStyle::Coarse => add_sleep_device(&mut ckt, "msleep", coarse_rail),
+            GrainStyle::Fine => {
+                for k in 0..block.stages {
+                    let rail = ckt.node(&format!("vrail{k}"));
+                    add_sleep_device(&mut ckt, &format!("msleep{k}"), rail);
+                }
+            }
+        }
+    }
+
+    // The inverter chain, each stage tied to its (virtual) rails.
+    let mut prev = vin;
+    let mut out_node = vin;
+    for k in 0..block.stages {
+        let out = ckt.node(&format!("n{k}"));
+        let (pos_rail, neg_rail) = if !gated {
+            (vdd, Circuit::GROUND)
+        } else {
+            let rail = match block.grain {
+                GrainStyle::Coarse => coarse_rail,
+                GrainStyle::Fine => ckt.find_node(&format!("vrail{k}")).expect("rail exists"),
+            };
+            match block.rail {
+                RailStyle::Footer => (vdd, rail),
+                RailStyle::Header => (rail, Circuit::GROUND),
+            }
+        };
+        tech.add_pmos(&mut ckt, &format!("inv{k}.p"), out, prev, pos_rail, 2.0);
+        tech.add_mos(&mut ckt, &format!("inv{k}.n"), &tech.nmos.clone(), out, prev, neg_rail, 1.0);
+        ckt.capacitor(out, Circuit::GROUND, 1e-15);
+        prev = out;
+        out_node = out;
+    }
+
+    BuiltBlock { circuit: ckt, vdd_src, in_node: vin, out_node, t_in_rise }
+}
+
+/// Characterizes a gated block: active-mode delay versus the ungated
+/// chain, and sleep-mode leakage versus the ungated chain's leakage.
+///
+/// # Errors
+///
+/// Propagates simulation failures and missing output transitions (a
+/// starved virtual rail that cannot propagate the edge).
+pub fn characterize_block(tech: &Technology, block: &GatedBlock) -> Result<GatedBlockFigures> {
+    let opts = TranOptions { dt_max: Some(10e-12), ..Default::default() };
+    let t_stop = 5e-9;
+
+    let measure_delay = |built: &mut BuiltBlock| -> Result<f64> {
+        let res = transient(&mut built.circuit, t_stop, &opts)?;
+        let vin = res.voltage(built.in_node);
+        let vout = res.voltage(built.out_node);
+        propagation_delay(&vin, Edge::Rising, &vout, Edge::Rising, tech.vdd / 2.0, built.t_in_rise - 0.1e-9)
+    };
+
+    let mut gated_active = build_block(tech, block, true, false);
+    let active_delay = measure_delay(&mut gated_active)?;
+    let mut ungated = build_block(tech, block, false, false);
+    let ungated_delay = measure_delay(&mut ungated)?;
+
+    let mut gated_asleep = build_block(tech, block, true, true);
+    let op_res = op(&mut gated_asleep.circuit)?;
+    let sleep_leakage = leakage_power(&op_res, gated_asleep.vdd_src, tech.vdd);
+    let mut ungated_idle = build_block(tech, block, false, true);
+    let op_res = op(&mut ungated_idle.circuit)?;
+    let ungated_leakage = leakage_power(&op_res, ungated_idle.vdd_src, tech.vdd);
+
+    Ok(GatedBlockFigures { active_delay, ungated_delay, sleep_leakage, ungated_leakage })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::n90()
+    }
+
+    #[test]
+    fn cmos_footer_gates_leakage_with_small_delay_cost() {
+        let t = tech();
+        let block = GatedBlock::coarse_footer(4, false, 2.0);
+        let fig = characterize_block(&t, &block).unwrap();
+        assert!(fig.delay_penalty() >= 0.0, "penalty = {}", fig.delay_penalty());
+        assert!(fig.delay_penalty() < 0.5);
+        assert!(fig.leakage_reduction() > 2.0, "reduction = {:.1}", fig.leakage_reduction());
+    }
+
+    #[test]
+    fn nems_footer_cuts_leakage_orders_of_magnitude_more() {
+        let t = tech();
+        let cmos = characterize_block(&t, &GatedBlock::coarse_footer(4, false, 2.0)).unwrap();
+        let nems = characterize_block(&t, &GatedBlock::coarse_footer(4, true, 2.0)).unwrap();
+        assert!(
+            nems.sleep_leakage < cmos.sleep_leakage / 50.0,
+            "NEMS {:.3e} vs CMOS {:.3e}",
+            nems.sleep_leakage,
+            cmos.sleep_leakage
+        );
+    }
+
+    #[test]
+    fn sized_up_nems_has_negligible_delay_penalty() {
+        let t = tech();
+        let fig = characterize_block(&t, &GatedBlock::coarse_footer(4, true, 8.0)).unwrap();
+        assert!(
+            fig.delay_penalty() < 0.10,
+            "sized-up NEMS penalty = {:.3}",
+            fig.delay_penalty()
+        );
+    }
+
+    #[test]
+    fn header_style_works_too() {
+        let t = tech();
+        let block = GatedBlock {
+            stages: 4,
+            rail: RailStyle::Header,
+            grain: GrainStyle::Coarse,
+            nems: false,
+            sleep_width: 3.0,
+        };
+        let fig = characterize_block(&t, &block).unwrap();
+        assert!(fig.leakage_reduction() > 2.0);
+    }
+
+    #[test]
+    fn fine_grain_splits_the_width() {
+        let t = tech();
+        let coarse = GatedBlock::coarse_footer(4, false, 2.0);
+        let fine = coarse.clone().with_grain(GrainStyle::Fine);
+        let fig_c = characterize_block(&t, &coarse).unwrap();
+        let fig_f = characterize_block(&t, &fine).unwrap();
+        // Fine grain with the same total width is somewhat slower (each
+        // gate sees only its slice of the switch) but still functional.
+        assert!(fig_f.active_delay >= fig_c.active_delay * 0.9);
+        assert!(fig_f.sleep_leakage > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn odd_stage_count_rejected() {
+        let _ = GatedBlock::coarse_footer(3, false, 1.0);
+    }
+}

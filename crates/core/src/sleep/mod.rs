@@ -1,0 +1,8 @@
+//! Sleep-transistor (power-gating) structures and experiments
+//! (Section 6 of the paper).
+
+mod device_study;
+mod gated_block;
+
+pub use device_study::{sleep_device_figures, SleepDeviceFigures, SleepStyle};
+pub use gated_block::{characterize_block, GatedBlock, GatedBlockFigures, GrainStyle, RailStyle};

@@ -1,0 +1,234 @@
+//! A small SRAM array: rows × cols cells on shared word lines and bit
+//! lines, with a scripted write/read sequence — the system-level check
+//! that a cell architecture actually works as a memory, not just as an
+//! isolated latch.
+
+use nemscmos_analysis::{AnalysisError, Result};
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::element::NodeId;
+use nemscmos_spice::result::TranResult;
+use nemscmos_spice::waveform::Waveform;
+
+use super::cell::{SramCell, SramParams};
+use crate::tech::Technology;
+
+/// Edge time used by the array's control waveforms (s).
+const EDGE: f64 = 50e-12;
+
+/// An `rows × cols` SRAM array with its probe handles.
+#[derive(Debug)]
+pub struct SramArray {
+    /// The netlist.
+    pub circuit: Circuit,
+    /// Word-line nodes, one per row.
+    pub word_lines: Vec<NodeId>,
+    /// `(bl, blb)` nodes, one pair per column.
+    pub bit_lines: Vec<(NodeId, NodeId)>,
+    /// `(ql, qr)` storage nodes per `[row][col]`.
+    pub cells: Vec<Vec<(NodeId, NodeId)>>,
+    /// Parameters the array was built with.
+    pub params: SramParams,
+}
+
+/// The scripted operation sequence: one write pass over every row, then a
+/// read of `read_row`.
+#[derive(Debug, Clone)]
+pub struct ArraySequence {
+    /// Data per `[row][col]` (true = 1 stored at QL).
+    pub data: Vec<Vec<bool>>,
+    /// Row read (with bit lines at V_dd) after all writes.
+    pub read_row: usize,
+    /// Window allotted to each operation (s).
+    pub op_window: f64,
+}
+
+impl ArraySequence {
+    /// A checkerboard pattern over the array with a read of row 0.
+    pub fn checkerboard(rows: usize, cols: usize) -> ArraySequence {
+        let data = (0..rows)
+            .map(|r| (0..cols).map(|c| (r + c) % 2 == 0).collect())
+            .collect();
+        ArraySequence { data, read_row: 0, op_window: 2e-9 }
+    }
+
+    fn rows(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Total simulated time for the sequence.
+    pub fn duration(&self) -> f64 {
+        (self.rows() as f64 + 1.5) * self.op_window
+    }
+}
+
+impl SramArray {
+    /// Builds the array and wires the control waveforms implementing
+    /// `seq`: word line `r` pulses during window `r`; the bit lines carry
+    /// each row's data during its write window and sit at V_dd otherwise
+    /// (read condition); the read row's word line pulses again at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data shape is inconsistent or `read_row` is out of
+    /// range.
+    pub fn build(tech: &Technology, params: &SramParams, seq: &ArraySequence) -> SramArray {
+        let rows = seq.rows();
+        assert!(rows > 0, "array needs at least one row");
+        let cols = seq.data[0].len();
+        assert!(cols > 0, "array needs at least one column");
+        assert!(seq.data.iter().all(|r| r.len() == cols), "ragged data");
+        assert!(seq.read_row < rows, "read_row out of range");
+
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+
+        let w = seq.op_window;
+        // Word lines: pulse during the row's write window, and again for
+        // the read row during the final window.
+        let mut word_lines = Vec::new();
+        for r in 0..rows {
+            let wl = ckt.node(&format!("wl{r}"));
+            let mut pts = vec![(0.0, 0.0)];
+            let pulse = |t0: f64, pts: &mut Vec<(f64, f64)>| {
+                pts.push((t0 + 0.2 * w, 0.0));
+                pts.push((t0 + 0.2 * w + EDGE, tech.vdd));
+                pts.push((t0 + 0.8 * w, tech.vdd));
+                pts.push((t0 + 0.8 * w + EDGE, 0.0));
+            };
+            pulse(r as f64 * w, &mut pts);
+            if r == seq.read_row {
+                pulse(rows as f64 * w, &mut pts);
+            }
+            ckt.vsource(wl, Circuit::GROUND, Waveform::pwl(pts).expect("monotone WL points"));
+            word_lines.push(wl);
+        }
+
+        // Bit lines: per column, drive each row's datum during its window.
+        let mut bit_lines = Vec::new();
+        for c in 0..cols {
+            let bl = ckt.node(&format!("bl{c}"));
+            let blb = ckt.node(&format!("blb{c}"));
+            let mut pts_bl = vec![(0.0, tech.vdd)];
+            let mut pts_blb = vec![(0.0, tech.vdd)];
+            for (r, row) in seq.data.iter().enumerate() {
+                let t0 = r as f64 * w;
+                let (vbl, vblb) = if row[c] { (tech.vdd, 0.0) } else { (0.0, tech.vdd) };
+                for (pts, v) in [(&mut pts_bl, vbl), (&mut pts_blb, vblb)] {
+                    pts.push((t0 + 0.05 * w, tech.vdd));
+                    pts.push((t0 + 0.05 * w + EDGE, v));
+                    pts.push((t0 + 0.9 * w, v));
+                    pts.push((t0 + 0.9 * w + EDGE, tech.vdd));
+                }
+            }
+            ckt.vsource(bl, Circuit::GROUND, Waveform::pwl(pts_bl).expect("monotone BL points"));
+            ckt.vsource(blb, Circuit::GROUND, Waveform::pwl(pts_blb).expect("monotone BLB points"));
+            bit_lines.push((bl, blb));
+        }
+
+        // Cells.
+        let mut cells = Vec::new();
+        for (r, &wl) in word_lines.iter().enumerate() {
+            let mut row_cells = Vec::new();
+            for (c, &(bl, blb)) in bit_lines.iter().enumerate() {
+                let ql = ckt.node(&format!("q{r}_{c}"));
+                let qr = ckt.node(&format!("qb{r}_{c}"));
+                SramCell::stamp_cell(tech, params, &mut ckt, vdd, wl, bl, blb, ql, qr);
+                // Power-on state: definite (all zeros) so the t = 0
+                // operating point of a bistable sea of cells is
+                // well-posed; the scripted writes then set the real data.
+                ckt.set_ic(ql, 0.0);
+                ckt.set_ic(qr, tech.vdd);
+                row_cells.push((ql, qr));
+            }
+            cells.push(row_cells);
+        }
+        SramArray { circuit: ckt, word_lines, bit_lines, cells, params: params.clone() }
+    }
+
+    /// Runs the sequence and verifies every cell holds its written datum
+    /// at the end (true ⇒ QL high). Returns the transient result for
+    /// further probing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InvalidInput`] naming the first cell whose
+    /// final state disagrees with the written data, and propagates
+    /// simulation failures.
+    pub fn run_and_verify(&mut self, tech: &Technology, seq: &ArraySequence) -> Result<TranResult> {
+        let opts = TranOptions { dt_max: Some(20e-12), ..Default::default() };
+        let res = transient(&mut self.circuit, seq.duration(), &opts)?;
+        for (r, row) in seq.data.iter().enumerate() {
+            for (c, &bit) in row.iter().enumerate() {
+                let (ql, qr) = self.cells[r][c];
+                let vql = res.voltage(ql).last_value();
+                let vqr = res.voltage(qr).last_value();
+                let ok = if bit {
+                    vql > 0.7 * tech.vdd && vqr < 0.3 * tech.vdd
+                } else {
+                    vql < 0.3 * tech.vdd && vqr > 0.7 * tech.vdd
+                };
+                if !ok {
+                    return Err(AnalysisError::InvalidInput(format!(
+                        "cell ({r},{c}) lost its datum: wrote {}, read ql={vql:.3} qr={vqr:.3}",
+                        bit as u8
+                    )));
+                }
+            }
+        }
+        Ok(res)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sram::SramKind;
+
+    #[test]
+    fn conventional_4x2_checkerboard_survives_write_and_read() {
+        let tech = Technology::n90();
+        let params = SramParams::new(SramKind::Conventional);
+        let seq = ArraySequence::checkerboard(4, 2);
+        let mut array = SramArray::build(&tech, &params, &seq);
+        // 4x2 cells on shared lines: a few dozen coupled unknowns.
+        assert!(array.circuit.num_unknowns() > 30);
+        array.run_and_verify(&tech, &seq).expect("array sequence");
+    }
+
+    #[test]
+    fn hybrid_2x2_array_works_end_to_end() {
+        let tech = Technology::n90();
+        let params = SramParams::new(SramKind::Hybrid);
+        let seq = ArraySequence::checkerboard(2, 2);
+        let mut array = SramArray::build(&tech, &params, &seq);
+        array.run_and_verify(&tech, &seq).expect("hybrid array sequence");
+    }
+
+    #[test]
+    fn overwrite_flips_previous_data() {
+        // Write all-ones then all-zeros into the same single-row array.
+        let tech = Technology::n90();
+        let params = SramParams::new(SramKind::Conventional);
+        let seq = ArraySequence {
+            data: vec![vec![true, true]],
+            read_row: 0,
+            op_window: 2e-9,
+        };
+        let mut a1 = SramArray::build(&tech, &params, &seq);
+        a1.run_and_verify(&tech, &seq).expect("write ones");
+        let seq0 = ArraySequence { data: vec![vec![false, false]], ..seq };
+        let mut a0 = SramArray::build(&tech, &params, &seq0);
+        a0.run_and_verify(&tech, &seq0).expect("write zeros");
+    }
+
+    #[test]
+    #[should_panic(expected = "read_row")]
+    fn bad_read_row_rejected() {
+        let tech = Technology::n90();
+        let params = SramParams::new(SramKind::Conventional);
+        let seq = ArraySequence { data: vec![vec![true]], read_row: 3, op_window: 2e-9 };
+        let _ = SramArray::build(&tech, &params, &seq);
+    }
+}

@@ -1,0 +1,506 @@
+//! The four SRAM cell architectures of Figure 13.
+
+use nemscmos_devices::mosfet::MosModel;
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::element::{NodeId, SourceRef};
+use nemscmos_spice::waveform::Waveform;
+
+use crate::tech::Technology;
+
+/// SRAM cell architecture (Figure 13 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SramKind {
+    /// Conventional 6T, all low-V_t CMOS (Fig. 13(a)).
+    Conventional,
+    /// Dual-V_t cell after \[25\]: high-V_t storage inverters, low-V_t
+    /// access devices (Fig. 13(b)).
+    DualVt,
+    /// Asymmetric cell after \[26\]: the devices that leak when the cell
+    /// stores its *preferred* zero (at QL) are high-V_t (Fig. 13(c)).
+    Asymmetric,
+    /// Proposed hybrid: NEMS pull-ups and pull-downs, CMOS access
+    /// transistors (Fig. 13(d)).
+    Hybrid,
+    /// The paper's §5.3 alternative: only the PMOS pull-ups become NEMS.
+    /// PMOS devices are off during reads, so the weak NEMS drive does not
+    /// touch read latency — but the leaky CMOS pull-downs remain.
+    HybridPullupOnly,
+}
+
+impl SramKind {
+    /// The four architectures of Figure 13 in the paper's presentation
+    /// order (the §5.3 pull-up-only variant is extra and not included).
+    pub fn all() -> [SramKind; 4] {
+        [SramKind::Conventional, SramKind::DualVt, SramKind::Asymmetric, SramKind::Hybrid]
+    }
+
+    /// The label used in the paper's plots.
+    pub fn label(self) -> &'static str {
+        match self {
+            SramKind::Conventional => "Conv.",
+            SramKind::DualVt => "Dual Vt",
+            SramKind::Asymmetric => "Asym.",
+            SramKind::Hybrid => "Hybrid",
+            SramKind::HybridPullupOnly => "Hybrid-PU",
+        }
+    }
+}
+
+/// Sizing and environment parameters of an SRAM cell instance.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos::sram::{standby_leakage, SramKind, SramParams, ZeroSide};
+/// use nemscmos::tech::Technology;
+///
+/// # fn main() -> Result<(), nemscmos::analysis::AnalysisError> {
+/// let tech = Technology::n90();
+/// let leak = standby_leakage(&tech, &SramParams::new(SramKind::Hybrid), ZeroSide::Right)?;
+/// assert!(leak < 100e-9, "hybrid cell leaks tens of nA at most");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SramParams {
+    /// Architecture.
+    pub kind: SramKind,
+    /// Pull-down NMOS width (µm).
+    pub pd_width: f64,
+    /// Pull-up PMOS width (µm).
+    pub pu_width: f64,
+    /// Access NMOS width (µm).
+    pub acc_width: f64,
+    /// Width multiplier applied to the NEMS pull-ups/pull-downs of the
+    /// hybrid cell, partially offsetting the 330 vs 1110 µA/µm drive gap.
+    pub hybrid_upsize: f64,
+    /// Bitline capacitance (F).
+    pub bitline_cap: f64,
+    /// Cells sharing each bitline (their OFF access transistors leak onto
+    /// it — the effect Section 5.1 calls out for read delay).
+    pub column_cells: usize,
+    /// Per-device V_th mismatch shifts in the order
+    /// `[PL, NL, PR, NR, AL, AR]` (V). For NEMS roles the shift perturbs
+    /// both the contact-channel threshold and the beam pull-in voltage
+    /// (geometry variation moves the actuation point). Zero = nominal.
+    pub vth_shifts: [f64; 6],
+}
+
+impl SramParams {
+    /// Default 90 nm sizing (β ≈ 4 read stability for the conventional
+    /// cell).
+    pub fn new(kind: SramKind) -> SramParams {
+        SramParams {
+            kind,
+            pd_width: 2.0,
+            pu_width: 1.2,
+            acc_width: 0.5,
+            hybrid_upsize: 1.2,
+            bitline_cap: 100e-15,
+            column_cells: 256,
+            vth_shifts: [0.0; 6],
+        }
+    }
+
+    /// Returns a copy with per-device mismatch shifts
+    /// (`[PL, NL, PR, NR, AL, AR]`, volts).
+    pub fn with_vth_shifts(&self, shifts: [f64; 6]) -> SramParams {
+        SramParams { vth_shifts: shifts, ..self.clone() }
+    }
+}
+
+/// Which storage node holds the logic zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZeroSide {
+    /// QL = 0, QR = 1 (the asymmetric cell's preferred state).
+    Left,
+    /// QR = 0, QL = 1.
+    Right,
+}
+
+/// A constructed SRAM cell with its biasing sources.
+#[derive(Debug)]
+pub struct SramCell {
+    /// The netlist.
+    pub circuit: Circuit,
+    /// Cell supply.
+    pub vdd_src: SourceRef,
+    /// Word line driver.
+    pub wl_src: SourceRef,
+    /// Bit line driver (left / QL side).
+    pub bl_src: SourceRef,
+    /// Complementary bit line driver (right / QR side).
+    pub blb_src: SourceRef,
+    /// Left storage node.
+    pub ql: NodeId,
+    /// Right storage node.
+    pub qr: NodeId,
+    /// Left bit line node.
+    pub bl: NodeId,
+    /// Right bit line node.
+    pub blb: NodeId,
+    /// The instance parameters.
+    pub params: SramParams,
+}
+
+/// Per-role device choices of one architecture.
+struct CellDevices {
+    pl_nems: bool,
+    pr_nems: bool,
+    nl_nems: bool,
+    nr_nems: bool,
+    pl: MosModel,
+    pr: MosModel,
+    nl: MosModel,
+    nr: MosModel,
+    al: MosModel,
+    ar: MosModel,
+}
+
+fn devices_for(kind: SramKind, tech: &Technology) -> CellDevices {
+    let lv_n = tech.nmos.clone();
+    let lv_p = tech.pmos.clone();
+    let hv_n = tech.nmos_hvt.clone();
+    let hv_p = tech.pmos_hvt.clone();
+    match kind {
+        SramKind::Conventional => CellDevices {
+            pl_nems: false,
+            pr_nems: false,
+            nl_nems: false,
+            nr_nems: false,
+            pl: lv_p.clone(),
+            pr: lv_p,
+            nl: lv_n.clone(),
+            nr: lv_n.clone(),
+            al: lv_n.clone(),
+            ar: lv_n,
+        },
+        SramKind::DualVt => CellDevices {
+            pl_nems: false,
+            pr_nems: false,
+            nl_nems: false,
+            nr_nems: false,
+            // High-V_t pull-ups and access devices cut the V_dd and
+            // bit-line leakage paths; low-V_t pull-downs keep the read
+            // discharge path strong (the [25] trade-off: cell leakage
+            // for noise margin and access speed).
+            pl: hv_p.clone(),
+            pr: hv_p,
+            nl: lv_n.clone(),
+            nr: lv_n,
+            al: hv_n.clone(),
+            ar: hv_n,
+        },
+        SramKind::Asymmetric => CellDevices {
+            pl_nems: false,
+            pr_nems: false,
+            nl_nems: false,
+            nr_nems: false,
+            // Preferred state QL = 0: PL, NR and AL leak then → high-V_t.
+            pl: hv_p,
+            pr: lv_p,
+            nl: lv_n.clone(),
+            nr: hv_n.clone(),
+            al: hv_n,
+            ar: lv_n,
+        },
+        SramKind::HybridPullupOnly => CellDevices {
+            pl_nems: true,
+            pr_nems: true,
+            nl_nems: false,
+            nr_nems: false,
+            pl: lv_p.clone(),
+            pr: lv_p.clone(),
+            nl: lv_n.clone(),
+            nr: lv_n.clone(),
+            al: lv_n.clone(),
+            ar: lv_n.clone(),
+        },
+        SramKind::Hybrid => CellDevices {
+            pl_nems: true,
+            pr_nems: true,
+            nl_nems: true,
+            nr_nems: true,
+            // MOS cards unused for the NEMS roles; access stays low-V_t.
+            pl: lv_p.clone(),
+            pr: lv_p,
+            nl: lv_n.clone(),
+            nr: lv_n.clone(),
+            al: lv_n.clone(),
+            ar: lv_n,
+        },
+    }
+}
+
+/// Applies the per-device mismatch shifts to a device set.
+fn apply_shifts(mut dev: CellDevices, shifts: &[f64; 6]) -> CellDevices {
+    dev.pl = dev.pl.with_vth_shift(shifts[0]);
+    dev.nl = dev.nl.with_vth_shift(shifts[1]);
+    dev.pr = dev.pr.with_vth_shift(shifts[2]);
+    dev.nr = dev.nr.with_vth_shift(shifts[3]);
+    dev.al = dev.al.with_vth_shift(shifts[4]);
+    dev.ar = dev.ar.with_vth_shift(shifts[5]);
+    dev
+}
+
+impl SramCell {
+    /// Builds a full 6T cell with the word line and bit lines driven by
+    /// the given waveforms (bit lines are driven stiffly; use
+    /// [`SramCell::build_read_column`] for a releasable precharged
+    /// bitline).
+    pub fn build(
+        tech: &Technology,
+        params: &SramParams,
+        wl_wave: Waveform,
+        bl_wave: Waveform,
+        blb_wave: Waveform,
+    ) -> SramCell {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let wl = ckt.node("wl");
+        let bl = ckt.node("bl");
+        let blb = ckt.node("blb");
+        let ql = ckt.node("ql");
+        let qr = ckt.node("qr");
+        let vdd_src = ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+        let wl_src = ckt.vsource(wl, Circuit::GROUND, wl_wave);
+        let bl_src = ckt.vsource(bl, Circuit::GROUND, bl_wave);
+        let blb_src = ckt.vsource(blb, Circuit::GROUND, blb_wave);
+        Self::stamp_cell(tech, params, &mut ckt, vdd, wl, bl, blb, ql, qr);
+        SramCell {
+            circuit: ckt,
+            vdd_src,
+            wl_src,
+            bl_src,
+            blb_src,
+            ql,
+            qr,
+            bl,
+            blb,
+            params: params.clone(),
+        }
+    }
+
+    /// Builds a cell inside a read column: bit lines carry the column
+    /// capacitance and the aggregated leakage of the other
+    /// `column_cells − 1` cells, and are precharged through PMOS devices
+    /// that release before the word line rises.
+    ///
+    /// Timeline: precharge ends at `t_prech_off`, word line rises at
+    /// `t_wl_rise`.
+    pub fn build_read_column(
+        tech: &Technology,
+        params: &SramParams,
+        t_prech_off: f64,
+        t_wl_rise: f64,
+    ) -> SramCell {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let wl = ckt.node("wl");
+        let bl = ckt.node("bl");
+        let blb = ckt.node("blb");
+        let ql = ckt.node("ql");
+        let qr = ckt.node("qr");
+        let prech = ckt.node("prech");
+        let edge = 30e-12;
+        let vdd_src = ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+        let wl_src = ckt.vsource(wl, Circuit::GROUND, Waveform::step(0.0, tech.vdd, t_wl_rise, edge));
+        // Bitline drivers exist only as precharge PMOS gates; the lines
+        // themselves float after precharge. A pair of stiff 0 V sources in
+        // series with nothing would be artificial — instead the bit lines
+        // get their caps and leak loads here, and `bl_src`/`blb_src`
+        // probe the *precharge* rail so standby-style probing still works.
+        ckt.vsource(prech, Circuit::GROUND, Waveform::step(0.0, tech.vdd, t_prech_off, edge));
+        let bl_rail = ckt.node("bl_rail");
+        let bl_src = ckt.vsource(bl_rail, Circuit::GROUND, Waveform::dc(tech.vdd));
+        let blb_rail = ckt.node("blb_rail");
+        let blb_src = ckt.vsource(blb_rail, Circuit::GROUND, Waveform::dc(tech.vdd));
+        tech.add_pmos(&mut ckt, "mprech_bl", bl, prech, bl_rail, 4.0);
+        tech.add_pmos(&mut ckt, "mprech_blb", blb, prech, blb_rail, 4.0);
+        ckt.capacitor(bl, Circuit::GROUND, params.bitline_cap);
+        ckt.capacitor(blb, Circuit::GROUND, params.bitline_cap);
+        // Aggregate leakage of the unaccessed cells on each bitline.
+        let (i_acc_off, ..) = tech.nmos.ids(0.0, tech.vdd, 0.0, params.acc_width);
+        let column_leak = (params.column_cells.saturating_sub(1)) as f64 * i_acc_off;
+        if column_leak > 0.0 {
+            let r = tech.vdd / column_leak;
+            ckt.resistor(bl, Circuit::GROUND, r);
+            ckt.resistor(blb, Circuit::GROUND, r);
+        }
+        Self::stamp_cell(tech, params, &mut ckt, vdd, wl, bl, blb, ql, qr);
+        SramCell {
+            circuit: ckt,
+            vdd_src,
+            wl_src,
+            bl_src,
+            blb_src,
+            ql,
+            qr,
+            bl,
+            blb,
+            params: params.clone(),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn stamp_cell(
+        tech: &Technology,
+        params: &SramParams,
+        ckt: &mut Circuit,
+        vdd: NodeId,
+        wl: NodeId,
+        bl: NodeId,
+        blb: NodeId,
+        ql: NodeId,
+        qr: NodeId,
+    ) {
+        let dev = apply_shifts(devices_for(params.kind, tech), &params.vth_shifts);
+        // NEMS geometry variation: shift the pull-in/pull-out window of
+        // each NEMS role by its device's mismatch draw.
+        let nems_n_for = |shift: f64| {
+            let mut card = tech.nems_n.clone();
+            card.v_pull_in = (card.v_pull_in + shift).max(card.v_pull_out + 0.05);
+            card
+        };
+        let nems_p_for = |shift: f64| {
+            let mut card = tech.nems_p.clone();
+            card.v_pull_in = (card.v_pull_in + shift).max(card.v_pull_out + 0.05);
+            card
+        };
+        let up = params.hybrid_upsize;
+        // Left inverter: input QR, output QL.
+        let add_nems = |ckt: &mut Circuit, name: &str, card: nemscmos_devices::nemfet::NemsModel, d: NodeId, g: NodeId, s: NodeId, w: f64| {
+            ckt.capacitor(g, Circuit::GROUND, card.c_gate_per_um * w);
+            ckt.capacitor(d, Circuit::GROUND, 1.0e-15 * w);
+            ckt.add_device(nemscmos_devices::nemfet::Nemfet::new(name, card, d, g, s, w));
+        };
+        if dev.pl_nems {
+            add_nems(ckt, "xpl", nems_p_for(params.vth_shifts[0]), ql, qr, vdd, params.pu_width * up);
+        } else {
+            tech.add_mos(ckt, "mpl", &dev.pl, ql, qr, vdd, params.pu_width);
+        }
+        if dev.nl_nems {
+            add_nems(ckt, "xnl", nems_n_for(params.vth_shifts[1]), ql, qr, Circuit::GROUND, params.pd_width * up);
+        } else {
+            tech.add_mos(ckt, "mnl", &dev.nl, ql, qr, Circuit::GROUND, params.pd_width);
+        }
+        // Right inverter: input QL, output QR.
+        if dev.pr_nems {
+            add_nems(ckt, "xpr", nems_p_for(params.vth_shifts[2]), qr, ql, vdd, params.pu_width * up);
+        } else {
+            tech.add_mos(ckt, "mpr", &dev.pr, qr, ql, vdd, params.pu_width);
+        }
+        if dev.nr_nems {
+            add_nems(ckt, "xnr", nems_n_for(params.vth_shifts[3]), qr, ql, Circuit::GROUND, params.pd_width * up);
+        } else {
+            tech.add_mos(ckt, "mnr", &dev.nr, qr, ql, Circuit::GROUND, params.pd_width);
+        }
+        // Access transistors.
+        tech.add_mos(ckt, "mal", &dev.al, bl, wl, ql, params.acc_width);
+        tech.add_mos(ckt, "mar", &dev.ar, blb, wl, qr, params.acc_width);
+    }
+
+    /// Seeds for biasing the cell into the given stored state. The rails
+    /// and bit lines are seeded at their driven levels too, so hysteretic
+    /// pull-ups commit to the correct contact state before the first
+    /// solve (a zero-volt V_dd guess would release every NEMS device).
+    pub fn state_seeds(&self, tech: &Technology, zero: ZeroSide) -> Vec<(NodeId, f64)> {
+        let (vql, vqr) = match zero {
+            ZeroSide::Left => (0.0, tech.vdd),
+            ZeroSide::Right => (tech.vdd, 0.0),
+        };
+        let mut seeds =
+            vec![(self.ql, vql), (self.qr, vqr), (self.bl, tech.vdd), (self.blb, tech.vdd)];
+        if let Some(vdd) = self.circuit.find_node("vdd") {
+            seeds.push((vdd, tech.vdd));
+        }
+        seeds
+    }
+
+    /// Registers initial conditions that bias the cell into the given
+    /// state at the start of a transient analysis.
+    pub fn set_state_ics(&mut self, tech: &Technology, zero: ZeroSide) {
+        let (vql, vqr) = match zero {
+            ZeroSide::Left => (0.0, tech.vdd),
+            ZeroSide::Right => (tech.vdd, 0.0),
+        };
+        self.circuit.set_ic(self.ql, vql);
+        self.circuit.set_ic(self.qr, vqr);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemscmos_spice::analysis::op::{op_seeded, OpOptions};
+    use nemscmos_spice::analysis::tran::{transient, TranOptions};
+
+    fn hold_cell(kind: SramKind) -> (Technology, SramCell) {
+        let tech = Technology::n90();
+        let params = SramParams::new(kind);
+        let cell = SramCell::build(
+            &tech,
+            &params,
+            Waveform::dc(0.0),
+            Waveform::dc(tech.vdd),
+            Waveform::dc(tech.vdd),
+        );
+        (tech, cell)
+    }
+
+    #[test]
+    fn every_kind_holds_both_states() {
+        for kind in SramKind::all() {
+            for zero in [ZeroSide::Left, ZeroSide::Right] {
+                let (tech, mut cell) = hold_cell(kind);
+                let seeds = cell.state_seeds(&tech, zero);
+                let res = op_seeded(&mut cell.circuit, &seeds, &OpOptions::default()).unwrap();
+                let (vql, vqr) = (res.voltage(cell.ql), res.voltage(cell.qr));
+                match zero {
+                    ZeroSide::Left => {
+                        assert!(vql < 0.1 && vqr > 1.1, "{kind:?}/{zero:?}: ql={vql:.3} qr={vqr:.3}");
+                    }
+                    ZeroSide::Right => {
+                        assert!(vqr < 0.1 && vql > 1.1, "{kind:?}/{zero:?}: ql={vql:.3} qr={vqr:.3}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_cell_retains_state_over_time() {
+        let tech = Technology::n90();
+        let params = SramParams::new(SramKind::Hybrid);
+        let mut cell = SramCell::build(
+            &tech,
+            &params,
+            Waveform::dc(0.0),
+            Waveform::dc(tech.vdd),
+            Waveform::dc(tech.vdd),
+        );
+        cell.set_state_ics(&tech, ZeroSide::Right);
+        let res = transient(&mut cell.circuit, 5e-9, &TranOptions::default()).unwrap();
+        assert!(res.voltage(cell.qr).last_value() < 0.1);
+        assert!(res.voltage(cell.ql).last_value() > 1.1);
+    }
+
+    #[test]
+    fn read_column_precharges_bitlines() {
+        let tech = Technology::n90();
+        let params = SramParams::new(SramKind::Conventional);
+        let mut cell = SramCell::build_read_column(&tech, &params, 2e-9, 10e-9);
+        cell.set_state_ics(&tech, ZeroSide::Left);
+        // Stop before the WL rises: both bitlines should sit near vdd.
+        let res = transient(&mut cell.circuit, 1.5e-9, &TranOptions::default()).unwrap();
+        assert!(res.voltage(cell.bl).last_value() > 1.1);
+        assert!(res.voltage(cell.blb).last_value() > 1.1);
+    }
+
+    #[test]
+    fn labels_are_the_papers() {
+        assert_eq!(SramKind::Conventional.label(), "Conv.");
+        assert_eq!(SramKind::Hybrid.label(), "Hybrid");
+        assert_eq!(SramKind::all().len(), 4);
+    }
+}

@@ -1,0 +1,12 @@
+//! SRAM cell architectures and experiments (Section 5 of the paper).
+
+mod array;
+mod cell;
+mod experiments;
+
+pub use array::{ArraySequence, SramArray};
+pub use cell::{SramCell, SramKind, SramParams, ZeroSide};
+pub use experiments::{
+    butterfly_curves, data_retention_voltage, read_latency, standby_leakage, write_latency,
+    write_trip_voltage, ButterflyData, ReadMode,
+};

@@ -1,0 +1,240 @@
+//! The 90 nm technology bundle: calibrated model cards plus netlist
+//! construction helpers that attach parasitic capacitances consistently.
+
+use nemscmos_devices::mosfet::{MosModel, Mosfet};
+use nemscmos_devices::nemfet::{Nemfet, NemsModel};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::device::DeviceId;
+use nemscmos_spice::element::NodeId;
+
+/// A process technology: supply voltage and the full set of calibrated
+/// device cards.
+///
+/// Construction helpers ([`Technology::add_nmos`] etc.) stamp the device
+/// *and* its gate / drain-junction capacitances, so gate loading and
+/// self-loading are consistent across every circuit in the study.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos::tech::Technology;
+///
+/// let tech = Technology::n90();
+/// assert_eq!(tech.vdd, 1.2);
+/// // Corner and temperature variants derive from the same bundle.
+/// let hot = tech.at_temperature(373.0);
+/// assert!(hot.nmos.swing() > tech.nmos.swing());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Technology {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Low-V_t NMOS card (Table 1 calibrated).
+    pub nmos: MosModel,
+    /// Low-V_t PMOS card.
+    pub pmos: MosModel,
+    /// High-V_t NMOS (dual-V_t / asymmetric SRAM baselines).
+    pub nmos_hvt: MosModel,
+    /// High-V_t PMOS.
+    pub pmos_hvt: MosModel,
+    /// N-type NEMS switch card (Table 1 calibrated).
+    pub nems_n: NemsModel,
+    /// P-type NEMS switch card.
+    pub nems_p: NemsModel,
+    /// Minimum drawable device width (µm).
+    pub w_min: f64,
+}
+
+impl Technology {
+    /// The 90 nm node used throughout the paper (V_dd = 1.2 V).
+    pub fn n90() -> Technology {
+        use nemscmos_devices::mosfet::Polarity;
+        Technology {
+            vdd: 1.2,
+            nmos: MosModel::nmos_90nm(),
+            pmos: MosModel::pmos_90nm(),
+            nmos_hvt: MosModel::nmos_90nm_hvt(),
+            pmos_hvt: MosModel::pmos_90nm_hvt(),
+            nems_n: NemsModel::nems_90nm(Polarity::Nmos),
+            nems_p: NemsModel::nems_90nm(Polarity::Pmos),
+            w_min: 0.2,
+        }
+    }
+
+    /// Returns this technology with every CMOS card evaluated at `kelvin`
+    /// (thermal voltage and V_th temperature shift). The NEMS beam-up
+    /// leakage is a mechanical-gap property and stays
+    /// temperature-independent — the asymmetry behind the thermal study in
+    /// `nemscmos-bench`'s `thermal` experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kelvin` is not strictly positive and finite.
+    pub fn at_temperature(&self, kelvin: f64) -> Technology {
+        let mut t = self.clone();
+        t.nmos = t.nmos.at_temperature(kelvin);
+        t.pmos = t.pmos.at_temperature(kelvin);
+        t.nmos_hvt = t.nmos_hvt.at_temperature(kelvin);
+        t.pmos_hvt = t.pmos_hvt.at_temperature(kelvin);
+        // The NEMS contact channel is a MOS channel and heats like one;
+        // the beam-up g_off does not.
+        t.nems_n.contact = t.nems_n.contact.at_temperature(kelvin);
+        t.nems_p.contact = t.nems_p.contact.at_temperature(kelvin);
+        t
+    }
+
+    /// Returns this technology at a process corner (global fast/slow
+    /// shifts on the CMOS cards; the NEMS contact channel follows its
+    /// MOS-like nature, the mechanical pull-in voltages do not move).
+    pub fn at_corner(&self, corner: nemscmos_devices::corners::Corner) -> Technology {
+        let mut t = self.clone();
+        t.nmos = corner.apply_nmos(&t.nmos);
+        t.pmos = corner.apply_pmos(&t.pmos);
+        t.nmos_hvt = corner.apply_nmos(&t.nmos_hvt);
+        t.pmos_hvt = corner.apply_pmos(&t.pmos_hvt);
+        t.nems_n.contact = corner.apply_nmos(&t.nems_n.contact);
+        t.nems_p.contact = corner.apply_pmos(&t.nems_p.contact);
+        t
+    }
+
+    /// Adds a MOSFET with gate and drain-junction capacitance to ground.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_mos(
+        &self,
+        ckt: &mut Circuit,
+        name: &str,
+        model: &MosModel,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        width_um: f64,
+    ) -> DeviceId {
+        ckt.capacitor(g, Circuit::GROUND, model.gate_cap(width_um));
+        ckt.capacitor(d, Circuit::GROUND, model.junction_cap(width_um));
+        ckt.add_device(Mosfet::new(name, model.clone(), d, g, s, width_um))
+    }
+
+    /// Adds a low-V_t NMOS (with parasitics).
+    pub fn add_nmos(&self, ckt: &mut Circuit, name: &str, d: NodeId, g: NodeId, s: NodeId, w: f64) -> DeviceId {
+        let model = self.nmos.clone();
+        self.add_mos(ckt, name, &model, d, g, s, w)
+    }
+
+    /// Adds a low-V_t PMOS (with parasitics).
+    pub fn add_pmos(&self, ckt: &mut Circuit, name: &str, d: NodeId, g: NodeId, s: NodeId, w: f64) -> DeviceId {
+        let model = self.pmos.clone();
+        self.add_mos(ckt, name, &model, d, g, s, w)
+    }
+
+    /// Adds an N-type NEMS switch with gate and drain-junction capacitance.
+    pub fn add_nems_n(&self, ckt: &mut Circuit, name: &str, d: NodeId, g: NodeId, s: NodeId, w: f64) -> DeviceId {
+        ckt.capacitor(g, Circuit::GROUND, self.nems_n.c_gate_per_um * w);
+        ckt.capacitor(d, Circuit::GROUND, 1.0e-15 * w);
+        ckt.add_device(Nemfet::new(name, self.nems_n.clone(), d, g, s, w))
+    }
+
+    /// Adds a P-type NEMS switch with gate and drain-junction capacitance.
+    pub fn add_nems_p(&self, ckt: &mut Circuit, name: &str, d: NodeId, g: NodeId, s: NodeId, w: f64) -> DeviceId {
+        ckt.capacitor(g, Circuit::GROUND, self.nems_p.c_gate_per_um * w);
+        ckt.capacitor(d, Circuit::GROUND, 1.0e-15 * w);
+        ckt.add_device(Nemfet::new(name, self.nems_p.clone(), d, g, s, w))
+    }
+
+    /// Adds a static CMOS inverter between `input` and `output`, powered
+    /// from `vdd_node`. Returns nothing; parasitics are attached by the
+    /// underlying device helpers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_inverter(
+        &self,
+        ckt: &mut Circuit,
+        name: &str,
+        vdd_node: NodeId,
+        input: NodeId,
+        output: NodeId,
+        wp: f64,
+        wn: f64,
+    ) {
+        self.add_pmos(ckt, &format!("{name}.p"), output, input, vdd_node, wp);
+        self.add_nmos(ckt, &format!("{name}.n"), output, input, Circuit::GROUND, wn);
+    }
+
+    /// A standard fan-out-of-1 inverter load: `wn = 1 µm`, `wp = 2 µm`
+    /// (balancing the ~2× NMOS/PMOS drive ratio). Returns the load's
+    /// output node so further stages can be chained.
+    pub fn add_inverter_load(
+        &self,
+        ckt: &mut Circuit,
+        name: &str,
+        vdd_node: NodeId,
+        input: NodeId,
+    ) -> NodeId {
+        let out = ckt.node(&format!("{name}.out"));
+        self.add_inverter(ckt, name, vdd_node, input, out, 2.0, 1.0);
+        // A wire-load capacitance keeps the stage realistic.
+        ckt.capacitor(out, Circuit::GROUND, 0.5e-15);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemscmos_spice::analysis::op::op;
+    use nemscmos_spice::analysis::tran::{transient, TranOptions};
+    use nemscmos_spice::waveform::Waveform;
+
+    #[test]
+    fn inverter_dc_levels() {
+        let tech = Technology::n90();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+        let sin = ckt.vsource(vin, Circuit::GROUND, Waveform::dc(0.0));
+        tech.add_inverter(&mut ckt, "inv", vdd, vin, out, 2.0, 1.0);
+        let res = op(&mut ckt).unwrap();
+        assert!(res.voltage(out) > 1.15);
+        ckt.set_vsource_dc(sin, tech.vdd).unwrap();
+        let res = op(&mut ckt).unwrap();
+        assert!(res.voltage(out) < 0.05);
+    }
+
+    #[test]
+    fn inverter_transient_delay_is_picoseconds() {
+        let tech = Technology::n90();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+        ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, tech.vdd, 100e-12, 20e-12));
+        tech.add_inverter(&mut ckt, "inv", vdd, vin, out, 2.0, 1.0);
+        // Load it with another inverter.
+        tech.add_inverter_load(&mut ckt, "load", vdd, out);
+        let res = transient(&mut ckt, 1e-9, &TranOptions::default()).unwrap();
+        let vin_t = res.voltage(vin);
+        let vout_t = res.voltage(out);
+        let d = nemscmos_analysis::measure::propagation_delay(
+            &vin_t,
+            nemscmos_analysis::measure::Edge::Rising,
+            &vout_t,
+            nemscmos_analysis::measure::Edge::Falling,
+            tech.vdd / 2.0,
+            0.0,
+        )
+        .unwrap();
+        assert!(d > 0.1e-12 && d < 100e-12, "inverter delay = {d:.3e} s");
+    }
+
+    #[test]
+    fn chained_loads_create_new_nodes() {
+        let tech = Technology::n90();
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let a = ckt.node("a");
+        let o1 = tech.add_inverter_load(&mut ckt, "l1", vdd, a);
+        let o2 = tech.add_inverter_load(&mut ckt, "l2", vdd, a);
+        assert_ne!(o1, o2);
+    }
+}

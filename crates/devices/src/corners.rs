@@ -1,0 +1,114 @@
+//! Process corners: systematic fast/slow device variants for corner
+//! analysis (the global component of the variation that Figure 9 treats
+//! statistically).
+
+use crate::mosfet::MosModel;
+
+/// A classic five-corner set. The letters give the NMOS then PMOS speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corner {
+    /// Typical-typical (nominal cards).
+    Tt,
+    /// Fast-fast: both thresholds low, drive high.
+    Ff,
+    /// Slow-slow: both thresholds high, drive low.
+    Ss,
+    /// Fast NMOS, slow PMOS.
+    Fs,
+    /// Slow NMOS, fast PMOS.
+    Sf,
+}
+
+/// Threshold shift applied per fast/slow letter (V) — a 3σ global shift
+/// at the paper's 10 % σ_Vth on a ~0.17 V threshold.
+pub const CORNER_VTH_SHIFT: f64 = 0.05;
+
+/// Drive-current (specific-current) scale per fast/slow letter.
+pub const CORNER_DRIVE_SCALE: f64 = 0.08;
+
+impl Corner {
+    /// All five corners, typical first.
+    pub fn all() -> [Corner; 5] {
+        [Corner::Tt, Corner::Ff, Corner::Ss, Corner::Fs, Corner::Sf]
+    }
+
+    /// Standard two-letter label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Corner::Tt => "TT",
+            Corner::Ff => "FF",
+            Corner::Ss => "SS",
+            Corner::Fs => "FS",
+            Corner::Sf => "SF",
+        }
+    }
+
+    /// `(nmos speed, pmos speed)` as `+1` fast / `0` typical / `−1` slow.
+    fn signs(self) -> (f64, f64) {
+        match self {
+            Corner::Tt => (0.0, 0.0),
+            Corner::Ff => (1.0, 1.0),
+            Corner::Ss => (-1.0, -1.0),
+            Corner::Fs => (1.0, -1.0),
+            Corner::Sf => (-1.0, 1.0),
+        }
+    }
+
+    /// Applies this corner to an NMOS card.
+    pub fn apply_nmos(self, card: &MosModel) -> MosModel {
+        let (sn, _) = self.signs();
+        shift_card(card, sn)
+    }
+
+    /// Applies this corner to a PMOS card.
+    pub fn apply_pmos(self, card: &MosModel) -> MosModel {
+        let (_, sp) = self.signs();
+        shift_card(card, sp)
+    }
+}
+
+fn shift_card(card: &MosModel, speed: f64) -> MosModel {
+    let mut c = card.with_vth_shift(-speed * CORNER_VTH_SHIFT);
+    c.is_spec *= 1.0 + speed * CORNER_DRIVE_SCALE;
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterize::{ioff, ion};
+
+    #[test]
+    fn fast_corner_is_faster_and_leakier() {
+        let tt = MosModel::nmos_90nm();
+        let ff = Corner::Ff.apply_nmos(&tt);
+        let ss = Corner::Ss.apply_nmos(&tt);
+        assert!(ion(&ff, 1.2) > ion(&tt, 1.2));
+        assert!(ion(&ss, 1.2) < ion(&tt, 1.2));
+        assert!(ioff(&ff, 1.2) > 3.0 * ioff(&tt, 1.2), "FF leakage should jump");
+        assert!(ioff(&ss, 1.2) < ioff(&tt, 1.2) / 3.0);
+    }
+
+    #[test]
+    fn typical_corner_is_identity() {
+        let tt = MosModel::nmos_90nm();
+        let same = Corner::Tt.apply_nmos(&tt);
+        assert!((ion(&same, 1.2) - ion(&tt, 1.2)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn skewed_corners_move_devices_oppositely() {
+        let n = MosModel::nmos_90nm();
+        let p = MosModel::pmos_90nm();
+        let n_fs = Corner::Fs.apply_nmos(&n);
+        let p_fs = Corner::Fs.apply_pmos(&p);
+        assert!(ion(&n_fs, 1.2) > ion(&n, 1.2));
+        assert!(ion(&p_fs, 1.2) < ion(&p, 1.2));
+    }
+
+    #[test]
+    fn labels_and_count() {
+        assert_eq!(Corner::all().len(), 5);
+        assert_eq!(Corner::Fs.label(), "FS");
+    }
+}

@@ -1,0 +1,43 @@
+//! Compact device models for hybrid NEMS-CMOS circuit simulation.
+//!
+//! Two device families, both stamping into the `nemscmos-spice` MNA engine:
+//!
+//! * [`mosfet`] — a smooth EKV-style MOSFET model (unified subthreshold /
+//!   strong inversion), with 90 nm NMOS/PMOS cards *numerically calibrated*
+//!   to the paper's Table 1 (I_ON = 1110 µA/µm, I_OFF = 50 nA/µm) plus
+//!   high-V_t variants for the dual-V_t and asymmetric SRAM baselines.
+//! * [`nemfet`] — the suspended-gate NEMFET: a hysteretic
+//!   electromechanical switch (pull-in / pull-out) whose contact-state
+//!   channel uses the same EKV core, calibrated to I_ON = 330 µA/µm and
+//!   I_OFF = 110 pA/µm. A quasi-static model serves circuit analyses; a
+//!   dynamic variant co-simulates the beam equation of motion inside the
+//!   MNA system.
+//!
+//! Supporting modules: [`calibrate`] solves model parameters from
+//! (I_ON, I_OFF, swing) targets; [`characterize`] extracts those metrics
+//! back out of any model (used to regenerate Table 1 and Figure 2);
+//! [`scaling`] provides the ITRS-style leakage-scaling trend of Figure 1.
+//!
+//! # Example
+//!
+//! ```
+//! use nemscmos_devices::mosfet::MosModel;
+//! use nemscmos_devices::characterize::{ion, ioff};
+//!
+//! let nmos = MosModel::nmos_90nm();
+//! let vdd = 1.2;
+//! // Calibrated to the paper's Table 1 within 1%.
+//! assert!((ion(&nmos, vdd) - 1110e-6).abs() / 1110e-6 < 0.01);
+//! assert!((ioff(&nmos, vdd) - 50e-9).abs() / 50e-9 < 0.01);
+//! ```
+
+pub mod calibrate;
+pub mod characterize;
+pub mod corners;
+pub mod mismatch;
+pub mod mosfet;
+pub mod nemfet;
+pub mod scaling;
+
+/// Thermal voltage kT/q at 300 K (volts).
+pub const VT_300K: f64 = 0.025852;

@@ -1,0 +1,53 @@
+//! Pelgrom-law device mismatch: `σ(V_th) = A_vt / √(W·L)`.
+//!
+//! The paper parameterizes variation as `σ_Vth/µ_Vth` percentages; the
+//! Pelgrom law grounds those percentages in device area, so Monte Carlo
+//! draws can scale correctly when an experiment resizes its transistors.
+
+/// Pelgrom area coefficient for the 90 nm node (V·µm): gives
+/// `σ(V_th) ≈ 14 mV` for a minimum-length, 1 µm-wide device.
+pub const A_VT_90NM: f64 = 4.5e-3;
+
+/// Drawn channel length at the 90 nm node (µm).
+pub const L_90NM_UM: f64 = 0.1;
+
+/// Threshold-voltage mismatch standard deviation (V) of a device with the
+/// given gate area, per the Pelgrom law.
+///
+/// # Panics
+///
+/// Panics if width or length is not strictly positive.
+pub fn sigma_vth(a_vt: f64, width_um: f64, length_um: f64) -> f64 {
+    assert!(width_um > 0.0 && length_um > 0.0, "device area must be positive");
+    a_vt / (width_um * length_um).sqrt()
+}
+
+/// [`sigma_vth`] with the 90 nm defaults.
+pub fn sigma_vth_90nm(width_um: f64) -> f64 {
+    sigma_vth(A_VT_90NM, width_um, L_90NM_UM)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wider_devices_match_better() {
+        assert!(sigma_vth_90nm(4.0) < sigma_vth_90nm(1.0));
+        let ratio = sigma_vth_90nm(1.0) / sigma_vth_90nm(4.0);
+        assert!((ratio - 2.0).abs() < 1e-12, "σ scales as 1/√W");
+    }
+
+    #[test]
+    fn magnitudes_are_plausible_for_90nm() {
+        // Minimum-ish SRAM access device: ~20 mV of mismatch.
+        let s = sigma_vth_90nm(0.5);
+        assert!((0.010..0.035).contains(&s), "σ = {s:.4}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_area_rejected() {
+        let _ = sigma_vth(A_VT_90NM, 0.0, 0.1);
+    }
+}

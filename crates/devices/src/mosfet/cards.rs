@@ -1,0 +1,51 @@
+//! Named 90 nm model-card variants used by the SRAM baselines.
+
+use super::MosModel;
+
+/// Threshold shift of the "high-V_t" flavour used by the dual-V_t and
+/// asymmetric SRAM cells (V).
+pub const HIGH_VT_SHIFT: f64 = 0.15;
+
+impl MosModel {
+    /// High-V_t 90 nm NMOS (dual-V_t / asymmetric SRAM baselines):
+    /// `V_th` raised by [`HIGH_VT_SHIFT`], roughly 40× lower leakage.
+    pub fn nmos_90nm_hvt() -> MosModel {
+        MosModel { name: "nmos-90nm-hvt", ..MosModel::nmos_90nm().with_vth_shift(HIGH_VT_SHIFT) }
+    }
+
+    /// High-V_t 90 nm PMOS.
+    pub fn pmos_90nm_hvt() -> MosModel {
+        MosModel { name: "pmos-90nm-hvt", ..MosModel::pmos_90nm().with_vth_shift(HIGH_VT_SHIFT) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hvt_cards_leak_much_less() {
+        let lv = MosModel::nmos_90nm();
+        let hv = MosModel::nmos_90nm_hvt();
+        let (i_lv, ..) = lv.ids(0.0, 1.2, 0.0, 1.0);
+        let (i_hv, ..) = hv.ids(0.0, 1.2, 0.0, 1.0);
+        assert!(i_hv < i_lv / 10.0, "hvt leak {i_hv:.2e} vs lvt {i_lv:.2e}");
+    }
+
+    #[test]
+    fn hvt_cards_lose_some_drive() {
+        let lv = MosModel::nmos_90nm();
+        let hv = MosModel::nmos_90nm_hvt();
+        let (i_lv, ..) = lv.ids(1.2, 1.2, 0.0, 1.0);
+        let (i_hv, ..) = hv.ids(1.2, 1.2, 0.0, 1.0);
+        assert!(i_hv < i_lv);
+        assert!(i_hv > 0.5 * i_lv, "drive loss should be moderate");
+    }
+
+    #[test]
+    fn hvt_pmos_mirrors() {
+        let hv = MosModel::pmos_90nm_hvt();
+        let (ioff, ..) = hv.ids(1.2, 0.0, 1.2, 1.0);
+        assert!(ioff.abs() < 5e-9);
+    }
+}

@@ -1,0 +1,9 @@
+//! EKV-style MOSFET compact model and its MNA device wrapper.
+
+mod cards;
+mod device;
+mod model;
+
+pub use cards::HIGH_VT_SHIFT;
+pub use device::Mosfet;
+pub use model::{MosModel, Polarity};

@@ -1,0 +1,355 @@
+//! The EKV-interpolation MOSFET current model.
+
+
+/// Channel polarity of a MOSFET or NEMS switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// N-channel: conducts when the gate is high relative to the source.
+    Nmos,
+    /// P-channel: conducts when the gate is low relative to the source.
+    Pmos,
+}
+
+impl Polarity {
+    /// `+1.0` for NMOS, `−1.0` for PMOS.
+    pub fn sign(self) -> f64 {
+        match self {
+            Polarity::Nmos => 1.0,
+            Polarity::Pmos => -1.0,
+        }
+    }
+}
+
+/// An EKV-style MOSFET model card (per-µm quantities).
+///
+/// The drain current interpolates smoothly between exponential
+/// subthreshold conduction and square-law strong inversion:
+///
+/// ```text
+/// I_d = W · I_s · (1 + λ·v_ds) · [ L²( (v_p)/2v_t ) − L²( (v_p − v_ds)/2v_t ) ]
+/// v_p = (v_gs − V_th) / n,   L(u) = ln(1 + e^u)
+/// ```
+///
+/// with drain/source swap symmetry for `v_ds < 0` and a polarity mirror for
+/// PMOS. The three electrical parameters (`is_spec`, `vth`, `n`) are
+/// normally produced by [`crate::calibrate`] from (I_ON, I_OFF, swing)
+/// targets.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_devices::mosfet::MosModel;
+///
+/// let m = MosModel::nmos_90nm();
+/// let (i, _, _, _) = m.ids(1.2, 1.2, 0.0, 1.0);
+/// assert!(i > 1e-3); // ~1.1 mA/µm on current
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MosModel {
+    /// Card name for diagnostics.
+    pub name: &'static str,
+    /// Polarity.
+    pub polarity: Polarity,
+    /// Specific current prefactor (A per µm of width).
+    pub is_spec: f64,
+    /// Threshold voltage magnitude (V, positive for both polarities).
+    pub vth: f64,
+    /// Subthreshold slope factor (dimensionless, ≥ 1).
+    pub n: f64,
+    /// Channel-length modulation (1/V).
+    pub lambda: f64,
+    /// Gate capacitance per µm width (F/µm), used by circuit builders.
+    pub c_gate_per_um: f64,
+    /// Drain/source junction capacitance per µm width (F/µm).
+    pub c_junction_per_um: f64,
+    /// Operating temperature (K). Sets the thermal voltage and shifts the
+    /// threshold by [`MosModel::VTH_TEMP_COEFF`] per kelvin — the coupling
+    /// that makes CMOS subthreshold leakage grow exponentially with
+    /// temperature (\[5\] in the paper).
+    pub temp_k: f64,
+}
+
+/// `ln(1 + e^u)` computed without overflow.
+#[inline]
+pub(crate) fn softplus(u: f64) -> f64 {
+    if u > 40.0 {
+        u
+    } else if u < -40.0 {
+        0.0
+    } else {
+        u.exp().ln_1p()
+    }
+}
+
+/// Logistic `σ(u) = 1/(1+e^{−u})`, the derivative of [`softplus`].
+#[inline]
+pub(crate) fn logistic(u: f64) -> f64 {
+    if u > 40.0 {
+        1.0
+    } else if u < -40.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-u).exp())
+    }
+}
+
+impl MosModel {
+    /// Threshold-voltage temperature coefficient (V/K): V_th drops by
+    /// this much per kelvin above 300 K.
+    pub const VTH_TEMP_COEFF: f64 = 1.0e-3;
+
+    /// Boltzmann constant over electron charge (V/K).
+    pub const KB_OVER_Q: f64 = 8.617_333e-5;
+
+    /// Returns a copy of this card evaluated at `kelvin`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kelvin` is not strictly positive and finite.
+    pub fn at_temperature(&self, kelvin: f64) -> MosModel {
+        assert!(kelvin.is_finite() && kelvin > 0.0, "temperature must be positive");
+        MosModel { temp_k: kelvin, ..self.clone() }
+    }
+
+    /// The thermal voltage `kT/q` at this card's temperature (V).
+    pub fn thermal_voltage(&self) -> f64 {
+        Self::KB_OVER_Q * self.temp_k
+    }
+
+    /// The temperature-corrected threshold voltage (V).
+    pub fn vth_effective(&self) -> f64 {
+        self.vth - Self::VTH_TEMP_COEFF * (self.temp_k - 300.0)
+    }
+
+    /// The calibrated 90 nm NMOS card (Table 1: 1110 µA/µm, 50 nA/µm at
+    /// V_dd = 1.2 V, S ≈ 95 mV/dec).
+    pub fn nmos_90nm() -> MosModel {
+        // Constants produced by `calibrate::calibrate_mos` (see the
+        // calibration regression test in that module).
+        crate::calibrate::nmos_90nm_card()
+    }
+
+    /// The calibrated 90 nm PMOS card (mobility-limited: 550 µA/µm on,
+    /// 50 nA/µm off).
+    pub fn pmos_90nm() -> MosModel {
+        crate::calibrate::pmos_90nm_card()
+    }
+
+    /// A high-V_t variant of this card: `V_th` raised by `dv` volts, with
+    /// the on/off currents following from the model equations. Used for
+    /// the dual-V_t and asymmetric SRAM baselines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dv` is not finite.
+    pub fn with_vth_shift(&self, dv: f64) -> MosModel {
+        assert!(dv.is_finite(), "vth shift must be finite");
+        MosModel { vth: self.vth + dv, name: "shifted", ..self.clone() }
+    }
+
+    /// Drain-source current and its partial derivatives.
+    ///
+    /// Arguments are the terminal voltages (V) and the device width in µm.
+    /// Returns `(i_ds, ∂i/∂v_g, ∂i/∂v_d, ∂i/∂v_s)` where `i_ds` is the
+    /// current flowing from the drain terminal to the source terminal
+    /// (negative for a conducting PMOS, matching SPICE conventions).
+    pub fn ids(&self, vg: f64, vd: f64, vs: f64, width_um: f64) -> (f64, f64, f64, f64) {
+        debug_assert!(width_um > 0.0, "device width must be positive");
+        let s = self.polarity.sign();
+        // Mirror PMOS into the NMOS frame.
+        let (mvg, mvd, mvs) = (s * vg, s * vd, s * vs);
+        // Drain/source swap for reverse operation.
+        let (xd, xs, swapped) = if mvd >= mvs { (mvd, mvs, false) } else { (mvs, mvd, true) };
+        let vgs = mvg - xs;
+        let vds = xd - xs;
+        let vt = self.thermal_voltage();
+        let vp = (vgs - self.vth_effective()) / self.n;
+        let uf = vp / (2.0 * vt);
+        let ur = (vp - vds) / (2.0 * vt);
+        let lf = softplus(uf);
+        let lr = softplus(ur);
+        let sf = logistic(uf);
+        let sr = logistic(ur);
+        let clm = 1.0 + self.lambda * vds;
+        let k = self.is_spec * width_um;
+        let i = k * (lf * lf - lr * lr) * clm;
+        // Partials in the swapped, mirrored frame.
+        let dgm = k * clm * (lf * sf - lr * sr) / (self.n * vt);
+        let dgds = k * (clm * lr * sr / vt + (lf * lf - lr * lr) * self.lambda);
+        // dI/dxs = −(gm + gds) by charge conservation.
+        let (di_g, di_d, di_s) = if swapped {
+            // Current actually flows xs→xd in device terms: i_ds = −i, and
+            // the "drain" partial applies to the source terminal.
+            (-dgm, dgm + dgds, -dgds)
+        } else {
+            (dgm, dgds, -(dgm + dgds))
+        };
+        let i_signed = if swapped { -i } else { i };
+        // Undo the polarity mirror: I(v) = s·I_core(s·v) ⇒ ∂I/∂v = ∂I_core/∂v_core.
+        (s * i_signed, di_g, di_d, di_s)
+    }
+
+    /// Gate capacitance of a `width_um`-wide device (F).
+    pub fn gate_cap(&self, width_um: f64) -> f64 {
+        self.c_gate_per_um * width_um
+    }
+
+    /// Junction (drain or source) capacitance of a `width_um`-wide device (F).
+    pub fn junction_cap(&self, width_um: f64) -> f64 {
+        self.c_junction_per_um * width_um
+    }
+
+    /// Subthreshold swing implied by the slope factor at this card's
+    /// temperature: `S = n·(kT/q)·ln 10` (V/decade).
+    pub fn swing(&self) -> f64 {
+        self.n * self.thermal_voltage() * std::f64::consts::LN_10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> MosModel {
+        MosModel {
+            name: "test-n",
+            polarity: Polarity::Nmos,
+            is_spec: 6e-6,
+            vth: 0.2,
+            n: 1.5,
+            lambda: 0.1,
+            c_gate_per_um: 1.5e-15,
+            c_junction_per_um: 1.0e-15,
+            temp_k: 300.0,
+        }
+    }
+
+    fn pmos() -> MosModel {
+        MosModel { name: "test-p", polarity: Polarity::Pmos, ..nmos() }
+    }
+
+    #[test]
+    fn nmos_on_current_positive_off_current_small() {
+        let m = nmos();
+        let (ion, ..) = m.ids(1.2, 1.2, 0.0, 1.0);
+        let (ioff, ..) = m.ids(0.0, 1.2, 0.0, 1.0);
+        assert!(ion > 1e-4);
+        assert!(ioff > 0.0 && ioff < 1e-6);
+        assert!(ion / ioff > 1e3);
+    }
+
+    #[test]
+    fn current_scales_linearly_with_width() {
+        let m = nmos();
+        let (i1, ..) = m.ids(1.0, 1.0, 0.0, 1.0);
+        let (i3, ..) = m.ids(1.0, 1.0, 0.0, 3.0);
+        assert!((i3 / i1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drain_source_symmetry() {
+        // Swapping drain and source negates the current.
+        let m = nmos();
+        let (fwd, ..) = m.ids(1.0, 0.8, 0.2, 1.0);
+        let (rev, ..) = m.ids(1.0, 0.2, 0.8, 1.0);
+        assert!((fwd + rev).abs() < 1e-15 * fwd.abs().max(1.0));
+    }
+
+    #[test]
+    fn zero_vds_gives_zero_current() {
+        let m = nmos();
+        let (i, ..) = m.ids(1.2, 0.6, 0.6, 1.0);
+        assert_eq!(i, 0.0);
+    }
+
+    #[test]
+    fn pmos_mirrors_nmos() {
+        let n = nmos();
+        let p = pmos();
+        let (i_n, ..) = n.ids(1.2, 1.2, 0.0, 1.0);
+        // PMOS with source at 1.2, gate at 0, drain at 0: fully on,
+        // current flows source→drain so i_ds < 0.
+        let (i_p, ..) = p.ids(0.0, 0.0, 1.2, 1.0);
+        assert!((i_p + i_n).abs() < 1e-15 * i_n);
+    }
+
+    #[test]
+    fn partials_match_finite_differences() {
+        let m = nmos();
+        let cases = [
+            (0.9, 1.1, 0.0),
+            (0.3, 0.05, 0.0),
+            (1.2, 0.4, 0.2),
+            (0.0, 1.2, 0.0),
+            (0.7, 0.1, 0.6), // reverse-ish
+            (0.5, 0.0, 0.9), // swapped
+        ];
+        let h = 1e-7;
+        for &(vg, vd, vs) in &cases {
+            let (_, dg, dd, ds) = m.ids(vg, vd, vs, 2.0);
+            let num_g = (m.ids(vg + h, vd, vs, 2.0).0 - m.ids(vg - h, vd, vs, 2.0).0) / (2.0 * h);
+            let num_d = (m.ids(vg, vd + h, vs, 2.0).0 - m.ids(vg, vd - h, vs, 2.0).0) / (2.0 * h);
+            let num_s = (m.ids(vg, vd, vs + h, 2.0).0 - m.ids(vg, vd, vs - h, 2.0).0) / (2.0 * h);
+            let scale = num_g.abs().max(num_d.abs()).max(num_s.abs()).max(1e-9);
+            assert!((dg - num_g).abs() / scale < 1e-4, "dg at {vg},{vd},{vs}: {dg} vs {num_g}");
+            assert!((dd - num_d).abs() / scale < 1e-4, "dd at {vg},{vd},{vs}: {dd} vs {num_d}");
+            assert!((ds - num_s).abs() / scale < 1e-4, "ds at {vg},{vd},{vs}: {ds} vs {num_s}");
+        }
+    }
+
+    #[test]
+    fn pmos_partials_match_finite_differences() {
+        let m = pmos();
+        let h = 1e-7;
+        for &(vg, vd, vs) in &[(0.0, 0.2, 1.2), (0.6, 0.0, 1.2), (1.2, 1.0, 1.2), (0.3, 1.2, 0.1)] {
+            let (_, dg, dd, ds) = m.ids(vg, vd, vs, 1.0);
+            let num_g = (m.ids(vg + h, vd, vs, 1.0).0 - m.ids(vg - h, vd, vs, 1.0).0) / (2.0 * h);
+            let num_d = (m.ids(vg, vd + h, vs, 1.0).0 - m.ids(vg, vd - h, vs, 1.0).0) / (2.0 * h);
+            let num_s = (m.ids(vg, vd, vs + h, 1.0).0 - m.ids(vg, vd, vs - h, 1.0).0) / (2.0 * h);
+            let scale = num_g.abs().max(num_d.abs()).max(num_s.abs()).max(1e-9);
+            assert!((dg - num_g).abs() / scale < 1e-4, "dg at {vg},{vd},{vs}");
+            assert!((dd - num_d).abs() / scale < 1e-4, "dd at {vg},{vd},{vs}");
+            assert!((ds - num_s).abs() / scale < 1e-4, "ds at {vg},{vd},{vs}");
+        }
+    }
+
+    #[test]
+    fn higher_vth_means_less_leakage() {
+        let m = nmos();
+        let hv = m.with_vth_shift(0.15);
+        let (i_lo, ..) = m.ids(0.0, 1.2, 0.0, 1.0);
+        let (i_hi, ..) = hv.ids(0.0, 1.2, 0.0, 1.0);
+        assert!(i_hi < i_lo / 10.0);
+    }
+
+    #[test]
+    fn swing_formula() {
+        let m = nmos();
+        let expect = 1.5 * m.thermal_voltage() * std::f64::consts::LN_10;
+        assert!((m.swing() - expect).abs() < 1e-15);
+        // Hotter devices have worse (larger) swing.
+        assert!(m.at_temperature(400.0).swing() > m.swing());
+    }
+
+    #[test]
+    fn softplus_and_logistic_limits() {
+        assert_eq!(softplus(100.0), 100.0);
+        assert_eq!(softplus(-100.0), 0.0);
+        assert!((softplus(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(logistic(100.0), 1.0);
+        assert_eq!(logistic(-100.0), 0.0);
+        assert!((logistic(0.0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn monotone_in_gate_voltage() {
+        let m = nmos();
+        let mut prev = -1.0;
+        for k in 0..=24 {
+            let vg = k as f64 * 0.05;
+            let (i, ..) = m.ids(vg, 1.2, 0.0, 1.0);
+            assert!(i > prev, "I_d must increase with V_g");
+            prev = i;
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! Dynamic NEMFET: the beam equation of motion co-simulated inside MNA.
+//!
+//! This is the full electromechanical analogue of the paper's Fig. 6(b)
+//! model — where the paper maps mass to an inductance and damping to a
+//! resistance and solves the analogy in HSPICE, we append the mechanical
+//! unknowns (displacement `x`, velocity `v`) to the MNA system directly
+//! and integrate `m ẍ + c ẋ + k x = F_e(v_act, x)` with backward Euler,
+//! coupled both ways: the gate-source voltage drives the beam, and the
+//! beam position modulates the channel current.
+
+use nemscmos_mems::dynamics::ActuatorDynamics;
+use nemscmos_mems::EPSILON_0;
+use nemscmos_spice::device::{Device, LoadContext, Mode, Solution};
+use nemscmos_spice::element::NodeId;
+use nemscmos_spice::stamp::Stamper;
+
+use super::NemsModel;
+
+/// Exponent of the gap-coupling conduction blend: the channel conducts in
+/// proportion to `(g_c / g_el(x))^m`.
+const COUPLING_EXPONENT: i32 = 4;
+
+/// Contact penalty stiffness multiple (mirrors `nemscmos-mems`).
+const CONTACT_PENALTY_FACTOR: f64 = 1e4;
+
+/// Contact damping ratio (mirrors `nemscmos-mems`).
+const CONTACT_DAMPING_RATIO: f64 = 0.7;
+
+/// Lumped mechanical parameters of the suspended gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MechanicalParams {
+    /// Spring constant (N/m).
+    pub stiffness: f64,
+    /// Modal mass (kg).
+    pub mass: f64,
+    /// Damping coefficient (N·s/m).
+    pub damping: f64,
+    /// Rest air gap (m).
+    pub gap: f64,
+    /// Air-equivalent dielectric thickness at contact (m).
+    pub contact_gap: f64,
+    /// Electrode area (m²).
+    pub area: f64,
+}
+
+impl MechanicalParams {
+    /// Extracts the lumped parameters from a `nemscmos-mems` dynamics
+    /// model.
+    pub fn from_dynamics(d: &ActuatorDynamics) -> MechanicalParams {
+        let a = d.actuator();
+        MechanicalParams {
+            stiffness: a.stiffness(),
+            mass: d.mass(),
+            damping: d.damping(),
+            gap: a.gap(),
+            contact_gap: a.contact_gap(),
+            area: a.area(),
+        }
+    }
+
+    /// Electrical gap at displacement `x` (m).
+    fn electrical_gap(&self, x: f64) -> f64 {
+        (self.gap - x).max(0.0) + self.contact_gap
+    }
+
+    /// Electrostatic force and its partials `(F, ∂F/∂v, ∂F/∂x)`.
+    fn force(&self, v: f64, x: f64) -> (f64, f64, f64) {
+        let ge = self.electrical_gap(x);
+        let k = EPSILON_0 * self.area / (2.0 * ge * ge);
+        let f = k * v * v;
+        let df_dv = 2.0 * k * v;
+        // dge/dx = −1 while the air gap remains, 0 once closed.
+        let df_dx = if x < self.gap { 2.0 * f / ge } else { 0.0 };
+        (f, df_dv, df_dx)
+    }
+
+    /// Conduction blend `(g_c/g_el)^m` and its x-derivative.
+    fn coupling(&self, x: f64) -> (f64, f64) {
+        let ge = self.electrical_gap(x);
+        let ratio = self.contact_gap / ge;
+        let c = ratio.powi(COUPLING_EXPONENT);
+        let dc_dx = if x < self.gap {
+            COUPLING_EXPONENT as f64 * c / ge
+        } else {
+            0.0
+        };
+        (c, dc_dx)
+    }
+}
+
+/// A NEMFET whose beam dynamics are solved self-consistently with the
+/// circuit (two extra MNA unknowns: displacement and velocity).
+///
+/// Use [`Nemfet`](super::Nemfet) (quasi-static) for circuit-level studies;
+/// this device is for switching-transient physics — pull-in time, the
+/// voltage/displacement trajectory, and loading interaction.
+#[derive(Debug, Clone)]
+pub struct DynamicNemfet {
+    name: String,
+    model: NemsModel,
+    mech: MechanicalParams,
+    d: NodeId,
+    g: NodeId,
+    s: NodeId,
+    width_um: f64,
+    /// Global index of the displacement unknown (velocity is `base + 1`).
+    base: usize,
+    /// Accepted (x, v) from the previous step.
+    prev: (f64, f64),
+}
+
+impl DynamicNemfet {
+    /// Creates a dynamic NEMFET.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width or any mechanical parameter is non-positive
+    /// (damping may be zero).
+    pub fn new(
+        name: impl Into<String>,
+        model: NemsModel,
+        mech: MechanicalParams,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        width_um: f64,
+    ) -> DynamicNemfet {
+        assert!(width_um.is_finite() && width_um > 0.0, "width must be positive");
+        assert!(mech.stiffness > 0.0 && mech.mass > 0.0, "stiffness and mass must be positive");
+        assert!(mech.damping >= 0.0, "damping must be non-negative");
+        assert!(mech.gap > 0.0 && mech.contact_gap > 0.0 && mech.area > 0.0, "geometry must be positive");
+        DynamicNemfet {
+            name: name.into(),
+            model,
+            mech,
+            d,
+            g,
+            s,
+            width_um,
+            base: usize::MAX,
+            prev: (0.0, 0.0),
+        }
+    }
+
+    /// Global MNA index of the displacement unknown (available after the
+    /// first analysis finalizes the layout).
+    pub fn displacement_index(&self) -> usize {
+        self.base
+    }
+
+    /// Global MNA index of the velocity unknown.
+    pub fn velocity_index(&self) -> usize {
+        self.base + 1
+    }
+
+    /// The mechanical parameters.
+    pub fn mechanical(&self) -> &MechanicalParams {
+        &self.mech
+    }
+}
+
+impl Device for DynamicNemfet {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_internal(&self) -> usize {
+        2
+    }
+
+    fn set_internal_base(&mut self, base: usize) {
+        self.base = base;
+    }
+
+    fn load(&self, sol: &Solution<'_>, ctx: &LoadContext, st: &mut Stamper) {
+        assert!(self.base != usize::MAX, "device layout not finalized");
+        let (rx, rv) = (self.base, self.base + 1);
+        let x = sol.raw(rx);
+        let vel = sol.raw(rv);
+        let m = &self.mech;
+        let sgn = self.model.polarity.sign();
+        let vact = sgn * (sol.v(self.g) - sol.v(self.s));
+        let (fe, dfe_dv, dfe_dx) = m.force(vact, x);
+
+        // Mechanical rows.
+        match ctx.mode {
+            Mode::Dc => {
+                // Equilibrium: vel = 0 and k·x − F_e (+ contact) = 0.
+                st.f(rx, vel);
+                st.j(rx, rv, 1.0);
+                let mut res = m.stiffness * x - fe;
+                let mut dres_dx = m.stiffness - dfe_dx;
+                if x > m.gap {
+                    let k_pen = CONTACT_PENALTY_FACTOR * m.stiffness;
+                    res += k_pen * (x - m.gap);
+                    dres_dx += k_pen;
+                }
+                st.f(rv, res);
+                st.j(rv, rx, dres_dx);
+                // ∂/∂v_act via the gate/source columns.
+                if let Some(c) = st.node_row(self.g) {
+                    st.j(rv, c, -dfe_dv * sgn);
+                }
+                if let Some(c) = st.node_row(self.s) {
+                    st.j(rv, c, dfe_dv * sgn);
+                }
+            }
+            Mode::Transient { dt, .. } => {
+                // Backward Euler regardless of the engine method: the
+                // contact nonlinearity favours heavy damping.
+                let (x_prev, v_prev) = self.prev;
+                st.f(rx, (x - x_prev) / dt - vel);
+                st.j(rx, rx, 1.0 / dt);
+                st.j(rx, rv, -1.0);
+                let mut res = m.mass * (vel - v_prev) / dt + m.damping * vel + m.stiffness * x - fe;
+                let mut dres_dx = m.stiffness - dfe_dx;
+                let mut dres_dvel = m.mass / dt + m.damping;
+                if x > m.gap {
+                    let k_pen = CONTACT_PENALTY_FACTOR * m.stiffness;
+                    let c_pen = 2.0 * CONTACT_DAMPING_RATIO * (k_pen * m.mass).sqrt();
+                    res += k_pen * (x - m.gap) + c_pen * vel;
+                    dres_dx += k_pen;
+                    dres_dvel += c_pen;
+                }
+                st.f(rv, res);
+                st.j(rv, rx, dres_dx);
+                st.j(rv, rv, dres_dvel);
+                if let Some(c) = st.node_row(self.g) {
+                    st.j(rv, c, -dfe_dv * sgn);
+                }
+                if let Some(c) = st.node_row(self.s) {
+                    st.j(rv, c, dfe_dv * sgn);
+                }
+            }
+        }
+
+        // Channel current: off-leakage plus coupling-blended contact model.
+        let g_off = self.model.g_off_per_um * self.width_um;
+        st.conductance(self.d, self.s, g_off, sol.v(self.d), sol.v(self.s));
+        let (cpl, dcpl_dx) = m.coupling(x.clamp(0.0, m.gap));
+        let (ic, dg, dd, ds) =
+            self.model
+                .contact
+                .ids(sol.v(self.g), sol.v(self.d), sol.v(self.s), self.width_um);
+        let i = cpl * ic;
+        st.nonlinear_current(
+            self.d,
+            self.s,
+            i,
+            &[(self.g, cpl * dg), (self.d, cpl * dd), (self.s, cpl * ds)],
+        );
+        // Coupling of the channel current to the displacement unknown.
+        let di_dx = dcpl_dx * ic;
+        if di_dx != 0.0 {
+            if let Some(r) = st.node_row(self.d) {
+                st.j(r, rx, di_dx);
+            }
+            if let Some(r) = st.node_row(self.s) {
+                st.j(r, rx, -di_dx);
+            }
+        }
+    }
+
+    fn commit(&mut self, sol: &Solution<'_>, _ctx: &LoadContext) -> bool {
+        self.prev = (sol.raw(self.base), sol.raw(self.base + 1));
+        false
+    }
+
+    fn reset_state(&mut self) {
+        self.prev = (0.0, 0.0);
+    }
+
+    fn initial_guess(&self, x: &mut [f64]) {
+        if self.base != usize::MAX && self.base + 1 < x.len() {
+            x[self.base] = self.prev.0;
+            x[self.base + 1] = self.prev.1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mosfet::Polarity;
+    use nemscmos_mems::electrostatics::Actuator;
+    use nemscmos_spice::analysis::tran::{transient, TranOptions};
+    use nemscmos_spice::circuit::Circuit;
+    use nemscmos_spice::waveform::Waveform;
+
+    fn mech() -> MechanicalParams {
+        let act = Actuator::from_parameters(1.0, 0.2e-12, 20e-9, 5e-9, 7.5);
+        let dyn_model = ActuatorDynamics::new(act, 4e-14, 2e-7);
+        MechanicalParams::from_dynamics(&dyn_model)
+    }
+
+    fn pull_in_voltage(m: &MechanicalParams) -> f64 {
+        let g = m.gap + m.contact_gap;
+        (8.0 * m.stiffness * g.powi(3) / (27.0 * EPSILON_0 * m.area)).sqrt()
+    }
+
+    /// Step the gate well above pull-in: the beam must close and the
+    /// channel must start conducting (drain pulled low through a load).
+    #[test]
+    fn step_drive_closes_switch_and_conducts() {
+        let m = mech();
+        let vpi = pull_in_voltage(&m);
+        let drive = 2.0 * vpi;
+        let mut ckt = Circuit::new();
+        let vddn = ckt.node("vdd");
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        ckt.vsource(vddn, Circuit::GROUND, Waveform::dc(1.2));
+        ckt.vsource(g, Circuit::GROUND, Waveform::step(0.0, drive, 1e-9, 0.1e-9));
+        ckt.resistor(vddn, d, 100e3);
+        let dev = DynamicNemfet::new(
+            "x1",
+            NemsModel::nems_90nm(Polarity::Nmos),
+            m,
+            d,
+            g,
+            Circuit::GROUND,
+            1.0,
+        );
+        ckt.add_device(dev);
+        let opts = TranOptions {
+            dt_max: Some(2e-9),
+            dt_init: Some(1e-11),
+            ..Default::default()
+        };
+        let res = transient(&mut ckt, 3e-6, &opts).unwrap();
+        let vd = res.voltage(d);
+        // Before the step: leakage only, drain near vdd.
+        assert!(vd.eval(0.5e-9) > 1.19);
+        // Long after: beam closed, channel conducting, drain pulled low.
+        assert!(vd.last_value() < 0.3, "v(d) settles at {}", vd.last_value());
+        // The transition happens *after* the electrical step (mechanical
+        // flight time): at 2 ns the beam has barely moved.
+        assert!(vd.eval(2e-9) > 1.0, "beam should not have landed within 1 ns of the step");
+    }
+
+    #[test]
+    fn below_pull_in_stays_open() {
+        let m = mech();
+        let vpi = pull_in_voltage(&m);
+        let mut ckt = Circuit::new();
+        let vddn = ckt.node("vdd");
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        ckt.vsource(vddn, Circuit::GROUND, Waveform::dc(1.2));
+        ckt.vsource(g, Circuit::GROUND, Waveform::step(0.0, 0.7 * vpi, 1e-9, 0.1e-9));
+        ckt.resistor(vddn, d, 100e3);
+        ckt.add_device(DynamicNemfet::new(
+            "x1",
+            NemsModel::nems_90nm(Polarity::Nmos),
+            m,
+            d,
+            g,
+            Circuit::GROUND,
+            1.0,
+        ));
+        let opts = TranOptions { dt_max: Some(2e-9), ..Default::default() };
+        let res = transient(&mut ckt, 2e-6, &opts).unwrap();
+        assert!(res.voltage(d).last_value() > 1.1);
+    }
+
+    #[test]
+    fn displacement_trace_is_observable() {
+        let m = mech();
+        let vpi = pull_in_voltage(&m);
+        let mut ckt = Circuit::new();
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        ckt.vsource(g, Circuit::GROUND, Waveform::step(0.0, 2.0 * vpi, 0.0, 0.1e-9));
+        ckt.resistor(d, Circuit::GROUND, 1e6);
+        let dev = DynamicNemfet::new(
+            "x1",
+            NemsModel::nems_90nm(Polarity::Nmos),
+            m,
+            d,
+            g,
+            Circuit::GROUND,
+            1.0,
+        );
+        ckt.add_device(dev);
+        let opts = TranOptions { dt_max: Some(2e-9), ..Default::default() };
+        let res = transient(&mut ckt, 2e-6, &opts).unwrap();
+        // Displacement is the first internal unknown: nodes (2) + branches
+        // (1) = index 3.
+        let x_trace = res.raw_unknown(3).unwrap();
+        assert!(x_trace.values()[0].abs() < 1e-12);
+        // Settles at the gap (in contact).
+        assert!((x_trace.last_value() - m.gap).abs() < 0.15 * m.gap);
+    }
+}

@@ -1,0 +1,12 @@
+//! Suspended-gate NEMFET models: quasi-static (hysteretic switch) and
+//! dynamic (beam equation co-simulated in the MNA system).
+
+mod device;
+mod dynamic;
+mod model;
+mod transducer;
+
+pub use device::Nemfet;
+pub use dynamic::{DynamicNemfet, MechanicalParams};
+pub use model::{NemsModel, NemsTargets};
+pub use transducer::{fit_transducer_polynomial, TransducerFit};

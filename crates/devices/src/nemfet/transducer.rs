@@ -1,0 +1,114 @@
+//! The paper's `f(V_g)` polynomial (Section 2.4).
+//!
+//! In the Fig. 6(b) HSPICE model the electromechanical transducer appears
+//! as a voltage-controlled source `f(V_g)` whose "complicated analytical
+//! function" is replaced by "a polynomial approximation … through curve
+//! fitting" \[23\]. We have the analytical function (beam physics in
+//! `nemscmos-mems`), so this module performs exactly that fit and
+//! quantifies its accuracy — reproducing the modelling step the paper
+//! describes.
+
+use nemscmos_mems::dynamics::ActuatorDynamics;
+use nemscmos_numeric::poly::Polynomial;
+use nemscmos_numeric::NumericError;
+
+/// A fitted `f(V_g)` polynomial with its fit diagnostics.
+#[derive(Debug, Clone)]
+pub struct TransducerFit {
+    /// The polynomial approximation of the transducer drop (V → V).
+    pub poly: Polynomial,
+    /// The sampled gate voltages used for the fit.
+    pub samples_v: Vec<f64>,
+    /// The exact (physics) transducer drops at those samples.
+    pub samples_f: Vec<f64>,
+    /// Maximum absolute fit error over the samples (V).
+    pub max_error: f64,
+}
+
+/// Fits a polynomial of the given degree to the transducer drop of a beam
+/// over the stable actuation range `[0, fraction·V_pull-in]`.
+///
+/// # Errors
+///
+/// Propagates [`NumericError`] from the least-squares fit (e.g. an
+/// underdetermined degree).
+///
+/// # Panics
+///
+/// Panics if `fraction` is not in `(0, 1)` or `samples < 2`.
+pub fn fit_transducer_polynomial(
+    dynamics: &ActuatorDynamics,
+    degree: usize,
+    fraction: f64,
+    samples: usize,
+) -> Result<TransducerFit, NumericError> {
+    assert!((0.0..1.0).contains(&fraction) && fraction > 0.0, "fraction must be in (0, 1)");
+    assert!(samples >= 2, "need at least two samples");
+    let v_max = fraction * dynamics.actuator().pull_in_voltage();
+    let samples_v: Vec<f64> =
+        (0..samples).map(|k| v_max * k as f64 / (samples - 1) as f64).collect();
+    let samples_f: Vec<f64> = samples_v.iter().map(|&v| dynamics.transducer_drop(v)).collect();
+    let poly = Polynomial::fit(&samples_v, &samples_f, degree)?;
+    let max_error = samples_v
+        .iter()
+        .zip(samples_f.iter())
+        .map(|(&v, &f)| (poly.eval(v) - f).abs())
+        .fold(0.0f64, f64::max);
+    Ok(TransducerFit { poly, samples_v, samples_f, max_error })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemscmos_mems::electrostatics::Actuator;
+
+    fn dynamics() -> ActuatorDynamics {
+        let act = Actuator::from_parameters(1.0, 0.2e-12, 20e-9, 5e-9, 7.5);
+        ActuatorDynamics::new(act, 4e-14, 5e-8)
+    }
+
+    #[test]
+    fn quartic_fit_tracks_the_physics() {
+        let d = dynamics();
+        let fit = fit_transducer_polynomial(&d, 4, 0.9, 40).unwrap();
+        let span = fit.samples_f.iter().cloned().fold(0.0f64, f64::max);
+        assert!(span > 0.0, "transducer drop must be nonzero below pull-in");
+        assert!(
+            fit.max_error < 0.05 * span,
+            "fit error {:.3e} vs span {:.3e}",
+            fit.max_error,
+            span
+        );
+    }
+
+    #[test]
+    fn higher_degree_fits_at_least_as_well() {
+        let d = dynamics();
+        let lo = fit_transducer_polynomial(&d, 2, 0.9, 40).unwrap();
+        let hi = fit_transducer_polynomial(&d, 6, 0.9, 40).unwrap();
+        assert!(hi.max_error <= lo.max_error * 1.001);
+    }
+
+    #[test]
+    fn drop_vanishes_at_zero_bias() {
+        let d = dynamics();
+        let fit = fit_transducer_polynomial(&d, 4, 0.9, 40).unwrap();
+        assert!(fit.samples_f[0].abs() < 1e-12);
+        // The fitted polynomial respects it approximately.
+        assert!(fit.poly.eval(0.0).abs() < 2.0 * fit.max_error + 1e-12);
+    }
+
+    #[test]
+    fn drop_grows_toward_pull_in() {
+        let d = dynamics();
+        let fit = fit_transducer_polynomial(&d, 4, 0.95, 60).unwrap();
+        let n = fit.samples_f.len();
+        assert!(fit.samples_f[n - 1] > fit.samples_f[n / 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_rejected() {
+        let _ = fit_transducer_polynomial(&dynamics(), 3, 1.5, 10);
+    }
+}

@@ -1,0 +1,96 @@
+//! The ITRS-style technology-scaling trend of Figure 1: supply and
+//! threshold voltages scale together across nodes, and subthreshold
+//! leakage grows exponentially as `V_th` drops.
+
+use crate::VT_300K;
+
+/// One technology node of the scaling trend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Feature size (nm).
+    pub node_nm: f64,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Threshold voltage (V).
+    pub vth: f64,
+    /// Subthreshold leakage (A/µm).
+    pub ioff: f64,
+    /// On current (A/µm).
+    pub ion: f64,
+}
+
+/// ITRS-flavoured high-performance logic roadmap (250 nm → 45 nm), the
+/// qualitative source of the paper's Figure 1.
+const ROADMAP: [(f64, f64, f64); 6] = [
+    // (node_nm, vdd, vth)
+    (250.0, 2.5, 0.50),
+    (180.0, 1.8, 0.45),
+    (130.0, 1.5, 0.40),
+    (90.0, 1.2, 0.33),
+    (65.0, 1.1, 0.28),
+    (45.0, 1.0, 0.22),
+];
+
+/// Subthreshold slope factor assumed across nodes (S ≈ 95 mV/dec).
+const SLOPE_FACTOR: f64 = 1.6;
+
+/// Velocity-saturated drive exponent (alpha-power law).
+const ALPHA: f64 = 1.3;
+
+/// Generates the Figure 1 trend. The 90 nm point is anchored to the
+/// paper's Table 1 (I_OFF = 50 nA/µm, I_ON = 1110 µA/µm); other nodes
+/// follow `I_OFF ∝ 10^(−V_th/S)` and `I_ON ∝ (V_dd − V_th)^α`.
+pub fn itrs_trend() -> Vec<ScalingPoint> {
+    let s = SLOPE_FACTOR * VT_300K * std::f64::consts::LN_10;
+    let (_, vdd90, vth90) = ROADMAP[3];
+    let ioff90 = 50e-9;
+    let ion90 = 1110e-6;
+    ROADMAP
+        .iter()
+        .map(|&(node_nm, vdd, vth)| ScalingPoint {
+            node_nm,
+            vdd,
+            vth,
+            ioff: ioff90 * 10f64.powf((vth90 - vth) / s),
+            ion: ion90 * ((vdd - vth) / (vdd90 - vth90)).powf(ALPHA),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_grows_monotonically_with_scaling() {
+        let trend = itrs_trend();
+        for w in trend.windows(2) {
+            assert!(w[1].node_nm < w[0].node_nm);
+            assert!(w[1].ioff > w[0].ioff, "leakage must grow as nodes shrink");
+        }
+    }
+
+    #[test]
+    fn ninety_nm_matches_table1_anchor() {
+        let p90 = itrs_trend().into_iter().find(|p| p.node_nm == 90.0).unwrap();
+        assert!((p90.ioff - 50e-9).abs() < 1e-15);
+        assert!((p90.ion - 1110e-6).abs() < 1e-12);
+        assert_eq!(p90.vdd, 1.2);
+    }
+
+    #[test]
+    fn leakage_spans_orders_of_magnitude() {
+        let trend = itrs_trend();
+        let ratio = trend.last().unwrap().ioff / trend[0].ioff;
+        assert!(ratio > 100.0, "250 nm → 45 nm leakage should grow >100×, got {ratio}");
+    }
+
+    #[test]
+    fn voltages_scale_down_together() {
+        let trend = itrs_trend();
+        for w in trend.windows(2) {
+            assert!(w[1].vdd <= w[0].vdd);
+            assert!(w[1].vth <= w[0].vth);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests of the compact models: derivative consistency,
+//! physical sign/monotonicity invariants, and calibration round-trips.
+
+use proptest::prelude::*;
+
+use nemscmos_devices::calibrate::{calibrate_mos, MosTargets};
+use nemscmos_devices::characterize::{ion, ioff};
+use nemscmos_devices::mosfet::{MosModel, Polarity};
+use nemscmos_devices::nemfet::NemsModel;
+
+fn nmos() -> MosModel {
+    MosModel::nmos_90nm()
+}
+
+fn pmos() -> MosModel {
+    MosModel::pmos_90nm()
+}
+
+proptest! {
+    /// The analytic partial derivatives agree with central finite
+    /// differences at arbitrary bias points, in all operating regions and
+    /// for both polarities.
+    #[test]
+    fn partials_match_finite_differences(
+        vg in -0.5f64..1.7,
+        vd in -0.5f64..1.7,
+        vs in -0.5f64..1.7,
+        w in 0.2f64..8.0,
+        p_is_nmos in any::<bool>()
+    ) {
+        let m = if p_is_nmos { nmos() } else { pmos() };
+        let h = 1e-7;
+        let (_, dg, dd, ds) = m.ids(vg, vd, vs, w);
+        let ng = (m.ids(vg + h, vd, vs, w).0 - m.ids(vg - h, vd, vs, w).0) / (2.0 * h);
+        let nd = (m.ids(vg, vd + h, vs, w).0 - m.ids(vg, vd - h, vs, w).0) / (2.0 * h);
+        let ns = (m.ids(vg, vd, vs + h, w).0 - m.ids(vg, vd, vs - h, w).0) / (2.0 * h);
+        let scale = ng.abs().max(nd.abs()).max(ns.abs()).max(1e-9);
+        prop_assert!((dg - ng).abs() / scale < 5e-3, "dg {dg} vs {ng}");
+        prop_assert!((dd - nd).abs() / scale < 5e-3, "dd {dd} vs {nd}");
+        prop_assert!((ds - ns).abs() / scale < 5e-3, "ds {ds} vs {ns}");
+    }
+
+    /// Charge conservation: the three terminal partials of the channel
+    /// current sum to zero.
+    #[test]
+    fn partials_sum_to_zero(
+        vg in -0.5f64..1.7,
+        vd in -0.5f64..1.7,
+        vs in -0.5f64..1.7
+    ) {
+        let m = nmos();
+        let (_, dg, dd, ds) = m.ids(vg, vd, vs, 1.0);
+        let scale = dg.abs().max(dd.abs()).max(ds.abs()).max(1e-12);
+        prop_assert!((dg + dd + ds).abs() / scale < 1e-9);
+    }
+
+    /// NMOS current carries the sign of v_ds for any gate bias.
+    #[test]
+    fn current_sign_follows_vds(vg in -0.5f64..1.7, vd in 0.0f64..1.7, vs in 0.0f64..1.7) {
+        let m = nmos();
+        let (i, ..) = m.ids(vg, vd, vs, 1.0);
+        if vd > vs {
+            prop_assert!(i >= 0.0);
+        } else if vd < vs {
+            prop_assert!(i <= 0.0);
+        } else {
+            prop_assert_eq!(i, 0.0);
+        }
+    }
+
+    /// At fixed positive v_ds the current is strictly increasing in v_gs.
+    #[test]
+    fn monotone_in_gate(vg1 in 0.0f64..1.2, dv in 0.01f64..0.5, vd in 0.2f64..1.2) {
+        let m = nmos();
+        let (i1, ..) = m.ids(vg1, vd, 0.0, 1.0);
+        let (i2, ..) = m.ids(vg1 + dv, vd, 0.0, 1.0);
+        prop_assert!(i2 > i1);
+    }
+
+    /// Width scaling is exactly linear.
+    #[test]
+    fn width_scales_linearly(w in 0.1f64..20.0, vg in 0.0f64..1.2) {
+        let m = nmos();
+        let (i1, ..) = m.ids(vg, 1.2, 0.0, 1.0);
+        let (iw, ..) = m.ids(vg, 1.2, 0.0, w);
+        prop_assert!((iw - w * i1).abs() <= 1e-12 * iw.abs().max(1e-18));
+    }
+
+    /// Calibration round-trip: for any physical target set the calibrated
+    /// card reproduces I_ON and I_OFF.
+    #[test]
+    fn calibration_roundtrip(
+        ion_t in 1e-4f64..2e-3,
+        ratio in 2e3f64..1e5,
+        swing_mv in 70.0f64..120.0
+    ) {
+        let targets = MosTargets {
+            ion: ion_t,
+            ioff: ion_t / ratio,
+            swing: swing_mv * 1e-3,
+            vdd: 1.2,
+        };
+        // The swing bounds the achievable ratio range: too many decades
+        // exceed the gate range, too few fall below the quadratic-region
+        // floor. Skip unreachable combinations.
+        let decades_available = 1.2 / (swing_mv * 1e-3);
+        prop_assume!(ratio.log10() < decades_available - 0.5);
+        prop_assume!(ratio.log10() > 3.4);
+        let card = calibrate_mos("prop", Polarity::Nmos, &targets);
+        prop_assert!((ion(&card, 1.2) - targets.ion).abs() / targets.ion < 1e-4);
+        prop_assert!((ioff(&card, 1.2) - targets.ioff).abs() / targets.ioff < 1e-4);
+    }
+
+    /// Raising V_th always reduces both on and off current (off current
+    /// exponentially faster).
+    #[test]
+    fn vth_shift_reduces_currents(shift in 0.01f64..0.3) {
+        let base = nmos();
+        let hv = base.with_vth_shift(shift);
+        prop_assert!(ion(&hv, 1.2) < ion(&base, 1.2));
+        let off_ratio = ioff(&base, 1.2) / ioff(&hv, 1.2);
+        let on_ratio = ion(&base, 1.2) / ion(&hv, 1.2);
+        prop_assert!(off_ratio > on_ratio, "off current must fall faster");
+    }
+
+    /// NEMS actuation is antisymmetric under polarity.
+    #[test]
+    fn nems_actuation_antisymmetric(vg in -2.0f64..2.0, vs in -2.0f64..2.0) {
+        let n = NemsModel::nems_90nm(Polarity::Nmos);
+        let p = NemsModel::nems_90nm(Polarity::Pmos);
+        prop_assert!((n.actuation(vg, vs) + p.actuation(vg, vs)).abs() < 1e-12);
+    }
+}

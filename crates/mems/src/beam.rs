@@ -1,0 +1,177 @@
+//! Euler–Bernoulli beam mechanics for suspended gates and cantilever relays.
+
+use crate::materials::Material;
+
+/// Boundary condition of the suspended beam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Anchor {
+    /// Clamped at both ends, loaded at the centre (suspended-gate MOSFET,
+    /// Fig. 3/4 of the paper).
+    FixedFixed,
+    /// Clamped at one end, loaded at the tip (cantilever / CNT relay,
+    /// Fig. 5 of the paper).
+    Cantilever,
+}
+
+/// A rectangular-cross-section Euler–Bernoulli beam.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_mems::beam::{Anchor, Beam};
+/// use nemscmos_mems::materials::Material;
+///
+/// let b = Beam::new(Material::poly_si(), Anchor::FixedFixed, 2e-6, 500e-9, 100e-9);
+/// // Fixed-fixed is 64x stiffer than the same cantilever.
+/// let c = Beam::new(Material::poly_si(), Anchor::Cantilever, 2e-6, 500e-9, 100e-9);
+/// assert!((b.stiffness() / c.stiffness() - 64.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Beam {
+    material: Material,
+    anchor: Anchor,
+    length: f64,
+    width: f64,
+    thickness: f64,
+}
+
+/// Modal-mass fraction of a fixed-fixed beam's fundamental mode.
+const MODAL_MASS_FIXED_FIXED: f64 = 0.396;
+/// Modal-mass fraction of a cantilever's fundamental mode.
+const MODAL_MASS_CANTILEVER: f64 = 0.236;
+
+impl Beam {
+    /// Creates a beam. Dimensions in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is not strictly positive and finite.
+    pub fn new(material: Material, anchor: Anchor, length: f64, width: f64, thickness: f64) -> Beam {
+        for (what, v) in [("length", length), ("width", width), ("thickness", thickness)] {
+            assert!(v.is_finite() && v > 0.0, "beam {what} must be positive, got {v}");
+        }
+        Beam { material, anchor, length, width, thickness }
+    }
+
+    /// The structural material.
+    pub fn material(&self) -> &Material {
+        &self.material
+    }
+
+    /// The anchor style.
+    pub fn anchor(&self) -> Anchor {
+        self.anchor
+    }
+
+    /// Beam length (m).
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Beam width (m) — also the electrode width.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Beam thickness (m), in the bending direction.
+    pub fn thickness(&self) -> f64 {
+        self.thickness
+    }
+
+    /// Second moment of area `I = w t³ / 12` (m⁴).
+    pub fn second_moment(&self) -> f64 {
+        self.width * self.thickness.powi(3) / 12.0
+    }
+
+    /// Point-load bending stiffness at the actuation point (N/m):
+    /// `192 E I / L³` for fixed-fixed, `3 E I / L³` for a cantilever.
+    pub fn stiffness(&self) -> f64 {
+        let ei = self.material.youngs_modulus * self.second_moment();
+        match self.anchor {
+            Anchor::FixedFixed => 192.0 * ei / self.length.powi(3),
+            Anchor::Cantilever => 3.0 * ei / self.length.powi(3),
+        }
+    }
+
+    /// Total beam mass (kg).
+    pub fn mass(&self) -> f64 {
+        self.material.density * self.length * self.width * self.thickness
+    }
+
+    /// Effective (modal) mass of the fundamental bending mode (kg).
+    pub fn effective_mass(&self) -> f64 {
+        let frac = match self.anchor {
+            Anchor::FixedFixed => MODAL_MASS_FIXED_FIXED,
+            Anchor::Cantilever => MODAL_MASS_CANTILEVER,
+        };
+        frac * self.mass()
+    }
+
+    /// Fundamental resonant frequency `f₀ = √(k/m_eff) / 2π` (Hz).
+    pub fn resonant_frequency(&self) -> f64 {
+        (self.stiffness() / self.effective_mass()).sqrt() / (2.0 * std::f64::consts::PI)
+    }
+
+    /// Plate (electrode) area `L · w` (m²).
+    pub fn plate_area(&self) -> f64 {
+        self.length * self.width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_beam(anchor: Anchor) -> Beam {
+        Beam::new(Material::poly_si(), anchor, 10e-6, 1e-6, 200e-9)
+    }
+
+    #[test]
+    fn stiffness_scales_with_inverse_length_cubed() {
+        let b1 = Beam::new(Material::poly_si(), Anchor::FixedFixed, 1e-6, 1e-6, 100e-9);
+        let b2 = Beam::new(Material::poly_si(), Anchor::FixedFixed, 2e-6, 1e-6, 100e-9);
+        assert!((b1.stiffness() / b2.stiffness() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stiffness_scales_with_thickness_cubed() {
+        let b1 = Beam::new(Material::poly_si(), Anchor::FixedFixed, 1e-6, 1e-6, 100e-9);
+        let b2 = Beam::new(Material::poly_si(), Anchor::FixedFixed, 1e-6, 1e-6, 200e-9);
+        assert!((b2.stiffness() / b1.stiffness() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fixed_fixed_stiffness_formula() {
+        let b = test_beam(Anchor::FixedFixed);
+        let i = 1e-6 * (200e-9f64).powi(3) / 12.0;
+        let expect = 192.0 * 160e9 * i / (10e-6f64).powi(3);
+        assert!((b.stiffness() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn cantilever_is_much_softer() {
+        assert!(test_beam(Anchor::Cantilever).stiffness() < test_beam(Anchor::FixedFixed).stiffness());
+    }
+
+    #[test]
+    fn effective_mass_below_total() {
+        for anchor in [Anchor::FixedFixed, Anchor::Cantilever] {
+            let b = test_beam(anchor);
+            assert!(b.effective_mass() < b.mass());
+            assert!(b.effective_mass() > 0.0);
+        }
+    }
+
+    #[test]
+    fn resonance_in_plausible_mems_range() {
+        // A 10 µm poly-Si fixed-fixed beam resonates in the MHz decade.
+        let f = test_beam(Anchor::FixedFixed).resonant_frequency();
+        assert!(f > 1e5 && f < 1e9, "f0 = {f}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_length_rejected() {
+        let _ = Beam::new(Material::poly_si(), Anchor::FixedFixed, 0.0, 1e-6, 1e-7);
+    }
+}

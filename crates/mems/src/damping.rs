@@ -1,0 +1,182 @@
+//! Squeeze-film damping of a plate moving toward a substrate.
+
+use crate::beam::Beam;
+
+/// Dynamic viscosity of air at 300 K (Pa·s).
+pub const AIR_VISCOSITY: f64 = 1.85e-5;
+
+/// Mean free path of air at atmospheric pressure (m), used for the
+/// Knudsen rarefaction correction.
+pub const AIR_MEAN_FREE_PATH: f64 = 68e-9;
+
+/// Squeeze-film damping model of a rectangular plate over a gap.
+///
+/// Uses the long-rectangular-plate solution
+/// `c = 96 μ_eff L w³ / (π⁴ g³)` with the Veijola rarefaction correction
+/// `μ_eff = μ / (1 + 9.638 Kn^1.159)`, `Kn = λ / g`.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_mems::beam::{Anchor, Beam};
+/// use nemscmos_mems::materials::Material;
+/// use nemscmos_mems::damping::SqueezeFilm;
+///
+/// let beam = Beam::new(Material::alsi(), Anchor::FixedFixed, 1e-6, 200e-9, 50e-9);
+/// let sf = SqueezeFilm::new(&beam, 20e-9);
+/// assert!(sf.coefficient() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SqueezeFilm {
+    length: f64,
+    width: f64,
+    gap: f64,
+    /// Ambient pressure in atmospheres (1.0 = unpackaged).
+    pressure_atm: f64,
+}
+
+impl SqueezeFilm {
+    /// Builds the damper for `beam` over a rest gap `g0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gap is not strictly positive.
+    pub fn new(beam: &Beam, g0: f64) -> SqueezeFilm {
+        SqueezeFilm::from_dimensions(beam.length(), beam.width(), g0)
+    }
+
+    /// Builds the damper from raw plate dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is not strictly positive and finite.
+    pub fn from_dimensions(length: f64, width: f64, g0: f64) -> SqueezeFilm {
+        for (what, v) in [("length", length), ("width", width), ("gap", g0)] {
+            assert!(v.is_finite() && v > 0.0, "squeeze-film {what} must be positive, got {v}");
+        }
+        SqueezeFilm { length, width, gap: g0, pressure_atm: 1.0 }
+    }
+
+    /// Returns this damper at a different ambient pressure (atm) — the
+    /// vacuum-packaging knob: the mean free path scales as `1/P`, driving
+    /// the film into free-molecular flow and collapsing the damping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pressure is not strictly positive and finite.
+    pub fn at_pressure(&self, pressure_atm: f64) -> SqueezeFilm {
+        assert!(
+            pressure_atm.is_finite() && pressure_atm > 0.0,
+            "pressure must be positive"
+        );
+        SqueezeFilm { pressure_atm, ..*self }
+    }
+
+    /// Knudsen number `λ(P) / g` at the rest gap and ambient pressure.
+    pub fn knudsen(&self) -> f64 {
+        AIR_MEAN_FREE_PATH / self.pressure_atm / self.gap
+    }
+
+    /// Effective (rarefied) viscosity (Pa·s).
+    pub fn effective_viscosity(&self) -> f64 {
+        AIR_VISCOSITY / (1.0 + 9.638 * self.knudsen().powf(1.159))
+    }
+
+    /// Damping coefficient at the rest gap (N·s/m).
+    pub fn coefficient(&self) -> f64 {
+        self.coefficient_at_gap(self.gap)
+    }
+
+    /// Damping coefficient at an arbitrary instantaneous gap `g` (N·s/m);
+    /// grows as `1/g³` as the film thins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` is not strictly positive.
+    pub fn coefficient_at_gap(&self, g: f64) -> f64 {
+        assert!(g > 0.0, "gap must be positive");
+        let (long, short) = if self.length >= self.width {
+            (self.length, self.width)
+        } else {
+            (self.width, self.length)
+        };
+        let pi4 = std::f64::consts::PI.powi(4);
+        96.0 * self.effective_viscosity() * long * short.powi(3) / (pi4 * g.powi(3))
+    }
+
+    /// Quality factor of a resonator with stiffness `k` (N/m) and modal
+    /// mass `m` (kg): `Q = √(k m) / c`.
+    pub fn quality_factor(&self, k: f64, m: f64) -> f64 {
+        (k * m).sqrt() / self.coefficient()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::Anchor;
+    use crate::materials::Material;
+
+    fn film() -> SqueezeFilm {
+        SqueezeFilm::from_dimensions(10e-6, 1e-6, 100e-9)
+    }
+
+    #[test]
+    fn damping_grows_as_gap_shrinks() {
+        let f = film();
+        assert!(f.coefficient_at_gap(50e-9) > f.coefficient_at_gap(100e-9));
+        let ratio = f.coefficient_at_gap(50e-9) / f.coefficient_at_gap(100e-9);
+        assert!((ratio - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rarefaction_reduces_viscosity() {
+        let f = film();
+        assert!(f.effective_viscosity() < AIR_VISCOSITY);
+        assert!(f.effective_viscosity() > 0.0);
+    }
+
+    #[test]
+    fn knudsen_number_for_nanogap_is_large() {
+        // 100 nm gap ≈ 0.68 Knudsen: clearly rarefied.
+        assert!((film().knudsen() - 0.68).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_factor_is_consistent() {
+        let beam = Beam::new(Material::poly_si(), Anchor::FixedFixed, 10e-6, 1e-6, 200e-9);
+        let sf = SqueezeFilm::new(&beam, 100e-9);
+        let q = sf.quality_factor(beam.stiffness(), beam.effective_mass());
+        assert!(q > 0.0 && q.is_finite());
+    }
+
+    #[test]
+    fn orientation_does_not_matter() {
+        let a = SqueezeFilm::from_dimensions(10e-6, 1e-6, 100e-9);
+        let b = SqueezeFilm::from_dimensions(1e-6, 10e-6, 100e-9);
+        assert!((a.coefficient() - b.coefficient()).abs() < 1e-20);
+    }
+
+    #[test]
+    fn vacuum_packaging_collapses_damping() {
+        let film = SqueezeFilm::from_dimensions(10e-6, 1e-6, 100e-9);
+        let vacuum = film.at_pressure(1e-3); // millitorr-class package
+        assert!(vacuum.coefficient() < film.coefficient() / 10.0);
+        // Quality factor scales inversely with the damping.
+        let q_atm = film.quality_factor(10.0, 1e-14);
+        let q_vac = vacuum.quality_factor(10.0, 1e-14);
+        assert!(q_vac > 10.0 * q_atm);
+    }
+
+    #[test]
+    #[should_panic(expected = "pressure")]
+    fn bad_pressure_rejected() {
+        let _ = SqueezeFilm::from_dimensions(1e-6, 1e-6, 1e-7).at_pressure(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gap_rejected() {
+        let _ = SqueezeFilm::from_dimensions(1e-6, 1e-6, 0.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Transient pull-in dynamics of the 1-D actuator model.
+//!
+//! Integrates `m ẍ + c ẋ + k x = F_e(v(t), x)` with a contact penalty at
+//! `x = g0`, using classic RK4 with gap-adaptive damping. This is the
+//! paper's Fig. 6(b) electrical-analogy model (L ≙ m, R ≙ c, source ≙
+//! `f(V_g)`) integrated directly in the mechanical domain; it provides
+//! switching-time numbers and the contact-bounce study.
+
+use crate::electrostatics::Actuator;
+use crate::EPSILON_0;
+
+/// Contact penalty stiffness as a multiple of the beam stiffness. Sized so
+/// that the electrostatic hold force at contact penetrates well under a
+/// nanometre for typical NEMS parameters.
+const CONTACT_PENALTY_FACTOR: f64 = 1e4;
+
+/// Damping ratio of the contact penalty (models the inelastic landing of
+/// the beam on the dielectric).
+const CONTACT_DAMPING_RATIO: f64 = 0.7;
+
+/// Lumped 1-D electromechanical actuator dynamics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActuatorDynamics {
+    actuator: Actuator,
+    mass: f64,
+    damping: f64,
+}
+
+/// One sample of a transient trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatePoint {
+    /// Time (s).
+    pub t: f64,
+    /// Displacement into the gap (m).
+    pub x: f64,
+    /// Velocity (m/s).
+    pub v: f64,
+}
+
+/// Result of a switching-transient integration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwitchingTransient {
+    /// Sampled trajectory.
+    pub trajectory: Vec<StatePoint>,
+    /// First time the beam reached 90% of the gap, if it did.
+    pub contact_time: Option<f64>,
+    /// Number of contact bounces (velocity sign reversals while within 2%
+    /// of the gap).
+    pub bounces: usize,
+}
+
+impl ActuatorDynamics {
+    /// Creates the dynamic model from an actuator, modal mass `m` (kg) and
+    /// damping coefficient `c` (N·s/m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mass is not strictly positive or the damping is
+    /// negative.
+    pub fn new(actuator: Actuator, mass: f64, damping: f64) -> ActuatorDynamics {
+        assert!(mass.is_finite() && mass > 0.0, "mass must be positive");
+        assert!(damping.is_finite() && damping >= 0.0, "damping must be non-negative");
+        ActuatorDynamics { actuator, mass, damping }
+    }
+
+    /// The underlying quasi-static actuator.
+    pub fn actuator(&self) -> &Actuator {
+        &self.actuator
+    }
+
+    /// Modal mass (kg).
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// Damping coefficient (N·s/m).
+    pub fn damping(&self) -> f64 {
+        self.damping
+    }
+
+    /// Net force on the beam at `(x, v)` under bias `volts` (N), including
+    /// the contact penalty.
+    pub fn net_force(&self, volts: f64, x: f64, v: f64) -> f64 {
+        let k = self.actuator.stiffness();
+        let g0 = self.actuator.gap();
+        let mut f = self.actuator.force(volts, x) - k * x - self.damping * v;
+        if x > g0 {
+            // Stiff, lossy penalty keeps the beam at the dielectric surface
+            // and absorbs the landing energy.
+            let k_pen = CONTACT_PENALTY_FACTOR * k;
+            let c_pen = 2.0 * CONTACT_DAMPING_RATIO * (k_pen * self.mass).sqrt();
+            f -= k_pen * (x - g0) + c_pen * v;
+        }
+        f
+    }
+
+    /// Integrates the trajectory from rest under the bias waveform
+    /// `volts(t)` for `t_stop` seconds with fixed step `dt` (RK4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` or `t_stop` is not strictly positive.
+    pub fn integrate<V: Fn(f64) -> f64>(&self, volts: V, t_stop: f64, dt: f64) -> SwitchingTransient {
+        assert!(dt > 0.0 && t_stop > 0.0, "dt and t_stop must be positive");
+        let g0 = self.actuator.gap();
+        let contact_level = 0.9 * g0;
+        let bounce_band = 0.02 * g0;
+        let mut x = 0.0f64;
+        let mut v = 0.0f64;
+        let mut t = 0.0f64;
+        let mut trajectory = vec![StatePoint { t, x, v }];
+        let mut contact_time = None;
+        let mut bounces = 0usize;
+        let mut prev_v_sign = 0i8;
+
+        let deriv = |t: f64, x: f64, v: f64, volts: &V| -> (f64, f64) {
+            (v, self.net_force(volts(t), x, v) / self.mass)
+        };
+
+        let steps = (t_stop / dt).ceil() as usize;
+        for _ in 0..steps {
+            let (k1x, k1v) = deriv(t, x, v, &volts);
+            let (k2x, k2v) = deriv(t + dt / 2.0, x + k1x * dt / 2.0, v + k1v * dt / 2.0, &volts);
+            let (k3x, k3v) = deriv(t + dt / 2.0, x + k2x * dt / 2.0, v + k2v * dt / 2.0, &volts);
+            let (k4x, k4v) = deriv(t + dt, x + k3x * dt, v + k3v * dt, &volts);
+            x += dt / 6.0 * (k1x + 2.0 * k2x + 2.0 * k3x + k4x);
+            v += dt / 6.0 * (k1v + 2.0 * k2v + 2.0 * k3v + k4v);
+            t += dt;
+            trajectory.push(StatePoint { t, x, v });
+            if contact_time.is_none() && x >= contact_level {
+                contact_time = Some(t);
+            }
+            // Bounce counting: velocity reversals while near the surface.
+            if (x - g0).abs() < bounce_band {
+                let sign = if v > 0.0 {
+                    1
+                } else if v < 0.0 {
+                    -1
+                } else {
+                    0
+                };
+                if sign != 0 && prev_v_sign != 0 && sign != prev_v_sign {
+                    bounces += 1;
+                }
+                if sign != 0 {
+                    prev_v_sign = sign;
+                }
+            } else {
+                prev_v_sign = 0;
+            }
+        }
+        SwitchingTransient { trajectory, contact_time, bounces }
+    }
+
+    /// Pull-in (switch-on) time under a voltage step to `volts`, or `None`
+    /// if the bias never closes the switch within `t_stop`.
+    pub fn switching_time(&self, volts: f64, t_stop: f64, dt: f64) -> Option<f64> {
+        self.integrate(|_| volts, t_stop, dt).contact_time
+    }
+
+    /// A first-order estimate of the pull-in time for `volts ≫ V_pi`
+    /// (inertia-limited):
+    /// `t ≈ √(27 V_pi² / (2 V²)) / ω0` — useful as a sanity bound.
+    pub fn inertia_limited_time(&self, volts: f64) -> f64 {
+        let vpi = self.actuator.pull_in_voltage();
+        let w0 = (self.actuator.stiffness() / self.mass).sqrt();
+        (27.0 * vpi * vpi / (2.0 * volts * volts)).sqrt() / w0
+    }
+
+    /// The paper's `f(V_g)` abstraction: the voltage "absorbed" by the
+    /// electromechanical transducer at bias `volts` on the stable branch —
+    /// the difference between the applied bias and the voltage that an
+    /// ideal fixed-gap capacitor would need to store the same charge.
+    ///
+    /// Returns `0` beyond pull-in (the gap has collapsed; the drop is then
+    /// fixed by the dielectric).
+    pub fn transducer_drop(&self, volts: f64) -> f64 {
+        match self.actuator.stable_displacement(volts) {
+            Some(x) => {
+                let c0 = self.actuator.capacitance(0.0);
+                let cx = self.actuator.capacitance(x);
+                // Same charge on the moved plate as an ideal capacitor at
+                // full bias: q = cx·volts; the fixed-gap voltage for that
+                // charge is q/c0, so the "lost" drive is volts·(1 − cx/c0)
+                // ... which is negative since cx > c0. The *gain* in drive
+                // is what the paper's f(V_g) subtracts from V_g; report the
+                // magnitude of the difference.
+                (volts * (1.0 - cx / c0)).abs()
+            }
+            None => 0.0,
+        }
+    }
+}
+
+/// Convenience: pull-in voltage of raw lumped parameters (used by tests
+/// and by the device-calibration code).
+pub fn pull_in_voltage(k: f64, area: f64, g0: f64) -> f64 {
+    (8.0 * k * g0.powi(3) / (27.0 * EPSILON_0 * area)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dynamics() -> ActuatorDynamics {
+        // Lumped switch: k = 1 N/m, A = 0.2 µm², g0 = 20 nm, t_d = 5 nm.
+        let act = Actuator::from_parameters(1.0, 0.2e-12, 20e-9, 5e-9, 7.5);
+        // m chosen for f0 ≈ 80 MHz, light damping.
+        ActuatorDynamics::new(act, 4e-14, 5e-9)
+    }
+
+    #[test]
+    fn below_pull_in_never_contacts() {
+        let d = dynamics();
+        let vpi = d.actuator().pull_in_voltage();
+        assert!(d.switching_time(0.8 * vpi, 2e-6, 1e-10).is_none());
+    }
+
+    #[test]
+    fn above_pull_in_contacts() {
+        let d = dynamics();
+        let vpi = d.actuator().pull_in_voltage();
+        let t = d.switching_time(1.5 * vpi, 2e-6, 1e-10).expect("should pull in");
+        assert!(t > 0.0 && t < 2e-6);
+    }
+
+    #[test]
+    fn harder_drive_switches_faster() {
+        let d = dynamics();
+        let vpi = d.actuator().pull_in_voltage();
+        let t_slow = d.switching_time(1.2 * vpi, 5e-6, 1e-10).unwrap();
+        let t_fast = d.switching_time(3.0 * vpi, 5e-6, 1e-10).unwrap();
+        assert!(t_fast < t_slow, "fast {t_fast} vs slow {t_slow}");
+    }
+
+    #[test]
+    fn switching_time_is_in_nanoseconds_for_nems_scale() {
+        let d = dynamics();
+        let vpi = d.actuator().pull_in_voltage();
+        let t = d.switching_time(2.0 * vpi, 2e-6, 1e-10).unwrap();
+        assert!(t > 1e-10 && t < 1e-6, "t = {t:.3e}");
+    }
+
+    #[test]
+    fn trajectory_respects_contact_penalty() {
+        let d = dynamics();
+        let vpi = d.actuator().pull_in_voltage();
+        let result = d.integrate(|_| 2.0 * vpi, 2e-6, 1e-10);
+        let g0 = d.actuator().gap();
+        let overshoot = result
+            .trajectory
+            .iter()
+            .map(|p| p.x - g0)
+            .fold(f64::NEG_INFINITY, f64::max);
+        // Penetration limited to a small fraction of the gap.
+        assert!(overshoot < 0.1 * g0, "overshoot = {overshoot:.3e}");
+    }
+
+    #[test]
+    fn release_returns_to_rest() {
+        // Near-critically damped beam so the release transient settles
+        // within the window.
+        let act = Actuator::from_parameters(1.0, 0.2e-12, 20e-9, 5e-9, 7.5);
+        let d = ActuatorDynamics::new(act, 4e-14, 3e-7);
+        let vpi = d.actuator().pull_in_voltage();
+        // Drive hard for 1 µs, then remove the bias.
+        let result = d.integrate(|t| if t < 1e-6 { 2.0 * vpi } else { 0.0 }, 6e-6, 1e-10);
+        let last = result.trajectory.last().unwrap();
+        assert!(last.x.abs() < 0.2 * d.actuator().gap(), "x_end = {:.3e}", last.x);
+    }
+
+    #[test]
+    fn inertia_estimate_is_same_order_as_simulation() {
+        let d = dynamics();
+        let vpi = d.actuator().pull_in_voltage();
+        let v = 2.0 * vpi;
+        let sim = d.switching_time(v, 5e-6, 1e-10).unwrap();
+        let est = d.inertia_limited_time(v);
+        let ratio = sim / est;
+        assert!(ratio > 0.1 && ratio < 10.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn transducer_drop_grows_with_bias_below_pull_in() {
+        let d = dynamics();
+        let vpi = d.actuator().pull_in_voltage();
+        let d1 = d.transducer_drop(0.3 * vpi);
+        let d2 = d.transducer_drop(0.9 * vpi);
+        assert!(d2 > d1);
+        assert_eq!(d.transducer_drop(2.0 * vpi), 0.0);
+    }
+
+    #[test]
+    fn pull_in_helper_matches_actuator() {
+        let act = Actuator::from_parameters(1.0, 0.2e-12, 20e-9, 0.0, 7.5);
+        let direct = pull_in_voltage(1.0, 0.2e-12, 20e-9);
+        assert!((act.pull_in_voltage() - direct).abs() / direct < 1e-12);
+    }
+}

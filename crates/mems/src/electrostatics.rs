@@ -1,0 +1,231 @@
+//! Parallel-plate electrostatic actuation, pull-in, and release.
+
+use crate::beam::Beam;
+use crate::EPSILON_0;
+
+/// An electrostatically actuated gap: a beam suspended a distance `g0`
+/// above a fixed electrode covered by a thin dielectric.
+///
+/// Displacement `x` is measured *into* the gap: `x = 0` is the rest
+/// position, `x = g0` is mechanical contact with the dielectric surface.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_mems::beam::{Anchor, Beam};
+/// use nemscmos_mems::materials::Material;
+/// use nemscmos_mems::electrostatics::Actuator;
+///
+/// let beam = Beam::new(Material::alsi(), Anchor::FixedFixed, 1e-6, 200e-9, 50e-9);
+/// let act = Actuator::new(&beam, 20e-9, 5e-9, 7.5);
+/// // Classic result: static pull-in at one third of the electrical gap.
+/// let total_gap = 20e-9 + act.contact_gap();
+/// assert!((act.pull_in_displacement() - total_gap / 3.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Actuator {
+    stiffness: f64,
+    area: f64,
+    gap: f64,
+    dielectric_thickness: f64,
+    dielectric_constant: f64,
+}
+
+impl Actuator {
+    /// Builds an actuator from a beam over an air gap `g0` with a
+    /// dielectric of thickness `t_d` and relative permittivity `eps_r`
+    /// on the fixed electrode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g0` or `eps_r` is not strictly positive, or `t_d` is
+    /// negative.
+    pub fn new(beam: &Beam, g0: f64, t_d: f64, eps_r: f64) -> Actuator {
+        Actuator::from_parameters(beam.stiffness(), beam.plate_area(), g0, t_d, eps_r)
+    }
+
+    /// Builds an actuator from raw lumped parameters (stiffness in N/m,
+    /// electrode area in m²).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive stiffness, area, gap or permittivity, or a
+    /// negative dielectric thickness.
+    pub fn from_parameters(stiffness: f64, area: f64, g0: f64, t_d: f64, eps_r: f64) -> Actuator {
+        assert!(stiffness.is_finite() && stiffness > 0.0, "stiffness must be positive");
+        assert!(area.is_finite() && area > 0.0, "area must be positive");
+        assert!(g0.is_finite() && g0 > 0.0, "gap must be positive");
+        assert!(t_d.is_finite() && t_d >= 0.0, "dielectric thickness must be non-negative");
+        assert!(eps_r.is_finite() && eps_r > 0.0, "dielectric constant must be positive");
+        Actuator { stiffness, area, gap: g0, dielectric_thickness: t_d, dielectric_constant: eps_r }
+    }
+
+    /// Spring constant (N/m).
+    pub fn stiffness(&self) -> f64 {
+        self.stiffness
+    }
+
+    /// Electrode area (m²).
+    pub fn area(&self) -> f64 {
+        self.area
+    }
+
+    /// Rest air gap `g0` (m).
+    pub fn gap(&self) -> f64 {
+        self.gap
+    }
+
+    /// Equivalent air thickness of the contact dielectric `t_d / ε_r` (m).
+    pub fn contact_gap(&self) -> f64 {
+        self.dielectric_thickness / self.dielectric_constant
+    }
+
+    /// Total electrical gap at displacement `x` (m): remaining air plus
+    /// the dielectric's air-equivalent thickness.
+    pub fn electrical_gap(&self, x: f64) -> f64 {
+        (self.gap - x).max(0.0) + self.contact_gap()
+    }
+
+    /// Gap capacitance at displacement `x` (F).
+    pub fn capacitance(&self, x: f64) -> f64 {
+        EPSILON_0 * self.area / self.electrical_gap(x)
+    }
+
+    /// Attractive electrostatic force at bias `v` and displacement `x` (N):
+    /// `F = ε0 A v² / (2 g_el(x)²)`.
+    pub fn force(&self, v: f64, x: f64) -> f64 {
+        let g = self.electrical_gap(x);
+        EPSILON_0 * self.area * v * v / (2.0 * g * g)
+    }
+
+    /// Static pull-in displacement: one third of the *total* electrical
+    /// gap `(g0 + g_c) / 3`, clamped to the mechanical travel `g0` (for a
+    /// thick dielectric the beam can contact before going unstable).
+    pub fn pull_in_displacement(&self) -> f64 {
+        ((self.gap + self.contact_gap()) / 3.0).min(self.gap)
+    }
+
+    /// Static pull-in voltage
+    /// `V_pi = √(8 k g0³ / 27 ε0 A)` (with `g0` extended by the dielectric's
+    /// air-equivalent thickness).
+    pub fn pull_in_voltage(&self) -> f64 {
+        let g = self.gap + self.contact_gap();
+        (8.0 * self.stiffness * g.powi(3) / (27.0 * EPSILON_0 * self.area)).sqrt()
+    }
+
+    /// Release (pull-out) voltage: the bias below which the spring
+    /// restoring force at contact exceeds the electrostatic hold force,
+    /// `V_po = √(2 k g0 g_c² / ε0 A)` with `g_c` the contact gap.
+    ///
+    /// For an ideal zero-thickness dielectric this is zero (infinite hold
+    /// force), so callers model stiction-free switches with `t_d > 0`.
+    pub fn pull_out_voltage(&self) -> f64 {
+        let gc = self.contact_gap();
+        (2.0 * self.stiffness * self.gap * gc * gc / (EPSILON_0 * self.area)).sqrt()
+    }
+
+    /// Static equilibrium displacement on the *stable* (non-contacted)
+    /// branch for bias `v`, found by solving `k x = F(v, x)` with
+    /// bisection, or `None` if `v` exceeds pull-in (no stable equilibrium).
+    pub fn stable_displacement(&self, v: f64) -> Option<f64> {
+        if v.abs() >= self.pull_in_voltage() {
+            return None;
+        }
+        let xpi = self.pull_in_displacement();
+        // The stable root lies in [0, x_pi]; net(x) = F − k·x is ≥ 0 at
+        // x = 0 and < 0 at x_pi for v < V_pi.
+        let net = |x: f64| self.force(v, x) - self.stiffness * x;
+        if net(xpi) > 0.0 {
+            // Numerically right at the boundary: treat as pulled in.
+            return None;
+        }
+        let mut lo = 0.0;
+        let mut hi = xpi;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if net(mid) >= 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beam::Anchor;
+    use crate::materials::Material;
+
+    fn actuator() -> Actuator {
+        let beam = Beam::new(Material::alsi(), Anchor::FixedFixed, 1e-6, 200e-9, 50e-9);
+        Actuator::new(&beam, 20e-9, 5e-9, 7.5)
+    }
+
+    #[test]
+    fn force_increases_as_gap_closes() {
+        let a = actuator();
+        assert!(a.force(1.0, 10e-9) > a.force(1.0, 0.0));
+    }
+
+    #[test]
+    fn force_is_quadratic_in_voltage() {
+        let a = actuator();
+        let f1 = a.force(1.0, 0.0);
+        let f2 = a.force(2.0, 0.0);
+        assert!((f2 / f1 - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacitance_grows_to_contact() {
+        let a = actuator();
+        assert!(a.capacitance(a.gap()) > a.capacitance(0.0));
+        // At contact the capacitance is set by the dielectric alone.
+        let c_contact = a.capacitance(a.gap());
+        let expect = crate::EPSILON_0 * a.area() / a.contact_gap();
+        assert!((c_contact - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn pull_in_matches_closed_form_equilibrium() {
+        // Just below V_pi a stable equilibrium exists near g0/3; just above
+        // it does not.
+        let a = actuator();
+        let vpi = a.pull_in_voltage();
+        let x = a.stable_displacement(0.999 * vpi).expect("stable below pull-in");
+        assert!(
+            (x - a.pull_in_displacement()).abs() < 0.15 * a.pull_in_displacement(),
+            "x = {x:.3e}"
+        );
+        assert!(a.stable_displacement(1.001 * vpi).is_none());
+    }
+
+    #[test]
+    fn zero_bias_rests_at_zero() {
+        let a = actuator();
+        let x = a.stable_displacement(0.0).unwrap();
+        assert!(x.abs() < 1e-15);
+    }
+
+    #[test]
+    fn hysteresis_window_exists() {
+        let a = actuator();
+        assert!(a.pull_out_voltage() < a.pull_in_voltage());
+        assert!(a.pull_out_voltage() > 0.0);
+    }
+
+    #[test]
+    fn stiffer_spring_raises_pull_in() {
+        let soft = Actuator::from_parameters(1.0, 1e-12, 20e-9, 5e-9, 7.5);
+        let stiff = Actuator::from_parameters(4.0, 1e-12, 20e-9, 5e-9, 7.5);
+        assert!((stiff.pull_in_voltage() / soft.pull_in_voltage() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_gap_rejected() {
+        let _ = Actuator::from_parameters(1.0, 1e-12, 0.0, 1e-9, 7.5);
+    }
+}

@@ -1,0 +1,34 @@
+//! Electromechanical physics of suspended-gate NEMS switches.
+//!
+//! This crate models the *mechanical* half of a NEMFET (suspended-gate
+//! MOSFET): beam elasticity, parallel-plate electrostatic actuation,
+//! squeeze-film damping, and the 1-D pull-in dynamics. It supplies the
+//! physically-derived spring constant `k`, modal mass `m`, damping `c`,
+//! pull-in voltage `V_pi` and release voltage `V_po` that parameterize the
+//! NEMFET compact model in `nemscmos-devices` — the paper's equivalent of
+//! the R/L/f(V_g) electrical-analogy model of Fig. 6(b).
+//!
+//! All quantities are SI (metres, kilograms, seconds, volts, newtons).
+//!
+//! # Example
+//!
+//! ```
+//! use nemscmos_mems::beam::{Anchor, Beam};
+//! use nemscmos_mems::materials::Material;
+//! use nemscmos_mems::electrostatics::Actuator;
+//!
+//! // A 1 µm × 200 nm × 50 nm AlSi fixed-fixed beam over a 20 nm air gap.
+//! let beam = Beam::new(Material::alsi(), Anchor::FixedFixed, 1e-6, 200e-9, 50e-9);
+//! let act = Actuator::new(&beam, 20e-9, 5e-9, 7.5);
+//! assert!(act.pull_in_voltage() > 0.1 && act.pull_in_voltage() < 10.0);
+//! assert!(act.pull_out_voltage() < act.pull_in_voltage()); // hysteresis
+//! ```
+
+pub mod beam;
+pub mod damping;
+pub mod dynamics;
+pub mod electrostatics;
+pub mod materials;
+
+/// Vacuum permittivity (F/m).
+pub const EPSILON_0: f64 = 8.854_187_812_8e-12;

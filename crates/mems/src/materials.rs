@@ -1,0 +1,82 @@
+//! Structural materials for surface-micromachined NEMS.
+
+/// A linear-elastic structural material.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_mems::materials::Material;
+///
+/// let alsi = Material::alsi();
+/// assert!(alsi.youngs_modulus > 50e9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Material {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Young's modulus in pascals.
+    pub youngs_modulus: f64,
+    /// Mass density in kg/m³.
+    pub density: f64,
+}
+
+impl Material {
+    /// Creates a custom material.
+    ///
+    /// # Panics
+    ///
+    /// Panics if modulus or density is not strictly positive and finite.
+    pub fn new(name: &'static str, youngs_modulus: f64, density: f64) -> Material {
+        assert!(
+            youngs_modulus.is_finite() && youngs_modulus > 0.0,
+            "Young's modulus must be positive"
+        );
+        assert!(density.is_finite() && density > 0.0, "density must be positive");
+        Material { name, youngs_modulus, density }
+    }
+
+    /// Sputtered AlSi — the suspended-gate material of the paper's process
+    /// flow (Fig. 7(f)).
+    pub fn alsi() -> Material {
+        Material::new("AlSi", 70e9, 2700.0)
+    }
+
+    /// LPCVD polysilicon, the classic surface-micromachining structural
+    /// layer.
+    pub fn poly_si() -> Material {
+        Material::new("poly-Si", 160e9, 2330.0)
+    }
+
+    /// Single-crystal silicon (⟨110⟩ average).
+    pub fn silicon() -> Material {
+        Material::new("Si", 170e9, 2329.0)
+    }
+
+    /// Silicon nitride (LPCVD).
+    pub fn silicon_nitride() -> Material {
+        Material::new("Si3N4", 250e9, 3100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stock_materials_are_ordered_by_stiffness() {
+        assert!(Material::alsi().youngs_modulus < Material::poly_si().youngs_modulus);
+        assert!(Material::poly_si().youngs_modulus < Material::silicon_nitride().youngs_modulus);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_modulus_rejected() {
+        let _ = Material::new("bad", 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_density_rejected() {
+        let _ = Material::new("bad", 1.0, -1.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! Minimal complex arithmetic and a dense complex LU solver, used by the
+//! AC small-signal analysis.
+
+use crate::{NumericError, Result};
+
+/// A complex number (rectangular form).
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_numeric::complex::Complex;
+///
+/// let j = Complex::new(0.0, 1.0);
+/// assert_eq!(j * j, Complex::new(-1.0, 0.0));
+/// assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates `re + j·im`.
+    pub fn new(re: f64, im: f64) -> Complex {
+        Complex { re, im }
+    }
+
+    /// A purely real value.
+    pub fn real(re: f64) -> Complex {
+        Complex { re, im: 0.0 }
+    }
+
+    /// A purely imaginary value.
+    pub fn imag(im: f64) -> Complex {
+        Complex { re: 0.0, im }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Phase in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex { re: self.re, im: -self.im }
+    }
+
+    /// Magnitude in decibels (`20 log10 |z|`); `-inf` for zero.
+    pub fn db(self) -> f64 {
+        20.0 * self.abs().log10()
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        let d = rhs.re * rhs.re + rhs.im * rhs.im;
+        Complex::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl std::ops::Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl std::ops::AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+/// A column-major dense complex matrix with an LU solve, sufficient for
+/// the AC analysis of the circuit sizes in this workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexMatrix {
+    n: usize,
+    data: Vec<Complex>,
+}
+
+impl ComplexMatrix {
+    /// Creates an `n x n` zero matrix.
+    pub fn zeros(n: usize) -> ComplexMatrix {
+        ComplexMatrix { n, data: vec![Complex::ZERO; n * n] }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> Complex {
+        assert!(r < self.n && c < self.n, "index out of bounds");
+        self.data[c * self.n + r]
+    }
+
+    /// Adds `v` to element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: Complex) {
+        assert!(r < self.n && c < self.n, "index out of bounds");
+        self.data[c * self.n + r] += v;
+    }
+
+    /// Solves `A x = b` by LU with partial pivoting (consumes a copy of
+    /// the matrix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::SingularMatrix`] on a vanishing pivot and
+    /// [`NumericError::DimensionMismatch`] for a wrong-length right-hand
+    /// side.
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch { got: b.len(), expected: n });
+        }
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        let at = |a: &Vec<Complex>, r: usize, c: usize| a[c * n + r];
+        for k in 0..n {
+            // Partial pivot by magnitude.
+            let mut p = k;
+            let mut best = at(&a, k, k).abs();
+            for r in (k + 1)..n {
+                let v = at(&a, r, k).abs();
+                if v > best {
+                    best = v;
+                    p = r;
+                }
+            }
+            if best.is_nan() || best <= 1e-300 {
+                return Err(NumericError::SingularMatrix { column: k });
+            }
+            if p != k {
+                for c in 0..n {
+                    a.swap(c * n + k, c * n + p);
+                }
+                x.swap(k, p);
+            }
+            let pivot = at(&a, k, k);
+            for r in (k + 1)..n {
+                let m = at(&a, r, k) / pivot;
+                if m.abs() != 0.0 {
+                    for c in (k + 1)..n {
+                        let sub = m * at(&a, k, c);
+                        a[c * n + r] = a[c * n + r] - sub;
+                    }
+                    let sub = m * x[k];
+                    x[r] = x[r] - sub;
+                }
+            }
+        }
+        for k in (0..n).rev() {
+            for c in (k + 1)..n {
+                let sub = at(&a, k, c) * x[c];
+                x[k] = x[k] - sub;
+            }
+            x[k] = x[k] / at(&a, k, k);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-0.5, 3.0);
+        assert_eq!(a + b - b, a);
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < 1e-14);
+        assert_eq!(a.conj().im, -2.0);
+        assert!((Complex::ONE.db() - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        // (1+j) x = 2 → x = 1 − j.
+        let mut m = ComplexMatrix::zeros(1);
+        m.add(0, 0, Complex::new(1.0, 1.0));
+        let x = m.solve(&[Complex::real(2.0)]).unwrap();
+        assert!((x[0] - Complex::new(1.0, -1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solves_2x2_with_pivoting() {
+        let mut m = ComplexMatrix::zeros(2);
+        m.add(0, 1, Complex::ONE);
+        m.add(1, 0, Complex::imag(1.0));
+        let x = m.solve(&[Complex::real(3.0), Complex::real(2.0)]).unwrap();
+        // x1 = 3 (from row 0); j x0 = 2 → x0 = −2j.
+        assert!((x[1] - Complex::real(3.0)).abs() < 1e-14);
+        assert!((x[0] - Complex::new(0.0, -2.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let m = ComplexMatrix::zeros(2);
+        assert!(matches!(
+            m.solve(&[Complex::ZERO, Complex::ZERO]),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_rhs_rejected() {
+        let m = ComplexMatrix::zeros(2);
+        assert!(matches!(
+            m.solve(&[Complex::ZERO]),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn residual_of_random_system_is_small() {
+        // Deterministic pseudo-random fill.
+        let n = 12;
+        let mut m = ComplexMatrix::zeros(n);
+        let mut seed = 1u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / 2f64.powi(31)) - 1.0
+        };
+        for r in 0..n {
+            for c in 0..n {
+                m.add(r, c, Complex::new(rnd(), rnd()));
+            }
+            m.add(r, r, Complex::real(4.0)); // diagonally dominant-ish
+        }
+        let b: Vec<Complex> = (0..n).map(|k| Complex::new(k as f64, -1.0)).collect();
+        let x = m.solve(&b).unwrap();
+        // Check A x ≈ b.
+        for (r, &br) in b.iter().enumerate() {
+            let mut acc = Complex::ZERO;
+            for (c, &xc) in x.iter().enumerate() {
+                acc += m.get(r, c) * xc;
+            }
+            assert!((acc - br).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,395 @@
+//! Column-major dense matrices and LU factorization with partial pivoting.
+//!
+//! Dense solves are used for small circuit Jacobians (a handful of nodes),
+//! for the normal equations of polynomial least-squares fits, and as the
+//! reference oracle in property tests of the sparse LU.
+
+use crate::{NumericError, Result};
+
+/// A column-major dense matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_numeric::dense::DenseMatrix;
+///
+/// let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(a.get(1, 0), 3.0);
+/// let y = a.mat_vec(&[1.0, 1.0]);
+/// assert_eq!(y, vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    /// Column-major storage: element (r, c) lives at `data[c * rows + r]`.
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nr = rows.len();
+        let nc = rows.first().map_or(0, |r| r.len());
+        let mut m = DenseMatrix::zeros(nr, nc);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), nc, "inconsistent row length in from_rows");
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[c * self.rows + r]
+    }
+
+    /// Sets element `(r, c)` to `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[c * self.rows + r] = v;
+    }
+
+    /// Adds `v` to element `(r, c)` — the natural operation for MNA stamping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[c * self.rows + r] += v;
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "mat_vec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (c, &xc) in x.iter().enumerate() {
+            if xc == 0.0 {
+                continue;
+            }
+            let col = &self.data[c * self.rows..(c + 1) * self.rows];
+            for (yr, &a) in y.iter_mut().zip(col.iter()) {
+                *yr += a * xc;
+            }
+        }
+        y
+    }
+
+    /// Factors the matrix in place and solves `A x = b`.
+    ///
+    /// This is a convenience wrapper around [`DenseLu::factor`] for one-shot
+    /// solves; reuse a [`DenseLu`] when solving with several right-hand
+    /// sides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::SingularMatrix`] if a zero pivot is
+    /// encountered and [`NumericError::DimensionMismatch`] if `b` has the
+    /// wrong length or the matrix is not square.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let lu = DenseLu::factor(self.clone())?;
+        lu.solve(b)
+    }
+}
+
+/// An LU factorization (with partial pivoting) of a square [`DenseMatrix`].
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_numeric::dense::{DenseLu, DenseMatrix};
+///
+/// # fn main() -> Result<(), nemscmos_numeric::NumericError> {
+/// let a = DenseMatrix::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+/// let lu = DenseLu::factor(a)?;
+/// let x = lu.solve(&[2.0, 2.0])?;
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseLu {
+    lu: DenseMatrix,
+    /// Row permutation: `perm[k]` is the original row used as the k-th pivot.
+    perm: Vec<usize>,
+}
+
+/// Pivot magnitudes below this threshold are treated as singular.
+const PIVOT_EPS: f64 = 1e-300;
+
+impl DenseLu {
+    /// Factors `a` as `P A = L U` using partial (row) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] for non-square input and
+    /// [`NumericError::SingularMatrix`] if no usable pivot exists in some
+    /// column.
+    pub fn factor(mut a: DenseMatrix) -> Result<Self> {
+        let n = a.rows;
+        if a.cols != n {
+            return Err(NumericError::DimensionMismatch { got: a.cols, expected: n });
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        for k in 0..n {
+            // Find pivot: largest magnitude in column k at or below the diagonal.
+            let mut p = k;
+            let mut best = a.get(k, k).abs();
+            for r in (k + 1)..n {
+                let v = a.get(r, k).abs();
+                if v > best {
+                    best = v;
+                    p = r;
+                }
+            }
+            if best.is_nan() || best <= PIVOT_EPS {
+                return Err(NumericError::SingularMatrix { column: k });
+            }
+            if p != k {
+                perm.swap(k, p);
+                for c in 0..n {
+                    let t = a.get(k, c);
+                    a.set(k, c, a.get(p, c));
+                    a.set(p, c, t);
+                }
+            }
+            let pivot = a.get(k, k);
+            for r in (k + 1)..n {
+                let m = a.get(r, k) / pivot;
+                a.set(r, k, m);
+                if m != 0.0 {
+                    for c in (k + 1)..n {
+                        a.add(r, c, -m * a.get(k, c));
+                    }
+                }
+            }
+        }
+        Ok(DenseLu { lu: a, perm })
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.lu.rows
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch { got: b.len(), expected: n });
+        }
+        // Apply permutation.
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution with unit-diagonal L.
+        for k in 0..n {
+            for r in (k + 1)..n {
+                let m = self.lu.get(r, k);
+                if m != 0.0 {
+                    x[r] -= m * x[k];
+                }
+            }
+        }
+        // Back substitution with U.
+        for k in (0..n).rev() {
+            for c in (k + 1)..n {
+                let u = self.lu.get(k, c);
+                if u != 0.0 {
+                    x[k] -= u * x[c];
+                }
+            }
+            x[k] /= self.lu.get(k, k);
+        }
+        Ok(x)
+    }
+}
+
+/// Solves the linear least-squares problem `min ||A x - b||_2` via the
+/// normal equations `A^T A x = A^T b`.
+///
+/// Adequate for the low-order polynomial fits used by the device models
+/// (condition numbers stay small for degree ≤ 6 on normalized abscissae).
+///
+/// # Errors
+///
+/// Returns [`NumericError::DimensionMismatch`] if `b.len() != a.rows()` and
+/// [`NumericError::SingularMatrix`] if `A^T A` is singular (rank-deficient
+/// fit).
+pub fn least_squares(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(NumericError::DimensionMismatch { got: b.len(), expected: a.rows() });
+    }
+    let m = a.rows();
+    let n = a.cols();
+    let mut ata = DenseMatrix::zeros(n, n);
+    let mut atb = vec![0.0; n];
+    for (i, atb_i) in atb.iter_mut().enumerate() {
+        for j in 0..n {
+            let mut s = 0.0;
+            for r in 0..m {
+                s += a.get(r, i) * a.get(r, j);
+            }
+            ata.set(i, j, s);
+        }
+        *atb_i = b.iter().enumerate().map(|(r, &br)| a.get(r, i) * br).sum();
+    }
+    ata.solve(&atb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_to_rhs() {
+        let a = DenseMatrix::identity(4);
+        let b = [1.0, -2.0, 3.0, 0.5];
+        let x = a.solve(&b).unwrap();
+        for (xi, bi) in x.iter().zip(b.iter()) {
+            assert!((xi - bi).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&[5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-15);
+        assert!((x[1] - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        match a.solve(&[1.0, 2.0]) {
+            Err(NumericError::SingularMatrix { .. }) => {}
+            other => panic!("expected SingularMatrix, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_square_factor_is_rejected() {
+        let a = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            DenseLu::factor(a),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_rejected() {
+        let a = DenseMatrix::identity(3);
+        let lu = DenseLu::factor(a).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0, 2.0]),
+            Err(NumericError::DimensionMismatch { got: 2, expected: 3 })
+        ));
+    }
+
+    #[test]
+    fn solve_matches_mat_vec_roundtrip() {
+        let a = DenseMatrix::from_rows(&[
+            &[4.0, -2.0, 1.0],
+            &[-2.0, 4.0, -2.0],
+            &[1.0, -2.0, 4.0],
+        ]);
+        let x_true = [1.0, 2.0, 3.0];
+        let b = a.mat_vec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_line() {
+        // Fit y = 2 + 3 t through exact samples.
+        let ts = [0.0, 1.0, 2.0, 3.0];
+        let mut a = DenseMatrix::zeros(4, 2);
+        let mut b = vec![0.0; 4];
+        for (r, &t) in ts.iter().enumerate() {
+            a.set(r, 0, 1.0);
+            a.set(r, 1, t);
+            b[r] = 2.0 + 3.0 * t;
+        }
+        let c = least_squares(&a, &b).unwrap();
+        assert!((c[0] - 2.0).abs() < 1e-12);
+        assert!((c[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_rejects_bad_rhs() {
+        let a = DenseMatrix::zeros(3, 2);
+        assert!(matches!(
+            least_squares(&a, &[1.0]),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_zeroes_all_entries() {
+        let mut a = DenseMatrix::identity(3);
+        a.clear();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a.get(i, j), 0.0);
+            }
+        }
+    }
+}

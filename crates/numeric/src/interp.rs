@@ -1,0 +1,182 @@
+//! Piecewise-linear interpolation over sampled waveforms.
+
+use crate::{NumericError, Result};
+
+/// A piecewise-linear function defined by sorted `(x, y)` breakpoints.
+///
+/// Evaluation clamps to the end values outside the breakpoint range, which
+/// matches SPICE PWL-source semantics.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_numeric::interp::PiecewiseLinear;
+///
+/// # fn main() -> Result<(), nemscmos_numeric::NumericError> {
+/// let pwl = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 2.0), (3.0, 2.0)])?;
+/// assert_eq!(pwl.eval(0.5), 1.0);
+/// assert_eq!(pwl.eval(-1.0), 0.0); // clamped
+/// assert_eq!(pwl.eval(10.0), 2.0); // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    points: Vec<(f64, f64)>,
+}
+
+impl PiecewiseLinear {
+    /// Creates a piecewise-linear function from breakpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if the list is empty, if
+    /// any coordinate is non-finite, or if the abscissae are not strictly
+    /// increasing.
+    pub fn new(points: Vec<(f64, f64)>) -> Result<Self> {
+        if points.is_empty() {
+            return Err(NumericError::InvalidArgument("empty PWL point list".into()));
+        }
+        for w in points.windows(2) {
+            if w[1].0.partial_cmp(&w[0].0) != Some(std::cmp::Ordering::Greater) {
+                return Err(NumericError::InvalidArgument(format!(
+                    "PWL abscissae must be strictly increasing ({} then {})",
+                    w[0].0, w[1].0
+                )));
+            }
+        }
+        if points.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+            return Err(NumericError::InvalidArgument("non-finite PWL point".into()));
+        }
+        Ok(PiecewiseLinear { points })
+    }
+
+    /// The breakpoints.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// Evaluates the function at `x`, clamping outside the defined range.
+    pub fn eval(&self, x: f64) -> f64 {
+        let pts = &self.points;
+        if x <= pts[0].0 {
+            return pts[0].1;
+        }
+        if x >= pts[pts.len() - 1].0 {
+            return pts[pts.len() - 1].1;
+        }
+        // Binary search for the segment containing x.
+        let idx = pts.partition_point(|&(px, _)| px <= x);
+        let (x0, y0) = pts[idx - 1];
+        let (x1, y1) = pts[idx];
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+
+    /// Earliest `x >= from` at which the function crosses `level`,
+    /// or `None` if it never does.
+    ///
+    /// Segments are scanned left to right; a breakpoint exactly on the
+    /// level counts as a crossing.
+    pub fn crossing(&self, level: f64, from: f64) -> Option<f64> {
+        let pts = &self.points;
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if x1 < from {
+                continue;
+            }
+            let lo = y0.min(y1);
+            let hi = y0.max(y1);
+            if level < lo || level > hi {
+                continue;
+            }
+            let x = if (y1 - y0).abs() < f64::MIN_POSITIVE {
+                x0
+            } else {
+                x0 + (x1 - x0) * (level - y0) / (y1 - y0)
+            };
+            if x >= from {
+                return Some(x);
+            }
+        }
+        None
+    }
+}
+
+/// Trapezoidal integral of samples `(xs, ys)` over the full range.
+///
+/// # Panics
+///
+/// Panics if `xs.len() != ys.len()`.
+///
+/// ```
+/// let xs = [0.0, 1.0, 2.0];
+/// let ys = [0.0, 1.0, 0.0];
+/// assert_eq!(nemscmos_numeric::interp::trapezoid(&xs, &ys), 1.0);
+/// ```
+pub fn trapezoid(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "trapezoid sample length mismatch");
+    let mut acc = 0.0;
+    for i in 1..xs.len() {
+        acc += 0.5 * (ys[i] + ys[i - 1]) * (xs[i] - xs[i - 1]);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_constant() {
+        let pwl = PiecewiseLinear::new(vec![(0.0, 3.0)]).unwrap();
+        assert_eq!(pwl.eval(-5.0), 3.0);
+        assert_eq!(pwl.eval(5.0), 3.0);
+    }
+
+    #[test]
+    fn rejects_non_increasing_abscissae() {
+        assert!(PiecewiseLinear::new(vec![(0.0, 0.0), (0.0, 1.0)]).is_err());
+        assert!(PiecewiseLinear::new(vec![(1.0, 0.0), (0.0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(PiecewiseLinear::new(vec![]).is_err());
+        assert!(PiecewiseLinear::new(vec![(0.0, f64::NAN)]).is_err());
+    }
+
+    #[test]
+    fn interpolates_midpoints() {
+        let pwl = PiecewiseLinear::new(vec![(0.0, 0.0), (2.0, 4.0)]).unwrap();
+        assert_eq!(pwl.eval(1.0), 2.0);
+        assert_eq!(pwl.eval(1.5), 3.0);
+    }
+
+    #[test]
+    fn crossing_finds_rising_edge() {
+        let pwl = PiecewiseLinear::new(vec![(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]).unwrap();
+        assert_eq!(pwl.crossing(0.5, 0.0), Some(0.5));
+        // Falling edge after t = 1.
+        assert_eq!(pwl.crossing(0.5, 1.0), Some(1.5));
+        assert_eq!(pwl.crossing(2.0, 0.0), None);
+    }
+
+    #[test]
+    fn crossing_on_flat_segment_returns_segment_start() {
+        let pwl = PiecewiseLinear::new(vec![(0.0, 1.0), (1.0, 1.0), (2.0, 0.0)]).unwrap();
+        assert_eq!(pwl.crossing(1.0, 0.0), Some(0.0));
+    }
+
+    #[test]
+    fn trapezoid_of_constant() {
+        let xs = [0.0, 0.5, 2.0];
+        let ys = [3.0, 3.0, 3.0];
+        assert!((trapezoid(&xs, &ys) - 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn trapezoid_of_empty_is_zero() {
+        assert_eq!(trapezoid(&[], &[]), 0.0);
+    }
+}

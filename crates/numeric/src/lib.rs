@@ -1,0 +1,162 @@
+//! Numerical kernels for the `nemscmos` circuit-simulation workspace.
+//!
+//! This crate is self-contained (no external dependencies) and provides the
+//! numerical machinery that the MNA circuit simulator
+//! ([`nemscmos-spice`](https://example.com/nemscmos)) and the device models
+//! are built on:
+//!
+//! * [`dense`] — column-major dense matrices and LU factorization with
+//!   partial pivoting, used for small systems and for least-squares fits.
+//! * [`sparse`] — triplet and compressed-sparse-column matrices plus a
+//!   left-looking Gilbert–Peierls LU with partial pivoting, used for the
+//!   MNA Jacobians of larger circuits.
+//! * [`newton`] — a damped Newton–Raphson driver for nonlinear systems.
+//! * [`roots`] — scalar bisection/Brent root bracketing used by the
+//!   measurement code (threshold crossings, noise-margin search).
+//! * [`poly`] — least-squares polynomial fitting and evaluation (used to
+//!   reproduce the paper's polynomial approximation of the electrostatic
+//!   force term `f(V_g)`).
+//! * [`interp`] — piecewise-linear interpolation for waveforms.
+//! * [`stats`] — summary statistics for Monte Carlo experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use nemscmos_numeric::dense::DenseMatrix;
+//!
+//! # fn main() -> Result<(), nemscmos_numeric::NumericError> {
+//! let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+//! let x = a.solve(&[3.0, 5.0])?;
+//! assert!((x[0] - 0.8).abs() < 1e-12);
+//! assert!((x[1] - 1.4).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod complex;
+pub mod dense;
+pub mod interp;
+pub mod newton;
+pub mod poly;
+pub mod roots;
+pub mod sparse;
+pub mod stats;
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the numerical kernels.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NumericError {
+    /// A matrix was singular (or numerically singular) during factorization.
+    ///
+    /// Carries the pivot column at which elimination broke down.
+    SingularMatrix {
+        /// Column index of the failing pivot.
+        column: usize,
+    },
+    /// Operand dimensions do not agree.
+    DimensionMismatch {
+        /// What the caller supplied.
+        got: usize,
+        /// What the operation required.
+        expected: usize,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NonConvergence {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Residual norm at the final iterate.
+        residual: f64,
+    },
+    /// A root-bracketing routine was given an interval that does not bracket
+    /// a sign change.
+    InvalidBracket {
+        /// Function value at the lower end.
+        f_lo: f64,
+        /// Function value at the upper end.
+        f_hi: f64,
+    },
+    /// Invalid argument (empty input, non-finite value, ...).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericError::SingularMatrix { column } => {
+                write!(f, "matrix is singular at pivot column {column}")
+            }
+            NumericError::DimensionMismatch { got, expected } => {
+                write!(f, "dimension mismatch: got {got}, expected {expected}")
+            }
+            NumericError::NonConvergence { iterations, residual } => write!(
+                f,
+                "iteration failed to converge after {iterations} iterations (residual {residual:.3e})"
+            ),
+            NumericError::InvalidBracket { f_lo, f_hi } => write!(
+                f,
+                "interval does not bracket a root (f(lo) = {f_lo:.3e}, f(hi) = {f_hi:.3e})"
+            ),
+            NumericError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for NumericError {}
+
+/// Convenience alias for results of numerical routines.
+pub type Result<T> = std::result::Result<T, NumericError>;
+
+/// Maximum-magnitude (infinity) norm of a vector; `0.0` for an empty slice.
+///
+/// ```
+/// assert_eq!(nemscmos_numeric::inf_norm(&[1.0, -3.5, 2.0]), 3.5);
+/// ```
+pub fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, &x| m.max(x.abs()))
+}
+
+/// Euclidean norm of a vector.
+///
+/// ```
+/// assert!((nemscmos_numeric::l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+/// ```
+pub fn l2_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inf_norm_empty_is_zero() {
+        assert_eq!(inf_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn inf_norm_handles_negatives() {
+        assert_eq!(inf_norm(&[-7.0, 2.0]), 7.0);
+    }
+
+    #[test]
+    fn l2_norm_of_unit_axes() {
+        assert_eq!(l2_norm(&[1.0, 0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errors = [
+            NumericError::SingularMatrix { column: 3 },
+            NumericError::DimensionMismatch { got: 2, expected: 4 },
+            NumericError::NonConvergence { iterations: 10, residual: 1.0 },
+            NumericError::InvalidBracket { f_lo: 1.0, f_hi: 2.0 },
+            NumericError::InvalidArgument("x".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Damped Newton–Raphson driver for nonlinear systems.
+//!
+//! The circuit simulator supplies its own residual/Jacobian evaluation and
+//! linear solve; this module contains the shared iteration logic —
+//! convergence tests, step damping, and divergence detection — so that both
+//! the dense and sparse paths behave identically.
+
+use crate::inf_norm;
+
+/// Convergence and damping settings for [`NewtonSolver`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum number of Newton iterations per solve.
+    pub max_iter: usize,
+    /// Absolute tolerance on the update norm (`‖Δx‖_∞`).
+    pub abs_tol: f64,
+    /// Relative tolerance on the update norm versus the iterate norm.
+    pub rel_tol: f64,
+    /// Maximum allowed `‖Δx‖_∞` per iteration; larger steps are scaled down
+    /// (classical SPICE-style voltage limiting).
+    pub max_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions { max_iter: 100, abs_tol: 1e-9, rel_tol: 1e-6, max_step: 0.5 }
+    }
+}
+
+/// Outcome of one damped Newton update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NewtonStatus {
+    /// The iteration has converged (update below tolerance).
+    Converged,
+    /// The iteration should continue.
+    Continue,
+}
+
+/// Incremental Newton state machine.
+///
+/// The caller owns the unknown vector and the linearized solve; this type
+/// just applies damping and judges convergence, which keeps it independent
+/// of the matrix backend.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_numeric::newton::{NewtonOptions, NewtonSolver, NewtonStatus};
+///
+/// // Solve x^2 = 4 by Newton iteration.
+/// let mut x = vec![10.0_f64];
+/// let mut newton = NewtonSolver::new(NewtonOptions::default());
+/// for _ in 0..50 {
+///     let f = x[0] * x[0] - 4.0;
+///     let jac = 2.0 * x[0];
+///     let dx = vec![-f / jac];
+///     if newton.apply_step(&mut x, &dx) == NewtonStatus::Converged {
+///         break;
+///     }
+/// }
+/// assert!((x[0] - 2.0).abs() < 1e-8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NewtonSolver {
+    options: NewtonOptions,
+    iterations: usize,
+    last_update_norm: f64,
+}
+
+impl NewtonSolver {
+    /// Creates a solver with the given options.
+    pub fn new(options: NewtonOptions) -> Self {
+        NewtonSolver { options, iterations: 0, last_update_norm: f64::INFINITY }
+    }
+
+    /// Number of steps applied so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// `‖Δx‖_∞` of the most recent (damped) update.
+    pub fn last_update_norm(&self) -> f64 {
+        self.last_update_norm
+    }
+
+    /// True once the iteration budget is exhausted.
+    pub fn exhausted(&self) -> bool {
+        self.iterations >= self.options.max_iter
+    }
+
+    /// Resets the iteration counter for a fresh solve.
+    pub fn reset(&mut self) {
+        self.iterations = 0;
+        self.last_update_norm = f64::INFINITY;
+    }
+
+    /// Applies the Newton update `dx` to `x` with step limiting, and reports
+    /// whether the iteration has converged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dx.len()`.
+    pub fn apply_step(&mut self, x: &mut [f64], dx: &[f64]) -> NewtonStatus {
+        assert_eq!(x.len(), dx.len(), "state/update dimension mismatch");
+        self.iterations += 1;
+        let raw_norm = inf_norm(dx);
+        let scale = if raw_norm > self.options.max_step {
+            self.options.max_step / raw_norm
+        } else {
+            1.0
+        };
+        for (xi, &di) in x.iter_mut().zip(dx.iter()) {
+            *xi += scale * di;
+        }
+        self.last_update_norm = raw_norm * scale;
+        // Convergence is judged on the *undamped* Newton update so that a
+        // limited step never reports convergence prematurely.
+        let xnorm = inf_norm(x);
+        if scale == 1.0 && raw_norm <= self.options.abs_tol + self.options.rel_tol * xnorm {
+            NewtonStatus::Converged
+        } else {
+            NewtonStatus::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_scalar_quadratic() {
+        let mut x = vec![3.0_f64];
+        let mut n = NewtonSolver::new(NewtonOptions::default());
+        let mut converged = false;
+        while !n.exhausted() {
+            let f = x[0] * x[0] - 2.0;
+            let dx = vec![-f / (2.0 * x[0])];
+            if n.apply_step(&mut x, &dx) == NewtonStatus::Converged {
+                converged = true;
+                break;
+            }
+        }
+        assert!(converged);
+        assert!((x[0] - 2.0_f64.sqrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn large_steps_are_damped() {
+        let mut x = vec![0.0_f64];
+        let opts = NewtonOptions { max_step: 0.1, ..Default::default() };
+        let mut n = NewtonSolver::new(opts);
+        let status = n.apply_step(&mut x, &[10.0]);
+        assert_eq!(status, NewtonStatus::Continue);
+        assert!((x[0] - 0.1).abs() < 1e-15);
+        assert!((n.last_update_norm() - 0.1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn damped_step_never_reports_convergence() {
+        let mut x = vec![0.0_f64];
+        let opts = NewtonOptions { max_step: 1e-12, abs_tol: 1e-9, ..Default::default() };
+        let mut n = NewtonSolver::new(opts);
+        // The damped update is tiny, but the raw step is huge: must continue.
+        assert_eq!(n.apply_step(&mut x, &[1.0]), NewtonStatus::Continue);
+    }
+
+    #[test]
+    fn exhaustion_is_reported() {
+        let opts = NewtonOptions { max_iter: 2, ..Default::default() };
+        let mut n = NewtonSolver::new(opts);
+        let mut x = vec![0.0_f64];
+        n.apply_step(&mut x, &[1.0]);
+        assert!(!n.exhausted());
+        n.apply_step(&mut x, &[1.0]);
+        assert!(n.exhausted());
+        n.reset();
+        assert!(!n.exhausted());
+        assert_eq!(n.iterations(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Least-squares polynomial fitting and evaluation.
+//!
+//! The paper's NEMFET SPICE model approximates the electrostatic force term
+//! `f(V_g)` by a fitted polynomial (Section 2.4); this module provides the
+//! same capability for our device models and for post-processing.
+
+use crate::dense::{least_squares, DenseMatrix};
+use crate::{NumericError, Result};
+
+/// A polynomial `c0 + c1 x + c2 x² + …` with coefficients in ascending
+/// order of degree.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_numeric::poly::Polynomial;
+///
+/// let p = Polynomial::new(vec![1.0, 0.0, 2.0]); // 1 + 2x²
+/// assert_eq!(p.eval(3.0), 19.0);
+/// assert_eq!(p.deriv().eval(3.0), 12.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending-degree coefficients.
+    ///
+    /// An empty coefficient list is the zero polynomial.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        Polynomial { coeffs }
+    }
+
+    /// The coefficients in ascending order of degree.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree of the polynomial (`0` for constants and the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// Evaluates at `x` using Horner's scheme.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Returns the derivative polynomial.
+    pub fn deriv(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::new(vec![0.0]);
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(k, &c)| k as f64 * c)
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Fits a degree-`degree` polynomial to the samples `(xs, ys)` in the
+    /// least-squares sense.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `xs` and `ys` differ
+    /// in length, [`NumericError::InvalidArgument`] if there are fewer than
+    /// `degree + 1` samples, and [`NumericError::SingularMatrix`] if the
+    /// Vandermonde normal equations are rank deficient (e.g. duplicated
+    /// abscissae).
+    pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial> {
+        if xs.len() != ys.len() {
+            return Err(NumericError::DimensionMismatch { got: ys.len(), expected: xs.len() });
+        }
+        if xs.len() < degree + 1 {
+            return Err(NumericError::InvalidArgument(format!(
+                "need at least {} samples for a degree-{} fit, got {}",
+                degree + 1,
+                degree,
+                xs.len()
+            )));
+        }
+        let mut a = DenseMatrix::zeros(xs.len(), degree + 1);
+        for (r, &x) in xs.iter().enumerate() {
+            let mut p = 1.0;
+            for c in 0..=degree {
+                a.set(r, c, p);
+                p *= x;
+            }
+        }
+        let coeffs = least_squares(&a, ys)?;
+        Ok(Polynomial::new(coeffs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_polynomial_evaluates_to_zero() {
+        let p = Polynomial::new(vec![]);
+        assert_eq!(p.eval(42.0), 0.0);
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn horner_matches_naive_evaluation() {
+        let p = Polynomial::new(vec![1.0, -2.0, 0.5, 3.0]);
+        let x = 1.7;
+        let naive = 1.0 - 2.0 * x + 0.5 * x * x + 3.0 * x * x * x;
+        assert!((p.eval(x) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn derivative_of_constant_is_zero() {
+        let p = Polynomial::new(vec![5.0]);
+        assert_eq!(p.deriv().eval(10.0), 0.0);
+    }
+
+    #[test]
+    fn fit_recovers_exact_cubic() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64 * 0.3).collect();
+        let truth = Polynomial::new(vec![0.5, -1.0, 2.0, 0.25]);
+        let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
+        let fitted = Polynomial::fit(&xs, &ys, 3).unwrap();
+        for (c, t) in fitted.coeffs().iter().zip(truth.coeffs()) {
+            assert!((c - t).abs() < 1e-9, "coefficient mismatch: {c} vs {t}");
+        }
+    }
+
+    #[test]
+    fn fit_rejects_underdetermined_input() {
+        assert!(matches!(
+            Polynomial::fit(&[0.0, 1.0], &[0.0, 1.0], 2),
+            Err(NumericError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn fit_rejects_length_mismatch() {
+        assert!(matches!(
+            Polynomial::fit(&[0.0, 1.0], &[0.0], 1),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fit_of_noisy_line_is_close() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        // Deterministic "noise".
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| 3.0 * x + 1.0 + 0.01 * ((i % 7) as f64 - 3.0))
+            .collect();
+        let p = Polynomial::fit(&xs, &ys, 1).unwrap();
+        assert!((p.coeffs()[1] - 3.0).abs() < 0.05);
+        assert!((p.coeffs()[0] - 1.0).abs() < 0.05);
+    }
+}

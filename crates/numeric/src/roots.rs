@@ -1,0 +1,188 @@
+//! Scalar root finding: bisection and Brent's method.
+//!
+//! Used throughout the measurement code — waveform threshold crossings,
+//! dynamic-gate noise-margin search, and model calibration all reduce to
+//! bracketed scalar root problems.
+
+use crate::{NumericError, Result};
+
+/// Finds a root of `f` in `[lo, hi]` by plain bisection.
+///
+/// Robust but linear-converging; preferred when `f` is expensive to
+/// evaluate *and* potentially noisy (e.g. wraps a transient simulation).
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidBracket`] if `f(lo)` and `f(hi)` have the
+/// same sign, and [`NumericError::InvalidArgument`] if the interval is
+/// degenerate or non-finite.
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64, max_iter: usize) -> Result<f64> {
+    if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+        return Err(NumericError::InvalidArgument(format!(
+            "bad bisection interval [{lo}, {hi}]"
+        )));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidBracket { f_lo: fa, f_hi: fb });
+    }
+    for _ in 0..max_iter {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a) < tol {
+            return Ok(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Finds a root of `f` in `[lo, hi]` using Brent's method
+/// (inverse-quadratic interpolation with bisection fallback).
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidBracket`] if the interval does not
+/// bracket a sign change, [`NumericError::InvalidArgument`] for a bad
+/// interval, and [`NumericError::NonConvergence`] if the iteration budget
+/// is exhausted before the bracket shrinks below `tol`.
+pub fn brent<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64, max_iter: usize) -> Result<f64> {
+    if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+        return Err(NumericError::InvalidArgument(format!(
+            "bad brent interval [{lo}, {hi}]"
+        )));
+    }
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(NumericError::InvalidBracket { f_lo: fa, f_hi: fb });
+    }
+    // Ensure |f(b)| <= |f(a)|: b is the best iterate.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = 0.0;
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+        let lo_bound = (3.0 * a + b) / 4.0;
+        let (blo, bhi) = if lo_bound < b { (lo_bound, b) } else { (b, lo_bound) };
+        let cond = !(s > blo && s < bhi)
+            || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
+            || (!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
+            || (mflag && (b - c).abs() < tol)
+            || (!mflag && (c - d).abs() < tol);
+        if cond {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(NumericError::NonConvergence { iterations: max_iter, residual: fb.abs() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_finds_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200).unwrap();
+        assert!((r - 2.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_rejects_same_sign() {
+        assert!(matches!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9, 100),
+            Err(NumericError::InvalidBracket { .. })
+        ));
+    }
+
+    #[test]
+    fn bisect_rejects_degenerate_interval() {
+        assert!(matches!(
+            bisect(|x| x, 1.0, 1.0, 1e-9, 100),
+            Err(NumericError::InvalidArgument(_))
+        ));
+    }
+
+    #[test]
+    fn bisect_returns_exact_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-9, 100).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-9, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn brent_finds_cos_root() {
+        let r = brent(|x| x.cos(), 0.0, 3.0, 1e-14, 100).unwrap();
+        assert!((r - std::f64::consts::FRAC_PI_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_handles_steep_functions() {
+        // f has a very steep root at x = 1e-6.
+        let r = brent(|x| (x - 1e-6) * 1e9, 0.0, 1.0, 1e-15, 200).unwrap();
+        assert!((r - 1e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brent_rejects_same_sign() {
+        assert!(matches!(
+            brent(|x| x * x + 1.0, -1.0, 1.0, 1e-9, 100),
+            Err(NumericError::InvalidBracket { .. })
+        ));
+    }
+}

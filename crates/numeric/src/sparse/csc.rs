@@ -1,0 +1,181 @@
+//! Compressed-sparse-column matrix storage.
+
+/// A compressed-sparse-column (CSC) matrix.
+///
+/// Column `c` occupies the half-open range
+/// `col_ptr[c] .. col_ptr[c + 1]` of the parallel `row_idx` / `values`
+/// arrays; row indices within a column are sorted ascending and unique.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_numeric::sparse::CscMatrix;
+///
+/// let m = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 2.0), (1, 1, 3.0)]);
+/// assert_eq!(m.nnz(), 3);
+/// assert_eq!(m.mat_vec(&[1.0, 1.0]), vec![1.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds a CSC matrix from coordinate triplets, summing duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, _) in entries {
+            assert!(r < rows && c < cols, "triplet index out of bounds");
+        }
+        // Count entries per column (with duplicates).
+        let mut count = vec![0usize; cols + 1];
+        for &(_, c, _) in entries {
+            count[c + 1] += 1;
+        }
+        for c in 0..cols {
+            count[c + 1] += count[c];
+        }
+        // Scatter into per-column buckets.
+        let mut tmp_rows = vec![0usize; entries.len()];
+        let mut tmp_vals = vec![0.0f64; entries.len()];
+        let mut next = count.clone();
+        for &(r, c, v) in entries {
+            let p = next[c];
+            tmp_rows[p] = r;
+            tmp_vals[p] = v;
+            next[c] += 1;
+        }
+        // Sort each column by row and merge duplicates.
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        let mut row_idx = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        col_ptr.push(0);
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for c in 0..cols {
+            scratch.clear();
+            scratch.extend(
+                tmp_rows[count[c]..count[c + 1]]
+                    .iter()
+                    .copied()
+                    .zip(tmp_vals[count[c]..count[c + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let mut i = 0;
+            while i < scratch.len() {
+                let r = scratch[i].0;
+                let mut v = scratch[i].1;
+                i += 1;
+                while i < scratch.len() && scratch[i].0 == r {
+                    v += scratch[i].1;
+                    i += 1;
+                }
+                row_idx.push(r);
+                values.push(v);
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix { rows, cols, col_ptr, row_idx, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structural) nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the value at `(r, c)`, `0.0` if the position is not stored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        let range = self.col_ptr[c]..self.col_ptr[c + 1];
+        match self.row_idx[range.clone()].binary_search(&r) {
+            Ok(k) => self.values[range.start + k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Iterates over the stored entries of column `c` as `(row, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn col(&self, c: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        assert!(c < self.cols, "column index out of bounds");
+        let range = self.col_ptr[c]..self.col_ptr[c + 1];
+        self.row_idx[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.values[range].iter().copied())
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "mat_vec dimension mismatch");
+        let mut y = vec![0.0; self.rows];
+        for (c, &xc) in x.iter().enumerate() {
+            if xc == 0.0 {
+                continue;
+            }
+            for p in self.col_ptr[c]..self.col_ptr[c + 1] {
+                y[self.row_idx[p]] += self.values[p] * xc;
+            }
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_summed_and_sorted() {
+        let m = CscMatrix::from_triplets(
+            3,
+            2,
+            &[(2, 0, 1.0), (0, 0, 4.0), (2, 0, 1.5), (1, 1, 2.0)],
+        );
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 0), 4.0);
+        assert_eq!(m.get(2, 0), 2.5);
+        assert_eq!(m.get(1, 1), 2.0);
+        let col0: Vec<usize> = m.col(0).map(|(r, _)| r).collect();
+        assert_eq!(col0, vec![0, 2]); // sorted
+    }
+
+    #[test]
+    fn mat_vec_matches_dense_computation() {
+        let m = CscMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, -1.0)]);
+        assert_eq!(m.mat_vec(&[1.0, 2.0, 3.0]), vec![7.0, -2.0]);
+    }
+
+    #[test]
+    fn entries_cancelling_to_zero_remain_structural() {
+        let m = CscMatrix::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, -1.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Left-looking sparse LU factorization with partial pivoting
+//! (Gilbert–Peierls), in the style of CSparse's `cs_lu`.
+//!
+//! For each column `j` of `A`, the set of rows reachable from the nonzeros
+//! of `A(:, j)` through the directed graph of the already-computed `L`
+//! columns is found by depth-first search; a sparse triangular solve over
+//! that set yields the numerical column, from which the pivot is chosen by
+//! magnitude among not-yet-pivoted rows.
+
+use super::CscMatrix;
+use crate::{NumericError, Result};
+
+/// Sentinel for "row not pivoted yet" in the `pinv` map.
+const UNPIVOTED: isize = -1;
+
+/// Pivot magnitudes below this threshold are treated as singular.
+const PIVOT_EPS: f64 = 1e-300;
+
+/// A sparse LU factorization `P A = L U` with partial (row) pivoting.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_numeric::sparse::{CscMatrix, SparseLu};
+///
+/// # fn main() -> Result<(), nemscmos_numeric::NumericError> {
+/// let a = CscMatrix::from_triplets(
+///     3,
+///     3,
+///     &[(0, 0, 4.0), (1, 0, -1.0), (1, 1, 4.0), (2, 1, -1.0), (2, 2, 4.0), (0, 2, -1.0)],
+/// );
+/// let lu = SparseLu::factor(&a)?;
+/// let x = lu.solve(&[3.0, 3.0, 3.0])?;
+/// let r = a.mat_vec(&x);
+/// assert!(r.iter().all(|&ri| (ri - 3.0).abs() < 1e-12));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseLu {
+    n: usize,
+    /// `L` columns: strictly-lower multipliers, stored with *original* row
+    /// indices (unit diagonal implied).
+    l_col_ptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    /// `U` columns: rows stored in *pivot* numbering, excluding the diagonal.
+    u_col_ptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    u_vals: Vec<f64>,
+    /// Diagonal of `U` per pivot column.
+    u_diag: Vec<f64>,
+    /// `p[j]` = original row chosen as the pivot of column `j`.
+    p: Vec<usize>,
+}
+
+impl SparseLu {
+    /// Factors the square matrix `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] for non-square input and
+    /// [`NumericError::SingularMatrix`] if some column has no usable pivot.
+    pub fn factor(a: &CscMatrix) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(NumericError::DimensionMismatch { got: a.cols(), expected: n });
+        }
+        let mut lu = SparseLu {
+            n,
+            l_col_ptr: Vec::with_capacity(n + 1),
+            l_rows: Vec::new(),
+            l_vals: Vec::new(),
+            u_col_ptr: Vec::with_capacity(n + 1),
+            u_rows: Vec::new(),
+            u_vals: Vec::new(),
+            u_diag: vec![0.0; n],
+            p: vec![usize::MAX; n],
+        };
+        lu.l_col_ptr.push(0);
+        lu.u_col_ptr.push(0);
+
+        // pinv[i] = pivot column of original row i, or UNPIVOTED.
+        let mut pinv = vec![UNPIVOTED; n];
+        // Dense scatter vector for the current column.
+        let mut x = vec![0.0f64; n];
+        // DFS bookkeeping.
+        let mut mark = vec![usize::MAX; n]; // mark[i] == j means visited this column
+        let mut topo: Vec<usize> = Vec::with_capacity(n); // reach, topological order
+        let mut dfs_stack: Vec<(usize, usize)> = Vec::new(); // (node, next child offset)
+
+        for j in 0..n {
+            // --- Symbolic: reach of A(:, j) through the graph of L. ---
+            topo.clear();
+            for (i, _) in a.col(j) {
+                if mark[i] != j {
+                    Self::dfs(i, j, &pinv, &lu.l_col_ptr, &lu.l_rows, &mut mark, &mut dfs_stack, &mut topo);
+                }
+            }
+            // topo now holds reach in reverse-topological order (children first
+            // within each DFS tree, trees in push order). We need topological
+            // order for the solve: process in reverse.
+
+            // --- Numeric: scatter A(:, j), then sparse triangular solve. ---
+            for &i in topo.iter() {
+                x[i] = 0.0;
+            }
+            for (i, v) in a.col(j) {
+                x[i] = v;
+            }
+            for &i in topo.iter().rev() {
+                let k = pinv[i];
+                if k < 0 {
+                    continue; // row not pivoted yet: no L column to apply
+                }
+                let k = k as usize;
+                let xi = x[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                for p in lu.l_col_ptr[k]..lu.l_col_ptr[k + 1] {
+                    x[lu.l_rows[p]] -= lu.l_vals[p] * xi;
+                }
+            }
+
+            // --- Pivot selection among unpivoted rows of the reach. ---
+            let mut pivot_row = usize::MAX;
+            let mut best = 0.0f64;
+            for &i in topo.iter() {
+                if pinv[i] == UNPIVOTED {
+                    let v = x[i].abs();
+                    if v > best || pivot_row == usize::MAX {
+                        best = v;
+                        pivot_row = i;
+                    }
+                }
+            }
+            if pivot_row == usize::MAX || best.is_nan() || best <= PIVOT_EPS {
+                return Err(NumericError::SingularMatrix { column: j });
+            }
+            let pivot_val = x[pivot_row];
+            pinv[pivot_row] = j as isize;
+            lu.p[j] = pivot_row;
+            lu.u_diag[j] = pivot_val;
+
+            // --- Store U(:, j) (pivot-numbered rows) and L(:, j). ---
+            for &i in topo.iter() {
+                let v = x[i];
+                match pinv[i] {
+                    k if k >= 0 && (k as usize) < j => {
+                        if v != 0.0 {
+                            lu.u_rows.push(k as usize);
+                            lu.u_vals.push(v);
+                        }
+                    }
+                    k if k == j as isize => {} // the pivot/diagonal itself
+                    _ => {
+                        // Unpivoted row: multiplier for L.
+                        let m = v / pivot_val;
+                        if m != 0.0 {
+                            lu.l_rows.push(i);
+                            lu.l_vals.push(m);
+                        }
+                    }
+                }
+            }
+            lu.u_col_ptr.push(lu.u_rows.len());
+            lu.l_col_ptr.push(lu.l_rows.len());
+        }
+        Ok(lu)
+    }
+
+    /// Iterative DFS from `start` through the graph of `L`, appending nodes
+    /// to `topo` in reverse-topological (post-) order.
+    #[allow(clippy::too_many_arguments)]
+    fn dfs(
+        start: usize,
+        j: usize,
+        pinv: &[isize],
+        l_col_ptr: &[usize],
+        l_rows: &[usize],
+        mark: &mut [usize],
+        stack: &mut Vec<(usize, usize)>,
+        topo: &mut Vec<usize>,
+    ) {
+        stack.clear();
+        stack.push((start, 0));
+        mark[start] = j;
+        while let Some(top) = stack.last_mut() {
+            let node = top.0;
+            let k = pinv[node];
+            let (lo, hi) = if k >= 0 {
+                let k = k as usize;
+                (l_col_ptr[k], l_col_ptr[k + 1])
+            } else {
+                (0, 0)
+            };
+            let mut pending = None;
+            while lo + top.1 < hi {
+                let next = l_rows[lo + top.1];
+                top.1 += 1;
+                if mark[next] != j {
+                    mark[next] = j;
+                    pending = Some(next);
+                    break;
+                }
+            }
+            match pending {
+                Some(next) => stack.push((next, 0)),
+                None => {
+                    // Node fully explored: emit in post-order.
+                    topo.push(node);
+                    stack.pop();
+                }
+            }
+        }
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored nonzeros in `L` plus `U` (including the diagonal).
+    pub fn factor_nnz(&self) -> usize {
+        self.l_vals.len() + self.u_vals.len() + self.n
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.n;
+        if b.len() != n {
+            return Err(NumericError::DimensionMismatch { got: b.len(), expected: n });
+        }
+        // Forward solve L y = P b, working on a copy indexed by original row.
+        let mut work = b.to_vec();
+        let mut y = vec![0.0f64; n];
+        for j in 0..n {
+            let yj = work[self.p[j]];
+            y[j] = yj;
+            if yj != 0.0 {
+                for p in self.l_col_ptr[j]..self.l_col_ptr[j + 1] {
+                    work[self.l_rows[p]] -= self.l_vals[p] * yj;
+                }
+            }
+        }
+        // Back solve U x = y (U stored by column, pivot-numbered rows).
+        for j in (0..n).rev() {
+            y[j] /= self.u_diag[j];
+            let xj = y[j];
+            if xj != 0.0 {
+                for p in self.u_col_ptr[j]..self.u_col_ptr[j + 1] {
+                    y[self.u_rows[p]] -= self.u_vals[p] * xj;
+                }
+            }
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual_inf(a: &CscMatrix, x: &[f64], b: &[f64]) -> f64 {
+        a.mat_vec(x)
+            .iter()
+            .zip(b.iter())
+            .fold(0.0f64, |m, (ri, bi)| m.max((ri - bi).abs()))
+    }
+
+    #[test]
+    fn solves_diagonal_system() {
+        let a = CscMatrix::from_triplets(3, 3, &[(0, 0, 2.0), (1, 1, 4.0), (2, 2, 8.0)]);
+        let lu = SparseLu::factor(&a).unwrap();
+        let x = lu.solve(&[2.0, 4.0, 8.0]).unwrap();
+        assert_eq!(x, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn solves_permutation_requiring_pivoting() {
+        // [[0, 1], [1, 0]] has zeros on the diagonal.
+        let a = CscMatrix::from_triplets(2, 2, &[(1, 0, 1.0), (0, 1, 1.0)]);
+        let lu = SparseLu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 9.0]).unwrap();
+        assert_eq!(x, vec![9.0, 3.0]);
+    }
+
+    #[test]
+    fn tridiagonal_poisson_system() {
+        // Classic -1/2/-1 Poisson matrix, n = 50.
+        let n = 50;
+        let mut tr = Vec::new();
+        for i in 0..n {
+            tr.push((i, i, 2.0));
+            if i + 1 < n {
+                tr.push((i, i + 1, -1.0));
+                tr.push((i + 1, i, -1.0));
+            }
+        }
+        let a = CscMatrix::from_triplets(n, n, &tr);
+        let lu = SparseLu::factor(&a).unwrap();
+        let b = vec![1.0; n];
+        let x = lu.solve(&b).unwrap();
+        assert!(residual_inf(&a, &x, &b) < 1e-10);
+        // Solution of the discrete Poisson problem is positive and symmetric.
+        assert!(x.iter().all(|&v| v > 0.0));
+        assert!((x[0] - x[n - 1]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        // Column 1 is all zero.
+        let a = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 1.0)]);
+        assert!(matches!(
+            SparseLu::factor(&a),
+            Err(NumericError::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = CscMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]);
+        assert!(matches!(
+            SparseLu::factor(&a),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_rhs_length() {
+        let a = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let lu = SparseLu::factor(&a).unwrap();
+        assert!(matches!(
+            lu.solve(&[1.0]),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unsymmetric_system_with_fill_in() {
+        // An arrow matrix creates fill during elimination.
+        let n = 20;
+        let mut tr = Vec::new();
+        for i in 0..n {
+            tr.push((i, i, 3.0 + i as f64 * 0.1));
+            if i > 0 {
+                tr.push((0, i, 1.0));
+                tr.push((i, 0, -0.5));
+            }
+        }
+        let a = CscMatrix::from_triplets(n, n, &tr);
+        let lu = SparseLu::factor(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 4.0).collect();
+        let x = lu.solve(&b).unwrap();
+        assert!(residual_inf(&a, &x, &b) < 1e-10);
+    }
+}

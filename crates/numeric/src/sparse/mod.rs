@@ -1,0 +1,13 @@
+//! Sparse matrices (triplet and CSC) and a left-looking sparse LU.
+//!
+//! The MNA Jacobian of a circuit is extremely sparse (a handful of entries
+//! per row), so circuits beyond a few dozen nodes are solved with the
+//! Gilbert–Peierls LU ([`SparseLu`]) rather than the dense kernel.
+
+mod csc;
+mod lu;
+mod triplet;
+
+pub use csc::CscMatrix;
+pub use lu::SparseLu;
+pub use triplet::Triplet;

@@ -1,0 +1,117 @@
+//! Coordinate-format (triplet) sparse matrix builder.
+
+use super::CscMatrix;
+
+/// A coordinate-format sparse matrix builder.
+///
+/// Duplicate entries are allowed and are summed when compressed — exactly
+/// the semantics needed for MNA stamping, where several elements contribute
+/// to the same matrix position.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_numeric::sparse::Triplet;
+///
+/// let mut t = Triplet::new(2, 2);
+/// t.push(0, 0, 1.0);
+/// t.push(0, 0, 2.0); // duplicates are summed
+/// t.push(1, 1, 4.0);
+/// let m = t.to_csc();
+/// assert_eq!(m.get(0, 0), 3.0);
+/// assert_eq!(m.get(1, 1), 4.0);
+/// assert_eq!(m.get(0, 1), 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Triplet {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl Triplet {
+    /// Creates an empty `rows x cols` triplet builder.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Triplet { rows, cols, entries: Vec::new() }
+    }
+
+    /// Creates an empty builder with capacity for `cap` entries.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        Triplet { rows, cols, entries: Vec::with_capacity(cap) }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of raw (possibly duplicated) entries pushed so far.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Appends the contribution `v` at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(r, c)` is out of bounds.
+    #[inline]
+    pub fn push(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "triplet index out of bounds");
+        self.entries.push((r, c, v));
+    }
+
+    /// Clears all entries, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Iterates over the raw entries as `(row, col, value)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Compresses into CSC form, summing duplicates.
+    pub fn to_csc(&self) -> CscMatrix {
+        CscMatrix::from_triplets(self.rows, self.cols, &self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_triplet_compresses_to_all_zero() {
+        let t = Triplet::new(3, 3);
+        let m = t.to_csc();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(m.get(r, c), 0.0);
+            }
+        }
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_push_panics() {
+        let mut t = Triplet::new(2, 2);
+        t.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn clear_retains_shape() {
+        let mut t = Triplet::new(2, 3);
+        t.push(1, 2, 5.0);
+        t.clear();
+        assert_eq!(t.nnz(), 0);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Summary statistics for Monte Carlo experiments.
+
+use crate::{NumericError, Result};
+
+/// Summary statistics of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; `0` for one sample).
+    pub std_dev: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `samples`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::InvalidArgument`] if `samples` is empty or
+    /// contains non-finite values.
+    pub fn of(samples: &[f64]) -> Result<Summary> {
+        if samples.is_empty() {
+            return Err(NumericError::InvalidArgument("empty sample set".into()));
+        }
+        if samples.iter().any(|x| !x.is_finite()) {
+            return Err(NumericError::InvalidArgument("non-finite sample".into()));
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = if samples.len() > 1 {
+            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Ok(Summary { count: samples.len(), mean, std_dev: var.sqrt(), min, max })
+    }
+
+    /// Mean plus `k` standard deviations — the paper's worst-case corner
+    /// (e.g. `k = 3` for 3σ leakage).
+    pub fn mean_plus_sigma(&self, k: f64) -> f64 {
+        self.mean + k * self.std_dev
+    }
+}
+
+/// Standard normal cumulative distribution function Φ(z), via the
+/// Abramowitz–Stegun erf approximation (|error| < 1.5e-7).
+///
+/// ```
+/// let phi = nemscmos_numeric::stats::normal_cdf(0.0);
+/// assert!((phi - 0.5).abs() < 1e-7);
+/// ```
+pub fn normal_cdf(z: f64) -> f64 {
+    // erf via A&S 7.1.26 on |x|, reflected for negative arguments.
+    let x = z / std::f64::consts::SQRT_2;
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    let erf = sign * (1.0 - poly * (-x * x).exp());
+    0.5 * (1.0 + erf)
+}
+
+/// Yield of a normal population against a lower specification limit:
+/// the fraction of parts with `value >= limit`.
+///
+/// ```
+/// use nemscmos_numeric::stats::gaussian_yield_above;
+/// // A limit 3σ below the mean passes ~99.87% of parts.
+/// let y = gaussian_yield_above(1.0, 0.1, 0.7);
+/// assert!((y - 0.99865).abs() < 1e-3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `sigma` is not strictly positive.
+pub fn gaussian_yield_above(mean: f64, sigma: f64, limit: f64) -> f64 {
+    assert!(sigma > 0.0, "sigma must be positive");
+    1.0 - normal_cdf((limit - mean) / sigma)
+}
+
+/// Returns the `q`-quantile (0 ≤ q ≤ 1) of the samples by linear
+/// interpolation between order statistics.
+///
+/// # Errors
+///
+/// Returns [`NumericError::InvalidArgument`] if the sample set is empty or
+/// `q` is outside `[0, 1]`.
+pub fn quantile(samples: &[f64], q: f64) -> Result<f64> {
+    if samples.is_empty() {
+        return Err(NumericError::InvalidArgument("empty sample set".into()));
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(NumericError::InvalidArgument(format!("quantile {q} outside [0, 1]")));
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample in quantile"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_constant_samples() {
+        let s = Summary::of(&[2.0, 2.0, 2.0]).unwrap();
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.count, 3);
+    }
+
+    #[test]
+    fn summary_matches_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((s.mean - 2.5).abs() < 1e-15);
+        // Sample variance of 1..4 is 5/3.
+        assert!((s.std_dev - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_rejects_empty_and_nan() {
+        assert!(Summary::of(&[]).is_err());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn single_sample_has_zero_std() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean_plus_sigma(3.0), 7.0);
+    }
+
+    #[test]
+    fn quantile_endpoints_are_min_max() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&xs, 1.0).unwrap(), 5.0);
+        assert_eq!(quantile(&xs, 0.5).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 1.0];
+        assert!((quantile(&xs, 0.25).unwrap() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn normal_cdf_known_points() {
+        assert!((normal_cdf(1.0) - 0.841_344_7).abs() < 1e-5);
+        assert!((normal_cdf(-1.0) - 0.158_655_3).abs() < 1e-5);
+        assert!((normal_cdf(3.0) - 0.998_650_1).abs() < 1e-5);
+        assert!(normal_cdf(8.0) > 0.999_999);
+        assert!(normal_cdf(-8.0) < 1e-6);
+    }
+
+    #[test]
+    fn yield_is_monotone_in_margin() {
+        let tight = gaussian_yield_above(0.25, 0.02, 0.2);
+        let loose = gaussian_yield_above(0.25, 0.02, 0.1);
+        assert!(loose > tight);
+        assert!((0.0..=1.0).contains(&tight));
+    }
+
+    #[test]
+    fn quantile_rejects_bad_q() {
+        assert!(quantile(&[1.0], 1.5).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! AC small-signal analysis.
+//!
+//! The circuit is linearized at its DC operating point (the Newton
+//! Jacobian *is* the small-signal conductance matrix `G`), reactive
+//! elements contribute `jωC` / `jωL` terms, and the complex system
+//! `(G + jωC) x = b` is solved per frequency with a unit-amplitude drive
+//! on one chosen source.
+
+use nemscmos_numeric::complex::{Complex, ComplexMatrix};
+
+use super::engine::load_linear;
+use super::op::{op_vector, OpOptions};
+use crate::circuit::Circuit;
+use crate::device::{LoadContext, Mode, Solution};
+use crate::element::{Element, NodeId, SourceRef};
+use crate::stamp::Stamper;
+use crate::{Result, SpiceError};
+
+/// Result of an AC sweep: complex node voltages per frequency for a
+/// 1 V-amplitude drive on the designated source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcResult {
+    freqs: Vec<f64>,
+    /// `data[k]` is the complex unknown vector at `freqs[k]`.
+    data: Vec<Vec<Complex>>,
+    num_node_unknowns: usize,
+    branch_base: usize,
+}
+
+impl AcResult {
+    /// The swept frequencies (Hz).
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Complex voltage (relative to the 1 V drive) of node `n` across the
+    /// sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is outside the layout.
+    pub fn voltage(&self, n: NodeId) -> Vec<Complex> {
+        if n.is_ground() {
+            return vec![Complex::ZERO; self.freqs.len()];
+        }
+        self.data.iter().map(|x| x[n.index() - 1]).collect()
+    }
+
+    /// Magnitude response of node `n` in dB across the sweep.
+    pub fn magnitude_db(&self, n: NodeId) -> Vec<(f64, f64)> {
+        self.freqs
+            .iter()
+            .zip(self.voltage(n))
+            .map(|(&f, v)| (f, v.db()))
+            .collect()
+    }
+
+    /// Frequency of the sweep's maximum magnitude at node `n`.
+    pub fn peak_frequency(&self, n: NodeId) -> f64 {
+        let v = self.voltage(n);
+        let mut best = (self.freqs[0], 0.0f64);
+        for (&f, z) in self.freqs.iter().zip(v) {
+            if z.abs() > best.1 {
+                best = (f, z.abs());
+            }
+        }
+        best.0
+    }
+}
+
+/// Logarithmic frequency grid from `f_start` to `f_stop` with
+/// `points_per_decade` samples per decade.
+///
+/// # Panics
+///
+/// Panics if the range is not positive-increasing or the density is zero.
+pub fn log_sweep(f_start: f64, f_stop: f64, points_per_decade: usize) -> Vec<f64> {
+    assert!(f_start > 0.0 && f_stop > f_start, "bad sweep range");
+    assert!(points_per_decade > 0, "need at least one point per decade");
+    let decades = (f_stop / f_start).log10();
+    let n = (decades * points_per_decade as f64).ceil() as usize + 1;
+    (0..n)
+        .map(|k| f_start * 10f64.powf(decades * k as f64 / (n - 1) as f64))
+        .collect()
+}
+
+/// Runs an AC sweep with a 1 V small-signal drive on `source`.
+///
+/// All other independent sources are AC-grounded (their DC values only
+/// set the operating point). Nonlinear devices are linearized at the
+/// operating point; their Jacobian stamps become the conductance matrix.
+///
+/// Note: electromechanical devices linearize through their *electrical*
+/// Jacobian only — beam inertia is not represented in AC (use the
+/// explicit R/L/C electrical-equivalent of the paper's Fig. 6(b) for
+/// resonator studies, as the `nems_resonator` example does).
+///
+/// # Errors
+///
+/// Propagates operating-point failures; returns
+/// [`SpiceError::InvalidCircuit`] for an empty frequency list and
+/// [`SpiceError::Numeric`] if the complex system is singular.
+pub fn ac(
+    ckt: &mut Circuit,
+    source: SourceRef,
+    freqs: &[f64],
+    opts: &OpOptions,
+) -> Result<AcResult> {
+    if freqs.is_empty() {
+        return Err(SpiceError::InvalidCircuit("empty AC frequency list".into()));
+    }
+    // 1. Operating point.
+    let x_op = op_vector(ckt, opts, None, None)?;
+    let n = x_op.len();
+
+    // 2. Small-signal conductance matrix from the Jacobian at the OP.
+    let ctx = LoadContext { mode: Mode::Dc, gmin: opts.gmin, source_scale: 1.0 };
+    let mut st = Stamper::new(n);
+    load_linear(ckt, &x_op, &ctx, &mut st, None);
+    let sol = Solution::new(&x_op);
+    for dev in ckt.devices() {
+        dev.load(&sol, &ctx, &mut st);
+    }
+    st.gmin_shunts(ctx.gmin, ckt.num_node_unknowns(), &x_op);
+    let g_entries = st.jacobian_entries();
+
+    // 3. Reactive stamps (ω-scaled each frequency).
+    let branch_base = ckt.branch_base();
+    let mut cap_entries: Vec<(usize, usize, f64)> = Vec::new();
+    for e in ckt.elements() {
+        match *e {
+            Element::Capacitor { a, b, farads } => {
+                let (ra, rb) = (a.index(), b.index());
+                if ra > 0 {
+                    cap_entries.push((ra - 1, ra - 1, farads));
+                }
+                if rb > 0 {
+                    cap_entries.push((rb - 1, rb - 1, farads));
+                }
+                if ra > 0 && rb > 0 {
+                    cap_entries.push((ra - 1, rb - 1, -farads));
+                    cap_entries.push((rb - 1, ra - 1, -farads));
+                }
+            }
+            Element::Inductor { branch, henries, .. } => {
+                // DC branch equation is v(a) − v(b) = 0; AC adds −jωL·i.
+                let br = branch_base + branch;
+                cap_entries.push((br, br, -henries));
+            }
+            _ => {}
+        }
+    }
+
+    // 4. Drive vector: unit amplitude on the chosen source's branch row.
+    let mut b = vec![Complex::ZERO; n];
+    b[branch_base + source.branch] = Complex::ONE;
+
+    // 5. Solve per frequency.
+    let mut data = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        if !(f.is_finite() && f > 0.0) {
+            return Err(SpiceError::InvalidCircuit(format!("bad AC frequency {f}")));
+        }
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let mut m = ComplexMatrix::zeros(n);
+        for &(r, c, v) in &g_entries {
+            m.add(r, c, Complex::real(v));
+        }
+        for &(r, c, v) in &cap_entries {
+            m.add(r, c, Complex::imag(omega * v));
+        }
+        let x = m.solve(&b)?;
+        data.push(x);
+    }
+    Ok(AcResult {
+        freqs: freqs.to_vec(),
+        data,
+        num_node_unknowns: ckt.num_node_unknowns(),
+        branch_base,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn rc_lowpass_corner_and_rolloff() {
+        let r = 1e3;
+        let c = 1e-9;
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c); // ≈ 159 kHz
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let src = ckt.vsource(a, Circuit::GROUND, Waveform::dc(0.0));
+        ckt.resistor(a, b, r);
+        ckt.capacitor(b, Circuit::GROUND, c);
+        let freqs = [fc / 100.0, fc, 100.0 * fc];
+        let res = ac(&mut ckt, src, &freqs, &OpOptions::default()).unwrap();
+        let v = res.voltage(b);
+        assert!((v[0].abs() - 1.0).abs() < 1e-3, "passband gain {}", v[0].abs());
+        assert!((v[1].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-3, "-3 dB point");
+        assert!((v[1].arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-2, "-45° at corner");
+        // Two decades above the corner: −40 dB ± 0.2.
+        assert!((v[2].db() + 40.0).abs() < 0.2, "rolloff {}", v[2].db());
+    }
+
+    #[test]
+    fn rlc_series_resonance_peak() {
+        let l = 1e-6_f64;
+        let c = 1e-9_f64;
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt()); // ≈ 5.03 MHz
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let m = ckt.node("m");
+        let o = ckt.node("o");
+        let src = ckt.vsource(a, Circuit::GROUND, Waveform::dc(0.0));
+        ckt.resistor(a, m, 10.0);
+        ckt.inductor(m, o, l);
+        ckt.capacitor(o, Circuit::GROUND, c);
+        // Voltage across the capacitor peaks near resonance (Q ≈ 3.2).
+        let freqs = log_sweep(f0 / 30.0, 30.0 * f0, 60);
+        let res = ac(&mut ckt, src, &freqs, &OpOptions::default()).unwrap();
+        let fpeak = res.peak_frequency(o);
+        assert!(
+            (fpeak / f0 - 1.0).abs() < 0.05,
+            "peak at {fpeak:.3e}, resonance {f0:.3e}"
+        );
+        // Peak magnitude ≈ Q = (1/R)·sqrt(L/C) = 3.16.
+        let peak = res
+            .voltage(o)
+            .iter()
+            .map(|z| z.abs())
+            .fold(0.0f64, f64::max);
+        assert!((peak - 3.16).abs() < 0.3, "peak |H| = {peak:.2}");
+    }
+
+    #[test]
+    fn empty_frequency_list_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let src = ckt.vsource(a, Circuit::GROUND, Waveform::dc(0.0));
+        ckt.resistor(a, Circuit::GROUND, 1.0);
+        assert!(ac(&mut ckt, src, &[], &OpOptions::default()).is_err());
+        assert!(ac(&mut ckt, src, &[-5.0], &OpOptions::default()).is_err());
+    }
+
+    #[test]
+    fn log_sweep_endpoints_and_monotone() {
+        let f = log_sweep(10.0, 1e6, 10);
+        assert!((f[0] - 10.0).abs() < 1e-9);
+        assert!((f.last().unwrap() - 1e6).abs() / 1e6 < 1e-9);
+        for w in f.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad sweep range")]
+    fn log_sweep_rejects_inverted_range() {
+        let _ = log_sweep(1e6, 10.0, 10);
+    }
+}

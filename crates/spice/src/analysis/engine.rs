@@ -1,0 +1,278 @@
+//! Shared assembly and Newton machinery used by every analysis.
+
+use nemscmos_numeric::newton::{NewtonOptions, NewtonSolver, NewtonStatus};
+
+use crate::circuit::Circuit;
+use crate::device::{LoadContext, Mode, Solution};
+use crate::element::{Element, NodeId};
+use crate::stamp::Stamper;
+use crate::{Result, SpiceError};
+
+/// Conductance used to clamp initial-condition nodes during the t = 0 solve.
+pub(crate) const IC_CLAMP_SIEMENS: f64 = 1.0e4;
+
+/// Integration history of the linear reactive elements, indexed by element
+/// position in the circuit.
+#[derive(Debug, Clone)]
+pub(crate) struct LinearState {
+    /// Per-capacitor `(v, i)` at the last accepted step.
+    pub cap: Vec<(f64, f64)>,
+    /// Per-inductor `(i, v)` at the last accepted step.
+    pub ind: Vec<(f64, f64)>,
+}
+
+impl LinearState {
+    /// Builds history from a converged DC solution: capacitor voltages from
+    /// node voltages with zero current, inductor currents from branch
+    /// unknowns with zero voltage.
+    pub fn from_dc(ckt: &Circuit, x: &[f64]) -> LinearState {
+        let sol = Solution::new(x);
+        let branch_base = ckt.branch_base();
+        let mut cap = vec![(0.0, 0.0); ckt.elements().len()];
+        let mut ind = vec![(0.0, 0.0); ckt.elements().len()];
+        for (idx, e) in ckt.elements().iter().enumerate() {
+            match *e {
+                Element::Capacitor { a, b, .. } => {
+                    cap[idx] = (sol.v(a) - sol.v(b), 0.0);
+                }
+                Element::Inductor { branch, .. } => {
+                    ind[idx] = (x[branch_base + branch], 0.0);
+                }
+                _ => {}
+            }
+        }
+        LinearState { cap, ind }
+    }
+
+    /// Updates history after an accepted transient step.
+    pub fn advance(&mut self, ckt: &Circuit, x: &[f64], dt: f64, backward_euler: bool) {
+        let sol = Solution::new(x);
+        let branch_base = ckt.branch_base();
+        for (idx, e) in ckt.elements().iter().enumerate() {
+            match *e {
+                Element::Capacitor { a, b, farads } => {
+                    let v_new = sol.v(a) - sol.v(b);
+                    let (v_prev, i_prev) = self.cap[idx];
+                    let i_new = if backward_euler {
+                        farads / dt * (v_new - v_prev)
+                    } else {
+                        2.0 * farads / dt * (v_new - v_prev) - i_prev
+                    };
+                    self.cap[idx] = (v_new, i_new);
+                }
+                Element::Inductor { branch, henries, .. } => {
+                    let i_new = x[branch_base + branch];
+                    let (i_prev, v_prev) = self.ind[idx];
+                    let v_new = if backward_euler {
+                        henries / dt * (i_new - i_prev)
+                    } else {
+                        2.0 * henries / dt * (i_new - i_prev) - v_prev
+                    };
+                    self.ind[idx] = (i_new, v_new);
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Stamps every linear element for the context `ctx` at candidate `x`.
+pub(crate) fn load_linear(
+    ckt: &Circuit,
+    x: &[f64],
+    ctx: &LoadContext,
+    st: &mut Stamper,
+    lin: Option<&LinearState>,
+) {
+    let sol = Solution::new(x);
+    let branch_base = ckt.branch_base();
+    for (idx, e) in ckt.elements().iter().enumerate() {
+        match *e {
+            Element::Resistor { a, b, ohms } => {
+                st.conductance(a, b, 1.0 / ohms, sol.v(a), sol.v(b));
+            }
+            Element::Capacitor { a, b, farads } => {
+                match ctx.mode {
+                    Mode::Dc => {} // open circuit in DC
+                    Mode::Transient { dt, backward_euler, .. } => {
+                        let (v_prev, i_prev) = lin.expect("transient needs LinearState").cap[idx];
+                        let (geq, ieq) = if backward_euler {
+                            let g = farads / dt;
+                            (g, -g * v_prev)
+                        } else {
+                            let g = 2.0 * farads / dt;
+                            (g, -g * v_prev - i_prev)
+                        };
+                        // i = geq (va − vb) + ieq flowing a → b
+                        let v = sol.v(a) - sol.v(b);
+                        st.current(a, b, geq * v + ieq);
+                        st.j_node(a, a, geq);
+                        st.j_node(b, b, geq);
+                        st.j_node(a, b, -geq);
+                        st.j_node(b, a, -geq);
+                    }
+                }
+            }
+            Element::Inductor { a, b, branch, henries } => {
+                let br = branch_base + branch;
+                let i = x[br];
+                // Node rows carry the branch current a → b.
+                st.f_node(a, i);
+                st.f_node(b, -i);
+                if let Some(r) = st.node_row(a) {
+                    st.j(r, br, 1.0);
+                }
+                if let Some(r) = st.node_row(b) {
+                    st.j(r, br, -1.0);
+                }
+                // Branch row: constitutive equation.
+                match ctx.mode {
+                    Mode::Dc => {
+                        // Short circuit: v(a) − v(b) = 0.
+                        st.f(br, sol.v(a) - sol.v(b));
+                        if let Some(c) = st.node_row(a) {
+                            st.j(br, c, 1.0);
+                        }
+                        if let Some(c) = st.node_row(b) {
+                            st.j(br, c, -1.0);
+                        }
+                    }
+                    Mode::Transient { dt, backward_euler, .. } => {
+                        let (i_prev, v_prev) = lin.expect("transient needs LinearState").ind[idx];
+                        // v = req (i − i_prev) − v_hist
+                        let (req, v_hist) = if backward_euler {
+                            (henries / dt, 0.0)
+                        } else {
+                            (2.0 * henries / dt, v_prev)
+                        };
+                        let v = sol.v(a) - sol.v(b);
+                        st.f(br, v - req * (i - i_prev) + v_hist);
+                        if let Some(c) = st.node_row(a) {
+                            st.j(br, c, 1.0);
+                        }
+                        if let Some(c) = st.node_row(b) {
+                            st.j(br, c, -1.0);
+                        }
+                        st.j(br, br, -req);
+                    }
+                }
+            }
+            Element::VSource { p, m, ref wave, branch } => {
+                let br = branch_base + branch;
+                let i = x[br];
+                st.f_node(p, i);
+                st.f_node(m, -i);
+                if let Some(r) = st.node_row(p) {
+                    st.j(r, br, 1.0);
+                }
+                if let Some(r) = st.node_row(m) {
+                    st.j(r, br, -1.0);
+                }
+                let vs = wave.eval(ctx.time()) * ctx.source_scale;
+                st.f(br, sol.v(p) - sol.v(m) - vs);
+                if let Some(c) = st.node_row(p) {
+                    st.j(br, c, 1.0);
+                }
+                if let Some(c) = st.node_row(m) {
+                    st.j(br, c, -1.0);
+                }
+            }
+            Element::ISource { from, to, ref wave } => {
+                let i = wave.eval(ctx.time()) * ctx.source_scale;
+                st.current(from, to, i);
+            }
+            Element::Vccs { op, om, cp, cm, gm } => {
+                let i = gm * (sol.v(cp) - sol.v(cm));
+                st.current(op, om, i);
+                st.j_node(op, cp, gm);
+                st.j_node(op, cm, -gm);
+                st.j_node(om, cp, -gm);
+                st.j_node(om, cm, gm);
+            }
+            Element::Vcvs { op, om, cp, cm, gain, branch } => {
+                let br = branch_base + branch;
+                let i = x[br];
+                st.f_node(op, i);
+                st.f_node(om, -i);
+                if let Some(r) = st.node_row(op) {
+                    st.j(r, br, 1.0);
+                }
+                if let Some(r) = st.node_row(om) {
+                    st.j(r, br, -1.0);
+                }
+                st.f(br, sol.v(op) - sol.v(om) - gain * (sol.v(cp) - sol.v(cm)));
+                for (node, sign) in [(op, 1.0), (om, -1.0), (cp, -gain), (cm, gain)] {
+                    if let Some(c) = st.node_row(node) {
+                        st.j(br, c, sign);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Stamps Norton clamps that force `v(node) = value` during the t = 0 solve.
+pub(crate) fn load_ic_clamps(clamps: &[(NodeId, f64)], x: &[f64], st: &mut Stamper) {
+    let sol = Solution::new(x);
+    for &(node, value) in clamps {
+        if node.is_ground() {
+            continue;
+        }
+        let g = IC_CLAMP_SIEMENS;
+        st.f_node(node, g * (sol.v(node) - value));
+        st.j_node(node, node, g);
+    }
+}
+
+/// One full Newton solve of the circuit equations at the given context.
+///
+/// `x` enters as the initial guess and exits as the converged solution.
+/// Returns the number of Newton iterations used.
+pub(crate) fn newton_solve(
+    ckt: &Circuit,
+    x: &mut [f64],
+    ctx: &LoadContext,
+    opts: &NewtonOptions,
+    lin: Option<&LinearState>,
+    ic_clamps: Option<&[(NodeId, f64)]>,
+) -> Result<usize> {
+    let n = x.len();
+    let mut solver = NewtonSolver::new(*opts);
+    let mut st = Stamper::new(n);
+    loop {
+        st.clear();
+        load_linear(ckt, x, ctx, &mut st, lin);
+        let sol = Solution::new(x);
+        for dev in ckt.devices() {
+            dev.load(&sol, ctx, &mut st);
+        }
+        st.gmin_shunts(ctx.gmin, ckt.num_node_unknowns(), x);
+        if let Some(clamps) = ic_clamps {
+            load_ic_clamps(clamps, x, &mut st);
+        }
+        let dx = st.solve()?;
+        if !dx.iter().all(|v| v.is_finite()) {
+            return Err(SpiceError::NoConvergence {
+                analysis: "newton",
+                time: ctx.time(),
+                detail: "non-finite Newton update".into(),
+            });
+        }
+        match solver.apply_step(x, &dx) {
+            NewtonStatus::Converged => return Ok(solver.iterations()),
+            NewtonStatus::Continue => {
+                if solver.exhausted() {
+                    return Err(SpiceError::NoConvergence {
+                        analysis: "newton",
+                        time: ctx.time(),
+                        detail: format!(
+                            "no convergence after {} iterations (last |Δx| = {:.3e})",
+                            solver.iterations(),
+                            solver.last_update_norm()
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

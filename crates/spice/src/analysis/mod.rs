@@ -1,0 +1,13 @@
+//! Circuit analyses: operating point, DC sweep, AC small-signal, and
+//! transient.
+
+pub mod ac;
+pub mod dc_sweep;
+mod engine;
+pub mod op;
+pub mod tran;
+
+pub use ac::{ac, log_sweep, AcResult};
+pub use dc_sweep::{dc_sweep, dc_sweep_seeded};
+pub use op::{op, op_seeded, op_with, OpOptions};
+pub use tran::{transient, IntegrationMethod, TranOptions};

@@ -1,0 +1,482 @@
+//! Netlist construction.
+
+use std::collections::HashMap;
+
+use crate::device::{Device, DeviceId};
+use crate::element::{Element, ElementId, NodeId, SourceRef};
+use crate::waveform::Waveform;
+use crate::{Result, SpiceError};
+
+/// A circuit netlist: named nodes, linear elements, and nonlinear devices.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_spice::circuit::Circuit;
+/// use nemscmos_spice::waveform::Waveform;
+///
+/// let mut ckt = Circuit::new();
+/// let vdd = ckt.node("vdd");
+/// let out = ckt.node("out");
+/// ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(1.2));
+/// ckt.resistor(vdd, out, 10e3);
+/// ckt.resistor(out, Circuit::GROUND, 10e3);
+/// assert_eq!(ckt.num_nodes(), 3); // ground + 2
+/// ```
+#[derive(Debug, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    nodes_by_name: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+    devices: Vec<Box<dyn Device>>,
+    num_branches: usize,
+    internal_unknowns: usize,
+    layout_final: bool,
+    ics: Vec<(NodeId, f64)>,
+}
+
+impl Circuit {
+    /// The global ground node.
+    pub const GROUND: NodeId = NodeId::GROUND;
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Circuit {
+        let mut ckt = Circuit {
+            node_names: vec!["0".to_string()],
+            nodes_by_name: HashMap::new(),
+            elements: Vec::new(),
+            devices: Vec::new(),
+            num_branches: 0,
+            internal_unknowns: 0,
+            layout_final: false,
+            ics: Vec::new(),
+        };
+        ckt.nodes_by_name.insert("0".to_string(), NodeId::GROUND);
+        ckt.nodes_by_name.insert("gnd".to_string(), NodeId::GROUND);
+        ckt
+    }
+
+    /// Returns the node with the given name, creating it if needed.
+    /// The names `"0"` and `"gnd"` always refer to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.nodes_by_name.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.nodes_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.nodes_by_name.get(name).copied()
+    }
+
+    /// The name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node does not belong to this circuit.
+    pub fn node_name(&self, n: NodeId) -> &str {
+        &self.node_names[n.index()]
+    }
+
+    /// Total number of nodes including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Number of node-voltage unknowns (nodes excluding ground).
+    pub fn num_node_unknowns(&self) -> usize {
+        self.node_names.len() - 1
+    }
+
+    /// Number of branch-current unknowns.
+    pub fn num_branches(&self) -> usize {
+        self.num_branches
+    }
+
+    /// Total number of MNA unknowns (finalizes the layout on first call).
+    pub fn num_unknowns(&mut self) -> usize {
+        self.finalize_layout();
+        self.num_node_unknowns() + self.num_branches + self.internal_unknowns
+    }
+
+    /// Global index of the first branch unknown.
+    pub fn branch_base(&self) -> usize {
+        self.num_node_unknowns()
+    }
+
+    /// Assigns internal-unknown indices to devices. Idempotent.
+    pub(crate) fn finalize_layout(&mut self) {
+        if self.layout_final {
+            return;
+        }
+        let mut base = self.num_node_unknowns() + self.num_branches;
+        for dev in &mut self.devices {
+            let n = dev.num_internal();
+            if n > 0 {
+                dev.set_internal_base(base);
+                base += n;
+            }
+        }
+        self.internal_unknowns = base - self.num_node_unknowns() - self.num_branches;
+        self.layout_final = true;
+    }
+
+    fn assert_mutable(&self) {
+        assert!(
+            !self.layout_final,
+            "circuit topology is frozen once an analysis has run"
+        );
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not strictly positive and finite, or if the
+    /// circuit layout is already frozen by an analysis.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> ElementId {
+        self.assert_mutable();
+        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive, got {ohms}");
+        self.elements.push(Element::Resistor { a, b, ohms });
+        ElementId(self.elements.len() - 1)
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is negative or non-finite, or the layout is frozen.
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> ElementId {
+        self.assert_mutable();
+        assert!(
+            farads.is_finite() && farads >= 0.0,
+            "capacitance must be non-negative, got {farads}"
+        );
+        self.elements.push(Element::Capacitor { a, b, farads });
+        ElementId(self.elements.len() - 1)
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `henries` is not strictly positive and finite, or the
+    /// layout is frozen.
+    pub fn inductor(&mut self, a: NodeId, b: NodeId, henries: f64) -> ElementId {
+        self.assert_mutable();
+        assert!(
+            henries.is_finite() && henries > 0.0,
+            "inductance must be positive, got {henries}"
+        );
+        let branch = self.num_branches;
+        self.num_branches += 1;
+        self.elements.push(Element::Inductor { a, b, henries, branch });
+        ElementId(self.elements.len() - 1)
+    }
+
+    /// Adds an independent voltage source from `p` (+) to `m` (−).
+    ///
+    /// The returned [`SourceRef`] is used to probe the source current
+    /// (e.g. for supply-power measurements) and to set sweep values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is frozen.
+    pub fn vsource(&mut self, p: NodeId, m: NodeId, wave: Waveform) -> SourceRef {
+        self.assert_mutable();
+        let branch = self.num_branches;
+        self.num_branches += 1;
+        self.elements.push(Element::VSource { p, m, wave, branch });
+        SourceRef { element: self.elements.len() - 1, branch }
+    }
+
+    /// Adds an independent current source driving current from `from` to
+    /// `to` through the source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is frozen.
+    pub fn isource(&mut self, from: NodeId, to: NodeId, wave: Waveform) -> ElementId {
+        self.assert_mutable();
+        self.elements.push(Element::ISource { from, to, wave });
+        ElementId(self.elements.len() - 1)
+    }
+
+    /// Adds a voltage-controlled current source
+    /// `i = gm (v(cp) − v(cm))` flowing from `op` to `om`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gm` is non-finite or the layout is frozen.
+    pub fn vccs(&mut self, op: NodeId, om: NodeId, cp: NodeId, cm: NodeId, gm: f64) -> ElementId {
+        self.assert_mutable();
+        assert!(gm.is_finite(), "transconductance must be finite");
+        self.elements.push(Element::Vccs { op, om, cp, cm, gm });
+        ElementId(self.elements.len() - 1)
+    }
+
+    /// Adds a voltage-controlled voltage source
+    /// `v(op) − v(om) = gain (v(cp) − v(cm))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gain` is non-finite or the layout is frozen.
+    pub fn vcvs(&mut self, op: NodeId, om: NodeId, cp: NodeId, cm: NodeId, gain: f64) -> ElementId {
+        self.assert_mutable();
+        assert!(gain.is_finite(), "gain must be finite");
+        let branch = self.num_branches;
+        self.num_branches += 1;
+        self.elements.push(Element::Vcvs { op, om, cp, cm, gain, branch });
+        ElementId(self.elements.len() - 1)
+    }
+
+    /// Adds a nonlinear device, transferring ownership to the circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is frozen.
+    pub fn add_device<D: Device + 'static>(&mut self, device: D) -> DeviceId {
+        self.add_boxed_device(Box::new(device))
+    }
+
+    /// Adds an already-boxed device (used by the netlist elaborator, whose
+    /// device factory returns trait objects).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layout is frozen.
+    pub fn add_boxed_device(&mut self, device: Box<dyn Device>) -> DeviceId {
+        self.assert_mutable();
+        self.devices.push(device);
+        DeviceId(self.devices.len() - 1)
+    }
+
+    /// Forces node `n` to `volts` during the t = 0 operating point of a
+    /// transient analysis (used to bias bistable circuits such as SRAM
+    /// cells into a chosen state). Ignored by plain DC analyses.
+    pub fn set_ic(&mut self, n: NodeId, volts: f64) {
+        self.ics.push((n, volts));
+    }
+
+    /// The registered initial conditions.
+    pub fn ics(&self) -> &[(NodeId, f64)] {
+        &self.ics
+    }
+
+    /// Replaces the waveform of a voltage source with a DC value (used by
+    /// DC sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownProbe`] if `src` does not refer to a
+    /// voltage source of this circuit.
+    pub fn set_vsource_dc(&mut self, src: SourceRef, volts: f64) -> Result<()> {
+        match self.elements.get_mut(src.element) {
+            Some(Element::VSource { wave, .. }) => {
+                *wave = Waveform::dc(volts);
+                Ok(())
+            }
+            _ => Err(SpiceError::UnknownProbe(format!(
+                "element {} is not a voltage source",
+                src.element
+            ))),
+        }
+    }
+
+    /// Replaces the waveform of a voltage source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownProbe`] if `src` does not refer to a
+    /// voltage source of this circuit.
+    pub fn set_vsource_waveform(&mut self, src: SourceRef, new: Waveform) -> Result<()> {
+        match self.elements.get_mut(src.element) {
+            Some(Element::VSource { wave, .. }) => {
+                *wave = new;
+                Ok(())
+            }
+            _ => Err(SpiceError::UnknownProbe(format!(
+                "element {} is not a voltage source",
+                src.element
+            ))),
+        }
+    }
+
+    /// The linear elements.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// The nonlinear devices (shared view).
+    pub fn devices(&self) -> &[Box<dyn Device>] {
+        &self.devices
+    }
+
+    /// The nonlinear devices (mutable view, used by analyses to commit
+    /// state).
+    pub(crate) fn devices_mut(&mut self) -> &mut [Box<dyn Device>] {
+        &mut self.devices
+    }
+
+    /// Resets all device dynamic state (fresh analysis from power-on).
+    pub fn reset_device_state(&mut self) {
+        for d in &mut self.devices {
+            d.reset_state();
+        }
+    }
+
+    /// Checks structural validity: every non-ground node must have at
+    /// least two element/device connections (no dangling nodes), and at
+    /// least one element must reference ground.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidCircuit`] describing the first problem
+    /// found.
+    pub fn validate(&self) -> Result<()> {
+        if self.num_node_unknowns() == 0 {
+            return Err(SpiceError::InvalidCircuit("circuit has no nodes besides ground".into()));
+        }
+        let mut degree = vec![0usize; self.num_nodes()];
+        let mut mark = |n: NodeId| degree[n.index()] += 1;
+        for e in &self.elements {
+            match *e {
+                Element::Resistor { a, b, .. }
+                | Element::Capacitor { a, b, .. }
+                | Element::Inductor { a, b, .. } => {
+                    mark(a);
+                    mark(b);
+                }
+                Element::VSource { p, m, .. } => {
+                    mark(p);
+                    mark(m);
+                }
+                Element::ISource { from, to, .. } => {
+                    mark(from);
+                    mark(to);
+                }
+                Element::Vccs { op, om, cp, cm, .. } => {
+                    mark(op);
+                    mark(om);
+                    mark(cp);
+                    mark(cm);
+                }
+                Element::Vcvs { op, om, cp, cm, .. } => {
+                    mark(op);
+                    mark(om);
+                    mark(cp);
+                    mark(cm);
+                }
+            }
+        }
+        // Devices connect their terminals too; we cannot see them through
+        // the trait, so device-only nodes are counted via names created by
+        // builders. Builders in higher layers always attach at least a
+        // parasitic capacitor to device terminals, so a degree-0 node here
+        // is a genuine authoring error.
+        for (idx, &d) in degree.iter().enumerate().skip(1) {
+            if d == 0 && !self.devices.is_empty() {
+                // Node may be referenced only by devices; tolerated.
+                continue;
+            }
+            if d == 0 {
+                return Err(SpiceError::InvalidCircuit(format!(
+                    "node '{}' is dangling (no connections)",
+                    self.node_names[idx]
+                )));
+            }
+        }
+        if degree[0] == 0 && self.devices.is_empty() {
+            return Err(SpiceError::InvalidCircuit("nothing is connected to ground".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_names_are_interned() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(ckt.num_nodes(), 2);
+        assert_eq!(ckt.node_name(a), "a");
+    }
+
+    #[test]
+    fn gnd_aliases_resolve_to_ground() {
+        let mut ckt = Circuit::new();
+        assert_eq!(ckt.node("0"), Circuit::GROUND);
+        assert_eq!(ckt.node("gnd"), Circuit::GROUND);
+    }
+
+    #[test]
+    fn branches_are_allocated_in_order() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let v1 = ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.inductor(a, b, 1e-9);
+        let v2 = ckt.vsource(b, Circuit::GROUND, Waveform::dc(0.0));
+        assert_eq!(v1.branch, 0);
+        assert_eq!(v2.branch, 2);
+        assert_eq!(ckt.num_branches(), 3);
+        assert_eq!(ckt.num_unknowns(), 2 + 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_resistance_is_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor(a, Circuit::GROUND, 0.0);
+    }
+
+    #[test]
+    fn validate_flags_dangling_node() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.node("floating");
+        ckt.resistor(a, Circuit::GROUND, 1.0);
+        let err = ckt.validate().unwrap_err();
+        assert!(err.to_string().contains("floating"));
+    }
+
+    #[test]
+    fn validate_accepts_simple_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.resistor(a, b, 1.0);
+        ckt.resistor(b, Circuit::GROUND, 1.0);
+        assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
+    fn set_vsource_dc_rejects_non_source() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor(a, Circuit::GROUND, 1.0);
+        let fake = SourceRef { element: 0, branch: 0 };
+        assert!(ckt.set_vsource_dc(fake, 1.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "frozen")]
+    fn topology_frozen_after_layout() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor(a, Circuit::GROUND, 1.0);
+        let _ = ckt.num_unknowns(); // freezes
+        ckt.resistor(a, Circuit::GROUND, 1.0);
+    }
+}

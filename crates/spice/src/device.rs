@@ -1,0 +1,140 @@
+//! The trait implemented by nonlinear multi-terminal devices.
+
+use crate::element::NodeId;
+use crate::stamp::Stamper;
+
+/// Identifier of a device within a [`Circuit`](crate::circuit::Circuit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DeviceId(pub(crate) usize);
+
+/// Which analysis is asking the device to load itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// DC analysis (operating point or sweep point): capacitors are open,
+    /// electromechanical devices are quasi-static.
+    Dc,
+    /// A transient Newton solve for the step ending at `time`.
+    Transient {
+        /// Absolute time at the end of the step (seconds).
+        time: f64,
+        /// Step size (seconds).
+        dt: f64,
+        /// True when this step integrates with backward Euler instead of
+        /// the trapezoidal rule (first step after a discontinuity).
+        backward_euler: bool,
+    },
+}
+
+/// Context handed to devices during load and commit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadContext {
+    /// Analysis mode for the current solve.
+    pub mode: Mode,
+    /// Shunt conductance to ground applied for convergence (siemens).
+    pub gmin: f64,
+    /// Scale factor on independent sources (`< 1` only during source
+    /// stepping); devices normally ignore this.
+    pub source_scale: f64,
+}
+
+impl LoadContext {
+    /// A plain DC context with the given `gmin`.
+    pub fn dc(gmin: f64) -> LoadContext {
+        LoadContext { mode: Mode::Dc, gmin, source_scale: 1.0 }
+    }
+
+    /// The time at the end of the step (`0.0` in DC).
+    pub fn time(&self) -> f64 {
+        match self.mode {
+            Mode::Dc => 0.0,
+            Mode::Transient { time, .. } => time,
+        }
+    }
+}
+
+/// A candidate MNA solution vector, with convenient node-voltage access.
+#[derive(Debug, Clone, Copy)]
+pub struct Solution<'a> {
+    x: &'a [f64],
+}
+
+impl<'a> Solution<'a> {
+    /// Wraps a raw unknown vector.
+    pub fn new(x: &'a [f64]) -> Solution<'a> {
+        Solution { x }
+    }
+
+    /// Voltage of node `n` (`0.0` for ground).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index is outside this solution's layout.
+    #[inline]
+    pub fn v(&self, n: NodeId) -> f64 {
+        if n.is_ground() {
+            0.0
+        } else {
+            self.x[n.index() - 1]
+        }
+    }
+
+    /// Raw unknown by global index (used by devices for their internal
+    /// unknowns and branch currents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[inline]
+    pub fn raw(&self, idx: usize) -> f64 {
+        self.x[idx]
+    }
+
+    /// The full unknown vector.
+    pub fn as_slice(&self) -> &[f64] {
+        self.x
+    }
+}
+
+/// A nonlinear multi-terminal device that participates in MNA assembly.
+///
+/// Devices own their *dynamic state* (integration history, hysteresis
+/// flags). During a Newton solve the state is frozen: [`Device::load`] must
+/// be a pure function of the candidate solution and the context. When a
+/// step (or DC point) is accepted the analysis calls [`Device::commit`],
+/// which is the only place state may change.
+pub trait Device: std::fmt::Debug {
+    /// Instance name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Number of internal MNA unknowns this device needs (e.g. a dynamic
+    /// NEMS beam contributes displacement and velocity).
+    fn num_internal(&self) -> usize {
+        0
+    }
+
+    /// Informs the device of the global index of its first internal
+    /// unknown. Called once when the circuit layout is finalized; devices
+    /// without internal unknowns can ignore it.
+    fn set_internal_base(&mut self, base: usize) {
+        let _ = base;
+    }
+
+    /// Stamps the device's Jacobian and residual contributions at the
+    /// candidate solution `x`.
+    fn load(&self, x: &Solution<'_>, ctx: &LoadContext, st: &mut Stamper);
+
+    /// Accepts a converged solution: update integration history and
+    /// hysteresis state. Returns `true` if a *discrete* state changed
+    /// (e.g. a NEMS beam pulled in), which makes DC analyses re-solve for
+    /// consistency.
+    fn commit(&mut self, x: &Solution<'_>, ctx: &LoadContext) -> bool;
+
+    /// Resets all dynamic state to the power-on default (fresh analysis).
+    fn reset_state(&mut self);
+
+    /// Provides an initial guess for the device's internal unknowns
+    /// (node voltages are guessed by the analysis itself).
+    fn initial_guess(&self, x: &mut [f64]) {
+        let _ = x;
+    }
+}

@@ -1,0 +1,173 @@
+//! Node identifiers and linear circuit elements.
+
+use crate::waveform::Waveform;
+
+/// Identifier of a circuit node.
+///
+/// Node `0` is the global ground reference; all other nodes are created by
+/// [`Circuit::node`](crate::circuit::Circuit::node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// The global ground node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// True for the ground node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw node index (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Identifier of a linear element within a [`Circuit`](crate::circuit::Circuit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ElementId(pub(crate) usize);
+
+/// Handle to a voltage source: keeps both the element index and the MNA
+/// branch-current index, so results can be probed without re-deriving the
+/// layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SourceRef {
+    pub(crate) element: usize,
+    pub(crate) branch: usize,
+}
+
+impl SourceRef {
+    /// The element id of this source.
+    pub fn element_id(self) -> ElementId {
+        ElementId(self.element)
+    }
+}
+
+/// A linear circuit element.
+///
+/// Nonlinear multi-terminal devices are *not* elements; they implement
+/// [`Device`](crate::device::Device) instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Ideal resistor between `a` and `b`.
+    Resistor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms (must be positive).
+        ohms: f64,
+    },
+    /// Ideal capacitor between `a` and `b`.
+    Capacitor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads (must be non-negative).
+        farads: f64,
+    },
+    /// Ideal inductor between `a` and `b`; carries a branch current unknown.
+    Inductor {
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Inductance in henries (must be positive).
+        henries: f64,
+        /// MNA branch index of the inductor current.
+        branch: usize,
+    },
+    /// Independent voltage source from `p` (+) to `m` (−); carries a branch
+    /// current unknown. Positive branch current flows from `p` through the
+    /// external circuit into `m`.
+    VSource {
+        /// Positive terminal.
+        p: NodeId,
+        /// Negative terminal.
+        m: NodeId,
+        /// Source waveform.
+        wave: Waveform,
+        /// MNA branch index of the source current.
+        branch: usize,
+    },
+    /// Independent current source driving current from `from` to `to`
+    /// *through the source*, i.e. extracting from `from`'s node and
+    /// injecting into `to`'s node.
+    ISource {
+        /// Terminal the current leaves.
+        from: NodeId,
+        /// Terminal the current enters.
+        to: NodeId,
+        /// Source waveform (amperes).
+        wave: Waveform,
+    },
+    /// Voltage-controlled current source: `i = gm (v(cp) − v(cm))` flowing
+    /// from `op` to `om`.
+    Vccs {
+        /// Output positive terminal (current leaves this node).
+        op: NodeId,
+        /// Output negative terminal.
+        om: NodeId,
+        /// Control positive terminal.
+        cp: NodeId,
+        /// Control negative terminal.
+        cm: NodeId,
+        /// Transconductance in siemens.
+        gm: f64,
+    },
+    /// Voltage-controlled voltage source:
+    /// `v(op) − v(om) = gain (v(cp) − v(cm))`; carries a branch unknown.
+    Vcvs {
+        /// Output positive terminal.
+        op: NodeId,
+        /// Output negative terminal.
+        om: NodeId,
+        /// Control positive terminal.
+        cp: NodeId,
+        /// Control negative terminal.
+        cm: NodeId,
+        /// Voltage gain.
+        gain: f64,
+        /// MNA branch index of the output current.
+        branch: usize,
+    },
+}
+
+impl Element {
+    /// The MNA branch index, if this element carries a current unknown.
+    pub fn branch(&self) -> Option<usize> {
+        match self {
+            Element::Inductor { branch, .. }
+            | Element::VSource { branch, .. }
+            | Element::Vcvs { branch, .. } => Some(*branch),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_identity() {
+        assert!(NodeId::GROUND.is_ground());
+        assert_eq!(NodeId::GROUND.index(), 0);
+        assert!(!NodeId(3).is_ground());
+    }
+
+    #[test]
+    fn branch_carriers() {
+        let r = Element::Resistor { a: NodeId(1), b: NodeId(0), ohms: 1.0 };
+        assert_eq!(r.branch(), None);
+        let v = Element::VSource {
+            p: NodeId(1),
+            m: NodeId(0),
+            wave: Waveform::dc(1.0),
+            branch: 4,
+        };
+        assert_eq!(v.branch(), Some(4));
+    }
+}

@@ -1,0 +1,134 @@
+//! A modified-nodal-analysis (MNA) circuit simulator.
+//!
+//! This crate is the HSPICE stand-in for the `nemscmos` workspace: it
+//! provides netlist construction, nonlinear DC operating-point analysis,
+//! DC sweeps with state continuation (for hysteretic electromechanical
+//! devices), and adaptive transient analysis with trapezoidal /
+//! backward-Euler integration.
+//!
+//! # Architecture
+//!
+//! * [`circuit::Circuit`] — the netlist builder. Linear elements
+//!   (R, C, L, V/I sources, controlled sources) are stored as data;
+//!   nonlinear multi-terminal devices implement the [`device::Device`]
+//!   trait and stamp their own Jacobian/residual contributions.
+//! * [`stamp::Stamper`] — the per-iteration MNA assembler. Small systems
+//!   use a dense LU, larger ones the sparse Gilbert–Peierls LU from
+//!   `nemscmos-numeric`.
+//! * [`analysis`] — operating point (with g_min stepping and source
+//!   ramping), DC sweep, and transient analysis.
+//! * [`result`] — waveforms and probe access.
+//!
+//! # Example: RC low-pass step response
+//!
+//! ```
+//! use nemscmos_spice::circuit::Circuit;
+//! use nemscmos_spice::waveform::Waveform;
+//! use nemscmos_spice::analysis::tran::{transient, TranOptions};
+//!
+//! # fn main() -> Result<(), nemscmos_spice::SpiceError> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let vout = ckt.node("out");
+//! ckt.vsource(vin, Circuit::GROUND, Waveform::dc(1.0));
+//! ckt.resistor(vin, vout, 1e3);
+//! ckt.capacitor(vout, Circuit::GROUND, 1e-9);
+//! let res = transient(&mut ckt, 10e-6, &TranOptions::default())?;
+//! let v_end = res.voltage(vout).last_value();
+//! assert!((v_end - 1.0).abs() < 1e-3); // fully charged after 10 time constants
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod analysis;
+pub mod circuit;
+pub mod device;
+pub mod element;
+pub mod netlist;
+pub mod result;
+pub mod stamp;
+pub mod vcd;
+pub mod waveform;
+
+use std::error::Error;
+use std::fmt;
+
+use nemscmos_numeric::NumericError;
+
+/// Errors produced by circuit construction and analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SpiceError {
+    /// The underlying numerical kernel failed.
+    Numeric(NumericError),
+    /// Newton iteration failed to converge.
+    NoConvergence {
+        /// Which analysis failed ("op", "dc sweep", "transient").
+        analysis: &'static str,
+        /// Simulation time at failure (`0.0` for DC analyses).
+        time: f64,
+        /// Detail about the failing stage.
+        detail: String,
+    },
+    /// The netlist is malformed (dangling node, non-positive element
+    /// value, missing source, ...).
+    InvalidCircuit(String),
+    /// An analysis was asked about a node, element, or probe that does not
+    /// exist.
+    UnknownProbe(String),
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::Numeric(e) => write!(f, "numerical failure: {e}"),
+            SpiceError::NoConvergence { analysis, time, detail } => {
+                write!(f, "{analysis} failed to converge at t = {time:.4e} s: {detail}")
+            }
+            SpiceError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
+            SpiceError::UnknownProbe(msg) => write!(f, "unknown probe: {msg}"),
+        }
+    }
+}
+
+impl Error for SpiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpiceError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for SpiceError {
+    fn from(e: NumericError) -> Self {
+        SpiceError::Numeric(e)
+    }
+}
+
+/// Convenience alias for results of simulator routines.
+pub type Result<T> = std::result::Result<T, SpiceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errors = [
+            SpiceError::Numeric(NumericError::SingularMatrix { column: 0 }),
+            SpiceError::NoConvergence { analysis: "op", time: 0.0, detail: "x".into() },
+            SpiceError::InvalidCircuit("bad".into()),
+            SpiceError::UnknownProbe("n7".into()),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn numeric_error_converts() {
+        let e: SpiceError = NumericError::SingularMatrix { column: 2 }.into();
+        assert!(matches!(e, SpiceError::Numeric(_)));
+    }
+}

@@ -1,0 +1,551 @@
+//! Analysis results: operating points, transient traces, and probes.
+
+use crate::circuit::Circuit;
+use crate::element::{Element, ElementId, NodeId, SourceRef};
+use crate::{Result, SpiceError};
+
+/// A sampled time-domain signal (one probe of a transient result).
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_spice::result::Trace;
+///
+/// let tr = Trace::new(vec![0.0, 1.0, 2.0], vec![0.0, 2.0, 2.0]);
+/// assert_eq!(tr.eval(0.5), 1.0);
+/// assert_eq!(tr.crossing_rising(1.0, 0.0), Some(0.5));
+/// assert_eq!(tr.last_value(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates a trace from parallel time/value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length, are empty, or the times are
+    /// not strictly increasing.
+    pub fn new(times: Vec<f64>, values: Vec<f64>) -> Trace {
+        assert_eq!(times.len(), values.len(), "trace length mismatch");
+        assert!(!times.is_empty(), "empty trace");
+        assert!(
+            times.windows(2).all(|w| w[1] > w[0]),
+            "trace times must be strictly increasing"
+        );
+        Trace { times, values }
+    }
+
+    /// Sample times.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Always false (a trace has at least one sample).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Value at the final sample.
+    pub fn last_value(&self) -> f64 {
+        *self.values.last().expect("trace is never empty")
+    }
+
+    /// First sample time.
+    pub fn t_start(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// Last sample time.
+    pub fn t_end(&self) -> f64 {
+        *self.times.last().expect("trace is never empty")
+    }
+
+    /// Linear interpolation at time `t`, clamped to the end values.
+    pub fn eval(&self, t: f64) -> f64 {
+        if t <= self.times[0] {
+            return self.values[0];
+        }
+        if t >= self.t_end() {
+            return self.last_value();
+        }
+        let idx = self.times.partition_point(|&x| x <= t);
+        let (t0, v0) = (self.times[idx - 1], self.values[idx - 1]);
+        let (t1, v1) = (self.times[idx], self.values[idx]);
+        v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+    }
+
+    /// Earliest time `>= from` at which the signal crosses `level` while
+    /// rising, or `None`.
+    pub fn crossing_rising(&self, level: f64, from: f64) -> Option<f64> {
+        self.crossing_dir(level, from, true)
+    }
+
+    /// Earliest time `>= from` at which the signal crosses `level` while
+    /// falling, or `None`.
+    pub fn crossing_falling(&self, level: f64, from: f64) -> Option<f64> {
+        self.crossing_dir(level, from, false)
+    }
+
+    fn crossing_dir(&self, level: f64, from: f64, rising: bool) -> Option<f64> {
+        for i in 1..self.times.len() {
+            if self.times[i] < from {
+                continue;
+            }
+            let (v0, v1) = (self.values[i - 1], self.values[i]);
+            let crosses = if rising {
+                v0 < level && v1 >= level
+            } else {
+                v0 > level && v1 <= level
+            };
+            if crosses {
+                let (t0, t1) = (self.times[i - 1], self.times[i]);
+                let t = t0 + (t1 - t0) * (level - v0) / (v1 - v0);
+                if t >= from {
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Trapezoidal integral of the signal over its full span.
+    pub fn integral(&self) -> f64 {
+        nemscmos_numeric::interp::trapezoid(&self.times, &self.values)
+    }
+
+    /// Trapezoidal integral over `[t0, t1]` (clamped to the trace span).
+    pub fn integral_between(&self, t0: f64, t1: f64) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        let mut prev_t = t0.max(self.t_start());
+        let mut prev_v = self.eval(prev_t);
+        for (&t, &v) in self.times.iter().zip(self.values.iter()) {
+            if t <= prev_t {
+                continue;
+            }
+            if t >= t1 {
+                break;
+            }
+            acc += 0.5 * (v + prev_v) * (t - prev_t);
+            prev_t = t;
+            prev_v = v;
+        }
+        let end = t1.min(self.t_end());
+        if end > prev_t {
+            acc += 0.5 * (self.eval(end) + prev_v) * (end - prev_t);
+        }
+        acc
+    }
+
+    /// Minimum sample value.
+    pub fn min_value(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sample value.
+    pub fn max_value(&self) -> f64 {
+        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum over `[t0, t1]` of the linear interpolant.
+    pub fn min_between(&self, t0: f64, t1: f64) -> f64 {
+        let mut m = self.eval(t0).min(self.eval(t1));
+        for (&t, &v) in self.times.iter().zip(self.values.iter()) {
+            if t >= t0 && t <= t1 {
+                m = m.min(v);
+            }
+        }
+        m
+    }
+
+    /// Maximum over `[t0, t1]` of the linear interpolant.
+    pub fn max_between(&self, t0: f64, t1: f64) -> f64 {
+        let mut m = self.eval(t0).max(self.eval(t1));
+        for (&t, &v) in self.times.iter().zip(self.values.iter()) {
+            if t >= t0 && t <= t1 {
+                m = m.max(v);
+            }
+        }
+        m
+    }
+
+    /// Pointwise product with another trace sampled on this trace's time
+    /// base (the other trace is interpolated).
+    pub fn multiply(&self, other: &Trace) -> Trace {
+        let values = self
+            .times
+            .iter()
+            .zip(self.values.iter())
+            .map(|(&t, &v)| v * other.eval(t))
+            .collect();
+        Trace { times: self.times.clone(), values }
+    }
+
+    /// Pointwise scaling by a constant.
+    pub fn scale(&self, k: f64) -> Trace {
+        Trace {
+            times: self.times.clone(),
+            values: self.values.iter().map(|&v| v * k).collect(),
+        }
+    }
+}
+
+/// The solution of a DC operating-point analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpResult {
+    x: Vec<f64>,
+    num_node_unknowns: usize,
+    branch_base: usize,
+}
+
+impl OpResult {
+    pub(crate) fn new(x: Vec<f64>, num_node_unknowns: usize, branch_base: usize) -> OpResult {
+        OpResult { x, num_node_unknowns, branch_base }
+    }
+
+    /// Voltage of node `n` (`0.0` for ground).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is outside this result's layout.
+    pub fn voltage(&self, n: NodeId) -> f64 {
+        if n.is_ground() {
+            0.0
+        } else {
+            self.x[n.index() - 1]
+        }
+    }
+
+    /// Current through a voltage source, flowing from its `+` terminal
+    /// *through the source* to its `−` terminal (SPICE convention: a
+    /// discharging battery shows negative current).
+    pub fn source_current(&self, s: SourceRef) -> f64 {
+        self.x[self.branch_base + s.branch]
+    }
+
+    /// The raw unknown vector.
+    pub fn raw(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// DC current through a linear element, flowing from its first to its
+    /// second terminal: `(v_a − v_b)/R` for resistors, `0` for capacitors
+    /// (open in DC), the branch unknown for inductors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownProbe`] for element kinds without a
+    /// single well-defined two-terminal current (sources and controlled
+    /// sources — probe those via [`OpResult::source_current`]).
+    pub fn element_current(&self, ckt: &Circuit, id: ElementId) -> Result<f64> {
+        match ckt.elements().get(id.0) {
+            Some(Element::Resistor { a, b, ohms }) => {
+                Ok((self.voltage(*a) - self.voltage(*b)) / ohms)
+            }
+            Some(Element::Capacitor { .. }) => Ok(0.0),
+            Some(Element::Inductor { branch, .. }) => Ok(self.x[self.branch_base + branch]),
+            Some(other) => Err(SpiceError::UnknownProbe(format!(
+                "element current probe not supported for {other:?}"
+            ))),
+            None => Err(SpiceError::UnknownProbe(format!("no element #{}", id.0))),
+        }
+    }
+}
+
+/// The sampled solution of a transient analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranResult {
+    times: Vec<f64>,
+    /// `data[k]` is the full unknown vector at `times[k]`.
+    data: Vec<Vec<f64>>,
+    num_node_unknowns: usize,
+    branch_base: usize,
+}
+
+impl TranResult {
+    pub(crate) fn new(num_node_unknowns: usize, branch_base: usize) -> TranResult {
+        TranResult { times: Vec::new(), data: Vec::new(), num_node_unknowns, branch_base }
+    }
+
+    pub(crate) fn push(&mut self, t: f64, x: &[f64]) {
+        debug_assert!(self.times.last().is_none_or(|&last| t > last));
+        self.times.push(t);
+        self.data.push(x.to_vec());
+    }
+
+    /// Number of accepted time points.
+    pub fn num_points(&self) -> usize {
+        self.times.len()
+    }
+
+    /// The accepted time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Extracts the voltage trace of node `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty or the node is out of range.
+    pub fn voltage(&self, n: NodeId) -> Trace {
+        let values = if n.is_ground() {
+            vec![0.0; self.times.len()]
+        } else {
+            self.data.iter().map(|x| x[n.index() - 1]).collect()
+        };
+        Trace::new(self.times.clone(), values)
+    }
+
+    /// Extracts the current trace of a voltage source (positive from `+`
+    /// through the source to `−`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty.
+    pub fn source_current(&self, s: SourceRef) -> Trace {
+        let idx = self.branch_base + s.branch;
+        let values = self.data.iter().map(|x| x[idx]).collect();
+        Trace::new(self.times.clone(), values)
+    }
+
+    /// Extracts a raw unknown by global index (device internal states).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownProbe`] if the index is out of range.
+    pub fn raw_unknown(&self, idx: usize) -> Result<Trace> {
+        if self.data.first().is_none_or(|x| idx >= x.len()) {
+            return Err(SpiceError::UnknownProbe(format!("raw unknown {idx} out of range")));
+        }
+        let values = self.data.iter().map(|x| x[idx]).collect();
+        Ok(Trace::new(self.times.clone(), values))
+    }
+
+    /// The final unknown vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty.
+    pub fn final_state(&self) -> &[f64] {
+        self.data.last().expect("empty transient result")
+    }
+
+    /// Current trace through a linear element, flowing from its first to
+    /// its second terminal. Resistors use Ohm's law; inductors their
+    /// branch unknown; capacitors a centred finite difference of
+    /// `C·dv/dt` on the accepted time grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::UnknownProbe`] for sources and controlled
+    /// sources (probe those via [`TranResult::source_current`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result has fewer than two points (capacitor case).
+    pub fn element_current(&self, ckt: &Circuit, id: ElementId) -> Result<Trace> {
+        match ckt.elements().get(id.0) {
+            Some(Element::Resistor { a, b, ohms }) => {
+                let va = self.voltage(*a);
+                let vb = self.voltage(*b);
+                let values = va
+                    .values()
+                    .iter()
+                    .zip(vb.values())
+                    .map(|(x, y)| (x - y) / ohms)
+                    .collect();
+                Ok(Trace::new(self.times.clone(), values))
+            }
+            Some(Element::Inductor { branch, .. }) => {
+                let idx = self.branch_base + branch;
+                let values = self.data.iter().map(|x| x[idx]).collect();
+                Ok(Trace::new(self.times.clone(), values))
+            }
+            Some(Element::Capacitor { a, b, farads }) => {
+                let va = self.voltage(*a);
+                let vb = self.voltage(*b);
+                let n = self.times.len();
+                assert!(n >= 2, "capacitor current needs at least two points");
+                let v: Vec<f64> =
+                    va.values().iter().zip(vb.values()).map(|(x, y)| x - y).collect();
+                let mut i = vec![0.0; n];
+                for (k, ik) in i.iter_mut().enumerate() {
+                    let (k0, k1) = if k == 0 {
+                        (0, 1)
+                    } else if k == n - 1 {
+                        (n - 2, n - 1)
+                    } else {
+                        (k - 1, k + 1)
+                    };
+                    *ik = farads * (v[k1] - v[k0]) / (self.times[k1] - self.times[k0]);
+                }
+                Ok(Trace::new(self.times.clone(), i))
+            }
+            Some(other) => Err(SpiceError::UnknownProbe(format!(
+                "element current probe not supported for {other:?}"
+            ))),
+            None => Err(SpiceError::UnknownProbe(format!("no element #{}", id.0))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Trace {
+        Trace::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 1.0, 0.0])
+    }
+
+    #[test]
+    fn eval_clamps_and_interpolates() {
+        let tr = ramp();
+        assert_eq!(tr.eval(-1.0), 0.0);
+        assert_eq!(tr.eval(0.5), 0.5);
+        assert_eq!(tr.eval(1.5), 1.0);
+        assert_eq!(tr.eval(9.0), 0.0);
+    }
+
+    #[test]
+    fn rising_and_falling_crossings() {
+        let tr = ramp();
+        assert_eq!(tr.crossing_rising(0.5, 0.0), Some(0.5));
+        assert_eq!(tr.crossing_falling(0.5, 0.0), Some(2.5));
+        assert_eq!(tr.crossing_rising(0.5, 1.0), None);
+        assert_eq!(tr.crossing_rising(2.0, 0.0), None);
+    }
+
+    #[test]
+    fn integral_full_and_partial() {
+        let tr = ramp();
+        assert!((tr.integral() - 2.0).abs() < 1e-14);
+        assert!((tr.integral_between(0.0, 1.0) - 0.5).abs() < 1e-14);
+        assert!((tr.integral_between(1.0, 2.0) - 1.0).abs() < 1e-14);
+        // 0.5→1: 0.375, 1→2: 1.0, 2→2.5: 0.375 (falling edge).
+        assert!((tr.integral_between(0.5, 2.5) - 1.75).abs() < 1e-12);
+        assert_eq!(tr.integral_between(2.0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn extrema_between() {
+        let tr = ramp();
+        assert_eq!(tr.min_between(0.5, 2.5), 0.5);
+        assert_eq!(tr.max_between(0.0, 3.0), 1.0);
+        assert_eq!(tr.min_value(), 0.0);
+        assert_eq!(tr.max_value(), 1.0);
+    }
+
+    #[test]
+    fn multiply_uses_interpolation() {
+        let a = ramp();
+        let b = Trace::new(vec![0.0, 3.0], vec![2.0, 2.0]);
+        let p = a.multiply(&b);
+        assert_eq!(p.eval(1.0), 2.0);
+        assert!((p.integral() - 4.0).abs() < 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_times_panic() {
+        let _ = Trace::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn op_result_probes() {
+        // Layout: 2 node unknowns, branch base 2.
+        let op = OpResult::new(vec![1.0, 2.0, -0.5], 2, 2);
+        assert_eq!(op.voltage(NodeId(1)), 1.0);
+        assert_eq!(op.voltage(NodeId::GROUND), 0.0);
+        let s = SourceRef { element: 0, branch: 0 };
+        assert_eq!(op.source_current(s), -0.5);
+    }
+
+    #[test]
+    fn tran_result_probes() {
+        let mut tr = TranResult::new(1, 1);
+        tr.push(0.0, &[0.0, 0.1]);
+        tr.push(1.0, &[1.0, 0.2]);
+        assert_eq!(tr.num_points(), 2);
+        assert_eq!(tr.voltage(NodeId(1)).last_value(), 1.0);
+        let s = SourceRef { element: 0, branch: 0 };
+        assert_eq!(tr.source_current(s).last_value(), 0.2);
+        assert!(tr.raw_unknown(5).is_err());
+        assert_eq!(tr.final_state(), &[1.0, 0.2]);
+    }
+}
+
+#[cfg(test)]
+mod element_current_tests {
+    use super::*;
+    use crate::analysis::op::op;
+    use crate::analysis::tran::{transient, TranOptions};
+    use crate::waveform::Waveform;
+
+    #[test]
+    fn dc_element_currents() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(2.0));
+        let r = ckt.resistor(a, b, 1e3);
+        let l = ckt.inductor(b, Circuit::GROUND, 1e-6);
+        let c = ckt.capacitor(b, Circuit::GROUND, 1e-12);
+        let res = op(&mut ckt).unwrap();
+        // Inductor shorts b to ground: 2 mA through everything.
+        assert!((res.element_current(&ckt, r).unwrap() - 2e-3).abs() < 1e-8);
+        assert!((res.element_current(&ckt, l).unwrap() - 2e-3).abs() < 1e-8);
+        assert_eq!(res.element_current(&ckt, c).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn capacitor_transient_current_matches_rc_theory() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        let r = ckt.resistor(a, b, 1e3);
+        let c = ckt.capacitor(b, Circuit::GROUND, 1e-9);
+        let res = transient(&mut ckt, 5e-6, &TranOptions::default()).unwrap();
+        let ir = res.element_current(&ckt, r).unwrap();
+        let ic = res.element_current(&ckt, c).unwrap();
+        // All resistor current charges the capacitor: traces agree.
+        for &t in &[0.5e-6, 1e-6, 2e-6] {
+            assert!(
+                (ir.eval(t) - ic.eval(t)).abs() < 0.05 * ir.eval(t).abs().max(1e-6),
+                "t = {t}: iR {} vs iC {}",
+                ir.eval(t),
+                ic.eval(t)
+            );
+        }
+        // Initial capacitor current ≈ V/R = 1 mA, decaying with tau = 1 µs.
+        assert!((ic.eval(1e-6) - 1e-3 * (-1.0f64).exp()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn source_probe_is_rejected_with_pointer() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let s = ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.resistor(a, Circuit::GROUND, 1e3);
+        let res = op(&mut ckt).unwrap();
+        assert!(res.element_current(&ckt, s.element_id()).is_err());
+        assert!(res.element_current(&ckt, ElementId(99)).is_err());
+    }
+}

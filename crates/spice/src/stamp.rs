@@ -1,0 +1,281 @@
+//! The per-iteration MNA assembler.
+//!
+//! A [`Stamper`] accumulates Jacobian entries and residual contributions
+//! for one Newton iteration, then factors and solves for the update.
+//! The sign convention is:
+//!
+//! * the residual `F[n]` of a node row is the sum of currents *leaving*
+//!   node `n`;
+//! * branch rows hold their constitutive equation residual;
+//! * the Newton update solves `J Δx = −F`.
+//!
+//! Small systems are assembled densely; larger ones into a triplet matrix
+//! solved by the sparse Gilbert–Peierls LU.
+
+use nemscmos_numeric::dense::{DenseLu, DenseMatrix};
+use nemscmos_numeric::sparse::{SparseLu, Triplet};
+
+use crate::element::NodeId;
+use crate::Result;
+
+/// Below this number of unknowns the dense path is used.
+const DENSE_LIMIT: usize = 64;
+
+#[derive(Debug, Clone)]
+enum Backend {
+    Dense(DenseMatrix),
+    Sparse(Triplet),
+}
+
+/// Accumulates one Newton iteration's MNA matrix and residual.
+#[derive(Debug, Clone)]
+pub struct Stamper {
+    n: usize,
+    backend: Backend,
+    rhs: Vec<f64>,
+}
+
+impl Stamper {
+    /// Creates an assembler for `n` unknowns.
+    pub fn new(n: usize) -> Stamper {
+        let backend = if n <= DENSE_LIMIT {
+            Backend::Dense(DenseMatrix::zeros(n, n))
+        } else {
+            Backend::Sparse(Triplet::with_capacity(n, n, n * 8))
+        };
+        Stamper { n, backend, rhs: vec![0.0; n] }
+    }
+
+    /// Number of unknowns.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Clears the matrix and residual for the next iteration, keeping
+    /// allocations.
+    pub fn clear(&mut self) {
+        match &mut self.backend {
+            Backend::Dense(m) => m.clear(),
+            Backend::Sparse(t) => t.clear(),
+        }
+        self.rhs.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Row index of a node, or `None` for ground.
+    #[inline]
+    pub fn node_row(&self, n: NodeId) -> Option<usize> {
+        if n.is_ground() {
+            None
+        } else {
+            Some(n.index() - 1)
+        }
+    }
+
+    /// Adds `v` to Jacobian entry `(r, c)` (raw unknown indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    #[inline]
+    pub fn j(&mut self, r: usize, c: usize, v: f64) {
+        match &mut self.backend {
+            Backend::Dense(m) => m.add(r, c, v),
+            Backend::Sparse(t) => t.push(r, c, v),
+        }
+    }
+
+    /// Adds `v` to the residual entry `r` (raw unknown index).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[inline]
+    pub fn f(&mut self, r: usize, v: f64) {
+        self.rhs[r] += v;
+    }
+
+    /// Adds `v` to the Jacobian between two nodes, skipping ground rows
+    /// and columns.
+    #[inline]
+    pub fn j_node(&mut self, rn: NodeId, cn: NodeId, v: f64) {
+        if let (Some(r), Some(c)) = (self.node_row(rn), self.node_row(cn)) {
+            self.j(r, c, v);
+        }
+    }
+
+    /// Adds `v` to a node's residual row (skipping ground).
+    #[inline]
+    pub fn f_node(&mut self, n: NodeId, v: f64) {
+        if let Some(r) = self.node_row(n) {
+            self.f(r, v);
+        }
+    }
+
+    /// Stamps a current `i` flowing from `from` to `to` into the residual
+    /// only (for current contributions whose partials are stamped
+    /// separately).
+    #[inline]
+    pub fn current(&mut self, from: NodeId, to: NodeId, i: f64) {
+        self.f_node(from, i);
+        self.f_node(to, -i);
+    }
+
+    /// Stamps a two-terminal conductance `g` carrying current
+    /// `i = g (v(a) − v(b))` from `a` to `b`: both the Jacobian pattern and
+    /// the residual at the candidate voltages `va`, `vb`.
+    pub fn conductance(&mut self, a: NodeId, b: NodeId, g: f64, va: f64, vb: f64) {
+        let i = g * (va - vb);
+        self.current(a, b, i);
+        self.j_node(a, a, g);
+        self.j_node(b, b, g);
+        self.j_node(a, b, -g);
+        self.j_node(b, a, -g);
+    }
+
+    /// Stamps a nonlinear branch current `i` flowing from `a` to `b`, whose
+    /// partial derivatives with respect to node voltages are given in
+    /// `partials` as `(node, dI/dV_node)` pairs.
+    ///
+    /// This is the workhorse for transistor-like devices: the drain-source
+    /// current with its `g_m`, `g_ds` and source partials is one call.
+    pub fn nonlinear_current(&mut self, a: NodeId, b: NodeId, i: f64, partials: &[(NodeId, f64)]) {
+        self.current(a, b, i);
+        for &(node, di) in partials {
+            self.j_node(a, node, di);
+            self.j_node(b, node, -di);
+        }
+    }
+
+    /// Stamps the convergence shunt `gmin` from every non-ground node to
+    /// ground, consistent with the candidate solution `x`.
+    pub fn gmin_shunts(&mut self, gmin: f64, num_node_unknowns: usize, x: &[f64]) {
+        if gmin <= 0.0 {
+            return;
+        }
+        for (r, &xr) in x.iter().enumerate().take(num_node_unknowns) {
+            self.j(r, r, gmin);
+            self.f(r, gmin * xr);
+        }
+    }
+
+    /// Factors the assembled Jacobian and solves `J Δx = −F`, returning the
+    /// Newton update `Δx`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular-matrix failures from the linear solver.
+    pub fn solve(&self) -> Result<Vec<f64>> {
+        let neg_f: Vec<f64> = self.rhs.iter().map(|&v| -v).collect();
+        let dx = match &self.backend {
+            Backend::Dense(m) => {
+                let lu = DenseLu::factor(m.clone())?;
+                lu.solve(&neg_f)?
+            }
+            Backend::Sparse(t) => {
+                let lu = SparseLu::factor(&t.to_csc())?;
+                lu.solve(&neg_f)?
+            }
+        };
+        Ok(dx)
+    }
+
+    /// Infinity norm of the current residual.
+    pub fn residual_norm(&self) -> f64 {
+        nemscmos_numeric::inf_norm(&self.rhs)
+    }
+
+    /// Returns every accumulated Jacobian entry as `(row, col, value)`
+    /// triplets (duplicates unsummed for the sparse backend; the dense
+    /// backend reports its nonzero positions). Used by the AC analysis to
+    /// extract the small-signal conductance matrix at an operating point.
+    pub fn jacobian_entries(&self) -> Vec<(usize, usize, f64)> {
+        match &self.backend {
+            Backend::Dense(m) => {
+                let mut out = Vec::new();
+                for r in 0..self.n {
+                    for c in 0..self.n {
+                        let v = m.get(r, c);
+                        if v != 0.0 {
+                            out.push((r, c, v));
+                        }
+                    }
+                }
+                out
+            }
+            Backend::Sparse(t) => t.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conductance_stamp_solves_divider() {
+        // 1 V source modelled as fixed residual on node 1 is awkward here;
+        // instead solve G v = I directly: two resistors to ground from one
+        // node driven by a 1 A injection.
+        let mut st = Stamper::new(1);
+        let n1 = NodeId(1);
+        let v = [0.0];
+        st.conductance(n1, NodeId::GROUND, 1.0, v[0], 0.0);
+        st.conductance(n1, NodeId::GROUND, 1.0, v[0], 0.0);
+        // Inject 1 A into node 1 (current flows ground -> node).
+        st.current(NodeId::GROUND, n1, 1.0);
+        let dx = st.solve().unwrap();
+        assert!((dx[0] - 0.5).abs() < 1e-14);
+    }
+
+    #[test]
+    fn residual_reflects_candidate_voltages() {
+        let mut st = Stamper::new(1);
+        let n1 = NodeId(1);
+        // At v = 2 with g = 3 to ground, the leaving current is 6.
+        st.conductance(n1, NodeId::GROUND, 3.0, 2.0, 0.0);
+        assert!((st.residual_norm() - 6.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn ground_contributions_are_dropped() {
+        let mut st = Stamper::new(2);
+        // A conductance fully between ground and ground must not panic or
+        // touch the matrix.
+        st.conductance(NodeId::GROUND, NodeId::GROUND, 1.0, 0.0, 0.0);
+        assert_eq!(st.residual_norm(), 0.0);
+    }
+
+    #[test]
+    fn sparse_backend_used_for_large_systems() {
+        let n = DENSE_LIMIT + 10;
+        let mut st = Stamper::new(n);
+        for r in 0..n {
+            st.j(r, r, 2.0);
+            st.f(r, -2.0); // residual −2 → solve gives +1
+        }
+        let dx = st.solve().unwrap();
+        assert!(dx.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut st = Stamper::new(2);
+        st.j(0, 0, 1.0);
+        st.f(1, 5.0);
+        st.clear();
+        assert_eq!(st.residual_norm(), 0.0);
+        // After clear the matrix is singular (all zeros): solving must fail.
+        assert!(st.solve().is_err());
+    }
+
+    #[test]
+    fn nonlinear_current_stamps_partials_on_both_rows() {
+        let mut st = Stamper::new(3);
+        let d = NodeId(1);
+        let s = NodeId(2);
+        let g = NodeId(3);
+        st.nonlinear_current(d, s, 1e-3, &[(g, 2e-3), (d, 1e-4), (s, -2.1e-3)]);
+        // Solve is meaningless here; just verify the residual bookkeeping.
+        assert!((st.residual_norm() - 1e-3).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,154 @@
+//! Value Change Dump (VCD) export of transient results.
+//!
+//! Writes IEEE-1364 VCD with `real` variables, one per probed node, so
+//! waveforms can be inspected in GTKWave or any other VCD viewer:
+//!
+//! ```text
+//! $timescale 1fs $end
+//! $var real 64 ! v(out) $end
+//! ...
+//! #1500000
+//! r1.199 !
+//! ```
+
+use std::io::Write;
+
+use crate::circuit::Circuit;
+use crate::element::NodeId;
+use crate::result::TranResult;
+use crate::{Result, SpiceError};
+
+/// Timescale used in the dump: femtoseconds, fine enough for ps-scale
+/// digital edges.
+const FEMTOSECONDS_PER_SECOND: f64 = 1e15;
+
+/// Writes the voltage traces of `nodes` (with their names from `ckt`) as
+/// a VCD document.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::UnknownProbe`] if `nodes` is empty and wraps I/O
+/// failures from the writer in [`SpiceError::InvalidCircuit`].
+pub fn write_vcd<W: Write>(
+    out: &mut W,
+    ckt: &Circuit,
+    res: &TranResult,
+    nodes: &[NodeId],
+) -> Result<()> {
+    if nodes.is_empty() {
+        return Err(SpiceError::UnknownProbe("VCD export needs at least one node".into()));
+    }
+    let io_err = |e: std::io::Error| SpiceError::InvalidCircuit(format!("VCD write failed: {e}"));
+
+    // Identifier codes: printable ASCII starting at '!'.
+    let code = |k: usize| -> String {
+        let mut k = k;
+        let mut s = String::new();
+        loop {
+            s.push((b'!' + (k % 94) as u8) as char);
+            k /= 94;
+            if k == 0 {
+                break;
+            }
+        }
+        s
+    };
+
+    writeln!(out, "$date nemscmos transient $end").map_err(io_err)?;
+    writeln!(out, "$version nemscmos-spice $end").map_err(io_err)?;
+    writeln!(out, "$timescale 1 fs $end").map_err(io_err)?;
+    writeln!(out, "$scope module circuit $end").map_err(io_err)?;
+    for (k, &n) in nodes.iter().enumerate() {
+        writeln!(out, "$var real 64 {} v({}) $end", code(k), ckt.node_name(n)).map_err(io_err)?;
+    }
+    writeln!(out, "$upscope $end").map_err(io_err)?;
+    writeln!(out, "$enddefinitions $end").map_err(io_err)?;
+
+    let traces: Vec<_> = nodes.iter().map(|&n| res.voltage(n)).collect();
+    let mut last: Vec<Option<f64>> = vec![None; nodes.len()];
+    for (idx, &t) in res.times().iter().enumerate() {
+        let stamp = (t * FEMTOSECONDS_PER_SECOND).round() as u64;
+        let mut wrote_stamp = false;
+        for (k, trace) in traces.iter().enumerate() {
+            let v = trace.values()[idx];
+            // Emit only on change (VCD is a change dump).
+            if last[k].is_none_or(|prev| prev != v) {
+                if !wrote_stamp {
+                    writeln!(out, "#{stamp}").map_err(io_err)?;
+                    wrote_stamp = true;
+                }
+                writeln!(out, "r{v:.6e} {}", code(k)).map_err(io_err)?;
+                last[k] = Some(v);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::tran::{transient, TranOptions};
+    use crate::waveform::Waveform;
+
+    fn rc_result() -> (Circuit, TranResult, NodeId, NodeId) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("out");
+        ckt.vsource(a, Circuit::GROUND, Waveform::step(0.0, 1.0, 1e-9, 0.1e-9));
+        ckt.resistor(a, b, 1e3);
+        ckt.capacitor(b, Circuit::GROUND, 1e-12);
+        let res = transient(&mut ckt, 5e-9, &TranOptions::default()).unwrap();
+        (ckt, res, a, b)
+    }
+
+    #[test]
+    fn vcd_has_header_and_changes() {
+        let (ckt, res, a, b) = rc_result();
+        let mut buf = Vec::new();
+        write_vcd(&mut buf, &ckt, &res, &[a, b]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("$timescale 1 fs $end"));
+        assert!(text.contains("v(in)"));
+        assert!(text.contains("v(out)"));
+        assert!(text.contains("$enddefinitions"));
+        // Time stamps are monotone.
+        let stamps: Vec<u64> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix('#'))
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert!(stamps.len() > 10);
+        assert!(stamps.windows(2).all(|w| w[1] > w[0]));
+        // Values appear as real changes.
+        assert!(text.lines().any(|l| l.starts_with('r')));
+    }
+
+    #[test]
+    fn empty_probe_list_rejected() {
+        let (ckt, res, ..) = rc_result();
+        let mut buf = Vec::new();
+        assert!(write_vcd(&mut buf, &ckt, &res, &[]).is_err());
+    }
+
+    #[test]
+    fn identifier_codes_are_unique_for_many_nodes() {
+        // Exercise the multi-character code path indirectly: 100 codes.
+        let code = |k: usize| -> String {
+            let mut k = k;
+            let mut s = String::new();
+            loop {
+                s.push((b'!' + (k % 94) as u8) as char);
+                k /= 94;
+                if k == 0 {
+                    break;
+                }
+            }
+            s
+        };
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..200 {
+            assert!(seen.insert(code(k)), "duplicate code at {k}");
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Independent-source waveforms (DC, PULSE, PWL, SIN, EXP).
+
+use nemscmos_numeric::interp::PiecewiseLinear;
+
+use crate::{Result, SpiceError};
+
+/// A time-dependent source value, mirroring the classic SPICE source kinds.
+///
+/// # Example
+///
+/// ```
+/// use nemscmos_spice::waveform::Waveform;
+///
+/// let clk = Waveform::pulse(0.0, 1.2, 1e-9, 50e-12, 50e-12, 2e-9, 4e-9);
+/// assert_eq!(clk.eval(0.0), 0.0);
+/// assert!((clk.eval(1.5e-9) - 1.2).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// A constant value.
+    Dc(f64),
+    /// Periodic trapezoidal pulse (SPICE `PULSE`): `v1` → `v2`.
+    Pulse {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value.
+        v2: f64,
+        /// Delay before the first edge.
+        delay: f64,
+        /// Rise time.
+        rise: f64,
+        /// Fall time.
+        fall: f64,
+        /// Time at `v2` per period.
+        width: f64,
+        /// Pulse period.
+        period: f64,
+    },
+    /// Piecewise-linear waveform, clamped outside its breakpoints.
+    Pwl(PiecewiseLinear),
+    /// Sinusoid `offset + ampl·sin(2π·freq·(t − delay))` for `t ≥ delay`.
+    Sin {
+        /// DC offset.
+        offset: f64,
+        /// Amplitude.
+        ampl: f64,
+        /// Frequency in hertz.
+        freq: f64,
+        /// Start delay.
+        delay: f64,
+    },
+    /// SPICE `EXP` source: exponential rise from `v1` toward `v2`
+    /// starting at `td1` with time constant `tau1`, then exponential
+    /// return toward `v1` starting at `td2` with `tau2`.
+    Exp {
+        /// Initial value.
+        v1: f64,
+        /// Pulsed value approached during the rise.
+        v2: f64,
+        /// Rise start time.
+        td1: f64,
+        /// Rise time constant.
+        tau1: f64,
+        /// Fall start time (≥ `td1`).
+        td2: f64,
+        /// Fall time constant.
+        tau2: f64,
+    },
+}
+
+impl Waveform {
+    /// A constant (DC) waveform.
+    pub fn dc(value: f64) -> Waveform {
+        Waveform::Dc(value)
+    }
+
+    /// A periodic pulse from `v1` to `v2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rise`, `fall` or `width` is negative, or if the period is
+    /// not long enough to contain `rise + width + fall`.
+    pub fn pulse(v1: f64, v2: f64, delay: f64, rise: f64, fall: f64, width: f64, period: f64) -> Waveform {
+        assert!(rise >= 0.0 && fall >= 0.0 && width >= 0.0, "negative pulse timing");
+        assert!(
+            period >= rise + width + fall,
+            "pulse period {period} too short for rise+width+fall"
+        );
+        Waveform::Pulse { v1, v2, delay, rise, fall, width, period }
+    }
+
+    /// A piecewise-linear waveform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::InvalidCircuit`] if the points are not strictly
+    /// increasing in time.
+    pub fn pwl(points: Vec<(f64, f64)>) -> Result<Waveform> {
+        PiecewiseLinear::new(points)
+            .map(Waveform::Pwl)
+            .map_err(|e| SpiceError::InvalidCircuit(format!("bad PWL source: {e}")))
+    }
+
+    /// A SPICE `EXP` source.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a time constant is not strictly positive or the fall
+    /// starts before the rise.
+    pub fn exp(v1: f64, v2: f64, td1: f64, tau1: f64, td2: f64, tau2: f64) -> Waveform {
+        assert!(tau1 > 0.0 && tau2 > 0.0, "EXP time constants must be positive");
+        assert!(td2 >= td1, "EXP fall must start at or after the rise");
+        Waveform::Exp { v1, v2, td1, tau1, td2, tau2 }
+    }
+
+    /// A one-shot step from `v1` to `v2` starting at `t0`, rising over `tr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tr <= 0`.
+    pub fn step(v1: f64, v2: f64, t0: f64, tr: f64) -> Waveform {
+        assert!(tr > 0.0, "step rise time must be positive");
+        Waveform::Pwl(
+            PiecewiseLinear::new(vec![(t0, v1), (t0 + tr, v2)])
+                .expect("step breakpoints are strictly increasing"),
+        )
+    }
+
+    /// Evaluates the waveform at time `t` (clamped for `t < 0`).
+    pub fn eval(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse { v1, v2, delay, rise, fall, width, period } => {
+                if t < *delay {
+                    return *v1;
+                }
+                let tp = (t - delay) % period;
+                if tp < *rise {
+                    if *rise == 0.0 {
+                        *v2
+                    } else {
+                        v1 + (v2 - v1) * tp / rise
+                    }
+                } else if tp < rise + width {
+                    *v2
+                } else if tp < rise + width + fall {
+                    if *fall == 0.0 {
+                        *v1
+                    } else {
+                        v2 + (v1 - v2) * (tp - rise - width) / fall
+                    }
+                } else {
+                    *v1
+                }
+            }
+            Waveform::Pwl(pwl) => pwl.eval(t),
+            Waveform::Sin { offset, ampl, freq, delay } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + ampl * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+            Waveform::Exp { v1, v2, td1, tau1, td2, tau2 } => {
+                // Standard SPICE additive form: the rise term persists and
+                // the fall term cancels it back toward v1.
+                let mut v = *v1;
+                if t > *td1 {
+                    v += (v2 - v1) * (1.0 - (-(t - td1) / tau1).exp());
+                }
+                if t > *td2 {
+                    v += (v1 - v2) * (1.0 - (-(t - td2) / tau2).exp());
+                }
+                v
+            }
+        }
+    }
+
+    /// The DC (t = 0⁻) value used for operating-point analysis.
+    pub fn dc_value(&self) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse { v1, .. } => *v1,
+            Waveform::Pwl(pwl) => pwl.points()[0].1,
+            Waveform::Sin { offset, .. } => *offset,
+            Waveform::Exp { v1, .. } => *v1,
+        }
+    }
+
+    /// Appends this source's timing discontinuities within `[0, tstop]` to
+    /// `out`; the transient analysis forces steps onto these breakpoints.
+    pub fn breakpoints(&self, tstop: f64, out: &mut Vec<f64>) {
+        match self {
+            Waveform::Dc(_) => {}
+            Waveform::Pulse { delay, rise, fall, width, period, .. } => {
+                let mut t0 = *delay;
+                // Cap the number of emitted periods to keep pathological
+                // tiny-period sources from exploding the breakpoint list.
+                let mut periods = 0;
+                while t0 <= tstop && periods < 10_000 {
+                    for edge in [0.0, *rise, rise + width, rise + width + fall] {
+                        let t = t0 + edge;
+                        if t <= tstop {
+                            out.push(t);
+                        }
+                    }
+                    t0 += period;
+                    periods += 1;
+                }
+            }
+            Waveform::Pwl(pwl) => {
+                out.extend(pwl.points().iter().map(|&(t, _)| t).filter(|&t| (0.0..=tstop).contains(&t)));
+            }
+            Waveform::Sin { delay, .. } => {
+                if (0.0..=tstop).contains(delay) {
+                    out.push(*delay);
+                }
+            }
+            Waveform::Exp { td1, td2, .. } => {
+                for t in [*td1, *td2] {
+                    if (0.0..=tstop).contains(&t) {
+                        out.push(t);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::dc(3.3);
+        assert_eq!(w.eval(-1.0), 3.3);
+        assert_eq!(w.eval(1e9), 3.3);
+        assert_eq!(w.dc_value(), 3.3);
+    }
+
+    #[test]
+    fn pulse_edges_and_periodicity() {
+        let w = Waveform::pulse(0.0, 1.0, 1.0, 0.1, 0.2, 0.5, 2.0);
+        assert_eq!(w.eval(0.5), 0.0); // before delay
+        assert!((w.eval(1.05) - 0.5).abs() < 1e-12); // mid-rise
+        assert_eq!(w.eval(1.3), 1.0); // plateau
+        assert!((w.eval(1.7) - 0.5).abs() < 1e-12); // mid-fall
+        assert_eq!(w.eval(1.9), 0.0); // back to v1
+        assert!((w.eval(3.05) - 0.5).abs() < 1e-12); // next period
+    }
+
+    #[test]
+    fn pulse_with_zero_edges() {
+        let w = Waveform::pulse(0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 2.0);
+        assert_eq!(w.eval(0.5), 1.0);
+        assert_eq!(w.eval(1.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn pulse_rejects_overlong_content() {
+        let _ = Waveform::pulse(0.0, 1.0, 0.0, 0.5, 0.5, 0.5, 1.0);
+    }
+
+    #[test]
+    fn pwl_clamps_and_interpolates() {
+        let w = Waveform::pwl(vec![(0.0, 0.0), (1.0, 2.0)]).unwrap();
+        assert_eq!(w.eval(-1.0), 0.0);
+        assert_eq!(w.eval(0.5), 1.0);
+        assert_eq!(w.eval(2.0), 2.0);
+        assert_eq!(w.dc_value(), 0.0);
+    }
+
+    #[test]
+    fn pwl_rejects_bad_points() {
+        assert!(Waveform::pwl(vec![(1.0, 0.0), (0.5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn step_transitions_once() {
+        let w = Waveform::step(0.0, 1.2, 1e-9, 50e-12);
+        assert_eq!(w.eval(0.0), 0.0);
+        assert_eq!(w.eval(2e-9), 1.2);
+    }
+
+    #[test]
+    fn sin_starts_after_delay() {
+        let w = Waveform::Sin { offset: 1.0, ampl: 0.5, freq: 1.0, delay: 1.0 };
+        assert_eq!(w.eval(0.5), 1.0);
+        assert!((w.eval(1.25) - 1.5).abs() < 1e-12);
+        assert_eq!(w.dc_value(), 1.0);
+    }
+
+    #[test]
+    fn exp_source_rises_and_falls() {
+        let w = Waveform::exp(0.0, 1.0, 1.0, 0.5, 3.0, 0.25);
+        assert_eq!(w.eval(0.5), 0.0);
+        assert_eq!(w.dc_value(), 0.0);
+        // One tau into the rise: 1 − e^{−1}.
+        let one_tau = w.eval(1.5);
+        assert!((one_tau - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        // Long after the rise, before the fall: saturated near v2.
+        assert!(w.eval(2.9) > 0.95);
+        // Long after the fall: back near v1.
+        assert!(w.eval(10.0) < 0.01);
+        let mut bps = Vec::new();
+        w.breakpoints(5.0, &mut bps);
+        assert!(bps.contains(&1.0) && bps.contains(&3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exp_rejects_bad_tau() {
+        let _ = Waveform::exp(0.0, 1.0, 0.0, 0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn breakpoints_cover_pulse_edges() {
+        let w = Waveform::pulse(0.0, 1.0, 0.0, 0.1, 0.1, 0.3, 1.0);
+        let mut bps = Vec::new();
+        w.breakpoints(1.0, &mut bps);
+        for expect in [0.0, 0.1, 0.4, 0.5, 1.0] {
+            assert!(
+                bps.iter().any(|&t| (t - expect).abs() < 1e-15),
+                "missing breakpoint {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn breakpoints_for_dc_are_empty() {
+        let mut bps = Vec::new();
+        Waveform::dc(1.0).breakpoints(1.0, &mut bps);
+        assert!(bps.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests of the circuit engine: linear-network theorems
+//! that must hold for any randomly generated netlist.
+
+use proptest::prelude::*;
+
+use nemscmos_spice::analysis::op::op;
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::result::Trace;
+use nemscmos_spice::waveform::Waveform;
+
+/// Builds a resistor ladder `src — r\[0\] — n0 — r\[1\] — n1 … — ground`.
+fn ladder(resistors: &[f64], vsrc: f64) -> (Circuit, Vec<nemscmos_spice::element::NodeId>) {
+    let mut ckt = Circuit::new();
+    let top = ckt.node("top");
+    ckt.vsource(top, Circuit::GROUND, Waveform::dc(vsrc));
+    let mut nodes = Vec::new();
+    let mut prev = top;
+    for (k, &r) in resistors.iter().enumerate() {
+        let n = if k + 1 == resistors.len() {
+            Circuit::GROUND
+        } else {
+            ckt.node(&format!("n{k}"))
+        };
+        ckt.resistor(prev, n, r);
+        if !n.is_ground() {
+            nodes.push(n);
+        }
+        prev = n;
+    }
+    (ckt, nodes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Maximum principle: every node of a resistive divider lies between
+    /// the rails, and voltages decrease monotonically down the ladder.
+    #[test]
+    fn ladder_voltages_are_monotone(
+        rs in proptest::collection::vec(10.0f64..1e5, 2..8),
+        v in 0.1f64..10.0
+    ) {
+        let (mut ckt, nodes) = ladder(&rs, v);
+        let res = op(&mut ckt).unwrap();
+        let mut prev = v;
+        for &n in &nodes {
+            let vn = res.voltage(n);
+            prop_assert!(vn <= prev + 1e-9, "voltage must fall down the ladder");
+            prop_assert!(vn >= -1e-9);
+            prev = vn;
+        }
+    }
+
+    /// Superposition: with two sources driving a linear network, the
+    /// response equals the sum of the single-source responses.
+    #[test]
+    fn superposition_holds(
+        r1 in 100.0f64..1e5,
+        r2 in 100.0f64..1e5,
+        r3 in 100.0f64..1e5,
+        va in -5.0f64..5.0,
+        vb in -5.0f64..5.0
+    ) {
+        let build = |va: f64, vb: f64| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            let mid = ckt.node("mid");
+            ckt.vsource(a, Circuit::GROUND, Waveform::dc(va));
+            ckt.vsource(b, Circuit::GROUND, Waveform::dc(vb));
+            ckt.resistor(a, mid, r1);
+            ckt.resistor(b, mid, r2);
+            ckt.resistor(mid, Circuit::GROUND, r3);
+            (ckt, mid)
+        };
+        let solve = |va: f64, vb: f64| {
+            let (mut ckt, mid) = build(va, vb);
+            op(&mut ckt).unwrap().voltage(mid)
+        };
+        let both = solve(va, vb);
+        let only_a = solve(va, 0.0);
+        let only_b = solve(0.0, vb);
+        prop_assert!((both - only_a - only_b).abs() < 1e-9);
+    }
+
+    /// A driven RC network's transient settles to its DC operating point.
+    #[test]
+    fn transient_settles_to_dc(
+        r in 100.0f64..10e3,
+        c in 1e-12f64..1e-9,
+        v in 0.1f64..5.0
+    ) {
+        let build = || {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            ckt.vsource(a, Circuit::GROUND, Waveform::dc(v));
+            ckt.resistor(a, b, r);
+            ckt.resistor(b, Circuit::GROUND, 2.0 * r);
+            ckt.capacitor(b, Circuit::GROUND, c);
+            (ckt, b)
+        };
+        let (mut ckt_dc, b) = build();
+        let dc = op(&mut ckt_dc).unwrap().voltage(b);
+        let (mut ckt_tr, b2) = build();
+        let tau = r * c;
+        let res = transient(&mut ckt_tr, 20.0 * tau, &TranOptions::default()).unwrap();
+        let end = res.voltage(b2).last_value();
+        prop_assert!((end - dc).abs() < 1e-3 * v.max(1.0), "end {end} vs dc {dc}");
+    }
+
+    /// Trace integral additivity: ∫[a,b] + ∫[b,c] = ∫[a,c].
+    #[test]
+    fn trace_integral_is_additive(
+        ys in proptest::collection::vec(-2.0f64..2.0, 3..12),
+        split in 0.1f64..0.9
+    ) {
+        let times: Vec<f64> = (0..ys.len()).map(|k| k as f64).collect();
+        let span = *times.last().unwrap();
+        let tr = Trace::new(times, ys);
+        let mid = split * span;
+        let whole = tr.integral_between(0.0, span);
+        let parts = tr.integral_between(0.0, mid) + tr.integral_between(mid, span);
+        prop_assert!((whole - parts).abs() < 1e-9);
+    }
+
+    /// Netlist round trip: a random resistor ladder rendered as SPICE
+    /// text parses back into a circuit whose operating point matches the
+    /// directly-built one.
+    #[test]
+    fn netlist_roundtrip_matches_direct_build(
+        rs in proptest::collection::vec(10.0f64..1e5, 2..7),
+        v in 0.1f64..10.0
+    ) {
+        use nemscmos_spice::netlist::{parse_deck, NoDevices};
+        // Direct build.
+        let (mut direct, nodes) = ladder(&rs, v);
+        let direct_res = op(&mut direct).unwrap();
+        // Text render.
+        let mut deck = format!("V1 top 0 DC {v}\n");
+        let mut prev = "top".to_string();
+        for (k, r) in rs.iter().enumerate() {
+            let next = if k + 1 == rs.len() { "0".to_string() } else { format!("n{k}") };
+            deck.push_str(&format!("R{k} {prev} {next} {r}\n"));
+            prev = next;
+        }
+        deck.push_str(".op\n");
+        let parsed = parse_deck(&deck, &NoDevices).unwrap();
+        let mut ckt = parsed.circuit;
+        let res = op(&mut ckt).unwrap();
+        for (k, &n) in nodes.iter().enumerate() {
+            let name = format!("n{k}");
+            let via_deck = res.voltage(parsed.nodes[&name]);
+            let via_direct = direct_res.voltage(n);
+            prop_assert!((via_deck - via_direct).abs() < 1e-9,
+                "node {name}: deck {via_deck} vs direct {via_direct}");
+        }
+    }
+
+    /// Power balance in a divider: source power equals the sum of
+    /// resistor dissipations.
+    #[test]
+    fn power_balance(
+        r1 in 100.0f64..1e5,
+        r2 in 100.0f64..1e5,
+        v in 0.1f64..10.0
+    ) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let mid = ckt.node("mid");
+        let src = ckt.vsource(a, Circuit::GROUND, Waveform::dc(v));
+        ckt.resistor(a, mid, r1);
+        ckt.resistor(mid, Circuit::GROUND, r2);
+        let res = op(&mut ckt).unwrap();
+        let p_src = v * (-res.source_current(src));
+        let vm = res.voltage(mid);
+        let p_r = (v - vm) * (v - vm) / r1 + vm * vm / r2;
+        prop_assert!((p_src - p_r).abs() <= 1e-6 * p_src.abs().max(1e-12));
+    }
+}

@@ -1,0 +1,75 @@
+//! CAM match-line study — the wide dynamic OR in its natural habitat.
+//!
+//! A content-addressable-memory row discharges its match line when *any*
+//! bit mismatches: electrically it is exactly the paper's wide fan-in
+//! dynamic OR (match-line pull-downs = mismatch signals). This example
+//! sizes rows from 8 to 64 bits and shows why conventional CMOS rows are
+//! segmented while hybrid NEMS-CMOS rows can keep growing: the CMOS
+//! keeper must scale with row width until contention wrecks search delay
+//! and energy.
+//!
+//! ```sh
+//! cargo run --release --example cam_matchline
+//! ```
+
+use nemscmos::gates::{keeper_width_for, DynamicOrGate, DynamicOrParams, PdnStyle};
+use nemscmos::tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::n90();
+    println!("CAM match line = wide dynamic OR; search with exactly 1 mismatching bit");
+    println!(
+        "{:>6} {:>12} {:>13} {:>13} {:>12} {:>12}",
+        "bits", "CMOS keeper", "CMOS search", "hyb search", "CMOS energy", "hyb energy"
+    );
+    for bits in [8usize, 16, 32, 64] {
+        let wk = keeper_width_for(&tech, PdnStyle::Cmos, bits, 2.0, 3.0, 0.10);
+        let row = |style| -> Result<(f64, f64), Box<dyn std::error::Error>> {
+            let params = DynamicOrParams::new(bits, 1, style);
+            let f = DynamicOrGate::build(&tech, &params).characterize(&tech)?;
+            Ok((f.delay, f.switching_power * params.period))
+        };
+        // An infinite result marks a dead row (keeper wins outright).
+        let (d_cmos, e_cmos) = row(PdnStyle::Cmos).unwrap_or((f64::INFINITY, f64::INFINITY));
+        let (d_hyb, e_hyb) = row(PdnStyle::HybridNems)?;
+        let fmt_t = |d: f64| {
+            if d.is_finite() {
+                format!("{:.1} ps", d * 1e12)
+            } else {
+                "FAILS".to_string()
+            }
+        };
+        let fmt_e = |e: f64| {
+            if e.is_finite() {
+                format!("{:.2} pJ", e * 1e12)
+            } else {
+                "-".to_string()
+            }
+        };
+        println!(
+            "{:>6} {:>9.2} µm {:>13} {:>13} {:>12} {:>12}",
+            bits,
+            wk,
+            fmt_t(d_cmos),
+            fmt_t(d_hyb),
+            fmt_e(e_cmos),
+            fmt_e(e_hyb),
+        );
+    }
+    println!("\nmatch-state retention: a matching row must HOLD the line high all cycle —");
+    println!("the hybrid row's pull-down leakage is the NEMS beam-up floor:");
+    for bits in [16usize, 64] {
+        let leak_cmos: f64 = {
+            let (i, ..) = tech.nmos.ids(0.0, tech.vdd, 0.0, 2.0);
+            bits as f64 * i
+        };
+        let leak_hyb = bits as f64 * 3.0 * tech.nems_n.g_off_per_um * tech.vdd;
+        println!(
+            "  {bits:>2}-bit row: CMOS {:.1} nA vs hybrid {:.3} nA ({:.0}x)",
+            leak_cmos * 1e9,
+            leak_hyb * 1e9,
+            leak_cmos / leak_hyb
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Electromechanical switching dynamics of a NEMFET: the full beam
+//! equation of motion co-simulated with the circuit (the paper's Fig. 6(b)
+//! model solved directly), plus the standalone pull-in study from the
+//! `nemscmos-mems` substrate.
+//!
+//! ```sh
+//! cargo run --release --example nems_switch_dynamics
+//! ```
+
+use nemscmos::devices::mosfet::Polarity;
+use nemscmos::devices::nemfet::{DynamicNemfet, MechanicalParams, NemsModel};
+use nemscmos::mems::dynamics::ActuatorDynamics;
+use nemscmos::mems::electrostatics::Actuator;
+use nemscmos::spice::analysis::tran::{transient, TranOptions};
+use nemscmos::spice::circuit::Circuit;
+use nemscmos::spice::waveform::Waveform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A lumped NEMS switch: k = 1 N/m, 0.2 µm² electrode, 20 nm air gap,
+    // 5 nm dielectric.
+    let act = Actuator::from_parameters(1.0, 0.2e-12, 20e-9, 5e-9, 7.5);
+    let dynamics = ActuatorDynamics::new(act, 4e-14, 2e-7);
+    let vpi = dynamics.actuator().pull_in_voltage();
+    let vpo = dynamics.actuator().pull_out_voltage();
+    println!("pull-in voltage : {vpi:.3} V");
+    println!("pull-out voltage: {vpo:.3} V (hysteresis window {:.3} V)", vpi - vpo);
+
+    println!("\n-- standalone beam: switching time vs overdrive --");
+    for factor in [1.1, 1.5, 2.0, 3.0] {
+        match dynamics.switching_time(factor * vpi, 5e-6, 1e-10) {
+            Some(t) => println!("  V = {:.2} V ({factor:.1}x V_pi): t_switch = {:.1} ns", factor * vpi, t * 1e9),
+            None => println!("  V = {:.2} V: no pull-in within 5 µs", factor * vpi),
+        }
+    }
+
+    println!("\n-- co-simulated NEMFET: gate step, beam flight, channel turn-on --");
+    let mech = MechanicalParams::from_dynamics(&dynamics);
+    let mut ckt = Circuit::new();
+    let vddn = ckt.node("vdd");
+    let g = ckt.node("g");
+    let d = ckt.node("d");
+    ckt.vsource(vddn, Circuit::GROUND, Waveform::dc(1.2));
+    ckt.vsource(g, Circuit::GROUND, Waveform::step(0.0, 2.0 * vpi, 10e-9, 1e-9));
+    ckt.resistor(vddn, d, 100e3);
+    let dev = DynamicNemfet::new(
+        "x1",
+        NemsModel::nems_90nm(Polarity::Nmos),
+        mech,
+        d,
+        g,
+        Circuit::GROUND,
+        1.0,
+    );
+    ckt.add_device(dev);
+    let opts = TranOptions { dt_max: Some(2e-9), ..Default::default() };
+    let res = transient(&mut ckt, 2e-6, &opts)?;
+    // Displacement is the first internal unknown after 2 node-voltage
+    // unknowns... the result exposes it by raw index: nodes-1 (3) + branches (2).
+    let x_trace = res.raw_unknown(5)?;
+    let vd = res.voltage(d);
+    let landed = x_trace
+        .crossing_rising(0.9 * mech.gap, 0.0)
+        .map(|t| t - 10e-9);
+    match landed {
+        Some(t) => println!("  beam lands {:.1} ns after the gate step", t * 1e9),
+        None => println!("  beam did not land"),
+    }
+    let on = vd.crossing_falling(0.6, 0.0).map(|t| t - 10e-9);
+    match on {
+        Some(t) => println!("  drain pulled low {:.1} ns after the gate step", t * 1e9),
+        None => println!("  channel never turned on"),
+    }
+    println!(
+        "  final state: x = {:.1} nm of {:.1} nm gap, v(d) = {:.2} V",
+        x_trace.last_value() * 1e9,
+        mech.gap * 1e9,
+        vd.last_value()
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Power-gating study: gate a logic block with CMOS and NEMS sleep
+//! transistors (Figure 16 styles) and report the paper's Figure 17
+//! trade-off — a sized-up NEMS switch matches CMOS ON resistance while
+//! leaking orders of magnitude less.
+//!
+//! ```sh
+//! cargo run --release --example power_gating
+//! ```
+
+use nemscmos::sleep::{
+    characterize_block, sleep_device_figures, GatedBlock, GrainStyle, SleepStyle,
+};
+use nemscmos::tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::n90();
+
+    println!("-- device level (Figure 17) --");
+    println!(
+        "{:<13} {:>9} {:>12} {:>12}",
+        "switch", "W (µm)", "R_on", "I_off"
+    );
+    for (style, w) in [
+        (SleepStyle::CmosFooter, 1.0),
+        (SleepStyle::NemsFooter, 1.0),
+        (SleepStyle::NemsFooter, 4.0),
+    ] {
+        let f = sleep_device_figures(&tech, style, w);
+        println!(
+            "{:<13} {:>9.1} {:>9.0} Ω {:>9.2} nA",
+            style.label(),
+            w,
+            f.r_on_ohms,
+            f.i_off * 1e9
+        );
+    }
+
+    println!("\n-- circuit level: 4-stage gated inverter chain --");
+    println!(
+        "{:<26} {:>14} {:>13} {:>15}",
+        "configuration", "delay penalty", "sleep leak", "leak reduction"
+    );
+    for (label, block) in [
+        ("CMOS coarse footer", GatedBlock::coarse_footer(4, false, 2.0)),
+        ("NEMS coarse footer", GatedBlock::coarse_footer(4, true, 2.0)),
+        ("NEMS coarse footer, 4x W", GatedBlock::coarse_footer(4, true, 8.0)),
+        (
+            "NEMS fine-grain footer",
+            GatedBlock::coarse_footer(4, true, 8.0).with_grain(GrainStyle::Fine),
+        ),
+    ] {
+        let f = characterize_block(&tech, &block)?;
+        println!(
+            "{:<26} {:>13.1}% {:>10.2} nW {:>14.0}x",
+            label,
+            f.delay_penalty() * 100.0,
+            f.sleep_leakage * 1e9,
+            f.leakage_reduction()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: build a hybrid NEMS-CMOS dynamic OR gate, compare it with
+//! its all-CMOS counterpart, and print the paper's three figures of merit.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nemscmos::gates::{DynamicOrGate, DynamicOrParams, PdnStyle};
+use nemscmos::tech::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The 90 nm technology with Table-1-calibrated devices:
+    // CMOS 1110 µA/µm / 50 nA/µm, NEMS 330 µA/µm / 110 pA/µm.
+    let tech = Technology::n90();
+
+    println!("8-input dynamic OR gate, fan-out 1, V_dd = {} V", tech.vdd);
+    println!("{:<12} {:>12} {:>16} {:>14}", "style", "delay", "switching power", "leakage");
+
+    let mut results = Vec::new();
+    for style in [PdnStyle::Cmos, PdnStyle::HybridNems] {
+        let params = DynamicOrParams::new(8, 1, style);
+        let figures = DynamicOrGate::build(&tech, &params).characterize(&tech)?;
+        println!(
+            "{:<12} {:>9.1} ps {:>13.1} µW {:>11.2} nW",
+            format!("{style:?}"),
+            figures.delay * 1e12,
+            figures.switching_power * 1e6,
+            figures.leakage_power * 1e9,
+        );
+        results.push(figures);
+    }
+
+    let (cmos, hybrid) = (results[0], results[1]);
+    println!();
+    println!(
+        "hybrid vs CMOS: {:.0}% lower switching power, {:+.0}% delay, {:.0}x lower leakage",
+        (1.0 - hybrid.switching_power / cmos.switching_power) * 100.0,
+        (hybrid.delay / cmos.delay - 1.0) * 100.0,
+        cmos.leakage_power / hybrid.leakage_power,
+    );
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! A wide-OR datapath study: sweep the fan-in of a match-line-style
+//! dynamic OR (the paper's motivating workload — wide fan-in OR gates in
+//! comparators, TLBs, and match lines) and locate the crossover where the
+//! hybrid gate beats CMOS on *both* delay and power.
+//!
+//! ```sh
+//! cargo run --release --example wide_or_datapath
+//! ```
+
+use nemscmos::analysis::pdp::GateFigures;
+use nemscmos::gates::{DynamicOrGate, DynamicOrParams, PdnStyle};
+use nemscmos::tech::Technology;
+
+fn measure(
+    tech: &Technology,
+    fan_in: usize,
+    style: PdnStyle,
+) -> Result<GateFigures, Box<dyn std::error::Error>> {
+    let params = DynamicOrParams::new(fan_in, 3, style);
+    Ok(DynamicOrGate::build(tech, &params).characterize(tech)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tech = Technology::n90();
+    println!("wide dynamic OR, fan-out 3 (match-line workload)");
+    println!(
+        "{:>7} {:>12} {:>12} {:>11} {:>11}  winner",
+        "fan-in", "CMOS delay", "hyb delay", "CMOS power", "hyb power"
+    );
+    let mut crossover = None;
+    for fan_in in [2usize, 4, 6, 8, 10, 12, 16, 20] {
+        let cmos = measure(&tech, fan_in, PdnStyle::Cmos)?;
+        let hybrid = measure(&tech, fan_in, PdnStyle::HybridNems)?;
+        let hybrid_wins_both =
+            hybrid.delay < cmos.delay && hybrid.switching_power < cmos.switching_power;
+        if hybrid_wins_both && crossover.is_none() {
+            crossover = Some(fan_in);
+        }
+        println!(
+            "{:>7} {:>9.1} ps {:>9.1} ps {:>8.0} µW {:>8.0} µW  {}",
+            fan_in,
+            cmos.delay * 1e12,
+            hybrid.delay * 1e12,
+            cmos.switching_power * 1e6,
+            hybrid.switching_power * 1e6,
+            if hybrid_wins_both { "hybrid (both)" } else { "split" },
+        );
+    }
+    match crossover {
+        Some(n) => println!("\nhybrid wins both metrics from fan-in {n} on (paper: beyond ~12)"),
+        None => println!("\nno crossover found in the swept range"),
+    }
+    Ok(())
+}

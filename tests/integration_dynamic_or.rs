@@ -1,0 +1,150 @@
+//! End-to-end dynamic OR gate experiments across crates (Section 4).
+
+use nemscmos::gates::{
+    input_noise_margin, keeper_width_for, DynamicOrGate, DynamicOrParams, KeeperStyle, PdnStyle,
+};
+use nemscmos::tech::Technology;
+
+#[test]
+fn both_styles_evaluate_at_every_figure_fan_in() {
+    let tech = Technology::n90();
+    for fan_in in [4usize, 8, 12, 16] {
+        for style in [PdnStyle::Cmos, PdnStyle::HybridNems] {
+            let params = DynamicOrParams::new(fan_in, 3, style);
+            let fig = DynamicOrGate::build(&tech, &params)
+                .characterize(&tech)
+                .unwrap_or_else(|e| panic!("{style:?} fan-in {fan_in}: {e}"));
+            assert!(fig.delay > 1e-12 && fig.delay < 1e-9);
+            assert!(fig.switching_power > 0.0);
+        }
+    }
+}
+
+#[test]
+fn keeper_contention_is_the_cmos_power_story() {
+    // With a feedback (conditional) keeper the CMOS gate's switching power
+    // collapses — demonstrating that contention, not load charging,
+    // dominates the conventional gate (the paper's §4.2 argument).
+    let tech = Technology::n90();
+    let always_on = DynamicOrParams::new(8, 1, PdnStyle::Cmos);
+    let feedback = DynamicOrParams {
+        keeper_style: KeeperStyle::Feedback,
+        ..DynamicOrParams::new(8, 1, PdnStyle::Cmos)
+    };
+    let p_on = DynamicOrGate::build(&tech, &always_on)
+        .characterize(&tech)
+        .expect("always-on")
+        .switching_power;
+    let p_fb = DynamicOrGate::build(&tech, &feedback)
+        .characterize(&tech)
+        .expect("feedback")
+        .switching_power;
+    assert!(
+        p_on > 3.0 * p_fb,
+        "contention should dominate: always-on {p_on:.3e} vs feedback {p_fb:.3e}"
+    );
+}
+
+#[test]
+fn hybrid_gate_keeps_minimum_keeper_at_any_fan_in() {
+    let tech = Technology::n90();
+    for fan_in in [2usize, 8, 32, 128] {
+        let wk = keeper_width_for(&tech, PdnStyle::HybridNems, fan_in, 2.0, 3.0, 0.15);
+        assert_eq!(wk, tech.w_min, "fan-in {fan_in}");
+    }
+}
+
+#[test]
+fn noise_margin_tracks_pull_in_voltage_for_hybrid() {
+    let tech = Technology::n90();
+    let params = DynamicOrParams::new(4, 1, PdnStyle::HybridNems);
+    let nm = input_noise_margin(&tech, &params).expect("hybrid NM");
+    // The hybrid PDN cannot conduct until the NEMS actuates: the noise
+    // margin sits at or above the pull-in voltage.
+    assert!(
+        nm >= tech.nems_n.v_pull_in - 0.05,
+        "NM {nm:.3} should be near v_pull_in {:.3}",
+        tech.nems_n.v_pull_in
+    );
+}
+
+#[test]
+fn per_branch_vth_shifts_change_only_the_shifted_gate() {
+    let tech = Technology::n90();
+    let nominal = DynamicOrParams::new(4, 1, PdnStyle::Cmos);
+    // Shift only non-switching branches: the worst-case delay through
+    // branch 0 must stay (nearly) unchanged.
+    let shifted = DynamicOrParams {
+        pdn_vth_shifts: vec![0.0, 0.1, 0.1, 0.1],
+        ..nominal.clone()
+    };
+    let d_nom = DynamicOrGate::build(&tech, &nominal).characterize(&tech).unwrap().delay;
+    let d_sh = DynamicOrGate::build(&tech, &shifted).characterize(&tech).unwrap().delay;
+    assert!(
+        (d_sh - d_nom).abs() / d_nom < 0.05,
+        "off-path shifts changed delay: {d_nom:.3e} vs {d_sh:.3e}"
+    );
+}
+
+#[test]
+fn domino_cascade_propagates_monotonically() {
+    // Two hand-built hybrid domino stages sharing one clock: stage 2's
+    // input is stage 1's buffered output, so it may only evaluate after
+    // stage 1 does — the monotonicity property domino logic relies on.
+    use nemscmos::analysis::measure::{crossing_time, Edge};
+    use nemscmos::spice::analysis::tran::{transient, TranOptions};
+    use nemscmos::spice::circuit::Circuit;
+    use nemscmos::spice::waveform::Waveform;
+
+    let tech = Technology::n90();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let clk = ckt.node("clk");
+    ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+    ckt.vsource(
+        clk,
+        Circuit::GROUND,
+        Waveform::pulse(0.0, tech.vdd, 1e-9, 30e-12, 30e-12, 2.5e-9, 40e-9),
+    );
+    let a = ckt.node("a");
+    ckt.vsource(a, Circuit::GROUND, Waveform::step(0.0, tech.vdd, 1.1e-9, 30e-12));
+
+    // One domino stage: precharge + keeper + (NMOS, NEMS) branch + buffer.
+    let stage = |ckt: &mut Circuit, tag: &str, input| {
+        let dyn_node = ckt.node(&format!("{tag}.dyn"));
+        let mid = ckt.node(&format!("{tag}.mid"));
+        let foot = ckt.node(&format!("{tag}.foot"));
+        let out = ckt.node(&format!("{tag}.out"));
+        tech.add_pmos(ckt, &format!("{tag}.prech"), dyn_node, clk, vdd, 3.0);
+        tech.add_pmos(ckt, &format!("{tag}.keep"), dyn_node, Circuit::GROUND, vdd, 0.2);
+        tech.add_nmos(ckt, &format!("{tag}.in"), dyn_node, input, mid, 2.0);
+        tech.add_nems_n(ckt, &format!("{tag}.nems"), mid, input, foot, 3.0);
+        tech.add_nmos(ckt, &format!("{tag}.foot"), foot, clk, Circuit::GROUND, 4.0);
+        tech.add_inverter(ckt, &format!("{tag}.buf"), vdd, dyn_node, out, 2.0, 1.0);
+        out
+    };
+    let out1 = stage(&mut ckt, "s1", a);
+    let out2 = stage(&mut ckt, "s2", out1);
+
+    let opts = TranOptions { dt_max: Some(10e-12), ..Default::default() };
+    let res = transient(&mut ckt, 3.4e-9, &opts).expect("cascade transient");
+    let t1 = crossing_time(&res.voltage(out1), tech.vdd / 2.0, Edge::Rising, 0.0)
+        .expect("stage 1 evaluates");
+    let t2 = crossing_time(&res.voltage(out2), tech.vdd / 2.0, Edge::Rising, 0.0)
+        .expect("stage 2 evaluates");
+    assert!(t2 > t1, "stage 2 ({t2:.3e}) must follow stage 1 ({t1:.3e})");
+    let stage_delay = t2 - t1;
+    assert!(stage_delay > 5e-12 && stage_delay < 500e-12, "stage delay {stage_delay:.3e}");
+    // Before the clock rises nothing evaluates.
+    assert!(res.voltage(out2).eval(0.9e-9) < 0.1);
+}
+
+#[test]
+fn evaluation_is_clock_gated() {
+    // Without any high input the output must stay low for the whole cycle.
+    let tech = Technology::n90();
+    let mut params = DynamicOrParams::new(8, 1, PdnStyle::Cmos);
+    params.pdn_vth_shifts = vec![0.0; 8];
+    let mut gate = DynamicOrGate::build_noise_probe(&tech, &params, 0.0);
+    assert!(gate.holds_output_low(&tech).expect("probe"));
+}

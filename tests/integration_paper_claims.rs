@@ -1,0 +1,127 @@
+//! The paper's headline quantitative claims, asserted with generous bands
+//! (the substrate is our simulator, not the authors' HSPICE testbed, so
+//! we require the *shape* — who wins, by roughly what factor, where the
+//! crossovers fall). EXPERIMENTS.md records exact paper-vs-measured.
+
+use nemscmos::devices::characterize::{ion, ioff};
+use nemscmos::devices::mosfet::{MosModel, Polarity};
+use nemscmos::devices::nemfet::NemsModel;
+use nemscmos::gates::{DynamicOrGate, DynamicOrParams, PdnStyle};
+use nemscmos::sram::{
+    butterfly_curves, read_latency, standby_leakage, ReadMode, SramKind, SramParams, ZeroSide,
+};
+use nemscmos::tech::Technology;
+
+/// Abstract/Table 1: device calibration is exact.
+#[test]
+fn claim_table1_calibration() {
+    let vdd = 1.2;
+    let nmos = MosModel::nmos_90nm();
+    assert!((ion(&nmos, vdd) - 1110e-6).abs() / 1110e-6 < 0.01);
+    assert!((ioff(&nmos, vdd) - 50e-9).abs() / 50e-9 < 0.01);
+    let nems = NemsModel::nems_90nm(Polarity::Nmos);
+    let (nems_ion, ..) = nems.contact.ids(vdd, vdd, 0.0, 1.0);
+    assert!((nems_ion - 330e-6).abs() / 330e-6 < 0.01);
+    assert!((nems.g_off_per_um * vdd - 110e-12).abs() / 110e-12 < 0.01);
+}
+
+/// Abstract: "60-80% lower switching power ... with minor delay penalty".
+/// Our contention model lands at the aggressive end; require ≥ 50%.
+#[test]
+fn claim_hybrid_or_power_and_delay() {
+    let tech = Technology::n90();
+    let cmos = DynamicOrGate::build(&tech, &DynamicOrParams::new(8, 1, PdnStyle::Cmos))
+        .characterize(&tech)
+        .expect("cmos");
+    let hybrid = DynamicOrGate::build(&tech, &DynamicOrParams::new(8, 1, PdnStyle::HybridNems))
+        .characterize(&tech)
+        .expect("hybrid");
+    let saving = 1.0 - hybrid.switching_power / cmos.switching_power;
+    assert!(saving > 0.5, "switching-power saving {saving:.2}");
+    let delay_penalty = hybrid.delay / cmos.delay - 1.0;
+    assert!(
+        (-0.05..0.35).contains(&delay_penalty),
+        "delay penalty {delay_penalty:.2} should be minor"
+    );
+    // "almost zero leakage power"
+    assert!(hybrid.leakage_power < cmos.leakage_power / 50.0);
+}
+
+/// Abstract: "the hybrid gate outperforms its CMOS counterpart both in
+/// terms of delay and switching power with increase in fan-in beyond 12".
+#[test]
+fn claim_fan_in_crossover() {
+    let tech = Technology::n90();
+    let measure = |fan_in, style| {
+        DynamicOrGate::build(&tech, &DynamicOrParams::new(fan_in, 3, style))
+            .characterize(&tech)
+            .expect("gate")
+    };
+    // At fan-in 12 and 16 the hybrid wins both metrics.
+    for fan_in in [12usize, 16] {
+        let c = measure(fan_in, PdnStyle::Cmos);
+        let h = measure(fan_in, PdnStyle::HybridNems);
+        assert!(h.delay < c.delay, "fan-in {fan_in}: delay");
+        assert!(h.switching_power < c.switching_power, "fan-in {fan_in}: power");
+    }
+    // At fan-in 4 the CMOS gate is still faster (no premature crossover).
+    let c4 = measure(4, PdnStyle::Cmos);
+    let h4 = measure(4, PdnStyle::HybridNems);
+    assert!(h4.delay > c4.delay, "fan-in 4: CMOS should be faster");
+}
+
+/// Abstract: "hybrid SRAM cell can achieve almost 8X lower standby leakage
+/// power consumption with only minor noise margin and latency cost"
+/// (7.7x, 14% SNM, 23% latency in §1).
+#[test]
+fn claim_hybrid_sram() {
+    let tech = Technology::n90();
+    let avg = |kind, f: &dyn Fn(&SramParams, ZeroSide) -> f64| {
+        let p = SramParams::new(kind);
+        0.5 * (f(&p, ZeroSide::Left) + f(&p, ZeroSide::Right))
+    };
+    let leak = |p: &SramParams, z| standby_leakage(&tech, p, z).expect("leak");
+    let lat = |p: &SramParams, z| read_latency(&tech, p, z).expect("lat");
+
+    let leak_ratio = avg(SramKind::Conventional, &leak) / avg(SramKind::Hybrid, &leak);
+    assert!((4.0..16.0).contains(&leak_ratio), "leakage reduction {leak_ratio:.1}x (paper 7.7x)");
+
+    let snm_conv = butterfly_curves(&tech, &SramParams::new(SramKind::Conventional), ReadMode::Read)
+        .expect("conv")
+        .snm
+        .snm();
+    let snm_hybrid = butterfly_curves(&tech, &SramParams::new(SramKind::Hybrid), ReadMode::Read)
+        .expect("hybrid")
+        .snm
+        .snm();
+    let snm_loss = 1.0 - snm_hybrid / snm_conv;
+    assert!((0.02..0.30).contains(&snm_loss), "SNM loss {snm_loss:.2} (paper 0.14)");
+
+    let lat_penalty = avg(SramKind::Hybrid, &lat) / avg(SramKind::Conventional, &lat) - 1.0;
+    assert!((0.0..0.5).contains(&lat_penalty), "latency penalty {lat_penalty:.2} (paper 0.23)");
+}
+
+/// Abstract: "upto three orders of magnitude lower OFF current" for NEMS
+/// sleep transistors "with negligible performance degradation".
+#[test]
+fn claim_sleep_transistors() {
+    use nemscmos::sleep::{characterize_block, sleep_device_figures, GatedBlock, SleepStyle};
+    let tech = Technology::n90();
+    let cmos = sleep_device_figures(&tech, SleepStyle::CmosFooter, 2.0);
+    let nems = sleep_device_figures(&tech, SleepStyle::NemsFooter, 2.0);
+    let decades = (cmos.i_off / nems.i_off).log10();
+    assert!((2.0..3.5).contains(&decades), "{decades:.2} decades of I_off reduction");
+    let fig = characterize_block(&tech, &GatedBlock::coarse_footer(4, true, 8.0)).expect("block");
+    assert!(fig.delay_penalty() < 0.12, "negligible degradation, got {:.3}", fig.delay_penalty());
+}
+
+/// Figure 2: the NEMS effective swing sits far below the 60 mV/dec CMOS
+/// limit (the paper cites a 2 mV/dec measurement).
+#[test]
+fn claim_subthreshold_swing_ordering() {
+    use nemscmos::devices::characterize::{measured_swing, nems_effective_swing};
+    let bulk = measured_swing(&MosModel::nmos_90nm(), 1.2).expect("bulk swing");
+    let nems = nems_effective_swing(&NemsModel::nems_90nm(Polarity::Nmos), 1.2);
+    assert!(bulk > 60e-3, "bulk CMOS above the thermal limit");
+    assert!(nems < 2e-3, "NEMS below 2 mV/dec, got {nems:.4}");
+}

@@ -1,0 +1,196 @@
+//! Cross-crate integration: calibrated devices running inside the MNA
+//! engine, checked against closed-form circuit theory.
+
+use nemscmos::analysis::measure::{propagation_delay, Edge};
+use nemscmos::devices::mosfet::{MosModel, Mosfet};
+use nemscmos::spice::analysis::op::op;
+use nemscmos::spice::analysis::tran::{transient, IntegrationMethod, TranOptions};
+use nemscmos::spice::circuit::Circuit;
+use nemscmos::spice::waveform::Waveform;
+use nemscmos::tech::Technology;
+
+// Re-export shim: the device type lives in nemscmos-devices.
+use nemscmos::devices as devices_crate;
+
+#[test]
+fn inverter_transfer_curve_has_full_swing_and_gain() {
+    let tech = Technology::n90();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+    let vsrc = ckt.vsource(vin, Circuit::GROUND, Waveform::dc(0.0));
+    tech.add_inverter(&mut ckt, "inv", vdd, vin, out, 2.0, 1.0);
+    let values: Vec<f64> = (0..=60).map(|k| tech.vdd * k as f64 / 60.0).collect();
+    let results = nemscmos::spice::analysis::dc_sweep::dc_sweep(
+        &mut ckt,
+        vsrc,
+        &values,
+        &Default::default(),
+    )
+    .expect("sweep");
+    let outs: Vec<f64> = results.iter().map(|r| r.voltage(out)).collect();
+    // Full swing at the rails.
+    assert!(outs[0] > 1.15);
+    assert!(outs[60] < 0.05);
+    // Monotone decreasing.
+    for w in outs.windows(2) {
+        assert!(w[1] <= w[0] + 1e-6);
+    }
+    // Maximum gain well above 1 (regenerative).
+    let max_gain = outs
+        .windows(2)
+        .map(|w| (w[0] - w[1]) / (tech.vdd / 60.0))
+        .fold(0.0f64, f64::max);
+    assert!(max_gain > 4.0, "peak inverter gain = {max_gain:.2}");
+}
+
+#[test]
+fn ring_oscillator_oscillates_at_plausible_frequency() {
+    let tech = Technology::n90();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+    // 5-stage ring.
+    let stages = 5;
+    let nodes: Vec<_> = (0..stages).map(|k| ckt.node(&format!("n{k}"))).collect();
+    for k in 0..stages {
+        let input = nodes[k];
+        let output = nodes[(k + 1) % stages];
+        tech.add_inverter(&mut ckt, &format!("inv{k}"), vdd, input, output, 2.0, 1.0);
+    }
+    // Kick the ring out of its metastable point.
+    ckt.set_ic(nodes[0], tech.vdd);
+    ckt.set_ic(nodes[1], 0.0);
+    let opts = TranOptions { dt_max: Some(5e-12), ..Default::default() };
+    let res = transient(&mut ckt, 3e-9, &opts).expect("ring transient");
+    let v0 = res.voltage(nodes[0]);
+    // Count rising crossings of vdd/2 in the back half (settled region).
+    let mut crossings = 0;
+    let mut t = 1.0e-9;
+    while let Some(tc) = v0.crossing_rising(tech.vdd / 2.0, t) {
+        crossings += 1;
+        t = tc + 1e-12;
+        if crossings > 1000 {
+            break;
+        }
+    }
+    assert!(crossings >= 2, "ring should oscillate, saw {crossings} rising edges");
+    // Period sanity: 2·N·t_inv with t_inv ~ 5-30 ps → 50-300 ps period →
+    // at least 6 periods in 2 ns.
+    assert!(crossings >= 6, "frequency too low: {crossings} edges in 2 ns");
+}
+
+#[test]
+fn mosfet_in_circuit_matches_model_card_current() {
+    // A grounded-source NMOS fed by an ideal drain supply must draw
+    // exactly the model current through that supply.
+    let model = MosModel::nmos_90nm();
+    let mut ckt = Circuit::new();
+    let d = ckt.node("d");
+    let g = ckt.node("g");
+    let vd = ckt.vsource(d, Circuit::GROUND, Waveform::dc(1.2));
+    ckt.vsource(g, Circuit::GROUND, Waveform::dc(1.2));
+    ckt.add_device(Mosfet::new("m1", model.clone(), d, g, Circuit::GROUND, 3.0));
+    let res = op(&mut ckt).expect("op");
+    let (expect, ..) = model.ids(1.2, 1.2, 0.0, 3.0);
+    let got = -res.source_current(vd);
+    assert!(
+        (got - expect).abs() / expect < 1e-6,
+        "circuit current {got:.6e} vs model {expect:.6e}"
+    );
+}
+
+#[test]
+fn trapezoidal_and_backward_euler_agree_on_smooth_rc() {
+    let build = || {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-9));
+        ckt.resistor(a, b, 1e3);
+        ckt.capacitor(b, Circuit::GROUND, 1e-9);
+        (ckt, b)
+    };
+    let run = |method| {
+        let (mut ckt, b) = build();
+        let opts = TranOptions { method, dt_max: Some(20e-9), ..Default::default() };
+        let res = transient(&mut ckt, 5e-6, &opts).expect("tran");
+        res.voltage(b).eval(2e-6)
+    };
+    let tr = run(IntegrationMethod::Trapezoidal);
+    let be = run(IntegrationMethod::BackwardEuler);
+    let analytic = 1.0 - (-2.0f64).exp();
+    assert!((tr - analytic).abs() < 5e-3, "TR {tr} vs analytic {analytic}");
+    assert!((be - analytic).abs() < 2e-2, "BE {be} vs analytic {analytic}");
+}
+
+#[test]
+fn large_circuit_exercises_sparse_path() {
+    // 80 inverter stages → ~84 unknowns: beyond the dense threshold.
+    let tech = Technology::n90();
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let vin = ckt.node("in");
+    ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+    ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, tech.vdd, 0.1e-9, 30e-12));
+    let mut prev = vin;
+    let mut last = vin;
+    for k in 0..80 {
+        let out = ckt.node(&format!("n{k}"));
+        tech.add_inverter(&mut ckt, &format!("i{k}"), vdd, prev, out, 2.0, 1.0);
+        prev = out;
+        last = out;
+    }
+    assert!(ckt.num_unknowns() > 64, "should use the sparse backend");
+    let opts = TranOptions { dt_max: Some(20e-12), ..Default::default() };
+    let res = transient(&mut ckt, 6e-9, &opts).expect("chain transient");
+    let vin_t = res.voltage(vin);
+    let vout_t = res.voltage(last);
+    // Even stage count: output follows input polarity.
+    let d = propagation_delay(&vin_t, Edge::Rising, &vout_t, Edge::Rising, tech.vdd / 2.0, 0.0)
+        .expect("edge propagates");
+    assert!(d > 100e-12 && d < 5e-9, "80-stage delay = {d:.3e}");
+    let _ = devices_crate::VT_300K; // cross-crate re-export sanity
+}
+
+#[test]
+fn ac_gain_of_common_source_stage_matches_gm() {
+    // Low-frequency gain of a resistor-loaded common-source NMOS is
+    // −gm·(R_L ∥ r_o); the AC analysis must linearize the device to the
+    // same small-signal parameters the model card reports.
+    use nemscmos::spice::analysis::ac::{ac, log_sweep};
+    use nemscmos::devices::mosfet::Mosfet;
+
+    let model = MosModel::nmos_90nm();
+    let r_load = 2e3;
+    let v_bias = 0.5;
+
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let g = ckt.node("g");
+    let d = ckt.node("d");
+    ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(1.2));
+    let vin = ckt.vsource(g, Circuit::GROUND, Waveform::dc(v_bias));
+    ckt.resistor(vdd, d, r_load);
+    ckt.capacitor(d, Circuit::GROUND, 200e-15);
+    ckt.add_device(Mosfet::new("m1", model.clone(), d, g, Circuit::GROUND, 1.0));
+
+    // Find the actual drain bias, then the model's gm/gds there.
+    let op_res = op(&mut ckt).expect("bias point");
+    let vd = op_res.voltage(d);
+    let (_, gm, gds, _) = model.ids(v_bias, vd, 0.0, 1.0);
+    let expected_gain = gm * (1.0 / (1.0 / r_load + gds));
+
+    let freqs = log_sweep(1e3, 1e9, 10);
+    let res = ac(&mut ckt, vin, &freqs, &Default::default()).expect("ac");
+    let gain_lf = res.voltage(d)[0].abs();
+    assert!(
+        (gain_lf - expected_gain).abs() / expected_gain < 0.02,
+        "AC gain {gain_lf:.3} vs gm-based {expected_gain:.3}"
+    );
+    // The 200 fF load pole (~0.6 GHz) rolls the gain off in-band.
+    let gain_hf = res.voltage(d).last().unwrap().abs();
+    assert!(gain_hf < 0.7 * gain_lf, "load pole should bite by 1 GHz");
+}

@@ -1,0 +1,77 @@
+//! End-to-end sleep-transistor experiments across crates (Section 6).
+
+use nemscmos::sleep::{
+    characterize_block, sleep_device_figures, GatedBlock, GrainStyle, RailStyle, SleepStyle,
+};
+use nemscmos::tech::Technology;
+
+#[test]
+fn device_level_figure17_claims() {
+    let tech = Technology::n90();
+    // Equal area: NEMS leaks ~455x less (the Table 1 ratio) but has
+    // ~3.4x the on-resistance (1110/330).
+    let cmos = sleep_device_figures(&tech, SleepStyle::CmosFooter, 2.0);
+    let nems = sleep_device_figures(&tech, SleepStyle::NemsFooter, 2.0);
+    let leak_ratio = cmos.i_off / nems.i_off;
+    assert!((300.0..700.0).contains(&leak_ratio), "leak ratio {leak_ratio:.0}");
+    let ron_ratio = nems.r_on_ohms / cmos.r_on_ohms;
+    assert!((2.0..5.0).contains(&ron_ratio), "R_on ratio {ron_ratio:.2}");
+    // Sized-up NEMS: matches CMOS R_on while still leaking >100x less.
+    let nems_big = sleep_device_figures(&tech, SleepStyle::NemsFooter, 2.0 * ron_ratio);
+    assert!(nems_big.r_on_ohms <= cmos.r_on_ohms * 1.05);
+    assert!(cmos.i_off / nems_big.i_off > 100.0);
+}
+
+#[test]
+fn all_four_rail_styles_gate_leakage() {
+    let tech = Technology::n90();
+    for (rail, nems, width) in [
+        (RailStyle::Footer, false, 2.0),
+        (RailStyle::Footer, true, 2.0),
+        (RailStyle::Header, false, 3.0),
+        (RailStyle::Header, true, 3.0),
+    ] {
+        let block = GatedBlock {
+            stages: 4,
+            rail,
+            grain: GrainStyle::Coarse,
+            nems,
+            sleep_width: width,
+        };
+        let fig = characterize_block(&tech, &block)
+            .unwrap_or_else(|e| panic!("{rail:?}/nems={nems}: {e}"));
+        assert!(
+            fig.leakage_reduction() > 1.5,
+            "{rail:?}/nems={nems}: reduction {:.2}",
+            fig.leakage_reduction()
+        );
+        assert!(
+            fig.delay_penalty() < 1.0,
+            "{rail:?}/nems={nems}: penalty {:.2}",
+            fig.delay_penalty()
+        );
+    }
+}
+
+#[test]
+fn nems_footer_beats_cmos_footer_on_gated_leakage() {
+    let tech = Technology::n90();
+    let cmos = characterize_block(&tech, &GatedBlock::coarse_footer(4, false, 2.0)).unwrap();
+    let nems = characterize_block(&tech, &GatedBlock::coarse_footer(4, true, 2.0)).unwrap();
+    assert!(nems.sleep_leakage < cmos.sleep_leakage / 50.0);
+    // Both see the same ungated reference.
+    assert!((nems.ungated_leakage - cmos.ungated_leakage).abs() / cmos.ungated_leakage < 0.05);
+}
+
+#[test]
+fn sizing_up_nems_trades_leakage_for_speed() {
+    let tech = Technology::n90();
+    let small = characterize_block(&tech, &GatedBlock::coarse_footer(4, true, 2.0)).unwrap();
+    let big = characterize_block(&tech, &GatedBlock::coarse_footer(4, true, 8.0)).unwrap();
+    assert!(big.delay_penalty() < small.delay_penalty());
+    assert!(big.sleep_leakage > small.sleep_leakage);
+    // The paper's conclusion: sized-up NEMS has negligible performance
+    // cost with orders-of-magnitude leakage savings.
+    assert!(big.delay_penalty() < 0.12, "sized-up penalty {:.3}", big.delay_penalty());
+    assert!(big.leakage_reduction() > 100.0);
+}

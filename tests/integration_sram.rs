@@ -1,0 +1,105 @@
+//! End-to-end SRAM experiments across crates (Section 5).
+
+use nemscmos::spice::analysis::tran::{transient, TranOptions};
+use nemscmos::spice::waveform::Waveform;
+use nemscmos::sram::{
+    butterfly_curves, read_latency, standby_leakage, ReadMode, SramCell, SramKind, SramParams,
+    ZeroSide,
+};
+use nemscmos::tech::Technology;
+
+#[test]
+fn write_operation_flips_every_cell_kind() {
+    // Drive the bit lines differentially with the word line pulsed: the
+    // cell must flip from the 1-state to the 0-state.
+    let tech = Technology::n90();
+    for kind in SramKind::all() {
+        let params = SramParams::new(kind);
+        let mut cell = SramCell::build(
+            &tech,
+            &params,
+            Waveform::pulse(0.0, tech.vdd, 1e-9, 50e-12, 50e-12, 3e-9, 20e-9),
+            Waveform::dc(0.0),        // BL low: write 0 into QL
+            Waveform::dc(tech.vdd),   // BLB high
+        );
+        cell.set_state_ics(&tech, ZeroSide::Right); // starts with QL = 1
+        let opts = TranOptions { dt_max: Some(20e-12), ..Default::default() };
+        let res = transient(&mut cell.circuit, 6e-9, &opts)
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert!(
+            res.voltage(cell.ql).last_value() < 0.15,
+            "{kind:?}: write failed, v(ql) = {}",
+            res.voltage(cell.ql).last_value()
+        );
+        assert!(res.voltage(cell.qr).last_value() > 1.0, "{kind:?}: qr did not rise");
+    }
+}
+
+#[test]
+fn hold_snm_exceeds_read_snm_for_all_kinds() {
+    let tech = Technology::n90();
+    for kind in SramKind::all() {
+        let params = SramParams::new(kind);
+        let hold = butterfly_curves(&tech, &params, ReadMode::Hold).unwrap().snm.snm();
+        let read = butterfly_curves(&tech, &params, ReadMode::Read).unwrap().snm.snm();
+        assert!(
+            read < hold,
+            "{kind:?}: read SNM {read:.3} should be below hold SNM {hold:.3}"
+        );
+        assert!(read > 0.1, "{kind:?}: read SNM {read:.3} unusably small");
+    }
+}
+
+#[test]
+fn leakage_ordering_and_magnitudes() {
+    let tech = Technology::n90();
+    let leak = |kind| {
+        let params = SramParams::new(kind);
+        let a = standby_leakage(&tech, &params, ZeroSide::Left).unwrap();
+        let b = standby_leakage(&tech, &params, ZeroSide::Right).unwrap();
+        0.5 * (a + b)
+    };
+    let conv = leak(SramKind::Conventional);
+    let dual = leak(SramKind::DualVt);
+    let asym = leak(SramKind::Asymmetric);
+    let hybrid = leak(SramKind::Hybrid);
+    assert!(hybrid < dual && hybrid < asym && hybrid < conv, "hybrid must leak least");
+    assert!(dual < conv && asym < conv, "both baselines beat conventional");
+    // Conventional cell leaks ~100s of nA; hybrid tens of nA
+    // (access-transistor limited).
+    assert!(conv > 50e-9 && conv < 1e-6, "conv = {conv:.3e}");
+    assert!(hybrid > 1e-9, "access transistors still leak: {hybrid:.3e}");
+}
+
+#[test]
+fn read_does_not_destroy_the_stored_value() {
+    let tech = Technology::n90();
+    for kind in SramKind::all() {
+        let params = SramParams::new(kind);
+        let mut cell = SramCell::build_read_column(&tech, &params, 1.0e-9, 1.3e-9);
+        cell.set_state_ics(&tech, ZeroSide::Right);
+        let opts = TranOptions { dt_max: Some(10e-12), ..Default::default() };
+        let res = transient(&mut cell.circuit, 6e-9, &opts).unwrap();
+        // After the read the cell still holds QR = 0.
+        assert!(
+            res.voltage(cell.qr).last_value() < 0.45,
+            "{kind:?}: read upset the cell (v(qr) = {:.3})",
+            res.voltage(cell.qr).last_value()
+        );
+    }
+}
+
+#[test]
+fn column_leakage_slows_the_read() {
+    // The paper's §5.1 point: OFF access transistors of unaccessed cells
+    // leak onto the bit line and erode the sensing margin.
+    let tech = Technology::n90();
+    let small = SramParams { column_cells: 16, ..SramParams::new(SramKind::Conventional) };
+    let large = SramParams { column_cells: 1024, ..SramParams::new(SramKind::Conventional) };
+    let t_small = read_latency(&tech, &small, ZeroSide::Right).unwrap();
+    let t_large = read_latency(&tech, &large, ZeroSide::Right).unwrap();
+    assert!(
+        t_large > t_small,
+        "1024-cell column ({t_large:.3e}) should read slower than 16-cell ({t_small:.3e})"
+    );
+}
