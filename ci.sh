@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Offline CI gate for the nemscmos workspace.
+#
+# Everything runs with --offline: the workspace has no external
+# dependencies (see DESIGN.md, "Offline / no-external-deps policy"),
+# so a network-less container must be able to build, test, lint, and
+# regenerate the paper's figures end to end.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (offline) =="
+cargo test -q --offline --workspace
+
+echo "== rustfmt =="
+cargo fmt --all --check
+
+echo "== clippy (-D warnings) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+# Smoke-run the full figure regeneration through the harness cache:
+# the first pass populates target/harness-cache, the second pass must
+# be served almost entirely from it (ISSUE acceptance: >= 90% hits).
+echo "== bench smoke run 1 (cold cache) =="
+rm -rf target/harness-cache
+cargo run --release --offline -q -p nemscmos-bench --bin all > /dev/null
+
+echo "== bench smoke run 2 (warm cache) =="
+out=$(cargo run --release --offline -q -p nemscmos-bench --bin all)
+total=$(echo "$out" | grep -oE 'total: [0-9]+ jobs' | grep -oE '[0-9]+' | awk '{s+=$1} END {print s+0}')
+cached=$(echo "$out" | grep -oE '\([0-9]+ cached' | grep -oE '[0-9]+' | awk '{s+=$1} END {print s+0}')
+echo "cache: $cached/$total jobs served from target/harness-cache"
+if [ "$total" -eq 0 ] || [ $((cached * 10)) -lt $((total * 9)) ]; then
+    echo "FAIL: warm-cache hit rate below 90%" >&2
+    exit 1
+fi
+
+echo "== ci OK =="

@@ -48,6 +48,9 @@ pub enum AnalysisError {
     },
     /// The measurement inputs were malformed (empty curves, bad ranges).
     InvalidInput(String),
+    /// The experiment harness failed (retry ladder exhausted, cache or
+    /// codec error).
+    Harness(String),
 }
 
 impl fmt::Display for AnalysisError {
@@ -58,6 +61,7 @@ impl fmt::Display for AnalysisError {
                 write!(f, "{what} never crossed {level} V")
             }
             AnalysisError::InvalidInput(msg) => write!(f, "invalid measurement input: {msg}"),
+            AnalysisError::Harness(msg) => write!(f, "harness failure: {msg}"),
         }
     }
 }
@@ -77,6 +81,25 @@ impl From<SpiceError> for AnalysisError {
     }
 }
 
+// Analysis depends on the harness (for the Monte Carlo pool), so this
+// conversion must live here rather than in `nemscmos-harness`. Newton
+// non-convergence stays retryable through the harness escalation ladder;
+// everything else is terminal.
+impl From<AnalysisError> for nemscmos_harness::HarnessError {
+    fn from(e: AnalysisError) -> Self {
+        match e {
+            AnalysisError::Spice(s) => s.into(),
+            other => nemscmos_harness::HarnessError::Failed(other.to_string()),
+        }
+    }
+}
+
+impl From<nemscmos_harness::HarnessError> for AnalysisError {
+    fn from(e: nemscmos_harness::HarnessError) -> Self {
+        AnalysisError::Harness(e.to_string())
+    }
+}
+
 /// Convenience alias for results of analysis routines.
 pub type Result<T> = std::result::Result<T, AnalysisError>;
 
@@ -88,7 +111,10 @@ mod tests {
     fn error_display_nonempty() {
         let errs = [
             AnalysisError::Spice(SpiceError::InvalidCircuit("x".into())),
-            AnalysisError::MissingCrossing { what: "out".into(), level: 0.6 },
+            AnalysisError::MissingCrossing {
+                what: "out".into(),
+                level: 0.6,
+            },
             AnalysisError::InvalidInput("y".into()),
         ];
         for e in errs {

@@ -24,7 +24,10 @@ pub fn crossing_time(trace: &Trace, level: f64, edge: Edge, from: f64) -> Result
         Edge::Rising => trace.crossing_rising(level, from),
         Edge::Falling => trace.crossing_falling(level, from),
     };
-    t.ok_or(AnalysisError::MissingCrossing { what: format!("trace ({edge:?})"), level })
+    t.ok_or(AnalysisError::MissingCrossing {
+        what: format!("trace ({edge:?})"),
+        level,
+    })
 }
 
 /// Propagation delay from the `in_edge` crossing of `v_mid` on `input` to
@@ -74,7 +77,9 @@ pub fn propagation_delay(
 /// and [`AnalysisError::InvalidInput`] if `v_hi <= v_lo`.
 pub fn rise_time(trace: &Trace, v_lo: f64, v_hi: f64, from: f64) -> Result<f64> {
     if v_hi <= v_lo {
-        return Err(AnalysisError::InvalidInput(format!("bad rails [{v_lo}, {v_hi}]")));
+        return Err(AnalysisError::InvalidInput(format!(
+            "bad rails [{v_lo}, {v_hi}]"
+        )));
     }
     let span = v_hi - v_lo;
     let t10 = crossing_time(trace, v_lo + 0.1 * span, Edge::Rising, from)?;
@@ -89,7 +94,9 @@ pub fn rise_time(trace: &Trace, v_lo: f64, v_hi: f64, from: f64) -> Result<f64> 
 /// See [`rise_time`].
 pub fn fall_time(trace: &Trace, v_lo: f64, v_hi: f64, from: f64) -> Result<f64> {
     if v_hi <= v_lo {
-        return Err(AnalysisError::InvalidInput(format!("bad rails [{v_lo}, {v_hi}]")));
+        return Err(AnalysisError::InvalidInput(format!(
+            "bad rails [{v_lo}, {v_hi}]"
+        )));
     }
     let span = v_hi - v_lo;
     let t90 = crossing_time(trace, v_lo + 0.9 * span, Edge::Falling, from)?;
@@ -145,10 +152,7 @@ mod tests {
     #[test]
     fn from_parameter_skips_earlier_edges() {
         // Two rising edges; measure from after the first.
-        let t = Trace::new(
-            vec![0.0, 1.0, 2.0, 3.0, 4.0],
-            vec![0.0, 1.0, 0.0, 0.0, 1.0],
-        );
+        let t = Trace::new(vec![0.0, 1.0, 2.0, 3.0, 4.0], vec![0.0, 1.0, 0.0, 0.0, 1.0]);
         let c = crossing_time(&t, 0.5, Edge::Rising, 2.5).unwrap();
         assert!((c - 3.5).abs() < 1e-12);
     }

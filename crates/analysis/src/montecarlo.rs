@@ -3,11 +3,16 @@
 //! Figure 9 of the paper characterizes dynamic-gate noise margins under
 //! process variation expressed as `σ_Vth / µ_Vth` percentages. Each trial
 //! draws per-device threshold shifts from a normal distribution; trials
-//! are deterministic in the master seed and fan out over scoped threads.
+//! are deterministic in the master seed and fan out over the harness
+//! work-stealing pool ([`nemscmos_harness::pool`]).
+//!
+//! Randomness comes from the workspace's vendored xoshiro256++ generator
+//! ([`nemscmos_numeric::rng`]): trial `i` runs on the decorrelated stream
+//! `Xoshiro256pp::for_stream(seed, i)`, so results are reproducible and
+//! bitwise identical regardless of thread count or scheduling.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use nemscmos_harness::pool;
+use nemscmos_numeric::rng::{Rand64, Xoshiro256pp};
 use nemscmos_numeric::stats::Summary;
 
 use crate::Result;
@@ -28,18 +33,21 @@ impl Normal {
     ///
     /// Panics if `std_dev` is negative or either parameter is non-finite.
     pub fn new(mean: f64, std_dev: f64) -> Normal {
-        assert!(mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0, "bad normal parameters");
+        assert!(
+            mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "bad normal parameters"
+        );
         Normal { mean, std_dev }
     }
 
     /// Draws one sample.
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> f64 {
+    pub fn sample<R: Rand64>(&self, rng: &mut R) -> f64 {
         // Box–Muller with rejection of u1 = 0.
-        let mut u1: f64 = rng.gen();
+        let mut u1 = rng.next_f64();
         while u1 <= f64::MIN_POSITIVE {
-            u1 = rng.gen();
+            u1 = rng.next_f64();
         }
-        let u2: f64 = rng.gen();
+        let u2 = rng.next_f64();
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         self.mean + self.std_dev * z
     }
@@ -47,10 +55,10 @@ impl Normal {
 
 /// Runs `trials` independent experiments in parallel.
 ///
-/// Each trial gets its own `StdRng` derived deterministically from
-/// `seed` and the trial index, so results are reproducible regardless of
-/// thread scheduling. Errors from individual trials are propagated (the
-/// first one encountered by trial order).
+/// Each trial gets its own [`Xoshiro256pp`] stream derived
+/// deterministically from `seed` and the trial index, so results are
+/// reproducible regardless of thread scheduling. Errors from individual
+/// trials are propagated (the first one encountered by trial order).
 ///
 /// # Example
 ///
@@ -66,30 +74,15 @@ impl Normal {
 pub fn monte_carlo<T, F>(trials: usize, seed: u64, f: F) -> Result<Vec<T>>
 where
     T: Send,
-    F: Fn(&mut StdRng, usize) -> Result<T> + Sync,
+    F: Fn(&mut Xoshiro256pp, usize) -> Result<T> + Sync,
 {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get()).min(trials.max(1));
-    let mut results: Vec<Option<Result<T>>> = Vec::with_capacity(trials);
-    results.resize_with(trials, || None);
-    let chunk = trials.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (tid, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                for (k, slot) in slot_chunk.iter_mut().enumerate() {
-                    let idx = tid * chunk + k;
-                    // Distinct, deterministic stream per trial.
-                    let mut rng = StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(idx as u64 + 1)));
-                    *slot = Some(f(&mut rng, idx));
-                }
-            });
-        }
+    pool::parallel_map(pool::default_threads(), trials, |idx| {
+        // Distinct, deterministic stream per trial.
+        let mut rng = Xoshiro256pp::for_stream(seed, idx as u64);
+        f(&mut rng, idx)
     })
-    .expect("monte carlo worker panicked");
-    results
-        .into_iter()
-        .map(|slot| slot.expect("all trials filled"))
-        .collect()
+    .into_iter()
+    .collect()
 }
 
 /// Convenience: Monte Carlo where each trial yields a scalar, summarized.
@@ -99,7 +92,7 @@ where
 /// Propagates trial errors and summary failures (empty/non-finite).
 pub fn monte_carlo_summary<F>(trials: usize, seed: u64, f: F) -> Result<Summary>
 where
-    F: Fn(&mut StdRng, usize) -> Result<f64> + Sync,
+    F: Fn(&mut Xoshiro256pp, usize) -> Result<f64> + Sync,
 {
     let samples = monte_carlo(trials, seed, f)?;
     Summary::of(&samples)
@@ -112,20 +105,14 @@ mod tests {
 
     #[test]
     fn deterministic_across_runs() {
-        let run = || {
-            monte_carlo(32, 42, |rng, _| Ok(Normal::new(0.0, 1.0).sample(rng))).unwrap()
-        };
+        let run = || monte_carlo(32, 42, |rng, _| Ok(Normal::new(0.0, 1.0).sample(rng))).unwrap();
         assert_eq!(run(), run());
     }
 
     #[test]
-    fn trial_indices_cover_range() {
+    fn trial_indices_cover_range_in_order() {
         let idxs = monte_carlo(17, 1, |_, i| Ok(i)).unwrap();
-        let mut sorted = idxs.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, (0..17).collect::<Vec<_>>());
-        // And they arrive in order (chunked layout preserves ordering).
-        assert_eq!(idxs, sorted);
+        assert_eq!(idxs, (0..17).collect::<Vec<_>>());
     }
 
     #[test]
@@ -138,7 +125,8 @@ mod tests {
 
     #[test]
     fn summary_helper_works() {
-        let s = monte_carlo_summary(100, 3, |rng, _| Ok(Normal::new(1.0, 0.1).sample(rng))).unwrap();
+        let s =
+            monte_carlo_summary(100, 3, |rng, _| Ok(Normal::new(1.0, 0.1).sample(rng))).unwrap();
         assert_eq!(s.count, 100);
     }
 

@@ -41,7 +41,10 @@ pub fn measure_frequency(trace: &Trace, level: f64, from: f64) -> Result<Frequen
     }
     if crossings.len() < 2 {
         return Err(AnalysisError::MissingCrossing {
-            what: format!("periodic signal (found {} rising crossings)", crossings.len()),
+            what: format!(
+                "periodic signal (found {} rising crossings)",
+                crossings.len()
+            ),
             level,
         });
     }
@@ -70,9 +73,15 @@ pub fn overshoot(trace: &Trace) -> Result<f64> {
     let fin = trace.last_value();
     let span = (fin - initial).abs();
     if span < 1e-15 {
-        return Err(AnalysisError::InvalidInput("flat trace has no step to measure".into()));
+        return Err(AnalysisError::InvalidInput(
+            "flat trace has no step to measure".into(),
+        ));
     }
-    let peak = if fin > initial { trace.max_value() - fin } else { fin - trace.min_value() };
+    let peak = if fin > initial {
+        trace.max_value() - fin
+    } else {
+        fin - trace.min_value()
+    };
     Ok((peak / span).max(0.0))
 }
 
@@ -85,7 +94,9 @@ pub fn overshoot(trace: &Trace) -> Result<f64> {
 pub fn settling_time(trace: &Trace, tolerance: f64) -> Result<f64> {
     let valid = tolerance > 0.0; // also rejects NaN
     if !valid {
-        return Err(AnalysisError::InvalidInput(format!("bad settling tolerance {tolerance}")));
+        return Err(AnalysisError::InvalidInput(format!(
+            "bad settling tolerance {tolerance}"
+        )));
     }
     let fin = trace.last_value();
     let mut settled_at = trace.t_start();
@@ -104,9 +115,13 @@ mod tests {
     fn sine_trace(freq: f64, cycles: usize) -> Trace {
         let pts = 200 * cycles;
         let t_end = cycles as f64 / freq;
-        let times: Vec<f64> = (0..pts).map(|k| t_end * k as f64 / (pts - 1) as f64).collect();
-        let values: Vec<f64> =
-            times.iter().map(|&t| (2.0 * std::f64::consts::PI * freq * t).sin()).collect();
+        let times: Vec<f64> = (0..pts)
+            .map(|k| t_end * k as f64 / (pts - 1) as f64)
+            .collect();
+        let values: Vec<f64> = times
+            .iter()
+            .map(|&t| (2.0 * std::f64::consts::PI * freq * t).sin())
+            .collect();
         Trace::new(times, values)
     }
 
@@ -114,7 +129,11 @@ mod tests {
     fn frequency_of_clean_sine() {
         let tr = sine_trace(1e6, 8);
         let m = measure_frequency(&tr, 0.0, 0.0).unwrap();
-        assert!((m.frequency - 1e6).abs() / 1e6 < 1e-3, "f = {:.4e}", m.frequency);
+        assert!(
+            (m.frequency - 1e6).abs() / 1e6 < 1e-3,
+            "f = {:.4e}",
+            m.frequency
+        );
         assert!(m.cycles >= 6);
         assert!(m.period_jitter < 0.01 * m.period);
     }

@@ -1,5 +1,7 @@
 //! The paper's Equation 1: activity-weighted power-delay product.
 
+use nemscmos_harness::json::{Json, JsonCodec};
+
 /// Measured operating figures of one gate implementation.
 ///
 /// # Example
@@ -53,12 +55,36 @@ impl GateFigures {
     }
 }
 
+// Makes gate characterizations cacheable by the harness. Lives here
+// (not in `nemscmos-harness`) because of the orphan rule: analysis
+// depends on the harness, not the other way around.
+impl JsonCodec for GateFigures {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("leakage_power".into(), Json::Num(self.leakage_power)),
+            ("switching_power".into(), Json::Num(self.switching_power)),
+            ("delay".into(), Json::Num(self.delay)),
+        ])
+    }
+    fn from_json(v: &Json) -> Option<GateFigures> {
+        Some(GateFigures {
+            leakage_power: v.get("leakage_power")?.as_f64()?,
+            switching_power: v.get("switching_power")?.as_f64()?,
+            delay: v.get("delay")?.as_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn figures() -> GateFigures {
-        GateFigures { leakage_power: 1e-9, switching_power: 1e-6, delay: 100e-12 }
+        GateFigures {
+            leakage_power: 1e-9,
+            switching_power: 1e-6,
+            delay: 100e-12,
+        }
     }
 
     #[test]
@@ -92,5 +118,12 @@ mod tests {
     #[should_panic(expected = "activity factor")]
     fn out_of_range_activity_panics() {
         figures().power_delay_product(1.5);
+    }
+
+    #[test]
+    fn figures_round_trip_through_json() {
+        let g = figures();
+        assert_eq!(GateFigures::from_json(&g.to_json()), Some(g));
+        assert_eq!(GateFigures::from_json(&Json::Num(1.0)), None);
     }
 }

@@ -29,7 +29,9 @@ pub fn average_supply_power(
 ) -> Result<f64> {
     let valid_window = t1 > t0; // also rejects NaN endpoints
     if !valid_window {
-        return Err(AnalysisError::InvalidInput(format!("bad power window [{t0}, {t1}]")));
+        return Err(AnalysisError::InvalidInput(format!(
+            "bad power window [{t0}, {t1}]"
+        )));
     }
     Ok(supply_energy(res, supply, v_supply, t0, t1) / (t1 - t0))
 }
@@ -44,7 +46,10 @@ pub fn leakage_power(op: &OpResult, supply: SourceRef, v_supply: f64) -> f64 {
 /// point (amperes) — used for SRAM standby leakage where the cell draws
 /// from both V_dd and the precharged bitlines.
 pub fn total_standby_current(op: &OpResult, supplies: &[SourceRef]) -> f64 {
-    supplies.iter().map(|&s| (-op.source_current(s)).max(0.0)).sum()
+    supplies
+        .iter()
+        .map(|&s| (-op.source_current(s)).max(0.0))
+        .sum()
 }
 
 #[cfg(test)]

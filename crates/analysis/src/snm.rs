@@ -20,7 +20,9 @@ impl Vtc {
     /// by more than 1 mV anywhere (not an inverting characteristic).
     pub fn new(points: Vec<(f64, f64)>) -> Result<Vtc> {
         if points.len() < 2 {
-            return Err(AnalysisError::InvalidInput("VTC needs at least two samples".into()));
+            return Err(AnalysisError::InvalidInput(
+                "VTC needs at least two samples".into(),
+            ));
         }
         for w in points.windows(2) {
             let increasing = w[1].0 > w[0].0; // also rejects NaN inputs
@@ -65,8 +67,16 @@ impl Vtc {
     /// transition branch, which bounds the butterfly lobes (rail-segment
     /// endpoints bound nothing).
     fn inverse_as_function_of_x(&self) -> Vec<(f64, f64)> {
-        let y_lo = self.points.iter().map(|&(a, _)| a).fold(f64::INFINITY, f64::min);
-        let y_hi = self.points.iter().map(|&(a, _)| a).fold(f64::NEG_INFINITY, f64::max);
+        let y_lo = self
+            .points
+            .iter()
+            .map(|&(a, _)| a)
+            .fold(f64::INFINITY, f64::min);
+        let y_hi = self
+            .points
+            .iter()
+            .map(|&(a, _)| a)
+            .fold(f64::NEG_INFINITY, f64::max);
         let y_mid = 0.5 * (y_lo + y_hi);
         // Swap (vin, vout) → (vout, vin), sort ascending in the new x.
         let mut swapped: Vec<(f64, f64)> = self.points.iter().map(|&(a, b)| (b, a)).collect();
@@ -168,7 +178,10 @@ pub fn butterfly_snm(vtc_a: &Vtc, vtc_b: &Vtc, vmax: f64) -> Result<SnmResult> {
     let lobe_high = lobe_square(vtc_a, &vtc_b.inverse_as_function_of_x(), vmax);
     // Lower-right lobe: swap the roles.
     let lobe_low = lobe_square(vtc_b, &vtc_a.inverse_as_function_of_x(), vmax);
-    Ok(SnmResult { lobe_high, lobe_low })
+    Ok(SnmResult {
+        lobe_high,
+        lobe_low,
+    })
 }
 
 #[cfg(test)]
@@ -207,7 +220,10 @@ mod tests {
         // Lobes become 0.4/0.6-ish; SNM limited by the smaller one.
         assert!(r.snm() < 0.52);
         assert!(r.snm() > 0.3);
-        assert!((r.lobe_high - r.lobe_low).abs() > 0.05, "lobes should differ");
+        assert!(
+            (r.lobe_high - r.lobe_low).abs() > 0.05,
+            "lobes should differ"
+        );
     }
 
     #[test]
@@ -244,7 +260,10 @@ mod tests {
     fn vtc_validation() {
         assert!(Vtc::new(vec![(0.0, 1.0)]).is_err());
         assert!(Vtc::new(vec![(0.0, 1.0), (0.0, 0.5)]).is_err());
-        assert!(Vtc::new(vec![(0.0, 0.2), (1.0, 1.0)]).is_err(), "rising curve rejected");
+        assert!(
+            Vtc::new(vec![(0.0, 0.2), (1.0, 1.0)]).is_err(),
+            "rising curve rejected"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ impl Table {
     /// Panics if no headers are given.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
         assert!(!headers.is_empty(), "table needs at least one column");
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

@@ -1,5 +1,10 @@
 //! Property-based tests of the measurement toolkit.
 
+#![cfg(feature = "proptest")]
+// Gated out of the default (offline) build: the external `proptest`
+// crate cannot be fetched without registry access. Vendor it and
+// enable the `proptest` feature to run these.
+
 use proptest::prelude::*;
 
 use nemscmos_analysis::measure::{crossing_time, propagation_delay, Edge};
@@ -9,7 +14,13 @@ use nemscmos_analysis::snm::{butterfly_snm, Vtc};
 use nemscmos_spice::result::Trace;
 
 fn steep_vtc(vth: f64, vdd: f64) -> Vtc {
-    Vtc::new(vec![(0.0, vdd), (vth - 1e-4, vdd), (vth + 1e-4, 0.0), (vdd, 0.0)]).unwrap()
+    Vtc::new(vec![
+        (0.0, vdd),
+        (vth - 1e-4, vdd),
+        (vth + 1e-4, 0.0),
+        (vdd, 0.0),
+    ])
+    .unwrap()
 }
 
 proptest! {

@@ -1,7 +1,10 @@
-//! Criterion benchmarks of the paper's experiment workloads (scaled-down
-//! variants so `cargo bench` finishes in minutes, one group per figure).
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Benchmarks of the paper's experiment workloads (scaled-down variants
+//! so a full run finishes in minutes, one group per figure). Runs on the
+//! offline [`nemscmos_bench::timing`] driver.
+//!
+//! The experiment entry points route through the harness result cache;
+//! the cache is disabled here (`NEMSCMOS_HARNESS_CACHE=off`) so every
+//! iteration times the real simulation work.
 
 use nemscmos::gates::PdnStyle;
 use nemscmos::sram::{
@@ -11,100 +14,162 @@ use nemscmos::tech::Technology;
 use nemscmos_bench::experiments::device_tables::{render_fig01, render_fig02, render_table1};
 use nemscmos_bench::experiments::dynamic_or::{fig09_with, measure_gate};
 use nemscmos_bench::experiments::sleep::fig17;
+use nemscmos_bench::timing::{bench, group, BenchOptions};
 
-fn bench_device_tables(c: &mut Criterion) {
-    c.bench_function("table1_fig01_fig02", |b| {
-        b.iter(|| {
+fn bench_device_tables() {
+    group("device_tables");
+    bench(
+        "table1_fig01_fig02",
+        BenchOptions {
+            warmup: 2,
+            iters: 20,
+        },
+        || {
             let t1 = render_table1();
             let f1 = render_fig01();
             let f2 = render_fig02();
             t1.len() + f1.len() + f2.len()
-        })
-    });
+        },
+    );
 }
 
-fn bench_fig09(c: &mut Criterion) {
+fn bench_fig09() {
     let tech = Technology::n90();
-    let mut g = c.benchmark_group("fig09");
-    g.sample_size(10);
-    g.bench_function("one_keeper_point", |b| {
-        b.iter(|| fig09_with(&tech, &[0.10], &[1.0]).expect("fig09 point"))
-    });
-    g.finish();
+    group("fig09");
+    bench(
+        "one_keeper_point",
+        BenchOptions {
+            warmup: 1,
+            iters: 10,
+        },
+        || fig09_with(&tech, &[0.10], &[1.0]).expect("fig09 point"),
+    );
 }
 
-fn bench_fig10_fig11(c: &mut Criterion) {
+fn bench_fig10_fig11() {
     let tech = Technology::n90();
-    let mut g = c.benchmark_group("fig10_fig11");
-    g.sample_size(10);
-    g.bench_function("gate_point_cmos_8in_fo1", |b| {
-        b.iter(|| measure_gate(&tech, 8, 1, PdnStyle::Cmos).expect("point"))
-    });
-    g.bench_function("gate_point_hybrid_8in_fo1", |b| {
-        b.iter(|| measure_gate(&tech, 8, 1, PdnStyle::HybridNems).expect("point"))
-    });
-    g.bench_function("gate_point_hybrid_16in_fo3", |b| {
-        b.iter(|| measure_gate(&tech, 16, 3, PdnStyle::HybridNems).expect("point"))
-    });
-    g.finish();
+    group("fig10_fig11");
+    bench(
+        "gate_point_cmos_8in_fo1",
+        BenchOptions {
+            warmup: 1,
+            iters: 10,
+        },
+        || measure_gate(&tech, 8, 1, PdnStyle::Cmos).expect("point"),
+    );
+    bench(
+        "gate_point_hybrid_8in_fo1",
+        BenchOptions {
+            warmup: 1,
+            iters: 10,
+        },
+        || measure_gate(&tech, 8, 1, PdnStyle::HybridNems).expect("point"),
+    );
+    bench(
+        "gate_point_hybrid_16in_fo3",
+        BenchOptions {
+            warmup: 1,
+            iters: 10,
+        },
+        || measure_gate(&tech, 16, 3, PdnStyle::HybridNems).expect("point"),
+    );
 }
 
-fn bench_fig12(c: &mut Criterion) {
+fn bench_fig12() {
     let tech = Technology::n90();
-    let mut g = c.benchmark_group("fig12");
-    g.sample_size(10);
-    g.bench_function("pdp_sweep_from_measurement", |b| {
-        b.iter(|| {
+    group("fig12");
+    bench(
+        "pdp_sweep_from_measurement",
+        BenchOptions {
+            warmup: 1,
+            iters: 10,
+        },
+        || {
             let p = measure_gate(&tech, 8, 1, PdnStyle::HybridNems).expect("point");
             p.figures.pdp_sweep(11)
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_fig14_fig15(c: &mut Criterion) {
+fn bench_fig14_fig15() {
     let tech = Technology::n90();
-    let mut g = c.benchmark_group("fig14_fig15");
-    g.sample_size(10);
-    g.bench_function("butterfly_conventional", |b| {
-        b.iter(|| {
-            butterfly_curves(&tech, &SramParams::new(SramKind::Conventional), ReadMode::Read)
-                .expect("butterfly")
-        })
-    });
-    g.bench_function("butterfly_hybrid", |b| {
-        b.iter(|| {
+    group("fig14_fig15");
+    bench(
+        "butterfly_conventional",
+        BenchOptions {
+            warmup: 1,
+            iters: 10,
+        },
+        || {
+            butterfly_curves(
+                &tech,
+                &SramParams::new(SramKind::Conventional),
+                ReadMode::Read,
+            )
+            .expect("butterfly")
+        },
+    );
+    bench(
+        "butterfly_hybrid",
+        BenchOptions {
+            warmup: 1,
+            iters: 10,
+        },
+        || {
             butterfly_curves(&tech, &SramParams::new(SramKind::Hybrid), ReadMode::Read)
                 .expect("butterfly")
-        })
-    });
-    g.bench_function("read_latency_conventional", |b| {
-        b.iter(|| {
-            read_latency(&tech, &SramParams::new(SramKind::Conventional), ZeroSide::Right)
-                .expect("latency")
-        })
-    });
-    g.bench_function("standby_leakage_hybrid", |b| {
-        b.iter(|| {
+        },
+    );
+    bench(
+        "read_latency_conventional",
+        BenchOptions {
+            warmup: 1,
+            iters: 10,
+        },
+        || {
+            read_latency(
+                &tech,
+                &SramParams::new(SramKind::Conventional),
+                ZeroSide::Right,
+            )
+            .expect("latency")
+        },
+    );
+    bench(
+        "standby_leakage_hybrid",
+        BenchOptions {
+            warmup: 1,
+            iters: 10,
+        },
+        || {
             standby_leakage(&tech, &SramParams::new(SramKind::Hybrid), ZeroSide::Right)
                 .expect("leak")
-        })
-    });
-    g.finish();
+        },
+    );
 }
 
-fn bench_fig17(c: &mut Criterion) {
+fn bench_fig17() {
     let tech = Technology::n90();
-    c.bench_function("fig17_model_sweep", |b| b.iter(|| fig17(&tech)));
+    group("fig17");
+    bench(
+        "fig17_model_sweep",
+        BenchOptions {
+            warmup: 2,
+            iters: 20,
+        },
+        || fig17(&tech),
+    );
 }
 
-criterion_group!(
-    experiments,
-    bench_device_tables,
-    bench_fig09,
-    bench_fig10_fig11,
-    bench_fig12,
-    bench_fig14_fig15,
-    bench_fig17
-);
-criterion_main!(experiments);
+fn main() {
+    // Time the real solves, not cache reads (must be set before the
+    // global Runner is first used).
+    std::env::set_var("NEMSCMOS_HARNESS_CACHE", "off");
+    println!("experiment benchmarks (offline timing driver)");
+    bench_device_tables();
+    bench_fig09();
+    bench_fig10_fig11();
+    bench_fig12();
+    bench_fig14_fig15();
+    bench_fig17();
+}

@@ -1,7 +1,7 @@
-//! Criterion benchmarks of the simulator kernels: sparse/dense LU,
-//! transient integration, device model evaluation.
-
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+//! Benchmarks of the simulator kernels: sparse/dense LU, transient
+//! integration, device model evaluation. Runs on the offline
+//! [`nemscmos_bench::timing`] driver (no Criterion; see the workspace
+//! no-external-deps policy).
 
 use nemscmos::devices::mosfet::MosModel;
 use nemscmos::numeric::dense::{DenseLu, DenseMatrix};
@@ -10,6 +10,7 @@ use nemscmos::spice::analysis::tran::{transient, TranOptions};
 use nemscmos::spice::circuit::Circuit;
 use nemscmos::spice::waveform::Waveform;
 use nemscmos::tech::Technology;
+use nemscmos_bench::timing::{bench, group, BenchOptions};
 
 fn poisson_csc(n: usize) -> CscMatrix {
     let mut tr = Vec::with_capacity(3 * n);
@@ -27,17 +28,21 @@ fn poisson_csc(n: usize) -> CscMatrix {
     CscMatrix::from_triplets(n, n, &tr)
 }
 
-fn bench_lu(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lu");
-    g.sample_size(20);
+fn bench_lu() {
+    group("lu");
     let a_sparse = poisson_csc(512);
     let b = vec![1.0; 512];
-    g.bench_function("sparse_512_factor_solve", |bench| {
-        bench.iter(|| {
+    bench(
+        "sparse_512_factor_solve",
+        BenchOptions {
+            warmup: 2,
+            iters: 20,
+        },
+        || {
             let lu = SparseLu::factor(&a_sparse).expect("factor");
             lu.solve(&b).expect("solve")
-        })
-    });
+        },
+    );
     let mut dense = DenseMatrix::zeros(64, 64);
     for i in 0..64 {
         dense.set(i, i, 4.0);
@@ -47,23 +52,29 @@ fn bench_lu(c: &mut Criterion) {
         }
     }
     let bd = vec![1.0; 64];
-    g.bench_function("dense_64_factor_solve", |bench| {
-        bench.iter_batched(
-            || dense.clone(),
-            |m| {
-                let lu = DenseLu::factor(m).expect("factor");
-                lu.solve(&bd).expect("solve")
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    bench(
+        "dense_64_factor_solve",
+        BenchOptions {
+            warmup: 2,
+            iters: 20,
+        },
+        || {
+            let lu = DenseLu::factor(dense.clone()).expect("factor");
+            lu.solve(&bd).expect("solve")
+        },
+    );
 }
 
-fn bench_device_eval(c: &mut Criterion) {
+fn bench_device_eval() {
+    group("devices");
     let nmos = MosModel::nmos_90nm();
-    c.bench_function("mosfet_ids_eval_100", |b| {
-        b.iter(|| {
+    bench(
+        "mosfet_ids_eval_100",
+        BenchOptions {
+            warmup: 2,
+            iters: 50,
+        },
+        || {
             let mut acc = 0.0;
             for k in 0..100 {
                 let vg = 1.2 * (k as f64) / 100.0;
@@ -71,72 +82,74 @@ fn bench_device_eval(c: &mut Criterion) {
                 acc += i;
             }
             acc
-        })
-    });
+        },
+    );
 }
 
-fn bench_transient(c: &mut Criterion) {
-    let mut g = c.benchmark_group("transient");
-    g.sample_size(10);
-    g.bench_function("inverter_chain_8", |bench| {
-        let tech = Technology::n90();
-        bench.iter_batched(
-            || {
-                let mut ckt = Circuit::new();
-                let vdd = ckt.node("vdd");
-                let vin = ckt.node("in");
-                ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
-                ckt.vsource(
-                    vin,
-                    Circuit::GROUND,
-                    Waveform::pulse(0.0, 1.2, 0.2e-9, 30e-12, 30e-12, 1e-9, 2.5e-9),
-                );
-                let mut prev = vin;
-                for k in 0..8 {
-                    let out = ckt.node(&format!("n{k}"));
-                    tech.add_inverter(&mut ckt, &format!("i{k}"), vdd, prev, out, 2.0, 1.0);
-                    prev = out;
-                }
-                ckt
-            },
-            |mut ckt| transient(&mut ckt, 2.5e-9, &TranOptions::default()).expect("tran"),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+fn inverter_chain(tech: &Technology) -> Circuit {
+    let mut ckt = Circuit::new();
+    let vdd = ckt.node("vdd");
+    let vin = ckt.node("in");
+    ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+    ckt.vsource(
+        vin,
+        Circuit::GROUND,
+        Waveform::pulse(0.0, 1.2, 0.2e-9, 30e-12, 30e-12, 1e-9, 2.5e-9),
+    );
+    let mut prev = vin;
+    for k in 0..8 {
+        let out = ckt.node(&format!("n{k}"));
+        tech.add_inverter(&mut ckt, &format!("i{k}"), vdd, prev, out, 2.0, 1.0);
+        prev = out;
+    }
+    ckt
 }
 
-fn bench_ac(c: &mut Criterion) {
+fn bench_transient() {
+    group("transient");
+    let tech = Technology::n90();
+    bench(
+        "inverter_chain_8",
+        BenchOptions {
+            warmup: 1,
+            iters: 10,
+        },
+        || {
+            let mut ckt = inverter_chain(&tech);
+            transient(&mut ckt, 2.5e-9, &TranOptions::default()).expect("tran")
+        },
+    );
+}
+
+fn bench_ac() {
     use nemscmos::spice::analysis::ac::{ac, log_sweep};
-    let mut g = c.benchmark_group("ac");
-    g.sample_size(20);
-    g.bench_function("rc_ladder_60pts", |bench| {
-        bench.iter_batched(
-            || {
-                let mut ckt = Circuit::new();
-                let mut prev = ckt.node("in");
-                let src = ckt.vsource(prev, Circuit::GROUND, Waveform::dc(0.0));
-                for k in 0..10 {
-                    let n = ckt.node(&format!("n{k}"));
-                    ckt.resistor(prev, n, 1e3);
-                    ckt.capacitor(n, Circuit::GROUND, 1e-12);
-                    prev = n;
-                }
-                (ckt, src)
-            },
-            |(mut ckt, src)| {
-                let freqs = log_sweep(1e3, 1e9, 10);
-                ac(&mut ckt, src, &freqs, &Default::default()).expect("ac")
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    group("ac");
+    bench(
+        "rc_ladder_60pts",
+        BenchOptions {
+            warmup: 2,
+            iters: 20,
+        },
+        || {
+            let mut ckt = Circuit::new();
+            let mut prev = ckt.node("in");
+            let src = ckt.vsource(prev, Circuit::GROUND, Waveform::dc(0.0));
+            for k in 0..10 {
+                let n = ckt.node(&format!("n{k}"));
+                ckt.resistor(prev, n, 1e3);
+                ckt.capacitor(n, Circuit::GROUND, 1e-12);
+                prev = n;
+            }
+            let freqs = log_sweep(1e3, 1e9, 10);
+            ac(&mut ckt, src, &freqs, &Default::default()).expect("ac")
+        },
+    );
 }
 
-fn bench_netlist_parse(c: &mut Criterion) {
+fn bench_netlist_parse() {
     use nemscmos::factory::StandardFactory;
     use nemscmos::spice::netlist::parse_deck;
+    group("netlist");
     // A ~200-card deck.
     let mut deck = String::from("VDD vdd 0 DC 1.2\n");
     for k in 0..100 {
@@ -145,35 +158,41 @@ fn bench_netlist_parse(c: &mut Criterion) {
     }
     deck.push_str("R_last n100 0 1k\n.op\n");
     let factory = StandardFactory::n90();
-    c.bench_function("netlist_parse_200_cards", |b| {
-        b.iter(|| parse_deck(&deck, &factory).expect("parse"))
-    });
+    bench(
+        "netlist_parse_200_cards",
+        BenchOptions {
+            warmup: 2,
+            iters: 50,
+        },
+        || parse_deck(&deck, &factory).expect("parse"),
+    );
 }
 
-fn bench_sram_array(c: &mut Criterion) {
+fn bench_sram_array() {
     use nemscmos::sram::{ArraySequence, SramArray, SramKind, SramParams};
-    let mut g = c.benchmark_group("sram_array");
-    g.sample_size(10);
-    g.bench_function("2x2_write_read_sequence", |bench| {
-        let tech = Technology::n90();
-        let params = SramParams::new(SramKind::Conventional);
-        let seq = ArraySequence::checkerboard(2, 2);
-        bench.iter_batched(
-            || SramArray::build(&tech, &params, &seq),
-            |mut array| array.run_and_verify(&tech, &seq).expect("sequence"),
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    group("sram_array");
+    let tech = Technology::n90();
+    let params = SramParams::new(SramKind::Conventional);
+    let seq = ArraySequence::checkerboard(2, 2);
+    bench(
+        "2x2_write_read_sequence",
+        BenchOptions {
+            warmup: 1,
+            iters: 10,
+        },
+        || {
+            let mut array = SramArray::build(&tech, &params, &seq);
+            array.run_and_verify(&tech, &seq).expect("sequence")
+        },
+    );
 }
 
-criterion_group!(
-    kernels,
-    bench_lu,
-    bench_device_eval,
-    bench_transient,
-    bench_ac,
-    bench_netlist_parse,
-    bench_sram_array
-);
-criterion_main!(kernels);
+fn main() {
+    println!("kernel benchmarks (offline timing driver)");
+    bench_lu();
+    bench_device_eval();
+    bench_transient();
+    bench_ac();
+    bench_netlist_parse();
+    bench_sram_array();
+}

@@ -7,14 +7,35 @@ use nemscmos_bench::experiments::ablations::*;
 fn main() {
     let tech = Technology::n90();
     let sections: Vec<(&str, nemscmos_analysis::Result<String>)> = vec![
-        ("Keeper style (always-on vs feedback)", keeper_style_ablation(&tech)),
-        ("NEMS series-switch width (hybrid OR)", nems_width_ablation(&tech)),
+        (
+            "Keeper style (always-on vs feedback)",
+            keeper_style_ablation(&tech),
+        ),
+        (
+            "NEMS series-switch width (hybrid OR)",
+            nems_width_ablation(&tech),
+        ),
         ("Hybrid SRAM NEMS upsizing", sram_upsize_ablation(&tech)),
-        ("SRAM: pull-up-only vs full hybrid (§5.3)", pullup_only_ablation(&tech)),
-        ("Mechanical switching delay sensitivity", switching_delay_ablation(&tech)),
-        ("Stiction (stuck-open beam) fault", stiction_fault_study(&tech)),
-        ("SRAM write margin & retention voltage", sram_margins_study(&tech)),
-        ("Charge sharing at a 0.49 V input glitch", charge_sharing_study(&tech)),
+        (
+            "SRAM: pull-up-only vs full hybrid (§5.3)",
+            pullup_only_ablation(&tech),
+        ),
+        (
+            "Mechanical switching delay sensitivity",
+            switching_delay_ablation(&tech),
+        ),
+        (
+            "Stiction (stuck-open beam) fault",
+            stiction_fault_study(&tech),
+        ),
+        (
+            "SRAM write margin & retention voltage",
+            sram_margins_study(&tech),
+        ),
+        (
+            "Charge sharing at a 0.49 V input glitch",
+            charge_sharing_study(&tech),
+        ),
     ];
     let mut failures = 0;
     for (title, result) in sections {

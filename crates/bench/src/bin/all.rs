@@ -3,38 +3,60 @@
 
 use nemscmos::tech::Technology;
 use nemscmos_bench::experiments::{device_tables, dynamic_or, sleep, sram};
+use nemscmos_harness::drain_reports;
 
 fn main() {
     let tech = Technology::n90();
     let mut failures = 0;
 
-    println!("=== Table 1 — device currents ===\n{}", device_tables::render_table1());
-    println!("=== Figure 1 — scaling trend ===\n{}", device_tables::render_fig01());
-    println!("=== Figure 2 — swing survey ===\n{}", device_tables::render_fig02());
+    println!(
+        "=== Table 1 — device currents ===\n{}",
+        device_tables::render_table1()
+    );
+    println!(
+        "=== Figure 1 — scaling trend ===\n{}",
+        device_tables::render_fig01()
+    );
+    println!(
+        "=== Figure 2 — swing survey ===\n{}",
+        device_tables::render_fig02()
+    );
 
     match dynamic_or::fig09(&tech) {
-        Ok(c) => println!("=== Figure 9 — keeper trade-off ===\n{}", dynamic_or::render_fig09(&c)),
+        Ok(c) => println!(
+            "=== Figure 9 — keeper trade-off ===\n{}",
+            dynamic_or::render_fig09(&c)
+        ),
         Err(e) => {
             eprintln!("fig09 failed: {e}");
             failures += 1;
         }
     }
     match dynamic_or::fig10(&tech) {
-        Ok(p) => println!("=== Figure 10 — OR vs fan-out ===\n{}", dynamic_or::render_fig10(&p)),
+        Ok(p) => println!(
+            "=== Figure 10 — OR vs fan-out ===\n{}",
+            dynamic_or::render_fig10(&p)
+        ),
         Err(e) => {
             eprintln!("fig10 failed: {e}");
             failures += 1;
         }
     }
     match dynamic_or::fig11(&tech) {
-        Ok(p) => println!("=== Figure 11 — OR vs fan-in ===\n{}", dynamic_or::render_fig11(&p)),
+        Ok(p) => println!(
+            "=== Figure 11 — OR vs fan-in ===\n{}",
+            dynamic_or::render_fig11(&p)
+        ),
         Err(e) => {
             eprintln!("fig11 failed: {e}");
             failures += 1;
         }
     }
     match dynamic_or::fig12(&tech) {
-        Ok(d) => println!("=== Figure 12 — PDP vs activity ===\n{}", dynamic_or::render_fig12(&d)),
+        Ok(d) => println!(
+            "=== Figure 12 — PDP vs activity ===\n{}",
+            dynamic_or::render_fig12(&d)
+        ),
         Err(e) => {
             eprintln!("fig12 failed: {e}");
             failures += 1;
@@ -48,19 +70,30 @@ fn main() {
         }
     }
     match sram::fig15(&tech) {
-        Ok(r) => println!("=== Figure 15 — SRAM latency/leakage ===\n{}", sram::render_fig15(&r)),
+        Ok(r) => println!(
+            "=== Figure 15 — SRAM latency/leakage ===\n{}",
+            sram::render_fig15(&r)
+        ),
         Err(e) => {
             eprintln!("fig15 failed: {e}");
             failures += 1;
         }
     }
-    println!("=== Figure 17 — sleep devices ===\n{}", sleep::render_fig17(&sleep::fig17(&tech)));
+    println!(
+        "=== Figure 17 — sleep devices ===\n{}",
+        sleep::render_fig17(&sleep::fig17(&tech))
+    );
     match sleep::gated_block_study(&tech) {
         Ok(t) => println!("=== Gated-block companion ===\n{t}"),
         Err(e) => {
             eprintln!("gated-block failed: {e}");
             failures += 1;
         }
+    }
+
+    println!("=== Harness telemetry ===");
+    for report in drain_reports() {
+        println!("{}", report.render());
     }
 
     if failures > 0 {

@@ -58,7 +58,9 @@ fn main() {
         1.0,
     ));
     let n_pts = 61;
-    let up: Vec<f64> = (0..n_pts).map(|k| vdd * k as f64 / (n_pts - 1) as f64).collect();
+    let up: Vec<f64> = (0..n_pts)
+        .map(|k| vdd * k as f64 / (n_pts - 1) as f64)
+        .collect();
     let down: Vec<f64> = up.iter().rev().copied().collect();
     let run = |ckt: &mut Circuit, vals: &[f64]| {
         dc_sweep(ckt, vg_src, vals, &OpOptions::default()).expect("hysteresis sweep")

@@ -24,8 +24,12 @@ use nemscmos::spice::netlist::{parse_deck, Directive, ParsedDeck};
 
 fn run(deck: &ParsedDeck, text: &str, csv: bool, vcd_path: Option<&str>) -> Result<(), String> {
     // Node names sorted for stable output (ground omitted: always 0 V).
-    let mut names: Vec<&String> =
-        deck.nodes.iter().filter(|(_, id)| !id.is_ground()).map(|(n, _)| n).collect();
+    let mut names: Vec<&String> = deck
+        .nodes
+        .iter()
+        .filter(|(_, id)| !id.is_ground())
+        .map(|(n, _)| n)
+        .collect();
     names.sort();
 
     for directive in &deck.directives {
@@ -80,7 +84,12 @@ fn run(deck: &ParsedDeck, text: &str, csv: bool, vcd_path: Option<&str>) -> Resu
                     }
                 }
             }
-            Directive::Dc { source, start, stop, step } => {
+            Directive::Dc {
+                source,
+                start,
+                stop,
+                step,
+            } => {
                 let src = *deck
                     .sources
                     .get(source)
@@ -107,7 +116,11 @@ fn run(deck: &ParsedDeck, text: &str, csv: bool, vcd_path: Option<&str>) -> Resu
                     println!();
                 }
             }
-            Directive::Ac { points_per_decade, f_start, f_stop } => {
+            Directive::Ac {
+                points_per_decade,
+                f_start,
+                f_stop,
+            } => {
                 let (sname, src) = deck
                     .sources
                     .iter()

@@ -1,8 +1,9 @@
 //! Statistical variation studies: SRAM SNM Monte Carlo and a five-corner
-//! sweep of the headline circuits.
+//! sweep of the headline circuits, with harness telemetry.
 
 use nemscmos::tech::Technology;
 use nemscmos_bench::experiments::variation::{render_corner_sweep, render_sram_mc};
+use nemscmos_harness::drain_reports;
 
 fn main() {
     let tech = Technology::n90();
@@ -21,5 +22,8 @@ fn main() {
             eprintln!("corner sweep failed: {e}");
             std::process::exit(1);
         }
+    }
+    for report in drain_reports() {
+        println!("{}", report.render());
     }
 }

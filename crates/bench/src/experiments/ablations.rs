@@ -26,7 +26,10 @@ pub fn keeper_style_ablation(tech: &Technology) -> Result<String> {
         (KeeperStyle::AlwaysOn, PdnStyle::HybridNems),
         (KeeperStyle::Feedback, PdnStyle::HybridNems),
     ] {
-        let params = DynamicOrParams { keeper_style: keeper, ..DynamicOrParams::new(8, 1, style) };
+        let params = DynamicOrParams {
+            keeper_style: keeper,
+            ..DynamicOrParams::new(8, 1, style)
+        };
         let f = DynamicOrGate::build(tech, &params).characterize(tech)?;
         t.row(vec![
             format!("{keeper:?}"),
@@ -47,9 +50,16 @@ pub fn keeper_style_ablation(tech: &Technology) -> Result<String> {
 pub fn nems_width_ablation(tech: &Technology) -> Result<String> {
     let mut t = Table::new(vec!["W_nems (µm)", "delay", "P_switch"]);
     for w in [1.0, 2.0, 3.0, 4.0, 6.0] {
-        let params = DynamicOrParams { nems_width: w, ..DynamicOrParams::new(8, 1, PdnStyle::HybridNems) };
+        let params = DynamicOrParams {
+            nems_width: w,
+            ..DynamicOrParams::new(8, 1, PdnStyle::HybridNems)
+        };
         let f = DynamicOrGate::build(tech, &params).characterize(tech)?;
-        t.row(vec![format!("{w:.1}"), fmt_eng(f.delay, "s"), fmt_eng(f.switching_power, "W")]);
+        t.row(vec![
+            format!("{w:.1}"),
+            fmt_eng(f.delay, "s"),
+            fmt_eng(f.switching_power, "W"),
+        ]);
     }
     Ok(t.render())
 }
@@ -61,10 +71,17 @@ pub fn nems_width_ablation(tech: &Technology) -> Result<String> {
 ///
 /// Propagates simulation failures.
 pub fn sram_upsize_ablation(tech: &Technology) -> Result<String> {
-    let conv = read_latency(tech, &SramParams::new(SramKind::Conventional), ZeroSide::Right)?;
+    let conv = read_latency(
+        tech,
+        &SramParams::new(SramKind::Conventional),
+        ZeroSide::Right,
+    )?;
     let mut t = Table::new(vec!["upsize", "read latency", "vs Conv.", "standby leak"]);
     for up in [1.0, 1.2, 1.5, 2.0, 3.0] {
-        let params = SramParams { hybrid_upsize: up, ..SramParams::new(SramKind::Hybrid) };
+        let params = SramParams {
+            hybrid_upsize: up,
+            ..SramParams::new(SramKind::Hybrid)
+        };
         let lat = read_latency(tech, &params, ZeroSide::Right)?;
         let leak = standby_leakage(tech, &params, ZeroSide::Right)?;
         t.row(vec![
@@ -84,13 +101,21 @@ pub fn sram_upsize_ablation(tech: &Technology) -> Result<String> {
 /// Propagates simulation failures.
 pub fn pullup_only_ablation(tech: &Technology) -> Result<String> {
     let mut t = Table::new(vec!["cell", "read latency", "standby leak"]);
-    for kind in [SramKind::Conventional, SramKind::HybridPullupOnly, SramKind::Hybrid] {
+    for kind in [
+        SramKind::Conventional,
+        SramKind::HybridPullupOnly,
+        SramKind::Hybrid,
+    ] {
         let params = SramParams::new(kind);
         let lat = read_latency(tech, &params, ZeroSide::Right)?;
         let leak = 0.5
             * (standby_leakage(tech, &params, ZeroSide::Left)?
                 + standby_leakage(tech, &params, ZeroSide::Right)?);
-        t.row(vec![kind.label().to_string(), fmt_eng(lat, "s"), fmt_eng(leak, "A")]);
+        t.row(vec![
+            kind.label().to_string(),
+            fmt_eng(lat, "s"),
+            fmt_eng(leak, "A"),
+        ]);
     }
     Ok(t.render())
 }
@@ -114,7 +139,11 @@ pub fn switching_delay_ablation(tech: &Technology) -> Result<String> {
         tech_ts.nems_n = tech.nems_n.with_switching_delay(ts);
         let params = DynamicOrParams::new(8, 1, PdnStyle::HybridNems);
         let f = DynamicOrGate::build(&tech_ts, &params).characterize(&tech_ts)?;
-        t.row(vec![fmt_eng(ts, "s"), fmt_eng(f.delay, "s"), note.to_string()]);
+        t.row(vec![
+            fmt_eng(ts, "s"),
+            fmt_eng(f.delay, "s"),
+            note.to_string(),
+        ]);
     }
     Ok(t.render())
 }
@@ -144,11 +173,18 @@ pub fn stiction_fault_study(tech: &Technology) -> Result<String> {
     let mut t = Table::new(vec!["case", "result"]);
     t.row(vec![
         "healthy hybrid OR (1-input)".into(),
-        if healthy { "evaluates (output rises)".into() } else { "FAILED".into() },
+        if healthy {
+            "evaluates (output rises)".into()
+        } else {
+            "FAILED".into()
+        },
     ]);
     t.row(vec![
         "stuck-open beam branch".into(),
-        format!("dead branch, residual current {}", fmt_eng(g_off_branch, "A")),
+        format!(
+            "dead branch, residual current {}",
+            fmt_eng(g_off_branch, "A")
+        ),
     ]);
     Ok(t.render())
 }
@@ -200,7 +236,11 @@ pub fn beam_fidelity_study(tech: &Technology) -> Result<(Option<f64>, Option<f64
         let g = ckt.node("g");
         let d = ckt.node("d");
         ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
-        ckt.vsource(g, Circuit::GROUND, Waveform::step(0.0, tech.vdd, t_step, 30e-12));
+        ckt.vsource(
+            g,
+            Circuit::GROUND,
+            Waveform::step(0.0, tech.vdd, t_step, 30e-12),
+        );
         ckt.resistor(vdd, d, 10e3);
         ckt.capacitor(d, Circuit::GROUND, 5e-15);
         if dynamic {
@@ -214,9 +254,19 @@ pub fn beam_fidelity_study(tech: &Technology) -> Result<(Option<f64>, Option<f64
                 1.0,
             ));
         } else {
-            ckt.add_device(Nemfet::new("xq", qs_card.clone(), d, g, Circuit::GROUND, 1.0));
+            ckt.add_device(Nemfet::new(
+                "xq",
+                qs_card.clone(),
+                d,
+                g,
+                Circuit::GROUND,
+                1.0,
+            ));
         }
-        let opts = TranOptions { dt_max: Some(20e-12), ..Default::default() };
+        let opts = TranOptions {
+            dt_max: Some(20e-12),
+            ..Default::default()
+        };
         let res = transient(&mut ckt, 12e-9, &opts)?;
         Ok(res
             .voltage(d)
@@ -243,7 +293,11 @@ pub fn stuck_beam_circuit_demo(tech: &Technology) -> Result<(f64, f64)> {
         let g = ckt.node("g");
         let d = ckt.node("d");
         ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
-        ckt.vsource(g, Circuit::GROUND, Waveform::step(0.0, tech.vdd, 0.5e-9, 50e-12));
+        ckt.vsource(
+            g,
+            Circuit::GROUND,
+            Waveform::step(0.0, tech.vdd, 0.5e-9, 50e-12),
+        );
         ckt.resistor(vdd, d, 10e3);
         ckt.capacitor(d, Circuit::GROUND, 1e-15); // drain junction parasitic
         let model = NemsModel::nems_90nm(Polarity::Nmos).with_switching_delay(t_switch);
@@ -282,7 +336,11 @@ pub fn charge_sharing_study(tech: &Technology) -> Result<String> {
         t.row(vec![
             format!("{style:?}"),
             format!("{dyn_min:.3}"),
-            if flipped { "FALSELY EVALUATED".into() } else { "held".into() },
+            if flipped {
+                "FALSELY EVALUATED".into()
+            } else {
+                "held".into()
+            },
         ]);
     }
     Ok(t.render())
@@ -296,7 +354,12 @@ pub fn charge_sharing_study(tech: &Technology) -> Result<String> {
 ///
 /// Propagates simulation failures.
 pub fn sram_margins_study(tech: &Technology) -> Result<String> {
-    let mut t = Table::new(vec!["cell", "write trip (V)", "write latency", "retention V_dd"]);
+    let mut t = Table::new(vec![
+        "cell",
+        "write trip (V)",
+        "write latency",
+        "retention V_dd",
+    ]);
     let mut kinds = SramKind::all().to_vec();
     kinds.push(SramKind::HybridPullupOnly);
     for kind in kinds {
@@ -330,8 +393,14 @@ mod tests {
     fn stuck_beam_keeps_drain_high() {
         let tech = Technology::n90();
         let (healthy_vd, stuck_vd) = stuck_beam_circuit_demo(&tech).unwrap();
-        assert!(healthy_vd < 0.3, "healthy switch conducts, v(d) = {healthy_vd:.3}");
-        assert!(stuck_vd > 1.1, "stuck beam never conducts, v(d) = {stuck_vd:.3}");
+        assert!(
+            healthy_vd < 0.3,
+            "healthy switch conducts, v(d) = {healthy_vd:.3}"
+        );
+        assert!(
+            stuck_vd > 1.1,
+            "stuck beam never conducts, v(d) = {stuck_vd:.3}"
+        );
     }
 
     #[test]
@@ -356,7 +425,10 @@ mod tests {
             "hybrid droop {hybrid_min:.3} should beat CMOS {cmos_min:.3}"
         );
         let hybrid_line = lines.iter().find(|l| l.contains("HybridNems")).unwrap();
-        assert!(hybrid_line.contains("held"), "hybrid should hold: {hybrid_line}");
+        assert!(
+            hybrid_line.contains("held"),
+            "hybrid should hold: {hybrid_line}"
+        );
     }
 
     #[test]
@@ -375,8 +447,14 @@ mod tests {
     #[test]
     fn upsizing_hybrid_sram_reduces_latency() {
         let tech = Technology::n90();
-        let p_small = SramParams { hybrid_upsize: 1.0, ..SramParams::new(SramKind::Hybrid) };
-        let p_big = SramParams { hybrid_upsize: 3.0, ..SramParams::new(SramKind::Hybrid) };
+        let p_small = SramParams {
+            hybrid_upsize: 1.0,
+            ..SramParams::new(SramKind::Hybrid)
+        };
+        let p_big = SramParams {
+            hybrid_upsize: 3.0,
+            ..SramParams::new(SramKind::Hybrid)
+        };
         let lat_small = read_latency(&tech, &p_small, ZeroSide::Right).unwrap();
         let lat_big = read_latency(&tech, &p_big, ZeroSide::Right).unwrap();
         assert!(lat_big < lat_small, "{lat_big:.3e} vs {lat_small:.3e}");

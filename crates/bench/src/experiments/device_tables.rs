@@ -1,7 +1,7 @@
 //! Table 1 (device currents), Figure 1 (scaling trend) and Figure 2
 //! (subthreshold-swing survey).
 
-use nemscmos::devices::characterize::{figure2_survey, ion, ioff};
+use nemscmos::devices::characterize::{figure2_survey, ioff, ion};
 use nemscmos::devices::mosfet::{MosModel, Polarity};
 use nemscmos::devices::nemfet::NemsModel;
 use nemscmos::devices::scaling::itrs_trend;
@@ -48,7 +48,13 @@ pub fn table1() -> Vec<Table1Row> {
 
 /// Renders Table 1 with paper-vs-measured columns.
 pub fn render_table1() -> String {
-    let mut t = Table::new(vec!["Device", "I_ON (meas)", "I_ON (paper)", "I_OFF (meas)", "I_OFF (paper)"]);
+    let mut t = Table::new(vec![
+        "Device",
+        "I_ON (meas)",
+        "I_ON (paper)",
+        "I_OFF (meas)",
+        "I_OFF (paper)",
+    ]);
     for r in table1() {
         t.row(vec![
             r.device.to_string(),
@@ -83,7 +89,11 @@ pub fn render_fig02() -> String {
         t.row(vec![
             r.device.to_string(),
             format!("{:.2}", r.swing_mv_per_dec),
-            if r.measured_here { "measured from our model".into() } else { "literature [7]-[12]".into() },
+            if r.measured_here {
+                "measured from our model".into()
+            } else {
+                "literature [7]-[12]".into()
+            },
         ]);
     }
     t.render()
@@ -96,8 +106,16 @@ mod tests {
     #[test]
     fn table1_matches_paper_within_one_percent() {
         for r in table1() {
-            assert!((r.ion - r.paper_ion).abs() / r.paper_ion < 0.01, "{}: ion", r.device);
-            assert!((r.ioff - r.paper_ioff).abs() / r.paper_ioff < 0.01, "{}: ioff", r.device);
+            assert!(
+                (r.ion - r.paper_ion).abs() / r.paper_ion < 0.01,
+                "{}: ion",
+                r.device
+            );
+            assert!(
+                (r.ioff - r.paper_ioff).abs() / r.paper_ioff < 0.01,
+                "{}: ioff",
+                r.device
+            );
         }
     }
 

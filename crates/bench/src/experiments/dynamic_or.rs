@@ -7,7 +7,8 @@ use nemscmos::tech::Technology;
 use nemscmos_analysis::montecarlo::{monte_carlo_summary, Normal};
 use nemscmos_analysis::pdp::GateFigures;
 use nemscmos_analysis::table::{fmt_eng, Table};
-use nemscmos_analysis::Result;
+use nemscmos_analysis::{AnalysisError, Result};
+use nemscmos_harness::{HarnessError, JobSpec, Runner};
 use nemscmos_numeric::stats::Summary;
 
 /// One point of the Figure 9 trade-off curve.
@@ -47,32 +48,67 @@ pub fn fig09(tech: &Technology) -> Result<Vec<Fig09Curve>> {
 ///
 /// Propagates simulation failures.
 pub fn fig09_with(tech: &Technology, sigmas: &[f64], keepers: &[f64]) -> Result<Vec<Fig09Curve>> {
-    let mut curves = Vec::new();
-    for &sigma in sigmas {
-        let mut points = Vec::new();
-        let mut base_delay = None;
-        for &wk in keepers {
+    // One harness job per (σ, keeper) grid point, each returning the raw
+    // (delay, noise margin) pair; normalization to the smallest-keeper
+    // delay happens after collection so jobs stay independent (and
+    // cacheable) regardless of grid shape.
+    let grid: Vec<(f64, f64)> = sigmas
+        .iter()
+        .flat_map(|&s| keepers.iter().map(move |&wk| (s, wk)))
+        .collect();
+    let jobs: Vec<JobSpec> = grid
+        .iter()
+        .map(|&(sigma, wk)| {
+            JobSpec::new(
+                format!("s{:.0}%-wk{wk:.2}", sigma * 100.0),
+                format!("fig09 v1 sigma={sigma} keeper={wk} tech={tech:?}"),
+            )
+        })
+        .collect();
+    let measured: Vec<(f64, f64)> = Runner::global()
+        .run("fig09: keeper trade-off", &jobs, |i, _| {
+            let (sigma, wk) = grid[i];
             let mut params = DynamicOrParams::new(8, 1, PdnStyle::Cmos);
             params.keeper_width = Some(wk);
             params.sigma_vth_frac = sigma;
             // Delay at nominal process; noise margin at the 3σ-leaky corner.
-            let figures = DynamicOrGate::build(tech, &params).characterize(tech)?;
-            let nm = input_noise_margin(tech, &with_worst_case_vth(&params, tech))?;
-            let base = *base_delay.get_or_insert(figures.delay);
-            points.push(Fig09Point {
+            let figures = DynamicOrGate::build(tech, &params)
+                .characterize(tech)
+                .map_err(HarnessError::from)?;
+            let nm = input_noise_margin(tech, &with_worst_case_vth(&params, tech))
+                .map_err(HarnessError::from)?;
+            Ok((figures.delay, nm))
+        })
+        .map_err(AnalysisError::from)?;
+    let mut curves = Vec::new();
+    for (si, &sigma) in sigmas.iter().enumerate() {
+        let row = &measured[si * keepers.len()..(si + 1) * keepers.len()];
+        let base = row.first().map_or(1.0, |&(d, _)| d);
+        let points = keepers
+            .iter()
+            .zip(row)
+            .map(|(&wk, &(delay, nm))| Fig09Point {
                 keeper_width: wk,
                 noise_margin: nm,
-                delay_norm: figures.delay / base,
-            });
-        }
-        curves.push(Fig09Curve { sigma_frac: sigma, points });
+                delay_norm: delay / base,
+            })
+            .collect();
+        curves.push(Fig09Curve {
+            sigma_frac: sigma,
+            points,
+        });
     }
     Ok(curves)
 }
 
 /// Renders Figure 9.
 pub fn render_fig09(curves: &[Fig09Curve]) -> String {
-    let mut t = Table::new(vec!["sigma/mu", "W_keeper (µm)", "noise margin (V)", "delay (norm)"]);
+    let mut t = Table::new(vec![
+        "sigma/mu",
+        "W_keeper (µm)",
+        "noise margin (V)",
+        "delay (norm)",
+    ]);
     for c in curves {
         for p in &c.points {
             t.row(vec![
@@ -88,8 +124,8 @@ pub fn render_fig09(curves: &[Fig09Curve]) -> String {
 
 /// True Monte Carlo version of one Figure 9 point: per-branch V_th draws
 /// from `N(0, σ·V_th)` for an 8-input CMOS gate with a fixed keeper, each
-/// trial measuring the input noise margin. Runs in parallel (crossbeam
-/// scoped threads) and is deterministic in `seed`.
+/// trial measuring the input noise margin. Trials fan out over the
+/// harness work-stealing pool and are deterministic in `seed`.
 ///
 /// # Errors
 ///
@@ -129,10 +165,60 @@ pub struct GatePoint {
 /// # Errors
 ///
 /// Propagates simulation failures.
-pub fn measure_gate(tech: &Technology, fan_in: usize, fan_out: usize, style: PdnStyle) -> Result<GatePoint> {
-    let params = DynamicOrParams::new(fan_in, fan_out, style);
-    let figures = DynamicOrGate::build(tech, &params).characterize(tech)?;
-    Ok(GatePoint { fan_in, fan_out, style, figures })
+pub fn measure_gate(
+    tech: &Technology,
+    fan_in: usize,
+    fan_out: usize,
+    style: PdnStyle,
+) -> Result<GatePoint> {
+    let mut points = measure_gates(tech, &[(fan_in, fan_out, style)], "gate measurement")?;
+    Ok(points.remove(0))
+}
+
+/// Measures a batch of `(fan_in, fan_out, style)` gate configurations
+/// through the harness: jobs run on the work-stealing pool, results come
+/// from the content-addressed cache when available, non-convergent
+/// solves escalate through the retry ladder, and a telemetry report is
+/// published under `title`.
+///
+/// # Errors
+///
+/// Propagates simulation failures.
+pub fn measure_gates(
+    tech: &Technology,
+    configs: &[(usize, usize, PdnStyle)],
+    title: &str,
+) -> Result<Vec<GatePoint>> {
+    let jobs: Vec<JobSpec> = configs
+        .iter()
+        .map(|&(fan_in, fan_out, style)| {
+            JobSpec::new(
+                format!("or{fan_in}-fo{fan_out}-{}", style_label(style)),
+                format!(
+                    "dynamic-or v1 fan_in={fan_in} fan_out={fan_out} style={style:?} tech={tech:?}"
+                ),
+            )
+        })
+        .collect();
+    let figures: Vec<GateFigures> = Runner::global()
+        .run(title, &jobs, |i, _| {
+            let (fan_in, fan_out, style) = configs[i];
+            let params = DynamicOrParams::new(fan_in, fan_out, style);
+            DynamicOrGate::build(tech, &params)
+                .characterize(tech)
+                .map_err(HarnessError::from)
+        })
+        .map_err(AnalysisError::from)?;
+    Ok(configs
+        .iter()
+        .zip(figures)
+        .map(|(&(fan_in, fan_out, style), figures)| GatePoint {
+            fan_in,
+            fan_out,
+            style,
+            figures,
+        })
+        .collect())
 }
 
 /// Figure 10: 8-input OR, fan-out 1–5, both styles.
@@ -141,13 +227,13 @@ pub fn measure_gate(tech: &Technology, fan_in: usize, fan_out: usize, style: Pdn
 ///
 /// Propagates simulation failures.
 pub fn fig10(tech: &Technology) -> Result<Vec<GatePoint>> {
-    let mut points = Vec::new();
+    let mut configs = Vec::new();
     for fan_out in 1..=5 {
         for style in [PdnStyle::Cmos, PdnStyle::HybridNems] {
-            points.push(measure_gate(tech, 8, fan_out, style)?);
+            configs.push((8, fan_out, style));
         }
     }
-    Ok(points)
+    measure_gates(tech, &configs, "fig10: OR8 fan-out sweep")
 }
 
 /// Renders Figure 10 with the paper's normalization: power to the hybrid
@@ -163,7 +249,13 @@ pub fn render_fig10(points: &[GatePoint]) -> String {
         .find(|p| p.style == PdnStyle::Cmos && p.fan_out == 1)
         .map(|p| p.figures.delay)
         .unwrap_or(1.0);
-    let mut t = Table::new(vec!["fan-out", "style", "P_switch (norm)", "delay (norm)", "P_leak"]);
+    let mut t = Table::new(vec![
+        "fan-out",
+        "style",
+        "P_switch (norm)",
+        "delay (norm)",
+        "P_leak",
+    ]);
     for p in points {
         t.row(vec![
             p.fan_out.to_string(),
@@ -182,13 +274,13 @@ pub fn render_fig10(points: &[GatePoint]) -> String {
 ///
 /// Propagates simulation failures.
 pub fn fig11(tech: &Technology) -> Result<Vec<GatePoint>> {
-    let mut points = Vec::new();
+    let mut configs = Vec::new();
     for fan_in in [4usize, 8, 12, 16] {
         for style in [PdnStyle::Cmos, PdnStyle::HybridNems] {
-            points.push(measure_gate(tech, fan_in, 3, style)?);
+            configs.push((fan_in, 3, style));
         }
     }
-    Ok(points)
+    measure_gates(tech, &configs, "fig11: OR fan-in sweep")
 }
 
 /// Renders Figure 11, normalized to the hybrid fan-in-4 point.
@@ -203,7 +295,10 @@ pub fn render_fig11(points: &[GatePoint]) -> String {
         t.row(vec![
             p.fan_in.to_string(),
             style_label(p.style).to_string(),
-            format!("{:.3}", p.figures.switching_power / reference.switching_power),
+            format!(
+                "{:.3}",
+                p.figures.switching_power / reference.switching_power
+            ),
             format!("{:.3}", p.figures.delay / reference.delay),
         ]);
     }
@@ -220,15 +315,17 @@ pub type PdpSeries = (GatePoint, Vec<(f64, f64)>);
 ///
 /// Propagates simulation failures.
 pub fn fig12(tech: &Technology) -> Result<Vec<PdpSeries>> {
-    let mut out = Vec::new();
+    let mut configs = Vec::new();
     for fan_out in [1usize, 3] {
         for style in [PdnStyle::Cmos, PdnStyle::HybridNems] {
-            let point = measure_gate(tech, 8, fan_out, style)?;
-            let sweep = point.figures.pdp_sweep(11);
-            out.push((point, sweep));
+            configs.push((8, fan_out, style));
         }
     }
-    Ok(out)
+    let points = measure_gates(tech, &configs, "fig12: PDP vs activity")?;
+    Ok(points
+        .into_iter()
+        .map(|point| (point, point.figures.pdp_sweep(11)))
+        .collect())
 }
 
 /// Renders Figure 12.

@@ -5,7 +5,9 @@ use nemscmos::sram::{
 };
 use nemscmos::tech::Technology;
 use nemscmos_analysis::table::{fmt_eng, Table};
-use nemscmos_analysis::Result;
+use nemscmos_analysis::{AnalysisError, Result};
+use nemscmos_harness::json::{Json, JsonCodec};
+use nemscmos_harness::{HarnessError, JobSpec, Runner};
 
 /// A sampled VTC as `(v_in, v_out)` points.
 pub type CurvePoints = Vec<(f64, f64)>;
@@ -24,24 +26,74 @@ pub struct Fig14Row {
     pub curves: (CurvePoints, CurvePoints),
 }
 
-/// Figure 14: butterfly curves and read SNM of all four architectures.
+/// Cacheable payload of one Figure 14 job (everything but the kind,
+/// which the job grid already knows).
+#[derive(Debug, Clone, PartialEq)]
+struct Fig14Payload {
+    snm: f64,
+    lobes: (f64, f64),
+    curves: (CurvePoints, CurvePoints),
+}
+
+impl JsonCodec for Fig14Payload {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("snm".into(), Json::Num(self.snm)),
+            ("lobes".into(), self.lobes.to_json()),
+            ("left".into(), self.curves.0.to_json()),
+            ("right".into(), self.curves.1.to_json()),
+        ])
+    }
+    fn from_json(v: &Json) -> Option<Fig14Payload> {
+        Some(Fig14Payload {
+            snm: v.get("snm")?.as_f64()?,
+            lobes: JsonCodec::from_json(v.get("lobes")?)?,
+            curves: (
+                JsonCodec::from_json(v.get("left")?)?,
+                JsonCodec::from_json(v.get("right")?)?,
+            ),
+        })
+    }
+}
+
+/// Figure 14: butterfly curves and read SNM of all four architectures,
+/// one harness job per cell.
 ///
 /// # Errors
 ///
 /// Propagates simulation failures.
 pub fn fig14(tech: &Technology) -> Result<Vec<Fig14Row>> {
-    let mut rows = Vec::new();
-    for kind in SramKind::all() {
-        let params = SramParams::new(kind);
-        let b = butterfly_curves(tech, &params, ReadMode::Read)?;
-        rows.push(Fig14Row {
+    let kinds = SramKind::all();
+    let jobs: Vec<JobSpec> = kinds
+        .iter()
+        .map(|kind| {
+            JobSpec::new(
+                format!("snm-{}", kind.label()),
+                format!("sram-fig14 v1 kind={kind:?} tech={tech:?}"),
+            )
+        })
+        .collect();
+    let payloads: Vec<Fig14Payload> = Runner::global()
+        .run("fig14: SRAM butterfly curves", &jobs, |i, _| {
+            let params = SramParams::new(kinds[i]);
+            let b = butterfly_curves(tech, &params, ReadMode::Read).map_err(HarnessError::from)?;
+            Ok(Fig14Payload {
+                snm: b.snm.snm(),
+                lobes: (b.snm.lobe_high, b.snm.lobe_low),
+                curves: (b.vtc_left.points().to_vec(), b.vtc_right.points().to_vec()),
+            })
+        })
+        .map_err(AnalysisError::from)?;
+    Ok(kinds
+        .into_iter()
+        .zip(payloads)
+        .map(|(kind, p)| Fig14Row {
             kind,
-            snm: b.snm.snm(),
-            lobes: (b.snm.lobe_high, b.snm.lobe_low),
-            curves: (b.vtc_left.points().to_vec(), b.vtc_right.points().to_vec()),
-        });
-    }
-    Ok(rows)
+            snm: p.snm,
+            lobes: p.lobes,
+            curves: p.curves,
+        })
+        .collect())
 }
 
 /// Renders Figure 14 (SNM summary; the curves are available in the data).
@@ -51,7 +103,13 @@ pub fn render_fig14(rows: &[Fig14Row]) -> String {
         .find(|r| r.kind == SramKind::Conventional)
         .map(|r| r.snm)
         .unwrap_or(1.0);
-    let mut t = Table::new(vec!["cell", "SNM (mV)", "lobe hi (mV)", "lobe lo (mV)", "vs Conv."]);
+    let mut t = Table::new(vec![
+        "cell",
+        "SNM (mV)",
+        "lobe hi (mV)",
+        "lobe lo (mV)",
+        "vs Conv.",
+    ]);
     for r in rows {
         t.row(vec![
             r.kind.label().to_string(),
@@ -76,26 +134,44 @@ pub struct Fig15Row {
 }
 
 /// Figure 15: read latency and standby leakage of all four architectures
-/// (state-averaged, as the paper does for the asymmetric cell).
+/// (state-averaged, as the paper does for the asymmetric cell), one
+/// harness job per cell.
 ///
 /// # Errors
 ///
 /// Propagates simulation failures.
 pub fn fig15(tech: &Technology) -> Result<Vec<Fig15Row>> {
-    let mut rows = Vec::new();
-    for kind in SramKind::all() {
-        let params = SramParams::new(kind);
-        let lat_l = read_latency(tech, &params, ZeroSide::Left)?;
-        let lat_r = read_latency(tech, &params, ZeroSide::Right)?;
-        let leak_l = standby_leakage(tech, &params, ZeroSide::Left)?;
-        let leak_r = standby_leakage(tech, &params, ZeroSide::Right)?;
-        rows.push(Fig15Row {
+    let kinds = SramKind::all();
+    let jobs: Vec<JobSpec> = kinds
+        .iter()
+        .map(|kind| {
+            JobSpec::new(
+                format!("latency-{}", kind.label()),
+                format!("sram-fig15 v1 kind={kind:?} tech={tech:?}"),
+            )
+        })
+        .collect();
+    let measured: Vec<(f64, f64)> = Runner::global()
+        .run("fig15: SRAM latency/leakage", &jobs, |i, _| {
+            let params = SramParams::new(kinds[i]);
+            let lat_l = read_latency(tech, &params, ZeroSide::Left).map_err(HarnessError::from)?;
+            let lat_r = read_latency(tech, &params, ZeroSide::Right).map_err(HarnessError::from)?;
+            let leak_l =
+                standby_leakage(tech, &params, ZeroSide::Left).map_err(HarnessError::from)?;
+            let leak_r =
+                standby_leakage(tech, &params, ZeroSide::Right).map_err(HarnessError::from)?;
+            Ok((0.5 * (lat_l + lat_r), 0.5 * (leak_l + leak_r)))
+        })
+        .map_err(AnalysisError::from)?;
+    Ok(kinds
+        .into_iter()
+        .zip(measured)
+        .map(|(kind, (read_latency, standby_current))| Fig15Row {
             kind,
-            read_latency: 0.5 * (lat_l + lat_r),
-            standby_current: 0.5 * (leak_l + leak_r),
-        });
-    }
-    Ok(rows)
+            read_latency,
+            standby_current,
+        })
+        .collect())
 }
 
 /// Renders Figure 15 normalized to the conventional cell (paper style).

@@ -22,7 +22,9 @@ use nemscmos_analysis::Result;
 pub fn gate_leakage_at(tech: &Technology, kelvin: f64, style: PdnStyle) -> Result<f64> {
     let hot = tech.at_temperature(kelvin);
     let params = DynamicOrParams::new(8, 1, style);
-    Ok(DynamicOrGate::build(&hot, &params).characterize(&hot)?.leakage_power)
+    Ok(DynamicOrGate::build(&hot, &params)
+        .characterize(&hot)?
+        .leakage_power)
 }
 
 /// Renders the leakage-vs-temperature table for the two gate styles.
@@ -103,7 +105,8 @@ pub fn runaway_study(tech: &Technology) -> Result<String> {
             ThermalOutcome::Runaway => "RUNAWAY".to_string(),
         };
         let cmos = junction_temperature(tech, PdnStyle::Cmos, gates, p_dynamic, r_th, 300.0)?;
-        let hybrid = junction_temperature(tech, PdnStyle::HybridNems, gates, p_dynamic, r_th, 300.0)?;
+        let hybrid =
+            junction_temperature(tech, PdnStyle::HybridNems, gates, p_dynamic, r_th, 300.0)?;
         t.row(vec![format!("{r_th:.0} K/W"), fmt(cmos), fmt(hybrid)]);
     }
     Ok(t.render())
@@ -118,7 +121,10 @@ mod tests {
         let tech = Technology::n90();
         let cold = gate_leakage_at(&tech, 300.0, PdnStyle::Cmos).unwrap();
         let hot = gate_leakage_at(&tech, 400.0, PdnStyle::Cmos).unwrap();
-        assert!(hot > 10.0 * cold, "100 K should cost >10x leakage: {cold:.3e} -> {hot:.3e}");
+        assert!(
+            hot > 10.0 * cold,
+            "100 K should cost >10x leakage: {cold:.3e} -> {hot:.3e}"
+        );
     }
 
     #[test]
@@ -127,7 +133,10 @@ mod tests {
         let cold = gate_leakage_at(&tech, 300.0, PdnStyle::HybridNems).unwrap();
         let hot = gate_leakage_at(&tech, 400.0, PdnStyle::HybridNems).unwrap();
         // The beam-up floor dominates; only the (tiny) channel terms heat.
-        assert!(hot < 5.0 * cold, "hybrid should stay near its mechanical floor");
+        assert!(
+            hot < 5.0 * cold,
+            "hybrid should stay near its mechanical floor"
+        );
     }
 
     #[test]
@@ -150,6 +159,9 @@ mod tests {
                 break;
             }
         }
-        assert!(found, "expected a runaway corner for CMOS in the swept range");
+        assert!(
+            found,
+            "expected a runaway corner for CMOS in the swept range"
+        );
     }
 }

@@ -10,8 +10,10 @@ use nemscmos::gates::{ring_oscillator_frequency, DynamicOrGate, DynamicOrParams,
 use nemscmos::sram::{butterfly_curves, ReadMode, SramKind, SramParams};
 use nemscmos::tech::Technology;
 use nemscmos_analysis::montecarlo::{monte_carlo, Normal};
+use nemscmos_analysis::pdp::GateFigures;
 use nemscmos_analysis::table::{fmt_eng, Table};
-use nemscmos_analysis::Result;
+use nemscmos_analysis::{AnalysisError, Result};
+use nemscmos_harness::{HarnessError, JobSpec, Runner};
 use nemscmos_numeric::stats::{quantile, Summary};
 
 /// Monte Carlo read-SNM distribution of one cell architecture.
@@ -31,6 +33,11 @@ pub struct SnmDistribution {
 /// (six independent draws per cell; NEMS roles also move their pull-in
 /// voltage by the draw). Deterministic in `seed`; trials run in parallel.
 ///
+/// The whole Monte Carlo is one harness job: the sampled distribution is
+/// cached under a spec covering the technology, cell, σ, threshold,
+/// trial count, and seed, and the nested per-trial solver work is folded
+/// into the job's telemetry.
+///
 /// # Errors
 ///
 /// Propagates simulation failures from any trial.
@@ -42,25 +49,38 @@ pub fn sram_snm_distribution(
     trials: usize,
     seed: u64,
 ) -> Result<SnmDistribution> {
-    let samples = monte_carlo(trials, seed, |rng, _| {
-        let dist = Normal::new(0.0, sigma_vth);
-        let mut shifts = [0.0; 6];
-        for s in &mut shifts {
-            *s = dist.sample(rng);
-        }
-        let params = SramParams::new(kind).with_vth_shifts(shifts);
-        Ok(butterfly_curves(tech, &params, ReadMode::Read)?.snm.snm())
-    })?;
-    let summary = Summary::of(&samples)
-        .map_err(|e| nemscmos_analysis::AnalysisError::InvalidInput(e.to_string()))?;
-    let p1 = quantile(&samples, 0.01)
-        .map_err(|e| nemscmos_analysis::AnalysisError::InvalidInput(e.to_string()))?;
-    let fails = samples.iter().filter(|&&s| s < fail_threshold).count();
+    let jobs = [JobSpec::new(
+        format!("snm-mc-{}", kind.label()),
+        format!(
+            "sram-snm-mc v1 kind={kind:?} sigma={sigma_vth} fail={fail_threshold}              trials={trials} seed={seed} tech={tech:?}"
+        ),
+    )];
+    let mut results: Vec<(Summary, (f64, f64))> = Runner::global()
+        .run("variation: SRAM SNM Monte Carlo", &jobs, |_, _| {
+            let samples = monte_carlo(trials, seed, |rng, _| {
+                let dist = Normal::new(0.0, sigma_vth);
+                let mut shifts = [0.0; 6];
+                for s in &mut shifts {
+                    *s = dist.sample(rng);
+                }
+                let params = SramParams::new(kind).with_vth_shifts(shifts);
+                Ok(butterfly_curves(tech, &params, ReadMode::Read)?.snm.snm())
+            })
+            .map_err(HarnessError::from)?;
+            let summary = Summary::of(&samples)
+                .map_err(|e| HarnessError::Failed(format!("summary failed: {e}")))?;
+            let p1 = quantile(&samples, 0.01)
+                .map_err(|e| HarnessError::Failed(format!("quantile failed: {e}")))?;
+            let fails = samples.iter().filter(|&&s| s < fail_threshold).count();
+            Ok((summary, (p1, fails as f64 / samples.len() as f64)))
+        })
+        .map_err(AnalysisError::from)?;
+    let (summary, (p1, fail_fraction)) = results.remove(0);
     Ok(SnmDistribution {
         kind,
         summary,
         p1,
-        fail_fraction: fails as f64 / samples.len() as f64,
+        fail_fraction,
     })
 }
 
@@ -145,12 +165,36 @@ pub fn render_sram_mc(tech: &Technology, sigma_vth: f64, trials: usize) -> Resul
 }
 
 /// Five-corner sweep of the 8-input OR gates and the ring-oscillator
-/// monitor.
+/// monitor, one harness job per corner.
 ///
 /// # Errors
 ///
 /// Propagates simulation failures.
 pub fn render_corner_sweep(tech: &Technology) -> Result<String> {
+    let corners = Corner::all();
+    let jobs: Vec<JobSpec> = corners
+        .iter()
+        .map(|corner| {
+            JobSpec::new(
+                format!("corner-{}", corner.label()),
+                format!("variation-corner v1 corner={corner:?} tech={tech:?}"),
+            )
+        })
+        .collect();
+    let measured: Vec<(f64, (GateFigures, GateFigures))> = Runner::global()
+        .run("variation: five-corner sweep", &jobs, |i, _| {
+            let tc = tech.at_corner(corners[i]);
+            let ring = ring_oscillator_frequency(&tc, 5).map_err(HarnessError::from)?;
+            let cmos = DynamicOrGate::build(&tc, &DynamicOrParams::new(8, 1, PdnStyle::Cmos))
+                .characterize(&tc)
+                .map_err(HarnessError::from)?;
+            let hybrid =
+                DynamicOrGate::build(&tc, &DynamicOrParams::new(8, 1, PdnStyle::HybridNems))
+                    .characterize(&tc)
+                    .map_err(HarnessError::from)?;
+            Ok((ring.frequency, (cmos, hybrid)))
+        })
+        .map_err(AnalysisError::from)?;
     let mut t = Table::new(vec![
         "corner",
         "ring f0",
@@ -159,16 +203,10 @@ pub fn render_corner_sweep(tech: &Technology) -> Result<String> {
         "hybrid OR delay",
         "hybrid OR leak",
     ]);
-    for corner in Corner::all() {
-        let tc = tech.at_corner(corner);
-        let ring = ring_oscillator_frequency(&tc, 5)?;
-        let cmos =
-            DynamicOrGate::build(&tc, &DynamicOrParams::new(8, 1, PdnStyle::Cmos)).characterize(&tc)?;
-        let hybrid = DynamicOrGate::build(&tc, &DynamicOrParams::new(8, 1, PdnStyle::HybridNems))
-            .characterize(&tc)?;
+    for (corner, (freq, (cmos, hybrid))) in corners.iter().zip(measured) {
         t.row(vec![
             corner.label().to_string(),
-            format!("{:.2} GHz", ring.frequency / 1e9),
+            format!("{:.2} GHz", freq / 1e9),
             fmt_eng(cmos.delay, "s"),
             fmt_eng(cmos.leakage_power, "W"),
             fmt_eng(hybrid.delay, "s"),
@@ -190,7 +228,11 @@ mod tests {
         assert!(d.summary.std_dev > 1e-3, "σ_SNM = {:.4}", d.summary.std_dev);
         assert!(d.p1 <= d.summary.mean);
         // Nominal-ish mean.
-        assert!((d.summary.mean - 0.285).abs() < 0.08, "mean = {:.3}", d.summary.mean);
+        assert!(
+            (d.summary.mean - 0.285).abs() < 0.08,
+            "mean = {:.3}",
+            d.summary.mean
+        );
     }
 
     #[test]

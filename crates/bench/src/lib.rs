@@ -4,8 +4,9 @@
 //! Each experiment in [`experiments`] returns structured data *and* a
 //! rendered text table matching the rows/series the paper reports. The
 //! `bin/` targets print them (`cargo run -p nemscmos-bench --bin fig10`),
-//! `bin/all` regenerates everything, and the Criterion benches in
-//! `benches/` time the underlying simulation workloads.
+//! `bin/all` regenerates everything, and the benches in `benches/`
+//! (plain binaries on the offline [`timing`] driver) time the
+//! underlying simulation workloads.
 //!
 //! | Target   | Paper artifact |
 //! |----------|----------------|
@@ -21,3 +22,4 @@
 //! | `fig17`  | Figure 17 — sleep-transistor R_ON / I_OFF vs area |
 
 pub mod experiments;
+pub mod timing;

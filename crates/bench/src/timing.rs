@@ -1,0 +1,99 @@
+//! Minimal wall-clock micro-benchmark driver.
+//!
+//! The workspace builds fully offline, so the `benches/` targets use
+//! this driver instead of Criterion: warm up, run a fixed number of
+//! timed iterations, and print min/median/mean per-iteration times. The
+//! numbers are indicative, not statistically rigorous — good enough to
+//! catch order-of-magnitude regressions in the simulation kernels.
+
+use std::time::{Duration, Instant};
+
+/// Settings for one timed function.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOptions {
+    /// Untimed warm-up iterations.
+    pub warmup: usize,
+    /// Timed iterations.
+    pub iters: usize,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        BenchOptions {
+            warmup: 2,
+            iters: 10,
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.0} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Times `f` and prints one aligned result line.
+///
+/// The closure's return value is passed through `std::hint::black_box`
+/// so the work cannot be optimized away.
+pub fn bench<T>(name: &str, opts: BenchOptions, mut f: impl FnMut() -> T) {
+    for _ in 0..opts.warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples = Vec::with_capacity(opts.iters.max(1));
+    for _ in 0..opts.iters.max(1) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        samples.push(start.elapsed());
+    }
+    samples.sort_unstable();
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<40} min {:>10}  median {:>10}  mean {:>10}  ({} iters)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean),
+        samples.len(),
+    );
+}
+
+/// Prints a group header, mirroring Criterion's group organization.
+pub fn group(title: &str) {
+    println!("\n-- {title} --");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_requested_iterations() {
+        let count = std::cell::Cell::new(0usize);
+        bench(
+            "counter",
+            BenchOptions {
+                warmup: 1,
+                iters: 3,
+            },
+            || count.set(count.get() + 1),
+        );
+        assert_eq!(count.get(), 4);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(fmt_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(500)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(500)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

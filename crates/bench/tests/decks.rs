@@ -14,7 +14,10 @@ fn decks_dir() -> std::path::PathBuf {
 fn run_deck(text: &str) {
     let factory = StandardFactory::n90();
     let deck = parse_deck(text, &factory).expect("deck parses");
-    assert!(!deck.directives.is_empty(), "deck has no analysis directives");
+    assert!(
+        !deck.directives.is_empty(),
+        "deck has no analysis directives"
+    );
     for directive in deck.directives.clone() {
         let mut fresh = parse_deck(text, &factory).expect("reparse");
         match directive {
@@ -26,19 +29,38 @@ fn run_deck(text: &str) {
                     .expect(".tran completes");
                 assert!(res.num_points() > 10);
             }
-            Directive::Dc { source, start, stop, step } => {
+            Directive::Dc {
+                source,
+                start,
+                stop,
+                step,
+            } => {
                 let src = fresh.sources[&source];
                 let n = ((stop - start) / step).abs().round() as usize + 1;
-                let values: Vec<f64> =
-                    (0..n).map(|k| start + step * k as f64).collect();
+                let values: Vec<f64> = (0..n).map(|k| start + step * k as f64).collect();
                 dc_sweep(&mut fresh.circuit, src, &values, &OpOptions::default())
                     .expect(".dc completes");
             }
-            Directive::Ac { points_per_decade, f_start, f_stop } => {
-                let (_, src) = fresh.sources.iter().next().map(|(k, v)| (k.clone(), *v)).expect("a source");
-                let freqs = nemscmos::spice::analysis::ac::log_sweep(f_start, f_stop, points_per_decade);
-                nemscmos::spice::analysis::ac::ac(&mut fresh.circuit, src, &freqs, &OpOptions::default())
-                    .expect(".ac completes");
+            Directive::Ac {
+                points_per_decade,
+                f_start,
+                f_stop,
+            } => {
+                let (_, src) = fresh
+                    .sources
+                    .iter()
+                    .next()
+                    .map(|(k, v)| (k.clone(), *v))
+                    .expect("a source");
+                let freqs =
+                    nemscmos::spice::analysis::ac::log_sweep(f_start, f_stop, points_per_decade);
+                nemscmos::spice::analysis::ac::ac(
+                    &mut fresh.circuit,
+                    src,
+                    &freqs,
+                    &OpOptions::default(),
+                )
+                .expect(".ac completes");
             }
         }
     }

@@ -87,16 +87,54 @@ impl DeviceFactory for StandardFactory {
             return None;
         }
         match model.to_ascii_lowercase().as_str() {
-            "nmos90" => Some(Box::new(Mosfet::new(name, self.tech.nmos.clone(), d, g, s, width_um))),
-            "pmos90" => Some(Box::new(Mosfet::new(name, self.tech.pmos.clone(), d, g, s, width_um))),
-            "nmos90hvt" => {
-                Some(Box::new(Mosfet::new(name, self.tech.nmos_hvt.clone(), d, g, s, width_um)))
-            }
-            "pmos90hvt" => {
-                Some(Box::new(Mosfet::new(name, self.tech.pmos_hvt.clone(), d, g, s, width_um)))
-            }
-            "nems90n" => Some(Box::new(Nemfet::new(name, self.tech.nems_n.clone(), d, g, s, width_um))),
-            "nems90p" => Some(Box::new(Nemfet::new(name, self.tech.nems_p.clone(), d, g, s, width_um))),
+            "nmos90" => Some(Box::new(Mosfet::new(
+                name,
+                self.tech.nmos.clone(),
+                d,
+                g,
+                s,
+                width_um,
+            ))),
+            "pmos90" => Some(Box::new(Mosfet::new(
+                name,
+                self.tech.pmos.clone(),
+                d,
+                g,
+                s,
+                width_um,
+            ))),
+            "nmos90hvt" => Some(Box::new(Mosfet::new(
+                name,
+                self.tech.nmos_hvt.clone(),
+                d,
+                g,
+                s,
+                width_um,
+            ))),
+            "pmos90hvt" => Some(Box::new(Mosfet::new(
+                name,
+                self.tech.pmos_hvt.clone(),
+                d,
+                g,
+                s,
+                width_um,
+            ))),
+            "nems90n" => Some(Box::new(Nemfet::new(
+                name,
+                self.tech.nems_n.clone(),
+                d,
+                g,
+                s,
+                width_um,
+            ))),
+            "nems90p" => Some(Box::new(Nemfet::new(
+                name,
+                self.tech.nems_p.clone(),
+                d,
+                g,
+                s,
+                width_um,
+            ))),
             _ => None,
         }
     }
@@ -144,7 +182,12 @@ C1 d 0 1f
     #[test]
     fn default_width_is_one_micron() {
         let f = StandardFactory::n90();
-        let dev = f.make("M1", "nmos90", &[NodeId::GROUND, NodeId::GROUND, NodeId::GROUND], &HashMap::new());
+        let dev = f.make(
+            "M1",
+            "nmos90",
+            &[NodeId::GROUND, NodeId::GROUND, NodeId::GROUND],
+            &HashMap::new(),
+        );
         assert!(dev.is_some());
     }
 

@@ -103,7 +103,14 @@ impl DynamicOrParams {
     /// The keeper width this instance will use (explicit or auto-sized).
     pub fn resolved_keeper_width(&self, tech: &Technology) -> f64 {
         self.keeper_width.unwrap_or_else(|| {
-            keeper_width_for(tech, self.style, self.fan_in, self.input_width, self.nems_width, self.sigma_vth_frac)
+            keeper_width_for(
+                tech,
+                self.style,
+                self.fan_in,
+                self.input_width,
+                self.nems_width,
+                self.sigma_vth_frac,
+            )
         })
     }
 }
@@ -130,7 +137,9 @@ pub fn keeper_width_for(
     let droop = 0.1 * tech.vdd;
     let i_pdn = match style {
         PdnStyle::Cmos => {
-            let worst = tech.nmos.with_vth_shift(-3.0 * sigma_vth_frac * tech.nmos.vth);
+            let worst = tech
+                .nmos
+                .with_vth_shift(-3.0 * sigma_vth_frac * tech.nmos.vth);
             let (i, ..) = worst.ids(vn, tech.vdd, 0.0, input_width);
             fan_in as f64 * i
         }
@@ -244,7 +253,14 @@ impl DynamicOrGate {
         let t_input_rise = t_clk_rise + 100e-12;
 
         // Precharge PMOS and keeper.
-        tech.add_pmos(&mut ckt, "mprech", dyn_node, clk, vdd, params.precharge_width);
+        tech.add_pmos(
+            &mut ckt,
+            "mprech",
+            dyn_node,
+            clk,
+            vdd,
+            params.precharge_width,
+        );
         let wk = params.resolved_keeper_width(tech);
         let keeper_gate = match params.keeper_style {
             KeeperStyle::AlwaysOn => Circuit::GROUND,
@@ -277,7 +293,11 @@ impl DynamicOrGate {
             };
             ckt.vsource(input, Circuit::GROUND, wave);
             let shift = params.pdn_vth_shifts.get(i).copied().unwrap_or(0.0);
-            let nmodel = if shift == 0.0 { tech.nmos.clone() } else { tech.nmos.with_vth_shift(shift) };
+            let nmodel = if shift == 0.0 {
+                tech.nmos.clone()
+            } else {
+                tech.nmos.with_vth_shift(shift)
+            };
             match params.style {
                 PdnStyle::Cmos => {
                     tech.add_mos(
@@ -301,12 +321,26 @@ impl DynamicOrGate {
                         mid,
                         params.input_width,
                     );
-                    tech.add_nems_n(&mut ckt, &format!("xn{i}"), mid, input, foot, params.nems_width);
+                    tech.add_nems_n(
+                        &mut ckt,
+                        &format!("xn{i}"),
+                        mid,
+                        input,
+                        foot,
+                        params.nems_width,
+                    );
                 }
             }
         }
         // Clocked foot.
-        tech.add_nmos(&mut ckt, "mfoot", foot, clk, Circuit::GROUND, params.foot_width);
+        tech.add_nmos(
+            &mut ckt,
+            "mfoot",
+            foot,
+            clk,
+            Circuit::GROUND,
+            params.foot_width,
+        );
 
         BuiltGate {
             circuit: ckt,
@@ -339,7 +373,10 @@ impl BuiltGate {
     /// Propagates simulation failures and missing output transitions
     /// (e.g. a keeper so strong the gate cannot evaluate).
     pub fn characterize(&mut self, tech: &Technology) -> Result<GateFigures> {
-        let opts = TranOptions { dt_max: Some(self.period / 400.0), ..Default::default() };
+        let opts = TranOptions {
+            dt_max: Some(self.period / 400.0),
+            ..Default::default()
+        };
         let res = transient(&mut self.circuit, self.period, &opts)?;
         let vin = res.voltage(self.in_node);
         let vout = res.voltage(self.out_node);
@@ -358,7 +395,11 @@ impl BuiltGate {
         // the dynamic core rail only (the buffer is common to both styles).
         let op_res = op(&mut self.circuit)?;
         let leak = leakage_power(&op_res, self.vdd_src, tech.vdd);
-        Ok(GateFigures { leakage_power: leak, switching_power, delay })
+        Ok(GateFigures {
+            leakage_power: leak,
+            switching_power,
+            delay,
+        })
     }
 
     /// Returns `true` if the gate held its output low (did not falsely
@@ -401,7 +442,10 @@ pub fn input_noise_margin(tech: &Technology, params: &DynamicOrParams) -> Result
 /// used for the deterministic corner of Figure 9.
 pub fn with_worst_case_vth(params: &DynamicOrParams, tech: &Technology) -> DynamicOrParams {
     let shift = -3.0 * params.sigma_vth_frac * tech.nmos.vth;
-    DynamicOrParams { pdn_vth_shifts: vec![shift; params.fan_in], ..params.clone() }
+    DynamicOrParams {
+        pdn_vth_shifts: vec![shift; params.fan_in],
+        ..params.clone()
+    }
 }
 
 #[cfg(test)]
@@ -417,7 +461,11 @@ mod tests {
         let t = tech();
         let params = DynamicOrParams::new(8, 1, PdnStyle::Cmos);
         let fig = DynamicOrGate::build(&t, &params).characterize(&t).unwrap();
-        assert!(fig.delay > 1e-12 && fig.delay < 1e-9, "delay = {:.3e}", fig.delay);
+        assert!(
+            fig.delay > 1e-12 && fig.delay < 1e-9,
+            "delay = {:.3e}",
+            fig.delay
+        );
         assert!(fig.switching_power > 0.0);
         assert!(fig.leakage_power > 0.0);
     }
@@ -427,7 +475,11 @@ mod tests {
         let t = tech();
         let params = DynamicOrParams::new(8, 1, PdnStyle::HybridNems);
         let fig = DynamicOrGate::build(&t, &params).characterize(&t).unwrap();
-        assert!(fig.delay > 1e-12 && fig.delay < 1e-9, "delay = {:.3e}", fig.delay);
+        assert!(
+            fig.delay > 1e-12 && fig.delay < 1e-9,
+            "delay = {:.3e}",
+            fig.delay
+        );
     }
 
     #[test]
@@ -436,7 +488,10 @@ mod tests {
         let wk_cmos = keeper_width_for(&t, PdnStyle::Cmos, 8, 1.0, 2.0, 0.10);
         let wk_hybrid = keeper_width_for(&t, PdnStyle::HybridNems, 8, 1.0, 2.0, 0.10);
         assert_eq!(wk_hybrid, t.w_min);
-        assert!(wk_cmos > 2.0 * wk_hybrid, "CMOS keeper {wk_cmos:.3} vs hybrid {wk_hybrid:.3}");
+        assert!(
+            wk_cmos > 2.0 * wk_hybrid,
+            "CMOS keeper {wk_cmos:.3} vs hybrid {wk_hybrid:.3}"
+        );
     }
 
     #[test]
@@ -504,7 +559,10 @@ mod tests {
         let worst = with_worst_case_vth(&nominal, &t);
         let nm_nom = input_noise_margin(&t, &nominal).unwrap();
         let nm_worst = input_noise_margin(&t, &worst).unwrap();
-        assert!(nm_worst < nm_nom, "worst {nm_worst:.3} vs nominal {nm_nom:.3}");
+        assert!(
+            nm_worst < nm_nom,
+            "worst {nm_worst:.3} vs nominal {nm_nom:.3}"
+        );
     }
 
     #[test]

@@ -60,18 +60,32 @@ pub fn add_nor2(
 ///
 /// Panics if `stages` is even or below 3 (an even ring latches).
 pub fn ring_oscillator_frequency(tech: &Technology, stages: usize) -> Result<FrequencyMeasure> {
-    assert!(stages >= 3 && stages % 2 == 1, "ring needs an odd stage count >= 3");
+    assert!(
+        stages >= 3 && stages % 2 == 1,
+        "ring needs an odd stage count >= 3"
+    );
     let mut ckt = Circuit::new();
     let vdd = ckt.node("vdd");
     ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
     let nodes: Vec<_> = (0..stages).map(|k| ckt.node(&format!("n{k}"))).collect();
     for k in 0..stages {
-        tech.add_inverter(&mut ckt, &format!("inv{k}"), vdd, nodes[k], nodes[(k + 1) % stages], 2.0, 1.0);
+        tech.add_inverter(
+            &mut ckt,
+            &format!("inv{k}"),
+            vdd,
+            nodes[k],
+            nodes[(k + 1) % stages],
+            2.0,
+            1.0,
+        );
     }
     // Kick the ring off its metastable point.
     ckt.set_ic(nodes[0], tech.vdd);
     ckt.set_ic(nodes[1], 0.0);
-    let opts = TranOptions { dt_max: Some(5e-12), ..Default::default() };
+    let opts = TranOptions {
+        dt_max: Some(5e-12),
+        ..Default::default()
+    };
     let res = transient(&mut ckt, 4e-9, &opts)?;
     // Skip the first nanosecond of startup.
     measure_frequency(&res.voltage(nodes[0]), tech.vdd / 2.0, 1e-9)
@@ -83,7 +97,9 @@ mod tests {
     use nemscmos_devices::corners::Corner;
     use nemscmos_spice::analysis::op::op;
 
-    fn truth_table(build: impl Fn(&Technology, &mut Circuit, NodeId, NodeId, NodeId, NodeId)) -> Vec<(u8, u8, bool)> {
+    fn truth_table(
+        build: impl Fn(&Technology, &mut Circuit, NodeId, NodeId, NodeId, NodeId),
+    ) -> Vec<(u8, u8, bool)> {
         let tech = Technology::n90();
         let mut rows = Vec::new();
         for (va, vb) in [(0u8, 0u8), (0, 1), (1, 0), (1, 1)] {
@@ -122,15 +138,26 @@ mod tests {
     fn ring_oscillator_runs_in_the_gigahertz() {
         let tech = Technology::n90();
         let m = ring_oscillator_frequency(&tech, 5).unwrap();
-        assert!(m.frequency > 1e9 && m.frequency < 100e9, "f = {:.3e}", m.frequency);
+        assert!(
+            m.frequency > 1e9 && m.frequency < 100e9,
+            "f = {:.3e}",
+            m.frequency
+        );
         assert!(m.cycles >= 3);
-        assert!(m.period_jitter < 0.1 * m.period, "steady-state ring should be clean");
+        assert!(
+            m.period_jitter < 0.1 * m.period,
+            "steady-state ring should be clean"
+        );
     }
 
     #[test]
     fn corner_ordering_shows_in_ring_frequency() {
         let tech = Technology::n90();
-        let f = |c: Corner| ring_oscillator_frequency(&tech.at_corner(c), 5).unwrap().frequency;
+        let f = |c: Corner| {
+            ring_oscillator_frequency(&tech.at_corner(c), 5)
+                .unwrap()
+                .frequency
+        };
         let tt = f(Corner::Tt);
         let ff = f(Corner::Ff);
         let ss = f(Corner::Ss);

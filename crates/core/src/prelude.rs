@@ -13,9 +13,7 @@
 //! ```
 
 pub use crate::factory::StandardFactory;
-pub use crate::gates::{
-    DynamicOrGate, DynamicOrParams, KeeperStyle, PdnStyle,
-};
+pub use crate::gates::{DynamicOrGate, DynamicOrParams, KeeperStyle, PdnStyle};
 pub use crate::sleep::{GatedBlock, SleepStyle};
 pub use crate::sram::{SramCell, SramKind, SramParams, ZeroSide};
 pub use crate::tech::Technology;

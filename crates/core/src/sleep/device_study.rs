@@ -63,7 +63,11 @@ const REFERENCE_WIDTH_UM: f64 = 5.0 * 0.09;
 /// # Panics
 ///
 /// Panics if `width_um` is not strictly positive.
-pub fn sleep_device_figures(tech: &Technology, style: SleepStyle, width_um: f64) -> SleepDeviceFigures {
+pub fn sleep_device_figures(
+    tech: &Technology,
+    style: SleepStyle,
+    width_um: f64,
+) -> SleepDeviceFigures {
     assert!(width_um > 0.0, "width must be positive");
     let vds = 0.05 * tech.vdd;
     let (i_on, i_off) = match style {
@@ -82,7 +86,10 @@ pub fn sleep_device_figures(tech: &Technology, style: SleepStyle, width_um: f64)
             (on.abs(), tech.nems_n.g_off_per_um * width_um * tech.vdd)
         }
         SleepStyle::NemsHeader => {
-            let (on, ..) = tech.nems_p.contact.ids(0.0, tech.vdd - vds, tech.vdd, width_um);
+            let (on, ..) = tech
+                .nems_p
+                .contact
+                .ids(0.0, tech.vdd - vds, tech.vdd, width_um);
             (on.abs(), tech.nems_p.g_off_per_um * width_um * tech.vdd)
         }
     };

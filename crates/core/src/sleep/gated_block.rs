@@ -50,10 +50,19 @@ impl GatedBlock {
     /// A coarse-grain footer block — the common microprocessor
     /// configuration.
     pub fn coarse_footer(stages: usize, nems: bool, sleep_width: f64) -> GatedBlock {
-        assert!(stages >= 2 && stages.is_multiple_of(2), "need an even number of stages");
+        assert!(
+            stages >= 2 && stages.is_multiple_of(2),
+            "need an even number of stages"
+        );
         assert!(sleep_width > 0.0, "sleep width must be positive");
-        GatedBlock { stages, rail: RailStyle::Footer, grain: GrainStyle::Fine, nems, sleep_width }
-            .with_grain(GrainStyle::Coarse)
+        GatedBlock {
+            stages,
+            rail: RailStyle::Footer,
+            grain: GrainStyle::Fine,
+            nems,
+            sleep_width,
+        }
+        .with_grain(GrainStyle::Coarse)
     }
 
     /// Returns a copy with a different granularity.
@@ -133,20 +142,35 @@ fn build_block(tech: &Technology, block: &GatedBlock, gated: bool, sleeping: boo
     };
     let per_device_width = block.sleep_width / num_devices as f64;
 
-    let add_sleep_device = |ckt: &mut Circuit, name: &str, rail_node: NodeId| match (block.rail, block.nems) {
-        (RailStyle::Footer, false) => {
-            tech.add_nmos(ckt, name, rail_node, sleep_ctl, Circuit::GROUND, per_device_width);
-        }
-        (RailStyle::Footer, true) => {
-            tech.add_nems_n(ckt, name, rail_node, sleep_ctl, Circuit::GROUND, per_device_width);
-        }
-        (RailStyle::Header, false) => {
-            tech.add_pmos(ckt, name, rail_node, sleep_ctl, vdd, per_device_width);
-        }
-        (RailStyle::Header, true) => {
-            tech.add_nems_p(ckt, name, rail_node, sleep_ctl, vdd, per_device_width);
-        }
-    };
+    let add_sleep_device =
+        |ckt: &mut Circuit, name: &str, rail_node: NodeId| match (block.rail, block.nems) {
+            (RailStyle::Footer, false) => {
+                tech.add_nmos(
+                    ckt,
+                    name,
+                    rail_node,
+                    sleep_ctl,
+                    Circuit::GROUND,
+                    per_device_width,
+                );
+            }
+            (RailStyle::Footer, true) => {
+                tech.add_nems_n(
+                    ckt,
+                    name,
+                    rail_node,
+                    sleep_ctl,
+                    Circuit::GROUND,
+                    per_device_width,
+                );
+            }
+            (RailStyle::Header, false) => {
+                tech.add_pmos(ckt, name, rail_node, sleep_ctl, vdd, per_device_width);
+            }
+            (RailStyle::Header, true) => {
+                tech.add_nems_p(ckt, name, rail_node, sleep_ctl, vdd, per_device_width);
+            }
+        };
 
     if gated {
         match block.grain {
@@ -178,13 +202,27 @@ fn build_block(tech: &Technology, block: &GatedBlock, gated: bool, sleeping: boo
             }
         };
         tech.add_pmos(&mut ckt, &format!("inv{k}.p"), out, prev, pos_rail, 2.0);
-        tech.add_mos(&mut ckt, &format!("inv{k}.n"), &tech.nmos.clone(), out, prev, neg_rail, 1.0);
+        tech.add_mos(
+            &mut ckt,
+            &format!("inv{k}.n"),
+            &tech.nmos.clone(),
+            out,
+            prev,
+            neg_rail,
+            1.0,
+        );
         ckt.capacitor(out, Circuit::GROUND, 1e-15);
         prev = out;
         out_node = out;
     }
 
-    BuiltBlock { circuit: ckt, vdd_src, in_node: vin, out_node, t_in_rise }
+    BuiltBlock {
+        circuit: ckt,
+        vdd_src,
+        in_node: vin,
+        out_node,
+        t_in_rise,
+    }
 }
 
 /// Characterizes a gated block: active-mode delay versus the ungated
@@ -195,14 +233,24 @@ fn build_block(tech: &Technology, block: &GatedBlock, gated: bool, sleeping: boo
 /// Propagates simulation failures and missing output transitions (a
 /// starved virtual rail that cannot propagate the edge).
 pub fn characterize_block(tech: &Technology, block: &GatedBlock) -> Result<GatedBlockFigures> {
-    let opts = TranOptions { dt_max: Some(10e-12), ..Default::default() };
+    let opts = TranOptions {
+        dt_max: Some(10e-12),
+        ..Default::default()
+    };
     let t_stop = 5e-9;
 
     let measure_delay = |built: &mut BuiltBlock| -> Result<f64> {
         let res = transient(&mut built.circuit, t_stop, &opts)?;
         let vin = res.voltage(built.in_node);
         let vout = res.voltage(built.out_node);
-        propagation_delay(&vin, Edge::Rising, &vout, Edge::Rising, tech.vdd / 2.0, built.t_in_rise - 0.1e-9)
+        propagation_delay(
+            &vin,
+            Edge::Rising,
+            &vout,
+            Edge::Rising,
+            tech.vdd / 2.0,
+            built.t_in_rise - 0.1e-9,
+        )
     };
 
     let mut gated_active = build_block(tech, block, true, false);
@@ -217,7 +265,12 @@ pub fn characterize_block(tech: &Technology, block: &GatedBlock) -> Result<Gated
     let op_res = op(&mut ungated_idle.circuit)?;
     let ungated_leakage = leakage_power(&op_res, ungated_idle.vdd_src, tech.vdd);
 
-    Ok(GatedBlockFigures { active_delay, ungated_delay, sleep_leakage, ungated_leakage })
+    Ok(GatedBlockFigures {
+        active_delay,
+        ungated_delay,
+        sleep_leakage,
+        ungated_leakage,
+    })
 }
 
 #[cfg(test)]
@@ -233,9 +286,17 @@ mod tests {
         let t = tech();
         let block = GatedBlock::coarse_footer(4, false, 2.0);
         let fig = characterize_block(&t, &block).unwrap();
-        assert!(fig.delay_penalty() >= 0.0, "penalty = {}", fig.delay_penalty());
+        assert!(
+            fig.delay_penalty() >= 0.0,
+            "penalty = {}",
+            fig.delay_penalty()
+        );
         assert!(fig.delay_penalty() < 0.5);
-        assert!(fig.leakage_reduction() > 2.0, "reduction = {:.1}", fig.leakage_reduction());
+        assert!(
+            fig.leakage_reduction() > 2.0,
+            "reduction = {:.1}",
+            fig.leakage_reduction()
+        );
     }
 
     #[test]

@@ -49,7 +49,11 @@ impl ArraySequence {
         let data = (0..rows)
             .map(|r| (0..cols).map(|c| (r + c) % 2 == 0).collect())
             .collect();
-        ArraySequence { data, read_row: 0, op_window: 2e-9 }
+        ArraySequence {
+            data,
+            read_row: 0,
+            op_window: 2e-9,
+        }
     }
 
     fn rows(&self) -> usize {
@@ -101,7 +105,11 @@ impl SramArray {
             if r == seq.read_row {
                 pulse(rows as f64 * w, &mut pts);
             }
-            ckt.vsource(wl, Circuit::GROUND, Waveform::pwl(pts).expect("monotone WL points"));
+            ckt.vsource(
+                wl,
+                Circuit::GROUND,
+                Waveform::pwl(pts).expect("monotone WL points"),
+            );
             word_lines.push(wl);
         }
 
@@ -114,7 +122,11 @@ impl SramArray {
             let mut pts_blb = vec![(0.0, tech.vdd)];
             for (r, row) in seq.data.iter().enumerate() {
                 let t0 = r as f64 * w;
-                let (vbl, vblb) = if row[c] { (tech.vdd, 0.0) } else { (0.0, tech.vdd) };
+                let (vbl, vblb) = if row[c] {
+                    (tech.vdd, 0.0)
+                } else {
+                    (0.0, tech.vdd)
+                };
                 for (pts, v) in [(&mut pts_bl, vbl), (&mut pts_blb, vblb)] {
                     pts.push((t0 + 0.05 * w, tech.vdd));
                     pts.push((t0 + 0.05 * w + EDGE, v));
@@ -122,8 +134,16 @@ impl SramArray {
                     pts.push((t0 + 0.9 * w + EDGE, tech.vdd));
                 }
             }
-            ckt.vsource(bl, Circuit::GROUND, Waveform::pwl(pts_bl).expect("monotone BL points"));
-            ckt.vsource(blb, Circuit::GROUND, Waveform::pwl(pts_blb).expect("monotone BLB points"));
+            ckt.vsource(
+                bl,
+                Circuit::GROUND,
+                Waveform::pwl(pts_bl).expect("monotone BL points"),
+            );
+            ckt.vsource(
+                blb,
+                Circuit::GROUND,
+                Waveform::pwl(pts_blb).expect("monotone BLB points"),
+            );
             bit_lines.push((bl, blb));
         }
 
@@ -144,7 +164,13 @@ impl SramArray {
             }
             cells.push(row_cells);
         }
-        SramArray { circuit: ckt, word_lines, bit_lines, cells, params: params.clone() }
+        SramArray {
+            circuit: ckt,
+            word_lines,
+            bit_lines,
+            cells,
+            params: params.clone(),
+        }
     }
 
     /// Runs the sequence and verifies every cell holds its written datum
@@ -157,7 +183,10 @@ impl SramArray {
     /// final state disagrees with the written data, and propagates
     /// simulation failures.
     pub fn run_and_verify(&mut self, tech: &Technology, seq: &ArraySequence) -> Result<TranResult> {
-        let opts = TranOptions { dt_max: Some(20e-12), ..Default::default() };
+        let opts = TranOptions {
+            dt_max: Some(20e-12),
+            ..Default::default()
+        };
         let res = transient(&mut self.circuit, seq.duration(), &opts)?;
         for (r, row) in seq.data.iter().enumerate() {
             for (c, &bit) in row.iter().enumerate() {
@@ -203,7 +232,9 @@ mod tests {
         let params = SramParams::new(SramKind::Hybrid);
         let seq = ArraySequence::checkerboard(2, 2);
         let mut array = SramArray::build(&tech, &params, &seq);
-        array.run_and_verify(&tech, &seq).expect("hybrid array sequence");
+        array
+            .run_and_verify(&tech, &seq)
+            .expect("hybrid array sequence");
     }
 
     #[test]
@@ -218,7 +249,10 @@ mod tests {
         };
         let mut a1 = SramArray::build(&tech, &params, &seq);
         a1.run_and_verify(&tech, &seq).expect("write ones");
-        let seq0 = ArraySequence { data: vec![vec![false, false]], ..seq };
+        let seq0 = ArraySequence {
+            data: vec![vec![false, false]],
+            ..seq
+        };
         let mut a0 = SramArray::build(&tech, &params, &seq0);
         a0.run_and_verify(&tech, &seq0).expect("write zeros");
     }
@@ -228,7 +262,11 @@ mod tests {
     fn bad_read_row_rejected() {
         let tech = Technology::n90();
         let params = SramParams::new(SramKind::Conventional);
-        let seq = ArraySequence { data: vec![vec![true]], read_row: 3, op_window: 2e-9 };
+        let seq = ArraySequence {
+            data: vec![vec![true]],
+            read_row: 3,
+            op_window: 2e-9,
+        };
         let _ = SramArray::build(&tech, &params, &seq);
     }
 }

@@ -31,7 +31,12 @@ impl SramKind {
     /// The four architectures of Figure 13 in the paper's presentation
     /// order (the §5.3 pull-up-only variant is extra and not included).
     pub fn all() -> [SramKind; 4] {
-        [SramKind::Conventional, SramKind::DualVt, SramKind::Asymmetric, SramKind::Hybrid]
+        [
+            SramKind::Conventional,
+            SramKind::DualVt,
+            SramKind::Asymmetric,
+            SramKind::Hybrid,
+        ]
     }
 
     /// The label used in the paper's plots.
@@ -105,7 +110,10 @@ impl SramParams {
     /// Returns a copy with per-device mismatch shifts
     /// (`[PL, NL, PR, NR, AL, AR]`, volts).
     pub fn with_vth_shifts(&self, shifts: [f64; 6]) -> SramParams {
-        SramParams { vth_shifts: shifts, ..self.clone() }
+        SramParams {
+            vth_shifts: shifts,
+            ..self.clone()
+        }
     }
 }
 
@@ -304,13 +312,21 @@ impl SramCell {
         let prech = ckt.node("prech");
         let edge = 30e-12;
         let vdd_src = ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
-        let wl_src = ckt.vsource(wl, Circuit::GROUND, Waveform::step(0.0, tech.vdd, t_wl_rise, edge));
+        let wl_src = ckt.vsource(
+            wl,
+            Circuit::GROUND,
+            Waveform::step(0.0, tech.vdd, t_wl_rise, edge),
+        );
         // Bitline drivers exist only as precharge PMOS gates; the lines
         // themselves float after precharge. A pair of stiff 0 V sources in
         // series with nothing would be artificial — instead the bit lines
         // get their caps and leak loads here, and `bl_src`/`blb_src`
         // probe the *precharge* rail so standby-style probing still works.
-        ckt.vsource(prech, Circuit::GROUND, Waveform::step(0.0, tech.vdd, t_prech_off, edge));
+        ckt.vsource(
+            prech,
+            Circuit::GROUND,
+            Waveform::step(0.0, tech.vdd, t_prech_off, edge),
+        );
         let bl_rail = ckt.node("bl_rail");
         let bl_src = ckt.vsource(bl_rail, Circuit::GROUND, Waveform::dc(tech.vdd));
         let blb_rail = ckt.node("blb_rail");
@@ -369,31 +385,87 @@ impl SramCell {
         };
         let up = params.hybrid_upsize;
         // Left inverter: input QR, output QL.
-        let add_nems = |ckt: &mut Circuit, name: &str, card: nemscmos_devices::nemfet::NemsModel, d: NodeId, g: NodeId, s: NodeId, w: f64| {
+        let add_nems = |ckt: &mut Circuit,
+                        name: &str,
+                        card: nemscmos_devices::nemfet::NemsModel,
+                        d: NodeId,
+                        g: NodeId,
+                        s: NodeId,
+                        w: f64| {
             ckt.capacitor(g, Circuit::GROUND, card.c_gate_per_um * w);
             ckt.capacitor(d, Circuit::GROUND, 1.0e-15 * w);
-            ckt.add_device(nemscmos_devices::nemfet::Nemfet::new(name, card, d, g, s, w));
+            ckt.add_device(nemscmos_devices::nemfet::Nemfet::new(
+                name, card, d, g, s, w,
+            ));
         };
         if dev.pl_nems {
-            add_nems(ckt, "xpl", nems_p_for(params.vth_shifts[0]), ql, qr, vdd, params.pu_width * up);
+            add_nems(
+                ckt,
+                "xpl",
+                nems_p_for(params.vth_shifts[0]),
+                ql,
+                qr,
+                vdd,
+                params.pu_width * up,
+            );
         } else {
             tech.add_mos(ckt, "mpl", &dev.pl, ql, qr, vdd, params.pu_width);
         }
         if dev.nl_nems {
-            add_nems(ckt, "xnl", nems_n_for(params.vth_shifts[1]), ql, qr, Circuit::GROUND, params.pd_width * up);
+            add_nems(
+                ckt,
+                "xnl",
+                nems_n_for(params.vth_shifts[1]),
+                ql,
+                qr,
+                Circuit::GROUND,
+                params.pd_width * up,
+            );
         } else {
-            tech.add_mos(ckt, "mnl", &dev.nl, ql, qr, Circuit::GROUND, params.pd_width);
+            tech.add_mos(
+                ckt,
+                "mnl",
+                &dev.nl,
+                ql,
+                qr,
+                Circuit::GROUND,
+                params.pd_width,
+            );
         }
         // Right inverter: input QL, output QR.
         if dev.pr_nems {
-            add_nems(ckt, "xpr", nems_p_for(params.vth_shifts[2]), qr, ql, vdd, params.pu_width * up);
+            add_nems(
+                ckt,
+                "xpr",
+                nems_p_for(params.vth_shifts[2]),
+                qr,
+                ql,
+                vdd,
+                params.pu_width * up,
+            );
         } else {
             tech.add_mos(ckt, "mpr", &dev.pr, qr, ql, vdd, params.pu_width);
         }
         if dev.nr_nems {
-            add_nems(ckt, "xnr", nems_n_for(params.vth_shifts[3]), qr, ql, Circuit::GROUND, params.pd_width * up);
+            add_nems(
+                ckt,
+                "xnr",
+                nems_n_for(params.vth_shifts[3]),
+                qr,
+                ql,
+                Circuit::GROUND,
+                params.pd_width * up,
+            );
         } else {
-            tech.add_mos(ckt, "mnr", &dev.nr, qr, ql, Circuit::GROUND, params.pd_width);
+            tech.add_mos(
+                ckt,
+                "mnr",
+                &dev.nr,
+                qr,
+                ql,
+                Circuit::GROUND,
+                params.pd_width,
+            );
         }
         // Access transistors.
         tech.add_mos(ckt, "mal", &dev.al, bl, wl, ql, params.acc_width);
@@ -409,8 +481,12 @@ impl SramCell {
             ZeroSide::Left => (0.0, tech.vdd),
             ZeroSide::Right => (tech.vdd, 0.0),
         };
-        let mut seeds =
-            vec![(self.ql, vql), (self.qr, vqr), (self.bl, tech.vdd), (self.blb, tech.vdd)];
+        let mut seeds = vec![
+            (self.ql, vql),
+            (self.qr, vqr),
+            (self.bl, tech.vdd),
+            (self.blb, tech.vdd),
+        ];
         if let Some(vdd) = self.circuit.find_node("vdd") {
             seeds.push((vdd, tech.vdd));
         }
@@ -458,10 +534,16 @@ mod tests {
                 let (vql, vqr) = (res.voltage(cell.ql), res.voltage(cell.qr));
                 match zero {
                     ZeroSide::Left => {
-                        assert!(vql < 0.1 && vqr > 1.1, "{kind:?}/{zero:?}: ql={vql:.3} qr={vqr:.3}");
+                        assert!(
+                            vql < 0.1 && vqr > 1.1,
+                            "{kind:?}/{zero:?}: ql={vql:.3} qr={vqr:.3}"
+                        );
                     }
                     ZeroSide::Right => {
-                        assert!(vqr < 0.1 && vql > 1.1, "{kind:?}/{zero:?}: ql={vql:.3} qr={vqr:.3}");
+                        assert!(
+                            vqr < 0.1 && vql > 1.1,
+                            "{kind:?}/{zero:?}: ql={vql:.3} qr={vqr:.3}"
+                        );
                     }
                 }
             }

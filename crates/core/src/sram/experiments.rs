@@ -9,9 +9,9 @@ use nemscmos_spice::analysis::tran::{transient, TranOptions};
 use nemscmos_spice::circuit::Circuit;
 use nemscmos_spice::waveform::Waveform;
 
-use super::cell::{SramCell, SramParams, ZeroSide};
 #[cfg(test)]
 use super::cell::SramKind;
+use super::cell::{SramCell, SramParams, ZeroSide};
 use crate::tech::Technology;
 
 /// Whether the butterfly is traced in hold (word line low) or read
@@ -73,7 +73,11 @@ pub fn butterfly_curves(
     let vtc_left = half_cell_vtc(tech, params, mode, ZeroSide::Left)?;
     let vtc_right = half_cell_vtc(tech, params, mode, ZeroSide::Right)?;
     let snm = butterfly_snm(&vtc_left, &vtc_right, tech.vdd)?;
-    Ok(ButterflyData { vtc_left, vtc_right, snm })
+    Ok(ButterflyData {
+        vtc_left,
+        vtc_right,
+        snm,
+    })
 }
 
 /// VTC of one half cell. `side` selects which inverter: `Left` = input
@@ -92,7 +96,13 @@ fn half_cell_vtc(
         ReadMode::Hold => Waveform::dc(0.0),
         ReadMode::Read => Waveform::dc(tech.vdd),
     };
-    let mut cell = SramCell::build(tech, params, wl, Waveform::dc(tech.vdd), Waveform::dc(tech.vdd));
+    let mut cell = SramCell::build(
+        tech,
+        params,
+        wl,
+        Waveform::dc(tech.vdd),
+        Waveform::dc(tech.vdd),
+    );
     // Rebuilding with a sweep source attached to the input node requires
     // the node before topology freeze — recreate the cell with an extra
     // source driving the input storage node.
@@ -100,9 +110,13 @@ fn half_cell_vtc(
         ZeroSide::Left => (cell.qr, cell.ql),
         ZeroSide::Right => (cell.ql, cell.qr),
     };
-    let sweep_src = cell.circuit.vsource(input_node, Circuit::GROUND, Waveform::dc(0.0));
+    let sweep_src = cell
+        .circuit
+        .vsource(input_node, Circuit::GROUND, Waveform::dc(0.0));
     let steps = 121;
-    let values: Vec<f64> = (0..steps).map(|k| tech.vdd * k as f64 / (steps - 1) as f64).collect();
+    let values: Vec<f64> = (0..steps)
+        .map(|k| tech.vdd * k as f64 / (steps - 1) as f64)
+        .collect();
     let results = dc_sweep(&mut cell.circuit, sweep_src, &values, &OpOptions::default())?;
     let pts: Vec<(f64, f64)> = values
         .iter()
@@ -144,7 +158,10 @@ pub fn read_latency(tech: &Technology, params: &SramParams, zero: ZeroSide) -> R
     let t_stop = 8e-9;
     let mut cell = SramCell::build_read_column(tech, params, t_prech_off, t_wl_rise);
     cell.set_state_ics(tech, zero);
-    let opts = TranOptions { dt_max: Some(10e-12), ..Default::default() };
+    let opts = TranOptions {
+        dt_max: Some(10e-12),
+        ..Default::default()
+    };
     let res = transient(&mut cell.circuit, t_stop, &opts)?;
     let (discharging, reference) = match zero {
         ZeroSide::Left => (cell.bl, cell.blb),
@@ -160,12 +177,12 @@ pub fn read_latency(tech: &Technology, params: &SramParams, zero: ZeroSide) -> R
         .map(|(&t, &vd)| v_ref.eval(t) - vd)
         .collect();
     let differential = nemscmos_spice::result::Trace::new(v_dis.times().to_vec(), values);
-    let t_sense = differential.crossing_rising(sense_margin, t_wl_rise).ok_or(
-        AnalysisError::MissingCrossing {
+    let t_sense = differential
+        .crossing_rising(sense_margin, t_wl_rise)
+        .ok_or(AnalysisError::MissingCrossing {
             what: "bit-line differential".into(),
             level: sense_margin,
-        },
-    )?;
+        })?;
     Ok(t_sense - t_wl_rise)
 }
 
@@ -189,12 +206,18 @@ pub fn write_latency(tech: &Technology, params: &SramParams) -> Result<f64> {
         Waveform::dc(tech.vdd), // BLB high
     );
     cell.set_state_ics(tech, ZeroSide::Right); // starts storing QL = 1
-    let opts = TranOptions { dt_max: Some(10e-12), ..Default::default() };
+    let opts = TranOptions {
+        dt_max: Some(10e-12),
+        ..Default::default()
+    };
     let res = transient(&mut cell.circuit, 6e-9, &opts)?;
     let vql = res.voltage(cell.ql);
-    let t_flip = vql.crossing_falling(tech.vdd / 2.0, t_wl_rise).ok_or(
-        AnalysisError::MissingCrossing { what: "write flip (QL)".into(), level: tech.vdd / 2.0 },
-    )?;
+    let t_flip =
+        vql.crossing_falling(tech.vdd / 2.0, t_wl_rise)
+            .ok_or(AnalysisError::MissingCrossing {
+                what: "write flip (QL)".into(),
+                level: tech.vdd / 2.0,
+            })?;
     Ok(t_flip - t_wl_rise)
 }
 
@@ -234,7 +257,10 @@ pub fn write_trip_voltage(tech: &Technology, params: &SramParams) -> Result<f64>
             return Ok(*bl);
         }
     }
-    Err(AnalysisError::MissingCrossing { what: "write trip (QL)".into(), level: tech.vdd / 2.0 })
+    Err(AnalysisError::MissingCrossing {
+        what: "write trip (QL)".into(),
+        level: tech.vdd / 2.0,
+    })
 }
 
 /// Data-retention voltage: the lowest supply at which the cell is still
@@ -304,7 +330,10 @@ mod margin_tests {
         assert!(conv > 1e-12 && conv < 1e-9, "conv write latency {conv:.3e}");
         // The weak NEMS pull-up fights the write less: hybrid writes are
         // no slower than conventional (typically faster).
-        assert!(hybrid < 1.5 * conv, "hybrid {hybrid:.3e} vs conv {conv:.3e}");
+        assert!(
+            hybrid < 1.5 * conv,
+            "hybrid {hybrid:.3e} vs conv {conv:.3e}"
+        );
     }
 
     #[test]
@@ -322,7 +351,8 @@ mod margin_tests {
     #[test]
     fn hybrid_drv_is_limited_by_pull_in() {
         let t = Technology::n90();
-        let conv = data_retention_voltage(&t, &SramParams::new(SramKind::Conventional), 0.05).unwrap();
+        let conv =
+            data_retention_voltage(&t, &SramParams::new(SramKind::Conventional), 0.05).unwrap();
         let hybrid = data_retention_voltage(&t, &SramParams::new(SramKind::Hybrid), 0.05).unwrap();
         assert!(conv < 0.7, "CMOS cell retains well below vdd: {conv:.3}");
         assert!(
@@ -354,9 +384,16 @@ mod tests {
         let conv = leaks[&SramKind::Conventional];
         let hybrid = leaks[&SramKind::Hybrid];
         assert!(hybrid < conv, "hybrid {hybrid:.3e} vs conv {conv:.3e}");
-        assert!(conv / hybrid > 3.0, "expect several-fold reduction, got {:.2}", conv / hybrid);
+        assert!(
+            conv / hybrid > 3.0,
+            "expect several-fold reduction, got {:.2}",
+            conv / hybrid
+        );
         for kind in [SramKind::DualVt, SramKind::Asymmetric] {
-            assert!(leaks[&kind] < conv, "{kind:?} should leak less than conventional");
+            assert!(
+                leaks[&kind] < conv,
+                "{kind:?} should leak less than conventional"
+            );
         }
     }
 
@@ -366,7 +403,10 @@ mod tests {
         let params = SramParams::new(SramKind::Asymmetric);
         let favored = standby_leakage(&t, &params, ZeroSide::Left).unwrap();
         let unfavored = standby_leakage(&t, &params, ZeroSide::Right).unwrap();
-        assert!(favored < unfavored, "favored {favored:.3e} vs unfavored {unfavored:.3e}");
+        assert!(
+            favored < unfavored,
+            "favored {favored:.3e} vs unfavored {unfavored:.3e}"
+        );
     }
 
     #[test]
@@ -376,7 +416,10 @@ mod tests {
         let read = butterfly_curves(&t, &params, ReadMode::Read).unwrap();
         let hold = butterfly_curves(&t, &params, ReadMode::Hold).unwrap();
         assert!(read.snm.snm() > 0.05, "read SNM = {}", read.snm.snm());
-        assert!(read.snm.snm() < hold.snm.snm(), "read disturb must shrink the SNM");
+        assert!(
+            read.snm.snm() < hold.snm.snm(),
+            "read disturb must shrink the SNM"
+        );
     }
 
     #[test]
@@ -391,17 +434,32 @@ mod tests {
             .snm
             .snm();
         assert!(hybrid < conv, "hybrid {hybrid:.3} vs conv {conv:.3}");
-        assert!(hybrid > 0.4 * conv, "hybrid SNM should remain usable, got {hybrid:.3}");
+        assert!(
+            hybrid > 0.4 * conv,
+            "hybrid SNM should remain usable, got {hybrid:.3}"
+        );
     }
 
     #[test]
     fn read_latency_ordering_matches_paper() {
         let t = tech();
-        let conv = read_latency(&t, &SramParams::new(SramKind::Conventional), ZeroSide::Right).unwrap();
+        let conv = read_latency(
+            &t,
+            &SramParams::new(SramKind::Conventional),
+            ZeroSide::Right,
+        )
+        .unwrap();
         let hybrid = read_latency(&t, &SramParams::new(SramKind::Hybrid), ZeroSide::Right).unwrap();
         assert!(conv > 0.0);
-        assert!(hybrid > conv, "hybrid {hybrid:.3e} must be slower than conv {conv:.3e}");
-        assert!(hybrid < 2.0 * conv, "but not catastrophically ({:.2}x)", hybrid / conv);
+        assert!(
+            hybrid > conv,
+            "hybrid {hybrid:.3e} must be slower than conv {conv:.3e}"
+        );
+        assert!(
+            hybrid < 2.0 * conv,
+            "but not catastrophically ({:.2}x)",
+            hybrid / conv
+        );
     }
 
     #[test]
@@ -410,7 +468,10 @@ mod tests {
         let params = SramParams::new(SramKind::Asymmetric);
         let left = read_latency(&t, &params, ZeroSide::Left).unwrap();
         let right = read_latency(&t, &params, ZeroSide::Right).unwrap();
-        assert!((left - right).abs() / right > 0.02, "latencies {left:.3e} vs {right:.3e}");
+        assert!(
+            (left - right).abs() / right > 0.02,
+            "latencies {left:.3e} vs {right:.3e}"
+        );
     }
 }
 

@@ -115,26 +115,58 @@ impl Technology {
     }
 
     /// Adds a low-V_t NMOS (with parasitics).
-    pub fn add_nmos(&self, ckt: &mut Circuit, name: &str, d: NodeId, g: NodeId, s: NodeId, w: f64) -> DeviceId {
+    pub fn add_nmos(
+        &self,
+        ckt: &mut Circuit,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        w: f64,
+    ) -> DeviceId {
         let model = self.nmos.clone();
         self.add_mos(ckt, name, &model, d, g, s, w)
     }
 
     /// Adds a low-V_t PMOS (with parasitics).
-    pub fn add_pmos(&self, ckt: &mut Circuit, name: &str, d: NodeId, g: NodeId, s: NodeId, w: f64) -> DeviceId {
+    pub fn add_pmos(
+        &self,
+        ckt: &mut Circuit,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        w: f64,
+    ) -> DeviceId {
         let model = self.pmos.clone();
         self.add_mos(ckt, name, &model, d, g, s, w)
     }
 
     /// Adds an N-type NEMS switch with gate and drain-junction capacitance.
-    pub fn add_nems_n(&self, ckt: &mut Circuit, name: &str, d: NodeId, g: NodeId, s: NodeId, w: f64) -> DeviceId {
+    pub fn add_nems_n(
+        &self,
+        ckt: &mut Circuit,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        w: f64,
+    ) -> DeviceId {
         ckt.capacitor(g, Circuit::GROUND, self.nems_n.c_gate_per_um * w);
         ckt.capacitor(d, Circuit::GROUND, 1.0e-15 * w);
         ckt.add_device(Nemfet::new(name, self.nems_n.clone(), d, g, s, w))
     }
 
     /// Adds a P-type NEMS switch with gate and drain-junction capacitance.
-    pub fn add_nems_p(&self, ckt: &mut Circuit, name: &str, d: NodeId, g: NodeId, s: NodeId, w: f64) -> DeviceId {
+    pub fn add_nems_p(
+        &self,
+        ckt: &mut Circuit,
+        name: &str,
+        d: NodeId,
+        g: NodeId,
+        s: NodeId,
+        w: f64,
+    ) -> DeviceId {
         ckt.capacitor(g, Circuit::GROUND, self.nems_p.c_gate_per_um * w);
         ckt.capacitor(d, Circuit::GROUND, 1.0e-15 * w);
         ckt.add_device(Nemfet::new(name, self.nems_p.clone(), d, g, s, w))
@@ -155,7 +187,14 @@ impl Technology {
         wn: f64,
     ) {
         self.add_pmos(ckt, &format!("{name}.p"), output, input, vdd_node, wp);
-        self.add_nmos(ckt, &format!("{name}.n"), output, input, Circuit::GROUND, wn);
+        self.add_nmos(
+            ckt,
+            &format!("{name}.n"),
+            output,
+            input,
+            Circuit::GROUND,
+            wn,
+        );
     }
 
     /// A standard fan-out-of-1 inverter load: `wn = 1 µm`, `wp = 2 µm`
@@ -208,7 +247,11 @@ mod tests {
         let vin = ckt.node("in");
         let out = ckt.node("out");
         ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
-        ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, tech.vdd, 100e-12, 20e-12));
+        ckt.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, tech.vdd, 100e-12, 20e-12),
+        );
         tech.add_inverter(&mut ckt, "inv", vdd, vin, out, 2.0, 1.0);
         // Load it with another inverter.
         tech.add_inverter_load(&mut ckt, "load", vdd, out);

@@ -31,13 +31,23 @@ impl MosTargets {
     /// The paper's Table 1 CMOS row (NMOS): 1110 µA/µm, 50 nA/µm at
     /// 90 nm / 1.2 V with S ≈ 95 mV/dec.
     pub fn cmos_90nm_nmos() -> MosTargets {
-        MosTargets { ion: 1110e-6, ioff: 50e-9, swing: 95e-3, vdd: 1.2 }
+        MosTargets {
+            ion: 1110e-6,
+            ioff: 50e-9,
+            swing: 95e-3,
+            vdd: 1.2,
+        }
     }
 
     /// The 90 nm PMOS counterpart (hole mobility ≈ half): 550 µA/µm,
     /// 50 nA/µm.
     pub fn cmos_90nm_pmos() -> MosTargets {
-        MosTargets { ion: 550e-6, ioff: 50e-9, swing: 95e-3, vdd: 1.2 }
+        MosTargets {
+            ion: 550e-6,
+            ioff: 50e-9,
+            swing: 95e-3,
+            vdd: 1.2,
+        }
     }
 }
 
@@ -49,7 +59,10 @@ impl MosTargets {
 /// `ion <= ioff`, swing below the 60 mV/dec thermal limit) — these are
 /// programmer errors in experiment setup, not runtime conditions.
 pub fn calibrate_mos(name: &'static str, polarity: Polarity, t: &MosTargets) -> MosModel {
-    assert!(t.ion > 0.0 && t.ioff > 0.0 && t.ion > t.ioff, "need ion > ioff > 0");
+    assert!(
+        t.ion > 0.0 && t.ioff > 0.0 && t.ion > t.ioff,
+        "need ion > ioff > 0"
+    );
     assert!(
         t.swing >= 59.5e-3,
         "swing below the 60 mV/dec thermal limit is unphysical for a MOSFET"
@@ -141,14 +154,22 @@ mod tests {
     #[test]
     #[should_panic(expected = "thermal limit")]
     fn sub_thermal_swing_is_rejected() {
-        let t = MosTargets { swing: 40e-3, ..MosTargets::cmos_90nm_nmos() };
+        let t = MosTargets {
+            swing: 40e-3,
+            ..MosTargets::cmos_90nm_nmos()
+        };
         let _ = calibrate_mos("bad", Polarity::Nmos, &t);
     }
 
     #[test]
     #[should_panic(expected = "ion > ioff")]
     fn inverted_currents_are_rejected() {
-        let t = MosTargets { ion: 1e-9, ioff: 1e-6, swing: 95e-3, vdd: 1.2 };
+        let t = MosTargets {
+            ion: 1e-9,
+            ioff: 1e-6,
+            swing: 95e-3,
+            vdd: 1.2,
+        };
         let _ = calibrate_mos("bad", Polarity::Nmos, &t);
     }
 }

@@ -107,13 +107,41 @@ pub fn figure2_survey() -> Vec<SwingRow> {
     let bulk = measured_swing(&MosModel::nmos_90nm(), vdd).expect("bulk swing") * 1e3;
     let nems = nems_effective_swing(&NemsModel::nems_90nm(Polarity::Nmos), vdd) * 1e3;
     vec![
-        SwingRow { device: "Bulk CMOS (ours)", swing_mv_per_dec: bulk, measured_here: true },
-        SwingRow { device: "FDSOI", swing_mv_per_dec: 67.0, measured_here: false },
-        SwingRow { device: "FinFET", swing_mv_per_dec: 63.0, measured_here: false },
-        SwingRow { device: "T-CNFET", swing_mv_per_dec: 40.0, measured_here: false },
-        SwingRow { device: "NW-FET", swing_mv_per_dec: 35.0, measured_here: false },
-        SwingRow { device: "IMOS", swing_mv_per_dec: 8.9, measured_here: false },
-        SwingRow { device: "NEMS (ours)", swing_mv_per_dec: nems, measured_here: true },
+        SwingRow {
+            device: "Bulk CMOS (ours)",
+            swing_mv_per_dec: bulk,
+            measured_here: true,
+        },
+        SwingRow {
+            device: "FDSOI",
+            swing_mv_per_dec: 67.0,
+            measured_here: false,
+        },
+        SwingRow {
+            device: "FinFET",
+            swing_mv_per_dec: 63.0,
+            measured_here: false,
+        },
+        SwingRow {
+            device: "T-CNFET",
+            swing_mv_per_dec: 40.0,
+            measured_here: false,
+        },
+        SwingRow {
+            device: "NW-FET",
+            swing_mv_per_dec: 35.0,
+            measured_here: false,
+        },
+        SwingRow {
+            device: "IMOS",
+            swing_mv_per_dec: 8.9,
+            measured_here: false,
+        },
+        SwingRow {
+            device: "NEMS (ours)",
+            swing_mv_per_dec: nems,
+            measured_here: true,
+        },
     ]
 }
 
@@ -141,7 +169,11 @@ mod tests {
         let m = MosModel::nmos_90nm();
         let s = measured_swing(&m, 1.2).unwrap();
         // The numeric extraction must agree with n·v_t·ln10 within a few %.
-        assert!((s - m.swing()).abs() / m.swing() < 0.05, "S = {s}, card {}", m.swing());
+        assert!(
+            (s - m.swing()).abs() / m.swing() < 0.05,
+            "S = {s}, card {}",
+            m.swing()
+        );
     }
 
     #[test]

@@ -85,7 +85,10 @@ mod tests {
         let ss = Corner::Ss.apply_nmos(&tt);
         assert!(ion(&ff, 1.2) > ion(&tt, 1.2));
         assert!(ion(&ss, 1.2) < ion(&tt, 1.2));
-        assert!(ioff(&ff, 1.2) > 3.0 * ioff(&tt, 1.2), "FF leakage should jump");
+        assert!(
+            ioff(&ff, 1.2) > 3.0 * ioff(&tt, 1.2),
+            "FF leakage should jump"
+        );
         assert!(ioff(&ss, 1.2) < ioff(&tt, 1.2) / 3.0);
     }
 

@@ -18,7 +18,10 @@ pub const L_90NM_UM: f64 = 0.1;
 ///
 /// Panics if width or length is not strictly positive.
 pub fn sigma_vth(a_vt: f64, width_um: f64, length_um: f64) -> f64 {
-    assert!(width_um > 0.0 && length_um > 0.0, "device area must be positive");
+    assert!(
+        width_um > 0.0 && length_um > 0.0,
+        "device area must be positive"
+    );
     a_vt / (width_um * length_um).sqrt()
 }
 

@@ -10,12 +10,18 @@ impl MosModel {
     /// High-V_t 90 nm NMOS (dual-V_t / asymmetric SRAM baselines):
     /// `V_th` raised by [`HIGH_VT_SHIFT`], roughly 40× lower leakage.
     pub fn nmos_90nm_hvt() -> MosModel {
-        MosModel { name: "nmos-90nm-hvt", ..MosModel::nmos_90nm().with_vth_shift(HIGH_VT_SHIFT) }
+        MosModel {
+            name: "nmos-90nm-hvt",
+            ..MosModel::nmos_90nm().with_vth_shift(HIGH_VT_SHIFT)
+        }
     }
 
     /// High-V_t 90 nm PMOS.
     pub fn pmos_90nm_hvt() -> MosModel {
-        MosModel { name: "pmos-90nm-hvt", ..MosModel::pmos_90nm().with_vth_shift(HIGH_VT_SHIFT) }
+        MosModel {
+            name: "pmos-90nm-hvt",
+            ..MosModel::pmos_90nm().with_vth_shift(HIGH_VT_SHIFT)
+        }
     }
 }
 

@@ -40,8 +40,18 @@ impl Mosfet {
         s: NodeId,
         width_um: f64,
     ) -> Mosfet {
-        assert!(width_um.is_finite() && width_um > 0.0, "width must be positive");
-        Mosfet { name: name.into(), model, d, g, s, width_um }
+        assert!(
+            width_um.is_finite() && width_um > 0.0,
+            "width must be positive"
+        );
+        Mosfet {
+            name: name.into(),
+            model,
+            d,
+            g,
+            s,
+            width_um,
+        }
     }
 
     /// The model card.
@@ -61,8 +71,15 @@ impl Device for Mosfet {
     }
 
     fn load(&self, x: &Solution<'_>, _ctx: &LoadContext, st: &mut Stamper) {
-        let (i, dg, dd, ds) = self.model.ids(x.v(self.g), x.v(self.d), x.v(self.s), self.width_um);
-        st.nonlinear_current(self.d, self.s, i, &[(self.g, dg), (self.d, dd), (self.s, ds)]);
+        let (i, dg, dd, ds) = self
+            .model
+            .ids(x.v(self.g), x.v(self.d), x.v(self.s), self.width_um);
+        st.nonlinear_current(
+            self.d,
+            self.s,
+            i,
+            &[(self.g, dg), (self.d, dd), (self.s, ds)],
+        );
     }
 
     fn commit(&mut self, _x: &Solution<'_>, _ctx: &LoadContext) -> bool {
@@ -90,7 +107,14 @@ mod tests {
         ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(1.2));
         ckt.vsource(g, Circuit::GROUND, Waveform::dc(1.2));
         ckt.resistor(vdd, d, 10e3);
-        ckt.add_device(Mosfet::new("m1", MosModel::nmos_90nm(), d, g, Circuit::GROUND, 1.0));
+        ckt.add_device(Mosfet::new(
+            "m1",
+            MosModel::nmos_90nm(),
+            d,
+            g,
+            Circuit::GROUND,
+            1.0,
+        ));
         let res = op(&mut ckt).unwrap();
         // 1.1 mA through 10 kΩ would want an 11 V drop: drain saturates
         // near ground.
@@ -104,7 +128,14 @@ mod tests {
         let d = ckt.node("d");
         ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(1.2));
         ckt.resistor(vdd, d, 10e3);
-        ckt.add_device(Mosfet::new("m1", MosModel::nmos_90nm(), d, Circuit::GROUND, Circuit::GROUND, 1.0));
+        ckt.add_device(Mosfet::new(
+            "m1",
+            MosModel::nmos_90nm(),
+            d,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            1.0,
+        ));
         let res = op(&mut ckt).unwrap();
         // 50 nA leak across 10 kΩ drops only 0.5 mV.
         assert!(res.voltage(d) > 1.19, "v(d) = {}", res.voltage(d));
@@ -121,17 +152,39 @@ mod tests {
         ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(1.2));
         let vsrc_in = ckt.vsource(vin, Circuit::GROUND, Waveform::dc(0.0));
         ckt.add_device(Mosfet::new("mp", MosModel::pmos_90nm(), out, vin, vdd, 2.0));
-        ckt.add_device(Mosfet::new("mn", MosModel::nmos_90nm(), out, vin, Circuit::GROUND, 1.0));
+        ckt.add_device(Mosfet::new(
+            "mn",
+            MosModel::nmos_90nm(),
+            out,
+            vin,
+            Circuit::GROUND,
+            1.0,
+        ));
         let res = op(&mut ckt).unwrap();
-        assert!(res.voltage(out) > 1.15, "low in → high out, got {}", res.voltage(out));
+        assert!(
+            res.voltage(out) > 1.15,
+            "low in → high out, got {}",
+            res.voltage(out)
+        );
         ckt.set_vsource_dc(vsrc_in, 1.2).unwrap();
         let res = op(&mut ckt).unwrap();
-        assert!(res.voltage(out) < 0.05, "high in → low out, got {}", res.voltage(out));
+        assert!(
+            res.voltage(out) < 0.05,
+            "high in → low out, got {}",
+            res.voltage(out)
+        );
     }
 
     #[test]
     #[should_panic(expected = "positive")]
     fn zero_width_is_rejected() {
-        let _ = Mosfet::new("m", MosModel::nmos_90nm(), NodeId::GROUND, NodeId::GROUND, NodeId::GROUND, 0.0);
+        let _ = Mosfet::new(
+            "m",
+            MosModel::nmos_90nm(),
+            NodeId::GROUND,
+            NodeId::GROUND,
+            NodeId::GROUND,
+            0.0,
+        );
     }
 }

@@ -1,6 +1,5 @@
 //! The EKV-interpolation MOSFET current model.
 
-
 /// Channel polarity of a MOSFET or NEMS switch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Polarity {
@@ -107,8 +106,14 @@ impl MosModel {
     ///
     /// Panics if `kelvin` is not strictly positive and finite.
     pub fn at_temperature(&self, kelvin: f64) -> MosModel {
-        assert!(kelvin.is_finite() && kelvin > 0.0, "temperature must be positive");
-        MosModel { temp_k: kelvin, ..self.clone() }
+        assert!(
+            kelvin.is_finite() && kelvin > 0.0,
+            "temperature must be positive"
+        );
+        MosModel {
+            temp_k: kelvin,
+            ..self.clone()
+        }
     }
 
     /// The thermal voltage `kT/q` at this card's temperature (V).
@@ -144,7 +149,11 @@ impl MosModel {
     /// Panics if `dv` is not finite.
     pub fn with_vth_shift(&self, dv: f64) -> MosModel {
         assert!(dv.is_finite(), "vth shift must be finite");
-        MosModel { vth: self.vth + dv, name: "shifted", ..self.clone() }
+        MosModel {
+            vth: self.vth + dv,
+            name: "shifted",
+            ..self.clone()
+        }
     }
 
     /// Drain-source current and its partial derivatives.
@@ -159,7 +168,11 @@ impl MosModel {
         // Mirror PMOS into the NMOS frame.
         let (mvg, mvd, mvs) = (s * vg, s * vd, s * vs);
         // Drain/source swap for reverse operation.
-        let (xd, xs, swapped) = if mvd >= mvs { (mvd, mvs, false) } else { (mvs, mvd, true) };
+        let (xd, xs, swapped) = if mvd >= mvs {
+            (mvd, mvs, false)
+        } else {
+            (mvs, mvd, true)
+        };
         let vgs = mvg - xs;
         let vds = xd - xs;
         let vt = self.thermal_voltage();
@@ -225,7 +238,11 @@ mod tests {
     }
 
     fn pmos() -> MosModel {
-        MosModel { name: "test-p", polarity: Polarity::Pmos, ..nmos() }
+        MosModel {
+            name: "test-p",
+            polarity: Polarity::Pmos,
+            ..nmos()
+        }
     }
 
     #[test]
@@ -291,9 +308,18 @@ mod tests {
             let num_d = (m.ids(vg, vd + h, vs, 2.0).0 - m.ids(vg, vd - h, vs, 2.0).0) / (2.0 * h);
             let num_s = (m.ids(vg, vd, vs + h, 2.0).0 - m.ids(vg, vd, vs - h, 2.0).0) / (2.0 * h);
             let scale = num_g.abs().max(num_d.abs()).max(num_s.abs()).max(1e-9);
-            assert!((dg - num_g).abs() / scale < 1e-4, "dg at {vg},{vd},{vs}: {dg} vs {num_g}");
-            assert!((dd - num_d).abs() / scale < 1e-4, "dd at {vg},{vd},{vs}: {dd} vs {num_d}");
-            assert!((ds - num_s).abs() / scale < 1e-4, "ds at {vg},{vd},{vs}: {ds} vs {num_s}");
+            assert!(
+                (dg - num_g).abs() / scale < 1e-4,
+                "dg at {vg},{vd},{vs}: {dg} vs {num_g}"
+            );
+            assert!(
+                (dd - num_d).abs() / scale < 1e-4,
+                "dd at {vg},{vd},{vs}: {dd} vs {num_d}"
+            );
+            assert!(
+                (ds - num_s).abs() / scale < 1e-4,
+                "ds at {vg},{vd},{vs}: {ds} vs {num_s}"
+            );
         }
     }
 
@@ -301,7 +327,12 @@ mod tests {
     fn pmos_partials_match_finite_differences() {
         let m = pmos();
         let h = 1e-7;
-        for &(vg, vd, vs) in &[(0.0, 0.2, 1.2), (0.6, 0.0, 1.2), (1.2, 1.0, 1.2), (0.3, 1.2, 0.1)] {
+        for &(vg, vd, vs) in &[
+            (0.0, 0.2, 1.2),
+            (0.6, 0.0, 1.2),
+            (1.2, 1.0, 1.2),
+            (0.3, 1.2, 0.1),
+        ] {
             let (_, dg, dd, ds) = m.ids(vg, vd, vs, 1.0);
             let num_g = (m.ids(vg + h, vd, vs, 1.0).0 - m.ids(vg - h, vd, vs, 1.0).0) / (2.0 * h);
             let num_d = (m.ids(vg, vd + h, vs, 1.0).0 - m.ids(vg, vd - h, vs, 1.0).0) / (2.0 * h);

@@ -18,7 +18,10 @@ struct NemsState {
 
 impl NemsState {
     fn released() -> NemsState {
-        NemsState { pulled_in: false, pending_since: None }
+        NemsState {
+            pulled_in: false,
+            pending_since: None,
+        }
     }
 }
 
@@ -63,8 +66,19 @@ impl Nemfet {
         s: NodeId,
         width_um: f64,
     ) -> Nemfet {
-        assert!(width_um.is_finite() && width_um > 0.0, "width must be positive");
-        Nemfet { name: name.into(), model, d, g, s, width_um, state: NemsState::released() }
+        assert!(
+            width_um.is_finite() && width_um > 0.0,
+            "width must be positive"
+        );
+        Nemfet {
+            name: name.into(),
+            model,
+            d,
+            g,
+            s,
+            width_um,
+            state: NemsState::released(),
+        }
     }
 
     /// The model card.
@@ -106,7 +120,12 @@ impl Device for Nemfet {
                 self.model
                     .contact
                     .ids(x.v(self.g), x.v(self.d), x.v(self.s), self.width_um);
-            st.nonlinear_current(self.d, self.s, i, &[(self.g, dg), (self.d, dd), (self.s, ds)]);
+            st.nonlinear_current(
+                self.d,
+                self.s,
+                i,
+                &[(self.g, dg), (self.d, dd), (self.s, ds)],
+            );
         }
     }
 

@@ -125,10 +125,19 @@ impl DynamicNemfet {
         s: NodeId,
         width_um: f64,
     ) -> DynamicNemfet {
-        assert!(width_um.is_finite() && width_um > 0.0, "width must be positive");
-        assert!(mech.stiffness > 0.0 && mech.mass > 0.0, "stiffness and mass must be positive");
+        assert!(
+            width_um.is_finite() && width_um > 0.0,
+            "width must be positive"
+        );
+        assert!(
+            mech.stiffness > 0.0 && mech.mass > 0.0,
+            "stiffness and mass must be positive"
+        );
         assert!(mech.damping >= 0.0, "damping must be non-negative");
-        assert!(mech.gap > 0.0 && mech.contact_gap > 0.0 && mech.area > 0.0, "geometry must be positive");
+        assert!(
+            mech.gap > 0.0 && mech.contact_gap > 0.0 && mech.area > 0.0,
+            "geometry must be positive"
+        );
         DynamicNemfet {
             name: name.into(),
             model,
@@ -335,7 +344,10 @@ mod tests {
         assert!(vd.last_value() < 0.3, "v(d) settles at {}", vd.last_value());
         // The transition happens *after* the electrical step (mechanical
         // flight time): at 2 ns the beam has barely moved.
-        assert!(vd.eval(2e-9) > 1.0, "beam should not have landed within 1 ns of the step");
+        assert!(
+            vd.eval(2e-9) > 1.0,
+            "beam should not have landed within 1 ns of the step"
+        );
     }
 
     #[test]
@@ -347,7 +359,11 @@ mod tests {
         let g = ckt.node("g");
         let d = ckt.node("d");
         ckt.vsource(vddn, Circuit::GROUND, Waveform::dc(1.2));
-        ckt.vsource(g, Circuit::GROUND, Waveform::step(0.0, 0.7 * vpi, 1e-9, 0.1e-9));
+        ckt.vsource(
+            g,
+            Circuit::GROUND,
+            Waveform::step(0.0, 0.7 * vpi, 1e-9, 0.1e-9),
+        );
         ckt.resistor(vddn, d, 100e3);
         ckt.add_device(DynamicNemfet::new(
             "x1",
@@ -358,7 +374,10 @@ mod tests {
             Circuit::GROUND,
             1.0,
         ));
-        let opts = TranOptions { dt_max: Some(2e-9), ..Default::default() };
+        let opts = TranOptions {
+            dt_max: Some(2e-9),
+            ..Default::default()
+        };
         let res = transient(&mut ckt, 2e-6, &opts).unwrap();
         assert!(res.voltage(d).last_value() > 1.1);
     }
@@ -370,7 +389,11 @@ mod tests {
         let mut ckt = Circuit::new();
         let g = ckt.node("g");
         let d = ckt.node("d");
-        ckt.vsource(g, Circuit::GROUND, Waveform::step(0.0, 2.0 * vpi, 0.0, 0.1e-9));
+        ckt.vsource(
+            g,
+            Circuit::GROUND,
+            Waveform::step(0.0, 2.0 * vpi, 0.0, 0.1e-9),
+        );
         ckt.resistor(d, Circuit::GROUND, 1e6);
         let dev = DynamicNemfet::new(
             "x1",
@@ -382,7 +405,10 @@ mod tests {
             1.0,
         );
         ckt.add_device(dev);
-        let opts = TranOptions { dt_max: Some(2e-9), ..Default::default() };
+        let opts = TranOptions {
+            dt_max: Some(2e-9),
+            ..Default::default()
+        };
         let res = transient(&mut ckt, 2e-6, &opts).unwrap();
         // Displacement is the first internal unknown: nodes (2) + branches
         // (1) = index 3.

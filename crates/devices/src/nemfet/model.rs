@@ -70,7 +70,13 @@ pub struct NemsTargets {
 impl NemsTargets {
     /// Table 1 NEMS row at 90 nm / 1.2 V.
     pub fn nems_90nm() -> NemsTargets {
-        NemsTargets { ion: 330e-6, ioff: 110e-12, vdd: 1.2, v_pull_in: 0.5, v_pull_out: 0.3 }
+        NemsTargets {
+            ion: 330e-6,
+            ioff: 110e-12,
+            vdd: 1.2,
+            v_pull_in: 0.5,
+            v_pull_out: 0.3,
+        }
     }
 }
 
@@ -129,12 +135,20 @@ impl NemsModel {
         match polarity {
             Polarity::Nmos => N
                 .get_or_init(|| {
-                    NemsModel::from_targets("nems-90nm-n", Polarity::Nmos, &NemsTargets::nems_90nm())
+                    NemsModel::from_targets(
+                        "nems-90nm-n",
+                        Polarity::Nmos,
+                        &NemsTargets::nems_90nm(),
+                    )
                 })
                 .clone(),
             Polarity::Pmos => P
                 .get_or_init(|| {
-                    NemsModel::from_targets("nems-90nm-p", Polarity::Pmos, &NemsTargets::nems_90nm())
+                    NemsModel::from_targets(
+                        "nems-90nm-p",
+                        Polarity::Pmos,
+                        &NemsTargets::nems_90nm(),
+                    )
                 })
                 .clone(),
         }
@@ -155,7 +169,11 @@ impl NemsModel {
             v_po < v_pi && v_po > 0.0,
             "actuator hysteresis window is degenerate (v_po = {v_po}, v_pi = {v_pi})"
         );
-        NemsModel { v_pull_in: v_pi, v_pull_out: v_po, ..self.clone() }
+        NemsModel {
+            v_pull_in: v_pi,
+            v_pull_out: v_po,
+            ..self.clone()
+        }
     }
 
     /// Sets the mechanical switching delay (our dwell-time extension).
@@ -164,8 +182,14 @@ impl NemsModel {
     ///
     /// Panics if `t_switch` is negative or non-finite.
     pub fn with_switching_delay(&self, t_switch: f64) -> NemsModel {
-        assert!(t_switch.is_finite() && t_switch >= 0.0, "switching delay must be non-negative");
-        NemsModel { t_switch, ..self.clone() }
+        assert!(
+            t_switch.is_finite() && t_switch >= 0.0,
+            "switching delay must be non-negative"
+        );
+        NemsModel {
+            t_switch,
+            ..self.clone()
+        }
     }
 
     /// Actuation voltage from terminal voltages: `v_gs` for N-type,
@@ -224,7 +248,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "hysteretic switch")]
     fn degenerate_window_rejected() {
-        let t = NemsTargets { v_pull_out: 0.6, ..NemsTargets::nems_90nm() };
+        let t = NemsTargets {
+            v_pull_out: 0.6,
+            ..NemsTargets::nems_90nm()
+        };
         let _ = NemsModel::from_targets("bad", Polarity::Nmos, &t);
     }
 

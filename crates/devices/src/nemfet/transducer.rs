@@ -42,19 +42,31 @@ pub fn fit_transducer_polynomial(
     fraction: f64,
     samples: usize,
 ) -> Result<TransducerFit, NumericError> {
-    assert!((0.0..1.0).contains(&fraction) && fraction > 0.0, "fraction must be in (0, 1)");
+    assert!(
+        (0.0..1.0).contains(&fraction) && fraction > 0.0,
+        "fraction must be in (0, 1)"
+    );
     assert!(samples >= 2, "need at least two samples");
     let v_max = fraction * dynamics.actuator().pull_in_voltage();
-    let samples_v: Vec<f64> =
-        (0..samples).map(|k| v_max * k as f64 / (samples - 1) as f64).collect();
-    let samples_f: Vec<f64> = samples_v.iter().map(|&v| dynamics.transducer_drop(v)).collect();
+    let samples_v: Vec<f64> = (0..samples)
+        .map(|k| v_max * k as f64 / (samples - 1) as f64)
+        .collect();
+    let samples_f: Vec<f64> = samples_v
+        .iter()
+        .map(|&v| dynamics.transducer_drop(v))
+        .collect();
     let poly = Polynomial::fit(&samples_v, &samples_f, degree)?;
     let max_error = samples_v
         .iter()
         .zip(samples_f.iter())
         .map(|(&v, &f)| (poly.eval(v) - f).abs())
         .fold(0.0f64, f64::max);
-    Ok(TransducerFit { poly, samples_v, samples_f, max_error })
+    Ok(TransducerFit {
+        poly,
+        samples_v,
+        samples_f,
+        max_error,
+    })
 }
 
 #[cfg(test)]

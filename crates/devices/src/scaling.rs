@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn ninety_nm_matches_table1_anchor() {
-        let p90 = itrs_trend().into_iter().find(|p| p.node_nm == 90.0).unwrap();
+        let p90 = itrs_trend()
+            .into_iter()
+            .find(|p| p.node_nm == 90.0)
+            .unwrap();
         assert!((p90.ioff - 50e-9).abs() < 1e-15);
         assert!((p90.ion - 1110e-6).abs() < 1e-12);
         assert_eq!(p90.vdd, 1.2);
@@ -82,7 +85,10 @@ mod tests {
     fn leakage_spans_orders_of_magnitude() {
         let trend = itrs_trend();
         let ratio = trend.last().unwrap().ioff / trend[0].ioff;
-        assert!(ratio > 100.0, "250 nm → 45 nm leakage should grow >100×, got {ratio}");
+        assert!(
+            ratio > 100.0,
+            "250 nm → 45 nm leakage should grow >100×, got {ratio}"
+        );
     }
 
     #[test]

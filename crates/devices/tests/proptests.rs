@@ -1,10 +1,15 @@
 //! Property-based tests of the compact models: derivative consistency,
 //! physical sign/monotonicity invariants, and calibration round-trips.
 
+#![cfg(feature = "proptest")]
+// Gated out of the default (offline) build: the external `proptest`
+// crate cannot be fetched without registry access. Vendor it and
+// enable the `proptest` feature to run these.
+
 use proptest::prelude::*;
 
 use nemscmos_devices::calibrate::{calibrate_mos, MosTargets};
-use nemscmos_devices::characterize::{ion, ioff};
+use nemscmos_devices::characterize::{ioff, ion};
 use nemscmos_devices::mosfet::{MosModel, Polarity};
 use nemscmos_devices::nemfet::NemsModel;
 

@@ -1,0 +1,189 @@
+//! Content-addressed, on-disk result cache.
+//!
+//! A job is identified by its *spec string* — a canonical rendering of
+//! everything that influences the result (circuit configuration, solver
+//! options, seed). The cache key is a 128-bit FNV-1a digest of that
+//! string; artifacts are JSON files `<digest>.json` under the cache
+//! directory (default `target/harness-cache/`).
+//!
+//! Each artifact stores the full spec alongside the result, so a digest
+//! collision (or a stale file from an older spec format) is detected on
+//! load and treated as a miss. Writes go through a temporary file and an
+//! atomic rename, so concurrent writers at worst both do the work once.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::json::Json;
+
+/// Artifact format version; bump to invalidate all cached results.
+const FORMAT_VERSION: f64 = 1.0;
+
+/// 64-bit FNV-1a over `bytes`, from an arbitrary offset basis.
+fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// 128-bit content digest of a spec string, as 32 hex characters.
+///
+/// Two independent FNV-1a streams (the standard offset basis and a
+/// re-mixed one) — not cryptographic, but 128 bits make accidental
+/// collisions across a few thousand cached jobs vanishingly unlikely,
+/// and the stored spec is verified on load anyway.
+pub fn content_digest(spec: &str) -> String {
+    let lo = fnv1a64(0xCBF2_9CE4_8422_2325, spec.as_bytes());
+    let hi = fnv1a64(
+        nemscmos_numeric::rng::SplitMix64::mix(0xCBF2_9CE4_8422_2325),
+        spec.as_bytes(),
+    );
+    format!("{hi:016x}{lo:016x}")
+}
+
+/// Deterministic 64-bit seed derived from a spec string — the master
+/// seed handed to a job so retries and thread placement cannot change
+/// its random stream.
+pub fn spec_seed(spec: &str) -> u64 {
+    nemscmos_numeric::rng::SplitMix64::mix(fnv1a64(0xCBF2_9CE4_8422_2325, spec.as_bytes()))
+}
+
+/// On-disk result cache rooted at a directory.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    dir: PathBuf,
+}
+
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl Cache {
+    /// Opens (and lazily creates) a cache at `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> Cache {
+        Cache { dir: dir.into() }
+    }
+
+    /// The default cache location: `$CARGO_TARGET_DIR/harness-cache`,
+    /// falling back to `target/harness-cache` relative to the working
+    /// directory. `NEMSCMOS_HARNESS_CACHE_DIR` overrides both.
+    pub fn default_dir() -> PathBuf {
+        if let Ok(dir) = std::env::var("NEMSCMOS_HARNESS_CACHE_DIR") {
+            return PathBuf::from(dir);
+        }
+        let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".into());
+        Path::new(&target).join("harness-cache")
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn artifact_path(&self, digest: &str) -> PathBuf {
+        self.dir.join(format!("{digest}.json"))
+    }
+
+    /// Loads the cached result for `spec`, verifying that the stored spec
+    /// matches exactly. Any I/O error, parse error, version or spec
+    /// mismatch is a miss.
+    pub fn load(&self, digest: &str, spec: &str) -> Option<Json> {
+        let text = std::fs::read_to_string(self.artifact_path(digest)).ok()?;
+        let artifact = Json::parse(&text).ok()?;
+        if artifact.get("version")?.as_f64()? != FORMAT_VERSION {
+            return None;
+        }
+        if artifact.get("spec")?.as_str()? != spec {
+            return None;
+        }
+        Some(artifact.get("result")?.clone())
+    }
+
+    /// Stores `result` for `spec` atomically (write to a temp file, then
+    /// rename into place).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error message; callers generally treat a store
+    /// failure as non-fatal (the result is still returned to the user).
+    pub fn store(&self, digest: &str, spec: &str, result: &Json) -> Result<(), String> {
+        std::fs::create_dir_all(&self.dir).map_err(|e| e.to_string())?;
+        let artifact = Json::Obj(vec![
+            ("version".into(), Json::Num(FORMAT_VERSION)),
+            ("spec".into(), Json::Str(spec.into())),
+            ("result".into(), result.clone()),
+        ]);
+        let tmp = self.dir.join(format!(
+            ".tmp-{}-{}-{digest}",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, artifact.render()).map_err(|e| e.to_string())?;
+        std::fs::rename(&tmp, self.artifact_path(digest)).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            e.to_string()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nemscmos-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn digest_is_stable_and_spec_sensitive() {
+        let a = content_digest("fig10 fan_out=1 style=Cmos");
+        let b = content_digest("fig10 fan_out=1 style=Cmos");
+        let c = content_digest("fig10 fan_out=2 style=Cmos");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 32);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let cache = Cache::at(scratch_dir("roundtrip"));
+        let spec = "sram snm kind=Hybrid sigma=0.03";
+        let digest = content_digest(spec);
+        assert!(cache.load(&digest, spec).is_none(), "cold cache must miss");
+        let result = Json::Arr(vec![Json::Num(0.285), Json::Num(0.012)]);
+        cache.store(&digest, spec, &result).unwrap();
+        assert_eq!(cache.load(&digest, spec), Some(result));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn spec_mismatch_is_a_miss() {
+        let cache = Cache::at(scratch_dir("mismatch"));
+        let digest = content_digest("spec-a");
+        cache.store(&digest, "spec-a", &Json::Num(1.0)).unwrap();
+        // Same digest file, different claimed spec → miss.
+        assert!(cache.load(&digest, "spec-b").is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_artifact_is_a_miss() {
+        let cache = Cache::at(scratch_dir("corrupt"));
+        let digest = content_digest("spec");
+        cache.store(&digest, "spec", &Json::Num(1.0)).unwrap();
+        std::fs::write(cache.dir().join(format!("{digest}.json")), "{not json").unwrap();
+        assert!(cache.load(&digest, "spec").is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn spec_seed_is_deterministic() {
+        assert_eq!(spec_seed("x"), spec_seed("x"));
+        assert_ne!(spec_seed("x"), spec_seed("y"));
+    }
+}

@@ -1,0 +1,140 @@
+//! # nemscmos-harness
+//!
+//! Parallel experiment orchestration for the NEMS-CMOS workspace:
+//! caching, retry-on-nonconvergence, and solver telemetry.
+//!
+//! Reproducing the paper's figures means running hundreds of circuit
+//! simulations — fan-in sweeps, SRAM corners, Monte Carlo variation
+//! studies. This crate turns each of those into a *job* with a canonical
+//! spec string and runs batches of jobs through four cooperating layers:
+//!
+//! - [`pool`] — a dependency-free work-stealing thread pool
+//!   (`std::thread::scope` + channels, no `crossbeam`/`rayon`) with
+//!   deterministic per-job seeding: results are bitwise identical at any
+//!   thread count.
+//! - [`cache`] — a content-addressed on-disk result cache keyed by a
+//!   128-bit digest of the spec string, persisting JSON artifacts under
+//!   `target/harness-cache/`.
+//! - [`retry`] — a robustness ladder that catches Newton
+//!   non-convergence and retries with progressively more conservative
+//!   solver settings (tight g_min stepping → source stepping →
+//!   backward-Euler-only), recording which rung succeeded.
+//! - [`report`] — per-job solver counters (Newton iterations, LU
+//!   factorizations, timestep rejections, wall time) aggregated into a
+//!   [`RunReport`] and published to a process-global sink.
+//!
+//! The [`Runner`] ties the layers together:
+//!
+//! ```
+//! use nemscmos_harness::{HarnessError, JobSpec, Runner};
+//!
+//! let runner = Runner::with_config(2, None, Default::default());
+//! let jobs: Vec<JobSpec> = (1..=4)
+//!     .map(|n| JobSpec::new(format!("or{n}"), format!("doc-or fan_in={n}")))
+//!     .collect();
+//! let (results, report) = runner.run_collect("doc sweep", &jobs, |i, attempt| {
+//!     // a real job would build and simulate circuit `i` here, seeding
+//!     // any randomness from `attempt.seed`
+//!     Ok::<f64, HarnessError>(attempt.seed as f64 % 10.0 + i as f64)
+//! });
+//! assert_eq!(results.len(), 4);
+//! println!("{}", report.render());
+//! ```
+//!
+//! ## Environment knobs
+//!
+//! - `NEMSCMOS_HARNESS_THREADS=n` — worker count;
+//! - `NEMSCMOS_HARNESS_CACHE=off` — disable the result cache;
+//! - `NEMSCMOS_HARNESS_CACHE_DIR=path` — cache directory override.
+//!
+//! Like the rest of the workspace, this crate builds fully offline: no
+//! external dependencies (the JSON layer and the PRNG are vendored).
+
+pub mod cache;
+pub mod json;
+pub mod pool;
+pub mod report;
+pub mod retry;
+pub mod runner;
+
+use std::error::Error;
+use std::fmt;
+
+use nemscmos_spice::SpiceError;
+
+pub use cache::{content_digest, spec_seed, Cache};
+pub use json::{Json, JsonCodec};
+pub use pool::{default_threads, parallel_map};
+pub use report::{drain as drain_reports, publish as publish_report, JobRecord, RunReport};
+pub use retry::{run_with_retries, Attempt, RetryPolicy, Rung};
+pub use runner::{JobSpec, Runner};
+
+/// Errors produced by harness jobs.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HarnessError {
+    /// The solver failed to converge — the retry ladder escalates on
+    /// this variant (and only this one).
+    NonConvergence(String),
+    /// The job failed for a non-retryable reason (invalid circuit,
+    /// analysis error, ...).
+    Failed(String),
+    /// The result cache could not be written or read.
+    Cache(String),
+    /// A cached artifact could not be decoded into the expected type.
+    Codec(String),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::NonConvergence(msg) => write!(f, "non-convergence: {msg}"),
+            HarnessError::Failed(msg) => write!(f, "job failed: {msg}"),
+            HarnessError::Cache(msg) => write!(f, "cache error: {msg}"),
+            HarnessError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl Error for HarnessError {}
+
+impl From<SpiceError> for HarnessError {
+    fn from(e: SpiceError) -> Self {
+        match e {
+            SpiceError::NoConvergence { .. } => HarnessError::NonConvergence(e.to_string()),
+            other => HarnessError::Failed(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spice_nonconvergence_maps_to_retryable() {
+        let e = SpiceError::NoConvergence {
+            analysis: "op",
+            time: 0.0,
+            detail: "x".into(),
+        };
+        assert!(matches!(
+            HarnessError::from(e),
+            HarnessError::NonConvergence(_)
+        ));
+        let e = SpiceError::InvalidCircuit("bad".into());
+        assert!(matches!(HarnessError::from(e), HarnessError::Failed(_)));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for e in [
+            HarnessError::NonConvergence("a".into()),
+            HarnessError::Failed("b".into()),
+            HarnessError::Cache("c".into()),
+            HarnessError::Codec("d".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Dependency-free work-stealing thread pool for experiment jobs.
+//!
+//! Built on `std::thread::scope` and channels — no `crossbeam`, no
+//! `rayon`. Jobs are indexed `0..items`; each worker owns a deque of
+//! indices and steals from its neighbours when it runs dry, so a few
+//! slow simulations (a stiff transient, a deep retry ladder) do not
+//! serialize the whole sweep.
+//!
+//! # Determinism
+//!
+//! The pool itself introduces no nondeterminism: the job function is
+//! called with the job *index* only, results are returned in index
+//! order, and any randomness must come from a per-index seed (see
+//! [`nemscmos_numeric::rng::Xoshiro256pp::for_stream`]). A sweep run
+//! with 1 thread and with N threads therefore produces bitwise-identical
+//! results.
+//!
+//! # Telemetry
+//!
+//! Solver counters ([`nemscmos_spice::stats`]) are thread-local; the
+//! pool measures the per-job delta on each worker and folds the total
+//! back into the *calling* thread, so a parent scope (e.g. a harness
+//! job that fans out a Monte Carlo) still observes all nested work.
+
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+use nemscmos_spice::stats::{self, SolverStats};
+
+/// Worker-thread count from the environment, defaulting to the machine's
+/// available parallelism.
+///
+/// `NEMSCMOS_HARNESS_THREADS=n` (n ≥ 1) overrides.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("NEMSCMOS_HARNESS_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+/// Pops a job index for worker `w`: its own queue first (back, LIFO),
+/// then stealing from the other queues (front, FIFO).
+fn pop_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
+    if let Some(i) = queues[w].lock().expect("queue poisoned").pop_back() {
+        return Some(i);
+    }
+    let n = queues.len();
+    for off in 1..n {
+        let victim = (w + off) % n;
+        if let Some(i) = queues[victim].lock().expect("queue poisoned").pop_front() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Runs `f(0..items)` across `threads` workers with work stealing and
+/// returns the results in index order.
+///
+/// `threads` is clamped to `[1, items]`; with one worker (or one item)
+/// everything runs inline on the calling thread. Solver-telemetry deltas
+/// from all workers are folded back into the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after all in-flight jobs finish.
+pub fn parallel_map<T, F>(threads: usize, items: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if items == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, items);
+    if threads == 1 {
+        return (0..items).map(f).collect();
+    }
+
+    // Contiguous blocks keep neighbouring jobs (often similar circuits)
+    // on the same worker until stealing kicks in.
+    let chunk = items.div_ceil(threads);
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..threads)
+        .map(|w| {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(items);
+            // Own-queue pops are LIFO from the back; seed reversed so the
+            // worker consumes its block in ascending index order.
+            Mutex::new((lo..hi).rev().collect())
+        })
+        .collect();
+    let completed = AtomicUsize::new(0);
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let (tx, rx) = mpsc::channel::<(usize, T, SolverStats)>();
+
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(items);
+    slots.resize_with(items, || None);
+    let mut folded = SolverStats::default();
+
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let tx = tx.clone();
+            let queues = &queues;
+            let completed = &completed;
+            let panicked = &panicked;
+            let f = &f;
+            scope.spawn(move || loop {
+                match pop_job(queues, w) {
+                    Some(i) => {
+                        // Catch the panic here and re-raise it on the
+                        // calling thread once everything is joined, so the
+                        // original payload (not `thread::scope`'s generic
+                        // one) reaches the caller — and a panicking job
+                        // still counts as completed, letting the other
+                        // workers drain and terminate.
+                        let outcome =
+                            std::panic::catch_unwind(AssertUnwindSafe(|| stats::measure(|| f(i))));
+                        completed.fetch_add(1, Ordering::SeqCst);
+                        match outcome {
+                            // Receiver outlives the workers, so the send
+                            // cannot fail.
+                            Ok((result, delta)) => {
+                                let _ = tx.send((i, result, delta));
+                            }
+                            Err(payload) => {
+                                let mut slot = panicked.lock().expect("panic slot poisoned");
+                                slot.get_or_insert(payload);
+                            }
+                        }
+                    }
+                    None => {
+                        if completed.load(Ordering::SeqCst) >= items {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, result, delta) in rx {
+            slots[i] = Some(result);
+            folded += delta;
+        }
+    });
+
+    stats::add(folded);
+    if let Some(payload) = panicked.into_inner().expect("panic slot poisoned") {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_index_order() {
+        let out = parallel_map(4, 100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let run = |threads| {
+            parallel_map(threads, 33, |i| {
+                use nemscmos_numeric::rng::{Rand64, Xoshiro256pp};
+                let mut rng = Xoshiro256pp::for_stream(7, i as u64);
+                rng.next_f64()
+            })
+        };
+        let one = run(1);
+        for n in [2, 3, 8] {
+            assert_eq!(run(n), one, "thread count {n} diverged");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item_work() {
+        assert_eq!(parallel_map(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(parallel_map(8, 1, |i| i + 1), vec![1]);
+    }
+
+    #[test]
+    fn stealing_covers_unbalanced_loads() {
+        // One pathologically slow job at index 0; the rest must be stolen
+        // and the whole map still completes with correct results.
+        let out = parallel_map(4, 64, |i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            i
+        });
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_stats_fold_into_caller() {
+        let before = stats::snapshot();
+        parallel_map(4, 16, |_| {
+            stats::add(SolverStats {
+                newton_iterations: 2,
+                ..Default::default()
+            })
+        });
+        let d = stats::snapshot().delta_since(&before);
+        assert_eq!(d.newton_iterations, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 7 exploded")]
+    fn job_panics_propagate() {
+        parallel_map(4, 16, |i| {
+            if i == 7 {
+                panic!("job 7 exploded");
+            }
+            i
+        });
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-job telemetry records and aggregated run reports.
+//!
+//! Every job the [`Runner`](crate::runner::Runner) executes produces a
+//! [`JobRecord`]: where the result came from (cache or compute), which
+//! retry rung finally converged, and the solver counters the job spent.
+//! Records are grouped into a [`RunReport`] per experiment; reports can
+//! be rendered as an aligned text table and are also published to a
+//! process-global sink so binaries can drain and print them after an
+//! experiment module returns only its domain results.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use nemscmos_spice::stats::SolverStats;
+
+use crate::retry::Rung;
+
+/// Telemetry for one executed (or cache-served) job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Human-readable job name (also the first token of the spec).
+    pub name: String,
+    /// Content digest of the job spec (32 hex chars).
+    pub digest: String,
+    /// Whether the result was served from the cache.
+    pub cached: bool,
+    /// The retry rung that produced the result (`Direct` for cache hits).
+    pub rung: Rung,
+    /// Number of ladder attempts (0 for cache hits).
+    pub attempts: u32,
+    /// Solver counters spent by this job (zero for cache hits).
+    pub stats: SolverStats,
+    /// Wall-clock time for the job, including retries.
+    pub wall: Duration,
+}
+
+/// Aggregated telemetry for one experiment run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Report title (experiment name).
+    pub title: String,
+    /// Per-job records, in job order.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl RunReport {
+    /// Creates an empty report.
+    pub fn new(title: impl Into<String>) -> RunReport {
+        RunReport {
+            title: title.into(),
+            jobs: Vec::new(),
+        }
+    }
+
+    /// Number of jobs served from the cache.
+    pub fn cache_hits(&self) -> usize {
+        self.jobs.iter().filter(|j| j.cached).count()
+    }
+
+    /// Number of jobs that needed at least one retry.
+    pub fn retried_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.attempts > 1).count()
+    }
+
+    /// Sum of solver counters across all jobs.
+    pub fn total_stats(&self) -> SolverStats {
+        self.jobs
+            .iter()
+            .fold(SolverStats::default(), |acc, j| acc + j.stats)
+    }
+
+    /// Total wall time across jobs (sum, not span — jobs overlap when
+    /// the pool is parallel).
+    pub fn total_wall(&self) -> Duration {
+        self.jobs.iter().map(|j| j.wall).sum()
+    }
+
+    /// Renders an aligned text table of the per-job telemetry plus a
+    /// summary line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== harness report: {} ==\n", self.title));
+        if self.jobs.is_empty() {
+            out.push_str("(no jobs)\n");
+            return out;
+        }
+        let name_w = self
+            .jobs
+            .iter()
+            .map(|j| j.name.len())
+            .chain(["job".len()])
+            .max()
+            .unwrap_or(3);
+        out.push_str(&format!(
+            "{:<name_w$}  {:>6}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>9}\n",
+            "job", "src", "rung", "newton", "lu", "rej", "acc", "wall"
+        ));
+        for j in &self.jobs {
+            out.push_str(&format!(
+                "{:<name_w$}  {:>6}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8.1}ms\n",
+                j.name,
+                if j.cached { "cache" } else { "solve" },
+                if j.cached { "-" } else { j.rung.label() },
+                j.stats.newton_iterations,
+                j.stats.lu_factorizations,
+                j.stats.step_rejections,
+                j.stats.steps_accepted,
+                j.wall.as_secs_f64() * 1e3,
+            ));
+        }
+        let t = self.total_stats();
+        out.push_str(&format!(
+            "total: {} jobs ({} cached, {} retried) | newton {} | lu {} | \
+             rejected {} | accepted {} | nonconv {} | wall {:.1}ms\n",
+            self.jobs.len(),
+            self.cache_hits(),
+            self.retried_jobs(),
+            t.newton_iterations,
+            t.lu_factorizations,
+            t.step_rejections,
+            t.steps_accepted,
+            t.nonconvergence_events,
+            self.total_wall().as_secs_f64() * 1e3,
+        ));
+        out
+    }
+}
+
+/// Process-global report sink.
+///
+/// Experiment functions keep their domain-level signatures (returning
+/// figures/summaries); the harness publishes the matching [`RunReport`]
+/// here, and binaries drain and print after running the sweep.
+static SINK: Mutex<Vec<RunReport>> = Mutex::new(Vec::new());
+
+/// Publishes a report to the global sink.
+pub fn publish(report: RunReport) {
+    SINK.lock().expect("report sink poisoned").push(report);
+}
+
+/// Drains all published reports, oldest first.
+pub fn drain() -> Vec<RunReport> {
+    std::mem::take(&mut *SINK.lock().expect("report sink poisoned"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(name: &str, cached: bool, newton: u64) -> JobRecord {
+        JobRecord {
+            name: name.into(),
+            digest: "0".repeat(32),
+            cached,
+            rung: Rung::Direct,
+            attempts: u32::from(!cached),
+            stats: SolverStats {
+                newton_iterations: newton,
+                ..Default::default()
+            },
+            wall: Duration::from_millis(2),
+        }
+    }
+
+    #[test]
+    fn aggregates_counters_and_hits() {
+        let mut r = RunReport::new("fig10");
+        r.jobs.push(record("or2", false, 40));
+        r.jobs.push(record("or4", true, 0));
+        r.jobs.push(record("or8", false, 55));
+        assert_eq!(r.cache_hits(), 1);
+        assert_eq!(r.retried_jobs(), 0);
+        assert_eq!(r.total_stats().newton_iterations, 95);
+        assert_eq!(r.total_wall(), Duration::from_millis(6));
+    }
+
+    #[test]
+    fn render_contains_rows_and_summary() {
+        let mut r = RunReport::new("sweep");
+        r.jobs.push(record("job-a", false, 12));
+        r.jobs.push(record("job-b", true, 0));
+        let text = r.render();
+        assert!(text.contains("harness report: sweep"));
+        assert!(text.contains("job-a"));
+        assert!(text.contains("cache"));
+        assert!(text.contains("solve"));
+        assert!(text.contains("total: 2 jobs (1 cached, 0 retried)"));
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        assert!(RunReport::new("empty").render().contains("(no jobs)"));
+    }
+
+    #[test]
+    fn sink_publish_and_drain() {
+        // Other tests use the same process-global sink; tag our reports
+        // and only assert about those.
+        publish(RunReport::new("sink-test-1"));
+        publish(RunReport::new("sink-test-2"));
+        let mine: Vec<_> = drain()
+            .into_iter()
+            .filter(|r| r.title.starts_with("sink-test-"))
+            .collect();
+        assert_eq!(mine.len(), 2);
+        assert_eq!(mine[0].title, "sink-test-1");
+        assert_eq!(mine[1].title, "sink-test-2");
+    }
+}

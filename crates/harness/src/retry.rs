@@ -1,0 +1,261 @@
+//! Retry-on-nonconvergence with an escalation ladder.
+//!
+//! Newton non-convergence in a stiff hybrid NEMS-CMOS circuit is
+//! usually rescued by a more conservative solve, at the cost of speed.
+//! The ladder escalates through the classical SPICE arsenal, one rung
+//! per attempt:
+//!
+//! 1. [`Rung::Direct`] — the job's own options, untouched.
+//! 2. [`Rung::TightGmin`] — raise the convergence shunt floor and use a
+//!    finer g_min-stepping ladder, with a larger Newton budget.
+//! 3. [`Rung::SourceStepping`] — skip the direct solve and ramp the
+//!    sources up in fine increments.
+//! 4. [`Rung::BackwardEuler`] — all of the above, plus backward-Euler-only
+//!    transient integration (maximum damping).
+//!
+//! The rung that finally succeeded is recorded in the job's
+//! [`JobRecord`](crate::report::JobRecord) so sweeps can report which
+//! circuits are near the edge of convergence.
+
+use nemscmos_spice::profile::{self, SolveProfile};
+
+use crate::HarnessError;
+
+/// One rung of the escalation ladder (ordered, mildest first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// The job's own solver options.
+    Direct,
+    /// Raised g_min floor + finer g_min stepping + bigger Newton budget.
+    TightGmin,
+    /// Forced fine-grained source stepping (plus the g_min floor).
+    SourceStepping,
+    /// Backward-Euler-only integration (plus everything above).
+    BackwardEuler,
+}
+
+impl Rung {
+    /// All rungs, mildest first.
+    pub const ALL: [Rung; 4] = [
+        Rung::Direct,
+        Rung::TightGmin,
+        Rung::SourceStepping,
+        Rung::BackwardEuler,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Rung::Direct => "direct",
+            Rung::TightGmin => "gmin",
+            Rung::SourceStepping => "src-step",
+            Rung::BackwardEuler => "be-only",
+        }
+    }
+
+    /// The next, more conservative rung.
+    pub fn next(self) -> Option<Rung> {
+        match self {
+            Rung::Direct => Some(Rung::TightGmin),
+            Rung::TightGmin => Some(Rung::SourceStepping),
+            Rung::SourceStepping => Some(Rung::BackwardEuler),
+            Rung::BackwardEuler => None,
+        }
+    }
+
+    /// The solver-profile overrides this rung installs.
+    pub fn profile(self) -> SolveProfile {
+        match self {
+            Rung::Direct => SolveProfile::default(),
+            Rung::TightGmin => SolveProfile {
+                gmin_floor: Some(1e-9),
+                newton_min_iter: Some(400),
+                ..SolveProfile::default()
+            },
+            Rung::SourceStepping => SolveProfile {
+                gmin_floor: Some(1e-9),
+                newton_min_iter: Some(400),
+                force_source_stepping: true,
+                ..SolveProfile::default()
+            },
+            Rung::BackwardEuler => SolveProfile {
+                gmin_floor: Some(1e-9),
+                newton_min_iter: Some(400),
+                force_source_stepping: true,
+                force_backward_euler: true,
+            },
+        }
+    }
+}
+
+/// How far the ladder may escalate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Highest rung to try (inclusive). [`Rung::Direct`] disables retries.
+    pub max_rung: Rung,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_rung: Rung::BackwardEuler,
+        }
+    }
+}
+
+/// Context handed to a job body for one attempt.
+#[derive(Debug, Clone, Copy)]
+pub struct Attempt {
+    /// The active escalation rung. The matching [`SolveProfile`] is
+    /// already installed for the calling thread, so circuit APIs pick it
+    /// up automatically; jobs may also branch on it directly.
+    pub rung: Rung,
+    /// 0-based attempt counter.
+    pub index: u32,
+    /// Deterministic master seed for this job (same on every attempt, so
+    /// a retried Monte Carlo redraws the identical samples).
+    pub seed: u64,
+}
+
+/// Runs `f` under the ladder: each attempt installs the rung's solver
+/// profile for the current thread; [`HarnessError::NonConvergence`]
+/// escalates to the next rung, any other error (or rung exhaustion)
+/// propagates.
+///
+/// On success returns the value, the rung that succeeded, and the number
+/// of attempts made.
+///
+/// # Errors
+///
+/// The last non-convergence error once the ladder is exhausted, or the
+/// first non-retryable error.
+pub fn run_with_retries<T>(
+    policy: RetryPolicy,
+    seed: u64,
+    f: impl Fn(&Attempt) -> Result<T, HarnessError>,
+) -> Result<(T, Rung, u32), HarnessError> {
+    let mut rung = Rung::Direct;
+    let mut attempts = 0u32;
+    loop {
+        let attempt = Attempt {
+            rung,
+            index: attempts,
+            seed,
+        };
+        attempts += 1;
+        match profile::with(rung.profile(), || f(&attempt)) {
+            Ok(value) => return Ok((value, rung, attempts)),
+            Err(HarnessError::NonConvergence(detail)) => {
+                match rung.next().filter(|r| *r <= policy.max_rung) {
+                    Some(next) => rung = next,
+                    None => {
+                        return Err(HarnessError::NonConvergence(format!(
+                            "ladder exhausted after {attempts} attempts \
+                             (last rung `{}`): {detail}",
+                            rung.label()
+                        )))
+                    }
+                }
+            }
+            Err(other) => return Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_attempt_success_stays_on_direct() {
+        let (v, rung, attempts) =
+            run_with_retries(RetryPolicy::default(), 1, |a| Ok::<_, HarnessError>(a.seed)).unwrap();
+        assert_eq!(v, 1);
+        assert_eq!(rung, Rung::Direct);
+        assert_eq!(attempts, 1);
+    }
+
+    #[test]
+    fn ladder_escalates_and_records_rung() {
+        // Fails until source stepping is active.
+        let (v, rung, attempts) = run_with_retries(RetryPolicy::default(), 9, |a| {
+            if a.rung < Rung::SourceStepping {
+                Err(HarnessError::NonConvergence("too stiff".into()))
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+        assert_eq!(rung, Rung::SourceStepping);
+        assert_eq!(attempts, 3);
+    }
+
+    #[test]
+    fn profiles_are_installed_per_attempt() {
+        let seen = std::cell::RefCell::new(Vec::new());
+        let _ = run_with_retries(RetryPolicy::default(), 0, |_| {
+            seen.borrow_mut().push(profile::current());
+            Err::<(), _>(HarnessError::NonConvergence("never".into()))
+        });
+        let seen = seen.into_inner();
+        assert_eq!(seen.len(), 4);
+        assert!(seen[0].is_neutral());
+        assert_eq!(seen[1].gmin_floor, Some(1e-9));
+        assert!(seen[2].force_source_stepping);
+        assert!(seen[3].force_backward_euler);
+        // Ladder restored neutrality afterwards.
+        assert!(profile::current().is_neutral());
+    }
+
+    #[test]
+    fn exhaustion_reports_last_rung() {
+        let err = run_with_retries(RetryPolicy::default(), 0, |_| {
+            Err::<(), _>(HarnessError::NonConvergence("stuck".into()))
+        })
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("be-only") && msg.contains("stuck"), "{msg}");
+    }
+
+    #[test]
+    fn policy_caps_escalation() {
+        let policy = RetryPolicy {
+            max_rung: Rung::TightGmin,
+        };
+        let calls = std::cell::Cell::new(0);
+        let err = run_with_retries(policy, 0, |_| {
+            calls.set(calls.get() + 1);
+            Err::<(), _>(HarnessError::NonConvergence("x".into()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, HarnessError::NonConvergence(_)));
+        assert_eq!(calls.get(), 2);
+    }
+
+    #[test]
+    fn non_retryable_errors_pass_through() {
+        let calls = std::cell::Cell::new(0);
+        let err = run_with_retries(RetryPolicy::default(), 0, |_| {
+            calls.set(calls.get() + 1);
+            Err::<(), _>(HarnessError::Failed("bad circuit".into()))
+        })
+        .unwrap_err();
+        assert!(matches!(err, HarnessError::Failed(_)));
+        assert_eq!(calls.get(), 1);
+    }
+
+    #[test]
+    fn seed_is_stable_across_attempts() {
+        let seeds = std::cell::RefCell::new(Vec::new());
+        let _ = run_with_retries(RetryPolicy::default(), 1234, |a| {
+            seeds.borrow_mut().push(a.seed);
+            if a.index < 2 {
+                Err(HarnessError::NonConvergence("again".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(seeds.into_inner(), vec![1234, 1234, 1234]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Job specification and the orchestrating [`Runner`].
+//!
+//! A [`JobSpec`] names a job and carries its *spec string* — the
+//! canonical rendering of everything that determines the result. The
+//! [`Runner`] executes a batch of specs across the work-stealing pool,
+//! consulting the content-addressed cache first and escalating through
+//! the retry ladder on non-convergence, and publishes a [`RunReport`]
+//! with per-job telemetry.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use nemscmos_spice::stats;
+
+use crate::cache::{content_digest, spec_seed, Cache};
+use crate::json::JsonCodec;
+use crate::report::{self, JobRecord, RunReport};
+use crate::retry::{run_with_retries, Attempt, RetryPolicy, Rung};
+use crate::{pool, HarnessError};
+
+/// A fully-specified unit of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Short human-readable name (report rows).
+    pub name: String,
+    /// Canonical spec string: everything that influences the result —
+    /// circuit configuration, solver options, trial counts, seed inputs.
+    /// Equal spec strings ⇒ equal results (that is the cache contract).
+    pub spec: String,
+}
+
+impl JobSpec {
+    /// Creates a spec.
+    pub fn new(name: impl Into<String>, spec: impl Into<String>) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            spec: spec.into(),
+        }
+    }
+
+    /// Content digest of the spec string (the cache key).
+    pub fn digest(&self) -> String {
+        content_digest(&self.spec)
+    }
+
+    /// Deterministic master seed derived from the spec string.
+    pub fn seed(&self) -> u64 {
+        spec_seed(&self.spec)
+    }
+}
+
+/// Experiment orchestrator: pool + cache + retry ladder + telemetry.
+#[derive(Debug)]
+pub struct Runner {
+    threads: usize,
+    cache: Option<Cache>,
+    policy: RetryPolicy,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::from_env()
+    }
+}
+
+impl Runner {
+    /// A runner configured from the environment:
+    ///
+    /// - `NEMSCMOS_HARNESS_THREADS=n` — worker count (default: available
+    ///   parallelism);
+    /// - `NEMSCMOS_HARNESS_CACHE=off|0` — disable the result cache;
+    /// - `NEMSCMOS_HARNESS_CACHE_DIR=path` — cache location (default
+    ///   `target/harness-cache`).
+    pub fn from_env() -> Runner {
+        let cache_off = std::env::var("NEMSCMOS_HARNESS_CACHE")
+            .map(|v| v == "off" || v == "0")
+            .unwrap_or(false);
+        Runner {
+            threads: pool::default_threads(),
+            cache: (!cache_off).then(|| Cache::at(Cache::default_dir())),
+            policy: RetryPolicy::default(),
+        }
+    }
+
+    /// The process-wide runner used by experiment modules (configured
+    /// from the environment on first use).
+    pub fn global() -> &'static Runner {
+        static GLOBAL: OnceLock<Runner> = OnceLock::new();
+        GLOBAL.get_or_init(Runner::from_env)
+    }
+
+    /// A runner with explicit settings (tests; custom tools).
+    pub fn with_config(threads: usize, cache: Option<Cache>, policy: RetryPolicy) -> Runner {
+        Runner {
+            threads: threads.max(1),
+            cache,
+            policy,
+        }
+    }
+
+    /// Worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The cache, if enabled.
+    pub fn cache(&self) -> Option<&Cache> {
+        self.cache.as_ref()
+    }
+
+    /// Runs `jobs` through cache → retry ladder → pool, returning results
+    /// in job order and the telemetry report.
+    ///
+    /// `f` computes one job; it receives the job's index into `jobs` (so
+    /// callers can index a parallel parameter array) and the current
+    /// [`Attempt`] (rung already installed as the thread's solver
+    /// profile, master seed derived from the spec string).
+    ///
+    /// # Errors
+    ///
+    /// The first job error in job order; telemetry for all jobs that ran
+    /// is still published to the report sink.
+    pub fn run<T, F>(&self, title: &str, jobs: &[JobSpec], f: F) -> Result<Vec<T>, HarnessError>
+    where
+        T: JsonCodec + Send,
+        F: Fn(usize, &Attempt) -> Result<T, HarnessError> + Sync,
+    {
+        let (results, report) = self.run_collect(title, jobs, f);
+        report::publish(report);
+        results.into_iter().collect()
+    }
+
+    /// Like [`Runner::run`], but returns per-job results and the report
+    /// directly instead of publishing to the global sink.
+    pub fn run_collect<T, F>(
+        &self,
+        title: &str,
+        jobs: &[JobSpec],
+        f: F,
+    ) -> (Vec<Result<T, HarnessError>>, RunReport)
+    where
+        T: JsonCodec + Send,
+        F: Fn(usize, &Attempt) -> Result<T, HarnessError> + Sync,
+    {
+        let outcomes =
+            pool::parallel_map(self.threads, jobs.len(), |i| self.run_one(i, &jobs[i], &f));
+        let mut report = RunReport::new(title);
+        let mut results = Vec::with_capacity(jobs.len());
+        for (result, record) in outcomes {
+            report.jobs.push(record);
+            results.push(result);
+        }
+        (results, report)
+    }
+
+    /// Executes a single job: cache probe, then the retry ladder, then a
+    /// best-effort cache store.
+    fn run_one<T, F>(
+        &self,
+        index: usize,
+        job: &JobSpec,
+        f: &F,
+    ) -> (Result<T, HarnessError>, JobRecord)
+    where
+        T: JsonCodec,
+        F: Fn(usize, &Attempt) -> Result<T, HarnessError>,
+    {
+        let digest = job.digest();
+        let started = Instant::now();
+
+        if let Some(cache) = &self.cache {
+            if let Some(value) = cache.load(&digest, &job.spec) {
+                if let Some(decoded) = T::from_json(&value) {
+                    let record = JobRecord {
+                        name: job.name.clone(),
+                        digest,
+                        cached: true,
+                        rung: Rung::Direct,
+                        attempts: 0,
+                        stats: Default::default(),
+                        wall: started.elapsed(),
+                    };
+                    return (Ok(decoded), record);
+                }
+                // Decodable JSON of the wrong shape: stale codec — fall
+                // through and recompute.
+            }
+        }
+
+        let before = stats::snapshot();
+        let outcome = run_with_retries(self.policy, job.seed(), |attempt| f(index, attempt));
+        let spent = stats::snapshot().delta_since(&before);
+
+        match outcome {
+            Ok((value, rung, attempts)) => {
+                if let Some(cache) = &self.cache {
+                    // Store failures are non-fatal: the result is still
+                    // correct, the next run just recomputes.
+                    let _ = cache.store(&digest, &job.spec, &value.to_json());
+                }
+                let record = JobRecord {
+                    name: job.name.clone(),
+                    digest,
+                    cached: false,
+                    rung,
+                    attempts,
+                    stats: spent,
+                    wall: started.elapsed(),
+                };
+                (Ok(value), record)
+            }
+            Err(e) => {
+                let record = JobRecord {
+                    name: job.name.clone(),
+                    digest,
+                    cached: false,
+                    rung: self.policy.max_rung,
+                    attempts: Rung::ALL
+                        .iter()
+                        .filter(|r| **r <= self.policy.max_rung)
+                        .count() as u32,
+                    stats: spent,
+                    wall: started.elapsed(),
+                };
+                (Err(e), record)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_cache(tag: &str) -> Cache {
+        let dir =
+            std::env::temp_dir().join(format!("nemscmos-runner-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Cache::at(dir)
+    }
+
+    #[test]
+    fn results_are_in_job_order_and_cached_second_time() {
+        let cache = scratch_cache("order");
+        let dir = cache.dir().to_path_buf();
+        let runner = Runner::with_config(4, Some(cache), RetryPolicy::default());
+        let jobs: Vec<JobSpec> = (0..12)
+            .map(|i| JobSpec::new(format!("j{i}"), format!("runner-order item={i}")))
+            .collect();
+
+        let (results, report) = runner.run_collect("first", &jobs, |i, a| {
+            Ok(i as f64 * 2.0 + (a.seed % 2) as f64 * 0.0)
+        });
+        let first: Vec<f64> = results.into_iter().map(Result::unwrap).collect();
+        assert_eq!(
+            first,
+            (0..12).map(|i| f64::from(i) * 2.0).collect::<Vec<_>>()
+        );
+        assert_eq!(report.cache_hits(), 0);
+
+        let (results, report) = runner.run_collect(
+            "second",
+            &jobs,
+            |_: usize, _: &Attempt| -> Result<f64, HarnessError> {
+                panic!("must be served from cache")
+            },
+        );
+        let second: Vec<f64> = results.into_iter().map(Result::<f64, _>::unwrap).collect();
+        assert_eq!(second, first);
+        assert_eq!(report.cache_hits(), 12);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn retry_rung_is_recorded_in_report() {
+        let runner = Runner::with_config(1, None, RetryPolicy::default());
+        let jobs = [JobSpec::new("stiff", "runner-retry stiff-case")];
+        let (results, report) = runner.run_collect("retry", &jobs, |_, a| {
+            if a.rung < Rung::TightGmin {
+                Err(HarnessError::NonConvergence("first pass fails".into()))
+            } else {
+                Ok(1.0)
+            }
+        });
+        assert_eq!(results.into_iter().next().unwrap().unwrap(), 1.0);
+        assert_eq!(report.jobs[0].rung, Rung::TightGmin);
+        assert_eq!(report.jobs[0].attempts, 2);
+        assert_eq!(report.retried_jobs(), 1);
+    }
+
+    #[test]
+    fn job_errors_surface_but_other_jobs_complete() {
+        let runner = Runner::with_config(2, None, RetryPolicy::default());
+        let jobs = [
+            JobSpec::new("good", "runner-err good"),
+            JobSpec::new("bad", "runner-err bad"),
+        ];
+        let (results, report) = runner.run_collect("mixed", &jobs, |i, _| {
+            if jobs[i].name == "bad" {
+                Err(HarnessError::Failed("broken".into()))
+            } else {
+                Ok(5.0)
+            }
+        });
+        assert!(results[0].as_ref().is_ok_and(|v| *v == 5.0));
+        assert!(results[1].is_err());
+        assert_eq!(report.jobs.len(), 2);
+    }
+
+    #[test]
+    fn disabled_cache_always_recomputes() {
+        let runner = Runner::with_config(1, None, RetryPolicy::default());
+        let jobs = [JobSpec::new("j", "runner-nocache j")];
+        let mut calls = std::sync::atomic::AtomicUsize::new(0);
+        for _ in 0..2 {
+            let (results, report) = runner.run_collect("nocache", &jobs, |_, _| {
+                calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Ok(0.0)
+            });
+            assert!(results[0].is_ok());
+            assert_eq!(report.cache_hits(), 0);
+        }
+        assert_eq!(*calls.get_mut(), 2);
+    }
+
+    #[test]
+    fn seeds_differ_across_specs_but_not_across_runs() {
+        let a = JobSpec::new("a", "seed-test a");
+        let b = JobSpec::new("b", "seed-test b");
+        assert_eq!(a.seed(), JobSpec::new("a2", "seed-test a").seed());
+        assert_ne!(a.seed(), b.seed());
+        assert_eq!(a.digest().len(), 32);
+    }
+}

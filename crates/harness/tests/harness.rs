@@ -1,0 +1,162 @@
+//! Integration tests of the harness acceptance criteria: bitwise
+//! determinism across thread counts, cache round-trips through the
+//! runner, and the retry ladder rescuing a real non-convergent solve.
+
+use nemscmos_harness::{Cache, HarnessError, JobSpec, RetryPolicy, Rung, Runner};
+use nemscmos_numeric::newton::NewtonOptions;
+use nemscmos_numeric::rng::{Rand64, Xoshiro256pp};
+use nemscmos_spice::analysis::op::{op_with, OpOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::waveform::Waveform;
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nemscmos-harness-itest-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sweep_jobs(n: usize) -> Vec<JobSpec> {
+    (0..n)
+        .map(|i| JobSpec::new(format!("job{i}"), format!("itest-sweep v1 item={i}")))
+        .collect()
+}
+
+/// A pseudo-simulation: results depend only on the job's spec-derived
+/// seed, never on which worker thread runs it.
+fn pseudo_sim(seed: u64) -> Result<Vec<f64>, HarnessError> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    Ok((0..32).map(|_| rng.next_f64()).collect())
+}
+
+#[test]
+fn multi_threaded_run_is_bitwise_identical_to_single_threaded() {
+    let jobs = sweep_jobs(40);
+    let run = |threads: usize| {
+        let runner = Runner::with_config(threads, None, RetryPolicy::default());
+        let (results, _) = runner.run_collect("determinism", &jobs, |_, a| pseudo_sim(a.seed));
+        results
+            .into_iter()
+            .map(Result::unwrap)
+            .collect::<Vec<Vec<f64>>>()
+    };
+    let reference = run(1);
+    for threads in [2, 4, 8] {
+        let out = run(threads);
+        // Bitwise, not approximate: compare the raw f64 bits.
+        for (a, b) in reference.iter().flatten().zip(out.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "{threads}-thread run diverged");
+        }
+    }
+}
+
+#[test]
+fn second_run_is_served_from_the_cache() {
+    let dir = scratch_dir("roundtrip");
+    let jobs = sweep_jobs(10);
+
+    let first_runner = Runner::with_config(4, Some(Cache::at(&dir)), RetryPolicy::default());
+    let (results, report) = first_runner.run_collect("warm-up", &jobs, |_, a| pseudo_sim(a.seed));
+    let first: Vec<Vec<f64>> = results.into_iter().map(Result::unwrap).collect();
+    assert_eq!(report.cache_hits(), 0, "cold cache cannot hit");
+
+    // A fresh runner on the same directory — as a second process run
+    // would see it — must serve every job from disk without recomputing.
+    let second_runner = Runner::with_config(4, Some(Cache::at(&dir)), RetryPolicy::default());
+    let (results, report) =
+        second_runner.run_collect("cached", &jobs, |_, _| -> Result<Vec<f64>, HarnessError> {
+            panic!("cache miss: job recomputed")
+        });
+    let second: Vec<Vec<f64>> = results.into_iter().map(Result::unwrap).collect();
+    assert_eq!(report.cache_hits(), jobs.len());
+    for (a, b) in first.iter().flatten().zip(second.iter().flatten()) {
+        assert_eq!(a.to_bits(), b.to_bits(), "cached result changed bits");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The op.rs "starved Newton" fixture: a trivially solvable divider given
+/// an iteration budget so small the direct solve cannot converge. The
+/// `TightGmin` rung raises the Newton budget through the thread-local
+/// solve profile, so the harness rescues the job and records the rung.
+#[test]
+fn retry_ladder_rescues_a_real_nonconvergent_solve() {
+    let jobs = [JobSpec::new(
+        "starved-divider",
+        "itest-retry starved divider v1",
+    )];
+    let runner = Runner::with_config(1, None, RetryPolicy::default());
+    let (results, report) = runner.run_collect("retry", &jobs, |_, _| {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(5.0));
+        ckt.resistor(a, b, 1e3);
+        ckt.resistor(b, Circuit::GROUND, 1e3);
+        // Damped so hard that the direct solve — internal g_min and
+        // source-stepping fallbacks included — runs out of iterations;
+        // only the ladder's Newton-budget boost can reach 2.5 V.
+        let opts = OpOptions {
+            newton: NewtonOptions {
+                max_iter: 12,
+                max_step: 1e-3,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let res = op_with(&mut ckt, &opts).map_err(HarnessError::from)?;
+        Ok(res.voltage(b))
+    });
+    let v = results
+        .into_iter()
+        .next()
+        .unwrap()
+        .expect("ladder rescues the job");
+    assert!((v - 2.5).abs() < 1e-3, "wrong solution: {v}");
+    let job = &report.jobs[0];
+    assert!(
+        job.rung >= Rung::TightGmin,
+        "expected an escalated rung, got {:?}",
+        job.rung
+    );
+    assert!(
+        job.attempts >= 2,
+        "expected at least one retry, got {}",
+        job.attempts
+    );
+    // The failed direct attempt left telemetry behind.
+    assert!(job.stats.newton_iterations > 0);
+    assert!(job.stats.lu_factorizations > 0);
+    assert!(job.stats.nonconvergence_events >= 1);
+    assert_eq!(report.retried_jobs(), 1);
+}
+
+#[test]
+fn exhausted_ladder_reports_nonconvergence() {
+    let jobs = [JobSpec::new("hopeless", "itest-retry hopeless v1")];
+    let runner = Runner::with_config(1, None, RetryPolicy::default());
+    let (results, report) = runner.run_collect("exhaust", &jobs, |_, _| {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(100.0));
+        ckt.resistor(a, Circuit::GROUND, 1e3);
+        // An impossible budget: every rung fails.
+        let opts = OpOptions {
+            newton: NewtonOptions {
+                max_iter: 2,
+                max_step: 1e-6,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        op_with(&mut ckt, &opts)
+            .map(|res| res.voltage(a))
+            .map_err(HarnessError::from)
+    });
+    let err = results.into_iter().next().unwrap().unwrap_err();
+    assert!(matches!(err, HarnessError::NonConvergence(_)), "{err}");
+    assert!(err.to_string().contains("ladder exhausted"), "{err}");
+    assert!(report.jobs[0].stats.nonconvergence_events >= 1);
+}

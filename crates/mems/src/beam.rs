@@ -46,11 +46,30 @@ impl Beam {
     /// # Panics
     ///
     /// Panics if any dimension is not strictly positive and finite.
-    pub fn new(material: Material, anchor: Anchor, length: f64, width: f64, thickness: f64) -> Beam {
-        for (what, v) in [("length", length), ("width", width), ("thickness", thickness)] {
-            assert!(v.is_finite() && v > 0.0, "beam {what} must be positive, got {v}");
+    pub fn new(
+        material: Material,
+        anchor: Anchor,
+        length: f64,
+        width: f64,
+        thickness: f64,
+    ) -> Beam {
+        for (what, v) in [
+            ("length", length),
+            ("width", width),
+            ("thickness", thickness),
+        ] {
+            assert!(
+                v.is_finite() && v > 0.0,
+                "beam {what} must be positive, got {v}"
+            );
         }
-        Beam { material, anchor, length, width, thickness }
+        Beam {
+            material,
+            anchor,
+            length,
+            width,
+            thickness,
+        }
     }
 
     /// The structural material.
@@ -150,7 +169,9 @@ mod tests {
 
     #[test]
     fn cantilever_is_much_softer() {
-        assert!(test_beam(Anchor::Cantilever).stiffness() < test_beam(Anchor::FixedFixed).stiffness());
+        assert!(
+            test_beam(Anchor::Cantilever).stiffness() < test_beam(Anchor::FixedFixed).stiffness()
+        );
     }
 
     #[test]

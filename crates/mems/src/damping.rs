@@ -52,9 +52,17 @@ impl SqueezeFilm {
     /// Panics if any dimension is not strictly positive and finite.
     pub fn from_dimensions(length: f64, width: f64, g0: f64) -> SqueezeFilm {
         for (what, v) in [("length", length), ("width", width), ("gap", g0)] {
-            assert!(v.is_finite() && v > 0.0, "squeeze-film {what} must be positive, got {v}");
+            assert!(
+                v.is_finite() && v > 0.0,
+                "squeeze-film {what} must be positive, got {v}"
+            );
         }
-        SqueezeFilm { length, width, gap: g0, pressure_atm: 1.0 }
+        SqueezeFilm {
+            length,
+            width,
+            gap: g0,
+            pressure_atm: 1.0,
+        }
     }
 
     /// Returns this damper at a different ambient pressure (atm) — the
@@ -69,7 +77,10 @@ impl SqueezeFilm {
             pressure_atm.is_finite() && pressure_atm > 0.0,
             "pressure must be positive"
         );
-        SqueezeFilm { pressure_atm, ..*self }
+        SqueezeFilm {
+            pressure_atm,
+            ..*self
+        }
     }
 
     /// Knudsen number `λ(P) / g` at the rest gap and ambient pressure.

@@ -59,8 +59,15 @@ impl ActuatorDynamics {
     /// negative.
     pub fn new(actuator: Actuator, mass: f64, damping: f64) -> ActuatorDynamics {
         assert!(mass.is_finite() && mass > 0.0, "mass must be positive");
-        assert!(damping.is_finite() && damping >= 0.0, "damping must be non-negative");
-        ActuatorDynamics { actuator, mass, damping }
+        assert!(
+            damping.is_finite() && damping >= 0.0,
+            "damping must be non-negative"
+        );
+        ActuatorDynamics {
+            actuator,
+            mass,
+            damping,
+        }
     }
 
     /// The underlying quasi-static actuator.
@@ -100,7 +107,12 @@ impl ActuatorDynamics {
     /// # Panics
     ///
     /// Panics if `dt` or `t_stop` is not strictly positive.
-    pub fn integrate<V: Fn(f64) -> f64>(&self, volts: V, t_stop: f64, dt: f64) -> SwitchingTransient {
+    pub fn integrate<V: Fn(f64) -> f64>(
+        &self,
+        volts: V,
+        t_stop: f64,
+        dt: f64,
+    ) -> SwitchingTransient {
         assert!(dt > 0.0 && t_stop > 0.0, "dt and t_stop must be positive");
         let g0 = self.actuator.gap();
         let contact_level = 0.9 * g0;
@@ -149,7 +161,11 @@ impl ActuatorDynamics {
                 prev_v_sign = 0;
             }
         }
-        SwitchingTransient { trajectory, contact_time, bounces }
+        SwitchingTransient {
+            trajectory,
+            contact_time,
+            bounces,
+        }
     }
 
     /// Pull-in (switch-on) time under a voltage step to `volts`, or `None`
@@ -220,7 +236,9 @@ mod tests {
     fn above_pull_in_contacts() {
         let d = dynamics();
         let vpi = d.actuator().pull_in_voltage();
-        let t = d.switching_time(1.5 * vpi, 2e-6, 1e-10).expect("should pull in");
+        let t = d
+            .switching_time(1.5 * vpi, 2e-6, 1e-10)
+            .expect("should pull in");
         assert!(t > 0.0 && t < 2e-6);
     }
 
@@ -266,7 +284,11 @@ mod tests {
         // Drive hard for 1 µs, then remove the bias.
         let result = d.integrate(|t| if t < 1e-6 { 2.0 * vpi } else { 0.0 }, 6e-6, 1e-10);
         let last = result.trajectory.last().unwrap();
-        assert!(last.x.abs() < 0.2 * d.actuator().gap(), "x_end = {:.3e}", last.x);
+        assert!(
+            last.x.abs() < 0.2 * d.actuator().gap(),
+            "x_end = {:.3e}",
+            last.x
+        );
     }
 
     #[test]

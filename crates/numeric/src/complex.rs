@@ -55,7 +55,10 @@ impl Complex {
 
     /// Complex conjugate.
     pub fn conj(self) -> Complex {
-        Complex { re: self.re, im: -self.im }
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Magnitude in decibels (`20 log10 |z|`); `-inf` for zero.
@@ -124,7 +127,10 @@ pub struct ComplexMatrix {
 impl ComplexMatrix {
     /// Creates an `n x n` zero matrix.
     pub fn zeros(n: usize) -> ComplexMatrix {
-        ComplexMatrix { n, data: vec![Complex::ZERO; n * n] }
+        ComplexMatrix {
+            n,
+            data: vec![Complex::ZERO; n * n],
+        }
     }
 
     /// Dimension.
@@ -165,7 +171,10 @@ impl ComplexMatrix {
     pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>> {
         let n = self.n;
         if b.len() != n {
-            return Err(NumericError::DimensionMismatch { got: b.len(), expected: n });
+            return Err(NumericError::DimensionMismatch {
+                got: b.len(),
+                expected: n,
+            });
         }
         let mut a = self.data.clone();
         let mut x = b.to_vec();
@@ -275,7 +284,9 @@ mod tests {
         let mut m = ComplexMatrix::zeros(n);
         let mut seed = 1u64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / 2f64.powi(31)) - 1.0
         };
         for r in 0..n {

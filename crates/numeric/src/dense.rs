@@ -29,7 +29,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows x cols` zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n x n` identity matrix.
@@ -180,7 +184,10 @@ impl DenseLu {
     pub fn factor(mut a: DenseMatrix) -> Result<Self> {
         let n = a.rows;
         if a.cols != n {
-            return Err(NumericError::DimensionMismatch { got: a.cols, expected: n });
+            return Err(NumericError::DimensionMismatch {
+                got: a.cols,
+                expected: n,
+            });
         }
         let mut perm: Vec<usize> = (0..n).collect();
         for k in 0..n {
@@ -232,7 +239,10 @@ impl DenseLu {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.dim();
         if b.len() != n {
-            return Err(NumericError::DimensionMismatch { got: b.len(), expected: n });
+            return Err(NumericError::DimensionMismatch {
+                got: b.len(),
+                expected: n,
+            });
         }
         // Apply permutation.
         let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
@@ -272,7 +282,10 @@ impl DenseLu {
 /// fit).
 pub fn least_squares(a: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>> {
     if b.len() != a.rows() {
-        return Err(NumericError::DimensionMismatch { got: b.len(), expected: a.rows() });
+        return Err(NumericError::DimensionMismatch {
+            got: b.len(),
+            expected: a.rows(),
+        });
     }
     let m = a.rows();
     let n = a.cols();
@@ -338,17 +351,16 @@ mod tests {
         let lu = DenseLu::factor(a).unwrap();
         assert!(matches!(
             lu.solve(&[1.0, 2.0]),
-            Err(NumericError::DimensionMismatch { got: 2, expected: 3 })
+            Err(NumericError::DimensionMismatch {
+                got: 2,
+                expected: 3
+            })
         ));
     }
 
     #[test]
     fn solve_matches_mat_vec_roundtrip() {
-        let a = DenseMatrix::from_rows(&[
-            &[4.0, -2.0, 1.0],
-            &[-2.0, 4.0, -2.0],
-            &[1.0, -2.0, 4.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
         let x_true = [1.0, 2.0, 3.0];
         let b = a.mat_vec(&x_true);
         let x = a.solve(&b).unwrap();

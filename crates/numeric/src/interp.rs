@@ -45,7 +45,10 @@ impl PiecewiseLinear {
                 )));
             }
         }
-        if points.iter().any(|&(x, y)| !x.is_finite() || !y.is_finite()) {
+        if points
+            .iter()
+            .any(|&(x, y)| !x.is_finite() || !y.is_finite())
+        {
             return Err(NumericError::InvalidArgument("non-finite PWL point".into()));
         }
         Ok(PiecewiseLinear { points })

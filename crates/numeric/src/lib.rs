@@ -18,6 +18,8 @@
 //!   force term `f(V_g)`).
 //! * [`interp`] — piecewise-linear interpolation for waveforms.
 //! * [`stats`] — summary statistics for Monte Carlo experiments.
+//! * [`rng`] — vendored SplitMix64 / xoshiro256++ generators (the
+//!   workspace builds offline, so no `rand` dependency).
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@ pub mod dense;
 pub mod interp;
 pub mod newton;
 pub mod poly;
+pub mod rng;
 pub mod roots;
 pub mod sparse;
 pub mod stats;
@@ -150,9 +153,18 @@ mod tests {
     fn error_display_is_nonempty() {
         let errors = [
             NumericError::SingularMatrix { column: 3 },
-            NumericError::DimensionMismatch { got: 2, expected: 4 },
-            NumericError::NonConvergence { iterations: 10, residual: 1.0 },
-            NumericError::InvalidBracket { f_lo: 1.0, f_hi: 2.0 },
+            NumericError::DimensionMismatch {
+                got: 2,
+                expected: 4,
+            },
+            NumericError::NonConvergence {
+                iterations: 10,
+                residual: 1.0,
+            },
+            NumericError::InvalidBracket {
+                f_lo: 1.0,
+                f_hi: 2.0,
+            },
             NumericError::InvalidArgument("x".into()),
         ];
         for e in errors {

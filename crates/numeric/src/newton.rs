@@ -23,7 +23,12 @@ pub struct NewtonOptions {
 
 impl Default for NewtonOptions {
     fn default() -> Self {
-        NewtonOptions { max_iter: 100, abs_tol: 1e-9, rel_tol: 1e-6, max_step: 0.5 }
+        NewtonOptions {
+            max_iter: 100,
+            abs_tol: 1e-9,
+            rel_tol: 1e-6,
+            max_step: 0.5,
+        }
     }
 }
 
@@ -70,7 +75,11 @@ pub struct NewtonSolver {
 impl NewtonSolver {
     /// Creates a solver with the given options.
     pub fn new(options: NewtonOptions) -> Self {
-        NewtonSolver { options, iterations: 0, last_update_norm: f64::INFINITY }
+        NewtonSolver {
+            options,
+            iterations: 0,
+            last_update_norm: f64::INFINITY,
+        }
     }
 
     /// Number of steps applied so far.
@@ -148,7 +157,10 @@ mod tests {
     #[test]
     fn large_steps_are_damped() {
         let mut x = vec![0.0_f64];
-        let opts = NewtonOptions { max_step: 0.1, ..Default::default() };
+        let opts = NewtonOptions {
+            max_step: 0.1,
+            ..Default::default()
+        };
         let mut n = NewtonSolver::new(opts);
         let status = n.apply_step(&mut x, &[10.0]);
         assert_eq!(status, NewtonStatus::Continue);
@@ -159,7 +171,11 @@ mod tests {
     #[test]
     fn damped_step_never_reports_convergence() {
         let mut x = vec![0.0_f64];
-        let opts = NewtonOptions { max_step: 1e-12, abs_tol: 1e-9, ..Default::default() };
+        let opts = NewtonOptions {
+            max_step: 1e-12,
+            abs_tol: 1e-9,
+            ..Default::default()
+        };
         let mut n = NewtonSolver::new(opts);
         // The damped update is tiny, but the raw step is huge: must continue.
         assert_eq!(n.apply_step(&mut x, &[1.0]), NewtonStatus::Continue);
@@ -167,7 +183,10 @@ mod tests {
 
     #[test]
     fn exhaustion_is_reported() {
-        let opts = NewtonOptions { max_iter: 2, ..Default::default() };
+        let opts = NewtonOptions {
+            max_iter: 2,
+            ..Default::default()
+        };
         let mut n = NewtonSolver::new(opts);
         let mut x = vec![0.0_f64];
         n.apply_step(&mut x, &[1.0]);

@@ -74,7 +74,10 @@ impl Polynomial {
     /// abscissae).
     pub fn fit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial> {
         if xs.len() != ys.len() {
-            return Err(NumericError::DimensionMismatch { got: ys.len(), expected: xs.len() });
+            return Err(NumericError::DimensionMismatch {
+                got: ys.len(),
+                expected: xs.len(),
+            });
         }
         if xs.len() < degree + 1 {
             return Err(NumericError::InvalidArgument(format!(

@@ -1,0 +1,182 @@
+//! Small, vendored pseudo-random number generators.
+//!
+//! The workspace builds with no registry access, so instead of the `rand`
+//! crate the Monte Carlo machinery uses two classic public-domain
+//! generators implemented here:
+//!
+//! * [`SplitMix64`] — Steele/Lea/Flood's 64-bit mixer. Tiny state, used to
+//!   expand a single `u64` seed into the larger xoshiro state (this is the
+//!   seeding procedure the xoshiro authors recommend).
+//! * [`Xoshiro256pp`] — Blackman/Vigna's xoshiro256++ 1.0, the workhorse
+//!   generator: 256-bit state, period `2^256 − 1`, passes BigCrush.
+//!
+//! Both implement the minimal [`Rand64`] trait, which is what samplers
+//! (e.g. the `Normal` sampler in `nemscmos-analysis::montecarlo`) are
+//! generic over.
+//!
+//! # Determinism contract
+//!
+//! Given the same seed, every method produces the same stream on every
+//! platform and at every optimization level — the harness relies on this
+//! to make parallel experiment results independent of thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use nemscmos_numeric::rng::{Rand64, Xoshiro256pp};
+//!
+//! let mut a = Xoshiro256pp::seed_from_u64(42);
+//! let mut b = Xoshiro256pp::seed_from_u64(42);
+//! assert_eq!(a.next_u64(), b.next_u64());
+//! let u = a.next_f64();
+//! assert!((0.0..1.0).contains(&u));
+//! ```
+
+/// Minimal uniform-random source: 64 random bits per call.
+pub trait Rand64 {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits; 2^-53 spacing fills [0, 1) exactly.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// SplitMix64: one multiply-shift-xor avalanche per output.
+///
+/// Good enough statistically for seeding and for cheap stream splitting;
+/// use [`Xoshiro256pp`] for bulk sampling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed (any value is fine).
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Mixes a single value once (stateless avalanche) — handy for turning
+    /// a job index into a decorrelated seed.
+    pub fn mix(z: u64) -> u64 {
+        let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rand64 for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the 256-bit state by running SplitMix64 from `seed`, as the
+    /// xoshiro reference implementation recommends. A zero seed is safe
+    /// (SplitMix64 never yields an all-zero expansion in four draws).
+    pub fn seed_from_u64(seed: u64) -> Xoshiro256pp {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        debug_assert!(s.iter().any(|&w| w != 0), "xoshiro state must be non-zero");
+        Xoshiro256pp { s }
+    }
+
+    /// Deterministic per-stream generator: decorrelates `stream` (e.g. a
+    /// Monte Carlo trial index or harness job index) from the master seed
+    /// so every stream is independent *and* independent of scheduling.
+    pub fn for_stream(seed: u64, stream: u64) -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(seed ^ SplitMix64::mix(stream.wrapping_add(1)))
+    }
+}
+
+impl Rand64 for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vector() {
+        // Reference values from the public-domain splitmix64.c with
+        // state = 1234567.
+        let mut sm = SplitMix64::new(1234567);
+        let expect = [
+            6457827717110365317u64,
+            3203168211198807973,
+            9817491932198370423,
+            4593380528125082431,
+        ];
+        for &e in &expect {
+            assert_eq!(sm.next_u64(), e);
+        }
+    }
+
+    #[test]
+    fn xoshiro_streams_are_deterministic_and_distinct() {
+        let mut a = Xoshiro256pp::for_stream(99, 0);
+        let mut b = Xoshiro256pp::for_stream(99, 0);
+        let mut c = Xoshiro256pp::for_stream(99, 1);
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn next_f64_is_in_unit_interval() {
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u), "u = {u}");
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_near_half() {
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        let n = 100_000;
+        let mean = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 5e-3, "mean = {mean}");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0);
+        assert_ne!(rng.next_u64(), rng.next_u64());
+    }
+
+    #[test]
+    fn mix_avalanches_consecutive_indices() {
+        // Consecutive stream indices must land far apart.
+        let a = SplitMix64::mix(1);
+        let b = SplitMix64::mix(2);
+        assert!((a ^ b).count_ones() > 16, "{a:x} vs {b:x}");
+    }
+}

@@ -16,7 +16,13 @@ use crate::{NumericError, Result};
 /// Returns [`NumericError::InvalidBracket`] if `f(lo)` and `f(hi)` have the
 /// same sign, and [`NumericError::InvalidArgument`] if the interval is
 /// degenerate or non-finite.
-pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64, max_iter: usize) -> Result<f64> {
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
     if !(lo.is_finite() && hi.is_finite() && lo < hi) {
         return Err(NumericError::InvalidArgument(format!(
             "bad bisection interval [{lo}, {hi}]"
@@ -60,7 +66,13 @@ pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64, max_it
 /// bracket a sign change, [`NumericError::InvalidArgument`] for a bad
 /// interval, and [`NumericError::NonConvergence`] if the iteration budget
 /// is exhausted before the bracket shrinks below `tol`.
-pub fn brent<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64, max_iter: usize) -> Result<f64> {
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    lo: f64,
+    hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64> {
     if !(lo.is_finite() && hi.is_finite() && lo < hi) {
         return Err(NumericError::InvalidArgument(format!(
             "bad brent interval [{lo}, {hi}]"
@@ -102,7 +114,11 @@ pub fn brent<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64, max_ite
             b - fb * (b - a) / (fb - fa)
         };
         let lo_bound = (3.0 * a + b) / 4.0;
-        let (blo, bhi) = if lo_bound < b { (lo_bound, b) } else { (b, lo_bound) };
+        let (blo, bhi) = if lo_bound < b {
+            (lo_bound, b)
+        } else {
+            (b, lo_bound)
+        };
         let cond = !(s > blo && s < bhi)
             || (mflag && (s - b).abs() >= (b - c).abs() / 2.0)
             || (!mflag && (s - b).abs() >= (c - d).abs() / 2.0)
@@ -130,7 +146,10 @@ pub fn brent<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64, max_ite
             std::mem::swap(&mut fa, &mut fb);
         }
     }
-    Err(NumericError::NonConvergence { iterations: max_iter, residual: fb.abs() })
+    Err(NumericError::NonConvergence {
+        iterations: max_iter,
+        residual: fb.abs(),
+    })
 }
 
 #[cfg(test)]

@@ -81,7 +81,13 @@ impl CscMatrix {
             }
             col_ptr.push(row_idx.len());
         }
-        CscMatrix { rows, cols, col_ptr, row_idx, values }
+        CscMatrix {
+            rows,
+            cols,
+            col_ptr,
+            row_idx,
+            values,
+        }
     }
 
     /// Number of rows.
@@ -153,11 +159,8 @@ mod tests {
 
     #[test]
     fn duplicates_are_summed_and_sorted() {
-        let m = CscMatrix::from_triplets(
-            3,
-            2,
-            &[(2, 0, 1.0), (0, 0, 4.0), (2, 0, 1.5), (1, 1, 2.0)],
-        );
+        let m =
+            CscMatrix::from_triplets(3, 2, &[(2, 0, 1.0), (0, 0, 4.0), (2, 0, 1.5), (1, 1, 2.0)]);
         assert_eq!(m.nnz(), 3);
         assert_eq!(m.get(0, 0), 4.0);
         assert_eq!(m.get(2, 0), 2.5);

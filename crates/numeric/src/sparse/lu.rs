@@ -64,7 +64,10 @@ impl SparseLu {
     pub fn factor(a: &CscMatrix) -> Result<Self> {
         let n = a.rows();
         if a.cols() != n {
-            return Err(NumericError::DimensionMismatch { got: a.cols(), expected: n });
+            return Err(NumericError::DimensionMismatch {
+                got: a.cols(),
+                expected: n,
+            });
         }
         let mut lu = SparseLu {
             n,
@@ -94,7 +97,16 @@ impl SparseLu {
             topo.clear();
             for (i, _) in a.col(j) {
                 if mark[i] != j {
-                    Self::dfs(i, j, &pinv, &lu.l_col_ptr, &lu.l_rows, &mut mark, &mut dfs_stack, &mut topo);
+                    Self::dfs(
+                        i,
+                        j,
+                        &pinv,
+                        &lu.l_col_ptr,
+                        &lu.l_rows,
+                        &mut mark,
+                        &mut dfs_stack,
+                        &mut topo,
+                    );
                 }
             }
             // topo now holds reach in reverse-topological order (children first
@@ -234,7 +246,10 @@ impl SparseLu {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
         let n = self.n;
         if b.len() != n {
-            return Err(NumericError::DimensionMismatch { got: b.len(), expected: n });
+            return Err(NumericError::DimensionMismatch {
+                got: b.len(),
+                expected: n,
+            });
         }
         // Forward solve L y = P b, working on a copy indexed by original row.
         let mut work = b.to_vec();

@@ -32,12 +32,20 @@ pub struct Triplet {
 impl Triplet {
     /// Creates an empty `rows x cols` triplet builder.
     pub fn new(rows: usize, cols: usize) -> Self {
-        Triplet { rows, cols, entries: Vec::new() }
+        Triplet {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty builder with capacity for `cap` entries.
     pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
-        Triplet { rows, cols, entries: Vec::with_capacity(cap) }
+        Triplet {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of rows.
@@ -62,7 +70,10 @@ impl Triplet {
     /// Panics if `(r, c)` is out of bounds.
     #[inline]
     pub fn push(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "triplet index out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "triplet index out of bounds"
+        );
         self.entries.push((r, c, v));
     }
 

@@ -34,13 +34,23 @@ impl Summary {
         let n = samples.len() as f64;
         let mean = samples.iter().sum::<f64>() / n;
         let var = if samples.len() > 1 {
-            samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0)
+            samples
+                .iter()
+                .map(|&x| (x - mean) * (x - mean))
+                .sum::<f64>()
+                / (n - 1.0)
         } else {
             0.0
         };
         let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        Ok(Summary { count: samples.len(), mean, std_dev: var.sqrt(), min, max })
+        Ok(Summary {
+            count: samples.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+        })
     }
 
     /// Mean plus `k` standard deviations — the paper's worst-case corner
@@ -65,7 +75,8 @@ pub fn normal_cdf(z: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erf = sign * (1.0 - poly * (-x * x).exp());
     0.5 * (1.0 + erf)
 }
@@ -100,7 +111,9 @@ pub fn quantile(samples: &[f64], q: f64) -> Result<f64> {
         return Err(NumericError::InvalidArgument("empty sample set".into()));
     }
     if !(0.0..=1.0).contains(&q) {
-        return Err(NumericError::InvalidArgument(format!("quantile {q} outside [0, 1]")));
+        return Err(NumericError::InvalidArgument(format!(
+            "quantile {q} outside [0, 1]"
+        )));
     }
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite sample in quantile"));

@@ -114,7 +114,11 @@ pub fn ac(
     let n = x_op.len();
 
     // 2. Small-signal conductance matrix from the Jacobian at the OP.
-    let ctx = LoadContext { mode: Mode::Dc, gmin: opts.gmin, source_scale: 1.0 };
+    let ctx = LoadContext {
+        mode: Mode::Dc,
+        gmin: opts.gmin,
+        source_scale: 1.0,
+    };
     let mut st = Stamper::new(n);
     load_linear(ckt, &x_op, &ctx, &mut st, None);
     let sol = Solution::new(&x_op);
@@ -142,7 +146,9 @@ pub fn ac(
                     cap_entries.push((rb - 1, ra - 1, -farads));
                 }
             }
-            Element::Inductor { branch, henries, .. } => {
+            Element::Inductor {
+                branch, henries, ..
+            } => {
                 // DC branch equation is v(a) − v(b) = 0; AC adds −jωL·i.
                 let br = branch_base + branch;
                 cap_entries.push((br, br, -henries));
@@ -199,9 +205,16 @@ mod tests {
         let freqs = [fc / 100.0, fc, 100.0 * fc];
         let res = ac(&mut ckt, src, &freqs, &OpOptions::default()).unwrap();
         let v = res.voltage(b);
-        assert!((v[0].abs() - 1.0).abs() < 1e-3, "passband gain {}", v[0].abs());
+        assert!(
+            (v[0].abs() - 1.0).abs() < 1e-3,
+            "passband gain {}",
+            v[0].abs()
+        );
         assert!((v[1].abs() - 1.0 / 2f64.sqrt()).abs() < 1e-3, "-3 dB point");
-        assert!((v[1].arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-2, "-45° at corner");
+        assert!(
+            (v[1].arg() + std::f64::consts::FRAC_PI_4).abs() < 1e-2,
+            "-45° at corner"
+        );
         // Two decades above the corner: −40 dB ± 0.2.
         assert!((v[2].db() + 40.0).abs() < 0.2, "rolloff {}", v[2].db());
     }

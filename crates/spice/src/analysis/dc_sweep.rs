@@ -45,7 +45,9 @@ pub fn dc_sweep_seeded(
     opts: &OpOptions,
 ) -> Result<Vec<OpResult>> {
     if values.is_empty() {
-        return Err(SpiceError::InvalidCircuit("empty DC sweep value list".into()));
+        return Err(SpiceError::InvalidCircuit(
+            "empty DC sweep value list".into(),
+        ));
     }
     let mut results = Vec::with_capacity(values.len());
     let mut prev: Option<Vec<f64>> = if seeds.is_empty() {
@@ -71,14 +73,22 @@ pub fn dc_sweep_seeded(
     for &v in values {
         ckt.set_vsource_dc(src, v)?;
         let x = op_vector(ckt, opts, prev.as_deref(), None).map_err(|e| match e {
-            SpiceError::NoConvergence { analysis, time, detail } => SpiceError::NoConvergence {
+            SpiceError::NoConvergence {
+                analysis,
+                time,
+                detail,
+            } => SpiceError::NoConvergence {
                 analysis,
                 time,
                 detail: format!("at sweep value {v}: {detail}"),
             },
             other => other,
         })?;
-        results.push(OpResult::new(x.clone(), ckt.num_node_unknowns(), ckt.branch_base()));
+        results.push(OpResult::new(
+            x.clone(),
+            ckt.num_node_unknowns(),
+            ckt.branch_base(),
+        ));
         prev = Some(x);
     }
     Ok(results)

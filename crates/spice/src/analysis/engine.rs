@@ -60,7 +60,9 @@ impl LinearState {
                     };
                     self.cap[idx] = (v_new, i_new);
                 }
-                Element::Inductor { branch, henries, .. } => {
+                Element::Inductor {
+                    branch, henries, ..
+                } => {
                     let i_new = x[branch_base + branch];
                     let (i_prev, v_prev) = self.ind[idx];
                     let v_new = if backward_euler {
@@ -94,7 +96,9 @@ pub(crate) fn load_linear(
             Element::Capacitor { a, b, farads } => {
                 match ctx.mode {
                     Mode::Dc => {} // open circuit in DC
-                    Mode::Transient { dt, backward_euler, .. } => {
+                    Mode::Transient {
+                        dt, backward_euler, ..
+                    } => {
                         let (v_prev, i_prev) = lin.expect("transient needs LinearState").cap[idx];
                         let (geq, ieq) = if backward_euler {
                             let g = farads / dt;
@@ -113,7 +117,12 @@ pub(crate) fn load_linear(
                     }
                 }
             }
-            Element::Inductor { a, b, branch, henries } => {
+            Element::Inductor {
+                a,
+                b,
+                branch,
+                henries,
+            } => {
                 let br = branch_base + branch;
                 let i = x[br];
                 // Node rows carry the branch current a → b.
@@ -137,7 +146,9 @@ pub(crate) fn load_linear(
                             st.j(br, c, -1.0);
                         }
                     }
-                    Mode::Transient { dt, backward_euler, .. } => {
+                    Mode::Transient {
+                        dt, backward_euler, ..
+                    } => {
                         let (i_prev, v_prev) = lin.expect("transient needs LinearState").ind[idx];
                         // v = req (i − i_prev) − v_hist
                         let (req, v_hist) = if backward_euler {
@@ -157,7 +168,12 @@ pub(crate) fn load_linear(
                     }
                 }
             }
-            Element::VSource { p, m, ref wave, branch } => {
+            Element::VSource {
+                p,
+                m,
+                ref wave,
+                branch,
+            } => {
                 let br = branch_base + branch;
                 let i = x[br];
                 st.f_node(p, i);
@@ -189,7 +205,14 @@ pub(crate) fn load_linear(
                 st.j_node(om, cp, -gm);
                 st.j_node(om, cm, gm);
             }
-            Element::Vcvs { op, om, cp, cm, gain, branch } => {
+            Element::Vcvs {
+                op,
+                om,
+                cp,
+                cm,
+                gain,
+                branch,
+            } => {
                 let br = branch_base + branch;
                 let i = x[br];
                 st.f_node(op, i);
@@ -237,6 +260,9 @@ pub(crate) fn newton_solve(
     ic_clamps: Option<&[(NodeId, f64)]>,
 ) -> Result<usize> {
     let n = x.len();
+    let mut eff_opts = *opts;
+    eff_opts.max_iter = crate::profile::current().effective_max_iter(eff_opts.max_iter);
+    let opts = &eff_opts;
     let mut solver = NewtonSolver::new(*opts);
     let mut st = Stamper::new(n);
     loop {
@@ -250,8 +276,17 @@ pub(crate) fn newton_solve(
         if let Some(clamps) = ic_clamps {
             load_ic_clamps(clamps, x, &mut st);
         }
-        let dx = st.solve()?;
+        let dx = match st.solve() {
+            Ok(dx) => dx,
+            Err(e) => {
+                crate::stats::count_newton_iterations(solver.iterations() as u64);
+                crate::stats::count_nonconvergence();
+                return Err(e);
+            }
+        };
         if !dx.iter().all(|v| v.is_finite()) {
+            crate::stats::count_newton_iterations(solver.iterations() as u64);
+            crate::stats::count_nonconvergence();
             return Err(SpiceError::NoConvergence {
                 analysis: "newton",
                 time: ctx.time(),
@@ -259,9 +294,14 @@ pub(crate) fn newton_solve(
             });
         }
         match solver.apply_step(x, &dx) {
-            NewtonStatus::Converged => return Ok(solver.iterations()),
+            NewtonStatus::Converged => {
+                crate::stats::count_newton_iterations(solver.iterations() as u64);
+                return Ok(solver.iterations());
+            }
             NewtonStatus::Continue => {
                 if solver.exhausted() {
+                    crate::stats::count_newton_iterations(solver.iterations() as u64);
+                    crate::stats::count_nonconvergence();
                     return Err(SpiceError::NoConvergence {
                         analysis: "newton",
                         time: ctx.time(),

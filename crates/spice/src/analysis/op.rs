@@ -23,7 +23,11 @@ pub struct OpOptions {
 
 impl Default for OpOptions {
     fn default() -> Self {
-        OpOptions { gmin: 1e-12, newton: NewtonOptions::default(), max_state_loops: 16 }
+        OpOptions {
+            gmin: 1e-12,
+            newton: NewtonOptions::default(),
+            max_state_loops: 16,
+        }
     }
 }
 
@@ -58,11 +62,7 @@ pub fn op_with(ckt: &mut Circuit, opts: &OpOptions) -> Result<OpResult> {
 ///
 /// See [`op`]; additionally returns [`SpiceError::InvalidCircuit`] if a
 /// seed references a node outside the circuit.
-pub fn op_seeded(
-    ckt: &mut Circuit,
-    seeds: &[(NodeId, f64)],
-    opts: &OpOptions,
-) -> Result<OpResult> {
+pub fn op_seeded(ckt: &mut Circuit, seeds: &[(NodeId, f64)], opts: &OpOptions) -> Result<OpResult> {
     let n = ckt.num_unknowns();
     let mut guess = vec![0.0; n];
     for dev in ckt.devices() {
@@ -155,41 +155,59 @@ fn solve_dc_point(
     opts: &OpOptions,
     ic_clamps: Option<&[(NodeId, f64)]>,
 ) -> Result<()> {
-    let base_ctx = LoadContext { mode: Mode::Dc, gmin: opts.gmin, source_scale: 1.0 };
+    // Harness retry-ladder overrides (neutral unless a rung is active).
+    let prof = crate::profile::current();
+    let base_gmin = prof.effective_gmin(opts.gmin);
+    let base_ctx = LoadContext {
+        mode: Mode::Dc,
+        gmin: base_gmin,
+        source_scale: 1.0,
+    };
     let saved: Vec<f64> = x.to_vec();
-    if newton_solve(ckt, x, &base_ctx, &opts.newton, None, ic_clamps).is_ok() {
-        return Ok(());
-    }
-
-    // g_min stepping: start very lossy, tighten geometrically.
-    x.copy_from_slice(&saved);
-    let mut ok = true;
-    let mut gmin = 1e-2;
-    while gmin > opts.gmin {
-        let ctx = LoadContext { mode: Mode::Dc, gmin, source_scale: 1.0 };
-        if newton_solve(ckt, x, &ctx, &opts.newton, None, ic_clamps).is_err() {
-            ok = false;
-            break;
+    if !prof.force_source_stepping {
+        if newton_solve(ckt, x, &base_ctx, &opts.newton, None, ic_clamps).is_ok() {
+            return Ok(());
         }
-        gmin /= 10.0;
-    }
-    if ok && newton_solve(ckt, x, &base_ctx, &opts.newton, None, ic_clamps).is_ok() {
-        return Ok(());
+
+        // g_min stepping: start very lossy, tighten geometrically. Under a
+        // retry rung the ladder is finer (÷3 per rung instead of ÷10).
+        x.copy_from_slice(&saved);
+        let mut ok = true;
+        let mut gmin = 1e-2;
+        let tighten = if prof.gmin_floor.is_some() { 3.0 } else { 10.0 };
+        while gmin > base_gmin {
+            let ctx = LoadContext {
+                mode: Mode::Dc,
+                gmin,
+                source_scale: 1.0,
+            };
+            if newton_solve(ckt, x, &ctx, &opts.newton, None, ic_clamps).is_err() {
+                ok = false;
+                break;
+            }
+            gmin /= tighten;
+        }
+        if ok && newton_solve(ckt, x, &base_ctx, &opts.newton, None, ic_clamps).is_ok() {
+            return Ok(());
+        }
     }
 
-    // Source stepping: ramp all independent sources from 10% to 100%.
+    // Source stepping: ramp all independent sources to 100% (finer ramp
+    // when the retry ladder demands it).
     x.iter_mut().for_each(|v| *v = 0.0);
-    for step in 1..=10 {
+    let ramp_steps = if prof.force_source_stepping { 20 } else { 10 };
+    for step in 1..=ramp_steps {
+        let scale = step as f64 / ramp_steps as f64;
         let ctx = LoadContext {
             mode: Mode::Dc,
-            gmin: opts.gmin,
-            source_scale: step as f64 / 10.0,
+            gmin: base_gmin,
+            source_scale: scale,
         };
         newton_solve(ckt, x, &ctx, &opts.newton, None, ic_clamps).map_err(|e| {
             SpiceError::NoConvergence {
                 analysis: "op",
                 time: 0.0,
-                detail: format!("source stepping failed at scale {}%: {e}", step * 10),
+                detail: format!("source stepping failed at scale {:.0}%: {e}", scale * 100.0),
             }
         })?;
     }
@@ -327,7 +345,11 @@ mod fallback_tests {
         // tiny max_iter makes the direct attempt fail, but each fallback
         // stage starts closer and eventually lands.
         let opts = OpOptions {
-            newton: NewtonOptions { max_iter: 12, max_step: 0.3, ..Default::default() },
+            newton: NewtonOptions {
+                max_iter: 12,
+                max_step: 0.3,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let res = op_with(&mut ckt, &opts).expect("fallbacks should converge");
@@ -343,7 +365,11 @@ mod fallback_tests {
         ckt.vsource(a, Circuit::GROUND, Waveform::dc(100.0));
         ckt.resistor(a, Circuit::GROUND, 1e3);
         let opts = OpOptions {
-            newton: NewtonOptions { max_iter: 2, max_step: 1e-3, ..Default::default() },
+            newton: NewtonOptions {
+                max_iter: 2,
+                max_step: 1e-3,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let err = op_with(&mut ckt, &opts).unwrap_err();

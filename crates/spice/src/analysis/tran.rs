@@ -98,14 +98,29 @@ fn collect_breakpoints(ckt: &Circuit, tstop: f64) -> Vec<f64> {
 /// point and netlist errors.
 pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<TranResult> {
     if !(tstop.is_finite() && tstop > 0.0) {
-        return Err(SpiceError::InvalidCircuit(format!("bad transient stop time {tstop}")));
+        return Err(SpiceError::InvalidCircuit(format!(
+            "bad transient stop time {tstop}"
+        )));
     }
     ckt.validate()?;
     ckt.reset_device_state();
     let n = ckt.num_unknowns();
 
+    // Harness retry-ladder overrides (neutral unless a rung is active).
+    let prof = crate::profile::current();
+    let gmin = prof.effective_gmin(opts.gmin);
+    let method = if prof.force_backward_euler {
+        IntegrationMethod::BackwardEuler
+    } else {
+        opts.method
+    };
+
     // --- Initial state at t = 0. ---
-    let op_opts = OpOptions { gmin: opts.gmin, newton: opts.newton, max_state_loops: 8 };
+    let op_opts = OpOptions {
+        gmin,
+        newton: opts.newton,
+        max_state_loops: 8,
+    };
     let ics: Vec<_> = ckt.ics().to_vec();
     let mut x = if opts.use_ic_only {
         let mut x0 = vec![0.0; n];
@@ -119,7 +134,11 @@ pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<Tr
         }
         x0
     } else {
-        let clamps = if ics.is_empty() { None } else { Some(ics.as_slice()) };
+        let clamps = if ics.is_empty() {
+            None
+        } else {
+            Some(ics.as_slice())
+        };
         op_vector(ckt, &op_opts, None, clamps)?
     };
 
@@ -174,10 +193,14 @@ pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<Tr
         }
 
         let t_new = t + dt_step;
-        let backward_euler = force_be || opts.method == IntegrationMethod::BackwardEuler;
+        let backward_euler = force_be || method == IntegrationMethod::BackwardEuler;
         let ctx = LoadContext {
-            mode: Mode::Transient { time: t_new, dt: dt_step, backward_euler },
-            gmin: opts.gmin,
+            mode: Mode::Transient {
+                time: t_new,
+                dt: dt_step,
+                backward_euler,
+            },
+            gmin,
             source_scale: 1.0,
         };
 
@@ -187,6 +210,7 @@ pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<Tr
             Ok(_) => {}
             Err(_) => {
                 // Shrink and retry.
+                crate::stats::count_step_rejection();
                 dt = dt_step / 8.0;
                 force_be = true;
                 continue;
@@ -205,11 +229,13 @@ pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<Tr
             }
         }
         if err > 8.0 * opts.lte_tol && dt_step > 4.0 * dt_min && !hit_bp {
+            crate::stats::count_step_rejection();
             dt = dt_step * 0.5;
             continue;
         }
 
         // Accept the step.
+        crate::stats::count_step_accepted();
         let sol = Solution::new(&x_try);
         let mut state_changed = false;
         for dev in ckt.devices_mut() {
@@ -295,14 +321,20 @@ mod tests {
         ckt.set_ic(a, 1.0);
         // A DC clamp would fight the inductor short; start from the IC
         // directly (SPICE UIC).
-        let opts = TranOptions { lte_tol: 1e-4, use_ic_only: true, ..Default::default() };
+        let opts = TranOptions {
+            lte_tol: 1e-4,
+            use_ic_only: true,
+            ..Default::default()
+        };
         let period = 2.0 * std::f64::consts::PI * (1e-9f64 * 1e-6).sqrt(); // ≈ 199 ns
         let res = transient(&mut ckt, 3.0 * period, &opts).unwrap();
         let v = res.voltage(a);
         // Initial condition respected.
         assert!((v.values()[0] - 1.0).abs() < 1e-3);
         // First falling zero crossing at period/4.
-        let t_zero = v.crossing_falling(0.0, 0.0).expect("oscillation crosses zero");
+        let t_zero = v
+            .crossing_falling(0.0, 0.0)
+            .expect("oscillation crosses zero");
         assert!(
             (t_zero - period / 4.0).abs() < period * 0.02,
             "zero at {t_zero}, expected {}",
@@ -314,7 +346,11 @@ mod tests {
     fn pulse_source_edges_are_resolved() {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
-        ckt.vsource(a, Circuit::GROUND, Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 2e-9, 10e-9));
+        ckt.vsource(
+            a,
+            Circuit::GROUND,
+            Waveform::pulse(0.0, 1.0, 1e-9, 0.1e-9, 0.1e-9, 2e-9, 10e-9),
+        );
         ckt.resistor(a, Circuit::GROUND, 1e3);
         let res = transient(&mut ckt, 5e-9, &TranOptions::default()).unwrap();
         let v = res.voltage(a);
@@ -341,7 +377,10 @@ mod tests {
         ckt.resistor(a, Circuit::GROUND, 1e3);
         ckt.capacitor(a, Circuit::GROUND, 1e-9);
         ckt.set_ic(a, 2.0);
-        let opts = TranOptions { use_ic_only: true, ..Default::default() };
+        let opts = TranOptions {
+            use_ic_only: true,
+            ..Default::default()
+        };
         let res = transient(&mut ckt, 1e-6, &opts).unwrap();
         let v = res.voltage(a);
         assert!((v.values()[0] - 2.0).abs() < 1e-9);

@@ -140,7 +140,10 @@ impl Circuit {
     /// circuit layout is already frozen by an analysis.
     pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> ElementId {
         self.assert_mutable();
-        assert!(ohms.is_finite() && ohms > 0.0, "resistance must be positive, got {ohms}");
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive, got {ohms}"
+        );
         self.elements.push(Element::Resistor { a, b, ohms });
         ElementId(self.elements.len() - 1)
     }
@@ -174,7 +177,12 @@ impl Circuit {
         );
         let branch = self.num_branches;
         self.num_branches += 1;
-        self.elements.push(Element::Inductor { a, b, henries, branch });
+        self.elements.push(Element::Inductor {
+            a,
+            b,
+            henries,
+            branch,
+        });
         ElementId(self.elements.len() - 1)
     }
 
@@ -191,7 +199,10 @@ impl Circuit {
         let branch = self.num_branches;
         self.num_branches += 1;
         self.elements.push(Element::VSource { p, m, wave, branch });
-        SourceRef { element: self.elements.len() - 1, branch }
+        SourceRef {
+            element: self.elements.len() - 1,
+            branch,
+        }
     }
 
     /// Adds an independent current source driving current from `from` to
@@ -230,7 +241,14 @@ impl Circuit {
         assert!(gain.is_finite(), "gain must be finite");
         let branch = self.num_branches;
         self.num_branches += 1;
-        self.elements.push(Element::Vcvs { op, om, cp, cm, gain, branch });
+        self.elements.push(Element::Vcvs {
+            op,
+            om,
+            cp,
+            cm,
+            gain,
+            branch,
+        });
         ElementId(self.elements.len() - 1)
     }
 
@@ -339,7 +357,9 @@ impl Circuit {
     /// found.
     pub fn validate(&self) -> Result<()> {
         if self.num_node_unknowns() == 0 {
-            return Err(SpiceError::InvalidCircuit("circuit has no nodes besides ground".into()));
+            return Err(SpiceError::InvalidCircuit(
+                "circuit has no nodes besides ground".into(),
+            ));
         }
         let mut degree = vec![0usize; self.num_nodes()];
         let mut mark = |n: NodeId| degree[n.index()] += 1;
@@ -391,7 +411,9 @@ impl Circuit {
             }
         }
         if degree[0] == 0 && self.devices.is_empty() {
-            return Err(SpiceError::InvalidCircuit("nothing is connected to ground".into()));
+            return Err(SpiceError::InvalidCircuit(
+                "nothing is connected to ground".into(),
+            ));
         }
         Ok(())
     }
@@ -466,7 +488,10 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         ckt.resistor(a, Circuit::GROUND, 1.0);
-        let fake = SourceRef { element: 0, branch: 0 };
+        let fake = SourceRef {
+            element: 0,
+            branch: 0,
+        };
         assert!(ckt.set_vsource_dc(fake, 1.0).is_err());
     }
 

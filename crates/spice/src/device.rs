@@ -40,7 +40,11 @@ pub struct LoadContext {
 impl LoadContext {
     /// A plain DC context with the given `gmin`.
     pub fn dc(gmin: f64) -> LoadContext {
-        LoadContext { mode: Mode::Dc, gmin, source_scale: 1.0 }
+        LoadContext {
+            mode: Mode::Dc,
+            gmin,
+            source_scale: 1.0,
+        }
     }
 
     /// The time at the end of the step (`0.0` in DC).

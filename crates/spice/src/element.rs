@@ -160,7 +160,11 @@ mod tests {
 
     #[test]
     fn branch_carriers() {
-        let r = Element::Resistor { a: NodeId(1), b: NodeId(0), ohms: 1.0 };
+        let r = Element::Resistor {
+            a: NodeId(1),
+            b: NodeId(0),
+            ohms: 1.0,
+        };
         assert_eq!(r.branch(), None);
         let v = Element::VSource {
             p: NodeId(1),

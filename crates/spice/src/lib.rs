@@ -18,6 +18,11 @@
 //! * [`analysis`] — operating point (with g_min stepping and source
 //!   ramping), DC sweep, and transient analysis.
 //! * [`result`] — waveforms and probe access.
+//! * [`stats`] — per-thread solver telemetry (Newton iterations, LU
+//!   factorizations, step rejections) for harness run reports.
+//! * [`profile`] — thread-local robustness overrides consumed by the
+//!   harness retry ladder (g_min floor, forced source stepping,
+//!   backward-Euler-only integration).
 //!
 //! # Example: RC low-pass step response
 //!
@@ -45,8 +50,10 @@ pub mod circuit;
 pub mod device;
 pub mod element;
 pub mod netlist;
+pub mod profile;
 pub mod result;
 pub mod stamp;
+pub mod stats;
 pub mod vcd;
 pub mod waveform;
 
@@ -82,8 +89,15 @@ impl fmt::Display for SpiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpiceError::Numeric(e) => write!(f, "numerical failure: {e}"),
-            SpiceError::NoConvergence { analysis, time, detail } => {
-                write!(f, "{analysis} failed to converge at t = {time:.4e} s: {detail}")
+            SpiceError::NoConvergence {
+                analysis,
+                time,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "{analysis} failed to converge at t = {time:.4e} s: {detail}"
+                )
             }
             SpiceError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
             SpiceError::UnknownProbe(msg) => write!(f, "unknown probe: {msg}"),
@@ -117,7 +131,11 @@ mod tests {
     fn error_display_is_nonempty() {
         let errors = [
             SpiceError::Numeric(NumericError::SingularMatrix { column: 0 }),
-            SpiceError::NoConvergence { analysis: "op", time: 0.0, detail: "x".into() },
+            SpiceError::NoConvergence {
+                analysis: "op",
+                time: 0.0,
+                detail: "x".into(),
+            },
             SpiceError::InvalidCircuit("bad".into()),
             SpiceError::UnknownProbe("n7".into()),
         ];

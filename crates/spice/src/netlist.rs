@@ -49,7 +49,13 @@ pub trait DeviceFactory {
 pub struct NoDevices;
 
 impl DeviceFactory for NoDevices {
-    fn make(&self, _: &str, _: &str, _: &[NodeId], _: &HashMap<String, f64>) -> Option<Box<dyn Device>> {
+    fn make(
+        &self,
+        _: &str,
+        _: &str,
+        _: &[NodeId],
+        _: &HashMap<String, f64>,
+    ) -> Option<Box<dyn Device>> {
         None
     }
 }
@@ -131,9 +137,8 @@ pub fn parse_value(token: &str) -> Result<f64> {
             break;
         }
     }
-    let (base, rest) = best.ok_or_else(|| {
-        SpiceError::InvalidCircuit(format!("cannot parse number from '{token}'"))
-    })?;
+    let (base, rest) = best
+        .ok_or_else(|| SpiceError::InvalidCircuit(format!("cannot parse number from '{token}'")))?;
     let mult = if rest.starts_with("meg") {
         1e6
     } else {
@@ -161,12 +166,12 @@ fn parse_waveform(tokens: &[String]) -> Result<Waveform> {
         // Re-join and strip "PREFIX(" ... ")".
         let joined = tokens.join(" ");
         let upper = joined.to_ascii_uppercase();
-        let open = upper.find('(').ok_or_else(|| {
-            SpiceError::InvalidCircuit(format!("{prefix} source needs '(args)'"))
-        })?;
-        let close = upper.rfind(')').ok_or_else(|| {
-            SpiceError::InvalidCircuit(format!("{prefix} source missing ')'"))
-        })?;
+        let open = upper
+            .find('(')
+            .ok_or_else(|| SpiceError::InvalidCircuit(format!("{prefix} source needs '(args)'")))?;
+        let close = upper
+            .rfind(')')
+            .ok_or_else(|| SpiceError::InvalidCircuit(format!("{prefix} source missing ')'")))?;
         joined[open + 1..close]
             .split([' ', ','])
             .filter(|s| !s.is_empty())
@@ -222,9 +227,9 @@ fn parse_waveform(tokens: &[String]) -> Result<Waveform> {
         return Ok(Waveform::exp(a[0], a[1], a[2], a[3], a[4], a[5]));
     }
     if head == "DC" {
-        let v = tokens.get(1).ok_or_else(|| {
-            SpiceError::InvalidCircuit("DC source needs a value".into())
-        })?;
+        let v = tokens
+            .get(1)
+            .ok_or_else(|| SpiceError::InvalidCircuit("DC source needs a value".into()))?;
         return Ok(Waveform::dc(parse_value(v)?));
     }
     // Bare value.
@@ -268,7 +273,11 @@ fn extract_subckts(lines: Vec<String>) -> Result<(HashMap<String, Subckt>, Vec<S
     let mut top = Vec::new();
     let mut current: Option<(String, Subckt)> = None;
     for line in lines {
-        let first = line.split_whitespace().next().unwrap_or("").to_ascii_uppercase();
+        let first = line
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_ascii_uppercase();
         if first == ".SUBCKT" {
             if current.is_some() {
                 return Err(SpiceError::InvalidCircuit(
@@ -300,7 +309,9 @@ fn extract_subckts(lines: Vec<String>) -> Result<(HashMap<String, Subckt>, Vec<S
         }
     }
     if let Some((name, _)) = current {
-        return Err(SpiceError::InvalidCircuit(format!(".subckt {name} missing .ends")));
+        return Err(SpiceError::InvalidCircuit(format!(
+            ".subckt {name} missing .ends"
+        )));
     }
     Ok((defs, top))
 }
@@ -311,7 +322,10 @@ fn node_token_range(card_kind: char, tokens: &[String]) -> std::ops::Range<usize
         'R' | 'C' | 'L' | 'V' | 'I' => 1..3.min(tokens.len()),
         'E' | 'G' => 1..5.min(tokens.len()),
         'M' | 'X' => {
-            let split = tokens.iter().position(|t| t.contains('=')).unwrap_or(tokens.len());
+            let split = tokens
+                .iter()
+                .position(|t| t.contains('='))
+                .unwrap_or(tokens.len());
             1..split.saturating_sub(1).max(1)
         }
         _ => 1..1,
@@ -330,9 +344,18 @@ fn expand_subckts(defs: &HashMap<String, Subckt>, top: Vec<String>) -> Result<Ve
             let card = tokens[0].to_ascii_uppercase();
             let is_x = card.starts_with('X');
             // The "model" of an X card is the last bare token.
-            let split = tokens.iter().position(|t| t.contains('=')).unwrap_or(tokens.len());
-            let model = tokens.get(split.wrapping_sub(1)).map(|m| m.to_ascii_lowercase());
-            let def = if is_x { model.as_ref().and_then(|m| defs.get(m)) } else { None };
+            let split = tokens
+                .iter()
+                .position(|t| t.contains('='))
+                .unwrap_or(tokens.len());
+            let model = tokens
+                .get(split.wrapping_sub(1))
+                .map(|m| m.to_ascii_lowercase());
+            let def = if is_x {
+                model.as_ref().and_then(|m| defs.get(m))
+            } else {
+                None
+            };
             let Some(def) = def else {
                 expanded.push(line);
                 continue;
@@ -358,15 +381,21 @@ fn expand_subckts(defs: &HashMap<String, Subckt>, top: Vec<String>) -> Result<Ve
                 format!("{inst}.{low}")
             };
             for body_line in &def.body {
-                let mut btok: Vec<String> =
-                    body_line.split_whitespace().map(|s| s.to_string()).collect();
+                let mut btok: Vec<String> = body_line
+                    .split_whitespace()
+                    .map(|s| s.to_string())
+                    .collect();
                 if btok[0].starts_with('.') {
                     return Err(SpiceError::InvalidCircuit(format!(
                         "directive '{}' inside .subckt body",
                         btok[0]
                     )));
                 }
-                let kind = btok[0].to_ascii_uppercase().chars().next().expect("nonempty");
+                let kind = btok[0]
+                    .to_ascii_uppercase()
+                    .chars()
+                    .next()
+                    .expect("nonempty");
                 let range = node_token_range(kind, &btok);
                 for k in range {
                     btok[k] = map_node(&btok[k]);
@@ -562,7 +591,12 @@ pub fn parse_deck<F: DeviceFactory>(text: &str, factory: &F) -> Result<ParsedDec
             other => return Err(bad(&format!("unknown element type '{other}'"))),
         }
     }
-    Ok(ParsedDeck { circuit: ckt, directives, sources, nodes })
+    Ok(ParsedDeck {
+        circuit: ckt,
+        directives,
+        sources,
+        nodes,
+    })
 }
 
 #[cfg(test)]
@@ -575,7 +609,10 @@ mod tests {
     fn value_suffixes() {
         let close = |t: &str, v: f64| {
             let got = parse_value(t).unwrap();
-            assert!((got - v).abs() <= 1e-12 * v.abs().max(1e-20), "{t}: {got} vs {v}");
+            assert!(
+                (got - v).abs() <= 1e-12 * v.abs().max(1e-20),
+                "{t}: {got} vs {v}"
+            );
         };
         close("10k", 10e3);
         close("2.5u", 2.5e-6);
@@ -666,7 +703,12 @@ R1 in 0 1k
         let parsed = parse_deck(deck, &NoDevices).unwrap();
         assert_eq!(
             parsed.directives,
-            vec![Directive::Dc { source: "V1".into(), start: 0.0, stop: 1.2, step: 0.1 }]
+            vec![Directive::Dc {
+                source: "V1".into(),
+                start: 0.0,
+                stop: 1.2,
+                step: 0.1
+            }]
         );
     }
 
@@ -712,7 +754,11 @@ R3 mid 0 1meg
         // Internal subckt node got prefixed and became v(mid) via the pin.
         let mid = parsed.nodes["mid"];
         // Divider loaded by 1 MΩ: very close to 1.0 V.
-        assert!((res.voltage(mid) - 1.0).abs() < 5e-3, "v(mid) = {}", res.voltage(mid));
+        assert!(
+            (res.voltage(mid) - 1.0).abs() < 5e-3,
+            "v(mid) = {}",
+            res.voltage(mid)
+        );
     }
 
     #[test]
@@ -735,7 +781,11 @@ R9 out 0 2k
         let res = op(&mut ckt).unwrap();
         // 2 kΩ series (two units) into 2 kΩ: v(out) = 0.5.
         let out = parsed.nodes["out"];
-        assert!((res.voltage(out) - 0.5).abs() < 1e-6, "v(out) = {}", res.voltage(out));
+        assert!(
+            (res.voltage(out) - 0.5).abs() < 1e-6,
+            "v(out) = {}",
+            res.voltage(out)
+        );
     }
 
     #[test]

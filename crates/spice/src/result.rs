@@ -160,7 +160,10 @@ impl Trace {
 
     /// Maximum sample value.
     pub fn max_value(&self) -> f64 {
-        self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        self.values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Minimum over `[t0, t1]` of the linear interpolant.
@@ -194,7 +197,10 @@ impl Trace {
             .zip(self.values.iter())
             .map(|(&t, &v)| v * other.eval(t))
             .collect();
-        Trace { times: self.times.clone(), values }
+        Trace {
+            times: self.times.clone(),
+            values,
+        }
     }
 
     /// Pointwise scaling by a constant.
@@ -216,7 +222,11 @@ pub struct OpResult {
 
 impl OpResult {
     pub(crate) fn new(x: Vec<f64>, num_node_unknowns: usize, branch_base: usize) -> OpResult {
-        OpResult { x, num_node_unknowns, branch_base }
+        OpResult {
+            x,
+            num_node_unknowns,
+            branch_base,
+        }
     }
 
     /// Voltage of node `n` (`0.0` for ground).
@@ -280,7 +290,12 @@ pub struct TranResult {
 
 impl TranResult {
     pub(crate) fn new(num_node_unknowns: usize, branch_base: usize) -> TranResult {
-        TranResult { times: Vec::new(), data: Vec::new(), num_node_unknowns, branch_base }
+        TranResult {
+            times: Vec::new(),
+            data: Vec::new(),
+            num_node_unknowns,
+            branch_base,
+        }
     }
 
     pub(crate) fn push(&mut self, t: f64, x: &[f64]) {
@@ -332,7 +347,9 @@ impl TranResult {
     /// Returns [`SpiceError::UnknownProbe`] if the index is out of range.
     pub fn raw_unknown(&self, idx: usize) -> Result<Trace> {
         if self.data.first().is_none_or(|x| idx >= x.len()) {
-            return Err(SpiceError::UnknownProbe(format!("raw unknown {idx} out of range")));
+            return Err(SpiceError::UnknownProbe(format!(
+                "raw unknown {idx} out of range"
+            )));
         }
         let values = self.data.iter().map(|x| x[idx]).collect();
         Ok(Trace::new(self.times.clone(), values))
@@ -383,8 +400,12 @@ impl TranResult {
                 let vb = self.voltage(*b);
                 let n = self.times.len();
                 assert!(n >= 2, "capacitor current needs at least two points");
-                let v: Vec<f64> =
-                    va.values().iter().zip(vb.values()).map(|(x, y)| x - y).collect();
+                let v: Vec<f64> = va
+                    .values()
+                    .iter()
+                    .zip(vb.values())
+                    .map(|(x, y)| x - y)
+                    .collect();
                 let mut i = vec![0.0; n];
                 for (k, ik) in i.iter_mut().enumerate() {
                     let (k0, k1) = if k == 0 {
@@ -473,7 +494,10 @@ mod tests {
         let op = OpResult::new(vec![1.0, 2.0, -0.5], 2, 2);
         assert_eq!(op.voltage(NodeId(1)), 1.0);
         assert_eq!(op.voltage(NodeId::GROUND), 0.0);
-        let s = SourceRef { element: 0, branch: 0 };
+        let s = SourceRef {
+            element: 0,
+            branch: 0,
+        };
         assert_eq!(op.source_current(s), -0.5);
     }
 
@@ -484,7 +508,10 @@ mod tests {
         tr.push(1.0, &[1.0, 0.2]);
         assert_eq!(tr.num_points(), 2);
         assert_eq!(tr.voltage(NodeId(1)).last_value(), 1.0);
-        let s = SourceRef { element: 0, branch: 0 };
+        let s = SourceRef {
+            element: 0,
+            branch: 0,
+        };
         assert_eq!(tr.source_current(s).last_value(), 0.2);
         assert!(tr.raw_unknown(5).is_err());
         assert_eq!(tr.final_state(), &[1.0, 0.2]);

@@ -43,7 +43,11 @@ impl Stamper {
         } else {
             Backend::Sparse(Triplet::with_capacity(n, n, n * 8))
         };
-        Stamper { n, backend, rhs: vec![0.0; n] }
+        Stamper {
+            n,
+            backend,
+            rhs: vec![0.0; n],
+        }
     }
 
     /// Number of unknowns.
@@ -165,6 +169,7 @@ impl Stamper {
     ///
     /// Propagates singular-matrix failures from the linear solver.
     pub fn solve(&self) -> Result<Vec<f64>> {
+        crate::stats::count_lu_factorization();
         let neg_f: Vec<f64> = self.rhs.iter().map(|&v| -v).collect();
         let dx = match &self.backend {
             Backend::Dense(m) => {

@@ -1,0 +1,186 @@
+//! Per-thread solver telemetry counters.
+//!
+//! Every analysis in this crate increments a set of thread-local,
+//! monotonically increasing counters: Newton iterations, LU
+//! factorizations, transient step rejections/acceptances, and
+//! non-convergence events. Orchestration layers (the `nemscmos-harness`
+//! crate) attribute work to a job by taking a [`snapshot`] before and
+//! after it and diffing — there is no reset, so nested scopes compose.
+//!
+//! Counters are thread-local; when a caller fans work out to other
+//! threads it is responsible for summing the child deltas back into its
+//! own thread with [`add`] (the harness pool does this automatically).
+//!
+//! # Example
+//!
+//! ```
+//! use nemscmos_spice::stats;
+//!
+//! let before = stats::snapshot();
+//! // ... run an analysis ...
+//! let spent = stats::snapshot().delta_since(&before);
+//! assert_eq!(spent.newton_iterations, 0); // nothing ran in this doctest
+//! ```
+
+use std::cell::Cell;
+use std::ops::{Add, AddAssign};
+
+/// Cumulative solver-effort counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Newton iterations applied (converged or not).
+    pub newton_iterations: u64,
+    /// Jacobian LU factorizations (one per Newton iteration that reaches
+    /// the linear solve).
+    pub lu_factorizations: u64,
+    /// Transient steps rejected (Newton failure or LTE violation).
+    pub step_rejections: u64,
+    /// Transient steps accepted.
+    pub steps_accepted: u64,
+    /// Newton solves that gave up (triggering fallbacks or job retries).
+    pub nonconvergence_events: u64,
+}
+
+impl SolverStats {
+    /// Counters accumulated since `earlier` (which must be an older
+    /// snapshot from the same thread, or a summed baseline).
+    pub fn delta_since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            newton_iterations: self.newton_iterations - earlier.newton_iterations,
+            lu_factorizations: self.lu_factorizations - earlier.lu_factorizations,
+            step_rejections: self.step_rejections - earlier.step_rejections,
+            steps_accepted: self.steps_accepted - earlier.steps_accepted,
+            nonconvergence_events: self.nonconvergence_events - earlier.nonconvergence_events,
+        }
+    }
+
+    /// True if every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == SolverStats::default()
+    }
+}
+
+impl Add for SolverStats {
+    type Output = SolverStats;
+    fn add(self, rhs: SolverStats) -> SolverStats {
+        SolverStats {
+            newton_iterations: self.newton_iterations + rhs.newton_iterations,
+            lu_factorizations: self.lu_factorizations + rhs.lu_factorizations,
+            step_rejections: self.step_rejections + rhs.step_rejections,
+            steps_accepted: self.steps_accepted + rhs.steps_accepted,
+            nonconvergence_events: self.nonconvergence_events + rhs.nonconvergence_events,
+        }
+    }
+}
+
+impl AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        *self = *self + rhs;
+    }
+}
+
+thread_local! {
+    static COUNTERS: Cell<SolverStats> = const { Cell::new(SolverStats {
+        newton_iterations: 0,
+        lu_factorizations: 0,
+        step_rejections: 0,
+        steps_accepted: 0,
+        nonconvergence_events: 0,
+    }) };
+}
+
+/// Current counter values for this thread.
+pub fn snapshot() -> SolverStats {
+    COUNTERS.with(|c| c.get())
+}
+
+/// Adds `delta` into this thread's counters — used to fold work done on
+/// worker threads back into the spawning thread.
+pub fn add(delta: SolverStats) {
+    COUNTERS.with(|c| c.set(c.get() + delta));
+}
+
+/// Runs `f` and returns its result together with the solver effort it
+/// spent on this thread.
+pub fn measure<R>(f: impl FnOnce() -> R) -> (R, SolverStats) {
+    let before = snapshot();
+    let r = f();
+    (r, snapshot().delta_since(&before))
+}
+
+pub(crate) fn count_newton_iterations(n: u64) {
+    add(SolverStats {
+        newton_iterations: n,
+        ..SolverStats::default()
+    });
+}
+
+pub(crate) fn count_lu_factorization() {
+    add(SolverStats {
+        lu_factorizations: 1,
+        ..SolverStats::default()
+    });
+}
+
+pub(crate) fn count_step_rejection() {
+    add(SolverStats {
+        step_rejections: 1,
+        ..SolverStats::default()
+    });
+}
+
+pub(crate) fn count_step_accepted() {
+    add(SolverStats {
+        steps_accepted: 1,
+        ..SolverStats::default()
+    });
+}
+
+pub(crate) fn count_nonconvergence() {
+    add(SolverStats {
+        nonconvergence_events: 1,
+        ..SolverStats::default()
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone_and_diffable() {
+        let a = snapshot();
+        count_newton_iterations(3);
+        count_lu_factorization();
+        count_step_rejection();
+        count_step_accepted();
+        count_nonconvergence();
+        let d = snapshot().delta_since(&a);
+        assert_eq!(d.newton_iterations, 3);
+        assert_eq!(d.lu_factorizations, 1);
+        assert_eq!(d.step_rejections, 1);
+        assert_eq!(d.steps_accepted, 1);
+        assert_eq!(d.nonconvergence_events, 1);
+        assert!(!d.is_zero());
+    }
+
+    #[test]
+    fn measure_scopes_compose() {
+        let ((), outer) = measure(|| {
+            count_newton_iterations(2);
+            let ((), inner) = measure(|| count_newton_iterations(5));
+            assert_eq!(inner.newton_iterations, 5);
+        });
+        assert_eq!(outer.newton_iterations, 7);
+    }
+
+    #[test]
+    fn add_folds_external_work() {
+        let before = snapshot();
+        add(SolverStats {
+            newton_iterations: 11,
+            ..Default::default()
+        });
+        assert_eq!(snapshot().delta_since(&before).newton_iterations, 11);
+    }
+}

@@ -36,7 +36,9 @@ pub fn write_vcd<W: Write>(
     nodes: &[NodeId],
 ) -> Result<()> {
     if nodes.is_empty() {
-        return Err(SpiceError::UnknownProbe("VCD export needs at least one node".into()));
+        return Err(SpiceError::UnknownProbe(
+            "VCD export needs at least one node".into(),
+        ));
     }
     let io_err = |e: std::io::Error| SpiceError::InvalidCircuit(format!("VCD write failed: {e}"));
 

@@ -80,13 +80,32 @@ impl Waveform {
     ///
     /// Panics if `rise`, `fall` or `width` is negative, or if the period is
     /// not long enough to contain `rise + width + fall`.
-    pub fn pulse(v1: f64, v2: f64, delay: f64, rise: f64, fall: f64, width: f64, period: f64) -> Waveform {
-        assert!(rise >= 0.0 && fall >= 0.0 && width >= 0.0, "negative pulse timing");
+    pub fn pulse(
+        v1: f64,
+        v2: f64,
+        delay: f64,
+        rise: f64,
+        fall: f64,
+        width: f64,
+        period: f64,
+    ) -> Waveform {
+        assert!(
+            rise >= 0.0 && fall >= 0.0 && width >= 0.0,
+            "negative pulse timing"
+        );
         assert!(
             period >= rise + width + fall,
             "pulse period {period} too short for rise+width+fall"
         );
-        Waveform::Pulse { v1, v2, delay, rise, fall, width, period }
+        Waveform::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        }
     }
 
     /// A piecewise-linear waveform.
@@ -108,9 +127,19 @@ impl Waveform {
     /// Panics if a time constant is not strictly positive or the fall
     /// starts before the rise.
     pub fn exp(v1: f64, v2: f64, td1: f64, tau1: f64, td2: f64, tau2: f64) -> Waveform {
-        assert!(tau1 > 0.0 && tau2 > 0.0, "EXP time constants must be positive");
+        assert!(
+            tau1 > 0.0 && tau2 > 0.0,
+            "EXP time constants must be positive"
+        );
         assert!(td2 >= td1, "EXP fall must start at or after the rise");
-        Waveform::Exp { v1, v2, td1, tau1, td2, tau2 }
+        Waveform::Exp {
+            v1,
+            v2,
+            td1,
+            tau1,
+            td2,
+            tau2,
+        }
     }
 
     /// A one-shot step from `v1` to `v2` starting at `t0`, rising over `tr`.
@@ -130,7 +159,15 @@ impl Waveform {
     pub fn eval(&self, t: f64) -> f64 {
         match self {
             Waveform::Dc(v) => *v,
-            Waveform::Pulse { v1, v2, delay, rise, fall, width, period } => {
+            Waveform::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
                 if t < *delay {
                     return *v1;
                 }
@@ -154,14 +191,26 @@ impl Waveform {
                 }
             }
             Waveform::Pwl(pwl) => pwl.eval(t),
-            Waveform::Sin { offset, ampl, freq, delay } => {
+            Waveform::Sin {
+                offset,
+                ampl,
+                freq,
+                delay,
+            } => {
                 if t < *delay {
                     *offset
                 } else {
                     offset + ampl * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
                 }
             }
-            Waveform::Exp { v1, v2, td1, tau1, td2, tau2 } => {
+            Waveform::Exp {
+                v1,
+                v2,
+                td1,
+                tau1,
+                td2,
+                tau2,
+            } => {
                 // Standard SPICE additive form: the rise term persists and
                 // the fall term cancels it back toward v1.
                 let mut v = *v1;
@@ -192,7 +241,14 @@ impl Waveform {
     pub fn breakpoints(&self, tstop: f64, out: &mut Vec<f64>) {
         match self {
             Waveform::Dc(_) => {}
-            Waveform::Pulse { delay, rise, fall, width, period, .. } => {
+            Waveform::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => {
                 let mut t0 = *delay;
                 // Cap the number of emitted periods to keep pathological
                 // tiny-period sources from exploding the breakpoint list.
@@ -209,7 +265,12 @@ impl Waveform {
                 }
             }
             Waveform::Pwl(pwl) => {
-                out.extend(pwl.points().iter().map(|&(t, _)| t).filter(|&t| (0.0..=tstop).contains(&t)));
+                out.extend(
+                    pwl.points()
+                        .iter()
+                        .map(|&(t, _)| t)
+                        .filter(|&t| (0.0..=tstop).contains(&t)),
+                );
             }
             Waveform::Sin { delay, .. } => {
                 if (0.0..=tstop).contains(delay) {
@@ -286,7 +347,12 @@ mod tests {
 
     #[test]
     fn sin_starts_after_delay() {
-        let w = Waveform::Sin { offset: 1.0, ampl: 0.5, freq: 1.0, delay: 1.0 };
+        let w = Waveform::Sin {
+            offset: 1.0,
+            ampl: 0.5,
+            freq: 1.0,
+            delay: 1.0,
+        };
         assert_eq!(w.eval(0.5), 1.0);
         assert!((w.eval(1.25) - 1.5).abs() < 1e-12);
         assert_eq!(w.dc_value(), 1.0);

@@ -1,6 +1,11 @@
 //! Property-based tests of the circuit engine: linear-network theorems
 //! that must hold for any randomly generated netlist.
 
+#![cfg(feature = "proptest")]
+// Gated out of the default (offline) build: the external `proptest`
+// crate cannot be fetched without registry access. Vendor it and
+// enable the `proptest` feature to run these.
+
 use proptest::prelude::*;
 
 use nemscmos_spice::analysis::op::op;

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let f0_mech = beam.resonant_frequency();
     let q_mech = (k * m).sqrt() / c;
     println!("beam: k = {k:.3} N/m, m_eff = {m:.3e} kg, c = {c:.3e} N·s/m");
-    println!("mechanical prediction: f0 = {:.3} MHz, Q = {q_mech:.1}", f0_mech / 1e6);
+    println!(
+        "mechanical prediction: f0 = {:.3} MHz, Q = {q_mech:.1}",
+        f0_mech / 1e6
+    );
 
     // Electromechanical transduction at a DC bias.
     let v_bias = 5.0;
@@ -60,11 +63,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("electrical resonance:  f0 = {:.3} MHz", f_peak / 1e6);
 
     // −3 dB bandwidth → quality factor.
-    let mags: Vec<(f64, f64)> = freqs.iter().zip(res.voltage(n2)).map(|(&f, z)| (f, z.abs())).collect();
+    let mags: Vec<(f64, f64)> = freqs
+        .iter()
+        .zip(res.voltage(n2))
+        .map(|(&f, z)| (f, z.abs()))
+        .collect();
     let peak = mags.iter().map(|&(_, v)| v).fold(0.0f64, f64::max);
     let half = peak / 2f64.sqrt();
-    let lo = mags.iter().find(|&&(_, v)| v >= half).map(|&(f, _)| f).unwrap_or(f_peak);
-    let hi = mags.iter().rev().find(|&&(_, v)| v >= half).map(|&(f, _)| f).unwrap_or(f_peak);
+    let lo = mags
+        .iter()
+        .find(|&&(_, v)| v >= half)
+        .map(|&(f, _)| f)
+        .unwrap_or(f_peak);
+    let hi = mags
+        .iter()
+        .rev()
+        .find(|&&(_, v)| v >= half)
+        .map(|&(f, _)| f)
+        .unwrap_or(f_peak);
     let q_elec = f_peak / (hi - lo);
     println!("electrical Q ≈ {q_elec:.1} (mechanical {q_mech:.1})");
 
@@ -72,7 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\nresonance agreement: {:.2}% {}",
         err * 100.0,
-        if err < 0.02 { "— electrical analogy confirmed" } else { "— MISMATCH" }
+        if err < 0.02 {
+            "— electrical analogy confirmed"
+        } else {
+            "— MISMATCH"
+        }
     );
     Ok(())
 }

@@ -23,12 +23,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let vpi = dynamics.actuator().pull_in_voltage();
     let vpo = dynamics.actuator().pull_out_voltage();
     println!("pull-in voltage : {vpi:.3} V");
-    println!("pull-out voltage: {vpo:.3} V (hysteresis window {:.3} V)", vpi - vpo);
+    println!(
+        "pull-out voltage: {vpo:.3} V (hysteresis window {:.3} V)",
+        vpi - vpo
+    );
 
     println!("\n-- standalone beam: switching time vs overdrive --");
     for factor in [1.1, 1.5, 2.0, 3.0] {
         match dynamics.switching_time(factor * vpi, 5e-6, 1e-10) {
-            Some(t) => println!("  V = {:.2} V ({factor:.1}x V_pi): t_switch = {:.1} ns", factor * vpi, t * 1e9),
+            Some(t) => println!(
+                "  V = {:.2} V ({factor:.1}x V_pi): t_switch = {:.1} ns",
+                factor * vpi,
+                t * 1e9
+            ),
             None => println!("  V = {:.2} V: no pull-in within 5 µs", factor * vpi),
         }
     }
@@ -40,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let g = ckt.node("g");
     let d = ckt.node("d");
     ckt.vsource(vddn, Circuit::GROUND, Waveform::dc(1.2));
-    ckt.vsource(g, Circuit::GROUND, Waveform::step(0.0, 2.0 * vpi, 10e-9, 1e-9));
+    ckt.vsource(
+        g,
+        Circuit::GROUND,
+        Waveform::step(0.0, 2.0 * vpi, 10e-9, 1e-9),
+    );
     ckt.resistor(vddn, d, 100e3);
     let dev = DynamicNemfet::new(
         "x1",
@@ -52,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         1.0,
     );
     ckt.add_device(dev);
-    let opts = TranOptions { dt_max: Some(2e-9), ..Default::default() };
+    let opts = TranOptions {
+        dt_max: Some(2e-9),
+        ..Default::default()
+    };
     let res = transient(&mut ckt, 2e-6, &opts)?;
     // Displacement is the first internal unknown after 2 node-voltage
     // unknowns... the result exposes it by raw index: nodes-1 (3) + branches (2).

@@ -41,9 +41,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "configuration", "delay penalty", "sleep leak", "leak reduction"
     );
     for (label, block) in [
-        ("CMOS coarse footer", GatedBlock::coarse_footer(4, false, 2.0)),
-        ("NEMS coarse footer", GatedBlock::coarse_footer(4, true, 2.0)),
-        ("NEMS coarse footer, 4x W", GatedBlock::coarse_footer(4, true, 8.0)),
+        (
+            "CMOS coarse footer",
+            GatedBlock::coarse_footer(4, false, 2.0),
+        ),
+        (
+            "NEMS coarse footer",
+            GatedBlock::coarse_footer(4, true, 2.0),
+        ),
+        (
+            "NEMS coarse footer, 4x W",
+            GatedBlock::coarse_footer(4, true, 8.0),
+        ),
         (
             "NEMS fine-grain footer",
             GatedBlock::coarse_footer(4, true, 8.0).with_grain(GrainStyle::Fine),

@@ -14,7 +14,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tech = Technology::n90();
 
     println!("8-input dynamic OR gate, fan-out 1, V_dd = {} V", tech.vdd);
-    println!("{:<12} {:>12} {:>16} {:>14}", "style", "delay", "switching power", "leakage");
+    println!(
+        "{:<12} {:>12} {:>16} {:>14}",
+        "style", "delay", "switching power", "leakage"
+    );
 
     let mut results = Vec::new();
     for style in [PdnStyle::Cmos, PdnStyle::HybridNems] {

@@ -43,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hybrid.delay * 1e12,
             cmos.switching_power * 1e6,
             hybrid.switching_power * 1e6,
-            if hybrid_wins_both { "hybrid (both)" } else { "split" },
+            if hybrid_wins_both {
+                "hybrid (both)"
+            } else {
+                "split"
+            },
         );
     }
     match crossover {

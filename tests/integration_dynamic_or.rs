@@ -78,8 +78,14 @@ fn per_branch_vth_shifts_change_only_the_shifted_gate() {
         pdn_vth_shifts: vec![0.0, 0.1, 0.1, 0.1],
         ..nominal.clone()
     };
-    let d_nom = DynamicOrGate::build(&tech, &nominal).characterize(&tech).unwrap().delay;
-    let d_sh = DynamicOrGate::build(&tech, &shifted).characterize(&tech).unwrap().delay;
+    let d_nom = DynamicOrGate::build(&tech, &nominal)
+        .characterize(&tech)
+        .unwrap()
+        .delay;
+    let d_sh = DynamicOrGate::build(&tech, &shifted)
+        .characterize(&tech)
+        .unwrap()
+        .delay;
     assert!(
         (d_sh - d_nom).abs() / d_nom < 0.05,
         "off-path shifts changed delay: {d_nom:.3e} vs {d_sh:.3e}"
@@ -107,7 +113,11 @@ fn domino_cascade_propagates_monotonically() {
         Waveform::pulse(0.0, tech.vdd, 1e-9, 30e-12, 30e-12, 2.5e-9, 40e-9),
     );
     let a = ckt.node("a");
-    ckt.vsource(a, Circuit::GROUND, Waveform::step(0.0, tech.vdd, 1.1e-9, 30e-12));
+    ckt.vsource(
+        a,
+        Circuit::GROUND,
+        Waveform::step(0.0, tech.vdd, 1.1e-9, 30e-12),
+    );
 
     // One domino stage: precharge + keeper + (NMOS, NEMS) branch + buffer.
     let stage = |ckt: &mut Circuit, tag: &str, input| {
@@ -116,7 +126,14 @@ fn domino_cascade_propagates_monotonically() {
         let foot = ckt.node(&format!("{tag}.foot"));
         let out = ckt.node(&format!("{tag}.out"));
         tech.add_pmos(ckt, &format!("{tag}.prech"), dyn_node, clk, vdd, 3.0);
-        tech.add_pmos(ckt, &format!("{tag}.keep"), dyn_node, Circuit::GROUND, vdd, 0.2);
+        tech.add_pmos(
+            ckt,
+            &format!("{tag}.keep"),
+            dyn_node,
+            Circuit::GROUND,
+            vdd,
+            0.2,
+        );
         tech.add_nmos(ckt, &format!("{tag}.in"), dyn_node, input, mid, 2.0);
         tech.add_nems_n(ckt, &format!("{tag}.nems"), mid, input, foot, 3.0);
         tech.add_nmos(ckt, &format!("{tag}.foot"), foot, clk, Circuit::GROUND, 4.0);
@@ -126,7 +143,10 @@ fn domino_cascade_propagates_monotonically() {
     let out1 = stage(&mut ckt, "s1", a);
     let out2 = stage(&mut ckt, "s2", out1);
 
-    let opts = TranOptions { dt_max: Some(10e-12), ..Default::default() };
+    let opts = TranOptions {
+        dt_max: Some(10e-12),
+        ..Default::default()
+    };
     let res = transient(&mut ckt, 3.4e-9, &opts).expect("cascade transient");
     let t1 = crossing_time(&res.voltage(out1), tech.vdd / 2.0, Edge::Rising, 0.0)
         .expect("stage 1 evaluates");
@@ -134,7 +154,10 @@ fn domino_cascade_propagates_monotonically() {
         .expect("stage 2 evaluates");
     assert!(t2 > t1, "stage 2 ({t2:.3e}) must follow stage 1 ({t1:.3e})");
     let stage_delay = t2 - t1;
-    assert!(stage_delay > 5e-12 && stage_delay < 500e-12, "stage delay {stage_delay:.3e}");
+    assert!(
+        stage_delay > 5e-12 && stage_delay < 500e-12,
+        "stage delay {stage_delay:.3e}"
+    );
     // Before the clock rises nothing evaluates.
     assert!(res.voltage(out2).eval(0.9e-9) < 0.1);
 }

@@ -3,7 +3,7 @@
 //! we require the *shape* — who wins, by roughly what factor, where the
 //! crossovers fall). EXPERIMENTS.md records exact paper-vs-measured.
 
-use nemscmos::devices::characterize::{ion, ioff};
+use nemscmos::devices::characterize::{ioff, ion};
 use nemscmos::devices::mosfet::{MosModel, Polarity};
 use nemscmos::devices::nemfet::NemsModel;
 use nemscmos::gates::{DynamicOrGate, DynamicOrParams, PdnStyle};
@@ -62,7 +62,10 @@ fn claim_fan_in_crossover() {
         let c = measure(fan_in, PdnStyle::Cmos);
         let h = measure(fan_in, PdnStyle::HybridNems);
         assert!(h.delay < c.delay, "fan-in {fan_in}: delay");
-        assert!(h.switching_power < c.switching_power, "fan-in {fan_in}: power");
+        assert!(
+            h.switching_power < c.switching_power,
+            "fan-in {fan_in}: power"
+        );
     }
     // At fan-in 4 the CMOS gate is still faster (no premature crossover).
     let c4 = measure(4, PdnStyle::Cmos);
@@ -84,21 +87,34 @@ fn claim_hybrid_sram() {
     let lat = |p: &SramParams, z| read_latency(&tech, p, z).expect("lat");
 
     let leak_ratio = avg(SramKind::Conventional, &leak) / avg(SramKind::Hybrid, &leak);
-    assert!((4.0..16.0).contains(&leak_ratio), "leakage reduction {leak_ratio:.1}x (paper 7.7x)");
+    assert!(
+        (4.0..16.0).contains(&leak_ratio),
+        "leakage reduction {leak_ratio:.1}x (paper 7.7x)"
+    );
 
-    let snm_conv = butterfly_curves(&tech, &SramParams::new(SramKind::Conventional), ReadMode::Read)
-        .expect("conv")
-        .snm
-        .snm();
+    let snm_conv = butterfly_curves(
+        &tech,
+        &SramParams::new(SramKind::Conventional),
+        ReadMode::Read,
+    )
+    .expect("conv")
+    .snm
+    .snm();
     let snm_hybrid = butterfly_curves(&tech, &SramParams::new(SramKind::Hybrid), ReadMode::Read)
         .expect("hybrid")
         .snm
         .snm();
     let snm_loss = 1.0 - snm_hybrid / snm_conv;
-    assert!((0.02..0.30).contains(&snm_loss), "SNM loss {snm_loss:.2} (paper 0.14)");
+    assert!(
+        (0.02..0.30).contains(&snm_loss),
+        "SNM loss {snm_loss:.2} (paper 0.14)"
+    );
 
     let lat_penalty = avg(SramKind::Hybrid, &lat) / avg(SramKind::Conventional, &lat) - 1.0;
-    assert!((0.0..0.5).contains(&lat_penalty), "latency penalty {lat_penalty:.2} (paper 0.23)");
+    assert!(
+        (0.0..0.5).contains(&lat_penalty),
+        "latency penalty {lat_penalty:.2} (paper 0.23)"
+    );
 }
 
 /// Abstract: "upto three orders of magnitude lower OFF current" for NEMS
@@ -110,9 +126,16 @@ fn claim_sleep_transistors() {
     let cmos = sleep_device_figures(&tech, SleepStyle::CmosFooter, 2.0);
     let nems = sleep_device_figures(&tech, SleepStyle::NemsFooter, 2.0);
     let decades = (cmos.i_off / nems.i_off).log10();
-    assert!((2.0..3.5).contains(&decades), "{decades:.2} decades of I_off reduction");
+    assert!(
+        (2.0..3.5).contains(&decades),
+        "{decades:.2} decades of I_off reduction"
+    );
     let fig = characterize_block(&tech, &GatedBlock::coarse_footer(4, true, 8.0)).expect("block");
-    assert!(fig.delay_penalty() < 0.12, "negligible degradation, got {:.3}", fig.delay_penalty());
+    assert!(
+        fig.delay_penalty() < 0.12,
+        "negligible degradation, got {:.3}",
+        fig.delay_penalty()
+    );
 }
 
 /// Figure 2: the NEMS effective swing sits far below the 60 mV/dec CMOS

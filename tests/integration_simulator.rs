@@ -23,13 +23,9 @@ fn inverter_transfer_curve_has_full_swing_and_gain() {
     let vsrc = ckt.vsource(vin, Circuit::GROUND, Waveform::dc(0.0));
     tech.add_inverter(&mut ckt, "inv", vdd, vin, out, 2.0, 1.0);
     let values: Vec<f64> = (0..=60).map(|k| tech.vdd * k as f64 / 60.0).collect();
-    let results = nemscmos::spice::analysis::dc_sweep::dc_sweep(
-        &mut ckt,
-        vsrc,
-        &values,
-        &Default::default(),
-    )
-    .expect("sweep");
+    let results =
+        nemscmos::spice::analysis::dc_sweep::dc_sweep(&mut ckt, vsrc, &values, &Default::default())
+            .expect("sweep");
     let outs: Vec<f64> = results.iter().map(|r| r.voltage(out)).collect();
     // Full swing at the rails.
     assert!(outs[0] > 1.15);
@@ -63,7 +59,10 @@ fn ring_oscillator_oscillates_at_plausible_frequency() {
     // Kick the ring out of its metastable point.
     ckt.set_ic(nodes[0], tech.vdd);
     ckt.set_ic(nodes[1], 0.0);
-    let opts = TranOptions { dt_max: Some(5e-12), ..Default::default() };
+    let opts = TranOptions {
+        dt_max: Some(5e-12),
+        ..Default::default()
+    };
     let res = transient(&mut ckt, 3e-9, &opts).expect("ring transient");
     let v0 = res.voltage(nodes[0]);
     // Count rising crossings of vdd/2 in the back half (settled region).
@@ -76,10 +75,16 @@ fn ring_oscillator_oscillates_at_plausible_frequency() {
             break;
         }
     }
-    assert!(crossings >= 2, "ring should oscillate, saw {crossings} rising edges");
+    assert!(
+        crossings >= 2,
+        "ring should oscillate, saw {crossings} rising edges"
+    );
     // Period sanity: 2·N·t_inv with t_inv ~ 5-30 ps → 50-300 ps period →
     // at least 6 periods in 2 ns.
-    assert!(crossings >= 6, "frequency too low: {crossings} edges in 2 ns");
+    assert!(
+        crossings >= 6,
+        "frequency too low: {crossings} edges in 2 ns"
+    );
 }
 
 #[test]
@@ -115,15 +120,25 @@ fn trapezoidal_and_backward_euler_agree_on_smooth_rc() {
     };
     let run = |method| {
         let (mut ckt, b) = build();
-        let opts = TranOptions { method, dt_max: Some(20e-9), ..Default::default() };
+        let opts = TranOptions {
+            method,
+            dt_max: Some(20e-9),
+            ..Default::default()
+        };
         let res = transient(&mut ckt, 5e-6, &opts).expect("tran");
         res.voltage(b).eval(2e-6)
     };
     let tr = run(IntegrationMethod::Trapezoidal);
     let be = run(IntegrationMethod::BackwardEuler);
     let analytic = 1.0 - (-2.0f64).exp();
-    assert!((tr - analytic).abs() < 5e-3, "TR {tr} vs analytic {analytic}");
-    assert!((be - analytic).abs() < 2e-2, "BE {be} vs analytic {analytic}");
+    assert!(
+        (tr - analytic).abs() < 5e-3,
+        "TR {tr} vs analytic {analytic}"
+    );
+    assert!(
+        (be - analytic).abs() < 2e-2,
+        "BE {be} vs analytic {analytic}"
+    );
 }
 
 #[test]
@@ -134,7 +149,11 @@ fn large_circuit_exercises_sparse_path() {
     let vdd = ckt.node("vdd");
     let vin = ckt.node("in");
     ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
-    ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, tech.vdd, 0.1e-9, 30e-12));
+    ckt.vsource(
+        vin,
+        Circuit::GROUND,
+        Waveform::step(0.0, tech.vdd, 0.1e-9, 30e-12),
+    );
     let mut prev = vin;
     let mut last = vin;
     for k in 0..80 {
@@ -144,13 +163,23 @@ fn large_circuit_exercises_sparse_path() {
         last = out;
     }
     assert!(ckt.num_unknowns() > 64, "should use the sparse backend");
-    let opts = TranOptions { dt_max: Some(20e-12), ..Default::default() };
+    let opts = TranOptions {
+        dt_max: Some(20e-12),
+        ..Default::default()
+    };
     let res = transient(&mut ckt, 6e-9, &opts).expect("chain transient");
     let vin_t = res.voltage(vin);
     let vout_t = res.voltage(last);
     // Even stage count: output follows input polarity.
-    let d = propagation_delay(&vin_t, Edge::Rising, &vout_t, Edge::Rising, tech.vdd / 2.0, 0.0)
-        .expect("edge propagates");
+    let d = propagation_delay(
+        &vin_t,
+        Edge::Rising,
+        &vout_t,
+        Edge::Rising,
+        tech.vdd / 2.0,
+        0.0,
+    )
+    .expect("edge propagates");
     assert!(d > 100e-12 && d < 5e-9, "80-stage delay = {d:.3e}");
     let _ = devices_crate::VT_300K; // cross-crate re-export sanity
 }
@@ -160,8 +189,8 @@ fn ac_gain_of_common_source_stage_matches_gm() {
     // Low-frequency gain of a resistor-loaded common-source NMOS is
     // −gm·(R_L ∥ r_o); the AC analysis must linearize the device to the
     // same small-signal parameters the model card reports.
-    use nemscmos::spice::analysis::ac::{ac, log_sweep};
     use nemscmos::devices::mosfet::Mosfet;
+    use nemscmos::spice::analysis::ac::{ac, log_sweep};
 
     let model = MosModel::nmos_90nm();
     let r_load = 2e3;

@@ -13,7 +13,10 @@ fn device_level_figure17_claims() {
     let cmos = sleep_device_figures(&tech, SleepStyle::CmosFooter, 2.0);
     let nems = sleep_device_figures(&tech, SleepStyle::NemsFooter, 2.0);
     let leak_ratio = cmos.i_off / nems.i_off;
-    assert!((300.0..700.0).contains(&leak_ratio), "leak ratio {leak_ratio:.0}");
+    assert!(
+        (300.0..700.0).contains(&leak_ratio),
+        "leak ratio {leak_ratio:.0}"
+    );
     let ron_ratio = nems.r_on_ohms / cmos.r_on_ohms;
     assert!((2.0..5.0).contains(&ron_ratio), "R_on ratio {ron_ratio:.2}");
     // Sized-up NEMS: matches CMOS R_on while still leaking >100x less.
@@ -72,6 +75,10 @@ fn sizing_up_nems_trades_leakage_for_speed() {
     assert!(big.sleep_leakage > small.sleep_leakage);
     // The paper's conclusion: sized-up NEMS has negligible performance
     // cost with orders-of-magnitude leakage savings.
-    assert!(big.delay_penalty() < 0.12, "sized-up penalty {:.3}", big.delay_penalty());
+    assert!(
+        big.delay_penalty() < 0.12,
+        "sized-up penalty {:.3}",
+        big.delay_penalty()
+    );
     assert!(big.leakage_reduction() > 100.0);
 }

@@ -19,19 +19,25 @@ fn write_operation_flips_every_cell_kind() {
             &tech,
             &params,
             Waveform::pulse(0.0, tech.vdd, 1e-9, 50e-12, 50e-12, 3e-9, 20e-9),
-            Waveform::dc(0.0),        // BL low: write 0 into QL
-            Waveform::dc(tech.vdd),   // BLB high
+            Waveform::dc(0.0),      // BL low: write 0 into QL
+            Waveform::dc(tech.vdd), // BLB high
         );
         cell.set_state_ics(&tech, ZeroSide::Right); // starts with QL = 1
-        let opts = TranOptions { dt_max: Some(20e-12), ..Default::default() };
-        let res = transient(&mut cell.circuit, 6e-9, &opts)
-            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        let opts = TranOptions {
+            dt_max: Some(20e-12),
+            ..Default::default()
+        };
+        let res =
+            transient(&mut cell.circuit, 6e-9, &opts).unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         assert!(
             res.voltage(cell.ql).last_value() < 0.15,
             "{kind:?}: write failed, v(ql) = {}",
             res.voltage(cell.ql).last_value()
         );
-        assert!(res.voltage(cell.qr).last_value() > 1.0, "{kind:?}: qr did not rise");
+        assert!(
+            res.voltage(cell.qr).last_value() > 1.0,
+            "{kind:?}: qr did not rise"
+        );
     }
 }
 
@@ -40,8 +46,14 @@ fn hold_snm_exceeds_read_snm_for_all_kinds() {
     let tech = Technology::n90();
     for kind in SramKind::all() {
         let params = SramParams::new(kind);
-        let hold = butterfly_curves(&tech, &params, ReadMode::Hold).unwrap().snm.snm();
-        let read = butterfly_curves(&tech, &params, ReadMode::Read).unwrap().snm.snm();
+        let hold = butterfly_curves(&tech, &params, ReadMode::Hold)
+            .unwrap()
+            .snm
+            .snm();
+        let read = butterfly_curves(&tech, &params, ReadMode::Read)
+            .unwrap()
+            .snm
+            .snm();
         assert!(
             read < hold,
             "{kind:?}: read SNM {read:.3} should be below hold SNM {hold:.3}"
@@ -63,8 +75,14 @@ fn leakage_ordering_and_magnitudes() {
     let dual = leak(SramKind::DualVt);
     let asym = leak(SramKind::Asymmetric);
     let hybrid = leak(SramKind::Hybrid);
-    assert!(hybrid < dual && hybrid < asym && hybrid < conv, "hybrid must leak least");
-    assert!(dual < conv && asym < conv, "both baselines beat conventional");
+    assert!(
+        hybrid < dual && hybrid < asym && hybrid < conv,
+        "hybrid must leak least"
+    );
+    assert!(
+        dual < conv && asym < conv,
+        "both baselines beat conventional"
+    );
     // Conventional cell leaks ~100s of nA; hybrid tens of nA
     // (access-transistor limited).
     assert!(conv > 50e-9 && conv < 1e-6, "conv = {conv:.3e}");
@@ -78,7 +96,10 @@ fn read_does_not_destroy_the_stored_value() {
         let params = SramParams::new(kind);
         let mut cell = SramCell::build_read_column(&tech, &params, 1.0e-9, 1.3e-9);
         cell.set_state_ics(&tech, ZeroSide::Right);
-        let opts = TranOptions { dt_max: Some(10e-12), ..Default::default() };
+        let opts = TranOptions {
+            dt_max: Some(10e-12),
+            ..Default::default()
+        };
         let res = transient(&mut cell.circuit, 6e-9, &opts).unwrap();
         // After the read the cell still holds QR = 0.
         assert!(
@@ -94,8 +115,14 @@ fn column_leakage_slows_the_read() {
     // The paper's §5.1 point: OFF access transistors of unaccessed cells
     // leak onto the bit line and erode the sensing margin.
     let tech = Technology::n90();
-    let small = SramParams { column_cells: 16, ..SramParams::new(SramKind::Conventional) };
-    let large = SramParams { column_cells: 1024, ..SramParams::new(SramKind::Conventional) };
+    let small = SramParams {
+        column_cells: 16,
+        ..SramParams::new(SramKind::Conventional)
+    };
+    let large = SramParams {
+        column_cells: 1024,
+        ..SramParams::new(SramKind::Conventional)
+    };
     let t_small = read_latency(&tech, &small, ZeroSide::Right).unwrap();
     let t_large = read_latency(&tech, &large, ZeroSide::Right).unwrap();
     assert!(
