@@ -37,4 +37,21 @@ if [ "$total" -eq 0 ] || [ $((cached * 10)) -lt $((total * 9)) ]; then
     exit 1
 fi
 
+# Seeded fault-injection soak: every injected fault must be rescued by
+# the retry ladder or surfaced as a typed diagnostic (never a panic,
+# never a silently-wrong number), unfaulted jobs must stay bitwise
+# identical to the clean baseline, and the failure taxonomy must be
+# exercised. Small plan count + fixed seed keeps it a smoke test.
+echo "== fault-injection soak (smoke) =="
+soak_out=$(cargo run --release --offline -q -p nemscmos-bench --bin soak -- --plans 3 --seed 3405691582)
+echo "$soak_out" | tail -n 3
+if ! echo "$soak_out" | grep -q "soak OK"; then
+    echo "FAIL: fault-injection soak did not pass" >&2
+    exit 1
+fi
+if ! echo "$soak_out" | grep -qE "surfaced typed \[.+\]"; then
+    echo "FAIL: soak failure taxonomy is empty" >&2
+    exit 1
+fi
+
 echo "== ci OK =="

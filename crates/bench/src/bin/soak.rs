@@ -1,0 +1,473 @@
+//! `soak` — seeded fault-injection soak of the solver + harness stack.
+//!
+//! ```sh
+//! cargo run --release -p nemscmos-bench --bin soak -- [--plans N] [--seed S]
+//! ```
+//!
+//! Runs a fixed portfolio of small, self-contained op and transient
+//! jobs once clean (the baseline), then `N` more times with a seeded
+//! subset of jobs running under injected faults (NaN residuals, forced
+//! singular pivots, Jacobian corruption, timestep-rejection storms).
+//! The degradation contract is asserted on every run:
+//!
+//! - **no panics** — a fault may fail a job, never abort the batch;
+//! - **no silently-wrong numbers** — a faulted job either recovers to
+//!   (approximately) the baseline answer or fails with a *typed*
+//!   diagnostic that the failure taxonomy can classify;
+//! - **no collateral damage** — jobs without an injected fault remain
+//!   bitwise identical to the clean baseline.
+//!
+//! Exits non-zero (after printing every violation) if any assertion
+//! fails; prints `soak OK` plus the aggregated failure taxonomy on
+//! success. `ci.sh` runs a small-`N` fixed-seed instance of this binary.
+
+use std::process::ExitCode;
+
+use nemscmos_harness::{FailureKind, HarnessError, JobOutcome, JobSpec, RetryPolicy, Runner};
+use nemscmos_numeric::rng::{Rand64, SplitMix64};
+use nemscmos_spice::analysis::op::op;
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::faults::{Disarm, FaultKind, FaultPlan};
+use nemscmos_spice::guard::{self, GuardConfig};
+use nemscmos_spice::waveform::Waveform;
+
+/// One soak job: a named, self-contained simulation returning a few
+/// probe values. `tran` selects the fault kinds that can fire in it
+/// (timestep storms need a transient).
+struct SoakJob {
+    name: &'static str,
+    tran: bool,
+    body: fn() -> Result<Vec<f64>, HarnessError>,
+}
+
+fn op_probe(ckt: &mut Circuit, probes: &[&str]) -> Result<Vec<f64>, HarnessError> {
+    let res = op(ckt).map_err(HarnessError::from)?;
+    Ok(probes
+        .iter()
+        .map(|n| res.voltage(ckt.find_node(n).expect("probe node exists")))
+        .collect())
+}
+
+fn tran_probe(ckt: &mut Circuit, tstop: f64, probes: &[&str]) -> Result<Vec<f64>, HarnessError> {
+    let res = transient(ckt, tstop, &TranOptions::default()).map_err(HarnessError::from)?;
+    Ok(probes
+        .iter()
+        .map(|n| {
+            res.voltage(ckt.find_node(n).expect("probe node exists"))
+                .last_value()
+        })
+        .collect())
+}
+
+fn div_chain() -> Result<Vec<f64>, HarnessError> {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    let c = ckt.node("c");
+    ckt.vsource(a, Circuit::GROUND, Waveform::dc(3.0));
+    ckt.resistor(a, b, 1e3);
+    ckt.resistor(b, c, 2e3);
+    ckt.resistor(c, Circuit::GROUND, 3e3);
+    op_probe(&mut ckt, &["b", "c"])
+}
+
+fn ladder_r5() -> Result<Vec<f64>, HarnessError> {
+    let mut ckt = Circuit::new();
+    let mut prev = ckt.node("n0");
+    ckt.vsource(prev, Circuit::GROUND, Waveform::dc(2.0));
+    for i in 1..=5 {
+        let n = ckt.node(&format!("n{i}"));
+        ckt.resistor(prev, n, 1e3 * i as f64);
+        ckt.resistor(n, Circuit::GROUND, 10e3);
+        prev = n;
+    }
+    op_probe(&mut ckt, &["n1", "n3", "n5"])
+}
+
+fn series_src() -> Result<Vec<f64>, HarnessError> {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    let out = ckt.node("out");
+    ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+    ckt.vsource(b, a, Waveform::dc(1.5));
+    ckt.resistor(b, out, 1e3);
+    ckt.resistor(out, Circuit::GROUND, 4e3);
+    op_probe(&mut ckt, &["out"])
+}
+
+fn vccs_amp() -> Result<Vec<f64>, HarnessError> {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource(vin, Circuit::GROUND, Waveform::dc(0.1));
+    // gm = 1 mS into 10 kΩ: out = -gm * R * vin = -1.0 V.
+    ckt.vccs(out, Circuit::GROUND, vin, Circuit::GROUND, 1e-3);
+    ckt.resistor(out, Circuit::GROUND, 10e3);
+    op_probe(&mut ckt, &["out"])
+}
+
+fn vcvs_buffer() -> Result<Vec<f64>, HarnessError> {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    let out = ckt.node("out");
+    ckt.vsource(a, Circuit::GROUND, Waveform::dc(2.0));
+    ckt.resistor(a, b, 1e3);
+    ckt.resistor(b, Circuit::GROUND, 1e3);
+    ckt.vcvs(out, Circuit::GROUND, b, Circuit::GROUND, 2.0);
+    ckt.resistor(out, Circuit::GROUND, 5e3);
+    op_probe(&mut ckt, &["b", "out"])
+}
+
+fn high_ratio() -> Result<Vec<f64>, HarnessError> {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+    ckt.resistor(a, b, 1.0);
+    ckt.resistor(b, Circuit::GROUND, 1e6);
+    op_probe(&mut ckt, &["b"])
+}
+
+fn isource_r() -> Result<Vec<f64>, HarnessError> {
+    let mut ckt = Circuit::new();
+    let out = ckt.node("out");
+    ckt.isource(Circuit::GROUND, out, Waveform::dc(1e-3));
+    ckt.resistor(out, Circuit::GROUND, 1e3);
+    ckt.resistor(out, Circuit::GROUND, 1e3);
+    op_probe(&mut ckt, &["out"])
+}
+
+fn rc_step() -> Result<Vec<f64>, HarnessError> {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+    ckt.resistor(vin, out, 1e3);
+    ckt.capacitor(out, Circuit::GROUND, 1e-9);
+    tran_probe(&mut ckt, 10e-6, &["out"])
+}
+
+fn rc_cascade() -> Result<Vec<f64>, HarnessError> {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let m = ckt.node("mid");
+    let out = ckt.node("out");
+    ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+    ckt.resistor(vin, m, 1e3);
+    ckt.capacitor(m, Circuit::GROUND, 1e-10);
+    ckt.resistor(m, out, 1e3);
+    ckt.capacitor(out, Circuit::GROUND, 1e-10);
+    tran_probe(&mut ckt, 5e-6, &["mid", "out"])
+}
+
+fn rl_step() -> Result<Vec<f64>, HarnessError> {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+    ckt.resistor(vin, out, 1e3);
+    // τ = L/R = 1 µs; after 5 τ the inductor is nearly a short.
+    ckt.inductor(out, Circuit::GROUND, 1e-3);
+    tran_probe(&mut ckt, 5e-6, &["out"])
+}
+
+fn rlc_series() -> Result<Vec<f64>, HarnessError> {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let m = ckt.node("mid");
+    let out = ckt.node("out");
+    ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+    ckt.resistor(vin, m, 100.0);
+    ckt.inductor(m, out, 1e-6);
+    ckt.capacitor(out, Circuit::GROUND, 1e-9);
+    tran_probe(&mut ckt, 3e-6, &["out"])
+}
+
+fn divider_cap() -> Result<Vec<f64>, HarnessError> {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource(a, Circuit::GROUND, Waveform::step(0.0, 2.0, 0.0, 1e-12));
+    ckt.resistor(a, b, 1e3);
+    ckt.resistor(b, Circuit::GROUND, 3e3);
+    ckt.capacitor(b, Circuit::GROUND, 1e-10);
+    tran_probe(&mut ckt, 5e-6, &["b"])
+}
+
+fn portfolio() -> Vec<SoakJob> {
+    vec![
+        SoakJob {
+            name: "div-chain",
+            tran: false,
+            body: div_chain,
+        },
+        SoakJob {
+            name: "ladder-r5",
+            tran: false,
+            body: ladder_r5,
+        },
+        SoakJob {
+            name: "series-src",
+            tran: false,
+            body: series_src,
+        },
+        SoakJob {
+            name: "vccs-amp",
+            tran: false,
+            body: vccs_amp,
+        },
+        SoakJob {
+            name: "vcvs-buffer",
+            tran: false,
+            body: vcvs_buffer,
+        },
+        SoakJob {
+            name: "high-ratio",
+            tran: false,
+            body: high_ratio,
+        },
+        SoakJob {
+            name: "isource-r",
+            tran: false,
+            body: isource_r,
+        },
+        SoakJob {
+            name: "rc-step",
+            tran: true,
+            body: rc_step,
+        },
+        SoakJob {
+            name: "rc-cascade",
+            tran: true,
+            body: rc_cascade,
+        },
+        SoakJob {
+            name: "rl-step",
+            tran: true,
+            body: rl_step,
+        },
+        SoakJob {
+            name: "rlc-series",
+            tran: true,
+            body: rlc_series,
+        },
+        SoakJob {
+            name: "divider-cap",
+            tran: true,
+            body: divider_cap,
+        },
+    ]
+}
+
+/// Draws a fault plan for one job: the kind from the job's legal set,
+/// the disarm from a mix of rung-keyed rescues and `Never` (which must
+/// surface a typed diagnostic).
+fn draw_plan(rng: &mut SplitMix64, tran: bool) -> FaultPlan {
+    let kind = match rng.next_u64() % if tran { 4 } else { 3 } {
+        0 => FaultKind::NanResidual,
+        1 => FaultKind::SingularPivot,
+        2 => FaultKind::JacobianPerturb { relative: 1e3 },
+        _ => FaultKind::TimestepStorm,
+    };
+    let disarm = if kind == FaultKind::TimestepStorm {
+        match rng.next_u64() % 3 {
+            0 => Disarm::WhenBackwardEuler,
+            1 => Disarm::AfterTriggers(2),
+            _ => Disarm::Never,
+        }
+    } else {
+        match rng.next_u64() % 4 {
+            0 => Disarm::WhenGminFloor,
+            1 => Disarm::WhenSourceStepping,
+            2 => Disarm::WhenBackwardEuler,
+            _ => Disarm::Never,
+        }
+    };
+    FaultPlan::immediate(kind, disarm, rng.next_u64())
+}
+
+/// Relative + absolute closeness for recovered/ridden-out values: a
+/// rescue rung's g_min floor or backward-Euler damping shifts answers
+/// slightly, but never materially.
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-3 + 0.02 * b.abs()
+}
+
+const TYPED_KINDS: [FailureKind; 4] = [
+    FailureKind::NonConvergence,
+    FailureKind::Singular,
+    FailureKind::NonFinite,
+    FailureKind::Kcl,
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let get = |flag: &str, default: u64| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|k| args.get(k + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let plans = get("--plans", 8) as usize;
+    let seed = get("--seed", 0xD1CE);
+
+    let jobs_def = portfolio();
+    let specs: Vec<JobSpec> = jobs_def
+        .iter()
+        .map(|j| JobSpec::new(j.name, format!("soak v1 {}", j.name)))
+        .collect();
+    // Every job body runs with the KCL audit armed: a fault that fools
+    // the Newton ‖Δx‖ test must still be caught post-solve.
+    let run_body = |i: usize| {
+        let body = jobs_def[i].body;
+        guard::with(GuardConfig::kcl(1e-6), body)
+    };
+
+    println!("== fault-injection soak: {plans} plans, seed {seed:#x} ==");
+    let clean_runner = Runner::with_config(
+        nemscmos_harness::default_threads(),
+        None,
+        RetryPolicy::default(),
+    );
+    let (baseline, base_report) =
+        clean_runner.run_collect("soak baseline", &specs, |i, _| run_body(i));
+    let baseline: Vec<Vec<f64>> = match baseline.into_iter().collect() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("FAIL: clean baseline did not complete: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if base_report.failed_jobs() > 0 {
+        eprintln!("FAIL: clean baseline recorded failures");
+        return ExitCode::FAILURE;
+    }
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut taxonomy: Vec<(FailureKind, usize)> = Vec::new();
+    let mut rescued = 0usize;
+    let mut surfaced = 0usize;
+
+    for p in 0..plans {
+        let mut rng = SplitMix64::new(seed ^ (p as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut plan_for: Vec<Option<FaultPlan>> = jobs_def
+            .iter()
+            .map(|j| {
+                rng.next_u64()
+                    .is_multiple_of(3)
+                    .then(|| draw_plan(&mut rng, j.tran))
+            })
+            .collect();
+        // Guarantee at least one never-disarming fault per plan so the
+        // taxonomy is exercised on every soak run.
+        let forced = p % jobs_def.len();
+        plan_for[forced] = Some(FaultPlan::immediate(
+            if jobs_def[forced].tran && rng.next_u64().is_multiple_of(2) {
+                FaultKind::TimestepStorm
+            } else {
+                FaultKind::NanResidual
+            },
+            Disarm::Never,
+            rng.next_u64(),
+        ));
+
+        let plan_lookup = plan_for.clone();
+        let runner = Runner::with_config(
+            nemscmos_harness::default_threads(),
+            None,
+            RetryPolicy::default(),
+        )
+        .with_fault_source(Box::new(move |i, _| plan_lookup[i]));
+        let (results, report) =
+            runner.run_collect(&format!("soak plan {p}"), &specs, |i, _| run_body(i));
+
+        if report.panicked_jobs() > 0 {
+            violations.push(format!("plan {p}: a job panicked — batch must never abort"));
+        }
+        for (i, (result, record)) in results.iter().zip(report.jobs.iter()).enumerate() {
+            let name = jobs_def[i].name;
+            match (&plan_for[i], result) {
+                (None, Ok(values)) => {
+                    let same = values.len() == baseline[i].len()
+                        && values
+                            .iter()
+                            .zip(&baseline[i])
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                    if !same {
+                        violations.push(format!(
+                            "plan {p}/{name}: unfaulted job diverged from baseline \
+                             ({values:?} vs {:?})",
+                            baseline[i]
+                        ));
+                    }
+                }
+                (None, Err(e)) => {
+                    violations.push(format!("plan {p}/{name}: unfaulted job failed: {e}"));
+                }
+                (Some(_), Ok(values)) => {
+                    if matches!(record.outcome, JobOutcome::Recovered(_)) {
+                        rescued += 1;
+                    }
+                    let ok = values.len() == baseline[i].len()
+                        && values.iter().zip(&baseline[i]).all(|(a, b)| close(*a, *b));
+                    if !ok {
+                        violations.push(format!(
+                            "plan {p}/{name}: faulted job returned a wrong number \
+                             ({values:?} vs {:?})",
+                            baseline[i]
+                        ));
+                    }
+                }
+                (Some(plan), Err(e)) => {
+                    let kind = e.kind();
+                    if TYPED_KINDS.contains(&kind) {
+                        surfaced += 1;
+                        match taxonomy.iter_mut().find(|(k, _)| *k == kind) {
+                            Some((_, n)) => *n += 1,
+                            None => taxonomy.push((kind, 1)),
+                        }
+                    } else {
+                        violations.push(format!(
+                            "plan {p}/{name}: fault {:?} surfaced untyped ({kind:?}): {e}",
+                            plan.kind
+                        ));
+                    }
+                }
+            }
+        }
+        if p + 1 == plans {
+            print!("{}", report.render());
+        }
+    }
+
+    taxonomy.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let classes: Vec<String> = taxonomy
+        .iter()
+        .map(|(k, n)| format!("{} {n}", k.label()))
+        .collect();
+    println!(
+        "soak totals: {} plans x {} jobs | {rescued} rescued by the ladder | \
+         {surfaced} surfaced typed [{}]",
+        plans,
+        jobs_def.len(),
+        classes.join(" | ")
+    );
+
+    if taxonomy.is_empty() {
+        violations.push("no typed failures observed — taxonomy must be non-empty".into());
+    }
+    if violations.is_empty() {
+        println!("soak OK");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        eprintln!("soak FAILED: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

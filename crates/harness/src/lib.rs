@@ -64,18 +64,29 @@ use nemscmos_spice::SpiceError;
 
 pub use cache::{content_digest, spec_seed, Cache};
 pub use json::{Json, JsonCodec};
-pub use pool::{default_threads, parallel_map};
-pub use report::{drain as drain_reports, publish as publish_report, JobRecord, RunReport};
+pub use pool::{default_threads, panic_message, parallel_map};
+pub use report::{
+    drain as drain_reports, publish as publish_report, JobOutcome, JobRecord, RunReport,
+};
 pub use retry::{run_with_retries, Attempt, RetryPolicy, Rung};
-pub use runner::{JobSpec, Runner};
+pub use runner::{FaultSource, JobSpec, Runner};
 
 /// Errors produced by harness jobs.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum HarnessError {
     /// The solver failed to converge — the retry ladder escalates on
-    /// this variant (and only this one).
+    /// this variant.
     NonConvergence(String),
+    /// A typed numerical-health diagnostic from the solver (singular
+    /// system, non-finite stamp, KCL-audit violation). Retains the full
+    /// structured error so the failure taxonomy can classify it; the
+    /// retry ladder escalates on these too, since a more conservative
+    /// solve often cures them.
+    Spice(SpiceError),
+    /// The job body panicked; the payload message is preserved. Never
+    /// retried — a panic means a bug, not a stiff circuit.
+    Panicked(String),
     /// The job failed for a non-retryable reason (invalid circuit,
     /// analysis error, ...).
     Failed(String),
@@ -85,10 +96,85 @@ pub enum HarnessError {
     Codec(String),
 }
 
+/// Coarse failure classification for run-report taxonomies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum FailureKind {
+    /// Newton/timestep non-convergence after the full ladder.
+    NonConvergence,
+    /// Singular system (structurally or numerically collapsed pivot).
+    Singular,
+    /// Non-finite value detected during assembly or solve.
+    NonFinite,
+    /// Post-solve KCL residual audit failure.
+    Kcl,
+    /// Job panic caught at the harness boundary.
+    Panic,
+    /// Cache I/O failure.
+    Cache,
+    /// Artifact decode failure.
+    Codec,
+    /// Anything else (invalid circuit, domain errors, ...).
+    Other,
+}
+
+impl FailureKind {
+    /// Short display label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::NonConvergence => "nonconv",
+            FailureKind::Singular => "singular",
+            FailureKind::NonFinite => "nonfinite",
+            FailureKind::Kcl => "kcl",
+            FailureKind::Panic => "panic",
+            FailureKind::Cache => "cache",
+            FailureKind::Codec => "codec",
+            FailureKind::Other => "other",
+        }
+    }
+}
+
+impl HarnessError {
+    /// Classifies this error for the failure taxonomy.
+    pub fn kind(&self) -> FailureKind {
+        match self {
+            HarnessError::NonConvergence(_) => FailureKind::NonConvergence,
+            HarnessError::Spice(SpiceError::SingularSystem { .. }) => FailureKind::Singular,
+            HarnessError::Spice(SpiceError::NonFinite { .. }) => FailureKind::NonFinite,
+            HarnessError::Spice(SpiceError::KclViolation { .. }) => FailureKind::Kcl,
+            HarnessError::Spice(_) => FailureKind::Other,
+            HarnessError::Panicked(_) => FailureKind::Panic,
+            HarnessError::Failed(_) => FailureKind::Other,
+            HarnessError::Cache(_) => FailureKind::Cache,
+            HarnessError::Codec(_) => FailureKind::Codec,
+        }
+    }
+
+    /// Whether the retry ladder should escalate on this error.
+    ///
+    /// Non-convergence and the numerical-health diagnostics are
+    /// retryable — a raised g_min floor or source ramp frequently cures
+    /// a collapsed pivot or an overflowing Newton iterate. Panics,
+    /// invalid circuits, and infrastructure errors are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            HarnessError::NonConvergence(_)
+                | HarnessError::Spice(
+                    SpiceError::SingularSystem { .. }
+                        | SpiceError::NonFinite { .. }
+                        | SpiceError::KclViolation { .. }
+                )
+        )
+    }
+}
+
 impl fmt::Display for HarnessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HarnessError::NonConvergence(msg) => write!(f, "non-convergence: {msg}"),
+            HarnessError::Spice(e) => write!(f, "solver health: {e}"),
+            HarnessError::Panicked(msg) => write!(f, "job panicked: {msg}"),
             HarnessError::Failed(msg) => write!(f, "job failed: {msg}"),
             HarnessError::Cache(msg) => write!(f, "cache error: {msg}"),
             HarnessError::Codec(msg) => write!(f, "codec error: {msg}"),
@@ -102,6 +188,9 @@ impl From<SpiceError> for HarnessError {
     fn from(e: SpiceError) -> Self {
         match e {
             SpiceError::NoConvergence { .. } => HarnessError::NonConvergence(e.to_string()),
+            health @ (SpiceError::SingularSystem { .. }
+            | SpiceError::NonFinite { .. }
+            | SpiceError::KclViolation { .. }) => HarnessError::Spice(health),
             other => HarnessError::Failed(other.to_string()),
         }
     }
@@ -124,6 +213,53 @@ mod tests {
         ));
         let e = SpiceError::InvalidCircuit("bad".into());
         assert!(matches!(HarnessError::from(e), HarnessError::Failed(_)));
+    }
+
+    #[test]
+    fn health_diagnostics_stay_typed_and_retryable() {
+        let singular = SpiceError::SingularSystem {
+            column: 3,
+            unknown: "node 'x'".into(),
+            pivot: 0.0,
+            time: 0.0,
+        };
+        let e = HarnessError::from(singular);
+        assert!(matches!(e, HarnessError::Spice(_)));
+        assert_eq!(e.kind(), FailureKind::Singular);
+        assert!(e.is_retryable());
+
+        let nonfinite = SpiceError::NonFinite {
+            device: "device 'm1'".into(),
+            node: "node 'd'".into(),
+            stage: "jacobian",
+            time: 1e-9,
+        };
+        let e = HarnessError::from(nonfinite);
+        assert_eq!(e.kind(), FailureKind::NonFinite);
+        assert!(e.is_retryable());
+
+        let kcl = SpiceError::KclViolation {
+            node: "node 'b'".into(),
+            residual: 1e-3,
+            tol: 1e-9,
+            time: 0.0,
+        };
+        let e = HarnessError::from(kcl);
+        assert_eq!(e.kind(), FailureKind::Kcl);
+        assert!(e.is_retryable());
+    }
+
+    #[test]
+    fn infrastructure_errors_are_not_retryable() {
+        for (e, kind) in [
+            (HarnessError::Panicked("boom".into()), FailureKind::Panic),
+            (HarnessError::Failed("bad".into()), FailureKind::Other),
+            (HarnessError::Cache("io".into()), FailureKind::Cache),
+            (HarnessError::Codec("shape".into()), FailureKind::Codec),
+        ] {
+            assert_eq!(e.kind(), kind);
+            assert!(!e.is_retryable(), "{e} must not be retryable");
+        }
     }
 
     #[test]

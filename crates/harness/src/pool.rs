@@ -44,6 +44,21 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(4, |n| n.get())
 }
 
+/// Extracts a human-readable message from a caught panic payload.
+///
+/// `panic!("...")` payloads are `&str` or `String`; anything else (a
+/// custom `panic_any` value) degrades to a placeholder rather than
+/// losing the event.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Pops a job index for worker `w`: its own queue first (back, LIFO),
 /// then stealing from the other queues (front, FIFO).
 fn pop_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
@@ -215,6 +230,16 @@ mod tests {
         });
         let d = stats::snapshot().delta_since(&before);
         assert_eq!(d.newton_iterations, 32);
+    }
+
+    #[test]
+    fn panic_message_extracts_common_payloads() {
+        let from_str = std::panic::catch_unwind(|| panic!("static str")).unwrap_err();
+        assert_eq!(panic_message(&*from_str), "static str");
+        let from_string = std::panic::catch_unwind(|| panic!("formatted {}", 42)).unwrap_err();
+        assert_eq!(panic_message(&*from_string), "formatted 42");
+        let from_any = std::panic::catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert_eq!(panic_message(&*from_any), "non-string panic payload");
     }
 
     #[test]

@@ -14,6 +14,60 @@ use std::time::Duration;
 use nemscmos_spice::stats::SolverStats;
 
 use crate::retry::Rung;
+use crate::FailureKind;
+
+/// How a job ended — the degradation contract made visible: a job either
+/// succeeds outright, is rescued by the retry ladder, fails with a typed
+/// diagnostic, or panics (caught at the harness boundary, never aborting
+/// the batch).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// First attempt (or cache hit) succeeded.
+    Ok,
+    /// A retry rung rescued the job after at least one failed attempt.
+    Recovered(Rung),
+    /// All applicable attempts failed; classified for the taxonomy.
+    Failed {
+        /// Coarse failure class.
+        kind: FailureKind,
+        /// The final error's display string.
+        message: String,
+    },
+    /// The job body panicked; the payload message was captured.
+    Panicked {
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+}
+
+impl JobOutcome {
+    /// Short display label for report tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Ok => "ok",
+            JobOutcome::Recovered(_) => "recovered",
+            JobOutcome::Failed { .. } => "failed",
+            JobOutcome::Panicked { .. } => "panic",
+        }
+    }
+
+    /// Whether the job produced no result.
+    pub fn is_failure(&self) -> bool {
+        matches!(
+            self,
+            JobOutcome::Failed { .. } | JobOutcome::Panicked { .. }
+        )
+    }
+
+    /// The taxonomy class, if this outcome is a failure.
+    pub fn failure_kind(&self) -> Option<FailureKind> {
+        match self {
+            JobOutcome::Failed { kind, .. } => Some(*kind),
+            JobOutcome::Panicked { .. } => Some(FailureKind::Panic),
+            _ => None,
+        }
+    }
+}
 
 /// Telemetry for one executed (or cache-served) job.
 #[derive(Debug, Clone)]
@@ -28,6 +82,8 @@ pub struct JobRecord {
     pub rung: Rung,
     /// Number of ladder attempts (0 for cache hits).
     pub attempts: u32,
+    /// How the job ended.
+    pub outcome: JobOutcome,
     /// Solver counters spent by this job (zero for cache hits).
     pub stats: SolverStats,
     /// Wall-clock time for the job, including retries.
@@ -62,6 +118,35 @@ impl RunReport {
         self.jobs.iter().filter(|j| j.attempts > 1).count()
     }
 
+    /// Number of jobs that produced no result (failed or panicked).
+    pub fn failed_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.outcome.is_failure()).count()
+    }
+
+    /// Number of jobs whose body panicked.
+    pub fn panicked_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| matches!(j.outcome, JobOutcome::Panicked { .. }))
+            .count()
+    }
+
+    /// Failure counts by class, most frequent first (ties by class
+    /// order). Empty when every job produced a result.
+    pub fn failure_taxonomy(&self) -> Vec<(FailureKind, usize)> {
+        let mut counts: Vec<(FailureKind, usize)> = Vec::new();
+        for j in &self.jobs {
+            if let Some(kind) = j.outcome.failure_kind() {
+                match counts.iter_mut().find(|(k, _)| *k == kind) {
+                    Some((_, n)) => *n += 1,
+                    None => counts.push((kind, 1)),
+                }
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        counts
+    }
+
     /// Sum of solver counters across all jobs.
     pub fn total_stats(&self) -> SolverStats {
         self.jobs
@@ -92,15 +177,16 @@ impl RunReport {
             .max()
             .unwrap_or(3);
         out.push_str(&format!(
-            "{:<name_w$}  {:>6}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>9}\n",
-            "job", "src", "rung", "newton", "lu", "rej", "acc", "wall"
+            "{:<name_w$}  {:>6}  {:>8}  {:>9}  {:>8}  {:>8}  {:>8}  {:>8}  {:>9}\n",
+            "job", "src", "rung", "outcome", "newton", "lu", "rej", "acc", "wall"
         ));
         for j in &self.jobs {
             out.push_str(&format!(
-                "{:<name_w$}  {:>6}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8.1}ms\n",
+                "{:<name_w$}  {:>6}  {:>8}  {:>9}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8.1}ms\n",
                 j.name,
                 if j.cached { "cache" } else { "solve" },
                 if j.cached { "-" } else { j.rung.label() },
+                j.outcome.label(),
                 j.stats.newton_iterations,
                 j.stats.lu_factorizations,
                 j.stats.step_rejections,
@@ -110,11 +196,12 @@ impl RunReport {
         }
         let t = self.total_stats();
         out.push_str(&format!(
-            "total: {} jobs ({} cached, {} retried) | newton {} | lu {} | \
-             rejected {} | accepted {} | nonconv {} | wall {:.1}ms\n",
+            "total: {} jobs ({} cached, {} retried, {} failed) | newton {} | \
+             lu {} | rejected {} | accepted {} | nonconv {} | wall {:.1}ms\n",
             self.jobs.len(),
             self.cache_hits(),
             self.retried_jobs(),
+            self.failed_jobs(),
             t.newton_iterations,
             t.lu_factorizations,
             t.step_rejections,
@@ -122,6 +209,23 @@ impl RunReport {
             t.nonconvergence_events,
             self.total_wall().as_secs_f64() * 1e3,
         ));
+        let taxonomy = self.failure_taxonomy();
+        if !taxonomy.is_empty() {
+            let classes: Vec<String> = taxonomy
+                .iter()
+                .map(|(k, n)| format!("{} {n}", k.label()))
+                .collect();
+            out.push_str(&format!("failure taxonomy: {}\n", classes.join(" | ")));
+            for j in self.jobs.iter().filter(|j| j.outcome.is_failure()) {
+                let detail = match &j.outcome {
+                    JobOutcome::Failed { message, .. } | JobOutcome::Panicked { message } => {
+                        message.as_str()
+                    }
+                    _ => unreachable!("is_failure covers Failed | Panicked"),
+                };
+                out.push_str(&format!("  {}: {detail}\n", j.name));
+            }
+        }
         out
     }
 }
@@ -154,11 +258,19 @@ mod tests {
             cached,
             rung: Rung::Direct,
             attempts: u32::from(!cached),
+            outcome: JobOutcome::Ok,
             stats: SolverStats {
                 newton_iterations: newton,
                 ..Default::default()
             },
             wall: Duration::from_millis(2),
+        }
+    }
+
+    fn failed_record(name: &str, outcome: JobOutcome) -> JobRecord {
+        JobRecord {
+            outcome,
+            ..record(name, false, 0)
         }
     }
 
@@ -184,7 +296,58 @@ mod tests {
         assert!(text.contains("job-a"));
         assert!(text.contains("cache"));
         assert!(text.contains("solve"));
-        assert!(text.contains("total: 2 jobs (1 cached, 0 retried)"));
+        assert!(text.contains("total: 2 jobs (1 cached, 0 retried, 0 failed)"));
+        assert!(!text.contains("failure taxonomy"));
+    }
+
+    #[test]
+    fn taxonomy_counts_and_orders_failure_classes() {
+        let mut r = RunReport::new("soak");
+        r.jobs.push(record("fine", false, 5));
+        r.jobs.push(failed_record(
+            "sing-1",
+            JobOutcome::Failed {
+                kind: FailureKind::Singular,
+                message: "pivot collapsed".into(),
+            },
+        ));
+        r.jobs.push(failed_record(
+            "sing-2",
+            JobOutcome::Failed {
+                kind: FailureKind::Singular,
+                message: "pivot collapsed again".into(),
+            },
+        ));
+        r.jobs.push(failed_record(
+            "boom",
+            JobOutcome::Panicked {
+                message: "index out of bounds".into(),
+            },
+        ));
+        assert_eq!(r.failed_jobs(), 3);
+        assert_eq!(r.panicked_jobs(), 1);
+        assert_eq!(
+            r.failure_taxonomy(),
+            vec![(FailureKind::Singular, 2), (FailureKind::Panic, 1)]
+        );
+        let text = r.render();
+        assert!(
+            text.contains("failure taxonomy: singular 2 | panic 1"),
+            "{text}"
+        );
+        assert!(text.contains("boom: index out of bounds"), "{text}");
+    }
+
+    #[test]
+    fn recovered_outcome_labels_and_classifies() {
+        let o = JobOutcome::Recovered(Rung::TightGmin);
+        assert_eq!(o.label(), "recovered");
+        assert!(!o.is_failure());
+        assert_eq!(o.failure_kind(), None);
+        let p = JobOutcome::Panicked {
+            message: "x".into(),
+        };
+        assert_eq!(p.failure_kind(), Some(FailureKind::Panic));
     }
 
     #[test]

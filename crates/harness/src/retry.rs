@@ -118,17 +118,20 @@ pub struct Attempt {
 }
 
 /// Runs `f` under the ladder: each attempt installs the rung's solver
-/// profile for the current thread; [`HarnessError::NonConvergence`]
-/// escalates to the next rung, any other error (or rung exhaustion)
-/// propagates.
+/// profile for the current thread; any retryable error
+/// ([`HarnessError::is_retryable`] — non-convergence and the typed
+/// numerical-health diagnostics) escalates to the next rung, any other
+/// error (or rung exhaustion) propagates.
 ///
 /// On success returns the value, the rung that succeeded, and the number
 /// of attempts made.
 ///
 /// # Errors
 ///
-/// The last non-convergence error once the ladder is exhausted, or the
-/// first non-retryable error.
+/// Once the ladder is exhausted, the last non-convergence error wrapped
+/// with the attempt history, or the last typed health diagnostic
+/// unchanged (so its structure reaches the failure taxonomy); a
+/// non-retryable error propagates on first occurrence.
 pub fn run_with_retries<T>(
     policy: RetryPolicy,
     seed: u64,
@@ -145,18 +148,21 @@ pub fn run_with_retries<T>(
         attempts += 1;
         match profile::with(rung.profile(), || f(&attempt)) {
             Ok(value) => return Ok((value, rung, attempts)),
-            Err(HarnessError::NonConvergence(detail)) => {
-                match rung.next().filter(|r| *r <= policy.max_rung) {
-                    Some(next) => rung = next,
-                    None => {
-                        return Err(HarnessError::NonConvergence(format!(
-                            "ladder exhausted after {attempts} attempts \
-                             (last rung `{}`): {detail}",
-                            rung.label()
-                        )))
-                    }
+            Err(e) if e.is_retryable() => match rung.next().filter(|r| *r <= policy.max_rung) {
+                Some(next) => rung = next,
+                None => {
+                    return Err(match e {
+                        HarnessError::NonConvergence(detail) => {
+                            HarnessError::NonConvergence(format!(
+                                "ladder exhausted after {attempts} attempts \
+                                 (last rung `{}`): {detail}",
+                                rung.label()
+                            ))
+                        }
+                        typed => typed,
+                    })
                 }
-            }
+            },
             Err(other) => return Err(other),
         }
     }
@@ -231,6 +237,27 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, HarnessError::NonConvergence(_)));
         assert_eq!(calls.get(), 2);
+    }
+
+    #[test]
+    fn typed_health_errors_escalate_and_survive_exhaustion() {
+        use nemscmos_spice::SpiceError;
+        let singular = SpiceError::SingularSystem {
+            column: 0,
+            unknown: "node 'x'".into(),
+            pivot: 0.0,
+            time: 0.0,
+        };
+        let calls = std::cell::Cell::new(0);
+        let err = run_with_retries(RetryPolicy::default(), 0, |_| {
+            calls.set(calls.get() + 1);
+            Err::<(), _>(HarnessError::Spice(singular.clone()))
+        })
+        .unwrap_err();
+        // All four rungs tried; the structured diagnostic comes back
+        // unwrapped so the taxonomy can classify it.
+        assert_eq!(calls.get(), 4);
+        assert_eq!(err, HarnessError::Spice(singular));
     }
 
     #[test]

@@ -7,14 +7,17 @@
 //! the retry ladder on non-convergence, and publishes a [`RunReport`]
 //! with per-job telemetry.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 use std::time::Instant;
 
+use nemscmos_spice::faults::{self, FaultPlan};
 use nemscmos_spice::stats;
 
 use crate::cache::{content_digest, spec_seed, Cache};
 use crate::json::JsonCodec;
-use crate::report::{self, JobRecord, RunReport};
+use crate::report::{self, JobOutcome, JobRecord, RunReport};
 use crate::retry::{run_with_retries, Attempt, RetryPolicy, Rung};
 use crate::{pool, HarnessError};
 
@@ -49,12 +52,31 @@ impl JobSpec {
     }
 }
 
+/// Produces the fault plan (if any) to install around one job's full
+/// retry ladder. Used by soak tests to exercise the degradation
+/// contract; `None` per job means that job runs clean.
+pub type FaultSource = Box<dyn Fn(usize, &JobSpec) -> Option<FaultPlan> + Send + Sync>;
+
 /// Experiment orchestrator: pool + cache + retry ladder + telemetry.
-#[derive(Debug)]
 pub struct Runner {
     threads: usize,
     cache: Option<Cache>,
     policy: RetryPolicy,
+    fault_source: Option<FaultSource>,
+}
+
+impl fmt::Debug for Runner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runner")
+            .field("threads", &self.threads)
+            .field("cache", &self.cache)
+            .field("policy", &self.policy)
+            .field(
+                "fault_source",
+                &self.fault_source.as_ref().map(|_| "<fault source>"),
+            )
+            .finish()
+    }
 }
 
 impl Default for Runner {
@@ -79,6 +101,7 @@ impl Runner {
             threads: pool::default_threads(),
             cache: (!cache_off).then(|| Cache::at(Cache::default_dir())),
             policy: RetryPolicy::default(),
+            fault_source: None,
         }
     }
 
@@ -95,7 +118,19 @@ impl Runner {
             threads: threads.max(1),
             cache,
             policy,
+            fault_source: None,
         }
+    }
+
+    /// Installs a fault source: before each job, it is asked for a
+    /// [`FaultPlan`] to arm around that job's entire retry ladder
+    /// (soak/chaos testing). Faulted jobs bypass the result cache in
+    /// both directions so injected failures can never poison cached
+    /// artifacts or be masked by a prior clean run.
+    #[must_use]
+    pub fn with_fault_source(mut self, source: FaultSource) -> Runner {
+        self.fault_source = Some(source);
+        self
     }
 
     /// Worker-thread count.
@@ -153,8 +188,11 @@ impl Runner {
         (results, report)
     }
 
-    /// Executes a single job: cache probe, then the retry ladder, then a
-    /// best-effort cache store.
+    /// Executes a single job: cache probe, then the retry ladder (under
+    /// the job's fault plan, if a fault source supplied one), then a
+    /// best-effort cache store. A panicking job body is caught here and
+    /// degraded to [`HarnessError::Panicked`] so one buggy job cannot
+    /// take down the batch.
     fn run_one<T, F>(
         &self,
         index: usize,
@@ -167,36 +205,53 @@ impl Runner {
     {
         let digest = job.digest();
         let started = Instant::now();
+        let plan = self.fault_source.as_ref().and_then(|s| s(index, job));
 
-        if let Some(cache) = &self.cache {
-            if let Some(value) = cache.load(&digest, &job.spec) {
-                if let Some(decoded) = T::from_json(&value) {
-                    let record = JobRecord {
-                        name: job.name.clone(),
-                        digest,
-                        cached: true,
-                        rung: Rung::Direct,
-                        attempts: 0,
-                        stats: Default::default(),
-                        wall: started.elapsed(),
-                    };
-                    return (Ok(decoded), record);
+        // Faulted jobs bypass the cache entirely: a cached clean result
+        // would mask the injected fault, and a fault-perturbed result
+        // must never be stored as the spec's canonical artifact.
+        if plan.is_none() {
+            if let Some(cache) = &self.cache {
+                if let Some(value) = cache.load(&digest, &job.spec) {
+                    if let Some(decoded) = T::from_json(&value) {
+                        let record = JobRecord {
+                            name: job.name.clone(),
+                            digest,
+                            cached: true,
+                            rung: Rung::Direct,
+                            attempts: 0,
+                            outcome: JobOutcome::Ok,
+                            stats: Default::default(),
+                            wall: started.elapsed(),
+                        };
+                        return (Ok(decoded), record);
+                    }
+                    // Decodable JSON of the wrong shape: stale codec —
+                    // fall through and recompute.
                 }
-                // Decodable JSON of the wrong shape: stale codec — fall
-                // through and recompute.
             }
         }
 
         let before = stats::snapshot();
-        let outcome = run_with_retries(self.policy, job.seed(), |attempt| f(index, attempt));
+        // The plan wraps the *whole* ladder, so fault trigger counters
+        // persist across rungs and profile-keyed disarms can target the
+        // exact rescue rung.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            faults::with_opt(plan, || {
+                run_with_retries(self.policy, job.seed(), |attempt| f(index, attempt))
+            })
+        }))
+        .unwrap_or_else(|payload| Err(HarnessError::Panicked(pool::panic_message(&*payload))));
         let spent = stats::snapshot().delta_since(&before);
 
         match outcome {
             Ok((value, rung, attempts)) => {
-                if let Some(cache) = &self.cache {
-                    // Store failures are non-fatal: the result is still
-                    // correct, the next run just recomputes.
-                    let _ = cache.store(&digest, &job.spec, &value.to_json());
+                if plan.is_none() {
+                    if let Some(cache) = &self.cache {
+                        // Store failures are non-fatal: the result is
+                        // still correct, the next run just recomputes.
+                        let _ = cache.store(&digest, &job.spec, &value.to_json());
+                    }
                 }
                 let record = JobRecord {
                     name: job.name.clone(),
@@ -204,12 +259,26 @@ impl Runner {
                     cached: false,
                     rung,
                     attempts,
+                    outcome: if attempts > 1 {
+                        JobOutcome::Recovered(rung)
+                    } else {
+                        JobOutcome::Ok
+                    },
                     stats: spent,
                     wall: started.elapsed(),
                 };
                 (Ok(value), record)
             }
             Err(e) => {
+                let outcome = match &e {
+                    HarnessError::Panicked(message) => JobOutcome::Panicked {
+                        message: message.clone(),
+                    },
+                    other => JobOutcome::Failed {
+                        kind: other.kind(),
+                        message: other.to_string(),
+                    },
+                };
                 let record = JobRecord {
                     name: job.name.clone(),
                     digest,
@@ -219,6 +288,7 @@ impl Runner {
                         .iter()
                         .filter(|r| **r <= self.policy.max_rung)
                         .count() as u32,
+                    outcome,
                     stats: spent,
                     wall: started.elapsed(),
                 };

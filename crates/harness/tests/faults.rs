@@ -1,0 +1,213 @@
+//! Integration tests of the fault-injection degradation contract:
+//! profile-keyed faults are rescued by exactly the targeted retry rung,
+//! never-disarming faults surface as typed diagnostics, panicking jobs
+//! degrade to a recorded outcome without aborting the batch, and
+//! unfaulted jobs stay bitwise identical whether or not a fault source
+//! is installed.
+
+use nemscmos_harness::{
+    Cache, FailureKind, HarnessError, JobOutcome, JobSpec, RetryPolicy, Rung, Runner,
+};
+use nemscmos_spice::analysis::op::op;
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::faults::{Disarm, FaultKind, FaultPlan};
+use nemscmos_spice::waveform::Waveform;
+use nemscmos_spice::SpiceError;
+
+/// 2 V through 1 kΩ / 3 kΩ: v(b) = 1.5 V.
+fn divider_voltage() -> Result<f64, HarnessError> {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource(a, Circuit::GROUND, Waveform::dc(2.0));
+    ckt.resistor(a, b, 1e3);
+    ckt.resistor(b, Circuit::GROUND, 3e3);
+    let res = op(&mut ckt).map_err(HarnessError::from)?;
+    Ok(res.voltage(b))
+}
+
+/// RC low-pass step response, final output voltage after 10 τ.
+fn rc_final_voltage() -> Result<f64, HarnessError> {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+    ckt.resistor(vin, out, 1e3);
+    ckt.capacitor(out, Circuit::GROUND, 1e-9);
+    let res = transient(&mut ckt, 10e-6, &TranOptions::default()).map_err(HarnessError::from)?;
+    Ok(res.voltage(out).last_value())
+}
+
+/// Runs one faulted job through a single-threaded runner and returns the
+/// result plus its report record.
+fn run_faulted(
+    name: &str,
+    plan: FaultPlan,
+    body: impl Fn() -> Result<f64, HarnessError> + Sync,
+) -> (Result<f64, HarnessError>, nemscmos_harness::RunReport) {
+    let runner = Runner::with_config(1, None, RetryPolicy::default())
+        .with_fault_source(Box::new(move |_, _| Some(plan)));
+    let jobs = [JobSpec::new(name, format!("faults-itest {name} v1"))];
+    let (results, report) = runner.run_collect(name, &jobs, |_, _| body());
+    (results.into_iter().next().unwrap(), report)
+}
+
+#[test]
+fn gmin_keyed_fault_is_rescued_by_the_tight_gmin_rung() {
+    let plan = FaultPlan::immediate(FaultKind::NanResidual, Disarm::WhenGminFloor, 21);
+    let (result, report) = run_faulted("gmin-rescue", plan, divider_voltage);
+    let v = result.expect("TightGmin disarms the fault");
+    assert!((v - 1.5).abs() < 1e-4, "wrong solution: {v}");
+    let job = &report.jobs[0];
+    assert_eq!(job.rung, Rung::TightGmin);
+    assert_eq!(job.attempts, 2);
+    assert_eq!(job.outcome, JobOutcome::Recovered(Rung::TightGmin));
+    assert_eq!(report.failed_jobs(), 0);
+}
+
+#[test]
+fn source_stepping_keyed_fault_is_rescued_third() {
+    let plan = FaultPlan::immediate(FaultKind::NanResidual, Disarm::WhenSourceStepping, 22);
+    let (result, report) = run_faulted("src-rescue", plan, divider_voltage);
+    let v = result.expect("SourceStepping disarms the fault");
+    assert!((v - 1.5).abs() < 1e-4, "wrong solution: {v}");
+    let job = &report.jobs[0];
+    assert_eq!(job.rung, Rung::SourceStepping);
+    assert_eq!(job.attempts, 3);
+    assert_eq!(job.outcome, JobOutcome::Recovered(Rung::SourceStepping));
+}
+
+#[test]
+fn backward_euler_keyed_storm_is_rescued_last() {
+    let plan = FaultPlan::immediate(FaultKind::TimestepStorm, Disarm::WhenBackwardEuler, 23);
+    let (result, report) = run_faulted("be-rescue", plan, rc_final_voltage);
+    let v = result.expect("BackwardEuler disarms the storm");
+    assert!((v - 1.0).abs() < 1e-3, "wrong solution: {v}");
+    let job = &report.jobs[0];
+    assert_eq!(job.rung, Rung::BackwardEuler);
+    assert_eq!(job.attempts, 4);
+    assert_eq!(job.outcome, JobOutcome::Recovered(Rung::BackwardEuler));
+}
+
+#[test]
+fn never_disarming_fault_fails_typed_after_the_full_ladder() {
+    let plan = FaultPlan::immediate(FaultKind::NanResidual, Disarm::Never, 24);
+    let (result, report) = run_faulted("hopeless", plan, divider_voltage);
+    let err = result.unwrap_err();
+    assert!(
+        matches!(err, HarnessError::Spice(SpiceError::NonFinite { .. })),
+        "expected a typed NonFinite, got: {err}"
+    );
+    let job = &report.jobs[0];
+    assert!(matches!(
+        job.outcome,
+        JobOutcome::Failed {
+            kind: FailureKind::NonFinite,
+            ..
+        }
+    ));
+    assert_eq!(report.failure_taxonomy(), vec![(FailureKind::NonFinite, 1)]);
+    let rendered = report.render();
+    assert!(
+        rendered.contains("failure taxonomy: nonfinite 1"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn panicking_job_degrades_to_an_outcome_without_aborting_the_batch() {
+    let runner = Runner::with_config(2, None, RetryPolicy::default());
+    let jobs = [
+        JobSpec::new("fine", "faults-itest panic fine v1"),
+        JobSpec::new("buggy", "faults-itest panic buggy v1"),
+    ];
+    let (results, report) = runner.run_collect("panic-isolation", &jobs, |i, _| {
+        if i == 1 {
+            panic!("job body bug: index out of bounds");
+        }
+        divider_voltage()
+    });
+    assert!((results[0].as_ref().unwrap() - 1.5).abs() < 1e-6);
+    let err = results[1].as_ref().unwrap_err();
+    assert!(matches!(err, HarnessError::Panicked(_)), "{err}");
+    assert!(err.to_string().contains("index out of bounds"), "{err}");
+    assert!(matches!(
+        report.jobs[1].outcome,
+        JobOutcome::Panicked { .. }
+    ));
+    assert_eq!(report.panicked_jobs(), 1);
+    assert_eq!(report.failure_taxonomy(), vec![(FailureKind::Panic, 1)]);
+}
+
+#[test]
+fn unfaulted_jobs_are_bitwise_identical_with_a_fault_source_installed() {
+    let jobs = [
+        JobSpec::new("clean", "faults-itest bitwise clean v1"),
+        JobSpec::new("faulted", "faults-itest bitwise faulted v1"),
+    ];
+    let baseline = {
+        let runner = Runner::with_config(1, None, RetryPolicy::default());
+        let (results, _) = runner.run_collect("baseline", &jobs, |_, _| divider_voltage());
+        results.into_iter().map(Result::unwrap).collect::<Vec<_>>()
+    };
+    // Same jobs, but job 1 runs under an injected (and rescued) fault.
+    let runner =
+        Runner::with_config(1, None, RetryPolicy::default()).with_fault_source(Box::new(|i, _| {
+            (i == 1).then(|| FaultPlan::immediate(FaultKind::NanResidual, Disarm::WhenGminFloor, 5))
+        }));
+    let (results, report) = runner.run_collect("chaos", &jobs, |_, _| divider_voltage());
+    let chaos: Vec<f64> = results.into_iter().map(Result::unwrap).collect();
+    // The unfaulted job is untouched down to the last bit; the faulted
+    // one was rescued (its rescued-rung solve may legitimately differ).
+    assert_eq!(baseline[0].to_bits(), chaos[0].to_bits());
+    assert_eq!(report.jobs[0].outcome, JobOutcome::Ok);
+    assert_eq!(
+        report.jobs[1].outcome,
+        JobOutcome::Recovered(Rung::TightGmin)
+    );
+}
+
+#[test]
+fn faulted_jobs_bypass_the_cache_in_both_directions() {
+    let dir = std::env::temp_dir().join(format!(
+        "nemscmos-faults-itest-cache-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let job = JobSpec::new("cacheable", "faults-itest cache v1");
+    let plan = FaultPlan::immediate(FaultKind::NanResidual, Disarm::WhenGminFloor, 6);
+
+    // A faulted (rescued) run must not store its artifact.
+    let runner = Runner::with_config(1, Some(Cache::at(&dir)), RetryPolicy::default())
+        .with_fault_source(Box::new(move |_, _| Some(plan)));
+    let (results, _) = runner.run_collect("store-bypass", std::slice::from_ref(&job), |_, _| {
+        divider_voltage()
+    });
+    assert!(results[0].is_ok());
+    let cache = Cache::at(&dir);
+    assert!(
+        cache.load(&job.digest(), &job.spec).is_none(),
+        "fault-perturbed run must not populate the cache"
+    );
+
+    // Conversely a clean cached artifact must not mask an injected fault:
+    // warm the cache, then re-run faulted with Disarm::Never and expect
+    // the typed failure, not a cache hit.
+    let clean = Runner::with_config(1, Some(Cache::at(&dir)), RetryPolicy::default());
+    let (results, _) =
+        clean.run_collect("warm", std::slice::from_ref(&job), |_, _| divider_voltage());
+    assert!(results[0].is_ok());
+    assert!(cache.load(&job.digest(), &job.spec).is_some());
+
+    let hopeless = FaultPlan::immediate(FaultKind::NanResidual, Disarm::Never, 7);
+    let faulted = Runner::with_config(1, Some(Cache::at(&dir)), RetryPolicy::default())
+        .with_fault_source(Box::new(move |_, _| Some(hopeless)));
+    let (results, report) =
+        faulted.run_collect("load-bypass", std::slice::from_ref(&job), |_, _| {
+            divider_voltage()
+        });
+    assert!(results[0].is_err(), "cached artifact masked the fault");
+    assert_eq!(report.cache_hits(), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -191,7 +191,10 @@ impl ComplexMatrix {
                 }
             }
             if best.is_nan() || best <= 1e-300 {
-                return Err(NumericError::SingularMatrix { column: k });
+                return Err(NumericError::SingularMatrix {
+                    column: k,
+                    pivot: best,
+                });
             }
             if p != k {
                 for c in 0..n {

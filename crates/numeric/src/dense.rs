@@ -202,7 +202,10 @@ impl DenseLu {
                 }
             }
             if best.is_nan() || best <= PIVOT_EPS {
-                return Err(NumericError::SingularMatrix { column: k });
+                return Err(NumericError::SingularMatrix {
+                    column: k,
+                    pivot: best,
+                });
             }
             if p != k {
                 perm.swap(k, p);

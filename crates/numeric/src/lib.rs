@@ -54,10 +54,16 @@ use std::fmt;
 pub enum NumericError {
     /// A matrix was singular (or numerically singular) during factorization.
     ///
-    /// Carries the pivot column at which elimination broke down.
+    /// Carries the pivot column at which elimination broke down and the
+    /// magnitude of the best rejected pivot candidate, so callers can
+    /// distinguish a structurally empty column (`pivot == 0`), a
+    /// numerically vanishing one, and a NaN-poisoned one.
     SingularMatrix {
         /// Column index of the failing pivot.
         column: usize,
+        /// `|best candidate|` in that column (`0.0` if none, NaN if the
+        /// column was poisoned by a non-finite value).
+        pivot: f64,
     },
     /// Operand dimensions do not agree.
     DimensionMismatch {
@@ -88,8 +94,11 @@ pub enum NumericError {
 impl fmt::Display for NumericError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            NumericError::SingularMatrix { column } => {
-                write!(f, "matrix is singular at pivot column {column}")
+            NumericError::SingularMatrix { column, pivot } => {
+                write!(
+                    f,
+                    "matrix is singular at pivot column {column} (best pivot magnitude {pivot:.3e})"
+                )
             }
             NumericError::DimensionMismatch { got, expected } => {
                 write!(f, "dimension mismatch: got {got}, expected {expected}")
@@ -152,7 +161,10 @@ mod tests {
     #[test]
     fn error_display_is_nonempty() {
         let errors = [
-            NumericError::SingularMatrix { column: 3 },
+            NumericError::SingularMatrix {
+                column: 3,
+                pivot: 0.0,
+            },
             NumericError::DimensionMismatch {
                 got: 2,
                 expected: 4,

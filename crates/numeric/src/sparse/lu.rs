@@ -148,7 +148,10 @@ impl SparseLu {
                 }
             }
             if pivot_row == usize::MAX || best.is_nan() || best <= PIVOT_EPS {
-                return Err(NumericError::SingularMatrix { column: j });
+                return Err(NumericError::SingularMatrix {
+                    column: j,
+                    pivot: if pivot_row == usize::MAX { 0.0 } else { best },
+                });
             }
             let pivot_val = x[pivot_row];
             pinv[pivot_row] = j as isize;

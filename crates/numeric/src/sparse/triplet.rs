@@ -87,6 +87,25 @@ impl Triplet {
         self.entries.iter().copied()
     }
 
+    /// Zeroes every entry in row `r` (the row becomes structurally empty
+    /// after compression). Used by the solver fault-injection framework to
+    /// force a singular system deterministically.
+    pub fn zero_row(&mut self, r: usize) {
+        for e in &mut self.entries {
+            if e.0 == r {
+                e.2 = 0.0;
+            }
+        }
+    }
+
+    /// Applies `f` to every stored value in place (fault injection and
+    /// scaling experiments).
+    pub fn map_values(&mut self, mut f: impl FnMut(f64) -> f64) {
+        for e in &mut self.entries {
+            e.2 = f(e.2);
+        }
+    }
+
     /// Compresses into CSC form, summing duplicates.
     pub fn to_csc(&self) -> CscMatrix {
         CscMatrix::from_triplets(self.rows, self.cols, &self.entries)

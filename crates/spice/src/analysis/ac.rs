@@ -120,7 +120,7 @@ pub fn ac(
         source_scale: 1.0,
     };
     let mut st = Stamper::new(n);
-    load_linear(ckt, &x_op, &ctx, &mut st, None);
+    load_linear(ckt, &x_op, &ctx, &mut st, None)?;
     let sol = Solution::new(&x_op);
     for dev in ckt.devices() {
         dev.load(&sol, &ctx, &mut st);

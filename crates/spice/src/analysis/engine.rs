@@ -1,11 +1,13 @@
 //! Shared assembly and Newton machinery used by every analysis.
 
 use nemscmos_numeric::newton::{NewtonOptions, NewtonSolver, NewtonStatus};
+use nemscmos_numeric::NumericError;
 
 use crate::circuit::Circuit;
 use crate::device::{LoadContext, Mode, Solution};
 use crate::element::{Element, NodeId};
-use crate::stamp::Stamper;
+use crate::faults::FaultKind;
+use crate::stamp::{StampSection, Stamper};
 use crate::{Result, SpiceError};
 
 /// Conductance used to clamp initial-condition nodes during the t = 0 solve.
@@ -79,13 +81,23 @@ impl LinearState {
 }
 
 /// Stamps every linear element for the context `ctx` at candidate `x`.
+///
+/// # Errors
+///
+/// Returns [`SpiceError::InvalidCircuit`] if a transient-mode assembly is
+/// attempted without linear integration history.
 pub(crate) fn load_linear(
     ckt: &Circuit,
     x: &[f64],
     ctx: &LoadContext,
     st: &mut Stamper,
     lin: Option<&LinearState>,
-) {
+) -> Result<()> {
+    if matches!(ctx.mode, Mode::Transient { .. }) && lin.is_none() {
+        return Err(SpiceError::InvalidCircuit(
+            "transient assembly requires linear integration state".into(),
+        ));
+    }
     let sol = Solution::new(x);
     let branch_base = ckt.branch_base();
     for (idx, e) in ckt.elements().iter().enumerate() {
@@ -99,7 +111,12 @@ pub(crate) fn load_linear(
                     Mode::Transient {
                         dt, backward_euler, ..
                     } => {
-                        let (v_prev, i_prev) = lin.expect("transient needs LinearState").cap[idx];
+                        // `lin` is guaranteed Some in transient mode by the
+                        // entry check above.
+                        let (v_prev, i_prev) = match lin {
+                            Some(s) => s.cap[idx],
+                            None => (0.0, 0.0),
+                        };
                         let (geq, ieq) = if backward_euler {
                             let g = farads / dt;
                             (g, -g * v_prev)
@@ -149,7 +166,10 @@ pub(crate) fn load_linear(
                     Mode::Transient {
                         dt, backward_euler, ..
                     } => {
-                        let (i_prev, v_prev) = lin.expect("transient needs LinearState").ind[idx];
+                        let (i_prev, v_prev) = match lin {
+                            Some(s) => s.ind[idx],
+                            None => (0.0, 0.0),
+                        };
                         // v = req (i − i_prev) − v_hist
                         let (req, v_hist) = if backward_euler {
                             (henries / dt, 0.0)
@@ -232,6 +252,7 @@ pub(crate) fn load_linear(
             }
         }
     }
+    Ok(())
 }
 
 /// Stamps Norton clamps that force `v(node) = value` during the t = 0 solve.
@@ -245,6 +266,89 @@ pub(crate) fn load_ic_clamps(clamps: &[(NodeId, f64)], x: &[f64], st: &mut Stamp
         st.f_node(node, g * (sol.v(node) - value));
         st.j_node(node, node, g);
     }
+}
+
+/// Assembles the full system (linear elements, devices, solver stamps) at
+/// candidate `x`, with section attribution for non-finite detection.
+fn assemble(
+    ckt: &Circuit,
+    x: &[f64],
+    ctx: &LoadContext,
+    st: &mut Stamper,
+    lin: Option<&LinearState>,
+    ic_clamps: Option<&[(NodeId, f64)]>,
+) -> Result<()> {
+    st.clear();
+    st.set_section(StampSection::Linear);
+    load_linear(ckt, x, ctx, st, lin)?;
+    let sol = Solution::new(x);
+    for (i, dev) in ckt.devices().iter().enumerate() {
+        st.set_section(StampSection::Device(i));
+        dev.load(&sol, ctx, st);
+    }
+    st.set_section(StampSection::Solver);
+    st.gmin_shunts(ctx.gmin, ckt.num_node_unknowns(), x);
+    if let Some(clamps) = ic_clamps {
+        load_ic_clamps(clamps, x, st);
+    }
+    Ok(())
+}
+
+/// Maps a bare singular-matrix failure from the linear solver to a
+/// [`SpiceError::SingularSystem`] naming the circuit unknown whose pivot
+/// column collapsed.
+fn attribute_singular(ckt: &Circuit, e: SpiceError, time: f64) -> SpiceError {
+    match e {
+        SpiceError::Numeric(NumericError::SingularMatrix { column, pivot }) => {
+            SpiceError::SingularSystem {
+                column,
+                unknown: crate::guard::unknown_name(ckt, column),
+                pivot,
+                time,
+            }
+        }
+        other => other,
+    }
+}
+
+/// Post-solve KCL audit: re-assembles the residual at the converged point
+/// and fails if any node row carries more than `tol` amperes.
+fn kcl_audit(
+    ckt: &Circuit,
+    x: &[f64],
+    ctx: &LoadContext,
+    st: &mut Stamper,
+    lin: Option<&LinearState>,
+    ic_clamps: Option<&[(NodeId, f64)]>,
+    tol: f64,
+) -> Result<()> {
+    assemble(ckt, x, ctx, st, lin, ic_clamps)?;
+    let nn = ckt.num_node_unknowns();
+    let (worst, residual) =
+        st.residual()
+            .iter()
+            .take(nn)
+            .enumerate()
+            .fold(
+                (0, 0.0),
+                |(wi, wv), (i, &v)| {
+                    if v.abs() > wv {
+                        (i, v.abs())
+                    } else {
+                        (wi, wv)
+                    }
+                },
+            );
+    if residual > tol {
+        crate::stats::count_nonconvergence();
+        return Err(SpiceError::KclViolation {
+            node: crate::guard::unknown_name(ckt, worst),
+            residual,
+            tol,
+            time: ctx.time(),
+        });
+    }
+    Ok(())
 }
 
 /// One full Newton solve of the circuit equations at the given context.
@@ -266,22 +370,39 @@ pub(crate) fn newton_solve(
     let mut solver = NewtonSolver::new(*opts);
     let mut st = Stamper::new(n);
     loop {
-        st.clear();
-        load_linear(ckt, x, ctx, &mut st, lin);
-        let sol = Solution::new(x);
-        for dev in ckt.devices() {
-            dev.load(&sol, ctx, &mut st);
+        assemble(ckt, x, ctx, &mut st, lin, ic_clamps)?;
+
+        // Fault injection — inert (a thread-local load) unless a plan is
+        // installed by a test or soak driver.
+        match crate::faults::newton_fault() {
+            None | Some(FaultKind::TimestepStorm) => {}
+            Some(FaultKind::NanResidual) => {
+                st.set_section(StampSection::Fault);
+                st.f(crate::faults::singular_row(n), f64::NAN);
+            }
+            Some(FaultKind::SingularPivot) => {
+                st.make_singular(crate::faults::singular_row(n));
+            }
+            Some(FaultKind::JacobianPerturb { relative }) => {
+                st.scale_jacobian(|| crate::faults::perturb_factor(relative));
+            }
         }
-        st.gmin_shunts(ctx.gmin, ckt.num_node_unknowns(), x);
-        if let Some(clamps) = ic_clamps {
-            load_ic_clamps(clamps, x, &mut st);
+
+        // Health guard: a NaN/Inf stamped anywhere in this assembly fails
+        // the solve with device and node attribution instead of reaching
+        // the factorization.
+        if let Some(note) = st.non_finite() {
+            crate::stats::count_newton_iterations(solver.iterations() as u64);
+            crate::stats::count_nonconvergence();
+            return Err(crate::guard::non_finite_error(ckt, note, ctx.time()));
         }
+
         let dx = match st.solve() {
             Ok(dx) => dx,
             Err(e) => {
                 crate::stats::count_newton_iterations(solver.iterations() as u64);
                 crate::stats::count_nonconvergence();
-                return Err(e);
+                return Err(attribute_singular(ckt, e, ctx.time()));
             }
         };
         if !dx.iter().all(|v| v.is_finite()) {
@@ -296,6 +417,9 @@ pub(crate) fn newton_solve(
         match solver.apply_step(x, &dx) {
             NewtonStatus::Converged => {
                 crate::stats::count_newton_iterations(solver.iterations() as u64);
+                if let Some(tol) = crate::guard::kcl_tolerance() {
+                    kcl_audit(ckt, x, ctx, &mut st, lin, ic_clamps, tol)?;
+                }
                 return Ok(solver.iterations());
             }
             NewtonStatus::Continue => {

@@ -203,12 +203,18 @@ fn solve_dc_point(
             gmin: base_gmin,
             source_scale: scale,
         };
-        newton_solve(ckt, x, &ctx, &opts.newton, None, ic_clamps).map_err(|e| {
-            SpiceError::NoConvergence {
+        newton_solve(ckt, x, &ctx, &opts.newton, None, ic_clamps).map_err(|e| match e {
+            // Typed health diagnostics (non-finite assembly, singular pivot
+            // with attribution, KCL audit) survive the fallback chain
+            // unwrapped so callers can triage them.
+            SpiceError::NonFinite { .. }
+            | SpiceError::SingularSystem { .. }
+            | SpiceError::KclViolation { .. } => e,
+            e => SpiceError::NoConvergence {
                 analysis: "op",
                 time: 0.0,
                 detail: format!("source stepping failed at scale {:.0}%: {e}", scale * 100.0),
-            }
+            },
         })?;
     }
     Ok(())

@@ -73,7 +73,7 @@ fn collect_breakpoints(ckt: &Circuit, tstop: f64) -> Vec<f64> {
         }
     }
     bps.retain(|&t| t > 0.0 && t <= tstop);
-    bps.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    bps.sort_by(f64::total_cmp);
     // Deduplicate within a relative tolerance.
     let eps = tstop * 1e-12;
     bps.dedup_by(|a, b| (*a - *b).abs() <= eps);
@@ -160,15 +160,38 @@ pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<Tr
     let mut dt_prev = 0.0f64;
     let mut force_be = true; // first step from DC uses backward Euler
     let mut steps = 0usize;
+    // Most recent Newton failure, kept so an eventual give-up (step
+    // underflow / budget exhaustion) can surface the root cause — and so
+    // typed health diagnostics are returned as themselves rather than
+    // buried in a generic non-convergence message.
+    let mut last_err: Option<SpiceError> = None;
+    let give_up = |t: f64, last_err: &mut Option<SpiceError>, detail: String| match last_err.take()
+    {
+        Some(
+            e @ (SpiceError::NonFinite { .. }
+            | SpiceError::SingularSystem { .. }
+            | SpiceError::KclViolation { .. }),
+        ) => e,
+        Some(e) => SpiceError::NoConvergence {
+            analysis: "transient",
+            time: t,
+            detail: format!("{detail}; last solver error: {e}"),
+        },
+        None => SpiceError::NoConvergence {
+            analysis: "transient",
+            time: t,
+            detail,
+        },
+    };
 
     while t < tstop - snap_eps {
         steps += 1;
         if steps > opts.max_steps {
-            return Err(SpiceError::NoConvergence {
-                analysis: "transient",
-                time: t,
-                detail: format!("step budget of {} exhausted", opts.max_steps),
-            });
+            return Err(give_up(
+                t,
+                &mut last_err,
+                format!("step budget of {} exhausted", opts.max_steps),
+            ));
         }
         // Advance past any breakpoints we've already reached.
         while bp_idx < breakpoints.len() && breakpoints[bp_idx] <= t + snap_eps {
@@ -185,11 +208,11 @@ pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<Tr
             }
         }
         if dt_step < dt_min {
-            return Err(SpiceError::NoConvergence {
-                analysis: "transient",
-                time: t,
-                detail: format!("step size underflow (dt = {dt_step:.3e})"),
-            });
+            return Err(give_up(
+                t,
+                &mut last_err,
+                format!("step size underflow (dt = {dt_step:.3e})"),
+            ));
         }
 
         let t_new = t + dt_step;
@@ -208,13 +231,23 @@ pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<Tr
         let mut x_try = x.clone();
         match newton_solve(ckt, &mut x_try, &ctx, &opts.newton, Some(&lin), None) {
             Ok(_) => {}
-            Err(_) => {
+            Err(e) => {
                 // Shrink and retry.
                 crate::stats::count_step_rejection();
+                last_err = Some(e);
                 dt = dt_step / 8.0;
                 force_be = true;
                 continue;
             }
+        }
+
+        // Fault injection: a timestep-rejection storm discards steps that
+        // converged cleanly, driving the controller toward underflow.
+        if crate::faults::step_fault() {
+            crate::stats::count_step_rejection();
+            dt = dt_step / 8.0;
+            force_be = true;
+            continue;
         }
 
         // Local truncation estimate: disagreement between the linear

@@ -348,14 +348,19 @@ impl Circuit {
     }
 
     /// Checks structural validity: every non-ground node must have at
-    /// least two element/device connections (no dangling nodes), and at
-    /// least one element must reference ground.
+    /// least two element/device connections (no dangling nodes), at least
+    /// one element must reference ground, no loop may consist solely of
+    /// ideal voltage sources (such a loop makes the MNA matrix singular
+    /// or the currents indeterminate), and every element parameter and
+    /// source waveform must be finite.
     ///
     /// # Errors
     ///
     /// Returns [`SpiceError::InvalidCircuit`] describing the first problem
     /// found.
     pub fn validate(&self) -> Result<()> {
+        self.validate_finite()?;
+        self.validate_no_vsource_loops()?;
         if self.num_node_unknowns() == 0 {
             return Err(SpiceError::InvalidCircuit(
                 "circuit has no nodes besides ground".into(),
@@ -414,6 +419,72 @@ impl Circuit {
             return Err(SpiceError::InvalidCircuit(
                 "nothing is connected to ground".into(),
             ));
+        }
+        Ok(())
+    }
+
+    /// Rejects non-finite element parameters and source waveforms before
+    /// they can poison an assembly. Builder methods assert finiteness at
+    /// construction; this re-check catches values smuggled in through
+    /// waveform payloads or future construction paths.
+    fn validate_finite(&self) -> Result<()> {
+        for (idx, e) in self.elements.iter().enumerate() {
+            let ok = match e {
+                Element::Resistor { ohms, .. } => ohms.is_finite(),
+                Element::Capacitor { farads, .. } => farads.is_finite(),
+                Element::Inductor { henries, .. } => henries.is_finite(),
+                Element::VSource { wave, .. } | Element::ISource { wave, .. } => wave.is_finite(),
+                Element::Vccs { gm, .. } => gm.is_finite(),
+                Element::Vcvs { gain, .. } => gain.is_finite(),
+            };
+            if !ok {
+                return Err(SpiceError::InvalidCircuit(format!(
+                    "element #{idx} has a non-finite parameter or waveform value"
+                )));
+            }
+        }
+        for &(node, volts) in &self.ics {
+            if !volts.is_finite() {
+                return Err(SpiceError::InvalidCircuit(format!(
+                    "initial condition on node '{}' is non-finite",
+                    self.node_names[node.index()]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Rejects loops made purely of ideal voltage sources (independent or
+    /// VCVS outputs): their branch currents are indeterminate and the MNA
+    /// matrix is singular (or the KCL contradiction unsolvable). Detected
+    /// by union-find: each source edge must connect two previously
+    /// disconnected components of the source-only subgraph.
+    fn validate_no_vsource_loops(&self) -> Result<()> {
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]]; // path halving
+                i = parent[i];
+            }
+            i
+        }
+        let mut parent: Vec<usize> = (0..self.num_nodes()).collect();
+        for e in &self.elements {
+            let (a, b, kind) = match *e {
+                Element::VSource { p, m, .. } => (p, m, "voltage source"),
+                Element::Vcvs { op, om, .. } => (op, om, "vcvs output"),
+                _ => continue,
+            };
+            let ra = find(&mut parent, a.index());
+            let rb = find(&mut parent, b.index());
+            if ra == rb {
+                return Err(SpiceError::InvalidCircuit(format!(
+                    "{kind} between '{}' and '{}' closes a loop of ideal voltage sources \
+                     (branch currents would be indeterminate)",
+                    self.node_names[a.index()],
+                    self.node_names[b.index()],
+                )));
+            }
+            parent[ra] = rb;
         }
         Ok(())
     }
@@ -481,6 +552,63 @@ mod tests {
         ckt.resistor(a, b, 1.0);
         ckt.resistor(b, Circuit::GROUND, 1.0);
         assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_flags_vsource_loop() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(2.0)); // parallel pair
+        ckt.resistor(a, Circuit::GROUND, 1.0);
+        let err = ckt.validate().unwrap_err();
+        assert!(err.to_string().contains("loop"), "{err}");
+    }
+
+    #[test]
+    fn validate_flags_vcvs_in_source_loop() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.vsource(b, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.vcvs(a, b, a, Circuit::GROUND, 2.0); // closes the loop a-0-b-a
+        ckt.resistor(a, b, 1.0);
+        let err = ckt.validate().unwrap_err();
+        assert!(err.to_string().contains("loop"), "{err}");
+    }
+
+    #[test]
+    fn validate_accepts_series_sources() {
+        // Two sources in series (a chain, not a loop) are fine.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.vsource(b, a, Waveform::dc(1.0));
+        ckt.resistor(b, Circuit::GROUND, 1.0);
+        assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_flags_non_finite_waveform() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(f64::NAN));
+        ckt.resistor(a, Circuit::GROUND, 1.0);
+        let err = ckt.validate().unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn validate_flags_non_finite_ic() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.resistor(a, Circuit::GROUND, 1.0);
+        ckt.set_ic(a, f64::INFINITY);
+        let err = ckt.validate().unwrap_err();
+        assert!(err.to_string().contains("initial condition"), "{err}");
     }
 
     #[test]

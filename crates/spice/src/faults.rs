@@ -1,0 +1,354 @@
+//! Deterministic, seeded fault injection for the solver.
+//!
+//! Hybrid NEMS-CMOS circuits are numerically hostile — pull-in/pull-out
+//! hysteresis and near-vertical switching produce stiff, near-singular
+//! Newton systems — and the workspace ships a whole robustness layer
+//! (internal operating-point fallbacks, the harness retry ladder, the
+//! numerical health guards in [`crate::guard`]) to survive them. This
+//! module *exercises* that layer: a [`FaultPlan`] installed for the
+//! current thread (analogous to [`crate::profile`]) perturbs Jacobian
+//! stamps, poisons residuals with NaN, forces singular pivots, or
+//! triggers timestep-rejection storms at chosen Newton iterations.
+//!
+//! Design constraints:
+//!
+//! - **Zero-cost when idle.** With no plan installed every hook is a
+//!   thread-local load and a branch; no fault code touches the assembly
+//!   or integration hot paths.
+//! - **Deterministic.** Firing is a pure function of the plan, the
+//!   thread's Newton-iteration count since installation, and the active
+//!   [`SolveProfile`](crate::profile::SolveProfile); the Jacobian
+//!   perturbation stream is seeded by [`FaultPlan::seed`]. The same plan
+//!   on the same job always produces the same failure.
+//! - **No silently-wrong numbers.** Every fault either leaves the
+//!   residual exact ([`FaultKind::JacobianPerturb`] can slow or break
+//!   Newton, but a converged solution still satisfies the *unperturbed*
+//!   circuit equations) or produces a typed error / rejected step. A
+//!   fault can therefore never corrupt a result that is reported as
+//!   successful.
+//!
+//! The [`Disarm`] condition keys a fault off the retry-ladder profile,
+//! so tests and soak drivers can demand "fail until the ladder reaches
+//! source stepping" and assert the exact rescuing rung.
+
+use std::cell::Cell;
+
+use nemscmos_numeric::rng::{Rand64, SplitMix64};
+
+/// What the fault does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Multiplies every stamped Jacobian entry by `1 + relative * u`,
+    /// with `u` drawn uniformly from `[-1, 1]` out of the plan's seeded
+    /// stream. The residual stays exact, so this degrades or destroys
+    /// *convergence* without ever being able to corrupt a converged
+    /// solution.
+    JacobianPerturb {
+        /// Relative perturbation amplitude (`10.0` reliably breaks
+        /// Newton; `1e-3` merely slows it).
+        relative: f64,
+    },
+    /// Poisons one residual entry with NaN, exercising the non-finite
+    /// assembly guard ([`crate::SpiceError::NonFinite`]).
+    NanResidual,
+    /// Zeroes an entire Jacobian row (chosen from the plan seed), forcing
+    /// a singular pivot in the linear solver
+    /// ([`crate::SpiceError::SingularSystem`]).
+    SingularPivot,
+    /// Rejects every accepted transient step while armed, driving the
+    /// step size toward underflow (a timestep-rejection storm). Has no
+    /// effect on DC analyses.
+    TimestepStorm,
+}
+
+/// When the fault stops firing.
+///
+/// The profile-keyed variants disarm once the harness retry ladder
+/// installs the matching override, so a plan can be rescued at an exact
+/// rung: `WhenGminFloor` faults survive the `Direct` attempt and die at
+/// `TightGmin`, and so on down the ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disarm {
+    /// Never disarms: the job must surface a typed diagnostic.
+    Never,
+    /// Disarms after firing this many times.
+    AfterTriggers(u32),
+    /// Disarms once the active [`SolveProfile`](crate::profile::SolveProfile)
+    /// raises the g_min floor (retry ladder rung `TightGmin` and above).
+    WhenGminFloor,
+    /// Disarms once source stepping is forced (rung `SourceStepping` and
+    /// above).
+    WhenSourceStepping,
+    /// Disarms once backward-Euler-only integration is forced (rung
+    /// `BackwardEuler`).
+    WhenBackwardEuler,
+}
+
+/// A complete, deterministic description of one injected fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// The fault to inject.
+    pub kind: FaultKind,
+    /// Newton iterations (counted across the whole installation scope)
+    /// to let pass unharmed before the fault arms.
+    pub skip_iters: u64,
+    /// When the fault stops firing.
+    pub disarm: Disarm,
+    /// Seed for the perturbation stream (and the row choice of
+    /// [`FaultKind::SingularPivot`]).
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan that fires `kind` from the first Newton iteration until
+    /// `disarm` is met.
+    pub fn immediate(kind: FaultKind, disarm: Disarm, seed: u64) -> FaultPlan {
+        FaultPlan {
+            kind,
+            skip_iters: 0,
+            disarm,
+            seed,
+        }
+    }
+
+    fn armed(&self, state: &FaultState) -> bool {
+        // `iters` counts this iteration too (incremented before the check),
+        // so the first `skip_iters` iterations pass unharmed.
+        if state.iters <= self.skip_iters {
+            return false;
+        }
+        let prof = crate::profile::current();
+        match self.disarm {
+            Disarm::Never => true,
+            Disarm::AfterTriggers(n) => state.fired < n,
+            Disarm::WhenGminFloor => prof.gmin_floor.is_none(),
+            Disarm::WhenSourceStepping => !prof.force_source_stepping,
+            Disarm::WhenBackwardEuler => !prof.force_backward_euler,
+        }
+    }
+}
+
+/// Mutable per-installation bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultState {
+    /// Newton iterations observed since the plan was installed.
+    iters: u64,
+    /// Times the fault has fired.
+    fired: u32,
+    /// Perturbation-stream state (SplitMix64, seeded from the plan).
+    stream: u64,
+}
+
+thread_local! {
+    static PLAN: Cell<Option<FaultPlan>> = const { Cell::new(None) };
+    static STATE: Cell<FaultState> = const { Cell::new(FaultState {
+        iters: 0,
+        fired: 0,
+        stream: 0,
+    }) };
+}
+
+/// True when a fault plan is installed on this thread.
+pub fn active() -> bool {
+    PLAN.with(|p| p.get()).is_some()
+}
+
+/// Times the installed plan has fired so far (0 with no plan).
+pub fn triggers_fired() -> u32 {
+    STATE.with(|s| s.get()).fired
+}
+
+/// Runs `f` with `plan` installed on this thread, restoring the previous
+/// plan (and its trigger bookkeeping) afterwards, also on unwind.
+pub fn with<R>(plan: FaultPlan, f: impl FnOnce() -> R) -> R {
+    with_opt(Some(plan), f)
+}
+
+/// [`with`], but a `None` plan just runs `f` fault-free (convenient for
+/// drivers that decide per job whether to inject).
+pub fn with_opt<R>(plan: Option<FaultPlan>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<FaultPlan>, FaultState);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PLAN.with(|p| p.set(self.0));
+            STATE.with(|s| s.set(self.1));
+        }
+    }
+    let _restore = Restore(
+        PLAN.with(|p| p.replace(plan)),
+        STATE.with(|s| {
+            s.replace(FaultState {
+                iters: 0,
+                fired: 0,
+                stream: plan.map_or(0, |pl| pl.seed),
+            })
+        }),
+    );
+    f()
+}
+
+/// Hook called once per Newton iteration by the engine: counts the
+/// iteration and returns the fault to apply to this iteration's assembly,
+/// if any. [`FaultKind::TimestepStorm`] is not an assembly fault and is
+/// never returned here.
+pub(crate) fn newton_fault() -> Option<FaultKind> {
+    let plan = PLAN.with(|p| p.get())?;
+    STATE.with(|s| {
+        let mut state = s.get();
+        state.iters += 1;
+        let fire = plan.armed(&state) && plan.kind != FaultKind::TimestepStorm;
+        if fire {
+            state.fired += 1;
+        }
+        s.set(state);
+        fire.then_some(plan.kind)
+    })
+}
+
+/// Hook called by the transient accept path: true forces rejection of the
+/// step that just converged (a [`FaultKind::TimestepStorm`] firing).
+pub(crate) fn step_fault() -> bool {
+    let Some(plan) = PLAN.with(|p| p.get()) else {
+        return false;
+    };
+    if plan.kind != FaultKind::TimestepStorm {
+        return false;
+    }
+    STATE.with(|s| {
+        let mut state = s.get();
+        let fire = plan.armed(&state);
+        if fire {
+            state.fired += 1;
+        }
+        s.set(state);
+        fire
+    })
+}
+
+/// Next factor of the seeded Jacobian-perturbation stream:
+/// `1 + relative * u`, `u` uniform in `[-1, 1]`.
+pub(crate) fn perturb_factor(relative: f64) -> f64 {
+    STATE.with(|s| {
+        let mut state = s.get();
+        let mut sm = SplitMix64::new(state.stream);
+        let raw = sm.next_u64();
+        state.stream = raw;
+        s.set(state);
+        // 53-bit mantissa to [0, 1), then to [-1, 1].
+        let u01 = (raw >> 11) as f64 / (1u64 << 53) as f64;
+        1.0 + relative * (2.0 * u01 - 1.0)
+    })
+}
+
+/// Deterministic row choice for [`FaultKind::SingularPivot`] in a system
+/// of `n` unknowns.
+pub(crate) fn singular_row(n: usize) -> usize {
+    let seed = PLAN.with(|p| p.get()).map_or(0, |pl| pl.seed);
+    if n == 0 {
+        0
+    } else {
+        (seed % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{self, SolveProfile};
+
+    fn nan_plan(disarm: Disarm) -> FaultPlan {
+        FaultPlan::immediate(FaultKind::NanResidual, disarm, 7)
+    }
+
+    #[test]
+    fn idle_hooks_are_inert() {
+        assert!(!active());
+        assert_eq!(newton_fault(), None);
+        assert!(!step_fault());
+        assert_eq!(triggers_fired(), 0);
+    }
+
+    #[test]
+    fn plan_installs_and_restores() {
+        with(nan_plan(Disarm::Never), || {
+            assert!(active());
+            assert_eq!(newton_fault(), Some(FaultKind::NanResidual));
+            assert_eq!(triggers_fired(), 1);
+        });
+        assert!(!active());
+        assert_eq!(triggers_fired(), 0);
+    }
+
+    #[test]
+    fn skip_iters_delays_arming() {
+        let plan = FaultPlan {
+            skip_iters: 2,
+            ..nan_plan(Disarm::Never)
+        };
+        with(plan, || {
+            assert_eq!(newton_fault(), None);
+            assert_eq!(newton_fault(), None);
+            assert_eq!(newton_fault(), Some(FaultKind::NanResidual));
+        });
+    }
+
+    #[test]
+    fn trigger_budget_disarms() {
+        with(nan_plan(Disarm::AfterTriggers(2)), || {
+            assert!(newton_fault().is_some());
+            assert!(newton_fault().is_some());
+            assert_eq!(newton_fault(), None);
+            assert_eq!(triggers_fired(), 2);
+        });
+    }
+
+    #[test]
+    fn profile_keyed_disarm_follows_retry_ladder() {
+        with(nan_plan(Disarm::WhenGminFloor), || {
+            assert!(newton_fault().is_some(), "neutral profile: armed");
+            let rung = SolveProfile {
+                gmin_floor: Some(1e-9),
+                ..Default::default()
+            };
+            profile::with(rung, || {
+                assert_eq!(newton_fault(), None, "gmin floor active: disarmed");
+            });
+            assert!(newton_fault().is_some(), "profile restored: armed again");
+        });
+    }
+
+    #[test]
+    fn storm_fires_only_on_step_hook() {
+        let plan = FaultPlan::immediate(FaultKind::TimestepStorm, Disarm::Never, 1);
+        with(plan, || {
+            assert_eq!(newton_fault(), None, "storms are not assembly faults");
+            assert!(step_fault());
+        });
+    }
+
+    #[test]
+    fn perturb_stream_is_seeded_and_bounded() {
+        let plan = FaultPlan::immediate(
+            FaultKind::JacobianPerturb { relative: 0.5 },
+            Disarm::Never,
+            42,
+        );
+        let a: Vec<f64> = with(plan, || (0..8).map(|_| perturb_factor(0.5)).collect());
+        let b: Vec<f64> = with(plan, || (0..8).map(|_| perturb_factor(0.5)).collect());
+        assert_eq!(a, b, "same seed, same stream");
+        assert!(a.iter().all(|&f| (0.5..=1.5).contains(&f)));
+        assert!(a.windows(2).any(|w| w[0] != w[1]), "stream varies");
+    }
+
+    #[test]
+    fn nested_plans_restore_outer_bookkeeping() {
+        with(nan_plan(Disarm::Never), || {
+            let _ = newton_fault();
+            assert_eq!(triggers_fired(), 1);
+            with(nan_plan(Disarm::Never), || {
+                assert_eq!(triggers_fired(), 0, "inner scope starts fresh");
+            });
+            assert_eq!(triggers_fired(), 1, "outer bookkeeping restored");
+        });
+    }
+}

@@ -49,6 +49,8 @@ pub mod analysis;
 pub mod circuit;
 pub mod device;
 pub mod element;
+pub mod faults;
+pub mod guard;
 pub mod netlist;
 pub mod profile;
 pub mod result;
@@ -83,6 +85,44 @@ pub enum SpiceError {
     /// An analysis was asked about a node, element, or probe that does not
     /// exist.
     UnknownProbe(String),
+    /// A non-finite value (NaN/Inf) was stamped during MNA assembly,
+    /// caught before it could reach the linear solver.
+    NonFinite {
+        /// What stamped the value (`"device 'nems1'"`, `"linear
+        /// elements"`, `"fault injection"`, ...).
+        device: String,
+        /// The unknown (row) the value landed on, by circuit name.
+        node: String,
+        /// `"jacobian"` or `"residual"`.
+        stage: &'static str,
+        /// Simulation time of the failing solve (`0.0` for DC).
+        time: f64,
+    },
+    /// The linearized circuit equations were singular, with the failing
+    /// pivot column mapped back to its circuit unknown.
+    SingularSystem {
+        /// Pivot column that collapsed (raw MNA index).
+        column: usize,
+        /// The circuit unknown that column belongs to.
+        unknown: String,
+        /// Best available pivot magnitude (`0.0` if structurally empty).
+        pivot: f64,
+        /// Simulation time of the failing solve (`0.0` for DC).
+        time: f64,
+    },
+    /// The post-solve KCL audit found a node whose residual current
+    /// exceeds the configured tolerance (see
+    /// [`guard::GuardConfig::kcl_tol`]).
+    KclViolation {
+        /// The worst-offending node, by name.
+        node: String,
+        /// Its residual current in amperes.
+        residual: f64,
+        /// The tolerance it violated (amperes).
+        tol: f64,
+        /// Simulation time of the audited solve (`0.0` for DC).
+        time: f64,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -101,6 +141,35 @@ impl fmt::Display for SpiceError {
             }
             SpiceError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
             SpiceError::UnknownProbe(msg) => write!(f, "unknown probe: {msg}"),
+            SpiceError::NonFinite {
+                device,
+                node,
+                stage,
+                time,
+            } => write!(
+                f,
+                "non-finite {stage} entry stamped by {device} at {node} (t = {time:.4e} s)"
+            ),
+            SpiceError::SingularSystem {
+                column,
+                unknown,
+                pivot,
+                time,
+            } => write!(
+                f,
+                "singular system at t = {time:.4e} s: pivot column {column} ({unknown}) \
+                 collapsed (best pivot magnitude {pivot:.3e})"
+            ),
+            SpiceError::KclViolation {
+                node,
+                residual,
+                tol,
+                time,
+            } => write!(
+                f,
+                "KCL audit failed at t = {time:.4e} s: residual {residual:.3e} A at {node} \
+                 exceeds tolerance {tol:.3e} A"
+            ),
         }
     }
 }
@@ -130,7 +199,10 @@ mod tests {
     #[test]
     fn error_display_is_nonempty() {
         let errors = [
-            SpiceError::Numeric(NumericError::SingularMatrix { column: 0 }),
+            SpiceError::Numeric(NumericError::SingularMatrix {
+                column: 0,
+                pivot: 0.0,
+            }),
             SpiceError::NoConvergence {
                 analysis: "op",
                 time: 0.0,
@@ -138,6 +210,24 @@ mod tests {
             },
             SpiceError::InvalidCircuit("bad".into()),
             SpiceError::UnknownProbe("n7".into()),
+            SpiceError::NonFinite {
+                device: "device 'nems1'".into(),
+                node: "node 'out'".into(),
+                stage: "jacobian",
+                time: 1e-9,
+            },
+            SpiceError::SingularSystem {
+                column: 3,
+                unknown: "node 'out'".into(),
+                pivot: 0.0,
+                time: 0.0,
+            },
+            SpiceError::KclViolation {
+                node: "node 'out'".into(),
+                residual: 1e-3,
+                tol: 1e-9,
+                time: 2e-9,
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
@@ -146,7 +236,31 @@ mod tests {
 
     #[test]
     fn numeric_error_converts() {
-        let e: SpiceError = NumericError::SingularMatrix { column: 2 }.into();
+        let e: SpiceError = NumericError::SingularMatrix {
+            column: 2,
+            pivot: 0.0,
+        }
+        .into();
         assert!(matches!(e, SpiceError::Numeric(_)));
+    }
+
+    #[test]
+    fn health_errors_name_the_culprit() {
+        let e = SpiceError::NonFinite {
+            device: "device 'beam3'".into(),
+            node: "node 'bit'".into(),
+            stage: "residual",
+            time: 0.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("beam3") && msg.contains("bit") && msg.contains("residual"));
+
+        let e = SpiceError::SingularSystem {
+            column: 5,
+            unknown: "branch current of inductor a-b".into(),
+            pivot: 1e-301,
+            time: 0.0,
+        };
+        assert!(e.to_string().contains("inductor a-b"));
     }
 }

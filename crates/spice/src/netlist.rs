@@ -385,17 +385,17 @@ fn expand_subckts(defs: &HashMap<String, Subckt>, top: Vec<String>) -> Result<Ve
                     .split_whitespace()
                     .map(|s| s.to_string())
                     .collect();
-                if btok[0].starts_with('.') {
+                let Some(first) = btok.first() else {
+                    continue; // blank body line
+                };
+                if first.starts_with('.') {
                     return Err(SpiceError::InvalidCircuit(format!(
-                        "directive '{}' inside .subckt body",
-                        btok[0]
+                        "directive '{first}' inside .subckt body"
                     )));
                 }
-                let kind = btok[0]
-                    .to_ascii_uppercase()
-                    .chars()
-                    .next()
-                    .expect("nonempty");
+                let Some(kind) = first.chars().next().map(|c| c.to_ascii_uppercase()) else {
+                    continue;
+                };
                 let range = node_token_range(kind, &btok);
                 for k in range {
                     btok[k] = map_node(&btok[k]);
@@ -436,7 +436,10 @@ pub fn parse_deck<F: DeviceFactory>(text: &str, factory: &F) -> Result<ParsedDec
 
     for line in flat {
         let tokens: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
-        let card = tokens[0].to_ascii_uppercase();
+        let Some(first_token) = tokens.first() else {
+            continue; // blank line survived expansion
+        };
+        let card = first_token.to_ascii_uppercase();
         let bad = |msg: &str| SpiceError::InvalidCircuit(format!("'{line}': {msg}"));
 
         if card == ".END" {
@@ -494,7 +497,9 @@ pub fn parse_deck<F: DeviceFactory>(text: &str, factory: &F) -> Result<ParsedDec
         }
 
         // Element card. Terminal count by type.
-        let kind = card.chars().next().expect("nonempty token");
+        let Some(kind) = card.chars().next() else {
+            continue;
+        };
         let mut node_of = |name: &str| -> NodeId {
             let id = ckt.node(&name.to_ascii_lowercase());
             nodes.insert(name.to_ascii_lowercase(), id);

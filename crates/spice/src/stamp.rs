@@ -27,12 +27,39 @@ enum Backend {
     Sparse(Triplet),
 }
 
+/// Which part of the assembly is currently stamping, for non-finite
+/// attribution (see [`Stamper::set_section`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StampSection {
+    /// The linear elements of the circuit.
+    Linear,
+    /// The nonlinear device with this index in the circuit's device list.
+    Device(usize),
+    /// Solver-internal stamps (gmin shunts, IC clamps).
+    Solver,
+    /// The fault-injection framework ([`crate::faults`]).
+    Fault,
+}
+
+/// Record of the first non-finite value stamped in an assembly pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonFiniteNote {
+    /// The section active when the value was stamped.
+    pub section: StampSection,
+    /// The row (raw unknown index) it landed on.
+    pub row: usize,
+    /// `"jacobian"` or `"residual"`.
+    pub stage: &'static str,
+}
+
 /// Accumulates one Newton iteration's MNA matrix and residual.
 #[derive(Debug, Clone)]
 pub struct Stamper {
     n: usize,
     backend: Backend,
     rhs: Vec<f64>,
+    section: StampSection,
+    first_non_finite: Option<NonFiniteNote>,
 }
 
 impl Stamper {
@@ -47,6 +74,8 @@ impl Stamper {
             n,
             backend,
             rhs: vec![0.0; n],
+            section: StampSection::Linear,
+            first_non_finite: None,
         }
     }
 
@@ -55,14 +84,40 @@ impl Stamper {
         self.n
     }
 
-    /// Clears the matrix and residual for the next iteration, keeping
-    /// allocations.
+    /// Clears the matrix, residual, and non-finite bookkeeping for the
+    /// next iteration, keeping allocations.
     pub fn clear(&mut self) {
         match &mut self.backend {
             Backend::Dense(m) => m.clear(),
             Backend::Sparse(t) => t.clear(),
         }
         self.rhs.iter_mut().for_each(|x| *x = 0.0);
+        self.first_non_finite = None;
+    }
+
+    /// Declares which part of the assembly the following stamps belong
+    /// to, so a non-finite value can be attributed to its producer.
+    pub fn set_section(&mut self, section: StampSection) {
+        self.section = section;
+    }
+
+    /// The first non-finite value stamped since the last [`clear`],
+    /// if any.
+    ///
+    /// [`clear`]: Stamper::clear
+    pub fn non_finite(&self) -> Option<&NonFiniteNote> {
+        self.first_non_finite.as_ref()
+    }
+
+    #[cold]
+    fn note_non_finite(&mut self, row: usize, stage: &'static str) {
+        if self.first_non_finite.is_none() {
+            self.first_non_finite = Some(NonFiniteNote {
+                section: self.section,
+                row,
+                stage,
+            });
+        }
     }
 
     /// Row index of a node, or `None` for ground.
@@ -82,6 +137,9 @@ impl Stamper {
     /// Panics if an index is out of range.
     #[inline]
     pub fn j(&mut self, r: usize, c: usize, v: f64) {
+        if !v.is_finite() {
+            self.note_non_finite(r, "jacobian");
+        }
         match &mut self.backend {
             Backend::Dense(m) => m.add(r, c, v),
             Backend::Sparse(t) => t.push(r, c, v),
@@ -95,6 +153,9 @@ impl Stamper {
     /// Panics if `r` is out of range.
     #[inline]
     pub fn f(&mut self, r: usize, v: f64) {
+        if !v.is_finite() {
+            self.note_non_finite(r, "residual");
+        }
         self.rhs[r] += v;
     }
 
@@ -189,6 +250,47 @@ impl Stamper {
         nemscmos_numeric::inf_norm(&self.rhs)
     }
 
+    /// The assembled residual vector (one entry per unknown), used by the
+    /// post-solve KCL audit.
+    pub fn residual(&self) -> &[f64] {
+        &self.rhs
+    }
+
+    /// Zeroes Jacobian row `r`, making the assembled system structurally
+    /// singular. Used only by the fault-injection framework
+    /// ([`crate::faults::FaultKind::SingularPivot`]).
+    pub fn make_singular(&mut self, r: usize) {
+        match &mut self.backend {
+            Backend::Dense(m) => {
+                for c in 0..self.n {
+                    m.set(r, c, 0.0);
+                }
+            }
+            Backend::Sparse(t) => t.zero_row(r),
+        }
+    }
+
+    /// Multiplies every accumulated Jacobian entry by the next value of
+    /// `factor`. Used only by the fault-injection framework
+    /// ([`crate::faults::FaultKind::JacobianPerturb`]); the residual is
+    /// left exact, so a solve that still converges converges to the true
+    /// solution.
+    pub fn scale_jacobian(&mut self, mut factor: impl FnMut() -> f64) {
+        match &mut self.backend {
+            Backend::Dense(m) => {
+                for r in 0..self.n {
+                    for c in 0..self.n {
+                        let v = m.get(r, c);
+                        if v != 0.0 {
+                            m.set(r, c, v * factor());
+                        }
+                    }
+                }
+            }
+            Backend::Sparse(t) => t.map_values(|v| v * factor()),
+        }
+    }
+
     /// Returns every accumulated Jacobian entry as `(row, col, value)`
     /// triplets (duplicates unsummed for the sparse backend; the dense
     /// backend reports its nonzero positions). Used by the AC analysis to
@@ -271,6 +373,48 @@ mod tests {
         assert_eq!(st.residual_norm(), 0.0);
         // After clear the matrix is singular (all zeros): solving must fail.
         assert!(st.solve().is_err());
+    }
+
+    #[test]
+    fn non_finite_stamps_are_noted_with_attribution() {
+        let mut st = Stamper::new(2);
+        st.set_section(StampSection::Device(3));
+        st.j(1, 0, f64::NAN);
+        st.f(0, f64::INFINITY); // later entries don't overwrite the first
+        let note = st.non_finite().expect("NaN must be noted");
+        assert_eq!(note.section, StampSection::Device(3));
+        assert_eq!(note.row, 1);
+        assert_eq!(note.stage, "jacobian");
+        st.clear();
+        assert!(st.non_finite().is_none());
+    }
+
+    #[test]
+    fn make_singular_defeats_the_solve() {
+        for n in [2, DENSE_LIMIT + 2] {
+            let mut st = Stamper::new(n);
+            for r in 0..n {
+                st.j(r, r, 1.0);
+                st.f(r, 1.0);
+            }
+            st.make_singular(n / 2);
+            assert!(st.solve().is_err(), "n = {n} should be singular");
+        }
+    }
+
+    #[test]
+    fn scale_jacobian_preserves_residual() {
+        for n in [2, DENSE_LIMIT + 2] {
+            let mut st = Stamper::new(n);
+            for r in 0..n {
+                st.j(r, r, 2.0);
+                st.f(r, -4.0);
+            }
+            st.scale_jacobian(|| 0.5); // J = I now, residual untouched
+            assert_eq!(st.residual_norm(), 4.0);
+            let dx = st.solve().unwrap();
+            assert!(dx.iter().all(|&v| (v - 4.0).abs() < 1e-12), "n = {n}");
+        }
     }
 
     #[test]

@@ -225,6 +225,44 @@ impl Waveform {
         }
     }
 
+    /// True when every numeric parameter of the waveform is finite. Used
+    /// by [`Circuit::validate`](crate::circuit::Circuit::validate) to
+    /// reject poisoned sources before they reach assembly.
+    pub fn is_finite(&self) -> bool {
+        match self {
+            Waveform::Dc(v) => v.is_finite(),
+            Waveform::Pulse {
+                v1,
+                v2,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => [v1, v2, delay, rise, fall, width, period]
+                .iter()
+                .all(|p| p.is_finite()),
+            Waveform::Pwl(pwl) => pwl
+                .points()
+                .iter()
+                .all(|&(t, v)| t.is_finite() && v.is_finite()),
+            Waveform::Sin {
+                offset,
+                ampl,
+                freq,
+                delay,
+            } => [offset, ampl, freq, delay].iter().all(|p| p.is_finite()),
+            Waveform::Exp {
+                v1,
+                v2,
+                td1,
+                tau1,
+                td2,
+                tau2,
+            } => [v1, v2, td1, tau1, td2, tau2].iter().all(|p| p.is_finite()),
+        }
+    }
+
     /// The DC (t = 0⁻) value used for operating-point analysis.
     pub fn dc_value(&self) -> f64 {
         match self {
@@ -399,5 +437,33 @@ mod tests {
         let mut bps = Vec::new();
         Waveform::dc(1.0).breakpoints(1.0, &mut bps);
         assert!(bps.is_empty());
+    }
+
+    #[test]
+    fn is_finite_spots_poisoned_parameters() {
+        assert!(Waveform::dc(1.0).is_finite());
+        assert!(!Waveform::dc(f64::NAN).is_finite());
+        assert!(Waveform::pulse(0.0, 1.0, 0.0, 0.1, 0.1, 0.3, 1.0).is_finite());
+        assert!(!Waveform::Pulse {
+            v1: 0.0,
+            v2: f64::INFINITY,
+            delay: 0.0,
+            rise: 0.1,
+            fall: 0.1,
+            width: 0.3,
+            period: 1.0,
+        }
+        .is_finite());
+        assert!(Waveform::pwl(vec![(0.0, 0.0), (1.0, 2.0)])
+            .unwrap()
+            .is_finite());
+        assert!(!Waveform::Sin {
+            offset: 0.0,
+            ampl: f64::NAN,
+            freq: 1.0,
+            delay: 0.0,
+        }
+        .is_finite());
+        assert!(Waveform::exp(0.0, 1.0, 0.0, 1.0, 2.0, 1.0).is_finite());
     }
 }

@@ -1,0 +1,230 @@
+//! End-to-end behavior of the numerical health guards and the
+//! fault-injection framework: every injected fault must surface as a
+//! typed diagnostic (never a panic), and a fault that cannot corrupt the
+//! residual must never produce a silently-wrong number.
+
+use nemscmos_spice::analysis::op::{op, op_with, OpOptions};
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::device::{Device, LoadContext, Solution};
+use nemscmos_spice::element::NodeId;
+use nemscmos_spice::faults::{self, Disarm, FaultKind, FaultPlan};
+use nemscmos_spice::guard::{self, GuardConfig};
+use nemscmos_spice::stamp::Stamper;
+use nemscmos_spice::waveform::Waveform;
+use nemscmos_spice::SpiceError;
+
+/// 2 V through 1 kΩ / 3 kΩ: v(b) = 1.5 V.
+fn divider() -> (Circuit, NodeId) {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource(a, Circuit::GROUND, Waveform::dc(2.0));
+    ckt.resistor(a, b, 1e3);
+    ckt.resistor(b, Circuit::GROUND, 3e3);
+    (ckt, b)
+}
+
+fn rc_lowpass() -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+    ckt.resistor(vin, out, 1e3);
+    ckt.capacitor(out, Circuit::GROUND, 1e-9);
+    ckt
+}
+
+#[test]
+fn nan_fault_surfaces_as_typed_nonfinite() {
+    let plan = FaultPlan::immediate(FaultKind::NanResidual, Disarm::Never, 11);
+    let (mut ckt, _) = divider();
+    let err = faults::with(plan, || op(&mut ckt).unwrap_err());
+    match err {
+        SpiceError::NonFinite {
+            device,
+            node,
+            stage,
+            ..
+        } => {
+            assert_eq!(device, "fault injection");
+            assert_eq!(stage, "residual");
+            assert!(!node.is_empty());
+        }
+        other => panic!("expected NonFinite, got: {other}"),
+    }
+}
+
+#[test]
+fn singular_fault_surfaces_with_unknown_attribution() {
+    let plan = FaultPlan::immediate(FaultKind::SingularPivot, Disarm::Never, 7);
+    let (mut ckt, _) = divider();
+    let err = faults::with(plan, || op(&mut ckt).unwrap_err());
+    match err {
+        SpiceError::SingularSystem { unknown, .. } => {
+            assert!(
+                unknown.contains("node") || unknown.contains("branch"),
+                "unknown should be named: {unknown}"
+            );
+        }
+        other => panic!("expected SingularSystem, got: {other}"),
+    }
+}
+
+#[test]
+fn mild_jacobian_perturbation_cannot_corrupt_the_answer() {
+    // The perturbation leaves the residual exact, so a converged solve
+    // still satisfies the true circuit equations.
+    let plan = FaultPlan::immediate(
+        FaultKind::JacobianPerturb { relative: 1e-3 },
+        Disarm::Never,
+        42,
+    );
+    let (mut ckt, b) = divider();
+    let res = faults::with(plan, || op(&mut ckt)).expect("mild perturbation converges");
+    assert!((res.voltage(b) - 1.5).abs() < 1e-6);
+}
+
+#[test]
+fn severe_jacobian_perturbation_fails_typed_or_lands_true() {
+    // A 1000x random Jacobian corruption normally destroys convergence;
+    // the contract is "typed failure or the true answer", never a wrong
+    // number reported as success.
+    let plan = FaultPlan::immediate(
+        FaultKind::JacobianPerturb { relative: 1e3 },
+        Disarm::Never,
+        99,
+    );
+    let (mut ckt, b) = divider();
+    match faults::with(plan, || op(&mut ckt)) {
+        Ok(res) => assert!((res.voltage(b) - 1.5).abs() < 1e-6),
+        Err(
+            SpiceError::NoConvergence { .. }
+            | SpiceError::SingularSystem { .. }
+            | SpiceError::NonFinite { .. },
+        ) => {}
+        Err(other) => panic!("unexpected error class: {other}"),
+    }
+}
+
+#[test]
+fn timestep_storm_is_ridden_out_when_it_disarms() {
+    let plan = FaultPlan::immediate(FaultKind::TimestepStorm, Disarm::AfterTriggers(2), 3);
+    let mut ckt = rc_lowpass();
+    let res = faults::with(plan, || {
+        let res = transient(&mut ckt, 10e-6, &TranOptions::default());
+        assert_eq!(faults::triggers_fired(), 2);
+        res
+    })
+    .expect("storm disarms after two rejections");
+    // Fully charged after 10 time constants despite the two rejections.
+    let v_end = res.voltage(ckt.find_node("out").unwrap()).last_value();
+    assert!((v_end - 1.0).abs() < 1e-3);
+}
+
+#[test]
+fn endless_timestep_storm_underflows_with_typed_diagnostic() {
+    let plan = FaultPlan::immediate(FaultKind::TimestepStorm, Disarm::Never, 3);
+    let mut ckt = rc_lowpass();
+    let err = faults::with(plan, || {
+        transient(&mut ckt, 1e-6, &TranOptions::default()).unwrap_err()
+    });
+    match err {
+        SpiceError::NoConvergence { detail, .. } => {
+            assert!(detail.contains("underflow"), "detail: {detail}");
+        }
+        other => panic!("expected NoConvergence, got: {other}"),
+    }
+}
+
+#[test]
+fn unfaulted_solves_are_bitwise_identical_under_an_inactive_plan_scope() {
+    let (mut c1, b1) = divider();
+    let r1 = op(&mut c1).unwrap();
+    let (mut c2, b2) = divider();
+    let r2 = faults::with_opt(None, || op(&mut c2)).unwrap();
+    assert_eq!(r1.voltage(b1).to_bits(), r2.voltage(b2).to_bits());
+}
+
+/// A deliberately buggy device: it reports a huge (wrong) Jacobian entry
+/// for a modest residual current, so Newton's `‖Δx‖` test "converges"
+/// immediately while KCL is badly violated — exactly the stiff-system
+/// trap the post-solve audit exists to catch.
+#[derive(Debug)]
+struct StiffLeak {
+    node: NodeId,
+}
+
+impl Device for StiffLeak {
+    fn name(&self) -> &str {
+        "stiffleak"
+    }
+    fn load(&self, _x: &Solution<'_>, _ctx: &LoadContext, st: &mut Stamper) {
+        st.f_node(self.node, 1e-3);
+        st.j_node(self.node, self.node, 1e9);
+    }
+    fn commit(&mut self, _x: &Solution<'_>, _ctx: &LoadContext) -> bool {
+        false
+    }
+    fn reset_state(&mut self) {}
+}
+
+#[test]
+fn kcl_audit_catches_false_convergence() {
+    let (mut ckt, b) = divider();
+    ckt.add_device(StiffLeak { node: b });
+
+    // Without the audit the solve "succeeds" — with node b pinned far
+    // from its true 1.5 V because the phantom 1e9 S Jacobian entry
+    // swallows every correction. A silently-wrong number.
+    let silent = op(&mut ckt).expect("dx-based convergence is fooled");
+    assert!((silent.voltage(b) - 1.5).abs() > 0.5);
+
+    let err = guard::with(GuardConfig::kcl(1e-9), || op(&mut ckt)).unwrap_err();
+    match err {
+        SpiceError::KclViolation { node, residual, .. } => {
+            assert!(node.contains('b'), "worst node: {node}");
+            assert!(residual > 1e-4, "residual: {residual}");
+        }
+        other => panic!("expected KclViolation, got: {other}"),
+    }
+}
+
+#[test]
+fn kcl_audit_passes_a_healthy_circuit() {
+    let (mut ckt, b) = divider();
+    let res = guard::with(GuardConfig::kcl(1e-6), || op(&mut ckt)).expect("audit passes");
+    assert!((res.voltage(b) - 1.5).abs() < 1e-6);
+}
+
+#[test]
+fn kcl_audit_passes_a_healthy_transient() {
+    let mut ckt = rc_lowpass();
+    guard::with(GuardConfig::kcl(1e-3), || {
+        transient(&mut ckt, 1e-6, &TranOptions::default())
+    })
+    .expect("transient audit passes");
+}
+
+#[test]
+fn floating_node_singular_error_names_the_node() {
+    // With gmin disabled, a DC-floating capacitor node has an empty
+    // matrix column; the error must name it.
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let fl = ckt.node("float");
+    ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+    ckt.resistor(a, Circuit::GROUND, 1e3);
+    ckt.capacitor(a, fl, 1e-12);
+    let opts = OpOptions {
+        gmin: 0.0,
+        ..Default::default()
+    };
+    let err = op_with(&mut ckt, &opts).unwrap_err();
+    match err {
+        SpiceError::SingularSystem { unknown, .. } => {
+            assert!(unknown.contains("float"), "unknown: {unknown}");
+        }
+        other => panic!("expected SingularSystem, got: {other}"),
+    }
+}
