@@ -54,4 +54,17 @@ if ! echo "$soak_out" | grep -qE "surfaced typed \[.+\]"; then
     exit 1
 fi
 
+# Kill/resume smoke: a journaled batch under a tight per-job deadline
+# loses its wedged jobs as typed DeadlineExceeded failures (never a
+# panic); resuming the same run id must recover every journaled job
+# without re-execution and finish bitwise identical to an uninterrupted
+# baseline.
+echo "== kill/resume smoke =="
+resume_out=$(cargo run --release --offline -q -p nemscmos-bench --bin soak -- --resume-smoke)
+echo "$resume_out" | tail -n 3
+if ! echo "$resume_out" | grep -q "resume smoke OK"; then
+    echo "FAIL: kill/resume smoke did not pass" >&2
+    exit 1
+fi
+
 echo "== ci OK =="

@@ -92,9 +92,11 @@ fn main() {
     }
 
     println!("=== Harness telemetry ===");
-    for report in drain_reports() {
+    let reports = drain_reports();
+    for report in &reports {
         println!("{}", report.render());
     }
+    println!("{}", nemscmos_harness::supervision_totals(&reports));
 
     if failures > 0 {
         eprintln!("{failures} experiment(s) failed");

@@ -20,10 +20,21 @@
 //! Exits non-zero (after printing every violation) if any assertion
 //! fails; prints `soak OK` plus the aggregated failure taxonomy on
 //! success. `ci.sh` runs a small-`N` fixed-seed instance of this binary.
+//!
+//! `--resume-smoke` instead runs the kill/resume drill: a journaled
+//! batch under a tight per-job deadline with deliberately wedged jobs
+//! (the stand-in for a batch killed mid-flight), then a resume of the
+//! same run id that must recover every journaled job without
+//! re-execution and finish bitwise identical to an uninterrupted
+//! baseline. Prints `resume smoke OK` on success.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 
-use nemscmos_harness::{FailureKind, HarnessError, JobOutcome, JobSpec, RetryPolicy, Runner};
+use nemscmos_harness::{
+    Cache, FailureKind, HarnessError, JobOutcome, JobSpec, RetryPolicy, Runner, Supervision,
+};
 use nemscmos_numeric::rng::{Rand64, SplitMix64};
 use nemscmos_spice::analysis::op::op;
 use nemscmos_spice::analysis::tran::{transient, TranOptions};
@@ -303,8 +314,171 @@ const TYPED_KINDS: [FailureKind; 4] = [
     FailureKind::Kcl,
 ];
 
+/// Burns solver work until the supervisor stops the job — the stand-in
+/// for a job that a batch kill interrupts mid-solve.
+fn wedge_until_interrupted() -> Result<Vec<f64>, HarnessError> {
+    loop {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        ckt.resistor(vin, out, 1e3);
+        ckt.capacitor(out, Circuit::GROUND, 1e-9);
+        match transient(&mut ckt, 1e-2, &TranOptions::default()) {
+            Err(e) if e.is_interrupt() => return Err(e.into()),
+            _ => continue,
+        }
+    }
+}
+
+/// The kill/resume drill behind `--resume-smoke`.
+fn resume_smoke() -> ExitCode {
+    let jobs_def = portfolio();
+    let specs: Vec<JobSpec> = jobs_def
+        .iter()
+        .map(|j| JobSpec::new(j.name, format!("soak v1 {}", j.name)))
+        .collect();
+    let run_body = |i: usize| {
+        let body = jobs_def[i].body;
+        guard::with(GuardConfig::kcl(1e-6), body)
+    };
+    let wedged = |i: usize| i % 4 == 2;
+    let wedged_count = (0..specs.len()).filter(|&i| wedged(i)).count();
+    let threads = nemscmos_harness::default_threads();
+    let dir = std::env::temp_dir().join(format!("nemscmos-resume-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let run_id = "resume-smoke";
+    let mut violations: Vec<String> = Vec::new();
+
+    println!(
+        "== kill/resume smoke: {} jobs, {wedged_count} wedged ==",
+        specs.len()
+    );
+
+    // Uninterrupted baseline — what the resumed run must reproduce.
+    let (baseline, _) = Runner::with_config(threads, None, RetryPolicy::default()).run_collect(
+        "resume-smoke baseline",
+        &specs,
+        |i, _| run_body(i),
+    );
+    let baseline: Vec<Vec<f64>> = match baseline.into_iter().collect() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("FAIL: clean baseline did not complete: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Pass 1: journaled and supervised. Wedged jobs spin until the
+    // per-job deadline stops them with a typed error; everything that
+    // finishes is fsync'd to the journal before the batch moves on.
+    let executed = AtomicUsize::new(0);
+    let runner = Runner::with_config(threads, Some(Cache::at(&dir)), RetryPolicy::default())
+        .with_supervision(Supervision::deadline(Duration::from_millis(150)))
+        .with_journal(run_id)
+        .expect("journal opens");
+    let (_, report) = runner.run_collect("resume-smoke pass 1", &specs, |i, _| {
+        executed.fetch_add(1, Ordering::SeqCst);
+        if wedged(i) {
+            return wedge_until_interrupted();
+        }
+        run_body(i)
+    });
+    print!("{}", report.render());
+    if report.panicked_jobs() > 0 {
+        violations.push("pass 1: a job panicked — kills must be cooperative".into());
+    }
+    if report.deadline_exceeded_jobs() != wedged_count {
+        violations.push(format!(
+            "pass 1: expected {wedged_count} deadline-exceeded jobs, saw {}",
+            report.deadline_exceeded_jobs()
+        ));
+    }
+    for (i, job) in report.jobs.iter().enumerate() {
+        let want_fail = wedged(i);
+        if want_fail != job.outcome.is_failure() {
+            violations.push(format!(
+                "pass 1/{}: expected {} but job {}",
+                job.name,
+                if want_fail {
+                    "a deadline abort"
+                } else {
+                    "success"
+                },
+                job.outcome.label(),
+            ));
+        }
+    }
+
+    // Pass 2: resume the same run id. Journaled jobs come back without
+    // re-execution; only the wedged ones run — and the combined batch
+    // must be bitwise identical to the uninterrupted baseline.
+    let executed2 = AtomicUsize::new(0);
+    let runner = Runner::with_config(threads, Some(Cache::at(&dir)), RetryPolicy::default())
+        .with_journal(run_id)
+        .expect("journal reopens");
+    let recovered = runner.journal().map_or(0, |j| j.recovered());
+    let (results, report) = runner.run_collect("resume-smoke pass 2", &specs, |i, _| {
+        executed2.fetch_add(1, Ordering::SeqCst);
+        run_body(i)
+    });
+    print!("{}", report.render());
+    if recovered != specs.len() - wedged_count {
+        violations.push(format!(
+            "pass 2: journal recovered {recovered} jobs, expected {}",
+            specs.len() - wedged_count
+        ));
+    }
+    if executed2.load(Ordering::SeqCst) != wedged_count {
+        violations.push(format!(
+            "pass 2: {} jobs re-executed, expected only the {wedged_count} unfinished ones",
+            executed2.load(Ordering::SeqCst)
+        ));
+    }
+    if report.resumed_jobs() != specs.len() - wedged_count {
+        violations.push(format!(
+            "pass 2: {} jobs marked resumed, expected {}",
+            report.resumed_jobs(),
+            specs.len() - wedged_count
+        ));
+    }
+    if report.failed_jobs() > 0 {
+        violations.push("pass 2: the resumed batch must complete cleanly".into());
+    }
+    match results.into_iter().collect::<Result<Vec<Vec<f64>>, _>>() {
+        Ok(resumed) => {
+            for (i, (a, b)) in baseline.iter().zip(&resumed).enumerate() {
+                let same =
+                    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits());
+                if !same {
+                    violations.push(format!(
+                        "pass 2/{}: resumed result diverged from baseline ({b:?} vs {a:?})",
+                        jobs_def[i].name
+                    ));
+                }
+            }
+        }
+        Err(e) => violations.push(format!("pass 2: a job failed: {e}")),
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    if violations.is_empty() {
+        println!("resume smoke OK");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        eprintln!("resume smoke FAILED: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--resume-smoke") {
+        return resume_smoke();
+    }
     let get = |flag: &str, default: u64| {
         args.iter()
             .position(|a| a == flag)

@@ -23,7 +23,9 @@ fn main() {
             std::process::exit(1);
         }
     }
-    for report in drain_reports() {
+    let reports = drain_reports();
+    for report in &reports {
         println!("{}", report.render());
     }
+    println!("{}", nemscmos_harness::supervision_totals(&reports));
 }

@@ -10,14 +10,24 @@
 //! collision (or a stale file from an older spec format) is detected on
 //! load and treated as a miss. Writes go through a temporary file and an
 //! atomic rename, so concurrent writers at worst both do the work once.
+//!
+//! Artifacts carry a schema version and an FNV-1a checksum over the
+//! stored spec + result. A version mismatch is a plain miss (stale but
+//! well-formed artifacts are simply recomputed and overwritten); a
+//! *corrupt* artifact — unparsable JSON, missing fields, or a checksum
+//! mismatch — is quarantined to `<digest>.corrupt` instead of being
+//! silently treated as a miss, and counted (see
+//! [`Cache::quarantined`]) so run reports can surface it.
 
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crate::json::Json;
 
 /// Artifact format version; bump to invalidate all cached results.
-const FORMAT_VERSION: f64 = 1.0;
+/// Version 2 added the `check` checksum trailer.
+const FORMAT_VERSION: f64 = 2.0;
 
 /// 64-bit FNV-1a over `bytes`, from an arbitrary offset basis.
 fn fnv1a64(basis: u64, bytes: &[u8]) -> u64 {
@@ -51,10 +61,23 @@ pub fn spec_seed(spec: &str) -> u64 {
     nemscmos_numeric::rng::SplitMix64::mix(fnv1a64(0xCBF2_9CE4_8422_2325, spec.as_bytes()))
 }
 
+/// Checksum trailer stored inside each artifact: FNV-1a over the spec
+/// and the rendered result, as 16 hex characters. Detects torn writes
+/// and bit rot that still parse as JSON.
+fn artifact_checksum(spec: &str, result_render: &str) -> String {
+    let h = fnv1a64(0xCBF2_9CE4_8422_2325, spec.as_bytes());
+    let h = fnv1a64(h, b"\n");
+    let h = fnv1a64(h, result_render.as_bytes());
+    format!("{h:016x}")
+}
+
 /// On-disk result cache rooted at a directory.
 #[derive(Debug, Clone)]
 pub struct Cache {
     dir: PathBuf,
+    // Shared across clones so the per-batch quarantine delta observed by
+    // the runner covers all worker threads.
+    quarantined: Arc<AtomicU64>,
 }
 
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -62,7 +85,10 @@ static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 impl Cache {
     /// Opens (and lazily creates) a cache at `dir`.
     pub fn at(dir: impl Into<PathBuf>) -> Cache {
-        Cache { dir: dir.into() }
+        Cache {
+            dir: dir.into(),
+            quarantined: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The default cache location: `$CARGO_TARGET_DIR/harness-cache`,
@@ -85,19 +111,65 @@ impl Cache {
         self.dir.join(format!("{digest}.json"))
     }
 
+    /// Number of artifacts this cache (including all clones sharing it)
+    /// has quarantined to `<digest>.corrupt` since creation.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Moves a corrupt artifact aside to `<digest>.corrupt` (preserving
+    /// it for post-mortem) and bumps the quarantine counter.
+    fn quarantine(&self, digest: &str) {
+        let from = self.artifact_path(digest);
+        let to = self.dir.join(format!("{digest}.corrupt"));
+        let _ = std::fs::rename(&from, &to);
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Loads the cached result for `spec`, verifying that the stored spec
-    /// matches exactly. Any I/O error, parse error, version or spec
-    /// mismatch is a miss.
+    /// matches exactly.
+    ///
+    /// Misses come in two flavours: *benign* (no file, older format
+    /// version, or a spec mismatch from a digest collision) return `None`
+    /// and leave the file alone; *corrupt* (unparsable JSON, missing
+    /// fields, checksum mismatch) also return `None` but first quarantine
+    /// the file to `<digest>.corrupt` and bump
+    /// [`quarantined`](Cache::quarantined).
     pub fn load(&self, digest: &str, spec: &str) -> Option<Json> {
         let text = std::fs::read_to_string(self.artifact_path(digest)).ok()?;
-        let artifact = Json::parse(&text).ok()?;
-        if artifact.get("version")?.as_f64()? != FORMAT_VERSION {
+        let Ok(artifact) = Json::parse(&text) else {
+            self.quarantine(digest);
+            return None;
+        };
+        // A well-formed artifact from a different format version is
+        // stale, not corrupt: plain miss, recompute overwrites it.
+        match artifact.get("version").and_then(Json::as_f64) {
+            Some(v) if v == FORMAT_VERSION => {}
+            Some(_) => return None,
+            None => {
+                self.quarantine(digest);
+                return None;
+            }
+        }
+        let fields = (
+            artifact.get("spec").and_then(Json::as_str),
+            artifact.get("result"),
+            artifact.get("check").and_then(Json::as_str),
+        );
+        let (Some(stored_spec), Some(result), Some(check)) = fields else {
+            self.quarantine(digest);
+            return None;
+        };
+        // Verify the checksum against the *stored* spec, so corruption
+        // detection is independent of which spec is being probed.
+        if artifact_checksum(stored_spec, &result.render()) != check {
+            self.quarantine(digest);
             return None;
         }
-        if artifact.get("spec")?.as_str()? != spec {
+        if stored_spec != spec {
             return None;
         }
-        Some(artifact.get("result")?.clone())
+        Some(result.clone())
     }
 
     /// Stores `result` for `spec` atomically (write to a temp file, then
@@ -113,6 +185,10 @@ impl Cache {
             ("version".into(), Json::Num(FORMAT_VERSION)),
             ("spec".into(), Json::Str(spec.into())),
             ("result".into(), result.clone()),
+            (
+                "check".into(),
+                Json::Str(artifact_checksum(spec, &result.render())),
+            ),
         ]);
         let tmp = self.dir.join(format!(
             ".tmp-{}-{}-{digest}",
@@ -172,12 +248,67 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_artifact_is_a_miss() {
+    fn corrupt_artifact_is_quarantined() {
         let cache = Cache::at(scratch_dir("corrupt"));
         let digest = content_digest("spec");
         cache.store(&digest, "spec", &Json::Num(1.0)).unwrap();
         std::fs::write(cache.dir().join(format!("{digest}.json")), "{not json").unwrap();
         assert!(cache.load(&digest, "spec").is_none());
+        assert_eq!(cache.quarantined(), 1);
+        // The file is preserved for post-mortem under .corrupt, and the
+        // original slot is free: the next load is a clean miss.
+        assert!(cache.dir().join(format!("{digest}.corrupt")).exists());
+        assert!(!cache.dir().join(format!("{digest}.json")).exists());
+        assert!(cache.load(&digest, "spec").is_none());
+        assert_eq!(cache.quarantined(), 1, "clean miss must not re-count");
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn checksum_mismatch_is_quarantined() {
+        let cache = Cache::at(scratch_dir("checksum"));
+        let digest = content_digest("spec");
+        cache.store(&digest, "spec", &Json::Num(1.5)).unwrap();
+        // Flip the stored result without updating the checksum: the file
+        // still parses, but the trailer no longer matches.
+        let path = cache.dir().join(format!("{digest}.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("1.5", "2.5")).unwrap();
+        assert!(cache.load(&digest, "spec").is_none());
+        assert_eq!(cache.quarantined(), 1);
+        assert!(cache.dir().join(format!("{digest}.corrupt")).exists());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn older_format_version_is_a_plain_miss_not_corruption() {
+        let cache = Cache::at(scratch_dir("version"));
+        let digest = content_digest("spec");
+        let legacy = Json::Obj(vec![
+            ("version".into(), Json::Num(1.0)),
+            ("spec".into(), Json::Str("spec".into())),
+            ("result".into(), Json::Num(3.0)),
+        ]);
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        std::fs::write(cache.dir().join(format!("{digest}.json")), legacy.render()).unwrap();
+        assert!(cache.load(&digest, "spec").is_none());
+        assert_eq!(cache.quarantined(), 0, "stale format is not corruption");
+        assert!(cache.dir().join(format!("{digest}.json")).exists());
+        // A fresh store upgrades the artifact in place.
+        cache.store(&digest, "spec", &Json::Num(3.0)).unwrap();
+        assert_eq!(cache.load(&digest, "spec"), Some(Json::Num(3.0)));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn quarantine_counter_is_shared_across_clones() {
+        let cache = Cache::at(scratch_dir("clones"));
+        let clone = cache.clone();
+        let digest = content_digest("spec");
+        cache.store(&digest, "spec", &Json::Num(1.0)).unwrap();
+        std::fs::write(cache.dir().join(format!("{digest}.json")), "garbage").unwrap();
+        assert!(clone.load(&digest, "spec").is_none());
+        assert_eq!(cache.quarantined(), 1, "clone's quarantine must be visible");
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

@@ -1,0 +1,273 @@
+//! Crash-safe batch journal: append-only JSONL of completed jobs.
+//!
+//! The result cache makes *individual* jobs cheap to redo, but a killed
+//! batch still re-walks every spec, and cache-bypassing jobs (faulted
+//! soak jobs, `NEMSCMOS_HARNESS_CACHE=off` runs) lose everything. The
+//! journal closes that gap at the *run* level: every successful job is
+//! appended to `journal-<run-id>.jsonl` as one self-contained JSON line
+//! (name, spec digest, full spec, result artifact), fsync'd before the
+//! runner moves on. [`Runner::resume`](crate::runner::Runner::resume)
+//! replays the journal and re-executes only the jobs that never landed —
+//! with deterministic per-spec seeding, the combined output is bitwise
+//! identical to an uninterrupted run.
+//!
+//! # Torn writes
+//!
+//! A kill can land mid-append, leaving a torn final line. Loading
+//! tolerates this: lines that fail to parse, lack a field, or whose
+//! recomputed spec digest disagrees with the stored one are skipped (the
+//! job simply re-runs). Appends are a single `write` + `sync_data`, so
+//! at most the last line is ever torn.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::cache::content_digest;
+use crate::json::Json;
+use crate::HarnessError;
+
+/// Append-only record of jobs completed by one named run.
+#[derive(Debug)]
+pub struct Journal {
+    run_id: String,
+    path: PathBuf,
+    /// digest → (spec, result) recovered at open or recorded since.
+    completed: Mutex<HashMap<String, (String, Json)>>,
+    file: Mutex<File>,
+    recovered: usize,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal for `run_id` under `dir`,
+    /// replaying any entries a previous invocation of the run left
+    /// behind. Torn or corrupt lines are skipped, not fatal.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Cache`] when `run_id` contains characters unsafe
+    /// in a file name, or when the journal file cannot be created.
+    pub fn open(dir: impl Into<PathBuf>, run_id: &str) -> Result<Journal, HarnessError> {
+        if run_id.is_empty()
+            || !run_id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        {
+            return Err(HarnessError::Cache(format!(
+                "journal: run id {run_id:?} must be non-empty [A-Za-z0-9._-]"
+            )));
+        }
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| HarnessError::Cache(format!("journal: create {}: {e}", dir.display())))?;
+        let path = dir.join(format!("journal-{run_id}.jsonl"));
+        let completed = load_entries(&path);
+        let recovered = completed.len();
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| HarnessError::Cache(format!("journal: open {}: {e}", path.display())))?;
+        Ok(Journal {
+            run_id: run_id.to_string(),
+            path,
+            completed: Mutex::new(completed),
+            file: Mutex::new(file),
+            recovered,
+        })
+    }
+
+    /// The run identifier this journal belongs to.
+    pub fn run_id(&self) -> &str {
+        &self.run_id
+    }
+
+    /// The on-disk journal path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// How many completed jobs the open replayed from a previous
+    /// invocation of this run.
+    pub fn recovered(&self) -> usize {
+        self.recovered
+    }
+
+    /// The journaled result for `digest`, if this run already completed
+    /// it with the *same* spec (a digest collision with a different spec
+    /// is treated as absent).
+    pub fn lookup(&self, digest: &str, spec: &str) -> Option<Json> {
+        let completed = self.completed.lock().expect("journal map poisoned");
+        completed
+            .get(digest)
+            .filter(|(stored_spec, _)| stored_spec == spec)
+            .map(|(_, result)| result.clone())
+    }
+
+    /// Appends a completed job: one JSON line, flushed and `sync_data`'d
+    /// so a kill immediately after cannot lose it.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Cache`] on I/O failure. The runner treats this as
+    /// non-fatal — the job's result is still correct, a later resume
+    /// just re-executes it.
+    pub fn record(
+        &self,
+        name: &str,
+        digest: &str,
+        spec: &str,
+        result: &Json,
+    ) -> Result<(), HarnessError> {
+        let entry = Json::Obj(vec![
+            ("name".into(), Json::Str(name.into())),
+            ("digest".into(), Json::Str(digest.into())),
+            ("spec".into(), Json::Str(spec.into())),
+            ("result".into(), result.clone()),
+        ]);
+        let mut line = entry.render();
+        line.push('\n');
+        {
+            // Hold the file lock across write + sync so concurrent
+            // workers cannot interleave partial lines.
+            let mut file = self.file.lock().expect("journal file poisoned");
+            file.write_all(line.as_bytes())
+                .and_then(|()| file.sync_data())
+                .map_err(|e| {
+                    HarnessError::Cache(format!("journal: append {}: {e}", self.path.display()))
+                })?;
+        }
+        self.completed
+            .lock()
+            .expect("journal map poisoned")
+            .insert(digest.to_string(), (spec.to_string(), result.clone()));
+        Ok(())
+    }
+}
+
+/// Parses every intact entry out of a journal file. Missing file ⇒
+/// empty map (a fresh run). Each entry is verified: the stored digest
+/// must match the recomputed digest of the stored spec, otherwise the
+/// line is ignored.
+fn load_entries(path: &Path) -> HashMap<String, (String, Json)> {
+    let mut completed = HashMap::new();
+    let Ok(file) = File::open(path) else {
+        return completed;
+    };
+    for line in BufReader::new(file).lines() {
+        let Ok(line) = line else { break };
+        let Some(entry) = parse_entry(&line) else {
+            continue;
+        };
+        completed.insert(entry.0, (entry.1, entry.2));
+    }
+    completed
+}
+
+/// Decodes and verifies one journal line into (digest, spec, result).
+fn parse_entry(line: &str) -> Option<(String, String, Json)> {
+    if line.trim().is_empty() {
+        return None;
+    }
+    let value = Json::parse(line).ok()?;
+    let digest = value.get("digest")?.as_str()?;
+    let spec = value.get("spec")?.as_str()?;
+    let result = value.get("result")?;
+    if content_digest(spec) != digest {
+        return None;
+    }
+    Some((digest.to_string(), spec.to_string(), result.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "nemscmos-journal-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_entries_across_reopens() {
+        let dir = scratch_dir("roundtrip");
+        let spec = "journal-test fan_in=4";
+        let digest = content_digest(spec);
+        {
+            let j = Journal::open(&dir, "run-a").unwrap();
+            assert_eq!(j.recovered(), 0);
+            j.record("or4", &digest, spec, &Json::Num(1.25)).unwrap();
+            // Visible immediately, same process.
+            assert_eq!(j.lookup(&digest, spec), Some(Json::Num(1.25)));
+        }
+        let j = Journal::open(&dir, "run-a").unwrap();
+        assert_eq!(j.recovered(), 1);
+        assert_eq!(j.lookup(&digest, spec), Some(Json::Num(1.25)));
+        // Different spec behind the same digest key ⇒ absent.
+        assert_eq!(j.lookup(&digest, "some other spec"), None);
+        // Different run id ⇒ separate journal, nothing recovered.
+        let other = Journal::open(&dir, "run-b").unwrap();
+        assert_eq!(other.recovered(), 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped_not_fatal() {
+        let dir = scratch_dir("torn");
+        let specs = ["torn-test a", "torn-test b"];
+        {
+            let j = Journal::open(&dir, "run").unwrap();
+            for spec in specs {
+                j.record("j", &content_digest(spec), spec, &Json::Num(7.0))
+                    .unwrap();
+            }
+        }
+        // Simulate a kill mid-append: truncate the file partway through
+        // the second line.
+        let path = dir.join("journal-run.jsonl");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let first_len = text.find('\n').unwrap() + 1;
+        let mut torn = text[..first_len + 20].to_string();
+        torn.truncate(first_len + 20);
+        std::fs::write(&path, torn).unwrap();
+
+        let j = Journal::open(&dir, "run").unwrap();
+        assert_eq!(j.recovered(), 1, "only the intact line survives");
+        assert!(j.lookup(&content_digest(specs[0]), specs[0]).is_some());
+        assert!(j.lookup(&content_digest(specs[1]), specs[1]).is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn digest_mismatch_lines_are_ignored() {
+        let dir = scratch_dir("mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal-bad.jsonl");
+        // A well-formed line whose digest does not belong to its spec.
+        std::fs::write(
+            &path,
+            "{\"name\":\"x\",\"digest\":\"00000000000000000000000000000000\",\
+             \"spec\":\"mismatch spec\",\"result\":1.0}\n",
+        )
+        .unwrap();
+        let j = Journal::open(&dir, "bad").unwrap();
+        assert_eq!(j.recovered(), 0);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn rejects_unsafe_run_ids() {
+        let dir = scratch_dir("ids");
+        assert!(Journal::open(&dir, "").is_err());
+        assert!(Journal::open(&dir, "../escape").is_err());
+        assert!(Journal::open(&dir, "a b").is_err());
+        assert!(Journal::open(&dir, "ok-run_1.2").is_ok());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

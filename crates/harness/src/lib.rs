@@ -22,6 +22,12 @@
 //! - [`report`] — per-job solver counters (Newton iterations, LU
 //!   factorizations, timestep rejections, wall time) aggregated into a
 //!   [`RunReport`] and published to a process-global sink.
+//! - [`watchdog`] — per-job [`Supervision`]: wall-clock deadlines and
+//!   iteration caps enforced in-band by a solve budget, plus a stall
+//!   watchdog that cancels jobs whose heartbeat stops progressing.
+//! - [`journal`] — crash-safe checkpoint/resume: completed jobs are
+//!   fsync'd to an append-only JSONL journal, and [`Runner::resume`]
+//!   re-executes only the jobs a killed run never finished.
 //!
 //! The [`Runner`] ties the layers together:
 //!
@@ -45,17 +51,22 @@
 //!
 //! - `NEMSCMOS_HARNESS_THREADS=n` — worker count;
 //! - `NEMSCMOS_HARNESS_CACHE=off` — disable the result cache;
-//! - `NEMSCMOS_HARNESS_CACHE_DIR=path` — cache directory override.
+//! - `NEMSCMOS_HARNESS_CACHE_DIR=path` — cache directory override;
+//! - `NEMSCMOS_HARNESS_DEADLINE_MS=n` — per-job wall-clock deadline;
+//! - `NEMSCMOS_HARNESS_STALL_MS=n` — cancel jobs whose progress stalls
+//!   for `n` milliseconds.
 //!
 //! Like the rest of the workspace, this crate builds fully offline: no
 //! external dependencies (the JSON layer and the PRNG are vendored).
 
 pub mod cache;
+pub mod journal;
 pub mod json;
 pub mod pool;
 pub mod report;
 pub mod retry;
 pub mod runner;
+pub mod watchdog;
 
 use std::error::Error;
 use std::fmt;
@@ -63,13 +74,16 @@ use std::fmt;
 use nemscmos_spice::SpiceError;
 
 pub use cache::{content_digest, spec_seed, Cache};
+pub use journal::Journal;
 pub use json::{Json, JsonCodec};
-pub use pool::{default_threads, panic_message, parallel_map};
+pub use pool::{default_threads, panic_message, parallel_map, try_parallel_map};
 pub use report::{
-    drain as drain_reports, publish as publish_report, JobOutcome, JobRecord, RunReport,
+    drain as drain_reports, publish as publish_report, supervision_totals, JobOutcome, JobRecord,
+    RunReport,
 };
 pub use retry::{run_with_retries, Attempt, RetryPolicy, Rung};
 pub use runner::{FaultSource, JobSpec, Runner};
+pub use watchdog::{Supervision, Watchdog};
 
 /// Errors produced by harness jobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,6 +128,11 @@ pub enum FailureKind {
     Cache,
     /// Artifact decode failure.
     Codec,
+    /// Deadline, iteration-cap, or watchdog-stall abort
+    /// ([`SpiceError::DeadlineExceeded`]).
+    Deadline,
+    /// Cooperative external cancellation ([`SpiceError::Cancelled`]).
+    Cancelled,
     /// Anything else (invalid circuit, domain errors, ...).
     Other,
 }
@@ -129,6 +148,8 @@ impl FailureKind {
             FailureKind::Panic => "panic",
             FailureKind::Cache => "cache",
             FailureKind::Codec => "codec",
+            FailureKind::Deadline => "deadline",
+            FailureKind::Cancelled => "cancelled",
             FailureKind::Other => "other",
         }
     }
@@ -142,6 +163,8 @@ impl HarnessError {
             HarnessError::Spice(SpiceError::SingularSystem { .. }) => FailureKind::Singular,
             HarnessError::Spice(SpiceError::NonFinite { .. }) => FailureKind::NonFinite,
             HarnessError::Spice(SpiceError::KclViolation { .. }) => FailureKind::Kcl,
+            HarnessError::Spice(SpiceError::DeadlineExceeded { .. }) => FailureKind::Deadline,
+            HarnessError::Spice(SpiceError::Cancelled { .. }) => FailureKind::Cancelled,
             HarnessError::Spice(_) => FailureKind::Other,
             HarnessError::Panicked(_) => FailureKind::Panic,
             HarnessError::Failed(_) => FailureKind::Other,
@@ -155,7 +178,11 @@ impl HarnessError {
     /// Non-convergence and the numerical-health diagnostics are
     /// retryable — a raised g_min floor or source ramp frequently cures
     /// a collapsed pivot or an overflowing Newton iterate. Panics,
-    /// invalid circuits, and infrastructure errors are not.
+    /// invalid circuits, and infrastructure errors are not; neither are
+    /// budget interrupts ([`SpiceError::DeadlineExceeded`] /
+    /// [`SpiceError::Cancelled`]) — the job was *stopped*, and retrying
+    /// against an expired deadline or a raised cancellation flag could
+    /// only fail again.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -188,9 +215,11 @@ impl From<SpiceError> for HarnessError {
     fn from(e: SpiceError) -> Self {
         match e {
             SpiceError::NoConvergence { .. } => HarnessError::NonConvergence(e.to_string()),
-            health @ (SpiceError::SingularSystem { .. }
+            typed @ (SpiceError::SingularSystem { .. }
             | SpiceError::NonFinite { .. }
-            | SpiceError::KclViolation { .. }) => HarnessError::Spice(health),
+            | SpiceError::KclViolation { .. }
+            | SpiceError::DeadlineExceeded { .. }
+            | SpiceError::Cancelled { .. }) => HarnessError::Spice(typed),
             other => HarnessError::Failed(other.to_string()),
         }
     }
@@ -247,6 +276,30 @@ mod tests {
         let e = HarnessError::from(kcl);
         assert_eq!(e.kind(), FailureKind::Kcl);
         assert!(e.is_retryable());
+    }
+
+    #[test]
+    fn interrupts_stay_typed_but_are_not_retryable() {
+        use nemscmos_spice::stats::SolverStats;
+        let deadline = SpiceError::DeadlineExceeded {
+            limit: "wall-clock deadline of 250ms".into(),
+            time: 1e-9,
+            spent: SolverStats::default(),
+        };
+        let e = HarnessError::from(deadline);
+        assert!(matches!(e, HarnessError::Spice(_)));
+        assert_eq!(e.kind(), FailureKind::Deadline);
+        assert!(!e.is_retryable(), "expired deadlines must not escalate");
+
+        let cancelled = SpiceError::Cancelled {
+            time: 0.0,
+            spent: SolverStats::default(),
+        };
+        let e = HarnessError::from(cancelled);
+        assert_eq!(e.kind(), FailureKind::Cancelled);
+        assert!(!e.is_retryable());
+        assert_eq!(FailureKind::Deadline.label(), "deadline");
+        assert_eq!(FailureKind::Cancelled.label(), "cancelled");
     }
 
     #[test]

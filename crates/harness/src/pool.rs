@@ -75,17 +75,15 @@ fn pop_job(queues: &[Mutex<VecDeque<usize>>], w: usize) -> Option<usize> {
     None
 }
 
-/// Runs `f(0..items)` across `threads` workers with work stealing and
-/// returns the results in index order.
+/// Like [`parallel_map`], but panics from `f` are *returned* per slot as
+/// `Err(payload)` instead of re-raised, so a panicking job cannot abort
+/// the batch: every queued job still runs, the pool shuts down cleanly,
+/// and the caller decides how to degrade each failed slot (the harness
+/// `Runner` turns them into per-job `Panicked` records).
 ///
-/// `threads` is clamped to `[1, items]`; with one worker (or one item)
-/// everything runs inline on the calling thread. Solver-telemetry deltas
-/// from all workers are folded back into the calling thread.
-///
-/// # Panics
-///
-/// Propagates a panic from `f` after all in-flight jobs finish.
-pub fn parallel_map<T, F>(threads: usize, items: usize, f: F) -> Vec<T>
+/// Every job runs even with one worker; solver-telemetry deltas from all
+/// non-panicking jobs are folded back into the calling thread.
+pub fn try_parallel_map<T, F>(threads: usize, items: usize, f: F) -> Vec<std::thread::Result<T>>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -95,7 +93,9 @@ where
     }
     let threads = threads.clamp(1, items);
     if threads == 1 {
-        return (0..items).map(f).collect();
+        return (0..items)
+            .map(|i| std::panic::catch_unwind(AssertUnwindSafe(|| f(i))))
+            .collect();
     }
 
     // Contiguous blocks keep neighbouring jobs (often similar circuits)
@@ -111,10 +111,10 @@ where
         })
         .collect();
     let completed = AtomicUsize::new(0);
-    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-    let (tx, rx) = mpsc::channel::<(usize, T, SolverStats)>();
+    type Caught = Box<dyn std::any::Any + Send>;
+    let (tx, rx) = mpsc::channel::<(usize, Result<T, Caught>, SolverStats)>();
 
-    let mut slots: Vec<Option<T>> = Vec::with_capacity(items);
+    let mut slots: Vec<Option<std::thread::Result<T>>> = Vec::with_capacity(items);
     slots.resize_with(items, || None);
     let mut folded = SolverStats::default();
 
@@ -123,29 +123,27 @@ where
             let tx = tx.clone();
             let queues = &queues;
             let completed = &completed;
-            let panicked = &panicked;
             let f = &f;
             scope.spawn(move || loop {
                 match pop_job(queues, w) {
                     Some(i) => {
-                        // Catch the panic here and re-raise it on the
-                        // calling thread once everything is joined, so the
-                        // original payload (not `thread::scope`'s generic
-                        // one) reaches the caller — and a panicking job
-                        // still counts as completed, letting the other
-                        // workers drain and terminate.
+                        // Catch the panic here and ship the payload to the
+                        // caller as that slot's value, so the original
+                        // payload (not `thread::scope`'s generic one) is
+                        // preserved — and a panicking job still counts as
+                        // completed, letting the other workers drain and
+                        // terminate.
                         let outcome =
                             std::panic::catch_unwind(AssertUnwindSafe(|| stats::measure(|| f(i))));
                         completed.fetch_add(1, Ordering::SeqCst);
+                        // Receiver outlives the workers, so the sends
+                        // cannot fail.
                         match outcome {
-                            // Receiver outlives the workers, so the send
-                            // cannot fail.
                             Ok((result, delta)) => {
-                                let _ = tx.send((i, result, delta));
+                                let _ = tx.send((i, Ok(result), delta));
                             }
                             Err(payload) => {
-                                let mut slot = panicked.lock().expect("panic slot poisoned");
-                                slot.get_or_insert(payload);
+                                let _ = tx.send((i, Err(payload), SolverStats::default()));
                             }
                         }
                     }
@@ -166,13 +164,43 @@ where
     });
 
     stats::add(folded);
-    if let Some(payload) = panicked.into_inner().expect("panic slot poisoned") {
-        std::panic::resume_unwind(payload);
-    }
     slots
         .into_iter()
         .map(|s| s.expect("every job index completed"))
         .collect()
+}
+
+/// Runs `f(0..items)` across `threads` workers with work stealing and
+/// returns the results in index order.
+///
+/// `threads` is clamped to `[1, items]`; with one worker (or one item)
+/// everything runs inline on the calling thread. Solver-telemetry deltas
+/// from all workers are folded back into the calling thread.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after all queued jobs finish (the
+/// lowest-index panic payload is re-raised; see [`try_parallel_map`] to
+/// receive panics as values instead).
+pub fn parallel_map<T, F>(threads: usize, items: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = Vec::with_capacity(items);
+    let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for slot in try_parallel_map(threads, items, f) {
+        match slot {
+            Ok(v) => out.push(v),
+            Err(payload) => {
+                first_panic.get_or_insert(payload);
+            }
+        }
+    }
+    if let Some(payload) = first_panic {
+        std::panic::resume_unwind(payload);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -251,5 +279,60 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    fn try_map_drains_every_job_despite_panics() {
+        // Regression for the resume_unwind panic path: multiple panicking
+        // jobs must not stop the queue — every job runs, the pool joins
+        // cleanly, and each payload lands in its own slot.
+        let ran = AtomicUsize::new(0);
+        let slots = try_parallel_map(4, 32, |i| {
+            ran.fetch_add(1, Ordering::SeqCst);
+            if i % 8 == 3 {
+                panic!("job {i} exploded");
+            }
+            i
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 32, "queued jobs must drain");
+        assert_eq!(slots.len(), 32);
+        for (i, slot) in slots.iter().enumerate() {
+            if i % 8 == 3 {
+                let payload = slot.as_ref().expect_err("job should have panicked");
+                assert_eq!(panic_message(&**payload), format!("job {i} exploded"));
+            } else {
+                assert_eq!(*slot.as_ref().expect("job should have succeeded"), i);
+            }
+        }
+    }
+
+    #[test]
+    fn try_map_catches_panics_single_threaded_too() {
+        let slots = try_parallel_map(1, 4, |i| {
+            if i == 1 {
+                panic!("inline boom");
+            }
+            i * 10
+        });
+        assert!(slots[1].is_err());
+        assert_eq!(*slots[3].as_ref().unwrap(), 30);
+    }
+
+    #[test]
+    fn try_map_still_folds_stats_from_surviving_jobs() {
+        let before = stats::snapshot();
+        let _ = try_parallel_map(4, 16, |i| {
+            stats::add(SolverStats {
+                newton_iterations: 2,
+                ..Default::default()
+            });
+            if i == 5 {
+                panic!("after counting");
+            }
+        });
+        let d = stats::snapshot().delta_since(&before);
+        // The panicking job's delta is lost (its measure never returned),
+        // but every surviving job's work is folded back.
+        assert_eq!(d.newton_iterations, 30);
     }
 }

@@ -78,6 +78,11 @@ pub struct JobRecord {
     pub digest: String,
     /// Whether the result was served from the cache.
     pub cached: bool,
+    /// Whether the result was recovered from a run journal during a
+    /// [`Runner::resume`](crate::runner::Runner::resume) — the job was
+    /// completed by an earlier (killed or deadline-aborted) invocation
+    /// of the same run and was not re-executed.
+    pub resumed: bool,
     /// The retry rung that produced the result (`Direct` for cache hits).
     pub rung: Rung,
     /// Number of ladder attempts (0 for cache hits).
@@ -88,6 +93,9 @@ pub struct JobRecord {
     pub stats: SolverStats,
     /// Wall-clock time for the job, including retries.
     pub wall: Duration,
+    /// Seconds of per-job deadline left when the job finished (negative
+    /// when the budget tripped). `None` when the run had no deadline.
+    pub deadline_margin: Option<f64>,
 }
 
 /// Aggregated telemetry for one experiment run.
@@ -97,6 +105,12 @@ pub struct RunReport {
     pub title: String,
     /// Per-job records, in job order.
     pub jobs: Vec<JobRecord>,
+    /// Wall-clock span of the whole batch (submit to last job done) —
+    /// distinct from [`RunReport::total_wall`], which sums overlapping
+    /// per-job times.
+    pub batch_wall: Duration,
+    /// Cache artifacts quarantined as corrupt while serving this run.
+    pub quarantined: u64,
 }
 
 impl RunReport {
@@ -105,6 +119,8 @@ impl RunReport {
         RunReport {
             title: title.into(),
             jobs: Vec::new(),
+            batch_wall: Duration::ZERO,
+            quarantined: 0,
         }
     }
 
@@ -128,6 +144,28 @@ impl RunReport {
         self.jobs
             .iter()
             .filter(|j| matches!(j.outcome, JobOutcome::Panicked { .. }))
+            .count()
+    }
+
+    /// Number of jobs recovered from a run journal (not re-executed).
+    pub fn resumed_jobs(&self) -> usize {
+        self.jobs.iter().filter(|j| j.resumed).count()
+    }
+
+    /// Number of jobs cancelled cooperatively (user or supervisor).
+    pub fn cancelled_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.outcome.failure_kind() == Some(FailureKind::Cancelled))
+            .count()
+    }
+
+    /// Number of jobs stopped by a deadline, iteration cap, or the
+    /// stall watchdog.
+    pub fn deadline_exceeded_jobs(&self) -> usize {
+        self.jobs
+            .iter()
+            .filter(|j| j.outcome.failure_kind() == Some(FailureKind::Deadline))
             .count()
     }
 
@@ -176,16 +214,32 @@ impl RunReport {
             .chain(["job".len()])
             .max()
             .unwrap_or(3);
+        let with_margin = self.jobs.iter().any(|j| j.deadline_margin.is_some());
         out.push_str(&format!(
-            "{:<name_w$}  {:>6}  {:>8}  {:>9}  {:>8}  {:>8}  {:>8}  {:>8}  {:>9}\n",
+            "{:<name_w$}  {:>7}  {:>8}  {:>9}  {:>8}  {:>8}  {:>8}  {:>8}  {:>9}",
             "job", "src", "rung", "outcome", "newton", "lu", "rej", "acc", "wall"
         ));
+        if with_margin {
+            out.push_str(&format!("  {:>9}", "margin"));
+        }
+        out.push('\n');
         for j in &self.jobs {
+            let src = if j.resumed {
+                "journal"
+            } else if j.cached {
+                "cache"
+            } else {
+                "solve"
+            };
             out.push_str(&format!(
-                "{:<name_w$}  {:>6}  {:>8}  {:>9}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8.1}ms\n",
+                "{:<name_w$}  {:>7}  {:>8}  {:>9}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8.1}ms",
                 j.name,
-                if j.cached { "cache" } else { "solve" },
-                if j.cached { "-" } else { j.rung.label() },
+                src,
+                if j.cached || j.resumed {
+                    "-"
+                } else {
+                    j.rung.label()
+                },
                 j.outcome.label(),
                 j.stats.newton_iterations,
                 j.stats.lu_factorizations,
@@ -193,6 +247,13 @@ impl RunReport {
                 j.stats.steps_accepted,
                 j.wall.as_secs_f64() * 1e3,
             ));
+            if with_margin {
+                match j.deadline_margin {
+                    Some(m) => out.push_str(&format!("  {:>+8.1}ms", m * 1e3)),
+                    None => out.push_str(&format!("  {:>9}", "-")),
+                }
+            }
+            out.push('\n');
         }
         let t = self.total_stats();
         out.push_str(&format!(
@@ -209,6 +270,20 @@ impl RunReport {
             t.nonconvergence_events,
             self.total_wall().as_secs_f64() * 1e3,
         ));
+        let (resumed, cancelled, deadlined) = (
+            self.resumed_jobs(),
+            self.cancelled_jobs(),
+            self.deadline_exceeded_jobs(),
+        );
+        if !self.batch_wall.is_zero() || resumed + cancelled + deadlined > 0 || self.quarantined > 0
+        {
+            out.push_str(&format!(
+                "supervision: batch wall {:.1}ms | resumed {resumed} | cancelled {cancelled} | \
+                 deadline-exceeded {deadlined} | quarantined {}\n",
+                self.batch_wall.as_secs_f64() * 1e3,
+                self.quarantined,
+            ));
+        }
         let taxonomy = self.failure_taxonomy();
         if !taxonomy.is_empty() {
             let classes: Vec<String> = taxonomy
@@ -228,6 +303,26 @@ impl RunReport {
         }
         out
     }
+}
+
+/// Aggregates the supervision counters of several reports into one
+/// summary line — binaries print this after draining the sink so a long
+/// multi-experiment run ends with the batch wall time and the
+/// resumed / cancelled / deadline-exceeded / quarantined totals in one
+/// place.
+pub fn supervision_totals(reports: &[RunReport]) -> String {
+    let batch_wall: Duration = reports.iter().map(|r| r.batch_wall).sum();
+    let sum = |f: fn(&RunReport) -> usize| reports.iter().map(f).sum::<usize>();
+    format!(
+        "supervision totals: {} run(s) | batch wall {:.1}ms | resumed {} | cancelled {} | \
+         deadline-exceeded {} | quarantined {}",
+        reports.len(),
+        batch_wall.as_secs_f64() * 1e3,
+        sum(RunReport::resumed_jobs),
+        sum(RunReport::cancelled_jobs),
+        sum(RunReport::deadline_exceeded_jobs),
+        reports.iter().map(|r| r.quarantined).sum::<u64>(),
+    )
 }
 
 /// Process-global report sink.
@@ -256,6 +351,7 @@ mod tests {
             name: name.into(),
             digest: "0".repeat(32),
             cached,
+            resumed: false,
             rung: Rung::Direct,
             attempts: u32::from(!cached),
             outcome: JobOutcome::Ok,
@@ -264,6 +360,7 @@ mod tests {
                 ..Default::default()
             },
             wall: Duration::from_millis(2),
+            deadline_margin: None,
         }
     }
 
@@ -353,6 +450,86 @@ mod tests {
     #[test]
     fn empty_report_renders() {
         assert!(RunReport::new("empty").render().contains("(no jobs)"));
+    }
+
+    #[test]
+    fn supervision_summary_counts_resumed_and_interrupted_jobs() {
+        let mut r = RunReport::new("resume");
+        r.batch_wall = Duration::from_millis(120);
+        r.quarantined = 1;
+        let mut resumed = record("from-journal", false, 0);
+        resumed.resumed = true;
+        r.jobs.push(resumed);
+        r.jobs.push(failed_record(
+            "too-slow",
+            JobOutcome::Failed {
+                kind: FailureKind::Deadline,
+                message: "budget exhausted".into(),
+            },
+        ));
+        r.jobs.push(failed_record(
+            "stopped",
+            JobOutcome::Failed {
+                kind: FailureKind::Cancelled,
+                message: "solve cancelled".into(),
+            },
+        ));
+        assert_eq!(r.resumed_jobs(), 1);
+        assert_eq!(r.deadline_exceeded_jobs(), 1);
+        assert_eq!(r.cancelled_jobs(), 1);
+        let text = r.render();
+        assert!(text.contains("journal"), "{text}");
+        assert!(
+            text.contains(
+                "supervision: batch wall 120.0ms | resumed 1 | cancelled 1 | \
+                 deadline-exceeded 1 | quarantined 1"
+            ),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn margin_column_appears_only_under_a_deadline() {
+        let mut r = RunReport::new("deadline-cols");
+        r.jobs.push(record("plain", false, 1));
+        assert!(!r.render().contains("margin"));
+        r.jobs[0].deadline_margin = Some(0.25);
+        let text = r.render();
+        assert!(text.contains("margin"), "{text}");
+        assert!(text.contains("+250.0ms"), "{text}");
+        r.jobs[0].deadline_margin = Some(-0.050);
+        assert!(r.render().contains("-50.0ms"));
+    }
+
+    #[test]
+    fn supervision_totals_fold_across_reports() {
+        let mut a = RunReport::new("a");
+        a.batch_wall = Duration::from_millis(30);
+        let mut resumed = record("r", false, 0);
+        resumed.resumed = true;
+        a.jobs.push(resumed);
+        let mut b = RunReport::new("b");
+        b.batch_wall = Duration::from_millis(70);
+        b.quarantined = 2;
+        b.jobs.push(failed_record(
+            "d",
+            JobOutcome::Failed {
+                kind: FailureKind::Deadline,
+                message: "late".into(),
+            },
+        ));
+        assert_eq!(
+            supervision_totals(&[a, b]),
+            "supervision totals: 2 run(s) | batch wall 100.0ms | resumed 1 | cancelled 0 | \
+             deadline-exceeded 1 | quarantined 2"
+        );
+    }
+
+    #[test]
+    fn quiet_reports_omit_the_supervision_line() {
+        let mut r = RunReport::new("quiet");
+        r.jobs.push(record("j", false, 1));
+        assert!(!r.render().contains("supervision:"));
     }
 
     #[test]

@@ -6,19 +6,38 @@
 //! consulting the content-addressed cache first and escalating through
 //! the retry ladder on non-convergence, and publishes a [`RunReport`]
 //! with per-job telemetry.
+//!
+//! Two supervision layers ride on top:
+//!
+//! * [`Runner::with_supervision`] installs a per-job
+//!   [`Budget`](nemscmos_spice::budget::Budget) (deadline, iteration
+//!   caps) around each job's whole retry ladder, and — when a stall
+//!   timeout is configured — spawns a per-batch
+//!   [`Watchdog`](crate::watchdog::Watchdog) that cancels jobs whose
+//!   heartbeat stops progressing. Interrupted jobs fail with typed
+//!   [`SpiceError`](nemscmos_spice::SpiceError) interrupts carrying
+//!   partial telemetry; the rest of the batch keeps running.
+//! * [`Runner::with_journal`] / [`Runner::resume`] make batches
+//!   crash-safe: every completed job is fsync'd to an append-only
+//!   [`Journal`](crate::journal::Journal), and a resumed run re-executes
+//!   only the jobs that never landed — bitwise-identically, thanks to
+//!   deterministic per-spec seeding.
 
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::OnceLock;
-use std::time::Instant;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
+use nemscmos_spice::budget::{self, InterruptFlag};
 use nemscmos_spice::faults::{self, FaultPlan};
-use nemscmos_spice::stats;
+use nemscmos_spice::stats::{self, Heartbeat};
 
 use crate::cache::{content_digest, spec_seed, Cache};
+use crate::journal::Journal;
 use crate::json::JsonCodec;
 use crate::report::{self, JobOutcome, JobRecord, RunReport};
 use crate::retry::{run_with_retries, Attempt, RetryPolicy, Rung};
+use crate::watchdog::{Supervision, Watchdog};
 use crate::{pool, HarnessError};
 
 /// A fully-specified unit of work.
@@ -63,6 +82,8 @@ pub struct Runner {
     cache: Option<Cache>,
     policy: RetryPolicy,
     fault_source: Option<FaultSource>,
+    supervision: Supervision,
+    journal: Option<Journal>,
 }
 
 impl fmt::Debug for Runner {
@@ -75,6 +96,8 @@ impl fmt::Debug for Runner {
                 "fault_source",
                 &self.fault_source.as_ref().map(|_| "<fault source>"),
             )
+            .field("supervision", &self.supervision)
+            .field("journal", &self.journal.as_ref().map(Journal::run_id))
             .finish()
     }
 }
@@ -92,7 +115,10 @@ impl Runner {
     ///   parallelism);
     /// - `NEMSCMOS_HARNESS_CACHE=off|0` — disable the result cache;
     /// - `NEMSCMOS_HARNESS_CACHE_DIR=path` — cache location (default
-    ///   `target/harness-cache`).
+    ///   `target/harness-cache`);
+    /// - `NEMSCMOS_HARNESS_DEADLINE_MS=n` / `NEMSCMOS_HARNESS_STALL_MS=n`
+    ///   — per-job deadline and stall timeout (see
+    ///   [`Supervision::from_env`]).
     pub fn from_env() -> Runner {
         let cache_off = std::env::var("NEMSCMOS_HARNESS_CACHE")
             .map(|v| v == "off" || v == "0")
@@ -102,6 +128,8 @@ impl Runner {
             cache: (!cache_off).then(|| Cache::at(Cache::default_dir())),
             policy: RetryPolicy::default(),
             fault_source: None,
+            supervision: Supervision::from_env(),
+            journal: None,
         }
     }
 
@@ -119,7 +147,53 @@ impl Runner {
             cache,
             policy,
             fault_source: None,
+            supervision: Supervision::default(),
+            journal: None,
         }
+    }
+
+    /// Installs a per-job [`Supervision`] policy: each job runs under a
+    /// budget covering its whole retry ladder; when a stall timeout is
+    /// set, a per-batch watchdog additionally cancels jobs whose
+    /// heartbeat progress stops.
+    #[must_use]
+    pub fn with_supervision(mut self, supervision: Supervision) -> Runner {
+        self.supervision = supervision;
+        self
+    }
+
+    /// Attaches a crash-safe run journal named `run_id` (stored next to
+    /// the result cache): every completed job is fsync'd to
+    /// `journal-<run_id>.jsonl` before the batch moves on. Re-opening an
+    /// existing journal replays it — jobs a previous invocation of the
+    /// run already completed are served from the journal instead of
+    /// re-executing.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Cache`] when `run_id` is not filesystem-safe or
+    /// the journal file cannot be created.
+    pub fn with_journal(mut self, run_id: &str) -> Result<Runner, HarnessError> {
+        let dir = self
+            .cache
+            .as_ref()
+            .map(|c| c.dir().to_path_buf())
+            .unwrap_or_else(Cache::default_dir);
+        self.journal = Some(Journal::open(dir, run_id)?);
+        Ok(self)
+    }
+
+    /// An environment-configured runner resuming run `run_id`: jobs the
+    /// killed or deadline-aborted previous invocation journaled are
+    /// recovered without re-execution; only unfinished jobs run. With
+    /// deterministic per-spec seeding the combined results are bitwise
+    /// identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Cache`] when the journal cannot be opened.
+    pub fn resume(run_id: &str) -> Result<Runner, HarnessError> {
+        Runner::from_env().with_journal(run_id)
     }
 
     /// Installs a fault source: before each job, it is asked for a
@@ -141,6 +215,16 @@ impl Runner {
     /// The cache, if enabled.
     pub fn cache(&self) -> Option<&Cache> {
         self.cache.as_ref()
+    }
+
+    /// The supervision policy (inert by default).
+    pub fn supervision(&self) -> &Supervision {
+        &self.supervision
+    }
+
+    /// The run journal, if one is attached.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.journal.as_ref()
     }
 
     /// Runs `jobs` through cache → retry ladder → pool, returning results
@@ -177,27 +261,68 @@ impl Runner {
         T: JsonCodec + Send,
         F: Fn(usize, &Attempt) -> Result<T, HarnessError> + Sync,
     {
-        let outcomes =
-            pool::parallel_map(self.threads, jobs.len(), |i| self.run_one(i, &jobs[i], &f));
+        let batch_started = Instant::now();
+        let quarantined_before = self.cache.as_ref().map_or(0, Cache::quarantined);
+        let watchdog = self
+            .supervision
+            .needs_watchdog()
+            .then(|| Watchdog::spawn(&self.supervision));
+        let slots = pool::try_parallel_map(self.threads, jobs.len(), |i| {
+            self.run_one(i, &jobs[i], &f, watchdog.as_ref())
+        });
+        drop(watchdog); // stop and join the scanner before reporting
         let mut report = RunReport::new(title);
+        report.batch_wall = batch_started.elapsed();
+        report.quarantined = self
+            .cache
+            .as_ref()
+            .map_or(0, Cache::quarantined)
+            .saturating_sub(quarantined_before);
         let mut results = Vec::with_capacity(jobs.len());
-        for (result, record) in outcomes {
-            report.jobs.push(record);
-            results.push(result);
+        for (i, slot) in slots.into_iter().enumerate() {
+            match slot {
+                Ok((result, record)) => {
+                    report.jobs.push(record);
+                    results.push(result);
+                }
+                // A panic that escaped the per-job body guard (e.g. a
+                // panicking `to_json` during the cache store) — degrade
+                // to a per-job record instead of aborting the batch.
+                Err(payload) => {
+                    let message = pool::panic_message(&*payload);
+                    report.jobs.push(JobRecord {
+                        name: jobs[i].name.clone(),
+                        digest: jobs[i].digest(),
+                        cached: false,
+                        resumed: false,
+                        rung: Rung::Direct,
+                        attempts: 0,
+                        outcome: JobOutcome::Panicked {
+                            message: message.clone(),
+                        },
+                        stats: Default::default(),
+                        wall: Duration::ZERO,
+                        deadline_margin: None,
+                    });
+                    results.push(Err(HarnessError::Panicked(message)));
+                }
+            }
         }
         (results, report)
     }
 
-    /// Executes a single job: cache probe, then the retry ladder (under
-    /// the job's fault plan, if a fault source supplied one), then a
-    /// best-effort cache store. A panicking job body is caught here and
-    /// degraded to [`HarnessError::Panicked`] so one buggy job cannot
-    /// take down the batch.
+    /// Executes a single job: journal probe (resumed runs), cache probe,
+    /// then the retry ladder under the job's budget and fault plan (if
+    /// any), then a best-effort cache store and journal append. A
+    /// panicking job body is caught here and degraded to
+    /// [`HarnessError::Panicked`] so one buggy job cannot take down the
+    /// batch.
     fn run_one<T, F>(
         &self,
         index: usize,
         job: &JobSpec,
         f: &F,
+        watchdog: Option<&Watchdog>,
     ) -> (Result<T, HarnessError>, JobRecord)
     where
         T: JsonCodec,
@@ -207,10 +332,32 @@ impl Runner {
         let started = Instant::now();
         let plan = self.fault_source.as_ref().and_then(|s| s(index, job));
 
-        // Faulted jobs bypass the cache entirely: a cached clean result
-        // would mask the injected fault, and a fault-perturbed result
-        // must never be stored as the spec's canonical artifact.
+        // Faulted jobs bypass the journal and the cache entirely: a
+        // stored clean result would mask the injected fault, and a
+        // fault-perturbed result must never become the spec's canonical
+        // artifact.
         if plan.is_none() {
+            // Journal first: a previous invocation of this run already
+            // completed the job — recover it without re-execution.
+            if let Some(journal) = &self.journal {
+                if let Some(value) = journal.lookup(&digest, &job.spec) {
+                    if let Some(decoded) = T::from_json(&value) {
+                        let record = JobRecord {
+                            name: job.name.clone(),
+                            digest,
+                            cached: false,
+                            resumed: true,
+                            rung: Rung::Direct,
+                            attempts: 0,
+                            outcome: JobOutcome::Ok,
+                            stats: Default::default(),
+                            wall: started.elapsed(),
+                            deadline_margin: None,
+                        };
+                        return (Ok(decoded), record);
+                    }
+                }
+            }
             if let Some(cache) = &self.cache {
                 if let Some(value) = cache.load(&digest, &job.spec) {
                     if let Some(decoded) = T::from_json(&value) {
@@ -218,11 +365,13 @@ impl Runner {
                             name: job.name.clone(),
                             digest,
                             cached: true,
+                            resumed: false,
                             rung: Rung::Direct,
                             attempts: 0,
                             outcome: JobOutcome::Ok,
                             stats: Default::default(),
                             wall: started.elapsed(),
+                            deadline_margin: None,
                         };
                         return (Ok(decoded), record);
                     }
@@ -232,31 +381,60 @@ impl Runner {
             }
         }
 
+        // Supervised jobs run under a budget wired to a fresh interrupt
+        // flag and heartbeat; the watchdog (if any) watches the pair and
+        // expires the flag on a progress stall. The guard unregisters on
+        // every exit path, including panics.
+        let mut watch_guard = None;
+        let job_budget = if self.supervision.is_inert() {
+            None
+        } else {
+            let flag = InterruptFlag::new();
+            let heartbeat = Arc::new(Heartbeat::new());
+            if let Some(dog) = watchdog {
+                watch_guard = Some(dog.register(index, flag.clone(), Arc::clone(&heartbeat)));
+            }
+            Some(self.supervision.budget(flag, heartbeat))
+        };
+
         let before = stats::snapshot();
-        // The plan wraps the *whole* ladder, so fault trigger counters
-        // persist across rungs and profile-keyed disarms can target the
-        // exact rescue rung.
+        // The plan and the budget wrap the *whole* ladder, so fault
+        // trigger counters persist across rungs and the deadline covers
+        // every rescue attempt, not each one separately.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            faults::with_opt(plan, || {
-                run_with_retries(self.policy, job.seed(), |attempt| f(index, attempt))
+            budget::with_opt(job_budget, || {
+                faults::with_opt(plan, || {
+                    run_with_retries(self.policy, job.seed(), |attempt| f(index, attempt))
+                })
             })
         }))
         .unwrap_or_else(|payload| Err(HarnessError::Panicked(pool::panic_message(&*payload))));
+        drop(watch_guard);
         let spent = stats::snapshot().delta_since(&before);
+        let wall = started.elapsed();
+        let deadline_margin = self
+            .supervision
+            .deadline
+            .map(|d| d.as_secs_f64() - wall.as_secs_f64());
 
         match outcome {
             Ok((value, rung, attempts)) => {
-                if plan.is_none() {
+                if plan.is_none() && (self.cache.is_some() || self.journal.is_some()) {
+                    // Store failures are non-fatal: the result is still
+                    // correct, a later run just recomputes.
+                    let artifact = value.to_json();
                     if let Some(cache) = &self.cache {
-                        // Store failures are non-fatal: the result is
-                        // still correct, the next run just recomputes.
-                        let _ = cache.store(&digest, &job.spec, &value.to_json());
+                        let _ = cache.store(&digest, &job.spec, &artifact);
+                    }
+                    if let Some(journal) = &self.journal {
+                        let _ = journal.record(&job.name, &digest, &job.spec, &artifact);
                     }
                 }
                 let record = JobRecord {
                     name: job.name.clone(),
                     digest,
                     cached: false,
+                    resumed: false,
                     rung,
                     attempts,
                     outcome: if attempts > 1 {
@@ -265,7 +443,8 @@ impl Runner {
                         JobOutcome::Ok
                     },
                     stats: spent,
-                    wall: started.elapsed(),
+                    wall,
+                    deadline_margin,
                 };
                 (Ok(value), record)
             }
@@ -283,6 +462,7 @@ impl Runner {
                     name: job.name.clone(),
                     digest,
                     cached: false,
+                    resumed: false,
                     rung: self.policy.max_rung,
                     attempts: Rung::ALL
                         .iter()
@@ -290,7 +470,8 @@ impl Runner {
                         .count() as u32,
                     outcome,
                     stats: spent,
-                    wall: started.elapsed(),
+                    wall,
+                    deadline_margin,
                 };
                 (Err(e), record)
             }

@@ -1,0 +1,232 @@
+//! Integration tests for batch supervision and crash-safe resume: the
+//! stall watchdog cancelling a wedged solve as a typed error, per-job
+//! deadlines with recorded margins, journal-based resume re-executing
+//! only unfinished jobs, and panics escaping the per-job body guard
+//! degrading to records instead of aborting the batch.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use nemscmos_harness::{
+    Cache, FailureKind, HarnessError, JobOutcome, JobSpec, Json, JsonCodec, RetryPolicy, Runner,
+    Supervision,
+};
+use nemscmos_numeric::newton::NewtonOptions;
+use nemscmos_numeric::rng::{Rand64, Xoshiro256pp};
+use nemscmos_spice::analysis::op::{op_with, OpOptions};
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::waveform::Waveform;
+
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nemscmos-supervision-itest-{}-{tag}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One attempt at a solve that cannot converge under these options (5 V
+/// target, 1 mV damping, 12 iterations) but fails *fast* — the raw
+/// material for a wedged job that burns Newton iterations forever
+/// without ever making progress.
+fn starved_op() -> Result<f64, nemscmos_spice::SpiceError> {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource(a, Circuit::GROUND, Waveform::dc(5.0));
+    ckt.resistor(a, b, 1e3);
+    ckt.resistor(b, Circuit::GROUND, 1e3);
+    let opts = OpOptions {
+        newton: NewtonOptions {
+            max_iter: 12,
+            max_step: 1e-3,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    op_with(&mut ckt, &opts).map(|res| res.voltage(b))
+}
+
+#[test]
+fn stall_watchdog_cancels_a_wedged_job_with_a_typed_error() {
+    let sup = Supervision::default()
+        .with_stall_timeout(Duration::from_millis(40))
+        .with_poll(Duration::from_millis(5));
+    let runner = Runner::with_config(2, None, RetryPolicy::default()).with_supervision(sup);
+    let jobs = [JobSpec::new("wedged", "supervision-wedged v1")];
+    let (results, report) =
+        runner.run_collect("wedge", &jobs, |_, _| -> Result<f64, HarnessError> {
+            // Retry the doomed solve forever: no accepted steps, no completed
+            // DC solves, so the heartbeat's progress counter never moves.
+            // Only the supervisor can end this loop.
+            loop {
+                match starved_op() {
+                    Err(e) if e.is_interrupt() => return Err(e.into()),
+                    _ => continue,
+                }
+            }
+        });
+    assert!(results[0].is_err(), "wedged job must not succeed");
+    assert_eq!(report.deadline_exceeded_jobs(), 1);
+    assert_eq!(report.panicked_jobs(), 0, "cancellation must not panic");
+    match &report.jobs[0].outcome {
+        JobOutcome::Failed { kind, message } => {
+            assert_eq!(*kind, FailureKind::Deadline);
+            assert!(message.contains("cancelled by supervisor"), "{message}");
+        }
+        other => panic!("expected a typed failure, got {other:?}"),
+    }
+    // Partial telemetry from the interrupted solve survives.
+    assert!(report.jobs[0].stats.newton_iterations > 0);
+}
+
+#[test]
+fn per_job_deadline_interrupts_a_long_transient_and_records_the_margin() {
+    let sup = Supervision::deadline(Duration::from_millis(30));
+    let runner = Runner::with_config(1, None, RetryPolicy::default()).with_supervision(sup);
+    let jobs = [JobSpec::new("slow-tran", "supervision-slow-tran v1")];
+    let (results, report) =
+        runner.run_collect("deadline", &jobs, |_, _| -> Result<f64, HarnessError> {
+            // An open-ended workload (re-simulate until told to stop):
+            // however fast one transient is, the job outlives 30 ms and
+            // the in-band deadline interrupts it mid-solve.
+            loop {
+                let mut ckt = Circuit::new();
+                let vin = ckt.node("in");
+                let out = ckt.node("out");
+                ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+                ckt.resistor(vin, out, 1e3);
+                ckt.capacitor(out, Circuit::GROUND, 1e-9);
+                match transient(&mut ckt, 1e-2, &TranOptions::default()) {
+                    Err(e) if e.is_interrupt() => return Err(e.into()),
+                    _ => continue,
+                }
+            }
+        });
+    assert!(results[0].is_err());
+    let job = &report.jobs[0];
+    assert_eq!(job.outcome.failure_kind(), Some(FailureKind::Deadline));
+    let margin = job.deadline_margin.expect("deadline runs record a margin");
+    assert!(margin < 0.0, "an overrun job has negative margin: {margin}");
+    assert!(job.stats.newton_iterations > 0, "partial telemetry missing");
+
+    // A fast job under the same policy finishes with margin to spare.
+    let (results, report) = runner.run_collect(
+        "deadline-fast",
+        &[JobSpec::new("fast", "supervision-fast v1")],
+        |_, _| Ok(1.0),
+    );
+    assert!(results[0].is_ok());
+    assert!(report.jobs[0].deadline_margin.unwrap() > 0.0);
+}
+
+/// The deterministic pseudo-simulation used by the resume tests: depends
+/// only on the spec-derived seed, so an uninterrupted run and a
+/// kill-and-resume run must agree bitwise.
+fn pseudo_sim(seed: u64) -> f64 {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    rng.next_f64()
+}
+
+#[test]
+fn resumed_run_reexecutes_only_unfinished_jobs_bitwise_identically() {
+    let dir = scratch_dir("resume");
+    let jobs: Vec<JobSpec> = (0..8)
+        .map(|i| JobSpec::new(format!("j{i}"), format!("supervision-resume v1 item={i}")))
+        .collect();
+
+    // Baseline: a clean uninterrupted run with no cache or journal.
+    let baseline: Vec<f64> = Runner::with_config(4, None, RetryPolicy::default())
+        .run_collect("baseline", &jobs, |_, a| Ok(pseudo_sim(a.seed)))
+        .0
+        .into_iter()
+        .map(Result::unwrap)
+        .collect();
+
+    // Pass 1: journaled run "killed" partway — job 5 fails, the other
+    // seven land in the journal.
+    let runner = Runner::with_config(4, Some(Cache::at(&dir)), RetryPolicy::default())
+        .with_journal("itest-resume")
+        .unwrap();
+    let (results, report) = runner.run_collect("pass1", &jobs, |i, a| {
+        if i == 5 {
+            return Err(HarnessError::Failed("killed before finishing".into()));
+        }
+        Ok(pseudo_sim(a.seed))
+    });
+    assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 7);
+    assert_eq!(report.resumed_jobs(), 0, "a fresh run resumes nothing");
+
+    // Pass 2: resume the same run id with a fresh runner. Exactly one
+    // job (the unfinished one) re-executes; the rest come back from the
+    // journal.
+    let runner = Runner::with_config(4, Some(Cache::at(&dir)), RetryPolicy::default())
+        .with_journal("itest-resume")
+        .unwrap();
+    assert_eq!(runner.journal().unwrap().recovered(), 7);
+    let executed = AtomicUsize::new(0);
+    let (results, report) = runner.run_collect("pass2", &jobs, |_, a| {
+        executed.fetch_add(1, Ordering::SeqCst);
+        Ok(pseudo_sim(a.seed))
+    });
+    assert_eq!(
+        executed.load(Ordering::SeqCst),
+        1,
+        "journaled jobs must not re-run"
+    );
+    assert_eq!(report.resumed_jobs(), 7);
+    assert_eq!(report.failed_jobs(), 0);
+    let resumed: Vec<f64> = results.into_iter().map(Result::unwrap).collect();
+    for (i, (a, b)) in baseline.iter().zip(&resumed).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "job {i} diverged after resume");
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A result type whose encoder explodes — `to_json` runs during the
+/// cache store, *outside* the per-job body guard.
+#[derive(Debug)]
+struct Bomb {
+    value: f64,
+    explode: bool,
+}
+
+impl JsonCodec for Bomb {
+    fn to_json(&self) -> Json {
+        if self.explode {
+            panic!("codec exploded");
+        }
+        Json::Num(self.value)
+    }
+    fn from_json(v: &Json) -> Option<Bomb> {
+        Some(Bomb {
+            value: v.as_f64()?,
+            explode: false,
+        })
+    }
+}
+
+#[test]
+fn panic_outside_the_job_guard_degrades_to_a_record_not_a_batch_abort() {
+    let dir = scratch_dir("bomb");
+    let runner = Runner::with_config(2, Some(Cache::at(&dir)), RetryPolicy::default());
+    let jobs: Vec<JobSpec> = (0..3)
+        .map(|i| JobSpec::new(format!("b{i}"), format!("supervision-bomb v1 item={i}")))
+        .collect();
+    let (results, report) = runner.run_collect("bomb", &jobs, |i, _| {
+        Ok::<Bomb, HarnessError>(Bomb {
+            value: i as f64,
+            explode: i == 1,
+        })
+    });
+    assert_eq!(report.jobs.len(), 3, "the batch must complete");
+    assert_eq!(report.panicked_jobs(), 1);
+    assert!(results[0].is_ok() && results[2].is_ok());
+    match &results[1] {
+        Err(HarnessError::Panicked(msg)) => assert!(msg.contains("codec exploded"), "{msg}"),
+        other => panic!("expected a panicked slot, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(dir);
+}

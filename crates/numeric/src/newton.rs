@@ -5,7 +5,71 @@
 //! convergence tests, step damping, and divergence detection — so that both
 //! the dense and sparse paths behave identically.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
 use crate::inf_norm;
+
+/// Why an iteration was interrupted (see [`InterruptFlag`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InterruptKind {
+    /// Cooperative cancellation requested by an external party.
+    Cancelled,
+    /// A wall-clock deadline or iteration budget expired (raised by a
+    /// supervising layer — a deadline check or a watchdog thread).
+    Deadline,
+}
+
+/// A shared, one-shot cooperative interrupt flag.
+///
+/// Clones share the same underlying state; the first raise wins and the
+/// flag stays raised (it is sticky), so every nested solve observing the
+/// flag fails fast once any supervisor trips it. This is the primitive
+/// that deadline propagation and watchdog cancellation are built on: the
+/// supervisor holds one clone, the iterating solver polls another.
+#[derive(Debug, Clone, Default)]
+pub struct InterruptFlag(Arc<AtomicU8>);
+
+const LIVE: u8 = 0;
+const CANCELLED: u8 = 1;
+const DEADLINE: u8 = 2;
+
+impl InterruptFlag {
+    /// A fresh, unraised flag.
+    pub fn new() -> InterruptFlag {
+        InterruptFlag::default()
+    }
+
+    /// Raises the flag as a cooperative cancellation. No-op if already
+    /// raised (the first raise wins).
+    pub fn cancel(&self) {
+        let _ = self
+            .0
+            .compare_exchange(LIVE, CANCELLED, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Raises the flag as a deadline/budget expiry. No-op if already
+    /// raised (the first raise wins).
+    pub fn expire(&self) {
+        let _ = self
+            .0
+            .compare_exchange(LIVE, DEADLINE, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// The interrupt kind, if the flag has been raised.
+    pub fn raised(&self) -> Option<InterruptKind> {
+        match self.0.load(Ordering::Acquire) {
+            CANCELLED => Some(InterruptKind::Cancelled),
+            DEADLINE => Some(InterruptKind::Deadline),
+            _ => None,
+        }
+    }
+
+    /// True once the flag has been raised (either kind).
+    pub fn is_raised(&self) -> bool {
+        self.raised().is_some()
+    }
+}
 
 /// Convergence and damping settings for [`NewtonSolver`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +103,9 @@ pub enum NewtonStatus {
     Converged,
     /// The iteration should continue.
     Continue,
+    /// An attached [`InterruptFlag`] was raised; the update was *not*
+    /// applied and the caller must abandon the solve.
+    Interrupted(InterruptKind),
 }
 
 /// Incremental Newton state machine.
@@ -70,6 +137,7 @@ pub struct NewtonSolver {
     options: NewtonOptions,
     iterations: usize,
     last_update_norm: f64,
+    interrupt: Option<InterruptFlag>,
 }
 
 impl NewtonSolver {
@@ -79,7 +147,14 @@ impl NewtonSolver {
             options,
             iterations: 0,
             last_update_norm: f64::INFINITY,
+            interrupt: None,
         }
+    }
+
+    /// Attaches a cooperative interrupt flag, checked at the top of every
+    /// [`apply_step`](NewtonSolver::apply_step) call.
+    pub fn attach_interrupt(&mut self, flag: InterruptFlag) {
+        self.interrupt = Some(flag);
     }
 
     /// Number of steps applied so far.
@@ -111,6 +186,9 @@ impl NewtonSolver {
     /// Panics if `x.len() != dx.len()`.
     pub fn apply_step(&mut self, x: &mut [f64], dx: &[f64]) -> NewtonStatus {
         assert_eq!(x.len(), dx.len(), "state/update dimension mismatch");
+        if let Some(kind) = self.interrupt.as_ref().and_then(InterruptFlag::raised) {
+            return NewtonStatus::Interrupted(kind);
+        }
         self.iterations += 1;
         let raw_norm = inf_norm(dx);
         let scale = if raw_norm > self.options.max_step {
@@ -196,5 +274,33 @@ mod tests {
         n.reset();
         assert!(!n.exhausted());
         assert_eq!(n.iterations(), 0);
+    }
+
+    #[test]
+    fn raised_flag_interrupts_before_applying_the_update() {
+        let flag = InterruptFlag::new();
+        let mut n = NewtonSolver::new(NewtonOptions::default());
+        n.attach_interrupt(flag.clone());
+        let mut x = vec![0.0_f64];
+        assert_eq!(n.apply_step(&mut x, &[0.25]), NewtonStatus::Continue);
+        flag.cancel();
+        assert_eq!(
+            n.apply_step(&mut x, &[0.25]),
+            NewtonStatus::Interrupted(InterruptKind::Cancelled)
+        );
+        // The interrupted step neither moved the iterate nor counted.
+        assert_eq!(x[0], 0.25);
+        assert_eq!(n.iterations(), 1);
+    }
+
+    #[test]
+    fn first_raise_wins_and_is_sticky() {
+        let flag = InterruptFlag::new();
+        assert!(!flag.is_raised());
+        flag.expire();
+        flag.cancel();
+        assert_eq!(flag.raised(), Some(InterruptKind::Deadline));
+        let clone = flag.clone();
+        assert_eq!(clone.raised(), Some(InterruptKind::Deadline));
     }
 }

@@ -71,6 +71,11 @@ pub fn dc_sweep_seeded(
         Some(guess)
     };
     for &v in values {
+        // Budget check between points: a sweep of many cheap op solves
+        // should still honour a cancellation/deadline promptly even when
+        // no individual solve runs long. Interrupt errors from inside
+        // op_vector pass through the map_err below untouched.
+        crate::budget::poll(0.0, 0)?;
         ckt.set_vsource_dc(src, v)?;
         let x = op_vector(ckt, opts, prev.as_deref(), None).map_err(|e| match e {
             SpiceError::NoConvergence {

@@ -368,8 +368,18 @@ pub(crate) fn newton_solve(
     eff_opts.max_iter = crate::profile::current().effective_max_iter(eff_opts.max_iter);
     let opts = &eff_opts;
     let mut solver = NewtonSolver::new(*opts);
+    if let Some(flag) = crate::budget::flag() {
+        solver.attach_interrupt(flag);
+    }
     let mut st = Stamper::new(n);
     loop {
+        // Budget poll: publishes the heartbeat and fails the solve with a
+        // typed interrupt error if a deadline, cap, or cancellation
+        // tripped. Inert unless a budget scope is installed.
+        if let Err(e) = crate::budget::poll(ctx.time(), solver.iterations() as u64) {
+            crate::stats::count_newton_iterations(solver.iterations() as u64);
+            return Err(e);
+        }
         assemble(ckt, x, ctx, &mut st, lin, ic_clamps)?;
 
         // Fault injection — inert (a thread-local load) unless a plan is
@@ -421,6 +431,11 @@ pub(crate) fn newton_solve(
                     kcl_audit(ckt, x, ctx, &mut st, lin, ic_clamps, tol)?;
                 }
                 return Ok(solver.iterations());
+            }
+            NewtonStatus::Interrupted(kind) => {
+                let pending = solver.iterations() as u64;
+                crate::stats::count_newton_iterations(pending);
+                return Err(crate::budget::interrupted(kind, ctx.time(), 0));
             }
             NewtonStatus::Continue => {
                 if solver.exhausted() {

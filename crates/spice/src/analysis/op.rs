@@ -138,6 +138,7 @@ pub(crate) fn op_vector(
             changed |= dev.commit(&sol, &ctx);
         }
         if !changed {
+            crate::budget::pulse_solve_done();
             return Ok(x);
         }
     }
@@ -165,8 +166,13 @@ fn solve_dc_point(
     };
     let saved: Vec<f64> = x.to_vec();
     if !prof.force_source_stepping {
-        if newton_solve(ckt, x, &base_ctx, &opts.newton, None, ic_clamps).is_ok() {
-            return Ok(());
+        // Interrupt errors (deadline/cancellation) short-circuit the whole
+        // fallback chain: the solve was stopped, not stuck, so escalating
+        // to the next strategy would just burn more of an expired budget.
+        match newton_solve(ckt, x, &base_ctx, &opts.newton, None, ic_clamps) {
+            Ok(_) => return Ok(()),
+            Err(e) if e.is_interrupt() => return Err(e),
+            Err(_) => {}
         }
 
         // g_min stepping: start very lossy, tighten geometrically. Under a
@@ -181,14 +187,22 @@ fn solve_dc_point(
                 gmin,
                 source_scale: 1.0,
             };
-            if newton_solve(ckt, x, &ctx, &opts.newton, None, ic_clamps).is_err() {
-                ok = false;
-                break;
+            match newton_solve(ckt, x, &ctx, &opts.newton, None, ic_clamps) {
+                Ok(_) => {}
+                Err(e) if e.is_interrupt() => return Err(e),
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
             }
             gmin /= tighten;
         }
-        if ok && newton_solve(ckt, x, &base_ctx, &opts.newton, None, ic_clamps).is_ok() {
-            return Ok(());
+        if ok {
+            match newton_solve(ckt, x, &base_ctx, &opts.newton, None, ic_clamps) {
+                Ok(_) => return Ok(()),
+                Err(e) if e.is_interrupt() => return Err(e),
+                Err(_) => {}
+            }
         }
     }
 
@@ -205,11 +219,13 @@ fn solve_dc_point(
         };
         newton_solve(ckt, x, &ctx, &opts.newton, None, ic_clamps).map_err(|e| match e {
             // Typed health diagnostics (non-finite assembly, singular pivot
-            // with attribution, KCL audit) survive the fallback chain
-            // unwrapped so callers can triage them.
+            // with attribution, KCL audit) and budget interrupts survive
+            // the fallback chain unwrapped so callers can triage them.
             SpiceError::NonFinite { .. }
             | SpiceError::SingularSystem { .. }
-            | SpiceError::KclViolation { .. } => e,
+            | SpiceError::KclViolation { .. }
+            | SpiceError::DeadlineExceeded { .. }
+            | SpiceError::Cancelled { .. } => e,
             e => SpiceError::NoConvergence {
                 analysis: "op",
                 time: 0.0,

@@ -231,6 +231,10 @@ pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<Tr
         let mut x_try = x.clone();
         match newton_solve(ckt, &mut x_try, &ctx, &opts.newton, Some(&lin), None) {
             Ok(_) => {}
+            // A budget interrupt is a stop order, not a convergence
+            // failure: shrinking the step and retrying would spin the
+            // controller against an expired deadline forever.
+            Err(e) if e.is_interrupt() => return Err(e),
             Err(e) => {
                 // Shrink and retry.
                 crate::stats::count_step_rejection();
@@ -269,6 +273,7 @@ pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<Tr
 
         // Accept the step.
         crate::stats::count_step_accepted();
+        crate::budget::pulse_accepted_step(t_new);
         let sol = Solution::new(&x_try);
         let mut state_changed = false;
         for dev in ckt.devices_mut() {
@@ -391,6 +396,86 @@ mod tests {
         assert!((v.eval(1.05e-9) - 0.5).abs() < 0.05);
         assert!((v.eval(2e-9) - 1.0).abs() < 1e-6);
         assert!(v.eval(0.5e-9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakpoint_exactly_at_tstop_is_merged_and_terminates() {
+        // A pulse whose rising edge starts exactly at tstop: the source
+        // breakpoint coincides with the implicit tstop breakpoint. The
+        // dedup in collect_breakpoints must merge them so the final step
+        // lands on tstop once, with no zero-length step or underflow.
+        let tstop = 5e-9;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource(
+            a,
+            Circuit::GROUND,
+            Waveform::pulse(0.0, 1.0, tstop, 0.1e-9, 0.1e-9, 2e-9, 10e-9),
+        );
+        ckt.resistor(a, Circuit::GROUND, 1e3);
+        let bps = collect_breakpoints(&ckt, tstop);
+        assert_eq!(
+            bps.iter()
+                .filter(|&&t| (t - tstop).abs() <= tstop * 1e-12)
+                .count(),
+            1,
+            "tstop breakpoint must be deduplicated: {bps:?}"
+        );
+        let res = transient(&mut ckt, tstop, &TranOptions::default()).unwrap();
+        let va = res.voltage(a);
+        let t_end = *va.times().last().unwrap();
+        assert!((t_end - tstop).abs() <= tstop * 1e-9, "ended at {t_end}");
+        // The pulse never rose before tstop.
+        assert!(res.voltage(a).last_value().abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakpoints_within_one_snap_eps_collapse() {
+        // Two sources with edges 0.4·snap_eps apart (snap_eps = tstop·1e-12):
+        // the dedup tolerance equals snap_eps, so they must collapse into a
+        // single breakpoint — otherwise the clamp logic would be forced
+        // into a dt below dt_min between them. The run must complete with
+        // strictly increasing time points.
+        let tstop = 1e-6;
+        let snap_eps = tstop * 1e-12;
+        let t0 = 0.3e-6;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(
+            a,
+            Circuit::GROUND,
+            Waveform::pulse(0.0, 1.0, t0, 1e-9, 1e-9, 0.2e-6, 1e-3),
+        );
+        ckt.vsource(
+            b,
+            Circuit::GROUND,
+            Waveform::pulse(0.0, 1.0, t0 + 0.4 * snap_eps, 1e-9, 1e-9, 0.2e-6, 1e-3),
+        );
+        ckt.resistor(a, Circuit::GROUND, 1e3);
+        ckt.resistor(b, Circuit::GROUND, 1e3);
+        let bps = collect_breakpoints(&ckt, tstop);
+        assert_eq!(
+            bps.iter()
+                .filter(|&&t| (t - t0).abs() <= 2.0 * snap_eps)
+                .count(),
+            1,
+            "near-coincident breakpoints must be deduplicated: {bps:?}"
+        );
+        for w in bps.windows(2) {
+            assert!(
+                w[1] - w[0] > snap_eps,
+                "breakpoints closer than snap_eps: {bps:?}"
+            );
+        }
+        let res = transient(&mut ckt, tstop, &TranOptions::default()).unwrap();
+        let va = res.voltage(a);
+        for w in va.times().windows(2) {
+            assert!(w[1] > w[0], "non-increasing time points {w:?}");
+        }
+        // Mid-pulse both sources are high; after the pulse both are low.
+        assert!((va.eval(0.4e-6) - 1.0).abs() < 1e-3);
+        assert!(va.last_value().abs() < 1e-3);
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //! * [`profile`] — thread-local robustness overrides consumed by the
 //!   harness retry ladder (g_min floor, forced source stepping,
 //!   backward-Euler-only integration).
+//! * [`budget`] — solve budgets: wall-clock deadlines, iteration caps,
+//!   cooperative cancellation, and heartbeats for watchdog supervision.
 //!
 //! # Example: RC low-pass step response
 //!
@@ -46,6 +48,7 @@
 //! ```
 
 pub mod analysis;
+pub mod budget;
 pub mod circuit;
 pub mod device;
 pub mod element;
@@ -63,6 +66,8 @@ use std::error::Error;
 use std::fmt;
 
 use nemscmos_numeric::NumericError;
+
+use crate::stats::SolverStats;
 
 /// Errors produced by circuit construction and analysis.
 #[derive(Debug, Clone, PartialEq)]
@@ -123,6 +128,45 @@ pub enum SpiceError {
         /// Simulation time of the audited solve (`0.0` for DC).
         time: f64,
     },
+    /// The solve exceeded a limit from the installed
+    /// [`budget::Budget`] — a wall-clock deadline, an iteration cap, or a
+    /// watchdog stall cancellation — and was abandoned cooperatively.
+    DeadlineExceeded {
+        /// Which limit tripped, human-readable ("wall-clock deadline of
+        /// 250ms", "newton iteration cap of 10000", ...).
+        limit: String,
+        /// Simulation time reached when the solve was abandoned (`0.0`
+        /// for DC).
+        time: f64,
+        /// Partial telemetry: solver effort spent inside the budget scope
+        /// before the interrupt.
+        spent: SolverStats,
+    },
+    /// The solve was cooperatively cancelled through a
+    /// [`budget::InterruptFlag`] (an explicit external cancellation, not
+    /// a budget limit).
+    Cancelled {
+        /// Simulation time reached when the solve was abandoned (`0.0`
+        /// for DC).
+        time: f64,
+        /// Partial telemetry: solver effort spent inside the budget scope
+        /// before the interrupt.
+        spent: SolverStats,
+    },
+}
+
+impl SpiceError {
+    /// True for the cooperative-interrupt variants
+    /// ([`DeadlineExceeded`](SpiceError::DeadlineExceeded) /
+    /// [`Cancelled`](SpiceError::Cancelled)). Fallback ladders and retry
+    /// policies must propagate these immediately instead of escalating —
+    /// the solve was *stopped*, not *stuck*.
+    pub fn is_interrupt(&self) -> bool {
+        matches!(
+            self,
+            SpiceError::DeadlineExceeded { .. } | SpiceError::Cancelled { .. }
+        )
+    }
 }
 
 impl fmt::Display for SpiceError {
@@ -169,6 +213,18 @@ impl fmt::Display for SpiceError {
                 f,
                 "KCL audit failed at t = {time:.4e} s: residual {residual:.3e} A at {node} \
                  exceeds tolerance {tol:.3e} A"
+            ),
+            SpiceError::DeadlineExceeded { limit, time, spent } => write!(
+                f,
+                "budget exhausted at t = {time:.4e} s ({limit}; spent {} newton iterations, \
+                 {} accepted steps)",
+                spent.newton_iterations, spent.steps_accepted
+            ),
+            SpiceError::Cancelled { time, spent } => write!(
+                f,
+                "solve cancelled at t = {time:.4e} s (spent {} newton iterations, \
+                 {} accepted steps)",
+                spent.newton_iterations, spent.steps_accepted
             ),
         }
     }
@@ -228,10 +284,36 @@ mod tests {
                 tol: 1e-9,
                 time: 2e-9,
             },
+            SpiceError::DeadlineExceeded {
+                limit: "wall-clock deadline of 250ms".into(),
+                time: 1e-9,
+                spent: SolverStats::default(),
+            },
+            SpiceError::Cancelled {
+                time: 0.0,
+                spent: SolverStats::default(),
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn interrupts_are_classified() {
+        let d = SpiceError::DeadlineExceeded {
+            limit: "newton iteration cap of 10".into(),
+            time: 0.0,
+            spent: SolverStats::default(),
+        };
+        let c = SpiceError::Cancelled {
+            time: 0.0,
+            spent: SolverStats::default(),
+        };
+        assert!(d.is_interrupt());
+        assert!(c.is_interrupt());
+        assert!(d.to_string().contains("newton iteration cap"));
+        assert!(!SpiceError::InvalidCircuit("x".into()).is_interrupt());
     }
 
     #[test]

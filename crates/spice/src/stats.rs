@@ -24,6 +24,7 @@
 
 use std::cell::Cell;
 use std::ops::{Add, AddAssign};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Cumulative solver-effort counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -76,6 +77,82 @@ impl Add for SolverStats {
 impl AddAssign for SolverStats {
     fn add_assign(&mut self, rhs: SolverStats) {
         *self = *self + rhs;
+    }
+}
+
+/// Cross-thread view of a running solve, for watchdog supervision.
+///
+/// The thread-local counters above are invisible to other threads; a
+/// [`Heartbeat`] mirrors them (plus a coarse *progress* counter and the
+/// current simulation time) into shared atomics that an installed
+/// [`budget::Budget`](crate::budget::Budget) publishes on every Newton
+/// iteration. A supervising watchdog reads the snapshot — and in
+/// particular [`progress`](Heartbeat::progress), which ticks only on
+/// accepted transient steps and completed DC solves — to tell a solve
+/// that is grinding forward from one that is wedged.
+#[derive(Debug, Default)]
+pub struct Heartbeat {
+    newton_iterations: AtomicU64,
+    lu_factorizations: AtomicU64,
+    step_rejections: AtomicU64,
+    steps_accepted: AtomicU64,
+    progress: AtomicU64,
+    sim_time_bits: AtomicU64,
+}
+
+impl Heartbeat {
+    /// A fresh heartbeat with all counters at zero.
+    pub fn new() -> Heartbeat {
+        Heartbeat::default()
+    }
+
+    /// Publishes the solve's effort counters (called from inside the
+    /// Newton loop via the installed budget).
+    pub fn publish(&self, spent: &SolverStats) {
+        self.newton_iterations
+            .store(spent.newton_iterations, Ordering::Relaxed);
+        self.lu_factorizations
+            .store(spent.lu_factorizations, Ordering::Relaxed);
+        self.step_rejections
+            .store(spent.step_rejections, Ordering::Relaxed);
+        self.steps_accepted
+            .store(spent.steps_accepted, Ordering::Relaxed);
+    }
+
+    /// Marks forward progress (an accepted transient step or a completed
+    /// DC solve). Stall detection keys on this counter, *not* on raw
+    /// Newton iterations — a timestep-rejection storm burns iterations
+    /// without advancing and must still read as a stall.
+    pub fn tick_progress(&self) {
+        self.progress.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the last accepted simulation time.
+    pub fn set_sim_time(&self, t: f64) {
+        self.sim_time_bits.store(t.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Monotone forward-progress counter (see
+    /// [`tick_progress`](Heartbeat::tick_progress)).
+    pub fn progress(&self) -> u64 {
+        self.progress.load(Ordering::Relaxed)
+    }
+
+    /// The last accepted simulation time, `0.0` until a transient step
+    /// lands.
+    pub fn sim_time(&self) -> f64 {
+        f64::from_bits(self.sim_time_bits.load(Ordering::Relaxed))
+    }
+
+    /// The most recently published effort counters.
+    pub fn snapshot(&self) -> SolverStats {
+        SolverStats {
+            newton_iterations: self.newton_iterations.load(Ordering::Relaxed),
+            lu_factorizations: self.lu_factorizations.load(Ordering::Relaxed),
+            step_rejections: self.step_rejections.load(Ordering::Relaxed),
+            steps_accepted: self.steps_accepted.load(Ordering::Relaxed),
+            nonconvergence_events: 0,
+        }
     }
 }
 
@@ -172,6 +249,32 @@ mod tests {
             assert_eq!(inner.newton_iterations, 5);
         });
         assert_eq!(outer.newton_iterations, 7);
+    }
+
+    #[test]
+    fn heartbeat_mirrors_counters_across_threads() {
+        use std::sync::Arc;
+        let hb = Arc::new(Heartbeat::new());
+        let remote = Arc::clone(&hb);
+        std::thread::spawn(move || {
+            remote.publish(&SolverStats {
+                newton_iterations: 42,
+                lu_factorizations: 40,
+                step_rejections: 3,
+                steps_accepted: 9,
+                nonconvergence_events: 1,
+            });
+            remote.tick_progress();
+            remote.set_sim_time(1.5e-9);
+        })
+        .join()
+        .unwrap();
+        let snap = hb.snapshot();
+        assert_eq!(snap.newton_iterations, 42);
+        assert_eq!(snap.steps_accepted, 9);
+        assert_eq!(snap.nonconvergence_events, 0); // not mirrored
+        assert_eq!(hb.progress(), 1);
+        assert_eq!(hb.sim_time(), 1.5e-9);
     }
 
     #[test]

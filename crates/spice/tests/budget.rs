@@ -1,0 +1,187 @@
+//! Integration tests for solve budgets: cooperative cancellation
+//! mid-Newton, deadlines mid-transient, and heartbeat publication.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nemscmos_spice::analysis::dc_sweep::dc_sweep;
+use nemscmos_spice::analysis::op::{op, op_with, OpOptions};
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::budget::{self, Budget};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::stats::Heartbeat;
+use nemscmos_spice::waveform::Waveform;
+use nemscmos_spice::SpiceError;
+
+fn divider() -> Circuit {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource(a, Circuit::GROUND, Waveform::dc(2.0));
+    ckt.resistor(a, b, 1e3);
+    ckt.resistor(b, Circuit::GROUND, 1e3);
+    ckt
+}
+
+fn rc_lowpass() -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+    ckt.resistor(vin, out, 1e3);
+    ckt.capacitor(out, Circuit::GROUND, 1e-9);
+    ckt
+}
+
+#[test]
+fn pre_cancelled_flag_interrupts_the_first_newton_iteration() {
+    let (b, flag) = Budget::cancellable();
+    flag.cancel();
+    let err = budget::with(b, || op(&mut divider())).unwrap_err();
+    match err {
+        SpiceError::Cancelled { spent, .. } => {
+            // Cancelled before any iteration landed.
+            assert_eq!(spent.newton_iterations, 0);
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancellation_mid_newton_aborts_the_fallback_chain() {
+    // An op that needs many damped iterations: cancel after the solve has
+    // burned a few, and assert the whole fallback ladder (gmin stepping,
+    // source stepping) bails out instead of restarting the solve.
+    let opts = OpOptions {
+        newton: nemscmos_numeric::newton::NewtonOptions {
+            max_step: 1e-3, // 2 V answer at 1 mV per step: thousands of iterations
+            max_iter: 100_000,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let (b, flag) = Budget::cancellable();
+    let hb = Arc::new(Heartbeat::new());
+    let b = b.with_heartbeat(Arc::clone(&hb));
+
+    // Cancel from another thread once the heartbeat shows Newton working.
+    let watcher = {
+        let hb = Arc::clone(&hb);
+        let flag = flag.clone();
+        std::thread::spawn(move || loop {
+            if hb.snapshot().newton_iterations >= 50 {
+                flag.cancel();
+                return;
+            }
+            std::thread::yield_now();
+        })
+    };
+    let err = budget::with(b, || op_with(&mut divider(), &opts)).unwrap_err();
+    watcher.join().unwrap();
+    match err {
+        SpiceError::Cancelled { spent, .. } => {
+            assert!(
+                spent.newton_iterations >= 50,
+                "partial telemetry missing: {spent:?}"
+            );
+            // Cancellation is prompt: nowhere near the full damped solve.
+            assert!(spent.newton_iterations < 100_000);
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+}
+
+#[test]
+fn deadline_mid_transient_returns_partial_telemetry() {
+    // A zero deadline trips on the very first Newton iteration of the
+    // t = 0 op; a short-but-nonzero one trips somewhere mid-integration.
+    // Either way the error is typed and carries the effort spent.
+    let b = Budget::deadline(Duration::from_micros(200));
+    let hb = Arc::new(Heartbeat::new());
+    let b = b.with_heartbeat(Arc::clone(&hb));
+    let err = budget::with(b, || {
+        // Long transient: 10k time constants, far more work than 200 µs.
+        transient(&mut rc_lowpass(), 1e-2, &TranOptions::default())
+    })
+    .unwrap_err();
+    match err {
+        SpiceError::DeadlineExceeded { limit, time, spent } => {
+            assert!(limit.contains("wall-clock deadline"), "{limit}");
+            assert!(time >= 0.0);
+            // Heartbeat saw the same effort the error reports.
+            assert_eq!(hb.snapshot().newton_iterations, spent.newton_iterations);
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn newton_cap_bounds_a_transient() {
+    let b = Budget::unbounded().with_max_newton(25);
+    let err = budget::with(b, || {
+        transient(&mut rc_lowpass(), 1e-5, &TranOptions::default())
+    })
+    .unwrap_err();
+    match err {
+        SpiceError::DeadlineExceeded { limit, spent, .. } => {
+            assert!(limit.contains("newton iteration cap of 25"), "{limit}");
+            // The cap is enforced at iteration granularity: one extra
+            // iteration at most.
+            assert!(spent.newton_iterations <= 26, "{spent:?}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn cancelled_dc_sweep_stops_between_points() {
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b2 = ckt.node("b");
+    let src = ckt.vsource(a, Circuit::GROUND, Waveform::dc(0.0));
+    ckt.resistor(a, b2, 1e3);
+    ckt.resistor(b2, Circuit::GROUND, 1e3);
+    let (b, flag) = Budget::cancellable();
+    flag.cancel();
+    let err = budget::with(b, || {
+        dc_sweep(&mut ckt, src, &[0.0, 0.5, 1.0], &OpOptions::default())
+    })
+    .unwrap_err();
+    assert!(err.is_interrupt(), "{err:?}");
+}
+
+#[test]
+fn heartbeat_tracks_transient_progress() {
+    let hb = Arc::new(Heartbeat::new());
+    let b = Budget::unbounded().with_heartbeat(Arc::clone(&hb));
+    let res = budget::with(b, || {
+        transient(&mut rc_lowpass(), 5e-6, &TranOptions::default())
+    });
+    assert!(res.is_ok());
+    // Progress ticked for the t = 0 op and every accepted step.
+    assert!(hb.progress() > 10, "progress = {}", hb.progress());
+    assert!(hb.sim_time() > 4.9e-6, "sim_time = {}", hb.sim_time());
+}
+
+#[test]
+fn unbudgeted_solves_are_unaffected() {
+    // Results with and without an unbounded budget installed are bitwise
+    // identical — the supervision layer must not perturb the numerics.
+    let run = |under_budget: bool| {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        ckt.resistor(vin, out, 1e3);
+        ckt.capacitor(out, Circuit::GROUND, 1e-9);
+        let solve = |ckt: &mut Circuit| transient(ckt, 5e-6, &TranOptions::default()).unwrap();
+        let res = if under_budget {
+            budget::with(Budget::unbounded(), || solve(&mut ckt))
+        } else {
+            solve(&mut ckt)
+        };
+        let v = res.voltage(out);
+        (v.times().to_vec(), v.values().to_vec())
+    };
+    assert_eq!(run(false), run(true));
+}
