@@ -20,6 +20,22 @@ cargo fmt --all --check
 echo "== clippy (-D warnings) =="
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Golden-reference verification (DESIGN.md §11): oracle/differential/
+# snapshot suites, then an explicit snapshot drift check — a solver
+# change that moves committed waveforms must re-bless them (--bless)
+# and justify the move in review, never slip through.
+echo "== verify suites (oracles, differential, goldens) =="
+cargo test -q --offline -p nemscmos-verify
+
+echo "== golden snapshot drift check =="
+cargo run --release --offline -q -p nemscmos-verify --bin golden
+
+# Paper-claims conformance: re-measure every claim in
+# crates/verify/claims.toml and fail on any regression against the
+# paper's accepted bands (scoreboard printed either way).
+echo "== paper-claims conformance scoreboard =="
+cargo run --release --offline -q -p nemscmos-bench --bin conformance
+
 # Smoke-run the full figure regeneration through the harness cache:
 # the first pass populates target/harness-cache, the second pass must
 # be served almost entirely from it (ISSUE acceptance: >= 90% hits).

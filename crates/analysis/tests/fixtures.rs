@@ -1,0 +1,271 @@
+//! Hand-computed fixtures for the measurement toolkit: every expected
+//! value below is derived on paper from the input waveform, so a failure
+//! pins the defect to the measurement code rather than to a simulation.
+//!
+//! Deliberately awkward inputs are included — non-monotonic traces that
+//! cross a level several times, glitching outputs, and clipped edges
+//! that never complete — because those are exactly the waveforms real
+//! transient sweeps hand to this code.
+
+use nemscmos_analysis::measure::{crossing_time, fall_time, propagation_delay, rise_time, Edge};
+use nemscmos_analysis::noise_margin::max_passing_level;
+use nemscmos_analysis::pdp::GateFigures;
+use nemscmos_analysis::snm::{butterfly_snm, Vtc};
+use nemscmos_analysis::AnalysisError;
+use nemscmos_spice::result::Trace;
+
+// ---------------------------------------------------------------------
+// crossing_time
+// ---------------------------------------------------------------------
+
+/// A triangle wave 0→1→0→1 with vertices at t = 0, 1, 2, 3.
+fn triangle() -> Trace {
+    Trace::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 0.0, 1.0])
+}
+
+#[test]
+fn crossing_on_non_monotonic_trace_takes_first_match() {
+    let tr = triangle();
+    // Rising through 0.25: first on the 0→1 edge at t = 0.25.
+    let t = crossing_time(&tr, 0.25, Edge::Rising, 0.0).unwrap();
+    assert!((t - 0.25).abs() < 1e-12);
+    // Falling through 0.25: on the 1→0 edge, 0.75 of the way: t = 1.75.
+    let t = crossing_time(&tr, 0.25, Edge::Falling, 0.0).unwrap();
+    assert!((t - 1.75).abs() < 1e-12);
+    // The same rising crossing searched from t = 1 lands on the *second*
+    // rising edge: v = 0.25 at t = 2.25.
+    let t = crossing_time(&tr, 0.25, Edge::Rising, 1.0).unwrap();
+    assert!((t - 2.25).abs() < 1e-12);
+}
+
+#[test]
+fn crossing_missing_level_is_a_typed_error() {
+    let tr = triangle();
+    let err = crossing_time(&tr, 1.5, Edge::Rising, 0.0).unwrap_err();
+    assert!(matches!(err, AnalysisError::MissingCrossing { level, .. } if level == 1.5));
+    // Searching past the last rising edge also misses.
+    assert!(crossing_time(&tr, 0.5, Edge::Rising, 2.9).is_err());
+}
+
+// ---------------------------------------------------------------------
+// propagation_delay
+// ---------------------------------------------------------------------
+
+#[test]
+fn delay_ignores_output_glitch_before_input_edge() {
+    // Output dips through v_mid at t = 0.5 (a precharge glitch), then
+    // does its real falling transition at t = 2.5. The input rises
+    // through 0.5 V at t = 1.0, so the glitch is *before* the reference
+    // edge and must not be picked up.
+    let input = Trace::new(vec![0.0, 0.9, 1.1, 4.0], vec![0.0, 0.0, 1.0, 1.0]);
+    let output = Trace::new(
+        vec![0.0, 0.4, 0.5, 0.6, 2.0, 3.0, 4.0],
+        vec![1.0, 1.0, 0.4, 1.0, 1.0, 0.0, 0.0],
+    );
+    // Input crosses 0.5 at t = 1.0 (midway through the 0.9→1.1 ramp).
+    // Output's next falling 0.5-crossing: on the 2→3 ramp, v = 0.5 at
+    // t = 2.5. Delay = 1.5.
+    let d = propagation_delay(&input, Edge::Rising, &output, Edge::Falling, 0.5, 0.0).unwrap();
+    assert!((d - 1.5).abs() < 1e-12, "delay {d}");
+}
+
+#[test]
+fn delay_catches_output_glitch_after_input_edge() {
+    // If the glitch happens *after* the input edge, the measurement
+    // reports it — by the 50%-crossing definition the gate did switch.
+    let input = Trace::new(vec![0.0, 0.9, 1.1, 4.0], vec![0.0, 0.0, 1.0, 1.0]);
+    let output = Trace::new(
+        vec![0.0, 1.4, 1.5, 1.6, 3.0, 4.0],
+        vec![1.0, 1.0, 0.4, 1.0, 1.0, 0.0],
+    );
+    // First falling 0.5-crossing after t = 1.0: midway down the dip,
+    // t = 1.45 (the 1.4→1.5 segment spans 1.0→0.4, crossing 0.5 at 5/6
+    // of the segment: 1.4 + 0.05/0.6 * 0.1 — wait, by similar triangles
+    // v = 0.5 when (1.0 − 0.5)/(1.0 − 0.4) = 5/6 of the way: t = 1.4833…).
+    let d = propagation_delay(&input, Edge::Rising, &output, Edge::Falling, 0.5, 0.0).unwrap();
+    let expect = (1.4 + 0.1 * (0.5 / 0.6)) - 1.0;
+    assert!((d - expect).abs() < 1e-12, "delay {d} vs {expect}");
+}
+
+// ---------------------------------------------------------------------
+// rise_time / fall_time
+// ---------------------------------------------------------------------
+
+#[test]
+fn rise_time_of_linear_ramp_is_point_eight() {
+    // Ramp 0→1 over [0, 1] with rails [0, 1]: t10 = 0.1, t90 = 0.9.
+    let tr = Trace::new(vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 1.0]);
+    let rt = rise_time(&tr, 0.0, 1.0, 0.0).unwrap();
+    assert!((rt - 0.8).abs() < 1e-12);
+}
+
+#[test]
+fn fall_time_of_linear_ramp_is_point_eight() {
+    let tr = Trace::new(vec![0.0, 1.0, 2.0], vec![1.0, 1.0, 0.0]);
+    let ft = fall_time(&tr, 0.0, 1.0, 0.0).unwrap();
+    assert!((ft - 0.8).abs() < 1e-12);
+}
+
+#[test]
+fn clipped_edge_reports_missing_crossing() {
+    // The output saturates at 0.8 of the rail: the 90% level is never
+    // reached, so the 10–90% rise time does not exist. This is the
+    // "weak driver into a heavy load" clipping case.
+    let tr = Trace::new(vec![0.0, 1.0, 5.0], vec![0.0, 0.8, 0.8]);
+    let err = rise_time(&tr, 0.0, 1.0, 0.0).unwrap_err();
+    assert!(matches!(err, AnalysisError::MissingCrossing { .. }));
+}
+
+#[test]
+fn inverted_rails_are_rejected() {
+    let tr = Trace::new(vec![0.0, 1.0], vec![0.0, 1.0]);
+    assert!(matches!(
+        rise_time(&tr, 1.0, 0.0, 0.0),
+        Err(AnalysisError::InvalidInput(_))
+    ));
+    assert!(matches!(
+        fall_time(&tr, 1.0, 1.0, 0.0),
+        Err(AnalysisError::InvalidInput(_))
+    ));
+}
+
+// ---------------------------------------------------------------------
+// butterfly SNM
+// ---------------------------------------------------------------------
+
+/// An ideal steep inverter: v_out = vdd for x < vth, 0 for x > vth.
+fn steep(vth: f64, vdd: f64) -> Vtc {
+    Vtc::new(vec![
+        (0.0, vdd),
+        (vth - 1e-6, vdd),
+        (vth + 1e-6, 0.0),
+        (vdd, 0.0),
+    ])
+    .unwrap()
+}
+
+#[test]
+fn symmetric_ideal_pair_has_half_vdd_lobes() {
+    // Two ideal inverters switching at vdd/2: each lobe is a square of
+    // side vdd/2 = 0.5.
+    let a = steep(0.5, 1.0);
+    let r = butterfly_snm(&a, &a, 1.0).unwrap();
+    assert!(
+        (r.lobe_high - 0.5).abs() < 0.01,
+        "lobe_high {}",
+        r.lobe_high
+    );
+    assert!((r.lobe_low - 0.5).abs() < 0.01, "lobe_low {}", r.lobe_low);
+    assert!((r.snm() - 0.5).abs() < 0.01);
+}
+
+#[test]
+fn skewed_ideal_pair_has_geometric_lobes() {
+    // Thresholds 0.7 and 0.2 at vdd = 1: upper-left square side is
+    // min(t1, vdd − t2) = min(0.7, 0.8) = 0.7, lower-right is
+    // min(t2, vdd − t1) = min(0.2, 0.3) = 0.2; SNM = 0.2.
+    let a = steep(0.7, 1.0);
+    let b = steep(0.2, 1.0);
+    let r = butterfly_snm(&a, &b, 1.0).unwrap();
+    assert!(
+        (r.lobe_high - 0.7).abs() < 0.01,
+        "lobe_high {}",
+        r.lobe_high
+    );
+    assert!((r.lobe_low - 0.2).abs() < 0.01, "lobe_low {}", r.lobe_low);
+    assert!((r.snm() - 0.2).abs() < 0.01);
+}
+
+#[test]
+fn degenerate_butterfly_has_zero_snm() {
+    // Both inverters stuck at ground: the curves coincide, no eye opens.
+    let flat = Vtc::new(vec![(0.0, 0.0), (1.0, 0.0)]).unwrap();
+    let r = butterfly_snm(&flat, &flat, 1.0).unwrap();
+    assert!(r.snm() < 1e-9, "snm {}", r.snm());
+}
+
+#[test]
+fn rising_vtc_is_rejected() {
+    assert!(Vtc::new(vec![(0.0, 0.0), (1.0, 1.0)]).is_err());
+}
+
+// ---------------------------------------------------------------------
+// Equation 1 (PDP)
+// ---------------------------------------------------------------------
+
+#[test]
+fn pdp_matches_hand_computation() {
+    let g = GateFigures {
+        leakage_power: 2e-9,
+        switching_power: 10e-6,
+        delay: 50e-12,
+    };
+    // ((1 − α) P_L + α P_S) · D at α = 0.25.
+    let expect = (0.75 * 2e-9 + 0.25 * 10e-6) * 50e-12;
+    assert!((g.power_delay_product(0.25) - expect).abs() <= 1e-30);
+    // Endpoints collapse to the single-term products.
+    assert!((g.power_delay_product(0.0) - 2e-9 * 50e-12).abs() <= 1e-30);
+    assert!((g.power_delay_product(1.0) - 10e-6 * 50e-12).abs() <= 1e-30);
+}
+
+#[test]
+fn pdp_sweep_covers_unit_interval() {
+    let g = GateFigures {
+        leakage_power: 1e-9,
+        switching_power: 1e-6,
+        delay: 10e-12,
+    };
+    let sweep = g.pdp_sweep(5);
+    assert_eq!(sweep.len(), 5);
+    assert_eq!(sweep[0].0, 0.0);
+    assert_eq!(sweep[4].0, 1.0);
+    assert!((sweep[2].0 - 0.5).abs() < 1e-15);
+    for w in sweep.windows(2) {
+        assert!(w[1].1 > w[0].1, "PDP must grow with activity here");
+    }
+}
+
+#[test]
+#[should_panic(expected = "activity factor")]
+fn pdp_rejects_out_of_range_activity() {
+    let g = GateFigures {
+        leakage_power: 1e-9,
+        switching_power: 1e-6,
+        delay: 10e-12,
+    };
+    let _ = g.power_delay_product(1.5);
+}
+
+// ---------------------------------------------------------------------
+// noise-margin threshold search
+// ---------------------------------------------------------------------
+
+#[test]
+fn threshold_search_endpoints() {
+    // Everything fails → lo; everything passes → hi.
+    assert_eq!(
+        max_passing_level(|_| Ok(false), 0.0, 1.0, 1e-6).unwrap(),
+        0.0
+    );
+    assert_eq!(
+        max_passing_level(|_| Ok(true), 0.0, 1.0, 1e-6).unwrap(),
+        1.0
+    );
+}
+
+#[test]
+fn threshold_search_propagates_probe_errors() {
+    let r = max_passing_level(
+        |_| Err(AnalysisError::InvalidInput("probe blew up".into())),
+        0.0,
+        1.0,
+        1e-6,
+    );
+    assert!(matches!(r, Err(AnalysisError::InvalidInput(_))));
+}
+
+#[test]
+fn threshold_search_rejects_bad_interval() {
+    assert!(max_passing_level(|_| Ok(true), 1.0, 0.0, 1e-6).is_err());
+    assert!(max_passing_level(|_| Ok(true), 0.0, 1.0, 0.0).is_err());
+}

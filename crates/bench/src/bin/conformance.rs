@@ -1,0 +1,136 @@
+//! Paper-claims conformance suite.
+//!
+//! Re-measures every metric named in `crates/verify/claims.toml` by
+//! running the paper's experiments through the harness (Figure 11,
+//! Figures 14/15, Figure 17, Table 1), then evaluates the claims
+//! registry into a scoreboard: one pass/fail line per claim with the
+//! measured-vs-expected margin.
+//!
+//! Exit status: `0` when every claim passes, `1` on any failure (CI
+//! treats a red scoreboard as a regression against the paper).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use nemscmos::gates::PdnStyle;
+use nemscmos::sram::SramKind;
+use nemscmos::tech::Technology;
+use nemscmos_bench::experiments::{device_tables, dynamic_or, sleep, sram};
+use nemscmos_verify::claims;
+
+fn record(metrics: &mut BTreeMap<String, f64>, key: &str, value: f64) {
+    metrics.insert(key.to_string(), value);
+}
+
+/// Figure 11: smallest measured fan-in at which the hybrid OR gate is at
+/// least as fast as the CMOS one.
+fn crossover_fan_in(tech: &Technology) -> Result<Option<f64>, String> {
+    let points = dynamic_or::fig11(tech).map_err(|e| format!("fig11: {e}"))?;
+    let mut fan_ins: Vec<usize> = points.iter().map(|p| p.fan_in).collect();
+    fan_ins.sort_unstable();
+    fan_ins.dedup();
+    for fi in fan_ins {
+        let get = |style: PdnStyle| {
+            points
+                .iter()
+                .find(|p| p.style == style && p.fan_in == fi)
+                .map(|p| p.figures.delay)
+        };
+        if let (Some(c), Some(h)) = (get(PdnStyle::Cmos), get(PdnStyle::HybridNems)) {
+            if h <= c {
+                return Ok(Some(fi as f64));
+            }
+        }
+    }
+    Ok(None)
+}
+
+fn measure(metrics: &mut BTreeMap<String, f64>) -> Result<(), String> {
+    let tech = Technology::n90();
+
+    println!("measuring Figure 11 (dynamic OR fan-in sweep)...");
+    if let Some(fi) = crossover_fan_in(&tech)? {
+        record(metrics, "crossover_fan_in", fi);
+    }
+
+    println!("measuring Figure 14 (SRAM butterfly / SNM)...");
+    let fig14 = sram::fig14(&tech).map_err(|e| format!("fig14: {e}"))?;
+    let snm_of = |kind: SramKind| {
+        fig14
+            .iter()
+            .find(|r| r.kind == kind)
+            .map(|r| r.snm)
+            .ok_or_else(|| format!("fig14 missing {kind:?}"))
+    };
+    let snm_conv = snm_of(SramKind::Conventional)?;
+    let snm_hybrid = snm_of(SramKind::Hybrid)?;
+    record(
+        metrics,
+        "sram_snm_delta_pct",
+        100.0 * (snm_hybrid - snm_conv) / snm_conv,
+    );
+
+    println!("measuring Figure 15 (SRAM latency / standby leakage)...");
+    let fig15 = sram::fig15(&tech).map_err(|e| format!("fig15: {e}"))?;
+    let row_of = |kind: SramKind| {
+        fig15
+            .iter()
+            .find(|r| r.kind == kind)
+            .ok_or_else(|| format!("fig15 missing {kind:?}"))
+    };
+    let conv = row_of(SramKind::Conventional)?;
+    let hybrid = row_of(SramKind::Hybrid)?;
+    record(
+        metrics,
+        "sram_leakage_reduction",
+        conv.standby_current / hybrid.standby_current,
+    );
+    record(
+        metrics,
+        "sram_latency_delta_pct",
+        100.0 * (hybrid.read_latency - conv.read_latency) / conv.read_latency,
+    );
+
+    println!("measuring Figure 17 (sleep-transistor I_OFF)...");
+    let fig17 = sleep::fig17(&tech);
+    let worst_ratio = fig17
+        .iter()
+        .map(|(cmos, nems)| cmos.i_off / nems.i_off)
+        .fold(f64::INFINITY, f64::min);
+    if worst_ratio.is_finite() {
+        record(metrics, "sleep_ioff_ratio_min", worst_ratio);
+    }
+
+    println!("measuring Table 1 (calibrated device currents)...");
+    for row in device_tables::table1() {
+        let prefix = if row.device.starts_with("CMOS") {
+            "cmos"
+        } else {
+            "nems"
+        };
+        record(metrics, &format!("{prefix}_ion_a_per_um"), row.ion);
+        record(metrics, &format!("{prefix}_ioff_a_per_um"), row.ioff);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let registry = claims::builtin();
+    let mut metrics = BTreeMap::new();
+    if let Err(e) = measure(&mut metrics) {
+        eprintln!("conformance measurement failed: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let scoreboard = claims::evaluate(&registry, &metrics);
+    println!("\nDAC 2007 claims scoreboard\n");
+    println!("{scoreboard}");
+    if scoreboard.all_pass() {
+        ExitCode::SUCCESS
+    } else {
+        if !scoreboard.headlines_pass() {
+            eprintln!("\nheadline claim(s) failing — the reproduction no longer supports the paper's core results");
+        }
+        ExitCode::FAILURE
+    }
+}

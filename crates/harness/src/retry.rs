@@ -83,6 +83,7 @@ impl Rung {
                 newton_min_iter: Some(400),
                 force_source_stepping: true,
                 force_backward_euler: true,
+                ..SolveProfile::default()
             },
         }
     }

@@ -1,94 +1,194 @@
-//! Property-based tests of the electromechanical physics.
-
-#![cfg(feature = "proptest")]
-// Gated out of the default (offline) build: the external `proptest`
-// crate cannot be fetched without registry access. Vendor it and
-// enable the `proptest` feature to run these.
-
-use proptest::prelude::*;
+//! Property-based tests of the electromechanical physics, running on the
+//! vendored `nemscmos_numeric::check` runner.
 
 use nemscmos_mems::beam::{Anchor, Beam};
 use nemscmos_mems::dynamics::ActuatorDynamics;
 use nemscmos_mems::electrostatics::Actuator;
 use nemscmos_mems::materials::Material;
+use nemscmos_numeric::check::{check, check_cases, Config, Draws};
+use nemscmos_numeric::prop_check;
 
-fn actuator_strategy() -> impl Strategy<Value = Actuator> {
-    (0.1f64..50.0, 0.01f64..2.0, 5.0f64..100.0, 1.0f64..10.0).prop_map(|(k, a_um2, g_nm, td_nm)| {
-        Actuator::from_parameters(k, a_um2 * 1e-12, g_nm * 1e-9, td_nm * 1e-9, 7.5)
-    })
+fn actuator(d: &mut Draws) -> Actuator {
+    let k = d.f64_in(0.1, 50.0);
+    let a_um2 = d.f64_in(0.01, 2.0);
+    let g_nm = d.f64_in(5.0, 100.0);
+    let td_nm = d.f64_in(1.0, 10.0);
+    Actuator::from_parameters(k, a_um2 * 1e-12, g_nm * 1e-9, td_nm * 1e-9, 7.5)
 }
 
-proptest! {
-    /// Below pull-in a stable equilibrium exists and sits below g0/3;
-    /// above pull-in it does not.
-    #[test]
-    fn pull_in_separates_stable_from_unstable(act in actuator_strategy(), frac in 0.05f64..2.0) {
+/// Below pull-in a stable equilibrium exists and sits below g0/3; above
+/// pull-in it does not.
+#[test]
+fn pull_in_separates_stable_from_unstable() {
+    let prop = |(act, frac): &(Actuator, f64)| {
         let vpi = act.pull_in_voltage();
         let v = frac * vpi;
         match act.stable_displacement(v) {
             Some(x) => {
-                prop_assert!(frac < 1.0, "stable equilibrium above pull-in at {frac}");
-                prop_assert!(x <= act.pull_in_displacement() * 1.001);
-                prop_assert!(x >= 0.0);
+                prop_check!(*frac < 1.0, "stable equilibrium above pull-in at {frac}");
+                prop_check!(
+                    x <= act.pull_in_displacement() * 1.001,
+                    "x = {x:.3e} beyond pull-in displacement"
+                );
+                prop_check!(x >= 0.0, "negative displacement {x:.3e}");
             }
-            None => prop_assert!(frac >= 0.999, "no equilibrium below pull-in at {frac}"),
+            None => prop_check!(*frac >= 0.999, "no equilibrium below pull-in at {frac}"),
         }
-    }
+        Ok(())
+    };
+    // Failure seed recorded by the retired external-proptest suite
+    // (proptests.proptest-regressions, cc aaeded9f…): an actuator with a
+    // thick high-k dielectric driven to 99.2 % of V_pi, right at the
+    // stable/unstable boundary.
+    check_cases(
+        "pull-in separates stable from unstable (pinned)",
+        &[(
+            Actuator::from_parameters(0.1, 1e-14, 5e-9, 9.424_888_498_271_09e-9, 7.5),
+            0.991_992_359_527_150_5,
+        )],
+        prop,
+    );
+    check(
+        "pull-in separates stable from unstable",
+        &Config::default(),
+        |d| (actuator(d), d.f64_in(0.05, 2.0)),
+        prop,
+    );
+}
 
-    /// Equilibrium displacement grows monotonically with bias.
-    #[test]
-    fn displacement_monotone_in_bias(act in actuator_strategy(), f1 in 0.05f64..0.9, df in 0.01f64..0.09) {
-        let vpi = act.pull_in_voltage();
-        let x1 = act.stable_displacement(f1 * vpi).unwrap();
-        let x2 = act.stable_displacement((f1 + df) * vpi).unwrap();
-        prop_assert!(x2 >= x1 - 1e-15);
-    }
+/// Equilibrium displacement grows monotonically with bias.
+#[test]
+fn displacement_monotone_in_bias() {
+    check(
+        "displacement monotone in bias",
+        &Config::default(),
+        |d| (actuator(d), d.f64_in(0.05, 0.9), d.f64_in(0.01, 0.09)),
+        |(act, f1, df)| {
+            let vpi = act.pull_in_voltage();
+            let x1 = act.stable_displacement(f1 * vpi).unwrap();
+            let x2 = act.stable_displacement((f1 + df) * vpi).unwrap();
+            prop_check!(
+                x2 >= x1 - 1e-15,
+                "x({}) = {x2:.3e} < x({f1}) = {x1:.3e}",
+                f1 + df
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// V_pi scaling laws: √k and g^{3/2} and 1/√A.
-    #[test]
-    fn pull_in_scaling_laws(k in 0.1f64..50.0, a in 0.01f64..2.0, g in 5.0f64..100.0) {
-        let base = Actuator::from_parameters(k, a * 1e-12, g * 1e-9, 0.0, 7.5);
-        let k4 = Actuator::from_parameters(4.0 * k, a * 1e-12, g * 1e-9, 0.0, 7.5);
-        prop_assert!((k4.pull_in_voltage() / base.pull_in_voltage() - 2.0).abs() < 1e-9);
-        let a4 = Actuator::from_parameters(k, 4.0 * a * 1e-12, g * 1e-9, 0.0, 7.5);
-        prop_assert!((a4.pull_in_voltage() / base.pull_in_voltage() - 0.5).abs() < 1e-9);
-    }
+/// V_pi scaling laws: √k and g^{3/2} and 1/√A.
+#[test]
+fn pull_in_scaling_laws() {
+    check(
+        "pull-in scaling laws",
+        &Config::default(),
+        |d| {
+            (
+                d.f64_in(0.1, 50.0),
+                d.f64_in(0.01, 2.0),
+                d.f64_in(5.0, 100.0),
+            )
+        },
+        |&(k, a, g)| {
+            let base = Actuator::from_parameters(k, a * 1e-12, g * 1e-9, 0.0, 7.5);
+            let k4 = Actuator::from_parameters(4.0 * k, a * 1e-12, g * 1e-9, 0.0, 7.5);
+            prop_check!(
+                (k4.pull_in_voltage() / base.pull_in_voltage() - 2.0).abs() < 1e-9,
+                "4k must double V_pi"
+            );
+            let a4 = Actuator::from_parameters(k, 4.0 * a * 1e-12, g * 1e-9, 0.0, 7.5);
+            prop_check!(
+                (a4.pull_in_voltage() / base.pull_in_voltage() - 0.5).abs() < 1e-9,
+                "4A must halve V_pi"
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Beam stiffness is linear in E and w, cubic in t and 1/L.
-    #[test]
-    fn beam_stiffness_scaling(
-        l_um in 1.0f64..20.0,
-        w_nm in 100.0f64..2000.0,
-        t_nm in 20.0f64..500.0
-    ) {
-        let m = Material::poly_si();
-        let b = Beam::new(m.clone(), Anchor::FixedFixed, l_um * 1e-6, w_nm * 1e-9, t_nm * 1e-9);
-        let b2 = Beam::new(m.clone(), Anchor::FixedFixed, l_um * 1e-6, 2.0 * w_nm * 1e-9, t_nm * 1e-9);
-        prop_assert!((b2.stiffness() / b.stiffness() - 2.0).abs() < 1e-9);
-        let b3 = Beam::new(m, Anchor::FixedFixed, 2.0 * l_um * 1e-6, w_nm * 1e-9, t_nm * 1e-9);
-        prop_assert!((b.stiffness() / b3.stiffness() - 8.0).abs() < 1e-9);
-    }
+/// Beam stiffness is linear in E and w, cubic in t and 1/L.
+#[test]
+fn beam_stiffness_scaling() {
+    check(
+        "beam stiffness scaling",
+        &Config::default(),
+        |d| {
+            (
+                d.f64_in(1.0, 20.0),
+                d.f64_in(100.0, 2000.0),
+                d.f64_in(20.0, 500.0),
+            )
+        },
+        |&(l_um, w_nm, t_nm)| {
+            let m = Material::poly_si();
+            let b = Beam::new(
+                m.clone(),
+                Anchor::FixedFixed,
+                l_um * 1e-6,
+                w_nm * 1e-9,
+                t_nm * 1e-9,
+            );
+            let b2 = Beam::new(
+                m.clone(),
+                Anchor::FixedFixed,
+                l_um * 1e-6,
+                2.0 * w_nm * 1e-9,
+                t_nm * 1e-9,
+            );
+            prop_check!(
+                (b2.stiffness() / b.stiffness() - 2.0).abs() < 1e-9,
+                "2w must double k"
+            );
+            let b3 = Beam::new(
+                m,
+                Anchor::FixedFixed,
+                2.0 * l_um * 1e-6,
+                w_nm * 1e-9,
+                t_nm * 1e-9,
+            );
+            prop_check!(
+                (b.stiffness() / b3.stiffness() - 8.0).abs() < 1e-9,
+                "2L must cut k by 8"
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// The integrated trajectory never penetrates far past the gap and
-    /// never flies below the rest position by more than numerical jitter,
-    /// for any step drive up to 3 V_pi.
-    #[test]
-    fn trajectory_stays_physical(frac in 0.2f64..3.0) {
-        let act = Actuator::from_parameters(1.0, 0.2e-12, 20e-9, 5e-9, 7.5);
-        let d = ActuatorDynamics::new(act, 4e-14, 5e-8);
-        let vpi = d.actuator().pull_in_voltage();
-        let result = d.integrate(|_| frac * vpi, 1e-6, 2e-10);
-        let g0 = d.actuator().gap();
-        for p in &result.trajectory {
-            prop_assert!(p.x < 1.2 * g0, "penetration x = {:.3e}", p.x);
-            prop_assert!(p.x > -0.5 * g0, "negative excursion x = {:.3e}", p.x);
-        }
-        // Contact iff overdriven.
-        if frac >= 1.1 {
-            prop_assert!(result.contact_time.is_some(), "should pull in at {frac} V_pi");
-        }
-        if frac <= 0.9 {
-            prop_assert!(result.contact_time.is_none(), "should stay open at {frac} V_pi");
-        }
-    }
+/// The integrated trajectory never penetrates far past the gap and never
+/// flies below the rest position by more than numerical jitter, for any
+/// step drive up to 3 V_pi.
+#[test]
+fn trajectory_stays_physical() {
+    check(
+        "trajectory stays physical",
+        &Config::with_cases(24),
+        |d| d.f64_in(0.2, 3.0),
+        |&frac| {
+            let act = Actuator::from_parameters(1.0, 0.2e-12, 20e-9, 5e-9, 7.5);
+            let d = ActuatorDynamics::new(act, 4e-14, 5e-8);
+            let vpi = d.actuator().pull_in_voltage();
+            let result = d.integrate(|_| frac * vpi, 1e-6, 2e-10);
+            let g0 = d.actuator().gap();
+            for p in &result.trajectory {
+                prop_check!(p.x < 1.2 * g0, "penetration x = {:.3e}", p.x);
+                prop_check!(p.x > -0.5 * g0, "negative excursion x = {:.3e}", p.x);
+            }
+            // Contact iff overdriven.
+            if frac >= 1.1 {
+                prop_check!(
+                    result.contact_time.is_some(),
+                    "should pull in at {frac} V_pi"
+                );
+            }
+            if frac <= 0.9 {
+                prop_check!(
+                    result.contact_time.is_none(),
+                    "should stay open at {frac} V_pi"
+                );
+            }
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,464 @@
+//! A vendored, std-only property-test runner.
+//!
+//! The workspace builds offline, so the external `proptest` crate is not
+//! available; this module replaces it for the property suites in
+//! `nemscmos-mems`, `nemscmos-devices`, `nemscmos-analysis`, and
+//! `nemscmos-spice`. The design follows the Hypothesis school: a test
+//! case is generated from a recorded sequence of unit-interval draws
+//! ([`Draws`]), and shrinking operates on that *draw record* — zeroing
+//! and halving entries — rather than on the generated value. Because a
+//! draw of `0.0` maps to the lower bound of whatever range the generator
+//! asked for, shrunk candidates always stay inside the generator's
+//! domain and can never trip unrelated construction panics.
+//!
+//! Determinism: every case is derived from a seed computed from the
+//! property name (FNV-1a, then [`SplitMix64::mix`]), so a failure
+//! reproduces without recording anything. Recorded failures from the
+//! retired `proptest` suites are pinned as explicit cases via
+//! [`check_cases`].
+//!
+//! # Example
+//!
+//! ```
+//! use nemscmos_numeric::check::{check, Config, Draws};
+//!
+//! check("squares are non-negative", &Config::default(),
+//!     |d: &mut Draws| d.f64_in(-10.0, 10.0),
+//!     |&x| {
+//!         if x * x >= 0.0 { Ok(()) } else { Err(format!("{x}² < 0")) }
+//!     });
+//! ```
+
+use crate::rng::{Rand64, SplitMix64, Xoshiro256pp};
+
+/// Fails a property with a formatted message unless `cond` holds.
+///
+/// Usable only inside closures returning `Result<(), String>`.
+#[macro_export]
+macro_rules! prop_check {
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of random cases to run (`NEMSCMOS_CHECK_CASES` overrides).
+    pub cases: u32,
+    /// Extra entropy folded into the per-property seed; bump to explore
+    /// a different corner of the case space without touching code.
+    pub seed: u64,
+    /// Budget of candidate evaluations during shrinking.
+    pub max_shrink_steps: u32,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 48,
+            seed: 0,
+            max_shrink_steps: 400,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+
+    fn effective_cases(&self) -> u32 {
+        match std::env::var("NEMSCMOS_CHECK_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// FNV-1a hash of the property name, mixed once — the per-property seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SplitMix64::mix(h)
+}
+
+/// The source of randomness handed to generators: a sequence of draws in
+/// `[0, 1)`, recorded on first use so the runner can replay mutated
+/// (shrunk) versions of the same sequence.
+#[derive(Debug)]
+pub struct Draws {
+    rng: Xoshiro256pp,
+    record: Vec<f64>,
+    /// Replay prefix: consumed before any fresh randomness. During
+    /// shrinking this holds the mutated record and `rng` is never
+    /// touched (generators that ask for more draws than recorded get
+    /// `0.0`, the minimal draw).
+    replay: Option<Vec<f64>>,
+    cursor: usize,
+}
+
+impl Draws {
+    fn fresh(seed: u64, stream: u64) -> Draws {
+        Draws {
+            rng: Xoshiro256pp::for_stream(seed, stream),
+            record: Vec::new(),
+            replay: None,
+            cursor: 0,
+        }
+    }
+
+    fn replay(record: Vec<f64>) -> Draws {
+        Draws {
+            rng: Xoshiro256pp::seed_from_u64(0),
+            record: Vec::new(),
+            replay: Some(record),
+            cursor: 0,
+        }
+    }
+
+    /// The next draw in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        let v = match &self.replay {
+            Some(r) => *r.get(self.cursor).unwrap_or(&0.0),
+            None => self.rng.next_f64(),
+        };
+        self.cursor += 1;
+        self.record.push(v);
+        v
+    }
+
+    /// A uniform value in `[lo, hi)`. A zero draw maps exactly to `lo`,
+    /// so shrinking drives parameters to their lower bounds.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.unit()
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(hi >= lo);
+        let span = (hi - lo + 1) as f64;
+        lo + ((self.unit() * span) as usize).min(hi - lo)
+    }
+
+    /// A fair boolean (`false` under shrinking).
+    pub fn bool(&mut self) -> bool {
+        self.unit() >= 0.5
+    }
+
+    /// A vector of `n ∈ [min_len, max_len]` values produced by `f`.
+    /// Shrinking shortens the vector (the length draw shrinks first).
+    pub fn vec_of<T>(
+        &mut self,
+        min_len: usize,
+        max_len: usize,
+        mut f: impl FnMut(&mut Draws) -> T,
+    ) -> Vec<T> {
+        let n = self.usize_in(min_len, max_len);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    fn into_record(self) -> Vec<f64> {
+        self.record
+    }
+}
+
+/// Outcome of one property evaluation over a draw record.
+fn eval_record<T, G, P>(record: Vec<f64>, gen: &G, prop: &P) -> (T, Result<(), String>)
+where
+    G: Fn(&mut Draws) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut draws = Draws::replay(record);
+    let value = gen(&mut draws);
+    let verdict = prop(&value);
+    (value, verdict)
+}
+
+/// Runs `prop` over `cfg.cases` random cases produced by `gen`,
+/// shrinking the first failure and panicking with a reproducible report.
+///
+/// The generator must be a pure function of the draws it takes from
+/// [`Draws`]; the property returns `Err(reason)` to fail a case.
+///
+/// # Panics
+///
+/// Panics when a case fails, after shrinking, with the property name,
+/// seed, shrunk value, and failure reason.
+pub fn check<T, G, P>(name: &str, cfg: &Config, gen: G, prop: P)
+where
+    T: std::fmt::Debug,
+    G: Fn(&mut Draws) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let seed = seed_from_name(name) ^ cfg.seed;
+    for case in 0..cfg.effective_cases() {
+        let mut draws = Draws::fresh(seed, u64::from(case));
+        let value = gen(&mut draws);
+        if let Err(reason) = prop(&value) {
+            let record = draws.into_record();
+            let (shrunk, shrunk_reason, steps) = shrink(record, &gen, &prop, cfg.max_shrink_steps);
+            panic!(
+                "property '{name}' failed (seed {seed:#018x}, case {case}, \
+                 {steps} shrink steps)\n  shrunk input: {shrunk:?}\n  reason: {shrunk_reason}\n  \
+                 original reason: {reason}"
+            );
+        }
+    }
+}
+
+/// Runs `prop` over explicit pinned cases (regression seeds recorded by
+/// earlier property-test runs). No generation, no shrinking: each case
+/// must pass as-is.
+///
+/// # Panics
+///
+/// Panics on the first failing case with its index, value, and reason.
+pub fn check_cases<T, P>(name: &str, cases: &[T], prop: P)
+where
+    T: std::fmt::Debug,
+    P: Fn(&T) -> Result<(), String>,
+{
+    for (i, case) in cases.iter().enumerate() {
+        if let Err(reason) = prop(case) {
+            panic!("pinned case {i} of '{name}' failed\n  input: {case:?}\n  reason: {reason}");
+        }
+    }
+}
+
+/// Greedy record-level shrinking: repeatedly try zeroing, halving, and
+/// truncating draws; keep any mutation under which the property still
+/// fails. Returns the smallest failing value found, its failure reason,
+/// and the number of candidate evaluations spent.
+fn shrink<T, G, P>(mut record: Vec<f64>, gen: &G, prop: &P, budget: u32) -> (T, String, u32)
+where
+    G: Fn(&mut Draws) -> T,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut steps = 0u32;
+    let try_candidate = |cand: Vec<f64>, steps: &mut u32| -> Option<(Vec<f64>, String)> {
+        if *steps >= budget {
+            return None;
+        }
+        *steps += 1;
+        let (_, verdict) = eval_record::<T, G, P>(cand.clone(), gen, prop);
+        verdict.err().map(|reason| (cand, reason))
+    };
+
+    let mut improved = true;
+    while improved && steps < budget {
+        improved = false;
+        // Truncation first: shorter records mean smaller collections.
+        let mut len = record.len();
+        while len > 1 {
+            len /= 2;
+            let cand: Vec<f64> = record[..len].to_vec();
+            if let Some((c, _)) = try_candidate(cand, &mut steps) {
+                record = c;
+                improved = true;
+            } else {
+                break;
+            }
+        }
+        // Per-draw minimization: zero, then binary-search toward zero.
+        for i in 0..record.len() {
+            if record[i] == 0.0 {
+                continue;
+            }
+            let mut cand = record.clone();
+            cand[i] = 0.0;
+            if let Some((c, _)) = try_candidate(cand, &mut steps) {
+                record = c;
+                improved = true;
+                continue;
+            }
+            let mut lo = 0.0f64;
+            let mut hi = record[i];
+            for _ in 0..8 {
+                let mid = 0.5 * (lo + hi);
+                let mut cand = record.clone();
+                cand[i] = mid;
+                match try_candidate(cand, &mut steps) {
+                    Some((c, _)) => {
+                        record = c;
+                        hi = mid;
+                        improved = true;
+                    }
+                    None => lo = mid,
+                }
+                if steps >= budget {
+                    break;
+                }
+            }
+        }
+    }
+    let (value, verdict) = eval_record::<T, G, P>(record, gen, prop);
+    let reason = verdict.err().unwrap_or_else(|| {
+        // The final record must fail (every kept mutation failed); if
+        // a flaky property passes here, report that explicitly.
+        "property passed on re-evaluation of the shrunk record (flaky property?)".into()
+    });
+    (value, reason, steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let seen = std::cell::Cell::new(0u32);
+        let cfg = Config::with_cases(32);
+        check(
+            "unit draws stay in range",
+            &cfg,
+            |d: &mut Draws| d.f64_in(2.0, 5.0),
+            |&x| {
+                seen.set(seen.get() + 1);
+                if (2.0..5.0).contains(&x) {
+                    Ok(())
+                } else {
+                    Err(format!("{x} outside [2, 5)"))
+                }
+            },
+        );
+        assert_eq!(seen.get(), 32);
+    }
+
+    #[test]
+    fn failure_shrinks_to_boundary() {
+        // Property "x < 3" over [0, 10): the shrunk counterexample must
+        // land essentially on the boundary 3.
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "x below three",
+                &Config::default(),
+                |d: &mut Draws| d.f64_in(0.0, 10.0),
+                |&x| {
+                    if x < 3.0 {
+                        Ok(())
+                    } else {
+                        Err(format!("{x} >= 3"))
+                    }
+                },
+            );
+        });
+        let msg = match result {
+            Ok(()) => panic!("property must fail"),
+            Err(p) => *p.downcast::<String>().expect("panic payload is String"),
+        };
+        assert!(msg.contains("shrunk input"), "{msg}");
+        // Parse the shrunk value back out of the report.
+        let v: f64 = msg
+            .split("shrunk input: ")
+            .nth(1)
+            .and_then(|s| s.split('\n').next())
+            .and_then(|s| s.trim().parse().ok())
+            .expect("report carries the shrunk value");
+        assert!((3.0..3.2).contains(&v), "shrunk to {v}, want ≈3");
+    }
+
+    #[test]
+    fn shrinking_respects_generator_bounds() {
+        // Generator lower bound is 1.0; a naive value-level shrinker
+        // would pass 0.0 to the property. Record-level shrinking cannot.
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "always fails in range",
+                &Config::default(),
+                |d: &mut Draws| d.f64_in(1.0, 2.0),
+                |&x| {
+                    assert!((1.0..2.0).contains(&x), "generator bound violated: {x}");
+                    Err("unconditional".into())
+                },
+            );
+        });
+        let msg = match result {
+            Ok(()) => panic!("property must fail"),
+            Err(p) => *p.downcast::<String>().expect("panic payload is String"),
+        };
+        assert!(msg.contains("unconditional"), "{msg}");
+    }
+
+    #[test]
+    fn vectors_shrink_toward_short() {
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "no vector of length >= 3",
+                &Config::with_cases(64),
+                |d: &mut Draws| d.vec_of(0, 10, |d| d.f64_in(0.0, 1.0)),
+                |v: &Vec<f64>| {
+                    if v.len() < 3 {
+                        Ok(())
+                    } else {
+                        Err(format!("len {}", v.len()))
+                    }
+                },
+            );
+        });
+        let msg = match result {
+            Ok(()) => panic!("property must fail"),
+            Err(p) => *p.downcast::<String>().expect("panic payload is String"),
+        };
+        // Minimal counterexample is a length-3 vector of zeros.
+        assert!(msg.contains("len 3"), "{msg}");
+    }
+
+    #[test]
+    fn seeds_are_stable_and_name_dependent() {
+        assert_eq!(seed_from_name("a"), seed_from_name("a"));
+        assert_ne!(seed_from_name("a"), seed_from_name("b"));
+    }
+
+    #[test]
+    fn pinned_cases_run_verbatim() {
+        check_cases("exact pins", &[1.5f64, 2.5, 3.5], |&x| {
+            if x.fract() == 0.5 {
+                Ok(())
+            } else {
+                Err("not a half".into())
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "pinned case 1")]
+    fn pinned_failure_names_the_case() {
+        check_cases("pins with a bad one", &[1.0f64, 2.5], |&x| {
+            if x.fract() == 0.0 {
+                Ok(())
+            } else {
+                Err("not integral".into())
+            }
+        });
+    }
+
+    #[test]
+    fn usize_in_covers_inclusive_range() {
+        let mut d = Draws::fresh(7, 0);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[d.usize_in(0, 3)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all of 0..=3 should appear");
+    }
+
+    #[test]
+    fn prop_check_macro_formats() {
+        let f = |x: i32| -> Result<(), String> {
+            prop_check!(x > 0, "x = {x} must be positive");
+            Ok(())
+        };
+        assert!(f(1).is_ok());
+        assert_eq!(f(-1).unwrap_err(), "x = -1 must be positive");
+    }
+}

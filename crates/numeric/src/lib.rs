@@ -20,6 +20,9 @@
 //! * [`stats`] — summary statistics for Monte Carlo experiments.
 //! * [`rng`] — vendored SplitMix64 / xoshiro256++ generators (the
 //!   workspace builds offline, so no `rand` dependency).
+//! * [`check`] — a vendored property-test runner (seeded generation and
+//!   record-level shrinking on the [`rng`] generators), replacing the
+//!   external `proptest` crate for the workspace's property suites.
 //!
 //! # Example
 //!
@@ -35,6 +38,7 @@
 //! # }
 //! ```
 
+pub mod check;
 pub mod complex;
 pub mod dense;
 pub mod interp;

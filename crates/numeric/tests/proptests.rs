@@ -1,157 +1,273 @@
-//! Property-based tests of the numerical kernels.
+//! Property-based tests of the numerical kernels, running on the
+//! vendored `nemscmos_numeric::check` runner (seeded generation plus
+//! record-level shrinking — no external `proptest` dependency).
 
-#![cfg(feature = "proptest")]
-// Gated out of the default (offline) build: the external `proptest`
-// crate cannot be fetched without registry access. Vendor it and
-// enable the `proptest` feature to run these.
-
-use proptest::prelude::*;
-
+use nemscmos_numeric::check::{check, Config, Draws};
 use nemscmos_numeric::complex::Complex;
 use nemscmos_numeric::dense::{DenseLu, DenseMatrix};
 use nemscmos_numeric::interp::{trapezoid, PiecewiseLinear};
 use nemscmos_numeric::poly::Polynomial;
+use nemscmos_numeric::prop_check;
 use nemscmos_numeric::roots::{bisect, brent};
 use nemscmos_numeric::sparse::{CscMatrix, SparseLu};
 use nemscmos_numeric::stats::{quantile, Summary};
 
-/// Strategy: a random diagonally dominant matrix as triplets, with a
-/// random right-hand side.
-fn dominant_system(n: usize) -> impl Strategy<Value = (Vec<(usize, usize, f64)>, Vec<f64>)> {
-    let offdiag = proptest::collection::vec((0..n, 0..n, -1.0f64..1.0), 0..(3 * n));
-    let rhs = proptest::collection::vec(-10.0f64..10.0, n);
-    (offdiag, rhs).prop_map(move |(mut tri, rhs)| {
-        // Strong diagonal makes the system nonsingular regardless of the
-        // random off-diagonal content.
-        for i in 0..n {
-            tri.push((i, i, 8.0 + i as f64 * 0.1));
-        }
-        (tri, rhs)
-    })
+/// Generator: a random diagonally dominant system as triplets plus a
+/// random right-hand side. The strong diagonal keeps it nonsingular
+/// regardless of the random off-diagonal content.
+fn dominant_system(d: &mut Draws, n: usize) -> (Vec<(usize, usize, f64)>, Vec<f64>) {
+    let mut tri = d.vec_of(0, 3 * n, |d| {
+        (
+            d.usize_in(0, n - 1),
+            d.usize_in(0, n - 1),
+            d.f64_in(-1.0, 1.0),
+        )
+    });
+    for i in 0..n {
+        tri.push((i, i, 8.0 + i as f64 * 0.1));
+    }
+    let rhs = (0..n).map(|_| d.f64_in(-10.0, 10.0)).collect();
+    (tri, rhs)
 }
 
-proptest! {
-    #[test]
-    fn sparse_lu_matches_dense_lu((tri, b) in dominant_system(24)) {
-        let n = b.len();
-        let a_sparse = CscMatrix::from_triplets(n, n, &tri);
-        let mut a_dense = DenseMatrix::zeros(n, n);
-        for &(r, c, v) in &tri {
-            a_dense.add(r, c, v);
-        }
-        let xs = SparseLu::factor(&a_sparse).unwrap().solve(&b).unwrap();
-        let xd = DenseLu::factor(a_dense).unwrap().solve(&b).unwrap();
-        for (s, d) in xs.iter().zip(xd.iter()) {
-            prop_assert!((s - d).abs() < 1e-8, "sparse {s} vs dense {d}");
-        }
-    }
-
-    #[test]
-    fn sparse_solve_has_small_residual((tri, b) in dominant_system(40)) {
-        let n = b.len();
-        let a = CscMatrix::from_triplets(n, n, &tri);
-        let x = SparseLu::factor(&a).unwrap().solve(&b).unwrap();
-        let r = a.mat_vec(&x);
-        for (ri, bi) in r.iter().zip(b.iter()) {
-            prop_assert!((ri - bi).abs() < 1e-9);
-        }
-    }
-
-    #[test]
-    fn dense_solve_roundtrip(x_true in proptest::collection::vec(-5.0f64..5.0, 2..12)) {
-        let n = x_true.len();
-        let mut a = DenseMatrix::zeros(n, n);
-        // A fixed well-conditioned pattern.
-        for i in 0..n {
-            a.set(i, i, 3.0);
-            if i + 1 < n {
-                a.set(i, i + 1, -1.0);
-                a.set(i + 1, i, 1.0);
+#[test]
+fn sparse_lu_matches_dense_lu() {
+    check(
+        "sparse LU matches dense LU",
+        &Config::default(),
+        |d| dominant_system(d, 24),
+        |(tri, b)| {
+            let n = b.len();
+            let a_sparse = CscMatrix::from_triplets(n, n, tri);
+            let mut a_dense = DenseMatrix::zeros(n, n);
+            for &(r, c, v) in tri {
+                a_dense.add(r, c, v);
             }
-        }
-        let b = a.mat_vec(&x_true);
-        let x = a.solve(&b).unwrap();
-        for (xi, ti) in x.iter().zip(x_true.iter()) {
-            prop_assert!((xi - ti).abs() < 1e-9);
-        }
-    }
+            let xs = SparseLu::factor(&a_sparse).unwrap().solve(b).unwrap();
+            let xd = DenseLu::factor(a_dense).unwrap().solve(b).unwrap();
+            for (s, d) in xs.iter().zip(xd.iter()) {
+                prop_check!((s - d).abs() < 1e-8, "sparse {s} vs dense {d}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn polynomial_fit_recovers_exact_coefficients(
-        coeffs in proptest::collection::vec(-3.0f64..3.0, 1..5)
-    ) {
-        let truth = Polynomial::new(coeffs.clone());
-        let deg = coeffs.len() - 1;
-        let xs: Vec<f64> = (0..(deg + 4)).map(|k| -1.0 + 2.0 * k as f64 / (deg + 3) as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
-        let fit = Polynomial::fit(&xs, &ys, deg).unwrap();
-        for (c, t) in fit.coeffs().iter().zip(truth.coeffs()) {
-            prop_assert!((c - t).abs() < 1e-6, "{c} vs {t}");
-        }
-    }
+#[test]
+fn sparse_solve_has_small_residual() {
+    check(
+        "sparse solve has small residual",
+        &Config::default(),
+        |d| dominant_system(d, 40),
+        |(tri, b)| {
+            let n = b.len();
+            let a = CscMatrix::from_triplets(n, n, tri);
+            let x = SparseLu::factor(&a).unwrap().solve(b).unwrap();
+            let r = a.mat_vec(&x);
+            for (ri, bi) in r.iter().zip(b.iter()) {
+                prop_check!((ri - bi).abs() < 1e-9, "residual {} vs {}", ri, bi);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn horner_matches_naive(coeffs in proptest::collection::vec(-2.0f64..2.0, 0..6), x in -2.0f64..2.0) {
-        let p = Polynomial::new(coeffs.clone());
-        let naive: f64 = coeffs.iter().enumerate().map(|(k, &c)| c * x.powi(k as i32)).sum();
-        prop_assert!((p.eval(x) - naive).abs() < 1e-10);
-    }
+#[test]
+fn dense_solve_roundtrip() {
+    check(
+        "dense solve roundtrip",
+        &Config::default(),
+        |d| d.vec_of(2, 12, |d| d.f64_in(-5.0, 5.0)),
+        |x_true| {
+            let n = x_true.len();
+            let mut a = DenseMatrix::zeros(n, n);
+            // A fixed well-conditioned pattern.
+            for i in 0..n {
+                a.set(i, i, 3.0);
+                if i + 1 < n {
+                    a.set(i, i + 1, -1.0);
+                    a.set(i + 1, i, 1.0);
+                }
+            }
+            let b = a.mat_vec(x_true);
+            let x = a.solve(&b).unwrap();
+            for (xi, ti) in x.iter().zip(x_true.iter()) {
+                prop_check!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn pwl_eval_is_bounded_by_breakpoints(
-        ys in proptest::collection::vec(-4.0f64..4.0, 2..10),
-        t in -1.0f64..11.0
-    ) {
-        let pts: Vec<(f64, f64)> = ys.iter().enumerate().map(|(k, &y)| (k as f64, y)).collect();
-        let pwl = PiecewiseLinear::new(pts).unwrap();
-        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let v = pwl.eval(t);
-        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
-    }
+#[test]
+fn polynomial_fit_recovers_exact_coefficients() {
+    check(
+        "polynomial fit recovers exact coefficients",
+        &Config::default(),
+        |d| d.vec_of(1, 5, |d| d.f64_in(-3.0, 3.0)),
+        |coeffs| {
+            let truth = Polynomial::new(coeffs.clone());
+            let deg = coeffs.len() - 1;
+            let xs: Vec<f64> = (0..(deg + 4))
+                .map(|k| -1.0 + 2.0 * k as f64 / (deg + 3) as f64)
+                .collect();
+            let ys: Vec<f64> = xs.iter().map(|&x| truth.eval(x)).collect();
+            let fit = Polynomial::fit(&xs, &ys, deg).unwrap();
+            for (c, t) in fit.coeffs().iter().zip(truth.coeffs()) {
+                prop_check!((c - t).abs() < 1e-6, "{c} vs {t}");
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn trapezoid_is_exact_for_linear(a in -3.0f64..3.0, b in -3.0f64..3.0) {
-        let xs: Vec<f64> = (0..7).map(|k| k as f64 * 0.5).collect();
-        let ys: Vec<f64> = xs.iter().map(|&x| a * x + b).collect();
-        let span = *xs.last().unwrap();
-        let exact = a * span * span / 2.0 + b * span;
-        prop_assert!((trapezoid(&xs, &ys) - exact).abs() < 1e-10);
-    }
+#[test]
+fn horner_matches_naive() {
+    check(
+        "horner matches naive evaluation",
+        &Config::default(),
+        |d| (d.vec_of(0, 6, |d| d.f64_in(-2.0, 2.0)), d.f64_in(-2.0, 2.0)),
+        |(coeffs, x)| {
+            let p = Polynomial::new(coeffs.clone());
+            let naive: f64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| c * x.powi(k as i32))
+                .sum();
+            prop_check!((p.eval(*x) - naive).abs() < 1e-10, "horner vs naive at {x}");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn summary_orders_min_mean_max(xs in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
-        let s = Summary::of(&xs).unwrap();
-        prop_assert!(s.min <= s.mean + 1e-12);
-        prop_assert!(s.mean <= s.max + 1e-12);
-        prop_assert!(s.std_dev >= 0.0);
-    }
+#[test]
+fn pwl_eval_is_bounded_by_breakpoints() {
+    check(
+        "pwl eval is bounded by breakpoints",
+        &Config::default(),
+        |d| {
+            (
+                d.vec_of(2, 10, |d| d.f64_in(-4.0, 4.0)),
+                d.f64_in(-1.0, 11.0),
+            )
+        },
+        |(ys, t)| {
+            let pts: Vec<(f64, f64)> = ys.iter().enumerate().map(|(k, &y)| (k as f64, y)).collect();
+            let pwl = PiecewiseLinear::new(pts).unwrap();
+            let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let v = pwl.eval(*t);
+            prop_check!(
+                v >= lo - 1e-12 && v <= hi + 1e-12,
+                "{v} outside [{lo}, {hi}]"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn quantile_is_monotone(xs in proptest::collection::vec(-10.0f64..10.0, 1..30), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
-        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
-        let vlo = quantile(&xs, lo).unwrap();
-        let vhi = quantile(&xs, hi).unwrap();
-        prop_assert!(vlo <= vhi + 1e-12);
-    }
+#[test]
+fn trapezoid_is_exact_for_linear() {
+    check(
+        "trapezoid is exact for linear",
+        &Config::default(),
+        |d| (d.f64_in(-3.0, 3.0), d.f64_in(-3.0, 3.0)),
+        |&(a, b)| {
+            let xs: Vec<f64> = (0..7).map(|k| k as f64 * 0.5).collect();
+            let ys: Vec<f64> = xs.iter().map(|&x| a * x + b).collect();
+            let span = *xs.last().unwrap();
+            let exact = a * span * span / 2.0 + b * span;
+            prop_check!(
+                (trapezoid(&xs, &ys) - exact).abs() < 1e-10,
+                "trapezoid vs exact {exact}"
+            );
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn brent_and_bisect_agree(root in -0.9f64..0.9) {
-        // Strictly increasing cubic with a known root.
-        let f = |x: f64| (x - root) * (1.0 + (x - root) * (x - root));
-        let rb = bisect(f, -1.0, 1.0, 1e-12, 300).unwrap();
-        let rr = brent(f, -1.0, 1.0, 1e-12, 300).unwrap();
-        prop_assert!((rb - root).abs() < 1e-9);
-        prop_assert!((rr - root).abs() < 1e-9);
-    }
+#[test]
+fn summary_orders_min_mean_max() {
+    check(
+        "summary orders min mean max",
+        &Config::default(),
+        |d| d.vec_of(1, 50, |d| d.f64_in(-100.0, 100.0)),
+        |xs| {
+            let s = Summary::of(xs).unwrap();
+            prop_check!(s.min <= s.mean + 1e-12, "min > mean");
+            prop_check!(s.mean <= s.max + 1e-12, "mean > max");
+            prop_check!(s.std_dev >= 0.0, "negative std dev");
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn complex_field_properties(ar in -3.0f64..3.0, ai in -3.0f64..3.0, br in -3.0f64..3.0, bi in -3.0f64..3.0) {
-        let a = Complex::new(ar, ai);
-        let b = Complex::new(br, bi);
-        prop_assume!(b.abs() > 1e-3);
-        let q = (a * b) / b;
-        prop_assert!((q - a).abs() < 1e-9);
-        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
-    }
+#[test]
+fn quantile_is_monotone() {
+    check(
+        "quantile is monotone",
+        &Config::default(),
+        |d| {
+            (
+                d.vec_of(1, 30, |d| d.f64_in(-10.0, 10.0)),
+                d.f64_in(0.0, 1.0),
+                d.f64_in(0.0, 1.0),
+            )
+        },
+        |(xs, q1, q2)| {
+            let (lo, hi) = if q1 <= q2 { (*q1, *q2) } else { (*q2, *q1) };
+            let vlo = quantile(xs, lo).unwrap();
+            let vhi = quantile(xs, hi).unwrap();
+            prop_check!(vlo <= vhi + 1e-12, "quantile({lo}) > quantile({hi})");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn brent_and_bisect_agree() {
+    check(
+        "brent and bisect agree",
+        &Config::default(),
+        |d| d.f64_in(-0.9, 0.9),
+        |&root| {
+            // Strictly increasing cubic with a known root.
+            let f = |x: f64| (x - root) * (1.0 + (x - root) * (x - root));
+            let rb = bisect(f, -1.0, 1.0, 1e-12, 300).unwrap();
+            let rr = brent(f, -1.0, 1.0, 1e-12, 300).unwrap();
+            prop_check!((rb - root).abs() < 1e-9, "bisect {rb} vs {root}");
+            prop_check!((rr - root).abs() < 1e-9, "brent {rr} vs {root}");
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn complex_field_properties() {
+    check(
+        "complex field properties",
+        &Config::default(),
+        |d| {
+            (
+                d.f64_in(-3.0, 3.0),
+                d.f64_in(-3.0, 3.0),
+                d.f64_in(-3.0, 3.0),
+                d.f64_in(-3.0, 3.0),
+            )
+        },
+        |&(ar, ai, br, bi)| {
+            let a = Complex::new(ar, ai);
+            let b = Complex::new(br, bi);
+            if b.abs() <= 1e-3 {
+                return Ok(()); // division too ill-conditioned to test
+            }
+            let q = (a * b) / b;
+            prop_check!((q - a).abs() < 1e-9, "(a·b)/b != a");
+            prop_check!(
+                ((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9,
+                "|a·b| != |a||b|"
+            );
+            Ok(())
+        },
+    );
 }

@@ -15,6 +15,19 @@
 
 use std::cell::Cell;
 
+/// Which linear-algebra backend the MNA stamper should use.
+///
+/// By default the stamper picks dense LU for small systems and sparse
+/// LU above a size threshold; the differential-testing suite in
+/// `nemscmos-verify` pins each backend explicitly to prove they agree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixBackend {
+    /// Column-major dense matrix with partial-pivot LU.
+    Dense,
+    /// Triplet assembly compressed to CSC with Gilbert–Peierls LU.
+    Sparse,
+}
+
 /// Conservative-solve overrides applied on top of analysis options.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct SolveProfile {
@@ -28,6 +41,8 @@ pub struct SolveProfile {
     pub force_source_stepping: bool,
     /// Integrate transients with backward Euler only (maximum damping).
     pub force_backward_euler: bool,
+    /// Pin the MNA matrix backend instead of the size-based default.
+    pub matrix_backend: Option<MatrixBackend>,
 }
 
 impl SolveProfile {
@@ -59,6 +74,7 @@ thread_local! {
         newton_min_iter: None,
         force_source_stepping: false,
         force_backward_euler: false,
+        matrix_backend: None,
     }) };
 }
 

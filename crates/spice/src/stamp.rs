@@ -16,6 +16,7 @@ use nemscmos_numeric::dense::{DenseLu, DenseMatrix};
 use nemscmos_numeric::sparse::{SparseLu, Triplet};
 
 use crate::element::NodeId;
+use crate::profile::{self, MatrixBackend};
 use crate::Result;
 
 /// Below this number of unknowns the dense path is used.
@@ -64,8 +65,19 @@ pub struct Stamper {
 
 impl Stamper {
     /// Creates an assembler for `n` unknowns.
+    ///
+    /// The backend is dense below [`DENSE_LIMIT`] unknowns and sparse
+    /// above, unless the active [`SolveProfile`] pins one explicitly
+    /// (used by differential testing to prove both paths agree).
+    ///
+    /// [`SolveProfile`]: crate::profile::SolveProfile
     pub fn new(n: usize) -> Stamper {
-        let backend = if n <= DENSE_LIMIT {
+        let dense = match profile::current().matrix_backend {
+            Some(MatrixBackend::Dense) => true,
+            Some(MatrixBackend::Sparse) => false,
+            None => n <= DENSE_LIMIT,
+        };
+        let backend = if dense {
             Backend::Dense(DenseMatrix::zeros(n, n))
         } else {
             Backend::Sparse(Triplet::with_capacity(n, n, n * 8))
@@ -82,6 +94,11 @@ impl Stamper {
     /// Number of unknowns.
     pub fn dim(&self) -> usize {
         self.n
+    }
+
+    /// True when the dense backend was selected.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.backend, Backend::Dense(_))
     }
 
     /// Clears the matrix, residual, and non-finite bookkeeping for the
@@ -356,12 +373,35 @@ mod tests {
     fn sparse_backend_used_for_large_systems() {
         let n = DENSE_LIMIT + 10;
         let mut st = Stamper::new(n);
+        assert!(!st.is_dense());
         for r in 0..n {
             st.j(r, r, 2.0);
             st.f(r, -2.0); // residual −2 → solve gives +1
         }
         let dx = st.solve().unwrap();
         assert!(dx.iter().all(|&v| (v - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn profile_pins_backend_against_size_default() {
+        use crate::profile::{self, MatrixBackend, SolveProfile};
+        assert!(Stamper::new(2).is_dense());
+        let sparse = SolveProfile {
+            matrix_backend: Some(MatrixBackend::Sparse),
+            ..Default::default()
+        };
+        profile::with(sparse, || {
+            assert!(!Stamper::new(2).is_dense());
+        });
+        let dense = SolveProfile {
+            matrix_backend: Some(MatrixBackend::Dense),
+            ..Default::default()
+        };
+        profile::with(dense, || {
+            assert!(Stamper::new(DENSE_LIMIT + 10).is_dense());
+        });
+        // Restored after the scopes.
+        assert!(Stamper::new(2).is_dense());
     }
 
     #[test]

@@ -1,13 +1,9 @@
 //! Property-based tests of the circuit engine: linear-network theorems
-//! that must hold for any randomly generated netlist.
+//! that must hold for any randomly generated netlist. Runs on the
+//! vendored `nemscmos_numeric::check` runner.
 
-#![cfg(feature = "proptest")]
-// Gated out of the default (offline) build: the external `proptest`
-// crate cannot be fetched without registry access. Vendor it and
-// enable the `proptest` feature to run these.
-
-use proptest::prelude::*;
-
+use nemscmos_numeric::check::{check, Config};
+use nemscmos_numeric::prop_check;
 use nemscmos_spice::analysis::op::op;
 use nemscmos_spice::analysis::tran::{transient, TranOptions};
 use nemscmos_spice::circuit::Circuit;
@@ -36,151 +32,204 @@ fn ladder(resistors: &[f64], vsrc: f64) -> (Circuit, Vec<nemscmos_spice::element
     (ckt, nodes)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Maximum principle: every node of a resistive divider lies between
+/// the rails, and voltages decrease monotonically down the ladder.
+#[test]
+fn ladder_voltages_are_monotone() {
+    check(
+        "ladder voltages are monotone",
+        &Config::default(),
+        |d| (d.vec_of(2, 7, |d| d.f64_in(10.0, 1e5)), d.f64_in(0.1, 10.0)),
+        |(rs, v)| {
+            let (mut ckt, nodes) = ladder(rs, *v);
+            let res = op(&mut ckt).unwrap();
+            let mut prev = *v;
+            for &n in &nodes {
+                let vn = res.voltage(n);
+                prop_check!(vn <= prev + 1e-9, "voltage must fall down the ladder");
+                prop_check!(vn >= -1e-9, "node below ground: {vn}");
+                prev = vn;
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// Maximum principle: every node of a resistive divider lies between
-    /// the rails, and voltages decrease monotonically down the ladder.
-    #[test]
-    fn ladder_voltages_are_monotone(
-        rs in proptest::collection::vec(10.0f64..1e5, 2..8),
-        v in 0.1f64..10.0
-    ) {
-        let (mut ckt, nodes) = ladder(&rs, v);
-        let res = op(&mut ckt).unwrap();
-        let mut prev = v;
-        for &n in &nodes {
-            let vn = res.voltage(n);
-            prop_assert!(vn <= prev + 1e-9, "voltage must fall down the ladder");
-            prop_assert!(vn >= -1e-9);
-            prev = vn;
-        }
-    }
+/// Superposition: with two sources driving a linear network, the
+/// response equals the sum of the single-source responses.
+#[test]
+fn superposition_holds() {
+    check(
+        "superposition holds",
+        &Config::default(),
+        |d| {
+            (
+                d.f64_in(100.0, 1e5),
+                d.f64_in(100.0, 1e5),
+                d.f64_in(100.0, 1e5),
+                d.f64_in(-5.0, 5.0),
+                d.f64_in(-5.0, 5.0),
+            )
+        },
+        |&(r1, r2, r3, va, vb)| {
+            let solve = |va: f64, vb: f64| {
+                let mut ckt = Circuit::new();
+                let a = ckt.node("a");
+                let b = ckt.node("b");
+                let mid = ckt.node("mid");
+                ckt.vsource(a, Circuit::GROUND, Waveform::dc(va));
+                ckt.vsource(b, Circuit::GROUND, Waveform::dc(vb));
+                ckt.resistor(a, mid, r1);
+                ckt.resistor(b, mid, r2);
+                ckt.resistor(mid, Circuit::GROUND, r3);
+                op(&mut ckt).unwrap().voltage(mid)
+            };
+            let both = solve(va, vb);
+            let only_a = solve(va, 0.0);
+            let only_b = solve(0.0, vb);
+            prop_check!(
+                (both - only_a - only_b).abs() < 1e-9,
+                "superposition off by {:.3e}",
+                both - only_a - only_b
+            );
+            Ok(())
+        },
+    );
+}
 
-    /// Superposition: with two sources driving a linear network, the
-    /// response equals the sum of the single-source responses.
-    #[test]
-    fn superposition_holds(
-        r1 in 100.0f64..1e5,
-        r2 in 100.0f64..1e5,
-        r3 in 100.0f64..1e5,
-        va in -5.0f64..5.0,
-        vb in -5.0f64..5.0
-    ) {
-        let build = |va: f64, vb: f64| {
+/// A driven RC network's transient settles to its DC operating point.
+#[test]
+fn transient_settles_to_dc() {
+    check(
+        "transient settles to dc",
+        &Config::with_cases(24),
+        |d| {
+            (
+                d.f64_in(100.0, 10e3),
+                d.f64_in(1e-12, 1e-9),
+                d.f64_in(0.1, 5.0),
+            )
+        },
+        |&(r, c, v)| {
+            let build = || {
+                let mut ckt = Circuit::new();
+                let a = ckt.node("a");
+                let b = ckt.node("b");
+                ckt.vsource(a, Circuit::GROUND, Waveform::dc(v));
+                ckt.resistor(a, b, r);
+                ckt.resistor(b, Circuit::GROUND, 2.0 * r);
+                ckt.capacitor(b, Circuit::GROUND, c);
+                (ckt, b)
+            };
+            let (mut ckt_dc, b) = build();
+            let dc = op(&mut ckt_dc).unwrap().voltage(b);
+            let (mut ckt_tr, b2) = build();
+            let tau = r * c;
+            let res = transient(&mut ckt_tr, 20.0 * tau, &TranOptions::default()).unwrap();
+            let end = res.voltage(b2).last_value();
+            prop_check!((end - dc).abs() < 1e-3 * v.max(1.0), "end {end} vs dc {dc}");
+            Ok(())
+        },
+    );
+}
+
+/// Trace integral additivity: ∫[a,b] + ∫[b,c] = ∫[a,c].
+#[test]
+fn trace_integral_is_additive() {
+    check(
+        "trace integral is additive",
+        &Config::default(),
+        |d| (d.vec_of(3, 11, |d| d.f64_in(-2.0, 2.0)), d.f64_in(0.1, 0.9)),
+        |(ys, split)| {
+            let times: Vec<f64> = (0..ys.len()).map(|k| k as f64).collect();
+            let span = *times.last().unwrap();
+            let tr = Trace::new(times, ys.clone());
+            let mid = split * span;
+            let whole = tr.integral_between(0.0, span);
+            let parts = tr.integral_between(0.0, mid) + tr.integral_between(mid, span);
+            prop_check!(
+                (whole - parts).abs() < 1e-9,
+                "integral not additive: {whole} vs {parts}"
+            );
+            Ok(())
+        },
+    );
+}
+
+/// Netlist round trip: a random resistor ladder rendered as SPICE
+/// text parses back into a circuit whose operating point matches the
+/// directly-built one.
+#[test]
+fn netlist_roundtrip_matches_direct_build() {
+    check(
+        "netlist roundtrip matches direct build",
+        &Config::default(),
+        |d| (d.vec_of(2, 6, |d| d.f64_in(10.0, 1e5)), d.f64_in(0.1, 10.0)),
+        |(rs, v)| {
+            use nemscmos_spice::netlist::{parse_deck, NoDevices};
+            // Direct build.
+            let (mut direct, nodes) = ladder(rs, *v);
+            let direct_res = op(&mut direct).unwrap();
+            // Text render.
+            let mut deck = format!("V1 top 0 DC {v}\n");
+            let mut prev = "top".to_string();
+            for (k, r) in rs.iter().enumerate() {
+                let next = if k + 1 == rs.len() {
+                    "0".to_string()
+                } else {
+                    format!("n{k}")
+                };
+                deck.push_str(&format!("R{k} {prev} {next} {r}\n"));
+                prev = next;
+            }
+            deck.push_str(".op\n");
+            let parsed = parse_deck(&deck, &NoDevices).unwrap();
+            let mut ckt = parsed.circuit;
+            let res = op(&mut ckt).unwrap();
+            for (k, &n) in nodes.iter().enumerate() {
+                let name = format!("n{k}");
+                let via_deck = res.voltage(parsed.nodes[&name]);
+                let via_direct = direct_res.voltage(n);
+                prop_check!(
+                    (via_deck - via_direct).abs() < 1e-9,
+                    "node {name}: deck {via_deck} vs direct {via_direct}"
+                );
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Power balance in a divider: source power equals the sum of
+/// resistor dissipations.
+#[test]
+fn power_balance() {
+    check(
+        "power balance",
+        &Config::default(),
+        |d| {
+            (
+                d.f64_in(100.0, 1e5),
+                d.f64_in(100.0, 1e5),
+                d.f64_in(0.1, 10.0),
+            )
+        },
+        |&(r1, r2, v)| {
             let mut ckt = Circuit::new();
             let a = ckt.node("a");
-            let b = ckt.node("b");
             let mid = ckt.node("mid");
-            ckt.vsource(a, Circuit::GROUND, Waveform::dc(va));
-            ckt.vsource(b, Circuit::GROUND, Waveform::dc(vb));
+            let src = ckt.vsource(a, Circuit::GROUND, Waveform::dc(v));
             ckt.resistor(a, mid, r1);
-            ckt.resistor(b, mid, r2);
-            ckt.resistor(mid, Circuit::GROUND, r3);
-            (ckt, mid)
-        };
-        let solve = |va: f64, vb: f64| {
-            let (mut ckt, mid) = build(va, vb);
-            op(&mut ckt).unwrap().voltage(mid)
-        };
-        let both = solve(va, vb);
-        let only_a = solve(va, 0.0);
-        let only_b = solve(0.0, vb);
-        prop_assert!((both - only_a - only_b).abs() < 1e-9);
-    }
-
-    /// A driven RC network's transient settles to its DC operating point.
-    #[test]
-    fn transient_settles_to_dc(
-        r in 100.0f64..10e3,
-        c in 1e-12f64..1e-9,
-        v in 0.1f64..5.0
-    ) {
-        let build = || {
-            let mut ckt = Circuit::new();
-            let a = ckt.node("a");
-            let b = ckt.node("b");
-            ckt.vsource(a, Circuit::GROUND, Waveform::dc(v));
-            ckt.resistor(a, b, r);
-            ckt.resistor(b, Circuit::GROUND, 2.0 * r);
-            ckt.capacitor(b, Circuit::GROUND, c);
-            (ckt, b)
-        };
-        let (mut ckt_dc, b) = build();
-        let dc = op(&mut ckt_dc).unwrap().voltage(b);
-        let (mut ckt_tr, b2) = build();
-        let tau = r * c;
-        let res = transient(&mut ckt_tr, 20.0 * tau, &TranOptions::default()).unwrap();
-        let end = res.voltage(b2).last_value();
-        prop_assert!((end - dc).abs() < 1e-3 * v.max(1.0), "end {end} vs dc {dc}");
-    }
-
-    /// Trace integral additivity: ∫[a,b] + ∫[b,c] = ∫[a,c].
-    #[test]
-    fn trace_integral_is_additive(
-        ys in proptest::collection::vec(-2.0f64..2.0, 3..12),
-        split in 0.1f64..0.9
-    ) {
-        let times: Vec<f64> = (0..ys.len()).map(|k| k as f64).collect();
-        let span = *times.last().unwrap();
-        let tr = Trace::new(times, ys);
-        let mid = split * span;
-        let whole = tr.integral_between(0.0, span);
-        let parts = tr.integral_between(0.0, mid) + tr.integral_between(mid, span);
-        prop_assert!((whole - parts).abs() < 1e-9);
-    }
-
-    /// Netlist round trip: a random resistor ladder rendered as SPICE
-    /// text parses back into a circuit whose operating point matches the
-    /// directly-built one.
-    #[test]
-    fn netlist_roundtrip_matches_direct_build(
-        rs in proptest::collection::vec(10.0f64..1e5, 2..7),
-        v in 0.1f64..10.0
-    ) {
-        use nemscmos_spice::netlist::{parse_deck, NoDevices};
-        // Direct build.
-        let (mut direct, nodes) = ladder(&rs, v);
-        let direct_res = op(&mut direct).unwrap();
-        // Text render.
-        let mut deck = format!("V1 top 0 DC {v}\n");
-        let mut prev = "top".to_string();
-        for (k, r) in rs.iter().enumerate() {
-            let next = if k + 1 == rs.len() { "0".to_string() } else { format!("n{k}") };
-            deck.push_str(&format!("R{k} {prev} {next} {r}\n"));
-            prev = next;
-        }
-        deck.push_str(".op\n");
-        let parsed = parse_deck(&deck, &NoDevices).unwrap();
-        let mut ckt = parsed.circuit;
-        let res = op(&mut ckt).unwrap();
-        for (k, &n) in nodes.iter().enumerate() {
-            let name = format!("n{k}");
-            let via_deck = res.voltage(parsed.nodes[&name]);
-            let via_direct = direct_res.voltage(n);
-            prop_assert!((via_deck - via_direct).abs() < 1e-9,
-                "node {name}: deck {via_deck} vs direct {via_direct}");
-        }
-    }
-
-    /// Power balance in a divider: source power equals the sum of
-    /// resistor dissipations.
-    #[test]
-    fn power_balance(
-        r1 in 100.0f64..1e5,
-        r2 in 100.0f64..1e5,
-        v in 0.1f64..10.0
-    ) {
-        let mut ckt = Circuit::new();
-        let a = ckt.node("a");
-        let mid = ckt.node("mid");
-        let src = ckt.vsource(a, Circuit::GROUND, Waveform::dc(v));
-        ckt.resistor(a, mid, r1);
-        ckt.resistor(mid, Circuit::GROUND, r2);
-        let res = op(&mut ckt).unwrap();
-        let p_src = v * (-res.source_current(src));
-        let vm = res.voltage(mid);
-        let p_r = (v - vm) * (v - vm) / r1 + vm * vm / r2;
-        prop_assert!((p_src - p_r).abs() <= 1e-6 * p_src.abs().max(1e-12));
-    }
+            ckt.resistor(mid, Circuit::GROUND, r2);
+            let res = op(&mut ckt).unwrap();
+            let p_src = v * (-res.source_current(src));
+            let vm = res.voltage(mid);
+            let p_r = (v - vm) * (v - vm) / r1 + vm * vm / r2;
+            prop_check!(
+                (p_src - p_r).abs() <= 1e-6 * p_src.abs().max(1e-12),
+                "source power {p_src:.6e} vs dissipation {p_r:.6e}"
+            );
+            Ok(())
+        },
+    );
 }

@@ -1,0 +1,57 @@
+//! Golden-snapshot gate: check committed waveform snapshots, or refresh
+//! them with `--bless`.
+//!
+//! ```text
+//! cargo run -p nemscmos-verify --bin golden            # check (CI mode)
+//! cargo run -p nemscmos-verify --bin golden -- --bless # rewrite snapshots
+//! ```
+//!
+//! Check mode exits nonzero on any drift or missing snapshot. The
+//! `NEMSCMOS_BLESS=1` environment variable is honored as an alternative
+//! to the flag, for workflows that cannot pass program arguments.
+
+use std::process::ExitCode;
+
+use nemscmos_verify::golden;
+
+fn main() -> ExitCode {
+    let bless_flag = std::env::args().skip(1).any(|a| a == "--bless");
+    let bless_env = std::env::var("NEMSCMOS_BLESS").is_ok_and(|v| v == "1");
+    if bless_flag || bless_env {
+        match golden::bless() {
+            Ok(paths) => {
+                for p in &paths {
+                    println!("blessed {p}");
+                }
+                println!("{} snapshot(s) written", paths.len());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bless failed: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let drifted = golden::check();
+        if drifted.is_empty() {
+            println!("golden: all {} snapshots match", golden::artifacts().len());
+            ExitCode::SUCCESS
+        } else {
+            for (name, drift) in &drifted {
+                match drift {
+                    golden::Drift::Missing => eprintln!("golden: `{name}` has no blessed snapshot"),
+                    golden::Drift::Differs { line } => eprintln!(
+                        "golden: `{name}` drifted from its blessed snapshot (first diff at line {line})"
+                    ),
+                    golden::Drift::Match => unreachable!("matches are filtered"),
+                }
+            }
+            eprintln!(
+                "golden: {} snapshot(s) drifted — if intentional, re-bless with \
+                 `cargo run -p nemscmos-verify --bin golden -- --bless` and commit the diff",
+                drifted.len()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

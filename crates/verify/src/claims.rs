@@ -1,0 +1,359 @@
+//! The paper-claims registry: parse `claims.toml`, evaluate measured
+//! metrics against it, and render the conformance scoreboard.
+//!
+//! The file format is a deliberately tiny TOML subset — an array of
+//! `[[claim]]` tables whose values are strings, numbers, or booleans —
+//! parsed by [`parse_claims`] with no external dependency. The builtin
+//! registry ([`builtin`]) is embedded at compile time so the
+//! conformance binary cannot drift from the checked-in file.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One quantitative claim from the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Claim {
+    /// Stable identifier (kebab-case).
+    pub id: String,
+    /// Human-readable statement.
+    pub title: String,
+    /// Paper artifact the claim comes from (e.g. `"Fig. 11"`).
+    pub source: String,
+    /// Key under which the conformance binary reports the measurement.
+    pub metric: String,
+    /// The paper's stated value.
+    pub expected: f64,
+    /// Lower acceptance bound (unbounded if absent).
+    pub min: Option<f64>,
+    /// Upper acceptance bound (unbounded if absent).
+    pub max: Option<f64>,
+    /// Release-blocking claim?
+    pub headline: bool,
+}
+
+/// A claim evaluated against a measured metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClaimResult {
+    /// The claim.
+    pub claim: Claim,
+    /// Measured value, if the metric was reported.
+    pub measured: Option<f64>,
+    /// Within bounds?
+    pub pass: bool,
+}
+
+impl ClaimResult {
+    /// Signed deviation from the paper's value, as a percentage of it
+    /// (`None` when unmeasured or `expected == 0`).
+    pub fn margin_pct(&self) -> Option<f64> {
+        let m = self.measured?;
+        (self.claim.expected != 0.0)
+            .then(|| 100.0 * (m - self.claim.expected) / self.claim.expected)
+    }
+}
+
+/// The full conformance scoreboard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scoreboard {
+    /// Per-claim outcomes, in registry order.
+    pub rows: Vec<ClaimResult>,
+}
+
+impl Scoreboard {
+    /// Every claim passed.
+    pub fn all_pass(&self) -> bool {
+        self.rows.iter().all(|r| r.pass)
+    }
+
+    /// Every headline claim passed.
+    pub fn headlines_pass(&self) -> bool {
+        self.rows
+            .iter()
+            .filter(|r| r.claim.headline)
+            .all(|r| r.pass)
+    }
+
+    /// Count of passing claims.
+    pub fn passed(&self) -> usize {
+        self.rows.iter().filter(|r| r.pass).count()
+    }
+}
+
+impl fmt::Display for Scoreboard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:<9} {:>14} {:>14} {:>9}  verdict",
+            "claim", "source", "measured", "expected", "margin"
+        )?;
+        writeln!(f, "{}", "-".repeat(84))?;
+        for r in &self.rows {
+            let measured = r
+                .measured
+                .map_or_else(|| "(missing)".to_string(), |m| format!("{m:.4e}"));
+            let margin = r
+                .margin_pct()
+                .map_or_else(|| "-".to_string(), |p| format!("{p:+.1}%"));
+            let verdict = match (r.pass, r.claim.headline) {
+                (true, _) => "PASS",
+                (false, true) => "FAIL (headline)",
+                (false, false) => "FAIL",
+            };
+            writeln!(
+                f,
+                "{:<24} {:<9} {:>14} {:>14.4e} {:>9}  {}",
+                r.claim.id, r.claim.source, measured, r.claim.expected, margin, verdict
+            )?;
+        }
+        write!(
+            f,
+            "{}/{} claims pass ({} headline)",
+            self.passed(),
+            self.rows.len(),
+            self.rows.iter().filter(|r| r.claim.headline).count()
+        )
+    }
+}
+
+/// Evaluates `claims` against the `metrics` map (metric name → value).
+pub fn evaluate(claims: &[Claim], metrics: &BTreeMap<String, f64>) -> Scoreboard {
+    let rows = claims
+        .iter()
+        .map(|c| {
+            let measured = metrics.get(&c.metric).copied();
+            let pass = measured.is_some_and(|m| {
+                m.is_finite() && c.min.is_none_or(|lo| m >= lo) && c.max.is_none_or(|hi| m <= hi)
+            });
+            ClaimResult {
+                claim: c.clone(),
+                measured,
+                pass,
+            }
+        })
+        .collect();
+    Scoreboard { rows }
+}
+
+/// The registry checked into `crates/verify/claims.toml`.
+///
+/// # Panics
+///
+/// Panics if the embedded file fails to parse — a build-time artifact
+/// error, caught by the crate's tests.
+pub fn builtin() -> Vec<Claim> {
+    parse_claims(include_str!("../claims.toml")).expect("embedded claims.toml must parse")
+}
+
+/// One parsed TOML-subset value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(f64),
+    Bool(bool),
+}
+
+fn parse_value(raw: &str) -> Result<Value, String> {
+    let raw = raw.trim();
+    if let Some(body) = raw.strip_prefix('"') {
+        let Some(body) = body.strip_suffix('"') else {
+            return Err(format!("unterminated string: {raw}"));
+        };
+        if body.contains('"') || body.contains('\\') {
+            return Err(format!("escapes unsupported in claims strings: {raw}"));
+        }
+        return Ok(Value::Str(body.to_string()));
+    }
+    match raw {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    raw.replace('_', "")
+        .parse::<f64>()
+        .map(Value::Num)
+        .map_err(|_| format!("unparseable value: {raw}"))
+}
+
+/// Parses the `[[claim]]` array-of-tables subset.
+///
+/// # Errors
+///
+/// A message naming the offending line for any construct outside the
+/// subset, an unknown key, or a claim missing required fields.
+pub fn parse_claims(text: &str) -> Result<Vec<Claim>, String> {
+    let mut tables: Vec<BTreeMap<String, Value>> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = match line.find('#') {
+            // Only treat `#` as a comment when it is not inside a string;
+            // the subset forbids `#` in strings entirely for simplicity.
+            Some(pos) => &line[..pos],
+            None => line,
+        };
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[claim]]" {
+            tables.push(BTreeMap::new());
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!(
+                "line {}: only [[claim]] tables allowed",
+                lineno + 1
+            ));
+        }
+        let Some((key, raw)) = line.split_once('=') else {
+            return Err(format!("line {}: expected key = value", lineno + 1));
+        };
+        let Some(table) = tables.last_mut() else {
+            return Err(format!("line {}: key before first [[claim]]", lineno + 1));
+        };
+        let value = parse_value(raw).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        table.insert(key.trim().to_string(), value);
+    }
+    tables
+        .into_iter()
+        .enumerate()
+        .map(claim_from_table)
+        .collect()
+}
+
+fn claim_from_table((idx, mut t): (usize, BTreeMap<String, Value>)) -> Result<Claim, String> {
+    let mut take_str = |key: &str| match t.remove(key) {
+        Some(Value::Str(s)) => Ok(s),
+        Some(_) => Err(format!("claim {idx}: `{key}` must be a string")),
+        None => Err(format!("claim {idx}: missing `{key}`")),
+    };
+    let id = take_str("id")?;
+    let title = take_str("title")?;
+    let source = take_str("source")?;
+    let metric = take_str("metric")?;
+    let mut take_num = |key: &str| match t.remove(key) {
+        Some(Value::Num(n)) => Ok(Some(n)),
+        Some(_) => Err(format!("claim `{id}`: `{key}` must be a number")),
+        None => Ok(None),
+    };
+    let expected =
+        take_num("expected")?.ok_or_else(|| format!("claim `{id}`: missing `expected`"))?;
+    let min = take_num("min")?;
+    let max = take_num("max")?;
+    let headline = match t.remove("headline") {
+        Some(Value::Bool(b)) => b,
+        Some(_) => return Err(format!("claim `{id}`: `headline` must be a boolean")),
+        None => false,
+    };
+    if min.is_none() && max.is_none() {
+        return Err(format!("claim `{id}`: needs at least one of `min` / `max`"));
+    }
+    if let Some(stray) = t.keys().next() {
+        return Err(format!("claim `{id}`: unknown key `{stray}`"));
+    }
+    Ok(Claim {
+        id,
+        title,
+        source,
+        metric,
+        expected,
+        min,
+        max,
+        headline,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn builtin_registry_parses_and_is_nonempty() {
+        let claims = builtin();
+        assert!(claims.len() >= 9, "got {} claims", claims.len());
+        assert_eq!(claims.iter().filter(|c| c.headline).count(), 3);
+        // IDs are unique.
+        let mut ids: Vec<&str> = claims.iter().map(|c| c.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), claims.len());
+    }
+
+    #[test]
+    fn parses_minimal_claim() {
+        let text = r#"
+            [[claim]]
+            id = "x"
+            title = "t"
+            source = "Fig. 1"
+            metric = "m"
+            expected = 2.0
+            min = 1.0
+            max = 3.0
+            headline = true
+        "#;
+        let claims = parse_claims(text).unwrap();
+        assert_eq!(claims.len(), 1);
+        assert_eq!(claims[0].metric, "m");
+        assert!(claims[0].headline);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_claims("id = \"x\"").is_err(), "key before table");
+        assert!(parse_claims("[claim]").is_err(), "plain table");
+        assert!(parse_claims("[[claim]]\nid").is_err(), "bare key");
+        assert!(
+            parse_claims("[[claim]]\nid = \"x\"\ntitle = \"t\"\nsource = \"s\"\nmetric = \"m\"\nexpected = 1.0")
+                .is_err(),
+            "no bounds"
+        );
+    }
+
+    #[test]
+    fn evaluate_checks_bounds_and_missing_metrics() {
+        let claims = parse_claims(
+            r#"
+            [[claim]]
+            id = "a"
+            title = "t"
+            source = "s"
+            metric = "m1"
+            expected = 10.0
+            min = 8.0
+            max = 12.0
+            [[claim]]
+            id = "b"
+            title = "t"
+            source = "s"
+            metric = "m2"
+            expected = 1.0
+            min = 0.5
+            headline = true
+        "#,
+        )
+        .unwrap();
+        let sb = evaluate(&claims, &metrics(&[("m1", 11.0)]));
+        assert!(sb.rows[0].pass);
+        assert!(!sb.rows[1].pass, "missing metric must fail");
+        assert!(!sb.all_pass());
+        assert!(!sb.headlines_pass());
+        assert!((sb.rows[0].margin_pct().unwrap() - 10.0).abs() < 1e-12);
+
+        let sb = evaluate(&claims, &metrics(&[("m1", 13.0), ("m2", 2.0)]));
+        assert!(!sb.rows[0].pass, "above max must fail");
+        assert!(sb.rows[1].pass, "one-sided bound passes");
+        assert!(sb.headlines_pass());
+    }
+
+    #[test]
+    fn scoreboard_renders_all_rows() {
+        let sb = evaluate(&builtin(), &metrics(&[("crossover_fan_in", 12.0)]));
+        let text = sb.to_string();
+        assert!(text.contains("fan-in-crossover"));
+        assert!(text.contains("FAIL (headline)"));
+        assert!(text.lines().count() >= builtin().len() + 2);
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-point waveform comparison with tolerance bands.
+//!
+//! Every oracle and differential check in this crate reduces to the same
+//! question: do two samples agree within `abs + rel·|reference|`? When
+//! they do not, the caller wants to know *where it first went wrong*,
+//! not just that it did — so the failure type, [`Divergence`], carries
+//! the node, the time, both values, and the band that was violated.
+
+use std::fmt;
+
+/// An absolute-plus-relative tolerance band.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Absolute term (units of the compared quantity).
+    pub abs: f64,
+    /// Relative term, scaled by the reference magnitude.
+    pub rel: f64,
+}
+
+impl Tolerance {
+    /// A band with both terms.
+    pub fn new(abs: f64, rel: f64) -> Tolerance {
+        Tolerance { abs, rel }
+    }
+
+    /// A purely absolute band.
+    pub fn abs(abs: f64) -> Tolerance {
+        Tolerance { abs, rel: 0.0 }
+    }
+
+    /// The allowed deviation around `reference`.
+    pub fn band(&self, reference: f64) -> f64 {
+        self.abs + self.rel * reference.abs()
+    }
+
+    /// Whether `value` lies within the band around `reference`.
+    pub fn within(&self, value: f64, reference: f64) -> bool {
+        (value - reference).abs() <= self.band(reference)
+    }
+}
+
+/// First point at which two waveforms disagreed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Divergence {
+    /// Node (or signal) name.
+    pub node: String,
+    /// Time of the offending sample (s); `0.0` for DC comparisons.
+    pub time: f64,
+    /// Value from the side under test.
+    pub got: f64,
+    /// Reference value (oracle, or the other solver configuration).
+    pub reference: f64,
+    /// The tolerance band that was violated.
+    pub bound: f64,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "first divergence at node `{}`, t = {:.6e} s: got {:.9e}, reference {:.9e} \
+             (|Δ| = {:.3e} > bound {:.3e})",
+            self.node,
+            self.time,
+            self.got,
+            self.reference,
+            (self.got - self.reference).abs(),
+            self.bound
+        )
+    }
+}
+
+/// Compares a sampled waveform against a reference function evaluated at
+/// the same sample times, reporting the first out-of-band point.
+///
+/// # Errors
+///
+/// The first [`Divergence`], or an input-length mismatch reported as a
+/// divergence at `t = NaN`.
+pub fn against_oracle(
+    node: &str,
+    times: &[f64],
+    values: &[f64],
+    oracle: impl Fn(f64) -> f64,
+    tol: Tolerance,
+) -> Result<(), Divergence> {
+    for (&t, &v) in times.iter().zip(values.iter()) {
+        let want = oracle(t);
+        if !tol.within(v, want) {
+            return Err(Divergence {
+                node: node.into(),
+                time: t,
+                got: v,
+                reference: want,
+                bound: tol.band(want),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Compares two same-length sampled series, reporting the first
+/// out-of-band point.
+///
+/// # Errors
+///
+/// The first [`Divergence`]; a length mismatch diverges at the first
+/// missing index.
+pub fn series(
+    node: &str,
+    times: &[f64],
+    got: &[f64],
+    reference: &[f64],
+    tol: Tolerance,
+) -> Result<(), Divergence> {
+    if got.len() != reference.len() {
+        return Err(Divergence {
+            node: node.into(),
+            time: times.last().copied().unwrap_or(0.0),
+            got: got.len() as f64,
+            reference: reference.len() as f64,
+            bound: 0.0,
+        });
+    }
+    for ((&t, &a), &b) in times.iter().zip(got.iter()).zip(reference.iter()) {
+        if !tol.within(a, b) {
+            return Err(Divergence {
+                node: node.into(),
+                time: t,
+                got: a,
+                reference: b,
+                bound: tol.band(b),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_combines_abs_and_rel() {
+        let tol = Tolerance::new(1e-3, 1e-2);
+        assert!((tol.band(10.0) - 0.101).abs() < 1e-15);
+        assert!(tol.within(10.05, 10.0));
+        assert!(!tol.within(10.2, 10.0));
+    }
+
+    #[test]
+    fn against_oracle_reports_first_bad_point() {
+        let times = [0.0, 1.0, 2.0, 3.0];
+        let values = [0.0, 1.0, 2.5, 3.0];
+        let err = against_oracle("n1", &times, &values, |t| t, Tolerance::abs(0.1)).unwrap_err();
+        assert_eq!(err.time, 2.0);
+        assert_eq!(err.got, 2.5);
+        assert_eq!(err.reference, 2.0);
+        assert!(err.to_string().contains("node `n1`"));
+    }
+
+    #[test]
+    fn series_detects_length_mismatch() {
+        let err = series("x", &[0.0, 1.0], &[1.0, 2.0], &[1.0], Tolerance::abs(1.0)).unwrap_err();
+        assert_eq!(err.got, 2.0);
+        assert_eq!(err.reference, 1.0);
+    }
+
+    #[test]
+    fn matching_series_pass() {
+        let t = [0.0, 1.0];
+        assert!(series(
+            "x",
+            &t,
+            &[1.0, 2.0],
+            &[1.0, 2.0 + 1e-12],
+            Tolerance::abs(1e-9)
+        )
+        .is_ok());
+    }
+}

@@ -1,0 +1,30 @@
+//! Golden-reference verification for the `nemscmos` workspace.
+//!
+//! The simulator's unit tests check that individual pieces behave; this
+//! crate checks that the *assembled* stack tells the truth, three ways:
+//!
+//! * [`oracle`] — closed-form RC/RL/RLC transients and scalar-bisection
+//!   MOSFET DC solutions that the full MNA/Newton engine must reproduce
+//!   within tolerance bands ([`compare`]), plus
+//!   method-of-manufactured-solutions residual checks ([`mms`]) where
+//!   the exact nonlinear solution is known by construction.
+//! * [`diff`] — differential testing: the same deck integrated with
+//!   trapezoidal vs backward Euler, assembled dense vs sparse, and run
+//!   through 1 vs N harness threads must agree (within integration-order
+//!   bounds; bitwise for thread count). Disagreement produces a
+//!   first-divergence report naming the node, time, and both values.
+//! * [`claims`] — a machine-readable registry of the DAC 2007 paper's
+//!   quantitative claims (`claims.toml`), evaluated into a pass/fail
+//!   scoreboard by `cargo run -p nemscmos-bench --bin conformance`.
+//!
+//! [`golden`] adds committed waveform snapshots: canonical JSON renders
+//! of small deterministic simulations, checked bit-for-bit in CI and
+//! refreshed explicitly with `cargo run -p nemscmos-verify --bin golden
+//! -- --bless`.
+
+pub mod claims;
+pub mod compare;
+pub mod diff;
+pub mod golden;
+pub mod mms;
+pub mod oracle;

@@ -1,0 +1,163 @@
+//! Method of manufactured solutions for the Newton/MNA stack.
+//!
+//! Pick the answer first, then build a problem whose exact solution it
+//! is: a resistor ladder with a cubic nonlinear shunt at every node gets
+//! an injected current at each node equal to the current that would
+//! leave it *at the chosen target voltages*. KCL is then satisfied
+//! exactly at the manufactured solution, so the operating-point solver
+//! has no excuse — any deviation beyond Newton's convergence tolerance
+//! is an assembly or solver bug, not modeling error.
+//!
+//! The ladder length is a parameter so the same check exercises both
+//! the dense (small `n`) and sparse (`n > 64`) matrix backends.
+
+use nemscmos_spice::analysis::op::op;
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::device::{Device, LoadContext, Solution};
+use nemscmos_spice::element::NodeId;
+use nemscmos_spice::stamp::Stamper;
+use nemscmos_spice::waveform::Waveform;
+
+use crate::compare::{Divergence, Tolerance};
+
+/// A nonlinear shunt `I(v) = g·v + a·v³` from one node to ground.
+///
+/// The cubic term makes the Jacobian state-dependent, so Newton must
+/// actually iterate; `g > 0` keeps the element passive and the system
+/// diagonally dominant.
+#[derive(Debug)]
+pub struct CubicShunt {
+    name: String,
+    node: NodeId,
+    g: f64,
+    a: f64,
+}
+
+impl CubicShunt {
+    /// Creates the shunt at `node`.
+    pub fn new(name: impl Into<String>, node: NodeId, g: f64, a: f64) -> CubicShunt {
+        CubicShunt {
+            name: name.into(),
+            node,
+            g,
+            a,
+        }
+    }
+
+    /// The branch current at voltage `v`.
+    pub fn current(&self, v: f64) -> f64 {
+        self.g * v + self.a * v * v * v
+    }
+}
+
+impl Device for CubicShunt {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn load(&self, x: &Solution<'_>, _ctx: &LoadContext, st: &mut Stamper) {
+        let v = x.v(self.node);
+        let i = self.current(v);
+        let di = self.g + 3.0 * self.a * v * v;
+        st.nonlinear_current(self.node, NodeId::GROUND, i, &[(self.node, di)]);
+    }
+
+    fn commit(&mut self, _x: &Solution<'_>, _ctx: &LoadContext) -> bool {
+        false
+    }
+
+    fn reset_state(&mut self) {}
+}
+
+/// Builds the manufactured ladder: `n` nodes joined by resistors `r`,
+/// each with a [`CubicShunt`] `(g, a)` to ground and a current injection
+/// chosen so the exact solution is `targets[i]`.
+///
+/// Returns the circuit, the nodes, and the manufactured node voltages.
+pub fn manufactured_ladder(
+    n: usize,
+    r: f64,
+    g: f64,
+    a: f64,
+    target: impl Fn(usize) -> f64,
+) -> (Circuit, Vec<NodeId>, Vec<f64>) {
+    assert!(n >= 1, "ladder needs at least one node");
+    let targets: Vec<f64> = (0..n).map(target).collect();
+    let mut ckt = Circuit::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| ckt.node(&format!("m{i}"))).collect();
+    for (i, &node) in nodes.iter().enumerate() {
+        if i + 1 < n {
+            ckt.resistor(node, nodes[i + 1], r);
+        }
+        ckt.add_device(CubicShunt::new(format!("q{i}"), node, g, a));
+        // KCL at the manufactured solution: current leaving through the
+        // ladder neighbours plus the shunt, balanced by the injection.
+        let v = targets[i];
+        let mut leaving = g * v + a * v * v * v;
+        if i > 0 {
+            leaving += (v - targets[i - 1]) / r;
+        }
+        if i + 1 < n {
+            leaving += (v - targets[i + 1]) / r;
+        }
+        ckt.isource(Circuit::GROUND, node, Waveform::dc(leaving));
+    }
+    (ckt, nodes, targets)
+}
+
+/// Solves the manufactured ladder and checks every node against its
+/// manufactured voltage.
+///
+/// # Errors
+///
+/// The first node off the manufactured solution (as a DC
+/// [`Divergence`]).
+pub fn check_manufactured_ladder(n: usize, r: f64, g: f64, a: f64) -> Result<(), Divergence> {
+    // An interesting, sign-alternating profile within ±1 V.
+    let (mut ckt, nodes, targets) =
+        manufactured_ladder(n, r, g, a, |i| (0.3 + 0.07 * i as f64).sin());
+    let res = op(&mut ckt).unwrap_or_else(|e| panic!("manufactured op failed: {e}"));
+    let tol = Tolerance::new(1e-8, 1e-8);
+    for (i, (&node, &want)) in nodes.iter().zip(targets.iter()).enumerate() {
+        let got = res.voltage(node);
+        if !tol.within(got, want) {
+            return Err(Divergence {
+                node: format!("m{i}"),
+                time: 0.0,
+                got,
+                reference: want,
+                bound: tol.band(want),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shunt_current_is_cubic() {
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        let s = CubicShunt::new("q", n, 2.0, 0.5);
+        assert!((s.current(2.0) - (4.0 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_node_manufactured_solution() {
+        check_manufactured_ladder(1, 1e3, 1e-3, 5e-4).unwrap();
+    }
+
+    #[test]
+    fn dense_sized_ladder_converges_to_target() {
+        check_manufactured_ladder(12, 2e3, 1e-3, 8e-4).unwrap();
+    }
+
+    #[test]
+    fn sparse_sized_ladder_converges_to_target() {
+        // 80 unknowns crosses the stamper's dense/sparse threshold.
+        check_manufactured_ladder(80, 2e3, 1e-3, 8e-4).unwrap();
+    }
+}

@@ -1,0 +1,280 @@
+//! Analytic oracles: closed-form solutions the full engine must match.
+//!
+//! Each `check_*` function builds a small deck whose exact response is
+//! known in closed form, runs it through the public analysis entry
+//! points (`op` / `transient`), and compares every returned sample
+//! against the formula with a [`Tolerance`] band sized to the
+//! integrator's truncation error. The closed forms themselves are `pub`
+//! so the golden-snapshot and conformance layers can reuse them.
+//!
+//! Transient decks start from explicit zero initial conditions
+//! (`use_ic_only`) rather than a settled DC point, so the classic
+//! step-response formulas apply without rise-time corrections. The DC
+//! oracles solve the *same* calibrated device model with scalar
+//! bisection — one equation, one unknown — so a disagreement isolates
+//! the MNA/Newton stack rather than the model.
+
+use nemscmos_devices::mosfet::{MosModel, Mosfet};
+use nemscmos_numeric::roots::bisect;
+use nemscmos_spice::analysis::op::op;
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::waveform::Waveform;
+
+use crate::compare::{against_oracle, Divergence, Tolerance};
+
+/// First-order step response `y(t) = y_inf (1 − e^{−t/τ})`.
+pub fn first_order_step(y_inf: f64, tau: f64, t: f64) -> f64 {
+    if t <= 0.0 {
+        0.0
+    } else {
+        y_inf * (1.0 - (-t / tau).exp())
+    }
+}
+
+/// Step response of a series-RLC capacitor voltage from rest,
+/// `v'' + 2α v' + ω₀² v = ω₀² V`, valid in the underdamped and
+/// overdamped regimes (tests avoid the critically damped razor edge).
+pub fn second_order_step(v: f64, alpha: f64, omega0: f64, t: f64) -> f64 {
+    if t <= 0.0 {
+        return 0.0;
+    }
+    let disc = alpha * alpha - omega0 * omega0;
+    if disc < 0.0 {
+        let wd = (-disc).sqrt();
+        v * (1.0 - (-alpha * t).exp() * ((wd * t).cos() + alpha / wd * (wd * t).sin()))
+    } else {
+        let rt = disc.sqrt();
+        let s1 = -alpha + rt;
+        let s2 = -alpha - rt;
+        v * (1.0 - (s2 * (s1 * t).exp() - s1 * (s2 * t).exp()) / (s2 - s1))
+    }
+}
+
+/// Default transient comparison band: the adaptive controller holds the
+/// local truncation error near `lte_tol` (2 × 10⁻³ relative), so the
+/// accumulated global error stays well inside 1 % of the step height.
+fn tran_tol(scale: f64) -> Tolerance {
+    Tolerance::new(8e-3 * scale.abs(), 5e-3)
+}
+
+/// RC charge: `V —R— node —C— ground` from `v_c(0) = 0` must follow
+/// `V (1 − e^{−t/RC})`.
+///
+/// # Errors
+///
+/// The first out-of-band sample.
+pub fn check_rc_step(r: f64, c: f64, v: f64) -> Result<(), Divergence> {
+    let tau = r * c;
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource(a, Circuit::GROUND, Waveform::dc(v));
+    ckt.resistor(a, b, r);
+    ckt.capacitor(b, Circuit::GROUND, c);
+    ckt.set_ic(b, 0.0);
+    let opts = TranOptions {
+        use_ic_only: true,
+        ..Default::default()
+    };
+    let res = transient(&mut ckt, 8.0 * tau, &opts)
+        .unwrap_or_else(|e| panic!("RC transient failed: {e}"));
+    let tr = res.voltage(b);
+    against_oracle(
+        "b",
+        tr.times(),
+        tr.values(),
+        |t| first_order_step(v, tau, t),
+        tran_tol(v),
+    )
+}
+
+/// RL energization: `V —R— node —L— ground` from `i_L(0) = 0`; the
+/// inductor current must follow `(V/R)(1 − e^{−tR/L})`.
+///
+/// # Errors
+///
+/// The first out-of-band sample.
+pub fn check_rl_step(r: f64, l: f64, v: f64) -> Result<(), Divergence> {
+    let tau = l / r;
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    ckt.vsource(a, Circuit::GROUND, Waveform::dc(v));
+    ckt.resistor(a, b, r);
+    let ind = ckt.inductor(b, Circuit::GROUND, l);
+    let opts = TranOptions {
+        use_ic_only: true,
+        ..Default::default()
+    };
+    let res = transient(&mut ckt, 8.0 * tau, &opts)
+        .unwrap_or_else(|e| panic!("RL transient failed: {e}"));
+    let tr = res
+        .element_current(&ckt, ind)
+        .expect("inductor current trace");
+    against_oracle(
+        "i(L)",
+        tr.times(),
+        tr.values(),
+        |t| first_order_step(v / r, tau, t),
+        tran_tol(v / r),
+    )
+}
+
+/// Series RLC step: `V —R— —L— node —C— ground` from rest; the capacitor
+/// voltage must follow the second-order step response (underdamped ring
+/// or overdamped creep, depending on the element values).
+///
+/// # Errors
+///
+/// The first out-of-band sample.
+pub fn check_rlc_step(r: f64, l: f64, c: f64, v: f64) -> Result<(), Divergence> {
+    let alpha = r / (2.0 * l);
+    let omega0 = 1.0 / (l * c).sqrt();
+    let mut ckt = Circuit::new();
+    let a = ckt.node("a");
+    let b = ckt.node("b");
+    let out = ckt.node("out");
+    ckt.vsource(a, Circuit::GROUND, Waveform::dc(v));
+    ckt.resistor(a, b, r);
+    ckt.inductor(b, out, l);
+    ckt.capacitor(out, Circuit::GROUND, c);
+    ckt.set_ic(out, 0.0);
+    let opts = TranOptions {
+        use_ic_only: true,
+        ..Default::default()
+    };
+    // Long enough to cover the ring-down (underdamped) or the slow pole
+    // (overdamped).
+    let tstop = 10.0 / alpha.min(omega0);
+    let res =
+        transient(&mut ckt, tstop, &opts).unwrap_or_else(|e| panic!("RLC transient failed: {e}"));
+    let tr = res.voltage(out);
+    // The ringing doubles the excursion, so scale the band to the
+    // worst-case overshoot.
+    against_oracle(
+        "out",
+        tr.times(),
+        tr.values(),
+        |t| second_order_step(v, alpha, omega0, t),
+        tran_tol(2.0 * v),
+    )
+}
+
+/// The drain voltage of a resistor-loaded common-source NMOS stage,
+/// solved by scalar bisection on the *model itself*:
+/// `(V_dd − v_d)/R = I_ds(v_g, v_d, 0)`.
+pub fn nmos_loaded_vd(model: &MosModel, vg: f64, vdd: f64, r: f64, w: f64) -> f64 {
+    let f = |vd: f64| (vdd - vd) / r - model.ids(vg, vd, 0.0, w).0;
+    // f(0) = V_dd/R > 0 and f(V_dd) = −I_ds ≤ 0: always bracketed.
+    bisect(f, 0.0, vdd, 1e-13, 200).expect("load line must bracket a root")
+}
+
+/// The drain voltage of a resistor-loaded *diode-connected* NMOS
+/// (`gate = drain`): `(V_dd − v_d)/R = I_ds(v_d, v_d, 0)`.
+pub fn nmos_diode_vd(model: &MosModel, vdd: f64, r: f64, w: f64) -> f64 {
+    let f = |vd: f64| (vdd - vd) / r - model.ids(vd, vd, 0.0, w).0;
+    bisect(f, 0.0, vdd, 1e-13, 200).expect("diode load line must bracket a root")
+}
+
+/// DC band for the MOSFET oracles: Newton converges to machine-level
+/// residuals, so agreement must be far tighter than the transient bands.
+fn dc_tol(scale: f64) -> Tolerance {
+    Tolerance::new(1e-7 * scale.abs().max(1.0), 1e-7)
+}
+
+/// A resistor-loaded common-source stage solved by the full MNA/Newton
+/// engine must land on the bisection solution of the load-line equation.
+///
+/// # Errors
+///
+/// A divergence at `t = 0` naming the drain node.
+pub fn check_nmos_stage_dc(
+    model: &MosModel,
+    vg: f64,
+    vdd: f64,
+    r: f64,
+    w: f64,
+) -> Result<(), Divergence> {
+    let want = nmos_loaded_vd(model, vg, vdd, r, w);
+    let mut ckt = Circuit::new();
+    let vdd_n = ckt.node("vdd");
+    let g = ckt.node("g");
+    let d = ckt.node("d");
+    ckt.vsource(vdd_n, Circuit::GROUND, Waveform::dc(vdd));
+    ckt.vsource(g, Circuit::GROUND, Waveform::dc(vg));
+    ckt.resistor(vdd_n, d, r);
+    ckt.add_device(Mosfet::new("m1", model.clone(), d, g, Circuit::GROUND, w));
+    let res = op(&mut ckt).unwrap_or_else(|e| panic!("NMOS stage op failed: {e}"));
+    let got = res.voltage(d);
+    let tol = dc_tol(vdd);
+    if tol.within(got, want) {
+        Ok(())
+    } else {
+        Err(Divergence {
+            node: "d".into(),
+            time: 0.0,
+            got,
+            reference: want,
+            bound: tol.band(want),
+        })
+    }
+}
+
+/// A diode-connected NMOS with a resistive pull-up, solved by the full
+/// engine, must land on the bisection solution.
+///
+/// # Errors
+///
+/// A divergence at `t = 0` naming the drain node.
+pub fn check_nmos_diode_dc(model: &MosModel, vdd: f64, r: f64, w: f64) -> Result<(), Divergence> {
+    let want = nmos_diode_vd(model, vdd, r, w);
+    let mut ckt = Circuit::new();
+    let vdd_n = ckt.node("vdd");
+    let d = ckt.node("d");
+    ckt.vsource(vdd_n, Circuit::GROUND, Waveform::dc(vdd));
+    ckt.resistor(vdd_n, d, r);
+    // Gate tied to drain.
+    ckt.add_device(Mosfet::new("m1", model.clone(), d, d, Circuit::GROUND, w));
+    let res = op(&mut ckt).unwrap_or_else(|e| panic!("diode op failed: {e}"));
+    let got = res.voltage(d);
+    let tol = dc_tol(vdd);
+    if tol.within(got, want) {
+        Ok(())
+    } else {
+        Err(Divergence {
+            node: "d".into(),
+            time: 0.0,
+            got,
+            reference: want,
+            bound: tol.band(want),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_order_step_hits_limits() {
+        assert_eq!(first_order_step(2.0, 1.0, 0.0), 0.0);
+        assert!((first_order_step(2.0, 1.0, 100.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_order_step_settles_to_v() {
+        // Underdamped and overdamped both settle to the drive level.
+        assert!((second_order_step(1.0, 0.1, 1.0, 500.0) - 1.0).abs() < 1e-9);
+        assert!((second_order_step(1.0, 3.0, 1.0, 500.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_line_bisection_is_consistent() {
+        let m = MosModel::nmos_90nm();
+        let vd = nmos_loaded_vd(&m, 1.2, 1.2, 10e3, 1.0);
+        let i = m.ids(1.2, vd, 0.0, 1.0).0;
+        assert!(((1.2 - vd) / 10e3 - i).abs() < 1e-10);
+        assert!((0.0..=1.2).contains(&vd));
+    }
+}

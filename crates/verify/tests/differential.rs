@@ -1,0 +1,29 @@
+//! Differential solver testing over the full deck fleet: integration
+//! methods agree within order bounds, matrix backends agree to rounding,
+//! and harness parallelism is bitwise-invisible.
+
+use nemscmos_verify::diff;
+
+#[test]
+fn trapezoidal_and_backward_euler_agree_on_every_deck() {
+    for deck in diff::decks() {
+        diff::trap_vs_be(&deck).unwrap_or_else(|d| panic!("deck `{}`: {d}", deck.name));
+    }
+}
+
+#[test]
+fn dense_and_sparse_backends_agree_on_every_deck() {
+    for deck in diff::decks() {
+        diff::dense_vs_sparse(&deck).unwrap_or_else(|d| panic!("deck `{}`: {d}", deck.name));
+    }
+}
+
+#[test]
+fn harness_thread_count_is_bitwise_invisible() {
+    diff::thread_identity(4).unwrap();
+}
+
+#[test]
+fn harness_thread_identity_holds_at_higher_width() {
+    diff::thread_identity(8).unwrap();
+}

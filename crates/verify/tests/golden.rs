@@ -1,0 +1,30 @@
+//! Golden-snapshot gate as a test: every committed snapshot must match
+//! the current engine bit-for-bit. Set `NEMSCMOS_BLESS=1` (or run
+//! `cargo run -p nemscmos-verify --bin golden -- --bless`) to refresh
+//! them after an intentional solver change.
+
+use nemscmos_verify::golden;
+
+#[test]
+fn committed_snapshots_match_current_engine() {
+    if std::env::var("NEMSCMOS_BLESS").is_ok_and(|v| v == "1") {
+        let written = golden::bless().unwrap();
+        assert!(!written.is_empty());
+        return;
+    }
+    let drifted = golden::check();
+    assert!(
+        drifted.is_empty(),
+        "golden snapshots drifted: {drifted:?} — re-bless with \
+         `cargo run -p nemscmos-verify --bin golden -- --bless` if intentional"
+    );
+}
+
+#[test]
+fn every_deck_has_a_snapshot_slot() {
+    // The artifact set must cover the whole differential fleet.
+    let names: Vec<&str> = golden::artifacts().iter().map(|a| a.name).collect();
+    for deck in nemscmos_verify::diff::decks() {
+        assert!(names.contains(&deck.name), "deck `{}` missing", deck.name);
+    }
+}

@@ -1,0 +1,111 @@
+//! Analytic-oracle conformance: the assembled engine against closed
+//! forms, across element values spanning several decades, plus the
+//! manufactured-solution checks. Property cases run on the vendored
+//! `nemscmos_numeric::check` runner so failures shrink to a minimal
+//! parameter set.
+
+use nemscmos_devices::mosfet::MosModel;
+use nemscmos_numeric::check::{check, Config};
+use nemscmos_verify::{mms, oracle};
+
+#[test]
+fn rc_step_matches_closed_form() {
+    check(
+        "RC step matches closed form",
+        &Config::with_cases(12),
+        |d| {
+            (
+                d.f64_in(100.0, 100e3),
+                d.f64_in(1e-12, 1e-9),
+                d.f64_in(0.2, 5.0),
+            )
+        },
+        |&(r, c, v)| oracle::check_rc_step(r, c, v).map_err(|d| d.to_string()),
+    );
+}
+
+#[test]
+fn rl_step_matches_closed_form() {
+    check(
+        "RL step matches closed form",
+        &Config::with_cases(12),
+        |d| {
+            (
+                d.f64_in(10.0, 10e3),
+                d.f64_in(1e-9, 1e-6),
+                d.f64_in(0.2, 5.0),
+            )
+        },
+        |&(r, l, v)| oracle::check_rl_step(r, l, v).map_err(|d| d.to_string()),
+    );
+}
+
+#[test]
+fn rlc_underdamped_matches_closed_form() {
+    // Q well above 1: visible ringing.
+    oracle::check_rlc_step(20.0, 100e-9, 1e-12, 1.0).unwrap();
+}
+
+#[test]
+fn rlc_overdamped_matches_closed_form() {
+    // Q well below 1/2: two real poles.
+    oracle::check_rlc_step(5e3, 100e-9, 1e-12, 1.0).unwrap();
+}
+
+#[test]
+fn nmos_stage_dc_matches_load_line_bisection() {
+    let model = MosModel::nmos_90nm();
+    check(
+        "NMOS stage DC matches load-line bisection",
+        &Config::with_cases(24),
+        |d| (d.f64_in(0.0, 1.2), d.f64_in(1e3, 200e3), d.f64_in(0.2, 8.0)),
+        |&(vg, r, w)| oracle::check_nmos_stage_dc(&model, vg, 1.2, r, w).map_err(|d| d.to_string()),
+    );
+}
+
+#[test]
+fn nmos_diode_dc_matches_load_line_bisection() {
+    let model = MosModel::nmos_90nm();
+    check(
+        "NMOS diode DC matches load-line bisection",
+        &Config::with_cases(24),
+        |d| (d.f64_in(1e3, 500e3), d.f64_in(0.2, 8.0)),
+        |&(r, w)| oracle::check_nmos_diode_dc(&model, 1.2, r, w).map_err(|d| d.to_string()),
+    );
+}
+
+#[test]
+fn pmos_loaded_stage_also_solves() {
+    // The DC oracle machinery is NMOS-specific; for PMOS coverage, check
+    // the model is at least exercised by the differential inverter deck —
+    // here just pin the polarity convention: a PMOS with source at V_dd
+    // and grounded gate conducts.
+    let p = MosModel::pmos_90nm();
+    let (i, ..) = p.ids(0.0, 0.6, 1.2, 1.0);
+    assert!(i.abs() > 1e-6, "PMOS should be on, |i| = {:.3e}", i.abs());
+}
+
+#[test]
+fn manufactured_solutions_hold_across_sizes() {
+    for n in [1, 4, 12, 40, 80] {
+        mms::check_manufactured_ladder(n, 2e3, 1e-3, 8e-4)
+            .unwrap_or_else(|d| panic!("ladder n={n}: {d}"));
+    }
+}
+
+#[test]
+fn manufactured_solution_survives_strong_nonlinearity() {
+    check(
+        "manufactured solution with random coefficients",
+        &Config::with_cases(16),
+        |d| {
+            (
+                d.usize_in(1, 30),
+                d.f64_in(100.0, 50e3),
+                d.f64_in(1e-4, 1e-2),
+                d.f64_in(0.0, 5e-3),
+            )
+        },
+        |&(n, r, g, a)| mms::check_manufactured_ladder(n, r, g, a).map_err(|d| d.to_string()),
+    );
+}
