@@ -17,8 +17,8 @@ cargo test -q --offline --workspace
 echo "== rustfmt =="
 cargo fmt --all --check
 
-echo "== clippy (-D warnings) =="
-cargo clippy --offline --workspace --all-targets -- -D warnings
+echo "== clippy (-D warnings, perf lints) =="
+cargo clippy --offline --workspace --all-targets -- -D warnings -W clippy::perf
 
 # Golden-reference verification (DESIGN.md §11): oracle/differential/
 # snapshot suites, then an explicit snapshot drift check — a solver
@@ -29,6 +29,15 @@ cargo test -q --offline -p nemscmos-verify
 
 echo "== golden snapshot drift check =="
 cargo run --release --offline -q -p nemscmos-verify --bin golden
+
+# Sparse-solver fast-path smoke (DESIGN.md §12): the incremental
+# linear-algebra machinery must demonstrably engage (symbolic LU
+# reuses, slot-cache hits, bypass solves observed; fallback count
+# sane) and legacy runs must stay clean of fast-path counters. The
+# goldens check above already proved the fast path is bitwise
+# identical to the committed waveforms.
+echo "== perfbase fast-path smoke =="
+cargo run --release --offline -q -p nemscmos-bench --bin perfbase -- --smoke
 
 # Paper-claims conformance: re-measure every claim in
 # crates/verify/claims.toml and fail on any regression against the

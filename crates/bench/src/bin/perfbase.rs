@@ -1,0 +1,305 @@
+//! `perfbase` — the first wall-clock benchmark baseline of the solver.
+//!
+//! ```sh
+//! cargo run --release -p nemscmos-bench --bin perfbase -- [--iters N] [--out PATH] [--smoke]
+//! ```
+//!
+//! Times every deck of the verify differential fleet plus a domino
+//! (dynamic OR) fan-in sweep twice: once with the incremental
+//! linear-algebra fast path (pattern-frozen assembly, symbolic LU
+//! reuse, linear-circuit bypass) and once with it disabled through
+//! [`SolveProfile::legacy_linear_algebra`] — the exact pre-fast-path
+//! code path. Both runs use this same driver, so the before/after
+//! numbers are directly comparable, and the differential suite
+//! guarantees the two paths produce bitwise-identical results.
+//!
+//! Writes the measurements (wall-clock min/median per deck, speedup,
+//! and the fast-path counter deltas) as canonical JSON to `--out`
+//! (default `BENCH_5.json`, committed at the repo root as the
+//! baseline).
+//!
+//! `--smoke` runs a reduced-iteration pass without writing the baseline
+//! file and asserts the fast path actually engaged: symbolic reuses and
+//! slot-cache hits observed, fallback count sane, legacy runs clean of
+//! fast-path counters. Prints `perfbase smoke OK` on success; exits
+//! non-zero on violation. `ci.sh` runs this mode.
+//!
+//! [`SolveProfile::legacy_linear_algebra`]: nemscmos_spice::profile::SolveProfile::legacy_linear_algebra
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use nemscmos::gates::{DynamicOrGate, DynamicOrParams, PdnStyle};
+use nemscmos::tech::Technology;
+use nemscmos_harness::Json;
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::profile::{self, SolveProfile};
+use nemscmos_spice::stats::{self, SolverStats};
+use nemscmos_verify::diff;
+
+/// One benchmark workload: a named closure that builds its circuit
+/// fresh and runs one full transient.
+struct Workload {
+    name: String,
+    unknowns: usize,
+    run: Box<dyn Fn()>,
+}
+
+fn verify_deck_workloads() -> Vec<Workload> {
+    diff::decks()
+        .into_iter()
+        .map(|deck| {
+            let (ckt, _) = deck.build();
+            let unknowns = {
+                let mut c = ckt;
+                c.validate().expect("verify deck validates");
+                c.num_unknowns()
+            };
+            Workload {
+                name: format!("verify:{}", deck.name),
+                unknowns,
+                run: Box::new(move || {
+                    let (mut ckt, _) = deck.build();
+                    transient(&mut ckt, deck.tstop, &TranOptions::default())
+                        .unwrap_or_else(|e| panic!("deck `{}` failed: {e}", deck.name));
+                }),
+            }
+        })
+        .collect()
+}
+
+fn domino_workload(fan_in: usize, fan_out: usize) -> Workload {
+    let tech = Technology::n90();
+    let params = DynamicOrParams::new(fan_in, fan_out, PdnStyle::HybridNems);
+    let unknowns = {
+        let mut built = DynamicOrGate::build(&tech, &params);
+        built.circuit.validate().expect("domino deck validates");
+        built.circuit.num_unknowns()
+    };
+    Workload {
+        name: format!("domino:or{fan_in}-fo{fan_out}"),
+        unknowns,
+        run: Box::new(move || {
+            let mut built = DynamicOrGate::build(&tech, &params);
+            let opts = TranOptions {
+                dt_max: Some(built.period / 400.0),
+                ..Default::default()
+            };
+            transient(&mut built.circuit, built.period, &opts)
+                .unwrap_or_else(|e| panic!("domino or{fan_in} failed: {e}"));
+        }),
+    }
+}
+
+/// Wall-clock samples of `iters` runs (after one warm-up), in seconds.
+fn time_runs(iters: usize, f: &dyn Fn()) -> Vec<f64> {
+    f(); // warm-up
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed().as_secs_f64());
+    }
+    samples.sort_unstable_by(f64::total_cmp);
+    samples
+}
+
+fn legacy_profile() -> SolveProfile {
+    SolveProfile {
+        legacy_linear_algebra: true,
+        ..Default::default()
+    }
+}
+
+struct Measurement {
+    name: String,
+    unknowns: usize,
+    legacy_s: Vec<f64>,
+    fast_s: Vec<f64>,
+    legacy_stats: SolverStats,
+    fast_stats: SolverStats,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        self.legacy_s[0] / self.fast_s[0].max(1e-12)
+    }
+
+    fn to_json(&self) -> Json {
+        let ms = |s: &[f64], k: usize| Json::Num(s[k.min(s.len() - 1)] * 1e3);
+        let counters = |st: &SolverStats| {
+            Json::Obj(vec![
+                ("newton".into(), Json::Num(st.newton_iterations as f64)),
+                ("lu".into(), Json::Num(st.lu_factorizations as f64)),
+                ("slot_hits".into(), Json::Num(st.slot_cache_hits as f64)),
+                ("sym_reuse".into(), Json::Num(st.symbolic_reuses as f64)),
+                ("refac_fb".into(), Json::Num(st.refactor_fallbacks as f64)),
+                ("bypass".into(), Json::Num(st.bypass_solves as f64)),
+            ])
+        };
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("unknowns".into(), Json::Num(self.unknowns as f64)),
+            ("legacy_ms_min".into(), ms(&self.legacy_s, 0)),
+            (
+                "legacy_ms_median".into(),
+                ms(&self.legacy_s, self.legacy_s.len() / 2),
+            ),
+            ("fast_ms_min".into(), ms(&self.fast_s, 0)),
+            (
+                "fast_ms_median".into(),
+                ms(&self.fast_s, self.fast_s.len() / 2),
+            ),
+            ("speedup".into(), Json::Num(self.speedup())),
+            ("legacy_counters".into(), counters(&self.legacy_stats)),
+            ("fast_counters".into(), counters(&self.fast_stats)),
+        ])
+    }
+}
+
+fn measure(w: &Workload, iters: usize) -> Measurement {
+    // Counter deltas from one dedicated run per path, outside the timed
+    // samples so instrumentation reads never skew the wall clock.
+    let ((), legacy_stats) = profile::with(legacy_profile(), || stats::measure(|| (w.run)()));
+    let ((), fast_stats) = stats::measure(|| (w.run)());
+    let legacy_s = profile::with(legacy_profile(), || time_runs(iters, &w.run));
+    let fast_s = time_runs(iters, &w.run);
+    println!(
+        "{:<28} n={:<3} legacy {:>8.2} ms  fast {:>8.2} ms  speedup {:>5.2}x  \
+         (lu {} -> {}, sym-reuse {}, slot-hits {}, bypass {}, fallbacks {})",
+        w.name,
+        w.unknowns,
+        legacy_s[0] * 1e3,
+        fast_s[0] * 1e3,
+        legacy_s[0] / fast_s[0].max(1e-12),
+        legacy_stats.lu_factorizations,
+        fast_stats.lu_factorizations,
+        fast_stats.symbolic_reuses,
+        fast_stats.slot_cache_hits,
+        fast_stats.bypass_solves,
+        fast_stats.refactor_fallbacks,
+    );
+    Measurement {
+        name: w.name.clone(),
+        unknowns: w.unknowns,
+        legacy_s,
+        fast_s,
+        legacy_stats,
+        fast_stats,
+    }
+}
+
+/// The smoke contract: the fast path must demonstrably engage, stay
+/// sane, and leave legacy runs untouched. Returns violation messages.
+fn smoke_violations(results: &[Measurement]) -> Vec<String> {
+    let mut violations = Vec::new();
+    for m in results {
+        let f = &m.fast_stats;
+        let l = &m.legacy_stats;
+        if l.slot_cache_hits + l.symbolic_reuses + l.refactor_fallbacks + l.bypass_solves > 0 {
+            violations.push(format!(
+                "{}: legacy run recorded fast-path counters ({l:?})",
+                m.name
+            ));
+        }
+        if f.refactor_fallbacks > f.lu_factorizations {
+            violations.push(format!(
+                "{}: more refactor fallbacks ({}) than factorizations ({})",
+                m.name, f.refactor_fallbacks, f.lu_factorizations
+            ));
+        }
+    }
+    // The sparse decks must exercise the symbolic-reuse machinery.
+    let sparse: Vec<_> = results.iter().filter(|m| m.unknowns > 64).collect();
+    if sparse.is_empty() {
+        violations.push("no deck crossed the sparse threshold".into());
+    }
+    if !sparse.iter().any(|m| m.fast_stats.symbolic_reuses > 0) {
+        violations.push("no sparse deck recorded a symbolic LU reuse".into());
+    }
+    if !sparse.iter().any(|m| m.fast_stats.slot_cache_hits > 0) {
+        violations.push("no sparse deck recorded a slot-cache hit".into());
+    }
+    // The linear decks must exercise the factorization bypass.
+    if !results.iter().any(|m| m.fast_stats.bypass_solves > 0) {
+        violations.push("no deck recorded a bypass solve".into());
+    }
+    violations
+}
+
+fn main() -> ExitCode {
+    let mut iters = 5usize;
+    let mut out = String::from("BENCH_5.json");
+    let mut smoke = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--iters needs a positive integer");
+            }
+            "--out" => out = args.next().expect("--out needs a path"),
+            "--smoke" => smoke = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if smoke {
+        iters = iters.min(2);
+    }
+
+    let mut workloads = verify_deck_workloads();
+    // The domino fan-in sweep: the paper's workhorse circuit at growing
+    // PDN width. The fan-in-16 / fan-out-8 point crosses the sparse
+    // threshold and is the headline before/after number.
+    for fan_in in [4usize, 8, 12, 16] {
+        workloads.push(domino_workload(fan_in, 8));
+    }
+    if smoke {
+        // Keep only a representative subset: one linear deck (bypass),
+        // one wide deck (sparse), and the headline domino point.
+        workloads.retain(|w| {
+            w.name == "verify:rc-ladder-pulse"
+                || w.name == "verify:wide-rc-ladder"
+                || w.name == "domino:or16-fo8"
+        });
+    }
+
+    println!(
+        "perfbase: {} workloads, {iters} timed iterations each (plus warm-up)",
+        workloads.len()
+    );
+    let results: Vec<Measurement> = workloads.iter().map(|w| measure(w, iters)).collect();
+
+    if smoke {
+        let violations = smoke_violations(&results);
+        if !violations.is_empty() {
+            for v in &violations {
+                eprintln!("perfbase smoke violation: {v}");
+            }
+            return ExitCode::FAILURE;
+        }
+        println!("perfbase smoke OK");
+        return ExitCode::SUCCESS;
+    }
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("perfbase".into())),
+        ("version".into(), Json::Num(1.0)),
+        ("iters".into(), Json::Num(iters as f64)),
+        (
+            "decks".into(),
+            Json::Arr(results.iter().map(Measurement::to_json).collect()),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out, doc.render() + "\n") {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("baseline written to {out}");
+    ExitCode::SUCCESS
+}

@@ -409,15 +409,29 @@ impl JsonCodec for SolverStats {
             ("rejected".into(), self.step_rejections.to_json()),
             ("accepted".into(), self.steps_accepted.to_json()),
             ("nonconv".into(), self.nonconvergence_events.to_json()),
+            ("slot_hits".into(), self.slot_cache_hits.to_json()),
+            ("sym_reuse".into(), self.symbolic_reuses.to_json()),
+            ("refac_fb".into(), self.refactor_fallbacks.to_json()),
+            ("bypass".into(), self.bypass_solves.to_json()),
         ])
     }
     fn from_json(v: &Json) -> Option<SolverStats> {
+        // The fast-path counters default to zero so cache entries written
+        // before they existed still decode.
+        let opt = |key: &str| match v.get(key) {
+            Some(x) => u64::from_json(x),
+            None => Some(0),
+        };
         Some(SolverStats {
             newton_iterations: u64::from_json(v.get("newton")?)?,
             lu_factorizations: u64::from_json(v.get("lu")?)?,
             step_rejections: u64::from_json(v.get("rejected")?)?,
             steps_accepted: u64::from_json(v.get("accepted")?)?,
             nonconvergence_events: u64::from_json(v.get("nonconv")?)?,
+            slot_cache_hits: opt("slot_hits")?,
+            symbolic_reuses: opt("sym_reuse")?,
+            refactor_fallbacks: opt("refac_fb")?,
+            bypass_solves: opt("bypass")?,
         })
     }
 }
@@ -505,8 +519,21 @@ mod tests {
             step_rejections: 1,
             steps_accepted: 40,
             nonconvergence_events: 0,
+            slot_cache_hits: 7,
+            symbolic_reuses: 6,
+            refactor_fallbacks: 1,
+            bypass_solves: 3,
         };
         assert_eq!(SolverStats::from_json(&st.to_json()), Some(st));
+
+        // Entries cached before the fast-path counters existed decode
+        // with those counters at zero.
+        let legacy =
+            Json::parse(r#"{"newton":12,"lu":12,"rejected":1,"accepted":40,"nonconv":0}"#).unwrap();
+        let decoded = SolverStats::from_json(&legacy).unwrap();
+        assert_eq!(decoded.newton_iterations, 12);
+        assert_eq!(decoded.slot_cache_hits, 0);
+        assert_eq!(decoded.bypass_solves, 0);
     }
 
     #[test]

@@ -270,6 +270,15 @@ impl RunReport {
             t.nonconvergence_events,
             self.total_wall().as_secs_f64() * 1e3,
         ));
+        // Incremental linear-algebra telemetry, shown only when the fast
+        // path actually engaged (legacy runs keep the old report shape).
+        if t.slot_cache_hits + t.symbolic_reuses + t.refactor_fallbacks + t.bypass_solves > 0 {
+            out.push_str(&format!(
+                "fast path: slot-cache hits {} | symbolic reuses {} | refactor fallbacks {} | \
+                 bypass solves {}\n",
+                t.slot_cache_hits, t.symbolic_reuses, t.refactor_fallbacks, t.bypass_solves,
+            ));
+        }
         let (resumed, cancelled, deadlined) = (
             self.resumed_jobs(),
             self.cancelled_jobs(),
@@ -395,6 +404,24 @@ mod tests {
         assert!(text.contains("solve"));
         assert!(text.contains("total: 2 jobs (1 cached, 0 retried, 0 failed)"));
         assert!(!text.contains("failure taxonomy"));
+        // No fast-path counters in these records → no fast-path line.
+        assert!(!text.contains("fast path:"));
+    }
+
+    #[test]
+    fn render_shows_fast_path_line_when_engaged() {
+        let mut r = RunReport::new("sweep");
+        let mut j = record("job-a", false, 12);
+        j.stats.slot_cache_hits = 10;
+        j.stats.symbolic_reuses = 9;
+        j.stats.refactor_fallbacks = 1;
+        j.stats.bypass_solves = 4;
+        r.jobs.push(j);
+        let text = r.render();
+        assert!(text.contains(
+            "fast path: slot-cache hits 10 | symbolic reuses 9 | refactor fallbacks 1 | \
+             bypass solves 4"
+        ));
     }
 
     #[test]

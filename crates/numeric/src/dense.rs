@@ -181,7 +181,7 @@ impl DenseLu {
     /// Returns [`NumericError::DimensionMismatch`] for non-square input and
     /// [`NumericError::SingularMatrix`] if no usable pivot exists in some
     /// column.
-    pub fn factor(mut a: DenseMatrix) -> Result<Self> {
+    pub fn factor(a: DenseMatrix) -> Result<Self> {
         let n = a.rows;
         if a.cols != n {
             return Err(NumericError::DimensionMismatch {
@@ -189,7 +189,43 @@ impl DenseLu {
                 expected: n,
             });
         }
-        let mut perm: Vec<usize> = (0..n).collect();
+        let mut lu = DenseLu {
+            lu: a,
+            perm: (0..n).collect(),
+        };
+        Self::eliminate(&mut lu.lu, &mut lu.perm)?;
+        Ok(lu)
+    }
+
+    /// Refactors `a` in place, reusing this factorization's storage — no
+    /// allocation, same pivoting and arithmetic as a fresh
+    /// [`factor`](DenseLu::factor) (the results are bitwise identical).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericError::DimensionMismatch`] if `a`'s shape differs
+    /// from the stored one and [`NumericError::SingularMatrix`] if no
+    /// usable pivot exists in some column. After an error the stored
+    /// factors are partially overwritten and must not be used for solves.
+    pub fn refactor(&mut self, a: &DenseMatrix) -> Result<()> {
+        let n = self.lu.rows;
+        if a.rows != n || a.cols != n {
+            return Err(NumericError::DimensionMismatch {
+                got: a.rows,
+                expected: n,
+            });
+        }
+        self.lu.data.copy_from_slice(&a.data);
+        for (k, p) in self.perm.iter_mut().enumerate() {
+            *p = k;
+        }
+        Self::eliminate(&mut self.lu, &mut self.perm)
+    }
+
+    /// The shared elimination kernel: partial-pivot LU of `a` in place,
+    /// recording the row permutation in `perm`.
+    fn eliminate(a: &mut DenseMatrix, perm: &mut [usize]) -> Result<()> {
+        let n = a.rows;
         for k in 0..n {
             // Find pivot: largest magnitude in column k at or below the diagonal.
             let mut p = k;
@@ -226,7 +262,7 @@ impl DenseLu {
                 }
             }
         }
-        Ok(DenseLu { lu: a, perm })
+        Ok(())
     }
 
     /// Dimension of the factored system.
@@ -370,6 +406,27 @@ mod tests {
         for (xi, ti) in x.iter().zip(x_true.iter()) {
             assert!((xi - ti).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factor_bitwise() {
+        let a0 =
+            DenseMatrix::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
+        let a1 = DenseMatrix::from_rows(&[&[0.5, 3.0, -1.0], &[7.0, 0.1, 2.0], &[-1.0, 2.5, 0.3]]);
+        let mut lu = DenseLu::factor(a0).unwrap();
+        lu.refactor(&a1).unwrap();
+        let fresh = DenseLu::factor(a1).unwrap();
+        let b = [1.0, -2.0, 0.5];
+        let x_re = lu.solve(&b).unwrap();
+        let x_fresh = fresh.solve(&b).unwrap();
+        for (p, q) in x_re.iter().zip(x_fresh.iter()) {
+            assert_eq!(p.to_bits(), q.to_bits());
+        }
+        // Shape mismatch is rejected.
+        assert!(matches!(
+            lu.refactor(&DenseMatrix::zeros(2, 2)),
+            Err(NumericError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

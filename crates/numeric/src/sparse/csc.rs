@@ -31,6 +31,40 @@ impl CscMatrix {
     ///
     /// Panics if any triplet is out of bounds.
     pub fn from_triplets(rows: usize, cols: usize, entries: &[(usize, usize, f64)]) -> Self {
+        Self::compress(rows, cols, entries, None)
+    }
+
+    /// Builds a CSC matrix from coordinate triplets and, alongside it, the
+    /// slot map: `map[k]` is the index into [`values_mut`] where triplet
+    /// `entries[k]` was accumulated. Repeated assembly over a frozen
+    /// pattern can then skip compression entirely and write straight into
+    /// the value slots.
+    ///
+    /// Duplicates are summed in push order (the sort is stable with
+    /// respect to the original entry order), so slot-wise accumulation in
+    /// entry order reproduces this compression bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any triplet is out of bounds.
+    ///
+    /// [`values_mut`]: CscMatrix::values_mut
+    pub fn from_triplets_mapped(
+        rows: usize,
+        cols: usize,
+        entries: &[(usize, usize, f64)],
+    ) -> (Self, Vec<usize>) {
+        let mut map = vec![0usize; entries.len()];
+        let m = Self::compress(rows, cols, entries, Some(&mut map));
+        (m, map)
+    }
+
+    fn compress(
+        rows: usize,
+        cols: usize,
+        entries: &[(usize, usize, f64)],
+        mut slot_map: Option<&mut [usize]>,
+    ) -> Self {
         for &(r, c, _) in entries {
             assert!(r < rows && c < cols, "triplet index out of bounds");
         }
@@ -42,14 +76,13 @@ impl CscMatrix {
         for c in 0..cols {
             count[c + 1] += count[c];
         }
-        // Scatter into per-column buckets.
-        let mut tmp_rows = vec![0usize; entries.len()];
-        let mut tmp_vals = vec![0.0f64; entries.len()];
+        // Scatter into per-column buckets, remembering each entry's
+        // original index so the per-column sort can stay stable (duplicate
+        // summation order == push order) and the slot map can be filled.
+        let mut tmp: Vec<(usize, usize, f64)> = vec![(0, 0, 0.0); entries.len()];
         let mut next = count.clone();
-        for &(r, c, v) in entries {
-            let p = next[c];
-            tmp_rows[p] = r;
-            tmp_vals[p] = v;
+        for (k, &(r, c, v)) in entries.iter().enumerate() {
+            tmp[next[c]] = (r, k, v);
             next[c] += 1;
         }
         // Sort each column by row and merge duplicates.
@@ -57,23 +90,23 @@ impl CscMatrix {
         let mut row_idx = Vec::with_capacity(entries.len());
         let mut values = Vec::with_capacity(entries.len());
         col_ptr.push(0);
-        let mut scratch: Vec<(usize, f64)> = Vec::new();
         for c in 0..cols {
-            scratch.clear();
-            scratch.extend(
-                tmp_rows[count[c]..count[c + 1]]
-                    .iter()
-                    .copied()
-                    .zip(tmp_vals[count[c]..count[c + 1]].iter().copied()),
-            );
-            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let bucket = &mut tmp[count[c]..count[c + 1]];
+            bucket.sort_unstable_by_key(|&(r, k, _)| (r, k));
             let mut i = 0;
-            while i < scratch.len() {
-                let r = scratch[i].0;
-                let mut v = scratch[i].1;
+            while i < bucket.len() {
+                let r = bucket[i].0;
+                let slot = row_idx.len();
+                let mut v = bucket[i].2;
+                if let Some(map) = slot_map.as_deref_mut() {
+                    map[bucket[i].1] = slot;
+                }
                 i += 1;
-                while i < scratch.len() && scratch[i].0 == r {
-                    v += scratch[i].1;
+                while i < bucket.len() && bucket[i].0 == r {
+                    v += bucket[i].2;
+                    if let Some(map) = slot_map.as_deref_mut() {
+                        map[bucket[i].1] = slot;
+                    }
                     i += 1;
                 }
                 row_idx.push(r);
@@ -133,6 +166,39 @@ impl CscMatrix {
             .zip(self.values[range].iter().copied())
     }
 
+    /// The column-pointer array (`cols() + 1` entries).
+    pub fn col_ptr(&self) -> &[usize] {
+        &self.col_ptr
+    }
+
+    /// The row index of every stored entry, column by column.
+    pub fn row_indices(&self) -> &[usize] {
+        &self.row_idx
+    }
+
+    /// The stored values, column by column (parallel to
+    /// [`row_indices`](CscMatrix::row_indices)).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable access to the stored values for in-place re-assembly over a
+    /// frozen pattern (see
+    /// [`from_triplets_mapped`](CscMatrix::from_triplets_mapped)).
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Zeroes every stored value in row `r`, leaving the structural
+    /// pattern intact (the row becomes numerically empty).
+    pub fn zero_row_values(&mut self, r: usize) {
+        for (ri, v) in self.row_idx.iter().zip(self.values.iter_mut()) {
+            if *ri == r {
+                *v = 0.0;
+            }
+        }
+    }
+
     /// Matrix-vector product `A x`.
     ///
     /// # Panics
@@ -180,5 +246,48 @@ mod tests {
         let m = CscMatrix::from_triplets(1, 1, &[(0, 0, 1.0), (0, 0, -1.0)]);
         assert_eq!(m.nnz(), 1);
         assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn slot_map_replays_compression_exactly() {
+        let entries = [
+            (2, 0, 1.0),
+            (0, 0, 4.0),
+            (2, 0, 1.5),
+            (1, 1, 2.0),
+            (0, 0, -0.5),
+        ];
+        let (m, map) = CscMatrix::from_triplets_mapped(3, 2, &entries);
+        assert_eq!(map.len(), entries.len());
+        // Replay through the slot map: assign on the first touch of a
+        // slot, accumulate afterwards. Must land on the same values.
+        let mut replay = m.clone();
+        replay.values_mut().iter_mut().for_each(|v| *v = f64::NAN);
+        let mut touched = vec![false; replay.nnz()];
+        for (k, &(_, _, v)) in entries.iter().enumerate() {
+            let s = map[k];
+            if touched[s] {
+                replay.values_mut()[s] += v;
+            } else {
+                replay.values_mut()[s] = v;
+                touched[s] = true;
+            }
+        }
+        assert_eq!(replay.values(), m.values());
+        // Slots agree with the coordinates they claim to represent.
+        for (k, &(r, c, _)) in entries.iter().enumerate() {
+            let s = map[k];
+            assert_eq!(replay.row_indices()[s], r);
+            assert!(s >= m.col_ptr()[c] && s < m.col_ptr()[c + 1]);
+        }
+    }
+
+    #[test]
+    fn duplicate_summation_is_stable_in_push_order() {
+        // Three values whose sum depends on association order: with push
+        // order a, b, c the result is (a + b) + c.
+        let (a, b, c) = (1.0e16, -1.0e16, 1.0);
+        let m = CscMatrix::from_triplets(2, 1, &[(1, 0, a), (0, 0, 7.0), (1, 0, b), (1, 0, c)]);
+        assert_eq!(m.get(1, 0), (a + b) + c);
     }
 }

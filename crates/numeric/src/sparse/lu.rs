@@ -16,6 +16,58 @@ const UNPIVOTED: isize = -1;
 /// Pivot magnitudes below this threshold are treated as singular.
 const PIVOT_EPS: f64 = 1e-300;
 
+/// Why a numeric-only refactorization was rejected (see
+/// [`SparseLu::refactor`]). A rejection is not an error: the caller falls
+/// back to a fresh [`SparseLu::factor_symbolic`] and records the fallback.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RefactorReject {
+    /// The factorization carries no symbolic record (built with
+    /// [`SparseLu::factor`], not [`SparseLu::factor_symbolic`]).
+    NoSymbolic,
+    /// The input matrix pattern differs from the recorded one.
+    PatternMismatch,
+    /// A pivot became non-finite or too small to divide by; a fresh
+    /// factorization will surface the singularity with full pivoting.
+    SmallPivot {
+        /// The column whose pivot collapsed.
+        column: usize,
+        /// Magnitude of the best available pivot.
+        pivot: f64,
+    },
+    /// The values drifted enough that partial pivoting would now choose a
+    /// different pivot row — replaying the recorded order would lose the
+    /// growth bound (and bitwise agreement with a fresh factorization).
+    PivotGrowth {
+        /// The column where the recorded pivot lost.
+        column: usize,
+        /// `|best candidate| / |recorded pivot|` at that column.
+        ratio: f64,
+    },
+    /// The set of numerically nonzero fill positions changed, so the
+    /// recorded L/U pattern no longer matches a fresh factorization.
+    FillDrift {
+        /// The column where the drift was detected.
+        column: usize,
+    },
+}
+
+/// Symbolic replay record for numeric-only refactorization: the final
+/// pivot assignment and each column's DFS reach, captured by
+/// [`SparseLu::factor_symbolic`].
+#[derive(Debug, Clone)]
+struct Symbolic {
+    /// Final `pinv`: pivot column of each original row.
+    pinv: Vec<isize>,
+    /// Per-column slice bounds into `reach_rows`.
+    reach_ptr: Vec<usize>,
+    /// Concatenated per-column reach sets in recorded post-order.
+    reach_rows: Vec<usize>,
+    /// Input pattern guard: the column pointers of the factored matrix.
+    a_col_ptr: Vec<usize>,
+    /// Input pattern guard: the row indices of the factored matrix.
+    a_row_idx: Vec<usize>,
+}
+
 /// A sparse LU factorization `P A = L U` with partial (row) pivoting.
 ///
 /// # Example
@@ -52,6 +104,10 @@ pub struct SparseLu {
     u_diag: Vec<f64>,
     /// `p[j]` = original row chosen as the pivot of column `j`.
     p: Vec<usize>,
+    /// Symbolic replay record, present after `factor_symbolic`.
+    sym: Option<Symbolic>,
+    /// Scratch column for refactorization (kept across calls).
+    scratch: Vec<f64>,
 }
 
 impl SparseLu {
@@ -62,6 +118,22 @@ impl SparseLu {
     /// Returns [`NumericError::DimensionMismatch`] for non-square input and
     /// [`NumericError::SingularMatrix`] if some column has no usable pivot.
     pub fn factor(a: &CscMatrix) -> Result<Self> {
+        Self::factor_impl(a, false)
+    }
+
+    /// Factors `a` exactly like [`factor`](SparseLu::factor) — same pivots,
+    /// same arithmetic, bitwise-identical factors — while also recording
+    /// the symbolic structure (pivot order and per-column reach) needed by
+    /// [`refactor`](SparseLu::refactor).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`factor`](SparseLu::factor).
+    pub fn factor_symbolic(a: &CscMatrix) -> Result<Self> {
+        Self::factor_impl(a, true)
+    }
+
+    fn factor_impl(a: &CscMatrix, record: bool) -> Result<Self> {
         let n = a.rows();
         if a.cols() != n {
             return Err(NumericError::DimensionMismatch {
@@ -79,9 +151,18 @@ impl SparseLu {
             u_vals: Vec::new(),
             u_diag: vec![0.0; n],
             p: vec![usize::MAX; n],
+            sym: None,
+            scratch: Vec::new(),
         };
         lu.l_col_ptr.push(0);
         lu.u_col_ptr.push(0);
+        let mut rec = record.then(|| Symbolic {
+            pinv: Vec::new(),
+            reach_ptr: vec![0],
+            reach_rows: Vec::new(),
+            a_col_ptr: a.col_ptr().to_vec(),
+            a_row_idx: a.row_indices().to_vec(),
+        });
 
         // pinv[i] = pivot column of original row i, or UNPIVOTED.
         let mut pinv = vec![UNPIVOTED; n];
@@ -112,6 +193,10 @@ impl SparseLu {
             // topo now holds reach in reverse-topological order (children first
             // within each DFS tree, trees in push order). We need topological
             // order for the solve: process in reverse.
+            if let Some(rec) = rec.as_mut() {
+                rec.reach_rows.extend_from_slice(&topo);
+                rec.reach_ptr.push(rec.reach_rows.len());
+            }
 
             // --- Numeric: scatter A(:, j), then sparse triangular solve. ---
             for &i in topo.iter() {
@@ -182,6 +267,10 @@ impl SparseLu {
             lu.u_col_ptr.push(lu.u_rows.len());
             lu.l_col_ptr.push(lu.l_rows.len());
         }
+        if let Some(mut rec) = rec {
+            rec.pinv = pinv;
+            lu.sym = Some(rec);
+        }
         Ok(lu)
     }
 
@@ -239,6 +328,159 @@ impl SparseLu {
     /// Number of stored nonzeros in `L` plus `U` (including the diagonal).
     pub fn factor_nnz(&self) -> usize {
         self.l_vals.len() + self.u_vals.len() + self.n
+    }
+
+    /// True when this factorization carries the symbolic record needed by
+    /// [`refactor`](SparseLu::refactor).
+    pub fn has_symbolic(&self) -> bool {
+        self.sym.is_some()
+    }
+
+    /// Numeric-only refactorization of `a` over the recorded symbolic
+    /// structure: no DFS, no pivot search, no storage growth — the L/U
+    /// values are overwritten in place.
+    ///
+    /// The replay is guarded so that success implies the result is
+    /// *bitwise identical* to a fresh [`factor`](SparseLu::factor) of the
+    /// same matrix: the input pattern must match the recorded one, every
+    /// recorded fill position must stay numerically nonzero (and no new
+    /// fill may appear), and the recorded pivot of each column must still
+    /// win the partial-pivoting scan. Any drift yields a
+    /// [`RefactorReject`]; the caller then falls back to
+    /// [`factor_symbolic`](SparseLu::factor_symbolic).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RefactorReject`] describing the first guard that fired.
+    /// On rejection the stored factors are partially overwritten and must
+    /// not be used for solves — discard this object and factor afresh.
+    pub fn refactor(&mut self, a: &CscMatrix) -> std::result::Result<(), RefactorReject> {
+        let sym = match self.sym.take() {
+            Some(s) => s,
+            None => return Err(RefactorReject::NoSymbolic),
+        };
+        let out = self.refactor_replay(&sym, a);
+        self.sym = Some(sym);
+        out
+    }
+
+    fn refactor_replay(
+        &mut self,
+        sym: &Symbolic,
+        a: &CscMatrix,
+    ) -> std::result::Result<(), RefactorReject> {
+        let n = self.n;
+        if a.rows() != n
+            || a.cols() != n
+            || a.col_ptr() != &sym.a_col_ptr[..]
+            || a.row_indices() != &sym.a_row_idx[..]
+        {
+            return Err(RefactorReject::PatternMismatch);
+        }
+        self.scratch.resize(n, 0.0);
+        for j in 0..n {
+            let reach = &sym.reach_rows[sym.reach_ptr[j]..sym.reach_ptr[j + 1]];
+            // Scatter A(:, j) over the recorded reach, then replay the
+            // sparse triangular solve in the recorded order. The guards
+            // (`pinv[i] < j`, `xi == 0.0`) mirror `factor` exactly so the
+            // arithmetic sequence is identical.
+            for &i in reach {
+                self.scratch[i] = 0.0;
+            }
+            for (i, v) in a.col(j) {
+                self.scratch[i] = v;
+            }
+            for &i in reach.iter().rev() {
+                let k = sym.pinv[i];
+                if k < 0 || k as usize >= j {
+                    continue; // row not pivoted yet at (fresh) time j
+                }
+                let k = k as usize;
+                let xi = self.scratch[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                for p in self.l_col_ptr[k]..self.l_col_ptr[k + 1] {
+                    self.scratch[self.l_rows[p]] -= self.l_vals[p] * xi;
+                }
+            }
+
+            // Replay the pivot scan over the same candidates in the same
+            // order; the recorded pivot must still win or the replay would
+            // diverge from a fresh factorization.
+            let mut pivot_row = usize::MAX;
+            let mut best = 0.0f64;
+            for &i in reach {
+                if sym.pinv[i] >= j as isize {
+                    let v = self.scratch[i].abs();
+                    if v > best || pivot_row == usize::MAX {
+                        best = v;
+                        pivot_row = i;
+                    }
+                }
+            }
+            if pivot_row == usize::MAX || best.is_nan() || best <= PIVOT_EPS {
+                return Err(RefactorReject::SmallPivot {
+                    column: j,
+                    pivot: if pivot_row == usize::MAX { 0.0 } else { best },
+                });
+            }
+            if pivot_row != self.p[j] {
+                let recorded = self.scratch[self.p[j]].abs();
+                return Err(RefactorReject::PivotGrowth {
+                    column: j,
+                    ratio: if recorded > 0.0 {
+                        best / recorded
+                    } else {
+                        f64::INFINITY
+                    },
+                });
+            }
+            let pivot_val = self.scratch[pivot_row];
+            self.u_diag[j] = pivot_val;
+
+            // Overwrite the stored L/U slots in place. `factor` prunes
+            // exact zeros from storage, so the recorded pattern is valid
+            // only while every stored slot stays nonzero and every pruned
+            // reach position stays zero.
+            let mut up = self.u_col_ptr[j];
+            let u_end = self.u_col_ptr[j + 1];
+            let mut lp = self.l_col_ptr[j];
+            let l_end = self.l_col_ptr[j + 1];
+            for &i in reach {
+                let k = sym.pinv[i];
+                if k == j as isize {
+                    continue; // the pivot/diagonal itself
+                }
+                if k >= 0 && (k as usize) < j {
+                    let v = self.scratch[i];
+                    if up < u_end && self.u_rows[up] == k as usize {
+                        if v == 0.0 {
+                            return Err(RefactorReject::FillDrift { column: j });
+                        }
+                        self.u_vals[up] = v;
+                        up += 1;
+                    } else if v != 0.0 {
+                        return Err(RefactorReject::FillDrift { column: j });
+                    }
+                } else {
+                    let m = self.scratch[i] / pivot_val;
+                    if lp < l_end && self.l_rows[lp] == i {
+                        if m == 0.0 {
+                            return Err(RefactorReject::FillDrift { column: j });
+                        }
+                        self.l_vals[lp] = m;
+                        lp += 1;
+                    } else if m != 0.0 {
+                        return Err(RefactorReject::FillDrift { column: j });
+                    }
+                }
+            }
+            if up != u_end || lp != l_end {
+                return Err(RefactorReject::FillDrift { column: j });
+            }
+        }
+        Ok(())
     }
 
     /// Solves `A x = b` using the stored factors.
@@ -356,6 +598,91 @@ mod tests {
         assert!(matches!(
             lu.solve(&[1.0]),
             Err(NumericError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn refactor_matches_fresh_factor_bitwise() {
+        // Same pattern, new values: the replay must reproduce a fresh
+        // factorization exactly, including the solve.
+        let n = 30;
+        let pattern: Vec<(usize, usize)> = (0..n)
+            .flat_map(|i| {
+                let mut v = vec![(i, i)];
+                if i + 1 < n {
+                    v.push((i, i + 1));
+                    v.push((i + 1, i));
+                }
+                if i > 2 {
+                    v.push((i, i - 3));
+                }
+                v
+            })
+            .collect();
+        let vals = |seed: f64| -> Vec<(usize, usize, f64)> {
+            pattern
+                .iter()
+                .map(|&(r, c)| {
+                    let off = ((r * 7 + c * 13) % 11) as f64 * 0.083 * seed;
+                    let v = if r == c { 6.0 + off } else { -1.0 - off };
+                    (r, c, v)
+                })
+                .collect()
+        };
+        let a0 = CscMatrix::from_triplets(n, n, &vals(1.0));
+        let a1 = CscMatrix::from_triplets(n, n, &vals(1.7));
+        let mut lu = SparseLu::factor_symbolic(&a0).unwrap();
+        assert!(lu.has_symbolic());
+        lu.refactor(&a1)
+            .expect("same-pattern refactor must succeed");
+        let fresh = SparseLu::factor(&a1).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 3.5).collect();
+        let x_re = lu.solve(&b).unwrap();
+        let x_fresh = fresh.solve(&b).unwrap();
+        for (a, b) in x_re.iter().zip(x_fresh.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "refactor drifted from fresh");
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_pivot_drift() {
+        // [[eps, 1], [1, eps]] pivots off-diagonal; swapping the magnitudes
+        // moves the winning pivot row, which the replay must refuse.
+        let a0 =
+            CscMatrix::from_triplets(2, 2, &[(0, 0, 0.1), (1, 0, 2.0), (0, 1, 2.0), (1, 1, 0.1)]);
+        let a1 =
+            CscMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (1, 0, 0.1), (0, 1, 0.1), (1, 1, 2.0)]);
+        let mut lu = SparseLu::factor_symbolic(&a0).unwrap();
+        match lu.refactor(&a1) {
+            Err(RefactorReject::PivotGrowth { column: 0, ratio }) => {
+                assert!(ratio > 1.0, "ratio {ratio} should exceed 1");
+            }
+            other => panic!("expected PivotGrowth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn refactor_rejects_small_pivot_and_pattern_drift() {
+        let a0 = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let mut lu = SparseLu::factor_symbolic(&a0).unwrap();
+        // Zeroed column: the replay reports the collapse as SmallPivot.
+        let a_sing = CscMatrix::from_triplets(2, 2, &[(0, 0, 0.0), (1, 1, 1.0)]);
+        assert!(matches!(
+            lu.refactor(&a_sing),
+            Err(RefactorReject::SmallPivot { column: 0, .. })
+        ));
+        // Different structural pattern: rejected before any numerics.
+        let mut lu2 = SparseLu::factor_symbolic(&a0).unwrap();
+        let a_wide = CscMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 0.5), (1, 1, 1.0)]);
+        assert!(matches!(
+            lu2.refactor(&a_wide),
+            Err(RefactorReject::PatternMismatch)
+        ));
+        // No symbolic record at all.
+        let mut plain = SparseLu::factor(&a0).unwrap();
+        assert!(matches!(
+            plain.refactor(&a0),
+            Err(RefactorReject::NoSymbolic)
         ));
     }
 

@@ -9,5 +9,5 @@ mod lu;
 mod triplet;
 
 pub use csc::CscMatrix;
-pub use lu::SparseLu;
+pub use lu::{RefactorReject, SparseLu};
 pub use triplet::Triplet;

@@ -87,6 +87,17 @@ impl Triplet {
         self.entries.iter().copied()
     }
 
+    /// The raw entries in push order, as a slice.
+    pub fn entries(&self) -> &[(usize, usize, f64)] {
+        &self.entries
+    }
+
+    /// Compresses into CSC form together with the entry → value-slot map
+    /// (see [`CscMatrix::from_triplets_mapped`]).
+    pub fn to_csc_mapped(&self) -> (CscMatrix, Vec<usize>) {
+        CscMatrix::from_triplets_mapped(self.rows, self.cols, &self.entries)
+    }
+
     /// Zeroes every entry in row `r` (the row becomes structurally empty
     /// after compression). Used by the solver fault-injection framework to
     /// force a singular system deterministically.

@@ -73,6 +73,58 @@ fn sparse_solve_has_small_residual() {
 }
 
 #[test]
+fn sparse_refactor_is_bitwise_equal_to_fresh_factor() {
+    check(
+        "sparse refactor is bitwise equal to fresh factor",
+        &Config::default(),
+        |d| {
+            // One pattern, two value sets over it: the second system
+            // reuses the first's symbolic factorization.
+            let (tri, b) = dominant_system(d, 24);
+            let scales: Vec<f64> = tri.iter().map(|_| d.f64_in(0.2, 5.0)).collect();
+            (tri, scales, b)
+        },
+        |(tri, scales, b)| {
+            let n = b.len();
+            let a1 = CscMatrix::from_triplets(n, n, tri);
+            let tri2: Vec<(usize, usize, f64)> = tri
+                .iter()
+                .zip(scales.iter())
+                .map(|(&(r, c, v), &s)| (r, c, v * s))
+                .collect();
+            let a2 = CscMatrix::from_triplets(n, n, &tri2);
+            // Same pattern by construction.
+            prop_check!(a1.row_indices() == a2.row_indices(), "pattern drifted");
+
+            let mut lu = SparseLu::factor_symbolic(&a1).unwrap();
+            match lu.refactor(&a2) {
+                Ok(()) => {
+                    // A successful replay must be bitwise identical to a
+                    // fresh factorization of the same matrix.
+                    let fresh = SparseLu::factor(&a2).unwrap();
+                    let xr = lu.solve(b).unwrap();
+                    let xf = fresh.solve(b).unwrap();
+                    for (r, f) in xr.iter().zip(xf.iter()) {
+                        prop_check!(r.to_bits() == f.to_bits(), "refactor {r:e} != fresh {f:e}");
+                    }
+                }
+                Err(_) => {
+                    // Rejection (pivot drift under the random scaling) is
+                    // legitimate — the caller falls back to a fresh
+                    // factorization, which must itself succeed.
+                    let x = SparseLu::factor(&a2).unwrap().solve(b).unwrap();
+                    let r = a2.mat_vec(&x);
+                    for (ri, bi) in r.iter().zip(b.iter()) {
+                        prop_check!((ri - bi).abs() < 1e-8, "fallback residual {ri} vs {bi}");
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
 fn dense_solve_roundtrip() {
     check(
         "dense solve roundtrip",

@@ -110,7 +110,8 @@ pub fn ac(
         return Err(SpiceError::InvalidCircuit("empty AC frequency list".into()));
     }
     // 1. Operating point.
-    let x_op = op_vector(ckt, opts, None, None)?;
+    let mut ws = super::engine::Workspace::new();
+    let x_op = op_vector(ckt, opts, None, None, &mut ws)?;
     let n = x_op.len();
 
     // 2. Small-signal conductance matrix from the Jacobian at the OP.

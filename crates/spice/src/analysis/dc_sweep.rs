@@ -1,5 +1,6 @@
 //! DC sweep with warm-starting and device-state continuation.
 
+use super::engine::Workspace;
 use super::op::{op_vector, OpOptions};
 use crate::circuit::Circuit;
 use crate::element::SourceRef;
@@ -49,6 +50,10 @@ pub fn dc_sweep_seeded(
             "empty DC sweep value list".into(),
         ));
     }
+    // One workspace across all sweep points: the matrix of a device-free
+    // circuit does not change with the swept source value, so subsequent
+    // points reuse the factorization outright.
+    let mut ws = Workspace::new();
     let mut results = Vec::with_capacity(values.len());
     let mut prev: Option<Vec<f64>> = if seeds.is_empty() {
         None
@@ -77,7 +82,7 @@ pub fn dc_sweep_seeded(
         // op_vector pass through the map_err below untouched.
         crate::budget::poll(0.0, 0)?;
         ckt.set_vsource_dc(src, v)?;
-        let x = op_vector(ckt, opts, prev.as_deref(), None).map_err(|e| match e {
+        let x = op_vector(ckt, opts, prev.as_deref(), None, &mut ws).map_err(|e| match e {
             SpiceError::NoConvergence {
                 analysis,
                 time,

@@ -7,8 +7,47 @@ use crate::circuit::Circuit;
 use crate::device::{LoadContext, Mode, Solution};
 use crate::element::{Element, NodeId};
 use crate::faults::FaultKind;
-use crate::stamp::{StampSection, Stamper};
+use crate::stamp::{JacobianKey, StampSection, Stamper};
 use crate::{Result, SpiceError};
+
+/// Linear-algebra state carried across Newton solves and timesteps.
+///
+/// The [`Stamper`] inside accumulates the incremental fast path (frozen
+/// assembly pattern, reusable factorizations — see [`crate::stamp`]), so
+/// every analysis creates one `Workspace` per run and threads it through
+/// each [`newton_solve`]. In legacy mode
+/// ([`SolveProfile::legacy_linear_algebra`]) the stamper is recreated per
+/// solve, replicating the pre-fast-path behavior exactly.
+///
+/// [`SolveProfile::legacy_linear_algebra`]: crate::profile::SolveProfile::legacy_linear_algebra
+#[derive(Debug, Default)]
+pub(crate) struct Workspace {
+    st: Option<Stamper>,
+}
+
+impl Workspace {
+    pub(crate) fn new() -> Workspace {
+        Workspace { st: None }
+    }
+
+    /// The cached stamper for `n` unknowns, recreated when the dimension
+    /// or backend choice changed — or on every call in legacy mode.
+    fn stamper(&mut self, n: usize) -> &mut Stamper {
+        let stale = match &self.st {
+            Some(st) => {
+                st.is_legacy()
+                    || crate::profile::current().legacy_linear_algebra
+                    || st.dim() != n
+                    || st.is_dense() != Stamper::want_dense(n)
+            }
+            None => true,
+        };
+        if stale {
+            self.st = Some(Stamper::new(n));
+        }
+        self.st.as_mut().expect("stamper just ensured")
+    }
+}
 
 /// Conductance used to clamp initial-condition nodes during the t = 0 solve.
 pub(crate) const IC_CLAMP_SIEMENS: f64 = 1.0e4;
@@ -362,6 +401,7 @@ pub(crate) fn newton_solve(
     opts: &NewtonOptions,
     lin: Option<&LinearState>,
     ic_clamps: Option<&[(NodeId, f64)]>,
+    ws: &mut Workspace,
 ) -> Result<usize> {
     let n = x.len();
     let mut eff_opts = *opts;
@@ -371,7 +411,29 @@ pub(crate) fn newton_solve(
     if let Some(flag) = crate::budget::flag() {
         solver.attach_interrupt(flag);
     }
-    let mut st = Stamper::new(n);
+    // A circuit without nonlinear devices assembles a Jacobian that is a
+    // pure function of this key (candidate `x`, time, and source scaling
+    // move only the RHS), so the factorization can be bypassed when the
+    // key repeats. Fault injection perturbs the matrix out-of-band and
+    // disqualifies the bypass outright.
+    let key = if ckt.devices().is_empty() && !crate::faults::active() {
+        let (transient, dt_bits, backward_euler) = match ctx.mode {
+            Mode::Dc => (false, 0, false),
+            Mode::Transient {
+                dt, backward_euler, ..
+            } => (true, dt.to_bits(), backward_euler),
+        };
+        Some(JacobianKey {
+            transient,
+            dt_bits,
+            backward_euler,
+            gmin_bits: ctx.gmin.to_bits(),
+            ic_clamps: ic_clamps.is_some(),
+        })
+    } else {
+        None
+    };
+    let st = ws.stamper(n);
     loop {
         // Budget poll: publishes the heartbeat and fails the solve with a
         // typed interrupt error if a deadline, cap, or cancellation
@@ -380,7 +442,7 @@ pub(crate) fn newton_solve(
             crate::stats::count_newton_iterations(solver.iterations() as u64);
             return Err(e);
         }
-        assemble(ckt, x, ctx, &mut st, lin, ic_clamps)?;
+        assemble(ckt, x, ctx, st, lin, ic_clamps)?;
 
         // Fault injection — inert (a thread-local load) unless a plan is
         // installed by a test or soak driver.
@@ -407,7 +469,7 @@ pub(crate) fn newton_solve(
             return Err(crate::guard::non_finite_error(ckt, note, ctx.time()));
         }
 
-        let dx = match st.solve() {
+        let dx = match st.solve_with_key(key) {
             Ok(dx) => dx,
             Err(e) => {
                 crate::stats::count_newton_iterations(solver.iterations() as u64);
@@ -428,7 +490,7 @@ pub(crate) fn newton_solve(
             NewtonStatus::Converged => {
                 crate::stats::count_newton_iterations(solver.iterations() as u64);
                 if let Some(tol) = crate::guard::kcl_tolerance() {
-                    kcl_audit(ckt, x, ctx, &mut st, lin, ic_clamps, tol)?;
+                    kcl_audit(ckt, x, ctx, st, lin, ic_clamps, tol)?;
                 }
                 return Ok(solver.iterations());
             }

@@ -2,7 +2,7 @@
 
 use nemscmos_numeric::newton::NewtonOptions;
 
-use super::engine::newton_solve;
+use super::engine::{newton_solve, Workspace};
 use crate::circuit::Circuit;
 use crate::device::{LoadContext, Mode, Solution};
 use crate::element::NodeId;
@@ -48,7 +48,8 @@ pub fn op(ckt: &mut Circuit) -> Result<OpResult> {
 ///
 /// See [`op`].
 pub fn op_with(ckt: &mut Circuit, opts: &OpOptions) -> Result<OpResult> {
-    let x = op_vector(ckt, opts, None, None)?;
+    let mut ws = Workspace::new();
+    let x = op_vector(ckt, opts, None, None, &mut ws)?;
     Ok(OpResult::new(x, ckt.num_node_unknowns(), ckt.branch_base()))
 }
 
@@ -81,7 +82,8 @@ pub fn op_seeded(ckt: &mut Circuit, seeds: &[(NodeId, f64)], opts: &OpOptions) -
         }
         guess[idx] = v;
     }
-    let x = op_vector(ckt, opts, Some(&guess), None)?;
+    let mut ws = Workspace::new();
+    let x = op_vector(ckt, opts, Some(&guess), None, &mut ws)?;
     Ok(OpResult::new(x, ckt.num_node_unknowns(), ckt.branch_base()))
 }
 
@@ -94,6 +96,7 @@ pub(crate) fn op_vector(
     opts: &OpOptions,
     guess: Option<&[f64]>,
     ic_clamps: Option<&[(NodeId, f64)]>,
+    ws: &mut Workspace,
 ) -> Result<Vec<f64>> {
     ckt.validate()?;
     let n = ckt.num_unknowns();
@@ -130,7 +133,7 @@ pub(crate) fn op_vector(
     // Discrete-state consistency loop: hysteretic devices may flip after a
     // converged solve; re-solve until no device changes state.
     for _ in 0..opts.max_state_loops.max(1) {
-        solve_dc_point(ckt, &mut x, opts, ic_clamps)?;
+        solve_dc_point(ckt, &mut x, opts, ic_clamps, ws)?;
         let ctx = LoadContext::dc(opts.gmin);
         let sol = Solution::new(&x);
         let mut changed = false;
@@ -155,6 +158,7 @@ fn solve_dc_point(
     x: &mut [f64],
     opts: &OpOptions,
     ic_clamps: Option<&[(NodeId, f64)]>,
+    ws: &mut Workspace,
 ) -> Result<()> {
     // Harness retry-ladder overrides (neutral unless a rung is active).
     let prof = crate::profile::current();
@@ -169,7 +173,7 @@ fn solve_dc_point(
         // Interrupt errors (deadline/cancellation) short-circuit the whole
         // fallback chain: the solve was stopped, not stuck, so escalating
         // to the next strategy would just burn more of an expired budget.
-        match newton_solve(ckt, x, &base_ctx, &opts.newton, None, ic_clamps) {
+        match newton_solve(ckt, x, &base_ctx, &opts.newton, None, ic_clamps, ws) {
             Ok(_) => return Ok(()),
             Err(e) if e.is_interrupt() => return Err(e),
             Err(_) => {}
@@ -187,7 +191,7 @@ fn solve_dc_point(
                 gmin,
                 source_scale: 1.0,
             };
-            match newton_solve(ckt, x, &ctx, &opts.newton, None, ic_clamps) {
+            match newton_solve(ckt, x, &ctx, &opts.newton, None, ic_clamps, ws) {
                 Ok(_) => {}
                 Err(e) if e.is_interrupt() => return Err(e),
                 Err(_) => {
@@ -198,7 +202,7 @@ fn solve_dc_point(
             gmin /= tighten;
         }
         if ok {
-            match newton_solve(ckt, x, &base_ctx, &opts.newton, None, ic_clamps) {
+            match newton_solve(ckt, x, &base_ctx, &opts.newton, None, ic_clamps, ws) {
                 Ok(_) => return Ok(()),
                 Err(e) if e.is_interrupt() => return Err(e),
                 Err(_) => {}
@@ -217,7 +221,7 @@ fn solve_dc_point(
             gmin: base_gmin,
             source_scale: scale,
         };
-        newton_solve(ckt, x, &ctx, &opts.newton, None, ic_clamps).map_err(|e| match e {
+        newton_solve(ckt, x, &ctx, &opts.newton, None, ic_clamps, ws).map_err(|e| match e {
             // Typed health diagnostics (non-finite assembly, singular pivot
             // with attribution, KCL audit) and budget interrupts survive
             // the fallback chain unwrapped so callers can triage them.
@@ -342,7 +346,8 @@ mod tests {
         ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
         ckt.resistor(a, Circuit::GROUND, 1.0);
         let bad = vec![0.0; 99];
-        assert!(op_vector(&mut ckt, &OpOptions::default(), Some(&bad), None).is_err());
+        let mut ws = Workspace::new();
+        assert!(op_vector(&mut ckt, &OpOptions::default(), Some(&bad), None, &mut ws).is_err());
     }
 }
 

@@ -2,7 +2,7 @@
 
 use nemscmos_numeric::newton::NewtonOptions;
 
-use super::engine::{newton_solve, LinearState};
+use super::engine::{newton_solve, LinearState, Workspace};
 use super::op::{op_vector, OpOptions};
 use crate::circuit::Circuit;
 use crate::device::{LoadContext, Mode, Solution};
@@ -121,6 +121,10 @@ pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<Tr
         newton: opts.newton,
         max_state_loops: 8,
     };
+    // One linear-algebra workspace for the whole run: the t = 0 operating
+    // point and every timestep share the frozen assembly pattern and
+    // cached factorizations.
+    let mut ws = Workspace::new();
     let ics: Vec<_> = ckt.ics().to_vec();
     let mut x = if opts.use_ic_only {
         let mut x0 = vec![0.0; n];
@@ -139,7 +143,7 @@ pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<Tr
         } else {
             Some(ics.as_slice())
         };
-        op_vector(ckt, &op_opts, None, clamps)?
+        op_vector(ckt, &op_opts, None, clamps, &mut ws)?
     };
 
     let mut lin = LinearState::from_dc(ckt, &x);
@@ -229,7 +233,15 @@ pub fn transient(ckt: &mut Circuit, tstop: f64, opts: &TranOptions) -> Result<Tr
 
         // Newton from the previous solution.
         let mut x_try = x.clone();
-        match newton_solve(ckt, &mut x_try, &ctx, &opts.newton, Some(&lin), None) {
+        match newton_solve(
+            ckt,
+            &mut x_try,
+            &ctx,
+            &opts.newton,
+            Some(&lin),
+            None,
+            &mut ws,
+        ) {
             Ok(_) => {}
             // A budget interrupt is a stop order, not a convergence
             // failure: shrinking the step and retrying would spin the

@@ -43,6 +43,12 @@ pub struct SolveProfile {
     pub force_backward_euler: bool,
     /// Pin the MNA matrix backend instead of the size-based default.
     pub matrix_backend: Option<MatrixBackend>,
+    /// Disable the incremental linear-algebra fast path (pattern-frozen
+    /// assembly, symbolic LU reuse, linear-circuit bypass) and re-solve
+    /// every iteration from scratch. Used by differential testing to pin
+    /// the slow path and by `perfbase` to measure the baseline; the fast
+    /// path is constructed to be bitwise identical to this one.
+    pub legacy_linear_algebra: bool,
 }
 
 impl SolveProfile {
@@ -75,6 +81,7 @@ thread_local! {
         force_source_stepping: false,
         force_backward_euler: false,
         matrix_backend: None,
+        legacy_linear_algebra: false,
     }) };
 }
 

@@ -11,9 +11,35 @@
 //!
 //! Small systems are assembled densely; larger ones into a triplet matrix
 //! solved by the sparse Gilbert–Peierls LU.
+//!
+//! # The incremental fast path
+//!
+//! Reused across Newton iterations and timesteps (the engine keeps one
+//! `Stamper` per run), the assembler learns the MNA structure once and
+//! then gets out of its own way — while staying *bitwise identical* to
+//! the from-scratch path (pinned by `SolveProfile::legacy_linear_algebra`
+//! in differential testing):
+//!
+//! * **Pattern-frozen stamping** — the first sparse solve records the
+//!   triplet → CSC slot of every push; later assemblies write straight
+//!   into the preallocated CSC value slots (assign on a slot's first
+//!   touch, accumulate after), eliminating the per-iteration
+//!   sort/dedup/alloc of compression. A push sequence that deviates from
+//!   the frozen one thaws back to triplets and re-freezes on the next
+//!   solve.
+//! * **Symbolic LU reuse** — sparse factorizations keep their pivot order
+//!   and reach ([`SparseLu::factor_symbolic`]); subsequent solves replay
+//!   a numeric-only refactorization whose guards (pivot monitor, fill
+//!   drift) make success bitwise-equal to a fresh factorization, falling
+//!   back to one otherwise. Dense factorizations refactor into the cached
+//!   allocation instead of cloning the matrix every iteration.
+//! * **Linear-circuit bypass** — when the caller proves the Jacobian
+//!   cannot have changed (same [`JacobianKey`], no nonlinear devices, no
+//!   fault injection), the previous factorization is reused outright and
+//!   only the RHS is re-solved.
 
 use nemscmos_numeric::dense::{DenseLu, DenseMatrix};
-use nemscmos_numeric::sparse::{SparseLu, Triplet};
+use nemscmos_numeric::sparse::{CscMatrix, SparseLu, Triplet};
 
 use crate::element::NodeId;
 use crate::profile::{self, MatrixBackend};
@@ -22,10 +48,50 @@ use crate::Result;
 /// Below this number of unknowns the dense path is used.
 const DENSE_LIMIT: usize = 64;
 
+/// Fingerprint of everything that can change the assembled Jacobian of a
+/// circuit *without nonlinear devices*: the analysis mode, the companion-
+/// model step, and the solver's own matrix stamps. Two assemblies with
+/// equal keys produce identical matrices (sources and IC-clamp targets
+/// only move the RHS), so the factorization can be reused outright.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JacobianKey {
+    /// Transient (vs. DC) companion models.
+    pub transient: bool,
+    /// Bit pattern of the step size (`0` in DC).
+    pub dt_bits: u64,
+    /// Backward-Euler (vs. trapezoidal) companion conductances.
+    pub backward_euler: bool,
+    /// Bit pattern of the convergence shunt conductance.
+    pub gmin_bits: u64,
+    /// Initial-condition clamp stamps present.
+    pub ic_clamps: bool,
+}
+
 #[derive(Debug, Clone)]
 enum Backend {
     Dense(DenseMatrix),
     Sparse(Triplet),
+    Frozen(Frozen),
+}
+
+/// The pattern-frozen sparse state: the compressed matrix plus the
+/// recorded push sequence that fills it.
+#[derive(Debug, Clone)]
+struct Frozen {
+    csc: CscMatrix,
+    /// Per push: the `(row, col)` it must target.
+    coords: Vec<(u32, u32)>,
+    /// Per push: the CSC value slot it lands in.
+    slots: Vec<u32>,
+    /// Per push: whether it is the first touch of its slot (assign
+    /// instead of accumulate, reproducing push-order duplicate summation
+    /// without having to zero the values between iterations).
+    first: Vec<bool>,
+    /// Pushes consumed since the last [`Stamper::clear`].
+    cursor: usize,
+    /// True once an assembly has actually run through the slot map (the
+    /// freezing solve itself compresses the triplets the ordinary way).
+    via_slots: bool,
 }
 
 /// Which part of the assembly is currently stamping, for non-finite
@@ -61,6 +127,22 @@ pub struct Stamper {
     rhs: Vec<f64>,
     section: StampSection,
     first_non_finite: Option<NonFiniteNote>,
+    /// Replicate the pre-fast-path behavior exactly (no freezing, no
+    /// factorization reuse, fresh allocations per solve).
+    legacy: bool,
+    /// Freeze the sparse pattern at the next sparse solve. Disarmed for
+    /// one solve after a thaw so the frozen pattern is always rebuilt
+    /// from a raw push sequence, never from a thawed hybrid.
+    freeze_armed: bool,
+    /// Cached sparse factorization (symbolic record attached) for
+    /// numeric-only refactorization and bypass.
+    sparse_lu: Option<SparseLu>,
+    /// Cached dense factorization, refactored in place each solve.
+    dense_lu: Option<DenseLu>,
+    /// The key under which the cached factorization was built.
+    factor_key: Option<JacobianKey>,
+    /// Scratch for the negated residual.
+    neg_f: Vec<f64>,
 }
 
 impl Stamper {
@@ -72,12 +154,7 @@ impl Stamper {
     ///
     /// [`SolveProfile`]: crate::profile::SolveProfile
     pub fn new(n: usize) -> Stamper {
-        let dense = match profile::current().matrix_backend {
-            Some(MatrixBackend::Dense) => true,
-            Some(MatrixBackend::Sparse) => false,
-            None => n <= DENSE_LIMIT,
-        };
-        let backend = if dense {
+        let backend = if Self::want_dense(n) {
             Backend::Dense(DenseMatrix::zeros(n, n))
         } else {
             Backend::Sparse(Triplet::with_capacity(n, n, n * 8))
@@ -88,7 +165,28 @@ impl Stamper {
             rhs: vec![0.0; n],
             section: StampSection::Linear,
             first_non_finite: None,
+            legacy: profile::current().legacy_linear_algebra,
+            freeze_armed: true,
+            sparse_lu: None,
+            dense_lu: None,
+            factor_key: None,
+            neg_f: Vec::new(),
         }
+    }
+
+    /// The size-or-profile backend decision for `n` unknowns (used by the
+    /// engine to tell whether a cached `Stamper` is still appropriate).
+    pub(crate) fn want_dense(n: usize) -> bool {
+        match profile::current().matrix_backend {
+            Some(MatrixBackend::Dense) => true,
+            Some(MatrixBackend::Sparse) => false,
+            None => n <= DENSE_LIMIT,
+        }
+    }
+
+    /// True when this assembler replays the pre-fast-path behavior.
+    pub(crate) fn is_legacy(&self) -> bool {
+        self.legacy
     }
 
     /// Number of unknowns.
@@ -103,10 +201,18 @@ impl Stamper {
 
     /// Clears the matrix, residual, and non-finite bookkeeping for the
     /// next iteration, keeping allocations.
+    ///
+    /// A frozen sparse pattern is *not* discarded: only its push cursor
+    /// rewinds, and each slot is assigned (not accumulated) on its first
+    /// touch of the next assembly, so no value zeroing is needed.
     pub fn clear(&mut self) {
         match &mut self.backend {
             Backend::Dense(m) => m.clear(),
             Backend::Sparse(t) => t.clear(),
+            Backend::Frozen(fz) => {
+                fz.cursor = 0;
+                fz.via_slots = true;
+            }
         }
         self.rhs.iter_mut().for_each(|x| *x = 0.0);
         self.first_non_finite = None;
@@ -157,10 +263,90 @@ impl Stamper {
         if !v.is_finite() {
             self.note_non_finite(r, "jacobian");
         }
+        if let Backend::Frozen(fz) = &mut self.backend {
+            let k = fz.cursor;
+            if k < fz.coords.len() && fz.coords[k] == (r as u32, c as u32) {
+                let s = fz.slots[k] as usize;
+                if fz.first[k] {
+                    fz.csc.values_mut()[s] = v;
+                } else {
+                    fz.csc.values_mut()[s] += v;
+                }
+                fz.cursor = k + 1;
+                return;
+            }
+            // The push sequence deviated from the frozen pattern: fall
+            // back to triplet assembly for this solve.
+            self.thaw();
+        }
         match &mut self.backend {
             Backend::Dense(m) => m.add(r, c, v),
             Backend::Sparse(t) => t.push(r, c, v),
+            Backend::Frozen(_) => unreachable!("thawed above"),
         }
+    }
+
+    /// Converts a frozen backend back into triplets, carrying over the
+    /// accumulated contributions of the pushes consumed so far (one entry
+    /// per touched slot, placed at the slot's first-touch position, so
+    /// duplicate summation order is preserved bit for bit).
+    #[cold]
+    fn thaw(&mut self) {
+        let placeholder = Backend::Sparse(Triplet::new(self.n, self.n));
+        let fz = match std::mem::replace(&mut self.backend, placeholder) {
+            Backend::Frozen(fz) => fz,
+            other => {
+                self.backend = other;
+                return;
+            }
+        };
+        let mut t = Triplet::with_capacity(self.n, self.n, fz.coords.len().max(self.n * 8));
+        for k in 0..fz.cursor {
+            if fz.first[k] {
+                let (r, c) = fz.coords[k];
+                t.push(
+                    r as usize,
+                    c as usize,
+                    fz.csc.values()[fz.slots[k] as usize],
+                );
+            }
+        }
+        self.backend = Backend::Sparse(t);
+        self.freeze_armed = false;
+        self.sparse_lu = None;
+        self.factor_key = None;
+    }
+
+    /// Compresses the current triplet assembly and freezes its pattern:
+    /// records the per-push slot map so later assemblies write straight
+    /// into the CSC values.
+    fn freeze(&mut self) {
+        let t = match &self.backend {
+            Backend::Sparse(t) => t,
+            _ => return,
+        };
+        debug_assert!(self.n < u32::MAX as usize);
+        let (csc, map) = t.to_csc_mapped();
+        let coords: Vec<(u32, u32)> = t
+            .entries()
+            .iter()
+            .map(|&(r, c, _)| (r as u32, c as u32))
+            .collect();
+        let slots: Vec<u32> = map.iter().map(|&s| s as u32).collect();
+        let mut seen = vec![false; csc.nnz()];
+        let first: Vec<bool> = map
+            .iter()
+            .map(|&s| !std::mem::replace(&mut seen[s], true))
+            .collect();
+        let cursor = coords.len();
+        self.backend = Backend::Frozen(Frozen {
+            csc,
+            coords,
+            slots,
+            first,
+            cursor,
+            via_slots: false,
+        });
     }
 
     /// Adds `v` to the residual entry `r` (raw unknown index).
@@ -246,20 +432,110 @@ impl Stamper {
     /// # Errors
     ///
     /// Propagates singular-matrix failures from the linear solver.
-    pub fn solve(&self) -> Result<Vec<f64>> {
-        crate::stats::count_lu_factorization();
-        let neg_f: Vec<f64> = self.rhs.iter().map(|&v| -v).collect();
-        let dx = match &self.backend {
+    pub fn solve(&mut self) -> Result<Vec<f64>> {
+        self.solve_with_key(None)
+    }
+
+    /// Like [`solve`](Stamper::solve), with the caller's proof of Jacobian
+    /// identity: when `key` is `Some` and equals the key of the cached
+    /// factorization, the factorization is skipped outright and only the
+    /// RHS is re-solved (the linear-circuit bypass). Callers must pass
+    /// `Some` only when the assembled matrix is fully determined by the
+    /// key — no nonlinear devices, no fault injection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates singular-matrix failures from the linear solver.
+    pub fn solve_with_key(&mut self, key: Option<JacobianKey>) -> Result<Vec<f64>> {
+        // An assembly that consumed only part of the frozen sequence has
+        // a shrunken pattern: untouched slots hold stale values, so the
+        // frozen matrix is unusable — thaw back to the touched entries.
+        if matches!(&self.backend, Backend::Frozen(fz) if fz.cursor != fz.coords.len()) {
+            self.thaw();
+        }
+        // A raw (non-legacy) triplet assembly freezes at this solve.
+        if !self.legacy && self.freeze_armed && matches!(self.backend, Backend::Sparse(_)) {
+            self.freeze();
+        }
+        self.neg_f.clear();
+        self.neg_f.extend(self.rhs.iter().map(|&v| -v));
+        match &mut self.backend {
             Backend::Dense(m) => {
-                let lu = DenseLu::factor(m.clone())?;
-                lu.solve(&neg_f)?
+                if self.legacy {
+                    crate::stats::count_lu_factorization();
+                    let lu = DenseLu::factor(m.clone())?;
+                    return Ok(lu.solve(&self.neg_f)?);
+                }
+                if let Some(lu) = self
+                    .dense_lu
+                    .as_ref()
+                    .filter(|_| key.is_some() && key == self.factor_key)
+                {
+                    crate::stats::count_bypass_solve();
+                    return Ok(lu.solve(&self.neg_f)?);
+                }
+                crate::stats::count_lu_factorization();
+                self.factor_key = None;
+                match self.dense_lu.as_mut() {
+                    Some(lu) => {
+                        if let Err(e) = lu.refactor(m) {
+                            // The cached factors are partially overwritten.
+                            self.dense_lu = None;
+                            return Err(e.into());
+                        }
+                    }
+                    None => self.dense_lu = Some(DenseLu::factor(m.clone())?),
+                }
+                self.factor_key = key;
+                Ok(self.dense_lu.as_ref().unwrap().solve(&self.neg_f)?)
             }
             Backend::Sparse(t) => {
+                // Legacy, or the one hybrid solve right after a thaw:
+                // compress and factor from scratch, then re-arm freezing.
+                crate::stats::count_lu_factorization();
+                if !self.legacy {
+                    self.freeze_armed = true;
+                }
                 let lu = SparseLu::factor(&t.to_csc())?;
-                lu.solve(&neg_f)?
+                Ok(lu.solve(&self.neg_f)?)
             }
-        };
-        Ok(dx)
+            Backend::Frozen(fz) => {
+                if fz.via_slots {
+                    crate::stats::count_slot_cache_hit();
+                }
+                if let Some(lu) = self
+                    .sparse_lu
+                    .as_ref()
+                    .filter(|_| key.is_some() && key == self.factor_key)
+                {
+                    crate::stats::count_bypass_solve();
+                    return Ok(lu.solve(&self.neg_f)?);
+                }
+                crate::stats::count_lu_factorization();
+                self.factor_key = None;
+                let mut reused = false;
+                if let Some(lu) = self.sparse_lu.as_mut() {
+                    match lu.refactor(&fz.csc) {
+                        Ok(()) => {
+                            crate::stats::count_symbolic_reuse();
+                            reused = true;
+                        }
+                        Err(_reject) => {
+                            // Guard fired (pivot drift, fill drift, small
+                            // pivot): discard the partially overwritten
+                            // factors and factor afresh below.
+                            crate::stats::count_refactor_fallback();
+                            self.sparse_lu = None;
+                        }
+                    }
+                }
+                if !reused {
+                    self.sparse_lu = Some(SparseLu::factor_symbolic(&fz.csc)?);
+                }
+                self.factor_key = key;
+                Ok(self.sparse_lu.as_ref().unwrap().solve(&self.neg_f)?)
+            }
+        }
     }
 
     /// Infinity norm of the current residual.
@@ -284,7 +560,10 @@ impl Stamper {
                 }
             }
             Backend::Sparse(t) => t.zero_row(r),
+            Backend::Frozen(fz) => fz.csc.zero_row_values(r),
         }
+        // A factorization cached before the fault cannot be reused.
+        self.factor_key = None;
     }
 
     /// Multiplies every accumulated Jacobian entry by the next value of
@@ -305,7 +584,17 @@ impl Stamper {
                 }
             }
             Backend::Sparse(t) => t.map_values(|v| v * factor()),
+            Backend::Frozen(fz) => {
+                // The slot-mapped values are the already-summed CSC
+                // entries, in column-major pattern order — exactly what a
+                // compression of this assembly would have produced, so
+                // perturbing them perturbs the true assembled matrix.
+                for v in fz.csc.values_mut() {
+                    *v *= factor();
+                }
+            }
         }
+        self.factor_key = None;
     }
 
     /// Returns every accumulated Jacobian entry as `(row, col, value)`
@@ -327,6 +616,15 @@ impl Stamper {
                 out
             }
             Backend::Sparse(t) => t.iter().collect(),
+            Backend::Frozen(fz) => {
+                let mut out = Vec::with_capacity(fz.csc.nnz());
+                for c in 0..self.n {
+                    for (r, v) in fz.csc.col(c) {
+                        out.push((r, c, v));
+                    }
+                }
+                out
+            }
         }
     }
 }

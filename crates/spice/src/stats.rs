@@ -40,6 +40,18 @@ pub struct SolverStats {
     pub steps_accepted: u64,
     /// Newton solves that gave up (triggering fallbacks or job retries).
     pub nonconvergence_events: u64,
+    /// Assemblies served by the pattern-frozen slot map (no per-iteration
+    /// triplet sort/dedup/alloc).
+    pub slot_cache_hits: u64,
+    /// Sparse factorizations served by numeric-only refactorization over
+    /// a recorded symbolic structure.
+    pub symbolic_reuses: u64,
+    /// Numeric-only refactorizations rejected by the pivot monitor and
+    /// redone as fresh fully-pivoted factorizations.
+    pub refactor_fallbacks: u64,
+    /// Linear-circuit solves that reused the previous factorization
+    /// outright (RHS-only re-solve).
+    pub bypass_solves: u64,
 }
 
 impl SolverStats {
@@ -52,6 +64,10 @@ impl SolverStats {
             step_rejections: self.step_rejections - earlier.step_rejections,
             steps_accepted: self.steps_accepted - earlier.steps_accepted,
             nonconvergence_events: self.nonconvergence_events - earlier.nonconvergence_events,
+            slot_cache_hits: self.slot_cache_hits - earlier.slot_cache_hits,
+            symbolic_reuses: self.symbolic_reuses - earlier.symbolic_reuses,
+            refactor_fallbacks: self.refactor_fallbacks - earlier.refactor_fallbacks,
+            bypass_solves: self.bypass_solves - earlier.bypass_solves,
         }
     }
 
@@ -70,6 +86,10 @@ impl Add for SolverStats {
             step_rejections: self.step_rejections + rhs.step_rejections,
             steps_accepted: self.steps_accepted + rhs.steps_accepted,
             nonconvergence_events: self.nonconvergence_events + rhs.nonconvergence_events,
+            slot_cache_hits: self.slot_cache_hits + rhs.slot_cache_hits,
+            symbolic_reuses: self.symbolic_reuses + rhs.symbolic_reuses,
+            refactor_fallbacks: self.refactor_fallbacks + rhs.refactor_fallbacks,
+            bypass_solves: self.bypass_solves + rhs.bypass_solves,
         }
     }
 }
@@ -152,6 +172,10 @@ impl Heartbeat {
             step_rejections: self.step_rejections.load(Ordering::Relaxed),
             steps_accepted: self.steps_accepted.load(Ordering::Relaxed),
             nonconvergence_events: 0,
+            slot_cache_hits: 0,
+            symbolic_reuses: 0,
+            refactor_fallbacks: 0,
+            bypass_solves: 0,
         }
     }
 }
@@ -163,6 +187,10 @@ thread_local! {
         step_rejections: 0,
         steps_accepted: 0,
         nonconvergence_events: 0,
+        slot_cache_hits: 0,
+        symbolic_reuses: 0,
+        refactor_fallbacks: 0,
+        bypass_solves: 0,
     }) };
 }
 
@@ -220,6 +248,34 @@ pub(crate) fn count_nonconvergence() {
     });
 }
 
+pub(crate) fn count_slot_cache_hit() {
+    add(SolverStats {
+        slot_cache_hits: 1,
+        ..SolverStats::default()
+    });
+}
+
+pub(crate) fn count_symbolic_reuse() {
+    add(SolverStats {
+        symbolic_reuses: 1,
+        ..SolverStats::default()
+    });
+}
+
+pub(crate) fn count_refactor_fallback() {
+    add(SolverStats {
+        refactor_fallbacks: 1,
+        ..SolverStats::default()
+    });
+}
+
+pub(crate) fn count_bypass_solve() {
+    add(SolverStats {
+        bypass_solves: 1,
+        ..SolverStats::default()
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,12 +288,20 @@ mod tests {
         count_step_rejection();
         count_step_accepted();
         count_nonconvergence();
+        count_slot_cache_hit();
+        count_symbolic_reuse();
+        count_refactor_fallback();
+        count_bypass_solve();
         let d = snapshot().delta_since(&a);
         assert_eq!(d.newton_iterations, 3);
         assert_eq!(d.lu_factorizations, 1);
         assert_eq!(d.step_rejections, 1);
         assert_eq!(d.steps_accepted, 1);
         assert_eq!(d.nonconvergence_events, 1);
+        assert_eq!(d.slot_cache_hits, 1);
+        assert_eq!(d.symbolic_reuses, 1);
+        assert_eq!(d.refactor_fallbacks, 1);
+        assert_eq!(d.bypass_solves, 1);
         assert!(!d.is_zero());
     }
 
@@ -263,6 +327,7 @@ mod tests {
                 step_rejections: 3,
                 steps_accepted: 9,
                 nonconvergence_events: 1,
+                ..Default::default()
             });
             remote.tick_progress();
             remote.set_sim_time(1.5e-9);

@@ -307,6 +307,39 @@ pub fn dense_vs_sparse(deck: &Deck) -> Result<(), Divergence> {
     })
 }
 
+/// The incremental linear-algebra fast path (pattern-frozen assembly,
+/// symbolic LU reuse, linear-circuit bypass) must be *bitwise identical*
+/// to the from-scratch path it replaces: the rendered JSON snapshot of
+/// every deck must not change by a single byte when the fast path is
+/// disabled via [`SolveProfile::legacy_linear_algebra`].
+///
+/// # Errors
+///
+/// A message naming the deck and the rendered sizes when the artifacts
+/// differ.
+///
+/// [`SolveProfile::legacy_linear_algebra`]: nemscmos_spice::profile::SolveProfile::legacy_linear_algebra
+pub fn fast_vs_slow(deck: &Deck) -> Result<(), String> {
+    let fast = snapshot_json(deck).render();
+    let slow = profile::with(
+        SolveProfile {
+            legacy_linear_algebra: true,
+            ..Default::default()
+        },
+        || snapshot_json(deck).render(),
+    );
+    if fast != slow {
+        return Err(format!(
+            "deck `{}` differs between the fast and legacy linear-algebra \
+             paths ({} vs {} rendered bytes)",
+            deck.name,
+            fast.len(),
+            slow.len()
+        ));
+    }
+    Ok(())
+}
+
 /// A deck's waveforms rendered as canonical JSON (times plus one value
 /// array per observed node), decimated to a fixed grid so artifacts are
 /// small and digest-stable.

@@ -19,6 +19,13 @@ fn dense_and_sparse_backends_agree_on_every_deck() {
 }
 
 #[test]
+fn fast_and_legacy_linear_algebra_are_bitwise_identical_on_every_deck() {
+    for deck in diff::decks() {
+        diff::fast_vs_slow(&deck).unwrap_or_else(|msg| panic!("{msg}"));
+    }
+}
+
+#[test]
 fn harness_thread_count_is_bitwise_invisible() {
     diff::thread_identity(4).unwrap();
 }
