@@ -92,4 +92,17 @@ if ! echo "$resume_out" | grep -q "resume smoke OK"; then
     exit 1
 fi
 
+# Job-server chaos smoke: spawn the real nemscmos-server binary,
+# SIGKILL it mid-batch, restart on the same run id, and demand zero
+# panics, zero lost acks, bitwise-identical merged results, plus typed
+# rejections / watermark degradation / priority shedding / per-client
+# quota kills visible both in-band and in the health counters.
+echo "== job-server chaos drill (smoke) =="
+chaos_out=$(cargo run --release --offline -q -p nemscmos-bench --bin chaos -- --smoke)
+echo "$chaos_out" | tail -n 3
+if ! echo "$chaos_out" | grep -q "chaos OK"; then
+    echo "FAIL: job-server chaos drill did not pass" >&2
+    exit 1
+fi
+
 echo "== ci OK =="

@@ -2,9 +2,15 @@
 //! mechanical switching delay, and stiction fault injection.
 
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::ablations::*;
 
 fn main() {
+    Cli::new(
+        "ablations",
+        "runs the ablation suite (keeper style, NEMS sizing, SRAM variants, stiction)",
+    )
+    .parse_or_exit();
     let tech = Technology::n90();
     let sections: Vec<(&str, nemscmos_analysis::Result<String>)> = vec![
         (

@@ -2,10 +2,16 @@
 //! (`cargo run --release -p nemscmos-bench --bin all`).
 
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::{device_tables, dynamic_or, sleep, sram};
 use nemscmos_harness::drain_reports;
 
 fn main() {
+    Cli::new(
+        "all",
+        "regenerates every table and figure of the paper in one run",
+    )
+    .parse_or_exit();
     let tech = Technology::n90();
     let mut failures = 0;
 

@@ -1,0 +1,682 @@
+//! `chaos` — kill/restart drill against the resident job server.
+//!
+//! ```sh
+//! cargo run --release -p nemscmos-bench --bin chaos -- [--smoke]
+//! ```
+//!
+//! Spawns the real `nemscmos-server` binary (built alongside this one)
+//! and drills the robustness contract end to end over the Unix socket:
+//!
+//! 1. **Reference** — a clean run of a mixed batch (verify transients,
+//!    domino periods, Monte-Carlo sweeps, fault-injected solves)
+//!    records every terminal outcome.
+//! 2. **Crash/restart** — the same batch against a fresh run directory,
+//!    `SIGKILL`ed mid-batch after roughly half the acks, then restarted
+//!    on the same run id. Every acknowledged job must still reach a
+//!    terminal outcome (journal-before-ack means an ack is a durability
+//!    promise), unacknowledged decks are resubmitted, and the merged
+//!    outcomes must be **bitwise identical** to the reference.
+//! 3. **Overload** — a one-worker server with a tiny queue: typed
+//!    `queue-full` / `bad-request` / `deck-too-large` rejections,
+//!    watermark degradation of Monte-Carlo decks, and priority shedding
+//!    must all show up both in-band and in the health counters.
+//! 4. **Quota** — a starvation-grant server: a greedy client is killed
+//!    in-band with a typed `deadline` failure, its next submission is
+//!    refused `quota-exhausted`, and an unrelated frugal client still
+//!    gets service.
+//!
+//! Zero panics are tolerated in any server log, including the one cut
+//! short by `SIGKILL`. Prints `chaos OK` on success; prints every
+//! violation and exits non-zero otherwise. `ci.sh` runs `--smoke`
+//! (a reduced batch, same assertions).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::{Duration, Instant};
+
+use nemscmos_bench::cli::Cli;
+use nemscmos_harness::Json;
+use nemscmos_server::{RejectReason, Response, ServerClient};
+use nemscmos_verify::diff;
+
+/// Longest we wait for any single job / drain / probe loop.
+const PATIENCE: Duration = Duration::from_secs(300);
+
+/// Environment knobs scrubbed from the child so ambient harness
+/// configuration can never skew the drill.
+const SCRUBBED_ENV: [&str; 5] = [
+    "NEMSCMOS_HARNESS_DEADLINE_MS",
+    "NEMSCMOS_HARNESS_STALL_MS",
+    "NEMSCMOS_HARNESS_THREADS",
+    "NEMSCMOS_HARNESS_CACHE",
+    "NEMSCMOS_HARNESS_CACHE_DIR",
+];
+
+/// One spawned server: the child process plus where its log went.
+struct ServerProc {
+    child: Child,
+    socket: PathBuf,
+    log: PathBuf,
+}
+
+fn server_bin() -> Result<PathBuf, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = exe
+        .parent()
+        .ok_or_else(|| format!("{exe:?} has no parent directory"))?;
+    let mut candidates = vec![dir.join("nemscmos-server")];
+    if let Some(up) = dir.parent() {
+        // `cargo test` runs binaries out of `deps/`.
+        candidates.push(up.join("nemscmos-server"));
+    }
+    candidates.into_iter().find(|c| c.is_file()).ok_or_else(|| {
+        format!(
+            "nemscmos-server binary not found next to {exe:?}; \
+                 run `cargo build -p nemscmos-server` first"
+        )
+    })
+}
+
+fn spawn_server(
+    bin: &Path,
+    dir: &Path,
+    run_id: &str,
+    extra: &[&str],
+    log: &Path,
+) -> Result<ServerProc, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {dir:?}: {e}"))?;
+    let out = std::fs::File::create(log).map_err(|e| format!("create {log:?}: {e}"))?;
+    let err = out
+        .try_clone()
+        .map_err(|e| format!("clone log handle: {e}"))?;
+    let mut cmd = Command::new(bin);
+    cmd.arg("--dir")
+        .arg(dir)
+        .args(["--run-id", run_id])
+        .args(extra)
+        .stdin(Stdio::null())
+        .stdout(Stdio::from(out))
+        .stderr(Stdio::from(err));
+    for key in SCRUBBED_ENV {
+        cmd.env_remove(key);
+    }
+    let child = cmd.spawn().map_err(|e| format!("spawn {bin:?}: {e}"))?;
+    Ok(ServerProc {
+        child,
+        socket: dir.join("server.sock"),
+        log: log.to_path_buf(),
+    })
+}
+
+impl ServerProc {
+    fn client(&self) -> Result<ServerClient, String> {
+        ServerClient::connect_with_retry(&self.socket, 150, Duration::from_millis(20))
+    }
+
+    /// Blocks until the child exits, up to [`PATIENCE`].
+    fn wait_exit(&mut self) -> Option<std::process::ExitStatus> {
+        let deadline = Instant::now() + PATIENCE;
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(status)) => return Some(status),
+                Ok(None) if Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// `SIGKILL` — the crash half of the drill.
+    fn kill9(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Graceful drain: request shutdown, then insist the process exits
+    /// cleanly. Falls back to `SIGKILL` so a wedged server can never
+    /// leak past the drill.
+    fn stop(mut self, violations: &mut Vec<String>, label: &str) {
+        match self.client().and_then(|mut c| c.shutdown()) {
+            Ok(_) => {
+                if self.wait_exit().is_none_or(|s| !s.success()) {
+                    violations.push(format!("{label}: server did not drain cleanly"));
+                    self.kill9();
+                }
+            }
+            Err(e) => {
+                violations.push(format!("{label}: shutdown request failed: {e}"));
+                self.kill9();
+            }
+        }
+        scan_log(&self.log, violations, label);
+    }
+}
+
+/// A panic anywhere in a server log — even one truncated by `SIGKILL`
+/// — is an automatic violation.
+fn scan_log(log: &Path, violations: &mut Vec<String>, label: &str) {
+    match std::fs::read_to_string(log) {
+        Ok(text) if text.contains("panicked") => {
+            violations.push(format!("{label}: server log {log:?} contains a panic"));
+        }
+        Ok(_) => {}
+        Err(e) => violations.push(format!("{label}: cannot read server log {log:?}: {e}")),
+    }
+}
+
+/// The mixed batch: every deck family, all seeds spec-owned.
+fn batch(smoke: bool) -> Vec<String> {
+    let mut specs = Vec::new();
+    let verify = if smoke { 2 } else { 4 };
+    for deck in diff::decks().into_iter().take(verify) {
+        specs.push(format!("deck v1 verify name={}", deck.name));
+    }
+    specs.push("deck v1 domino fan_in=4 fan_out=2".to_string());
+    if !smoke {
+        specs.push("deck v1 domino fan_in=8 fan_out=4".to_string());
+    }
+    for k in 0..if smoke { 2 } else { 4 } {
+        specs.push(format!("deck v1 mc trials=48 seed={} sigma=0.05", 100 + k));
+    }
+    specs.push("deck v1 fault kind=nan disarm=gmin seed=11".to_string());
+    if !smoke {
+        specs.push("deck v1 fault kind=singular disarm=src-step seed=7".to_string());
+    }
+    specs
+}
+
+/// The comparable signature of a terminal outcome: what the answer
+/// *is*, independent of which path (`run`/`cache`/`journal`) served it.
+fn signature(resp: &Response) -> String {
+    match resp {
+        Response::Done {
+            degraded, result, ..
+        } => format!("done degraded={degraded} result={}", result.render()),
+        Response::Failed { kind, .. } => format!("failed kind={kind}"),
+        Response::Shed { .. } => "shed".to_string(),
+        other => format!("non-terminal {other:?}"),
+    }
+}
+
+fn health_num(stats: &Json, key: &str) -> f64 {
+    stats.get(key).and_then(Json::as_f64).unwrap_or(-1.0)
+}
+
+fn rejected_num(stats: &Json, key: &str) -> f64 {
+    stats
+        .get("rejected")
+        .and_then(|r| r.get(key))
+        .and_then(Json::as_f64)
+        .unwrap_or(-1.0)
+}
+
+/// Polls the durable `result` op until the spec reaches a terminal
+/// outcome. `Running` means "not yet"; `not-found` is the caller's
+/// problem to interpret (a lost ack or simply never submitted).
+fn poll_result(client: &mut ServerClient, spec: &str) -> Result<Response, String> {
+    let deadline = Instant::now() + PATIENCE;
+    loop {
+        let resp = client.result(spec)?;
+        match resp {
+            Response::Running { .. } => {
+                if Instant::now() >= deadline {
+                    return Err(format!("timed out polling result of {spec:?}"));
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            other => return Ok(other),
+        }
+    }
+}
+
+/// Phase 1: the uninterrupted reference outcomes, spec → signature.
+fn phase_reference(
+    bin: &Path,
+    root: &Path,
+    specs: &[String],
+    violations: &mut Vec<String>,
+) -> BTreeMap<String, String> {
+    println!("chaos: phase 1 — reference run ({} decks)", specs.len());
+    let mut reference = BTreeMap::new();
+    let server = match spawn_server(
+        bin,
+        &root.join("reference"),
+        "chaos",
+        &["--workers", "2"],
+        &root.join("reference.log"),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("reference: {e}"));
+            return reference;
+        }
+    };
+    let mut run = || -> Result<(), String> {
+        let mut client = server.client()?;
+        let mut digests = Vec::new();
+        for spec in specs {
+            match client.submit("reference", spec, 5)? {
+                Response::Accepted {
+                    digest, degraded, ..
+                } => {
+                    if degraded {
+                        return Err(format!("{spec:?} degraded on an idle server"));
+                    }
+                    digests.push(digest);
+                }
+                other => return Err(format!("{spec:?} not accepted: {other:?}")),
+            }
+        }
+        for (spec, digest) in specs.iter().zip(&digests) {
+            let (terminal, _) = client.wait(digest)?;
+            reference.insert(spec.clone(), signature(&terminal));
+        }
+        let stats = client.health()?;
+        if health_num(&stats, "accepted") != specs.len() as f64 {
+            return Err(format!(
+                "health accepted={} after {} submissions",
+                health_num(&stats, "accepted"),
+                specs.len()
+            ));
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        violations.push(format!("reference: {e}"));
+    }
+    server.stop(violations, "reference");
+    reference
+}
+
+/// Phase 2: `SIGKILL` mid-batch, restart on the same run id, and the
+/// merged outcomes must match the reference bitwise with zero lost
+/// acks.
+fn phase_crash_restart(
+    bin: &Path,
+    root: &Path,
+    specs: &[String],
+    reference: &BTreeMap<String, String>,
+    violations: &mut Vec<String>,
+) {
+    println!("chaos: phase 2 — kill -9 mid-batch, restart, merge");
+    let dir = root.join("crash");
+    let mut first = match spawn_server(
+        bin,
+        &dir,
+        "chaos",
+        &["--workers", "2"],
+        &root.join("crash-1.log"),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("crash: {e}"));
+            return;
+        }
+    };
+
+    // Submit until roughly half the batch is acknowledged, then pull
+    // the plug while workers are mid-execution.
+    let mut acked: Vec<String> = Vec::new();
+    let target = specs.len().div_ceil(2);
+    match first.client() {
+        Ok(mut client) => {
+            for spec in specs.iter().take(target) {
+                match client.submit("crash", spec, 5) {
+                    Ok(Response::Accepted { .. }) => acked.push(spec.clone()),
+                    Ok(other) => {
+                        violations.push(format!("crash: {spec:?} not accepted: {other:?}"))
+                    }
+                    Err(e) => violations.push(format!("crash: submit {spec:?}: {e}")),
+                }
+            }
+        }
+        Err(e) => violations.push(format!("crash: connect: {e}")),
+    }
+    // Let a couple of the quick decks finish so the restart replays a
+    // mix of completed results and unfinished orphans.
+    std::thread::sleep(Duration::from_millis(300));
+    first.kill9();
+    scan_log(&first.log, violations, "crash (killed server)");
+    println!(
+        "chaos:   killed server after {} of {} acks",
+        acked.len(),
+        specs.len()
+    );
+
+    let second = match spawn_server(
+        bin,
+        &dir,
+        "chaos",
+        &["--workers", "2"],
+        &root.join("crash-2.log"),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("crash: restart: {e}"));
+            return;
+        }
+    };
+    let mut merged: BTreeMap<String, String> = BTreeMap::new();
+    let mut run = || -> Result<(), String> {
+        let mut client = second.client()?;
+        for spec in specs {
+            let durable = poll_result(&mut client, spec)?;
+            let outcome = match durable {
+                Response::Rejected {
+                    reason: RejectReason::NotFound,
+                    ..
+                } => {
+                    if acked.contains(spec) {
+                        return Err(format!(
+                            "LOST ACK: {spec:?} was acknowledged before the kill \
+                             but the restarted server does not know it"
+                        ));
+                    }
+                    // Never acknowledged: the client's retry path.
+                    match client.submit("crash", spec, 5)? {
+                        Response::Accepted { digest, .. } => client.wait(&digest)?.0,
+                        other => return Err(format!("resubmit {spec:?}: {other:?}")),
+                    }
+                }
+                terminal => terminal,
+            };
+            merged.insert(spec.clone(), signature(&outcome));
+        }
+        let stats = client.health()?;
+        let pending = stats
+            .get("journal")
+            .and_then(|j| j.get("pending"))
+            .and_then(Json::as_f64)
+            .unwrap_or(-1.0);
+        if pending != 0.0 {
+            return Err(format!(
+                "{pending} journal entries still pending after merge"
+            ));
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        violations.push(format!("crash: {e}"));
+    }
+    for (spec, want) in reference {
+        match merged.get(spec) {
+            Some(got) if got == want => {}
+            Some(got) => violations.push(format!(
+                "crash: {spec:?} diverged after restart\n  reference: {want}\n  merged:    {got}"
+            )),
+            None => violations.push(format!("crash: {spec:?} has no merged outcome")),
+        }
+    }
+    second.stop(violations, "crash (restarted server)");
+}
+
+/// Phase 3: overload a one-worker, three-slot server and demand every
+/// backpressure mechanism shows up typed.
+fn phase_overload(bin: &Path, root: &Path, violations: &mut Vec<String>) {
+    println!("chaos: phase 3 — overload: rejections, degradation, shedding");
+    let server = match spawn_server(
+        bin,
+        &root.join("overload"),
+        "chaos",
+        &[
+            "--workers",
+            "1",
+            "--queue",
+            "3",
+            "--watermark",
+            "2",
+            "--min-trials",
+            "8",
+        ],
+        &root.join("overload.log"),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("overload: {e}"));
+            return;
+        }
+    };
+    let run = || -> Result<(), String> {
+        let mut client = server.client()?;
+        let malformed = client.submit("overload", "deck v1 warp factor=9", 5)?;
+        if !ServerClient::rejected_with(&malformed, RejectReason::BadRequest) {
+            return Err(format!(
+                "malformed spec not rejected bad-request: {malformed:?}"
+            ));
+        }
+        let huge = client.submit("overload", "deck v1 domino fan_in=128 fan_out=2", 5)?;
+        if !ServerClient::rejected_with(&huge, RejectReason::DeckTooLarge) {
+            return Err(format!(
+                "oversized deck not rejected deck-too-large: {huge:?}"
+            ));
+        }
+
+        // A big Monte-Carlo deck pins the single worker while the queue
+        // fills. Its duration is iteration-bound (~270k Newton solves),
+        // not build-profile-bound: a release build churns a small
+        // domino transient in milliseconds, which let the worker drain
+        // the flood before the watermark could trip. Submitted to an
+        // empty queue, so it is accepted undegraded despite being mc.
+        let blocker =
+            match client.submit("overload", "deck v1 mc trials=90000 seed=999 sigma=0.05", 9)? {
+                Response::Accepted {
+                    digest, degraded, ..
+                } => {
+                    if degraded {
+                        return Err("blocker degraded on an empty queue".to_string());
+                    }
+                    digest
+                }
+                other => return Err(format!("blocker not accepted: {other:?}")),
+            };
+        // Flood only once the worker has demonstrably picked the blocker
+        // up — a fixed sleep would either waste the blocker's runtime
+        // (release) or fire too early (debug under load).
+        let pickup = Instant::now() + PATIENCE;
+        loop {
+            let stats = client.health()?;
+            if health_num(&stats, "running") >= 1.0 {
+                break;
+            }
+            if health_num(&stats, "completed") >= 1.0 {
+                return Err("blocker finished before the flood could be submitted".to_string());
+            }
+            if Instant::now() >= pickup {
+                return Err("worker never picked up the blocker".to_string());
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let mut flood = Vec::new();
+        let mut saw_degraded = false;
+        for (k, priority) in [(0u64, 2u8), (1, 5), (2, 5)] {
+            let spec = format!("deck v1 mc trials=64 seed={} sigma=0.05", 200 + k);
+            match client.submit("flood", &spec, priority)? {
+                Response::Accepted {
+                    digest, degraded, ..
+                } => {
+                    saw_degraded |= degraded;
+                    flood.push(digest);
+                }
+                other => return Err(format!("flood {k} not accepted: {other:?}")),
+            }
+        }
+        if !saw_degraded {
+            return Err("no flood deck was degraded at the watermark".to_string());
+        }
+        // Equal-lowest priority cannot evict anyone: typed queue-full.
+        let full = client.submit("flood", "deck v1 mc trials=64 seed=210 sigma=0.05", 2)?;
+        if !ServerClient::rejected_with(&full, RejectReason::QueueFull) {
+            return Err(format!("full queue did not reject queue-full: {full:?}"));
+        }
+        // A higher-priority arrival sheds the priority-2 victim.
+        let vip = match client.submit("flood", "deck v1 mc trials=64 seed=211 sigma=0.05", 8)? {
+            Response::Accepted { digest, .. } => digest,
+            other => return Err(format!("vip submission not accepted: {other:?}")),
+        };
+        flood.push(vip);
+
+        let mut sheds = 0;
+        for digest in flood.iter().chain([&blocker]) {
+            let (terminal, _) = client.wait(digest)?;
+            match terminal {
+                Response::Done { .. } => {}
+                Response::Shed { .. } => sheds += 1,
+                other => return Err(format!("overload job ended {other:?}")),
+            }
+        }
+        if sheds != 1 {
+            return Err(format!("expected exactly one shed victim, saw {sheds}"));
+        }
+
+        let stats = client.health()?;
+        for (key, want) in [
+            ("bad-request", 1.0),
+            ("deck-too-large", 1.0),
+            ("queue-full", 1.0),
+        ] {
+            if rejected_num(&stats, key) < want {
+                return Err(format!(
+                    "health rejected.{key}={} (want >= {want})",
+                    rejected_num(&stats, key)
+                ));
+            }
+        }
+        if health_num(&stats, "shed") != 1.0 {
+            return Err(format!("health shed={}", health_num(&stats, "shed")));
+        }
+        if health_num(&stats, "degraded") < 1.0 {
+            return Err(format!(
+                "health degraded={}",
+                health_num(&stats, "degraded")
+            ));
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        violations.push(format!("overload: {e}"));
+    }
+    server.stop(violations, "overload");
+}
+
+/// Phase 4: a starvation quota kills the greedy client in-band with a
+/// typed failure and refuses its next job, while a frugal client is
+/// untouched.
+fn phase_quota(bin: &Path, root: &Path, violations: &mut Vec<String>) {
+    println!("chaos: phase 4 — per-client quota exhaustion");
+    let server = match spawn_server(
+        bin,
+        &root.join("quota"),
+        "chaos",
+        &["--workers", "1", "--quota", "10"],
+        &root.join("quota.log"),
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            violations.push(format!("quota: {e}"));
+            return;
+        }
+    };
+    let run = || -> Result<(), String> {
+        let mut client = server.client()?;
+        // ~2-3 Newton iterations per trial: 60 trials blows a grant of
+        // 10 in-band, mid-job.
+        let greedy = match client.submit("greedy", "deck v1 mc trials=60 seed=9 sigma=0.05", 5)? {
+            Response::Accepted { digest, .. } => digest,
+            other => return Err(format!("greedy job not accepted: {other:?}")),
+        };
+        match client.wait(&greedy)?.0 {
+            Response::Failed { kind, .. } if kind == "deadline" => {}
+            other => return Err(format!("greedy job should die in-band typed: {other:?}")),
+        }
+        let refused = client.submit("greedy", "deck v1 mc trials=60 seed=10 sigma=0.05", 5)?;
+        if !ServerClient::rejected_with(&refused, RejectReason::QuotaExhausted) {
+            return Err(format!(
+                "spent client not rejected quota-exhausted: {refused:?}"
+            ));
+        }
+        // Two trials fit inside a fresh grant of 10.
+        let frugal = match client.submit("frugal", "deck v1 mc trials=2 seed=11 sigma=0.05", 5)? {
+            Response::Accepted { digest, .. } => digest,
+            other => return Err(format!("frugal job not accepted: {other:?}")),
+        };
+        match client.wait(&frugal)?.0 {
+            Response::Done { .. } => {}
+            other => return Err(format!("frugal client was starved: {other:?}")),
+        }
+        let stats = client.health()?;
+        if rejected_num(&stats, "quota-exhausted") != 1.0 {
+            return Err(format!(
+                "health rejected.quota-exhausted={}",
+                rejected_num(&stats, "quota-exhausted")
+            ));
+        }
+        if health_num(&stats, "deadline_exceeded") != 1.0 {
+            return Err(format!(
+                "health deadline_exceeded={}",
+                health_num(&stats, "deadline_exceeded")
+            ));
+        }
+        Ok(())
+    };
+    if let Err(e) = run() {
+        violations.push(format!("quota: {e}"));
+    }
+    server.stop(violations, "quota");
+}
+
+fn main() -> ExitCode {
+    let args = Cli::new(
+        "chaos",
+        "kill/restart chaos drill against the resident job server",
+    )
+    .switch(
+        "--smoke",
+        "reduced CI variant (smaller batch, same assertions)",
+    )
+    .value("--dir", "scratch directory [default: target/chaos]")
+    .parse_or_exit();
+    let smoke = args.has("--smoke");
+    let root = PathBuf::from(args.get("--dir").unwrap_or("target/chaos"));
+
+    let bin = match server_bin() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("chaos: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let _ = std::fs::remove_dir_all(&root);
+    if let Err(e) = std::fs::create_dir_all(&root) {
+        eprintln!("chaos: create {root:?}: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "chaos: drilling {bin:?} in {root:?}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let specs = batch(smoke);
+    let mut violations = Vec::new();
+    let reference = phase_reference(&bin, &root, &specs, &mut violations);
+    if violations.is_empty() {
+        phase_crash_restart(&bin, &root, &specs, &reference, &mut violations);
+    } else {
+        println!("chaos: skipping crash phase — the reference run already failed");
+    }
+    phase_overload(&bin, &root, &mut violations);
+    phase_quota(&bin, &root, &mut violations);
+
+    if violations.is_empty() {
+        println!("chaos OK ({} decks, 4 phases)", specs.len());
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("chaos violation: {v}");
+        }
+        eprintln!("chaos: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

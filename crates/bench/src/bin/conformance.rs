@@ -15,6 +15,7 @@ use std::process::ExitCode;
 use nemscmos::gates::PdnStyle;
 use nemscmos::sram::SramKind;
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::{device_tables, dynamic_or, sleep, sram};
 use nemscmos_verify::claims;
 
@@ -115,6 +116,11 @@ fn measure(metrics: &mut BTreeMap<String, f64>) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    Cli::new(
+        "conformance",
+        "re-measures every claim in claims.toml into a pass/fail scoreboard",
+    )
+    .parse_or_exit();
     let registry = claims::builtin();
     let mut metrics = BTreeMap::new();
     if let Err(e) = measure(&mut metrics) {

@@ -9,8 +9,10 @@ use nemscmos::spice::analysis::dc_sweep::dc_sweep;
 use nemscmos::spice::analysis::op::OpOptions;
 use nemscmos::spice::circuit::Circuit;
 use nemscmos::spice::waveform::Waveform;
+use nemscmos_bench::cli::Cli;
 
 fn main() {
+    Cli::new("curves", "dumps device I-V characteristics as CSV").parse_or_exit();
     let vdd = 1.2;
 
     println!("# Id-Vg transfer curves at Vds = {vdd} V (A/µm)");

@@ -1,8 +1,10 @@
 //! Regenerates Figure 1: the ITRS leakage-scaling trend.
 
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::device_tables::render_fig01;
 
 fn main() {
+    Cli::new("fig01", "regenerates Figure 1 (ITRS leakage-scaling trend)").parse_or_exit();
     println!("Figure 1 — technology scaling and subthreshold leakage\n");
     println!("{}", render_fig01());
 }

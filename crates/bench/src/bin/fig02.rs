@@ -1,8 +1,10 @@
 //! Regenerates Figure 2: the subthreshold-swing survey.
 
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::device_tables::render_fig02;
 
 fn main() {
+    Cli::new("fig02", "regenerates Figure 2 (subthreshold-swing survey)").parse_or_exit();
     println!("Figure 2 — minimum subthreshold swing by device family\n");
     println!("{}", render_fig02());
 }

@@ -2,9 +2,15 @@
 //! OR gate under process variation.
 
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::dynamic_or::{fig09, fig09_monte_carlo, render_fig09};
 
 fn main() {
+    Cli::new(
+        "fig09",
+        "regenerates Figure 9 (keeper sizing trade-off under variation)",
+    )
+    .parse_or_exit();
     let tech = Technology::n90();
     println!("Figure 9 — keeper sizing trade-off (8-input CMOS dynamic OR)\n");
     match fig09(&tech) {

@@ -2,9 +2,15 @@
 
 use nemscmos::gates::PdnStyle;
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::dynamic_or::{fig10, render_fig10};
 
 fn main() {
+    Cli::new(
+        "fig10",
+        "regenerates Figure 10 (8-input dynamic OR vs fan-out)",
+    )
+    .parse_or_exit();
     let tech = Technology::n90();
     println!("Figure 10 — 8-input dynamic OR vs fan-out (CMOS vs hybrid)\n");
     match fig10(&tech) {

@@ -2,9 +2,15 @@
 
 use nemscmos::gates::PdnStyle;
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::dynamic_or::{fig11, render_fig11};
 
 fn main() {
+    Cli::new(
+        "fig11",
+        "regenerates Figure 11 (dynamic OR vs fan-in, crossover)",
+    )
+    .parse_or_exit();
     let tech = Technology::n90();
     println!("Figure 11 — dynamic OR vs fan-in at fan-out 3 (CMOS vs hybrid)\n");
     match fig11(&tech) {

@@ -1,9 +1,15 @@
 //! Regenerates Figure 12: power-delay product vs activity factor.
 
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::dynamic_or::{fig12, render_fig12};
 
 fn main() {
+    Cli::new(
+        "fig12",
+        "regenerates Figure 12 (power-delay product vs activity factor)",
+    )
+    .parse_or_exit();
     let tech = Technology::n90();
     println!("Figure 12 — power-delay product (Eq. 1) vs activity factor\n");
     match fig12(&tech) {

@@ -1,9 +1,15 @@
 //! Regenerates Figure 14: SRAM butterfly curves and SNM.
 
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::sram::{fig14, render_fig14};
 
 fn main() {
+    Cli::new(
+        "fig14",
+        "regenerates Figure 14 (SRAM butterfly curves and SNM)",
+    )
+    .parse_or_exit();
     let tech = Technology::n90();
     println!("Figure 14 — SRAM read butterfly / static noise margin\n");
     match fig14(&tech) {

@@ -1,9 +1,15 @@
 //! Regenerates Figure 15: SRAM read latency and standby leakage.
 
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::sram::{fig15, render_fig15};
 
 fn main() {
+    Cli::new(
+        "fig15",
+        "regenerates Figure 15 (SRAM read latency and standby leakage)",
+    )
+    .parse_or_exit();
     let tech = Technology::n90();
     println!("Figure 15 — SRAM read latency and standby leakage (normalized)\n");
     match fig15(&tech) {

@@ -2,9 +2,15 @@
 //! gated-block companion study.
 
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::sleep::{fig17, gated_block_study, render_fig17};
 
 fn main() {
+    Cli::new(
+        "fig17",
+        "regenerates Figure 17 (sleep-transistor R_ON / I_OFF vs area)",
+    )
+    .parse_or_exit();
     let tech = Technology::n90();
     println!("Figure 17 — sleep transistor R_on and I_off vs normalized area\n");
     println!("{}", render_fig17(&fig17(&tech)));

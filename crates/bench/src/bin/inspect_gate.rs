@@ -4,11 +4,25 @@
 use nemscmos::gates::{DynamicOrGate, DynamicOrParams, PdnStyle};
 use nemscmos::tech::Technology;
 use nemscmos_analysis::table::fmt_eng;
+use nemscmos_bench::cli::Cli;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let fan_in: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let fan_out: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let args = Cli::new(
+        "inspect_gate",
+        "prints figures and sizing of one dynamic OR configuration",
+    )
+    .positionals("[FAN_IN] [FAN_OUT]", 2)
+    .parse_or_exit();
+    let count = |i: usize, default: usize| {
+        args.positional.get(i).map_or(default, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("inspect_gate: {s:?} is not a valid count");
+                std::process::exit(2);
+            })
+        })
+    };
+    let fan_in = count(0, 8);
+    let fan_out = count(1, 1);
     let tech = Technology::n90();
     for style in [PdnStyle::Cmos, PdnStyle::HybridNems] {
         let params = DynamicOrParams::new(fan_in, fan_out, style);

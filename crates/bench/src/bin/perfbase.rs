@@ -31,6 +31,7 @@ use std::time::Instant;
 
 use nemscmos::gates::{DynamicOrGate, DynamicOrParams, PdnStyle};
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_harness::Json;
 use nemscmos_spice::analysis::tran::{transient, TranOptions};
 use nemscmos_spice::profile::{self, SolveProfile};
@@ -228,26 +229,14 @@ fn smoke_violations(results: &[Measurement]) -> Vec<String> {
 }
 
 fn main() -> ExitCode {
-    let mut iters = 5usize;
-    let mut out = String::from("BENCH_5.json");
-    let mut smoke = false;
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--iters" => {
-                iters = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--iters needs a positive integer");
-            }
-            "--out" => out = args.next().expect("--out needs a path"),
-            "--smoke" => smoke = true,
-            other => {
-                eprintln!("unknown argument `{other}`");
-                return ExitCode::FAILURE;
-            }
-        }
-    }
+    let args = Cli::new("perfbase", "sparse fast-path benchmark baseline")
+        .value("--iters", "timing iterations per workload [default: 5]")
+        .value("--out", "output JSON path [default: BENCH_5.json]")
+        .switch("--smoke", "reduced CI smoke variant")
+        .parse_or_exit();
+    let mut iters: usize = args.num("--iters", 5);
+    let out = args.get("--out").unwrap_or("BENCH_5.json").to_string();
+    let smoke = args.has("--smoke");
     if smoke {
         iters = iters.min(2);
     }

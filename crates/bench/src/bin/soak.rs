@@ -32,6 +32,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
+use nemscmos_bench::cli::Cli;
 use nemscmos_harness::{
     Cache, FailureKind, HarnessError, JobOutcome, JobSpec, RetryPolicy, Runner, Supervision,
 };
@@ -475,19 +476,19 @@ fn resume_smoke() -> ExitCode {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--resume-smoke") {
+    let args = Cli::new(
+        "soak",
+        "seeded fault-injection soak of the solver + harness stack",
+    )
+    .value("--plans", "fault plans to draw [default: 8]")
+    .value("--seed", "master seed [default: 0xD1CE]")
+    .switch("--resume-smoke", "run the kill/resume drill instead")
+    .parse_or_exit();
+    if args.has("--resume-smoke") {
         return resume_smoke();
     }
-    let get = |flag: &str, default: u64| {
-        args.iter()
-            .position(|a| a == flag)
-            .and_then(|k| args.get(k + 1))
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default)
-    };
-    let plans = get("--plans", 8) as usize;
-    let seed = get("--seed", 0xD1CE);
+    let plans: usize = args.num("--plans", 8);
+    let seed: u64 = args.num("--seed", 0xD1CE);
 
     let jobs_def = portfolio();
     let specs: Vec<JobSpec> = jobs_def

@@ -21,6 +21,7 @@ use nemscmos::spice::analysis::dc_sweep::dc_sweep;
 use nemscmos::spice::analysis::op::{op, OpOptions};
 use nemscmos::spice::analysis::tran::{transient, TranOptions};
 use nemscmos::spice::netlist::{parse_deck, Directive, ParsedDeck};
+use nemscmos_bench::cli::Cli;
 
 fn run(deck: &ParsedDeck, text: &str, csv: bool, vcd_path: Option<&str>) -> Result<(), String> {
     // Node names sorted for stable output (ground omitted: always 0 V).
@@ -150,29 +151,17 @@ fn run(deck: &ParsedDeck, text: &str, csv: bool, vcd_path: Option<&str>) -> Resu
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let vcd_path = args
-        .iter()
-        .position(|a| a == "--vcd")
-        .and_then(|k| args.get(k + 1))
-        .cloned();
-    let mut positional = Vec::new();
-    let mut skip_next = false;
-    for a in args.iter().skip(1) {
-        if skip_next {
-            skip_next = false;
-            continue;
-        }
-        if a == "--vcd" {
-            skip_next = true;
-            continue;
-        }
-        if !a.starts_with("--") {
-            positional.push(a.clone());
-        }
-    }
-    let path = match positional.first() {
+    let args = Cli::new(
+        "spicerun",
+        "run a SPICE-style netlist against the nemscmos engine",
+    )
+    .switch("--csv", "print full .tran waveform tables as CSV")
+    .value("--vcd", "dump .tran waveforms to a GTKWave-ready VCD file")
+    .positionals("<deck.cir>", 1)
+    .parse_or_exit();
+    let csv = args.has("--csv");
+    let vcd_path = args.get("--vcd").map(str::to_string);
+    let path = match args.positional.first() {
         Some(p) => p.clone(),
         None => {
             eprintln!("usage: spicerun [--csv] [--vcd out.vcd] <deck.cir>");

@@ -1,8 +1,10 @@
 //! Regenerates Table 1: I_ON / I_OFF of the calibrated devices.
 
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::device_tables::render_table1;
 
 fn main() {
+    Cli::new("table1", "regenerates Table 1 (device on/off currents)").parse_or_exit();
     println!("Table 1 — device on/off currents at 90 nm, V_dd = 1.2 V\n");
     println!("{}", render_table1());
 }

@@ -1,9 +1,11 @@
 //! Leakage–temperature coupling study (the paper's ref. \[5\] motivation).
 
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::thermal::{leakage_vs_temperature, runaway_study};
 
 fn main() {
+    Cli::new("thermal", "leakage-temperature coupling study").parse_or_exit();
     let tech = Technology::n90();
     println!("Leakage vs temperature (8-input dynamic OR core)\n");
     match leakage_vs_temperature(&tech) {

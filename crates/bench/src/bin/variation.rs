@@ -2,10 +2,12 @@
 //! sweep of the headline circuits, with harness telemetry.
 
 use nemscmos::tech::Technology;
+use nemscmos_bench::cli::Cli;
 use nemscmos_bench::experiments::variation::{render_corner_sweep, render_sram_mc};
 use nemscmos_harness::drain_reports;
 
 fn main() {
+    Cli::new("variation", "SRAM SNM Monte Carlo and five-corner sweep").parse_or_exit();
     let tech = Technology::n90();
     println!("SRAM read-SNM Monte Carlo (sigma_Vth = 30 mV/device, 64 trials)\n");
     match render_sram_mc(&tech, 0.03, 64) {

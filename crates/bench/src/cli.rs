@@ -1,0 +1,230 @@
+//! Shared CLI conventions for every `bin/*` target.
+//!
+//! All bench binaries speak the same dialect: `--help`/`-h` prints a
+//! usage block and exits 0, an unknown or malformed flag prints the
+//! usage to stderr and exits 2 (so CI scripts and shell pipelines see
+//! typos as failures, never as silently-defaulted runs), and declared
+//! flags are collected without any external argument-parsing crate.
+//!
+//! ```no_run
+//! use nemscmos_bench::cli::Cli;
+//! let args = Cli::new("soak", "seeded fault-injection soak")
+//!     .value("--plans", "number of fault plans [default: 8]")
+//!     .value("--seed", "master seed")
+//!     .switch("--resume-smoke", "run the kill/resume drill instead")
+//!     .parse_or_exit();
+//! let plans: usize = args.num("--plans", 8);
+//! ```
+
+use std::process::exit;
+
+/// Declarative description of one binary's flags.
+#[derive(Debug, Clone)]
+pub struct Cli {
+    name: &'static str,
+    about: &'static str,
+    values: Vec<(&'static str, &'static str)>,
+    switches: Vec<(&'static str, &'static str)>,
+    positionals: Option<(&'static str, usize)>,
+}
+
+/// Parsed arguments.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+    /// Non-flag arguments, in order.
+    pub positional: Vec<String>,
+}
+
+/// Successful parse outcomes (internal; `parse_or_exit` resolves both).
+#[derive(Debug, PartialEq, Eq)]
+enum Parsed {
+    Args(Args),
+    Help,
+}
+
+impl Args {
+    /// True when `switch` was passed.
+    pub fn has(&self, switch: &str) -> bool {
+        self.switches.iter().any(|s| s == switch)
+    }
+
+    /// The raw value of `flag`, if passed.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The parsed value of `flag`, or `default` when absent. A value
+    /// that does not parse exits 2 — a typo must never silently run
+    /// with the default.
+    pub fn num<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
+        match self.get(flag) {
+            None => default,
+            Some(raw) => raw.parse().unwrap_or_else(|_| {
+                eprintln!("{flag} {raw:?} is not a valid value");
+                exit(2);
+            }),
+        }
+    }
+}
+
+impl Cli {
+    /// Starts a declaration for binary `name`.
+    pub fn new(name: &'static str, about: &'static str) -> Cli {
+        Cli {
+            name,
+            about,
+            values: Vec::new(),
+            switches: Vec::new(),
+            positionals: None,
+        }
+    }
+
+    /// Declares a flag that takes a value (`--flag VALUE`).
+    #[must_use]
+    pub fn value(mut self, flag: &'static str, help: &'static str) -> Cli {
+        self.values.push((flag, help));
+        self
+    }
+
+    /// Declares a boolean switch.
+    #[must_use]
+    pub fn switch(mut self, flag: &'static str, help: &'static str) -> Cli {
+        self.switches.push((flag, help));
+        self
+    }
+
+    /// Allows up to `max` positional (non-flag) arguments.
+    #[must_use]
+    pub fn positionals(mut self, help: &'static str, max: usize) -> Cli {
+        self.positionals = Some((help, max));
+        self
+    }
+
+    /// The rendered usage block.
+    pub fn usage(&self) -> String {
+        let mut out = format!(
+            "{} — {}\n\nusage: {} [options]",
+            self.name, self.about, self.name
+        );
+        if let Some((help, _)) = self.positionals {
+            out.push_str(&format!(" {help}"));
+        }
+        out.push_str("\n\noptions:\n");
+        for (flag, help) in &self.values {
+            out.push_str(&format!("  {flag} VALUE\n      {help}\n"));
+        }
+        for (flag, help) in &self.switches {
+            out.push_str(&format!("  {flag}\n      {help}\n"));
+        }
+        out.push_str("  --help\n      print this help\n");
+        out
+    }
+
+    fn try_parse(&self, raw: impl Iterator<Item = String>) -> Result<Parsed, String> {
+        let mut args = Args::default();
+        let mut raw = raw.peekable();
+        while let Some(tok) = raw.next() {
+            if tok == "--help" || tok == "-h" {
+                return Ok(Parsed::Help);
+            }
+            if self.values.iter().any(|(f, _)| *f == tok) {
+                let value = raw.next().ok_or_else(|| format!("{tok} needs a value"))?;
+                args.values.push((tok, value));
+            } else if self.switches.iter().any(|(f, _)| *f == tok) {
+                args.switches.push(tok);
+            } else if tok.starts_with('-') {
+                return Err(format!("unknown flag {tok:?}"));
+            } else {
+                let max = self.positionals.map_or(0, |(_, max)| max);
+                if args.positional.len() >= max {
+                    return Err(if max == 0 {
+                        format!("unexpected argument {tok:?}")
+                    } else {
+                        format!("too many arguments at {tok:?} (at most {max})")
+                    });
+                }
+                args.positional.push(tok);
+            }
+        }
+        Ok(Parsed::Args(args))
+    }
+
+    /// Parses the process arguments. `--help` prints usage and exits 0;
+    /// anything undeclared prints usage to stderr and exits 2.
+    pub fn parse_or_exit(&self) -> Args {
+        match self.try_parse(std::env::args().skip(1)) {
+            Ok(Parsed::Args(args)) => args,
+            Ok(Parsed::Help) => {
+                println!("{}", self.usage());
+                exit(0);
+            }
+            Err(e) => {
+                eprintln!("{}: {e}\n\n{}", self.name, self.usage());
+                exit(2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs<'a>(raw: &'a [&'a str]) -> impl Iterator<Item = String> + 'a {
+        raw.iter().map(|s| (*s).to_string())
+    }
+
+    fn cli() -> Cli {
+        Cli::new("demo", "test binary")
+            .value("--iters", "iteration count")
+            .switch("--smoke", "reduced run")
+            .positionals("[PATH]", 1)
+    }
+
+    #[test]
+    fn declared_flags_parse() {
+        let parsed = cli()
+            .try_parse(strs(&["--iters", "7", "--smoke", "a.cir"]))
+            .unwrap();
+        let Parsed::Args(args) = parsed else {
+            panic!("not help");
+        };
+        assert_eq!(args.num("--iters", 0usize), 7);
+        assert!(args.has("--smoke"));
+        assert_eq!(args.positional, vec!["a.cir"]);
+        // Absent flags fall back.
+        assert_eq!(args.num("--missing", 42u64), 42);
+        assert!(!args.has("--other"));
+    }
+
+    #[test]
+    fn help_wins_anywhere() {
+        assert_eq!(
+            cli().try_parse(strs(&["--iters", "7", "--help"])).unwrap(),
+            Parsed::Help
+        );
+        assert_eq!(cli().try_parse(strs(&["-h"])).unwrap(), Parsed::Help);
+    }
+
+    #[test]
+    fn unknown_flags_and_arity_are_errors() {
+        assert!(cli().try_parse(strs(&["--warp"])).is_err());
+        assert!(cli().try_parse(strs(&["--iters"])).is_err());
+        assert!(cli().try_parse(strs(&["a", "b"])).is_err());
+        // A binary with no positionals declared rejects bare words too.
+        assert!(Cli::new("x", "y").try_parse(strs(&["stray"])).is_err());
+    }
+
+    #[test]
+    fn usage_lists_every_flag() {
+        let usage = cli().usage();
+        for needle in ["--iters", "--smoke", "--help", "[PATH]", "demo"] {
+            assert!(usage.contains(needle), "usage missing {needle}: {usage}");
+        }
+    }
+}

@@ -21,5 +21,6 @@
 //! | `fig15`  | Figure 15 — SRAM read latency and standby leakage |
 //! | `fig17`  | Figure 17 — sleep-transistor R_ON / I_OFF vs area |
 
+pub mod cli;
 pub mod experiments;
 pub mod timing;

@@ -1,4 +1,5 @@
-//! Crash-safe batch journal: append-only JSONL of completed jobs.
+//! Crash-safe batch journal: append-only JSONL of accepted and
+//! completed jobs.
 //!
 //! The result cache makes *individual* jobs cheap to redo, but a killed
 //! batch still re-walks every spec, and cache-bypassing jobs (faulted
@@ -11,13 +12,25 @@
 //! with deterministic per-spec seeding, the combined output is bitwise
 //! identical to an uninterrupted run.
 //!
+//! Server-owned runs additionally journal *acceptance*: a job accepted
+//! into the queue is recorded with [`Journal::record_accepted`] (same
+//! line shape, no `result` field) **before** the client is acked, so a
+//! `kill -9` between ack and completion leaves a durable obligation. On
+//! reopen, accepted-but-never-completed jobs surface through
+//! [`Journal::pending`] and the server re-enqueues them.
+//!
 //! # Torn writes
 //!
 //! A kill can land mid-append, leaving a torn final line. Loading
-//! tolerates this: lines that fail to parse, lack a field, or whose
-//! recomputed spec digest disagrees with the stored one are skipped (the
-//! job simply re-runs). Appends are a single `write` + `sync_data`, so
-//! at most the last line is ever torn.
+//! *quarantines* such a line (and any other malformed or
+//! digest-mismatched line) into `journal-<run-id>.jsonl.torn` — the same
+//! post-mortem convention as the cache's `<digest>.corrupt` — counts it
+//! (see [`Journal::torn`]), and rewrites the journal to the intact
+//! entries only. The rewrite matters for correctness, not just
+//! tidiness: a torn final line has no trailing newline, so appending the
+//! next record directly after it would destroy *that* record too.
+//! Appends are a single `write` + `sync_data`, so at most the last line
+//! is ever torn.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -29,21 +42,26 @@ use crate::cache::content_digest;
 use crate::json::Json;
 use crate::HarnessError;
 
-/// Append-only record of jobs completed by one named run.
+/// Append-only record of jobs accepted and completed by one named run.
 #[derive(Debug)]
 pub struct Journal {
     run_id: String,
     path: PathBuf,
     /// digest → (spec, result) recovered at open or recorded since.
     completed: Mutex<HashMap<String, (String, Json)>>,
+    /// digest → (name, spec) accepted but not yet completed.
+    pending: Mutex<HashMap<String, (String, String)>>,
     file: Mutex<File>,
     recovered: usize,
+    torn: usize,
 }
 
 impl Journal {
     /// Opens (or creates) the journal for `run_id` under `dir`,
     /// replaying any entries a previous invocation of the run left
-    /// behind. Torn or corrupt lines are skipped, not fatal.
+    /// behind. Torn or corrupt lines are quarantined to
+    /// `journal-<run-id>.jsonl.torn`, counted in [`Journal::torn`], and
+    /// removed from the live journal — never fatal.
     ///
     /// # Errors
     ///
@@ -63,8 +81,12 @@ impl Journal {
         std::fs::create_dir_all(&dir)
             .map_err(|e| HarnessError::Cache(format!("journal: create {}: {e}", dir.display())))?;
         let path = dir.join(format!("journal-{run_id}.jsonl"));
-        let completed = load_entries(&path);
-        let recovered = completed.len();
+        let replay = load_entries(&path);
+        let recovered = replay.completed.len();
+        let torn = replay.torn_lines.len();
+        if torn > 0 {
+            quarantine_torn(&path, &replay);
+        }
         let file = OpenOptions::new()
             .create(true)
             .append(true)
@@ -73,9 +95,11 @@ impl Journal {
         Ok(Journal {
             run_id: run_id.to_string(),
             path,
-            completed: Mutex::new(completed),
+            completed: Mutex::new(replay.completed),
+            pending: Mutex::new(replay.pending),
             file: Mutex::new(file),
             recovered,
+            torn,
         })
     }
 
@@ -95,6 +119,25 @@ impl Journal {
         self.recovered
     }
 
+    /// How many torn/corrupt lines the open quarantined to
+    /// `journal-<run-id>.jsonl.torn`.
+    pub fn torn(&self) -> usize {
+        self.torn
+    }
+
+    /// Jobs recorded as accepted by a previous invocation that never
+    /// completed: `(name, digest, spec)` triples, the restart
+    /// obligations of a server-owned run.
+    pub fn pending(&self) -> Vec<(String, String, String)> {
+        let pending = self.pending.lock().expect("journal map poisoned");
+        let mut out: Vec<(String, String, String)> = pending
+            .iter()
+            .map(|(digest, (name, spec))| (name.clone(), digest.clone(), spec.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// The journaled result for `digest`, if this run already completed
     /// it with the *same* spec (a digest collision with a different spec
     /// is treated as absent).
@@ -104,6 +147,36 @@ impl Journal {
             .get(digest)
             .filter(|(stored_spec, _)| stored_spec == spec)
             .map(|(_, result)| result.clone())
+    }
+
+    /// Records a job as *accepted*: one result-less JSON line, flushed
+    /// and `sync_data`'d, written **before** the caller acknowledges the
+    /// job to its client — a crash after the ack can then never lose the
+    /// obligation. Completing the job later with [`Journal::record`]
+    /// clears it from [`Journal::pending`].
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Cache`] on I/O failure — callers performing
+    /// journal-before-ack must treat this as fatal for the job (reject
+    /// instead of ack) to keep the zero-lost-acks contract.
+    pub fn record_accepted(
+        &self,
+        name: &str,
+        digest: &str,
+        spec: &str,
+    ) -> Result<(), HarnessError> {
+        let entry = Json::Obj(vec![
+            ("name".into(), Json::Str(name.into())),
+            ("digest".into(), Json::Str(digest.into())),
+            ("spec".into(), Json::Str(spec.into())),
+        ]);
+        self.append_line(&entry)?;
+        self.pending
+            .lock()
+            .expect("journal map poisoned")
+            .insert(digest.to_string(), (name.to_string(), spec.to_string()));
+        Ok(())
     }
 
     /// Appends a completed job: one JSON line, flushed and `sync_data`'d
@@ -127,58 +200,142 @@ impl Journal {
             ("spec".into(), Json::Str(spec.into())),
             ("result".into(), result.clone()),
         ]);
-        let mut line = entry.render();
-        line.push('\n');
-        {
-            // Hold the file lock across write + sync so concurrent
-            // workers cannot interleave partial lines.
-            let mut file = self.file.lock().expect("journal file poisoned");
-            file.write_all(line.as_bytes())
-                .and_then(|()| file.sync_data())
-                .map_err(|e| {
-                    HarnessError::Cache(format!("journal: append {}: {e}", self.path.display()))
-                })?;
-        }
+        self.append_line(&entry)?;
         self.completed
             .lock()
             .expect("journal map poisoned")
             .insert(digest.to_string(), (spec.to_string(), result.clone()));
+        self.pending
+            .lock()
+            .expect("journal map poisoned")
+            .remove(digest);
         Ok(())
+    }
+
+    fn append_line(&self, entry: &Json) -> Result<(), HarnessError> {
+        let mut line = entry.render();
+        line.push('\n');
+        // Hold the file lock across write + sync so concurrent workers
+        // cannot interleave partial lines.
+        let mut file = self.file.lock().expect("journal file poisoned");
+        file.write_all(line.as_bytes())
+            .and_then(|()| file.sync_data())
+            .map_err(|e| {
+                HarnessError::Cache(format!("journal: append {}: {e}", self.path.display()))
+            })
     }
 }
 
-/// Parses every intact entry out of a journal file. Missing file ⇒
-/// empty map (a fresh run). Each entry is verified: the stored digest
-/// must match the recomputed digest of the stored spec, otherwise the
-/// line is ignored.
-fn load_entries(path: &Path) -> HashMap<String, (String, Json)> {
-    let mut completed = HashMap::new();
+/// Everything one replay pass extracts from a journal file.
+struct Replay {
+    completed: HashMap<String, (String, Json)>,
+    pending: HashMap<String, (String, String)>,
+    /// Raw text of every malformed line, in file order.
+    torn_lines: Vec<String>,
+    /// Raw text of every intact line, in file order (for the rewrite).
+    intact_lines: Vec<String>,
+}
+
+/// Parses every entry out of a journal file, splitting intact entries
+/// from torn/corrupt lines. Missing file ⇒ empty replay (a fresh run).
+/// Each entry is verified: the stored digest must match the recomputed
+/// digest of the stored spec, otherwise the line counts as torn.
+fn load_entries(path: &Path) -> Replay {
+    let mut replay = Replay {
+        completed: HashMap::new(),
+        pending: HashMap::new(),
+        torn_lines: Vec::new(),
+        intact_lines: Vec::new(),
+    };
     let Ok(file) = File::open(path) else {
-        return completed;
+        return replay;
     };
     for line in BufReader::new(file).lines() {
         let Ok(line) = line else { break };
-        let Some(entry) = parse_entry(&line) else {
+        if line.trim().is_empty() {
             continue;
-        };
-        completed.insert(entry.0, (entry.1, entry.2));
+        }
+        match parse_entry(&line) {
+            Some(Entry {
+                name: _,
+                digest,
+                spec,
+                result: Some(result),
+            }) => {
+                replay.pending.remove(&digest);
+                replay.completed.insert(digest, (spec, result));
+                replay.intact_lines.push(line);
+            }
+            Some(Entry {
+                name,
+                digest,
+                spec,
+                result: None,
+            }) => {
+                if !replay.completed.contains_key(&digest) {
+                    replay.pending.insert(digest, (name, spec));
+                }
+                replay.intact_lines.push(line);
+            }
+            None => replay.torn_lines.push(line),
+        }
     }
-    completed
+    replay
 }
 
-/// Decodes and verifies one journal line into (digest, spec, result).
-fn parse_entry(line: &str) -> Option<(String, String, Json)> {
-    if line.trim().is_empty() {
-        return None;
+/// Moves the torn lines of a replay aside to `<path>.torn` (appending,
+/// preserving them for post-mortem) and rewrites the journal to its
+/// intact entries so subsequent appends start on a clean line boundary.
+/// Best-effort: an I/O failure here leaves the original journal alone.
+fn quarantine_torn(path: &Path, replay: &Replay) {
+    let torn_path = path.with_extension("jsonl.torn");
+    let mut torn_text = String::new();
+    for line in &replay.torn_lines {
+        torn_text.push_str(line);
+        torn_text.push('\n');
     }
+    let appended = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&torn_path)
+        .and_then(|mut f| f.write_all(torn_text.as_bytes()));
+    if appended.is_err() {
+        return;
+    }
+    let mut intact_text = String::new();
+    for line in &replay.intact_lines {
+        intact_text.push_str(line);
+        intact_text.push('\n');
+    }
+    let tmp = path.with_extension("jsonl.rewrite");
+    if std::fs::write(&tmp, intact_text).is_ok() && std::fs::rename(&tmp, path).is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}
+
+struct Entry {
+    name: String,
+    digest: String,
+    spec: String,
+    /// `None` for acceptance records.
+    result: Option<Json>,
+}
+
+/// Decodes and verifies one journal line.
+fn parse_entry(line: &str) -> Option<Entry> {
     let value = Json::parse(line).ok()?;
+    let name = value.get("name")?.as_str()?;
     let digest = value.get("digest")?.as_str()?;
     let spec = value.get("spec")?.as_str()?;
-    let result = value.get("result")?;
     if content_digest(spec) != digest {
         return None;
     }
-    Some((digest.to_string(), spec.to_string(), result.clone()))
+    Some(Entry {
+        name: name.to_string(),
+        digest: digest.to_string(),
+        spec: spec.to_string(),
+        result: value.get("result").cloned(),
+    })
 }
 
 #[cfg(test)]
@@ -218,7 +375,39 @@ mod tests {
     }
 
     #[test]
-    fn torn_final_line_is_skipped_not_fatal() {
+    fn accepted_jobs_surface_as_pending_until_completed() {
+        let dir = scratch_dir("accepted");
+        let (spec_a, spec_b) = ("accept-test a", "accept-test b");
+        let (dig_a, dig_b) = (content_digest(spec_a), content_digest(spec_b));
+        {
+            let j = Journal::open(&dir, "srv").unwrap();
+            j.record_accepted("a", &dig_a, spec_a).unwrap();
+            j.record_accepted("b", &dig_b, spec_b).unwrap();
+            assert_eq!(j.pending().len(), 2);
+            // Completing clears the obligation.
+            j.record("a", &dig_a, spec_a, &Json::Num(2.0)).unwrap();
+            assert_eq!(j.pending().len(), 1);
+        }
+        // Crash + reopen: the completed job is recovered, the accepted
+        // one is still owed.
+        let j = Journal::open(&dir, "srv").unwrap();
+        assert_eq!(j.recovered(), 1);
+        assert_eq!(j.lookup(&dig_a, spec_a), Some(Json::Num(2.0)));
+        assert_eq!(
+            j.pending(),
+            vec![("b".to_string(), dig_b.clone(), spec_b.to_string())]
+        );
+        // Completing after the restart clears it durably.
+        j.record("b", &dig_b, spec_b, &Json::Num(3.0)).unwrap();
+        drop(j);
+        let j = Journal::open(&dir, "srv").unwrap();
+        assert!(j.pending().is_empty());
+        assert_eq!(j.recovered(), 2);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_quarantined_not_fatal() {
         let dir = scratch_dir("torn");
         let specs = ["torn-test a", "torn-test b"];
         {
@@ -239,13 +428,26 @@ mod tests {
 
         let j = Journal::open(&dir, "run").unwrap();
         assert_eq!(j.recovered(), 1, "only the intact line survives");
+        assert_eq!(j.torn(), 1, "the torn line is counted");
         assert!(j.lookup(&content_digest(specs[0]), specs[0]).is_some());
         assert!(j.lookup(&content_digest(specs[1]), specs[1]).is_none());
+        // The torn bytes are preserved for post-mortem...
+        let torn_path = dir.join("journal-run.jsonl.torn");
+        let quarantined = std::fs::read_to_string(&torn_path).unwrap();
+        assert!(quarantined.contains("torn-test") || !quarantined.is_empty());
+        // ...and the live journal is clean: a fresh append must start on
+        // its own line, not glue onto the torn fragment.
+        j.record("j", &content_digest(specs[1]), specs[1], &Json::Num(8.0))
+            .unwrap();
+        drop(j);
+        let j = Journal::open(&dir, "run").unwrap();
+        assert_eq!(j.recovered(), 2, "append after quarantine is intact");
+        assert_eq!(j.torn(), 0);
         let _ = std::fs::remove_dir_all(dir);
     }
 
     #[test]
-    fn digest_mismatch_lines_are_ignored() {
+    fn digest_mismatch_lines_are_quarantined() {
         let dir = scratch_dir("mismatch");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("journal-bad.jsonl");
@@ -258,6 +460,8 @@ mod tests {
         .unwrap();
         let j = Journal::open(&dir, "bad").unwrap();
         assert_eq!(j.recovered(), 0);
+        assert_eq!(j.torn(), 1);
+        assert!(dir.join("journal-bad.jsonl.torn").exists());
         let _ = std::fs::remove_dir_all(dir);
     }
 

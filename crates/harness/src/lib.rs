@@ -108,6 +108,10 @@ pub enum HarnessError {
     Cache(String),
     /// A cached artifact could not be decoded into the expected type.
     Codec(String),
+    /// Malformed harness configuration (garbage environment knobs).
+    /// Long-running services refuse to start on this instead of
+    /// silently running unsupervised.
+    Config(String),
 }
 
 /// Coarse failure classification for run-report taxonomies.
@@ -128,6 +132,8 @@ pub enum FailureKind {
     Cache,
     /// Artifact decode failure.
     Codec,
+    /// Malformed configuration rejected at startup.
+    Config,
     /// Deadline, iteration-cap, or watchdog-stall abort
     /// ([`SpiceError::DeadlineExceeded`]).
     Deadline,
@@ -148,6 +154,7 @@ impl FailureKind {
             FailureKind::Panic => "panic",
             FailureKind::Cache => "cache",
             FailureKind::Codec => "codec",
+            FailureKind::Config => "config",
             FailureKind::Deadline => "deadline",
             FailureKind::Cancelled => "cancelled",
             FailureKind::Other => "other",
@@ -170,6 +177,7 @@ impl HarnessError {
             HarnessError::Failed(_) => FailureKind::Other,
             HarnessError::Cache(_) => FailureKind::Cache,
             HarnessError::Codec(_) => FailureKind::Codec,
+            HarnessError::Config(_) => FailureKind::Config,
         }
     }
 
@@ -205,6 +213,7 @@ impl fmt::Display for HarnessError {
             HarnessError::Failed(msg) => write!(f, "job failed: {msg}"),
             HarnessError::Cache(msg) => write!(f, "cache error: {msg}"),
             HarnessError::Codec(msg) => write!(f, "codec error: {msg}"),
+            HarnessError::Config(msg) => write!(f, "config error: {msg}"),
         }
     }
 }
@@ -309,6 +318,7 @@ mod tests {
             (HarnessError::Failed("bad".into()), FailureKind::Other),
             (HarnessError::Cache("io".into()), FailureKind::Cache),
             (HarnessError::Codec("shape".into()), FailureKind::Codec),
+            (HarnessError::Config("bad env".into()), FailureKind::Config),
         ] {
             assert_eq!(e.kind(), kind);
             assert!(!e.is_retryable(), "{e} must not be retryable");

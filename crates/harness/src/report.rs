@@ -111,6 +111,9 @@ pub struct RunReport {
     pub batch_wall: Duration,
     /// Cache artifacts quarantined as corrupt while serving this run.
     pub quarantined: u64,
+    /// Torn journal lines quarantined to `journal-<run-id>.jsonl.torn`
+    /// while replaying this run's journal.
+    pub torn: u64,
 }
 
 impl RunReport {
@@ -121,6 +124,7 @@ impl RunReport {
             jobs: Vec::new(),
             batch_wall: Duration::ZERO,
             quarantined: 0,
+            torn: 0,
         }
     }
 
@@ -284,13 +288,16 @@ impl RunReport {
             self.cancelled_jobs(),
             self.deadline_exceeded_jobs(),
         );
-        if !self.batch_wall.is_zero() || resumed + cancelled + deadlined > 0 || self.quarantined > 0
+        if !self.batch_wall.is_zero()
+            || resumed + cancelled + deadlined > 0
+            || self.quarantined + self.torn > 0
         {
             out.push_str(&format!(
                 "supervision: batch wall {:.1}ms | resumed {resumed} | cancelled {cancelled} | \
-                 deadline-exceeded {deadlined} | quarantined {}\n",
+                 deadline-exceeded {deadlined} | quarantined {} | torn {}\n",
                 self.batch_wall.as_secs_f64() * 1e3,
                 self.quarantined,
+                self.torn,
             ));
         }
         let taxonomy = self.failure_taxonomy();
@@ -324,13 +331,14 @@ pub fn supervision_totals(reports: &[RunReport]) -> String {
     let sum = |f: fn(&RunReport) -> usize| reports.iter().map(f).sum::<usize>();
     format!(
         "supervision totals: {} run(s) | batch wall {:.1}ms | resumed {} | cancelled {} | \
-         deadline-exceeded {} | quarantined {}",
+         deadline-exceeded {} | quarantined {} | torn {}",
         reports.len(),
         batch_wall.as_secs_f64() * 1e3,
         sum(RunReport::resumed_jobs),
         sum(RunReport::cancelled_jobs),
         sum(RunReport::deadline_exceeded_jobs),
         reports.iter().map(|r| r.quarantined).sum::<u64>(),
+        reports.iter().map(|r| r.torn).sum::<u64>(),
     )
 }
 
@@ -504,12 +512,13 @@ mod tests {
         assert_eq!(r.resumed_jobs(), 1);
         assert_eq!(r.deadline_exceeded_jobs(), 1);
         assert_eq!(r.cancelled_jobs(), 1);
+        r.torn = 2;
         let text = r.render();
         assert!(text.contains("journal"), "{text}");
         assert!(
             text.contains(
                 "supervision: batch wall 120.0ms | resumed 1 | cancelled 1 | \
-                 deadline-exceeded 1 | quarantined 1"
+                 deadline-exceeded 1 | quarantined 1 | torn 2"
             ),
             "{text}"
         );
@@ -538,6 +547,7 @@ mod tests {
         let mut b = RunReport::new("b");
         b.batch_wall = Duration::from_millis(70);
         b.quarantined = 2;
+        b.torn = 1;
         b.jobs.push(failed_record(
             "d",
             JobOutcome::Failed {
@@ -548,7 +558,7 @@ mod tests {
         assert_eq!(
             supervision_totals(&[a, b]),
             "supervision totals: 2 run(s) | batch wall 100.0ms | resumed 1 | cancelled 0 | \
-             deadline-exceeded 1 | quarantined 2"
+             deadline-exceeded 1 | quarantined 2 | torn 1"
         );
     }
 

@@ -119,6 +119,13 @@ impl Runner {
     /// - `NEMSCMOS_HARNESS_DEADLINE_MS=n` / `NEMSCMOS_HARNESS_STALL_MS=n`
     ///   — per-job deadline and stall timeout (see
     ///   [`Supervision::from_env`]).
+    ///
+    /// # Panics
+    ///
+    /// On malformed supervision knobs (a set-but-garbage `*_MS` value):
+    /// fail-fast with the typed [`HarnessError::Config`] message rather
+    /// than silently running unsupervised. Services that prefer a
+    /// recoverable error call [`Supervision::from_env`] themselves.
     pub fn from_env() -> Runner {
         let cache_off = std::env::var("NEMSCMOS_HARNESS_CACHE")
             .map(|v| v == "off" || v == "0")
@@ -128,7 +135,8 @@ impl Runner {
             cache: (!cache_off).then(|| Cache::at(Cache::default_dir())),
             policy: RetryPolicy::default(),
             fault_source: None,
-            supervision: Supervision::from_env(),
+            supervision: Supervision::from_env()
+                .unwrap_or_else(|e| panic!("harness refuses to start: {e}")),
             journal: None,
         }
     }
@@ -273,6 +281,7 @@ impl Runner {
         drop(watchdog); // stop and join the scanner before reporting
         let mut report = RunReport::new(title);
         report.batch_wall = batch_started.elapsed();
+        report.torn = self.journal.as_ref().map_or(0, |j| j.torn() as u64);
         report.quarantined = self
             .cache
             .as_ref()

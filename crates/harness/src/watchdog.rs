@@ -28,6 +28,8 @@ use std::time::{Duration, Instant};
 use nemscmos_spice::budget::{Budget, InterruptFlag};
 use nemscmos_spice::stats::Heartbeat;
 
+use crate::HarnessError;
+
 /// Per-job resource policy for a batch.
 ///
 /// All limits are optional; the default is fully inert (no budget
@@ -77,19 +79,56 @@ impl Supervision {
     /// - `NEMSCMOS_HARNESS_DEADLINE_MS=n` — per-job deadline;
     /// - `NEMSCMOS_HARNESS_STALL_MS=n` — stall timeout.
     ///
-    /// Unset or unparsable values leave the corresponding limit off.
-    pub fn from_env() -> Supervision {
-        let ms = |key: &str| {
-            std::env::var(key)
-                .ok()
-                .and_then(|v| v.parse::<u64>().ok())
-                .map(Duration::from_millis)
-        };
-        Supervision {
-            deadline: ms("NEMSCMOS_HARNESS_DEADLINE_MS"),
-            stall_timeout: ms("NEMSCMOS_HARNESS_STALL_MS"),
+    /// Unset values leave the corresponding limit off. A value that is
+    /// *set but malformed* (not a positive integer number of
+    /// milliseconds) is a typed [`HarnessError::Config`] — a garbage
+    /// knob silently running a batch unsupervised is worse than
+    /// refusing to start.
+    ///
+    /// # Errors
+    ///
+    /// [`HarnessError::Config`] naming the offending variable and value.
+    pub fn from_env() -> Result<Supervision, HarnessError> {
+        Ok(Supervision {
+            deadline: Self::env_ms("NEMSCMOS_HARNESS_DEADLINE_MS")?,
+            stall_timeout: Self::env_ms("NEMSCMOS_HARNESS_STALL_MS")?,
             ..Supervision::default()
+        })
+    }
+
+    /// Parses one `*_MS` environment knob: unset ⇒ `None`, a positive
+    /// integer ⇒ `Some(duration)`, anything else ⇒ typed config error.
+    fn env_ms(key: &str) -> Result<Option<Duration>, HarnessError> {
+        let Ok(raw) = std::env::var(key) else {
+            return Ok(None);
+        };
+        match raw.trim().parse::<u64>() {
+            Ok(ms) if ms > 0 => Ok(Some(Duration::from_millis(ms))),
+            _ => Err(HarnessError::Config(format!(
+                "{key}={raw:?} is not a positive integer number of milliseconds"
+            ))),
         }
+    }
+
+    /// One-line rendering of the effective policy, for startup logs
+    /// (servers print this so the active limits are never a mystery).
+    pub fn describe(&self) -> String {
+        let show = |d: Option<Duration>| match d {
+            Some(d) => format!("{}ms", d.as_millis()),
+            None => "off".to_string(),
+        };
+        let cap = |c: Option<u64>| match c {
+            Some(c) => c.to_string(),
+            None => "off".to_string(),
+        };
+        format!(
+            "deadline {} | stall {} | max-newton {} | max-lu {} | max-rejections {}",
+            show(self.deadline),
+            show(self.stall_timeout),
+            cap(self.max_newton),
+            cap(self.max_lu),
+            cap(self.max_rejections),
+        )
     }
 
     /// Sets the stall timeout.
@@ -285,6 +324,52 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         cond()
+    }
+
+    #[test]
+    fn env_parsing_is_strict_and_typed() {
+        // One test covers set/garbage/unset sequentially — env vars are
+        // process-global, so this must not be split across parallel
+        // tests.
+        let key = "NEMSCMOS_HARNESS_DEADLINE_MS";
+        let stall = "NEMSCMOS_HARNESS_STALL_MS";
+        let old_key = std::env::var(key).ok();
+        let old_stall = std::env::var(stall).ok();
+
+        std::env::set_var(key, "250");
+        std::env::remove_var(stall);
+        let sup = Supervision::from_env().expect("well-formed env parses");
+        assert_eq!(sup.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(sup.stall_timeout, None);
+
+        for garbage in ["soon", "-5", "1.5", "", "0"] {
+            std::env::set_var(key, garbage);
+            let err = Supervision::from_env().expect_err("garbage env must be refused");
+            assert_eq!(err.kind(), crate::FailureKind::Config);
+            let msg = err.to_string();
+            assert!(
+                msg.contains(key) && msg.contains("milliseconds"),
+                "unhelpful config error: {msg}"
+            );
+        }
+
+        match old_key {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
+        match old_stall {
+            Some(v) => std::env::set_var(stall, v),
+            None => std::env::remove_var(stall),
+        }
+    }
+
+    #[test]
+    fn describe_renders_effective_limits() {
+        let sup = Supervision::deadline(Duration::from_millis(40)).with_max_newton(100);
+        let text = sup.describe();
+        assert!(text.contains("deadline 40ms"), "{text}");
+        assert!(text.contains("stall off"), "{text}");
+        assert!(text.contains("max-newton 100"), "{text}");
     }
 
     #[test]

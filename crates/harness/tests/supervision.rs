@@ -15,7 +15,9 @@ use nemscmos_numeric::newton::NewtonOptions;
 use nemscmos_numeric::rng::{Rand64, Xoshiro256pp};
 use nemscmos_spice::analysis::op::{op_with, OpOptions};
 use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::budget::{self, Budget, InterruptFlag};
 use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::stats;
 use nemscmos_spice::waveform::Waveform;
 
 fn scratch_dir(tag: &str) -> std::path::PathBuf {
@@ -229,4 +231,67 @@ fn panic_outside_the_job_guard_degrades_to_a_record_not_a_batch_abort() {
         other => panic!("expected a panicked slot, got {other:?}"),
     }
     let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Retries the doomed solve under the installed budget, raising `flag`
+/// in the gap after the first rung returns. Attempt 1 fails with a
+/// *retryable* non-convergence, the ladder escalates, and attempt 2's
+/// very first Newton poll sees the sticky flag — the interrupt is typed,
+/// non-retryable, and must stop the ladder cold.
+fn interrupted_ladder(flag: &InterruptFlag, raise: impl Fn(&InterruptFlag)) -> (HarnessError, u32) {
+    let attempts = AtomicUsize::new(0);
+    let err = nemscmos_harness::run_with_retries(RetryPolicy::default(), 7, |attempt| {
+        attempts.fetch_add(1, Ordering::SeqCst);
+        let result = starved_op().map(|_| ()).map_err(HarnessError::from);
+        if attempt.index == 0 {
+            assert!(
+                result.as_ref().is_err_and(HarnessError::is_retryable),
+                "rung 1 must fail retryably for the drill to be meaningful"
+            );
+            raise(flag); // the supervisor fires between rungs
+        }
+        result
+    })
+    .unwrap_err();
+    (err, attempts.load(Ordering::SeqCst) as u32)
+}
+
+#[test]
+fn cancellation_between_rungs_stops_the_ladder_with_partial_telemetry() {
+    let flag = InterruptFlag::new();
+    let budget = Budget {
+        flag: Some(flag.clone()),
+        ..Budget::unbounded()
+    };
+    let ((err, attempts), spent) = stats::measure(|| {
+        budget::with(budget, || interrupted_ladder(&flag, InterruptFlag::cancel))
+    });
+    // Exactly the escalation attempt that hit the flag — no third rung.
+    assert_eq!(attempts, 2, "cancellation must not buy another rung");
+    assert_eq!(err.kind(), FailureKind::Cancelled);
+    assert!(!err.is_retryable(), "an interrupt is never retryable");
+    // The effort of the interrupted attempts is still accounted for.
+    assert!(
+        spent.newton_iterations > 0,
+        "partial telemetry lost: {spent:?}"
+    );
+}
+
+#[test]
+fn deadline_between_rungs_stops_the_ladder_with_partial_telemetry() {
+    let flag = InterruptFlag::new();
+    let budget = Budget {
+        flag: Some(flag.clone()),
+        ..Budget::unbounded()
+    };
+    let ((err, attempts), spent) = stats::measure(|| {
+        budget::with(budget, || interrupted_ladder(&flag, InterruptFlag::expire))
+    });
+    assert_eq!(attempts, 2, "deadline expiry must not buy another rung");
+    assert_eq!(err.kind(), FailureKind::Deadline);
+    assert!(!err.is_retryable(), "an interrupt is never retryable");
+    assert!(
+        spent.newton_iterations > 0,
+        "partial telemetry lost: {spent:?}"
+    );
 }

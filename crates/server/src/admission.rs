@@ -1,0 +1,648 @@
+//! Admission control and backpressure: the bounded, priority-ordered
+//! job queue behind the server.
+//!
+//! Every decision is made under one lock, in a fixed order, and every
+//! refusal is *typed* (a [`RejectReason`]) and counted:
+//!
+//! 1. **Draining** — a server winding down admits nothing new.
+//! 2. **Parse / size** — malformed specs and over-limit decks are
+//!    rejected before they can cost anything.
+//! 3. **Quota** — each client draws from a [`QuotaPool`] of Newton
+//!    iterations; an exhausted pool refuses further admissions until
+//!    the server restarts (quotas are per-run).
+//! 4. **Queue bound + shedding** — the queue holds at most `queue_cap`
+//!    jobs. When full, a newcomer that outranks the lowest-priority
+//!    queued job *evicts* it (the victim is notified with a terminal
+//!    `shed` response and tombstoned in the journal); otherwise the
+//!    newcomer is refused `queue-full`.
+//! 5. **Degradation** — once the queue reaches the high watermark,
+//!    degradable decks (Monte Carlo) are admitted at reduced fidelity,
+//!    marked `degraded: true`, under their *own* digest.
+//!
+//! Acceptance is journaled (`record_accepted`, fsync'd) before this
+//! module returns, so the caller can ack the client knowing a crash
+//! can no longer lose the job.
+
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex};
+
+use nemscmos_harness::{content_digest, Journal};
+use nemscmos_spice::budget::QuotaPool;
+
+use crate::deck::{Deck, Limits};
+use crate::proto::{RejectReason, Response};
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct AdmissionConfig {
+    /// Maximum queued (not yet running) jobs.
+    pub queue_cap: usize,
+    /// Queue depth at which degradable decks are admitted degraded.
+    pub degrade_watermark: usize,
+    /// Floor for degraded Monte-Carlo trial counts.
+    pub min_trials: usize,
+    /// Per-client Newton-iteration grant for this run.
+    pub quota_newton: u64,
+    /// Deck size limits.
+    pub limits: Limits,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_cap: 64,
+            degrade_watermark: 48,
+            min_trials: 16,
+            quota_newton: 50_000_000,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// One admitted job waiting for (or owed to) a worker.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// Admission order, for FIFO within a priority class.
+    pub seq: u64,
+    /// 0–9, higher runs first.
+    pub priority: u8,
+    /// Submitting client (quota account); `"__resume"` for jobs
+    /// re-enqueued from the journal after a restart.
+    pub client: String,
+    /// Digest of the effective spec.
+    pub digest: String,
+    /// The effective canonical spec.
+    pub spec: String,
+    /// Parsed effective deck.
+    pub deck: Deck,
+    /// True when backpressure reduced this job.
+    pub degraded: bool,
+    /// The client's quota pool (absent for resumed orphans).
+    pub quota: Option<QuotaPool>,
+    /// Where responses go; `None` for resumed orphans (results are
+    /// recovered via the journal and the `result` op).
+    pub reply: Option<Sender<Response>>,
+}
+
+/// Monotonic counters surfaced by the health op.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Counters {
+    /// Jobs journaled and acked.
+    pub accepted: u64,
+    /// Jobs admitted at reduced fidelity.
+    pub degraded: u64,
+    /// Acked jobs evicted by higher-priority arrivals.
+    pub shed: u64,
+    /// Terminal successes (any source).
+    pub completed: u64,
+    /// Replayed from the journal without execution.
+    pub replayed_journal: u64,
+    /// Served from the content-addressed cache.
+    pub replayed_cache: u64,
+    /// Terminal typed failures.
+    pub failed: u64,
+    /// Failures classified deadline/stall.
+    pub deadline_exceeded: u64,
+    /// Failures classified cancelled.
+    pub cancelled: u64,
+    /// Successes that needed more than one ladder attempt.
+    pub retried: u64,
+    /// Refusals by reason.
+    pub rejected_queue_full: u64,
+    /// Quota refusals.
+    pub rejected_quota: u64,
+    /// Size-limit refusals.
+    pub rejected_too_large: u64,
+    /// Malformed-request refusals.
+    pub rejected_bad_request: u64,
+    /// Refusals because the server was draining.
+    pub rejected_draining: u64,
+}
+
+impl Counters {
+    /// Bumps the counter matching a refusal reason.
+    fn count_reject(&mut self, reason: RejectReason) {
+        match reason {
+            RejectReason::QueueFull => self.rejected_queue_full += 1,
+            RejectReason::QuotaExhausted => self.rejected_quota += 1,
+            RejectReason::DeckTooLarge => self.rejected_too_large += 1,
+            RejectReason::BadRequest => self.rejected_bad_request += 1,
+            RejectReason::Draining => self.rejected_draining += 1,
+            RejectReason::NotFound => {}
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    queue: Vec<QueuedJob>,
+    seq: u64,
+    running: u64,
+    draining: bool,
+    clients: HashMap<String, QuotaPool>,
+    counters: Counters,
+}
+
+/// The outcome of one submission attempt.
+#[derive(Debug)]
+pub enum SubmitOutcome {
+    /// Journaled, queued, safe to ack.
+    Accepted {
+        /// Digest of the effective spec.
+        digest: String,
+        /// The effective canonical spec.
+        effective: String,
+        /// True when admitted at reduced fidelity.
+        degraded: bool,
+        /// The job evicted to make room, if shedding occurred. The
+        /// caller notifies it and journals its tombstone.
+        shed: Option<QueuedJob>,
+    },
+    /// Typed refusal, already counted.
+    Rejected {
+        /// Refusal class.
+        reason: RejectReason,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// The shared admission state: bounded queue, quota registry, counters.
+#[derive(Debug)]
+pub struct Admission {
+    config: AdmissionConfig,
+    state: Mutex<State>,
+    wake: Condvar,
+}
+
+impl Admission {
+    /// Creates an empty queue under `config`.
+    pub fn new(config: AdmissionConfig) -> Admission {
+        Admission {
+            config,
+            state: Mutex::new(State::default()),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().expect("admission state poisoned")
+    }
+
+    /// Runs the full admission pipeline for one submission. On success
+    /// the acceptance is already fsync'd to `journal` — the caller may
+    /// ack immediately — and the job is queued. A shed victim, if any,
+    /// is returned for notification; its tombstone is already journaled.
+    pub fn submit(
+        &self,
+        client: &str,
+        deck_spec: &str,
+        priority: u8,
+        reply: Option<Sender<Response>>,
+        journal: &Journal,
+    ) -> SubmitOutcome {
+        let mut st = self.lock();
+        if st.draining {
+            st.counters.count_reject(RejectReason::Draining);
+            return SubmitOutcome::Rejected {
+                reason: RejectReason::Draining,
+                detail: "server is draining for shutdown".into(),
+            };
+        }
+        let deck = match Deck::parse(deck_spec) {
+            Ok(d) => d,
+            Err(e) => {
+                st.counters.count_reject(RejectReason::BadRequest);
+                return SubmitOutcome::Rejected {
+                    reason: RejectReason::BadRequest,
+                    detail: e,
+                };
+            }
+        };
+        if let Some(why) = deck.too_large(&self.config.limits) {
+            st.counters.count_reject(RejectReason::DeckTooLarge);
+            return SubmitOutcome::Rejected {
+                reason: RejectReason::DeckTooLarge,
+                detail: why,
+            };
+        }
+        let grant = self.config.quota_newton;
+        let quota = st
+            .clients
+            .entry(client.to_string())
+            .or_insert_with(|| QuotaPool::new(grant))
+            .clone();
+        if quota.exhausted() {
+            st.counters.count_reject(RejectReason::QuotaExhausted);
+            return SubmitOutcome::Rejected {
+                reason: RejectReason::QuotaExhausted,
+                detail: format!(
+                    "client {client:?} spent its grant of {} newton iterations",
+                    quota.granted()
+                ),
+            };
+        }
+        // Shedding: a full queue only admits a newcomer that strictly
+        // outranks its weakest member — the lowest-priority job (newest
+        // arrival among equals) is evicted to make room.
+        let mut shed = None;
+        if st.queue.len() >= self.config.queue_cap {
+            let victim_at = st
+                .queue
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, j)| (j.priority, u64::MAX - j.seq))
+                .map(|(i, _)| i);
+            match victim_at {
+                Some(i) if st.queue[i].priority < priority => {
+                    shed = Some(st.queue.remove(i));
+                }
+                _ => {
+                    st.counters.count_reject(RejectReason::QueueFull);
+                    return SubmitOutcome::Rejected {
+                        reason: RejectReason::QueueFull,
+                        detail: format!(
+                            "queue at its cap of {} with no lower-priority job to shed",
+                            self.config.queue_cap
+                        ),
+                    };
+                }
+            }
+        }
+        // Backpressure degradation: past the watermark, degradable
+        // decks run reduced. The effective spec gets its own digest so
+        // degraded artifacts never pollute full-fidelity ones.
+        let mut degraded = false;
+        let effective_deck = if st.queue.len() >= self.config.degrade_watermark {
+            match deck.degrade(self.config.min_trials) {
+                Some(d) => {
+                    degraded = true;
+                    d
+                }
+                None => deck,
+            }
+        } else {
+            deck
+        };
+        let effective = effective_deck.canonical();
+        let digest = content_digest(&effective);
+        // Journal-before-ack: the fsync happens here, inside the lock,
+        // so an accepted job is durable before anyone hears about it. A
+        // journal I/O failure demotes the submission to a rejection —
+        // acking a job we cannot make durable would break the
+        // zero-lost-acks contract.
+        if let Err(e) = journal.record_accepted(client, &digest, &effective) {
+            // Put the victim back: its eviction is only valid if the
+            // newcomer actually lands.
+            if let Some(v) = shed.take() {
+                st.queue.push(v);
+            }
+            st.counters.count_reject(RejectReason::BadRequest);
+            return SubmitOutcome::Rejected {
+                reason: RejectReason::BadRequest,
+                detail: format!("journal append failed: {e}"),
+            };
+        }
+        if let Some(victim) = &shed {
+            st.counters.shed += 1;
+            let _ = journal.record(
+                &victim.client,
+                &victim.digest,
+                &victim.spec,
+                &crate::server::shed_marker(),
+            );
+        }
+        st.counters.accepted += 1;
+        if degraded {
+            st.counters.degraded += 1;
+        }
+        st.seq += 1;
+        let job = QueuedJob {
+            seq: st.seq,
+            priority,
+            client: client.to_string(),
+            digest: digest.clone(),
+            spec: effective.clone(),
+            deck: effective_deck,
+            degraded,
+            quota: Some(quota),
+            reply,
+        };
+        st.queue.push(job);
+        self.wake.notify_all();
+        SubmitOutcome::Accepted {
+            digest,
+            effective,
+            degraded,
+            shed,
+        }
+    }
+
+    /// Re-enqueues a journal obligation after a restart, bypassing the
+    /// admission pipeline (it was already admitted by a previous
+    /// incarnation; refusing it now would lose an acked job).
+    pub fn enqueue_resumed(&self, client: &str, digest: &str, spec: &str, deck: Deck) {
+        let mut st = self.lock();
+        st.seq += 1;
+        let job = QueuedJob {
+            seq: st.seq,
+            priority: 5,
+            client: client.to_string(),
+            digest: digest.to_string(),
+            spec: spec.to_string(),
+            deck,
+            degraded: false,
+            quota: None,
+            reply: None,
+        };
+        st.queue.push(job);
+        self.wake.notify_all();
+    }
+
+    /// Blocks until a job is available (highest priority first, FIFO
+    /// within a class) or the server is draining with an empty queue —
+    /// then `None`, telling the worker to exit.
+    pub fn take(&self) -> Option<QueuedJob> {
+        let mut st = self.lock();
+        loop {
+            if let Some(best) = st
+                .queue
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, j)| (j.priority, u64::MAX - j.seq))
+                .map(|(i, _)| i)
+            {
+                let job = st.queue.remove(best);
+                st.running += 1;
+                self.wake.notify_all();
+                return Some(job);
+            }
+            if st.draining {
+                return None;
+            }
+            st = self.wake.wait(st).expect("admission state poisoned");
+        }
+    }
+
+    /// Marks a taken job finished and folds its terminal outcome into
+    /// the counters.
+    pub fn job_done(&self, update: impl FnOnce(&mut Counters)) {
+        let mut st = self.lock();
+        st.running -= 1;
+        update(&mut st.counters);
+        self.wake.notify_all();
+    }
+
+    /// Applies a counter update outside the job lifecycle (replays
+    /// served by the `result` op, startup bookkeeping).
+    pub fn count(&self, update: impl FnOnce(&mut Counters)) {
+        update(&mut self.lock().counters);
+    }
+
+    /// Flips into draining mode: no new admissions, workers exit once
+    /// the queue empties. Returns `(queued, running)` at the flip.
+    pub fn drain(&self) -> (u64, u64) {
+        let mut st = self.lock();
+        st.draining = true;
+        self.wake.notify_all();
+        (st.queue.len() as u64, st.running)
+    }
+
+    /// True once draining and fully idle — the accept loop's exit test.
+    pub fn drained(&self) -> bool {
+        let st = self.lock();
+        st.draining && st.queue.is_empty() && st.running == 0
+    }
+
+    /// Point-in-time `(queue_depth, running, draining, clients)` plus a
+    /// copy of the counters.
+    pub fn snapshot(&self) -> (u64, u64, bool, u64, Counters) {
+        let st = self.lock();
+        (
+            st.queue.len() as u64,
+            st.running,
+            st.draining,
+            st.clients.len() as u64,
+            st.counters,
+        )
+    }
+
+    /// Whether `digest` is currently waiting in the queue — the
+    /// `result` op combines this with the running registry to answer
+    /// `running` instead of `not-found`.
+    pub fn is_queued(&self, digest: &str) -> bool {
+        self.lock().queue.iter().any(|j| j.digest == digest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_journal(tag: &str) -> (std::path::PathBuf, Journal) {
+        let dir = std::env::temp_dir().join(format!(
+            "nemscmos-admission-test-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = Journal::open(&dir, "adm").unwrap();
+        (dir, journal)
+    }
+
+    fn mc_spec(seed: u64) -> String {
+        format!("deck v1 mc trials=64 seed={seed} sigma=0.05")
+    }
+
+    #[test]
+    fn accepts_then_takes_in_priority_order() {
+        let (dir, journal) = scratch_journal("order");
+        let adm = Admission::new(AdmissionConfig::default());
+        for (seed, priority) in [(1, 2), (2, 8), (3, 2)] {
+            let out = adm.submit("c", &mc_spec(seed), priority, None, &journal);
+            assert!(matches!(out, SubmitOutcome::Accepted { .. }), "{out:?}");
+        }
+        // Highest priority first, then FIFO among the rest.
+        let first = adm.take().unwrap();
+        assert_eq!(first.priority, 8);
+        assert_eq!(adm.take().unwrap().spec, mc_spec(1));
+        assert_eq!(adm.take().unwrap().spec, mc_spec(3));
+        // Acceptance was journaled before the ack.
+        assert_eq!(journal.pending().len(), 3);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn bad_and_oversized_decks_are_typed_rejections() {
+        let (dir, journal) = scratch_journal("typed");
+        let adm = Admission::new(AdmissionConfig {
+            limits: Limits {
+                max_fan_in: 8,
+                max_trials: 100,
+            },
+            ..AdmissionConfig::default()
+        });
+        match adm.submit("c", "deck v1 warp", 5, None, &journal) {
+            SubmitOutcome::Rejected { reason, .. } => {
+                assert_eq!(reason, RejectReason::BadRequest);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        match adm.submit("c", "deck v1 domino fan_in=9 fan_out=1", 5, None, &journal) {
+            SubmitOutcome::Rejected { reason, .. } => {
+                assert_eq!(reason, RejectReason::DeckTooLarge);
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        let (.., counters) = adm.snapshot();
+        assert_eq!(counters.rejected_bad_request, 1);
+        assert_eq!(counters.rejected_too_large, 1);
+        assert!(journal.pending().is_empty(), "rejections must not journal");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn full_queue_rejects_peers_but_sheds_lower_priority() {
+        let (dir, journal) = scratch_journal("shed");
+        let adm = Admission::new(AdmissionConfig {
+            queue_cap: 2,
+            ..AdmissionConfig::default()
+        });
+        assert!(matches!(
+            adm.submit("c", &mc_spec(1), 3, None, &journal),
+            SubmitOutcome::Accepted { .. }
+        ));
+        assert!(matches!(
+            adm.submit("c", &mc_spec(2), 5, None, &journal),
+            SubmitOutcome::Accepted { .. }
+        ));
+        // Same priority as the weakest queued job: refused.
+        match adm.submit("c", &mc_spec(3), 3, None, &journal) {
+            SubmitOutcome::Rejected { reason, .. } => {
+                assert_eq!(reason, RejectReason::QueueFull);
+            }
+            other => panic!("expected queue-full, got {other:?}"),
+        }
+        // Outranks the priority-3 job: that job is shed.
+        match adm.submit("c", &mc_spec(4), 7, None, &journal) {
+            SubmitOutcome::Accepted { shed: Some(v), .. } => {
+                assert_eq!(v.spec, mc_spec(1));
+                // The tombstone cleared the victim's journal obligation.
+                assert!(!journal.pending().iter().any(|(_, d, _)| *d == v.digest));
+            }
+            other => panic!("expected accept-with-shed, got {other:?}"),
+        }
+        let (queue_depth, _, _, _, counters) = adm.snapshot();
+        assert_eq!(queue_depth, 2);
+        assert_eq!(counters.shed, 1);
+        assert_eq!(counters.rejected_queue_full, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn quota_exhaustion_is_a_typed_rejection() {
+        let (dir, journal) = scratch_journal("quota");
+        let adm = Admission::new(AdmissionConfig {
+            quota_newton: 10,
+            ..AdmissionConfig::default()
+        });
+        let out = adm.submit("tenant", &mc_spec(1), 5, None, &journal);
+        assert!(matches!(out, SubmitOutcome::Accepted { .. }));
+        // Burn the whole grant, as a worker settling a job would.
+        let job = adm.take().unwrap();
+        let spent = nemscmos_spice::stats::SolverStats {
+            newton_iterations: 10,
+            ..Default::default()
+        };
+        job.quota.as_ref().unwrap().settle(&spent);
+        adm.job_done(|c| c.completed += 1);
+        match adm.submit("tenant", &mc_spec(2), 5, None, &journal) {
+            SubmitOutcome::Rejected { reason, detail } => {
+                assert_eq!(reason, RejectReason::QuotaExhausted);
+                assert!(detail.contains("tenant"), "{detail}");
+            }
+            other => panic!("expected quota rejection, got {other:?}"),
+        }
+        // A different client has its own pool.
+        assert!(matches!(
+            adm.submit("other", &mc_spec(2), 5, None, &journal),
+            SubmitOutcome::Accepted { .. }
+        ));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn watermark_degrades_monte_carlo_only() {
+        let (dir, journal) = scratch_journal("degrade");
+        let adm = Admission::new(AdmissionConfig {
+            queue_cap: 8,
+            degrade_watermark: 1,
+            min_trials: 16,
+            ..AdmissionConfig::default()
+        });
+        // First job: queue below the watermark, full fidelity.
+        match adm.submit("c", &mc_spec(1), 5, None, &journal) {
+            SubmitOutcome::Accepted { degraded, .. } => assert!(!degraded),
+            other => panic!("{other:?}"),
+        }
+        // Second: past the watermark, degraded to trials/4 = 16.
+        match adm.submit("c", &mc_spec(2), 5, None, &journal) {
+            SubmitOutcome::Accepted {
+                degraded,
+                effective,
+                digest,
+                ..
+            } => {
+                assert!(degraded);
+                assert_eq!(effective, "deck v1 mc trials=16 seed=2 sigma=0.05");
+                assert_eq!(digest, content_digest(&effective));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Non-degradable decks are admitted untouched past the watermark.
+        match adm.submit("c", "deck v1 verify name=rlc-tank", 5, None, &journal) {
+            SubmitOutcome::Accepted {
+                degraded,
+                effective,
+                ..
+            } => {
+                assert!(!degraded);
+                assert_eq!(effective, "deck v1 verify name=rlc-tank");
+            }
+            other => panic!("{other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn draining_refuses_and_unblocks_workers() {
+        let (dir, journal) = scratch_journal("drain");
+        let adm = Admission::new(AdmissionConfig::default());
+        assert!(matches!(
+            adm.submit("c", &mc_spec(1), 5, None, &journal),
+            SubmitOutcome::Accepted { .. }
+        ));
+        let (queued, running) = adm.drain();
+        assert_eq!((queued, running), (1, 0));
+        match adm.submit("c", &mc_spec(2), 5, None, &journal) {
+            SubmitOutcome::Rejected { reason, .. } => {
+                assert_eq!(reason, RejectReason::Draining);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The queued job still drains.
+        let job = adm.take().unwrap();
+        assert!(!adm.drained(), "running job holds off idle");
+        adm.job_done(|c| c.completed += 1);
+        drop(job);
+        assert!(adm.drained());
+        // Workers now see the exit signal.
+        assert!(adm.take().is_none());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,231 @@
+//! `ServerClient`: a blocking NDJSON client with reconnect/backoff.
+//!
+//! One client owns one connection. Requests are issued one at a time,
+//! but the server interleaves asynchronous lines (heartbeats, terminal
+//! results of earlier submissions, shed notices) onto the same socket —
+//! the client buffers whatever it reads past, so nothing is lost while
+//! waiting for a specific answer.
+//!
+//! [`ServerClient::connect_with_retry`] exponentially backs off while
+//! the server is down, which is exactly the window a crash/restart
+//! drill needs to ride through.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use nemscmos_harness::{content_digest, Json};
+
+use crate::proto::{RejectReason, Request, Response};
+
+/// Blocking client for one server connection.
+#[derive(Debug)]
+pub struct ServerClient {
+    reader: BufReader<UnixStream>,
+    /// Responses read past while waiting for something else.
+    pending: Vec<Response>,
+}
+
+/// How long one blocking read may wait before the client reports the
+/// server unresponsive. Generous: a cold domino transient takes real
+/// solver time.
+const READ_TIMEOUT: Duration = Duration::from_secs(300);
+
+impl ServerClient {
+    /// Connects once.
+    ///
+    /// # Errors
+    ///
+    /// The rendered I/O error.
+    pub fn connect(socket: impl AsRef<Path>) -> Result<ServerClient, String> {
+        let socket = socket.as_ref();
+        let stream = UnixStream::connect(socket).map_err(|e| format!("connect {socket:?}: {e}"))?;
+        stream
+            .set_read_timeout(Some(READ_TIMEOUT))
+            .map_err(|e| format!("set read timeout: {e}"))?;
+        Ok(ServerClient {
+            reader: BufReader::new(stream),
+            pending: Vec::new(),
+        })
+    }
+
+    /// Connects with exponential backoff — `attempts` tries, starting
+    /// at `backoff` and doubling. Rides through a server restart.
+    ///
+    /// # Errors
+    ///
+    /// The last connection error once the attempts are spent.
+    pub fn connect_with_retry(
+        socket: impl Into<PathBuf>,
+        attempts: u32,
+        backoff: Duration,
+    ) -> Result<ServerClient, String> {
+        let socket = socket.into();
+        let mut wait = backoff;
+        let mut last = String::from("no attempts configured");
+        for attempt in 0..attempts.max(1) {
+            match Self::connect(&socket) {
+                Ok(c) => return Ok(c),
+                Err(e) => last = e,
+            }
+            if attempt + 1 < attempts {
+                std::thread::sleep(wait);
+                wait = wait.saturating_mul(2).min(Duration::from_secs(2));
+            }
+        }
+        Err(last)
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), String> {
+        let stream = self.reader.get_mut();
+        stream
+            .write_all(format!("{}\n", req.render()).as_bytes())
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    fn read_response(&mut self) -> Result<Response, String> {
+        let mut line = String::new();
+        loop {
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Err("connection closed by server".into()),
+                Ok(_) => {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        line.clear();
+                        continue;
+                    }
+                    return Response::parse(trimmed);
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // A timeout mid-line keeps the partial content in
+                    // `line`; but a full timeout window with no bytes at
+                    // all means the server is wedged or gone.
+                    if line.is_empty() {
+                        return Err("timed out waiting for server response".into());
+                    }
+                }
+                Err(e) => return Err(format!("read: {e}")),
+            }
+        }
+    }
+
+    /// Reads (pending buffer first) until `want` matches; everything
+    /// else job-tagged is buffered for a later [`ServerClient::wait`].
+    fn read_until(&mut self, mut want: impl FnMut(&Response) -> bool) -> Result<Response, String> {
+        if let Some(i) = self.pending.iter().position(&mut want) {
+            return Ok(self.pending.remove(i));
+        }
+        loop {
+            let resp = self.read_response()?;
+            if want(&resp) {
+                return Ok(resp);
+            }
+            // Heartbeats are progress noise once we're waiting on
+            // something else; terminal/job responses must be kept.
+            if !matches!(resp, Response::Heartbeat { .. }) {
+                self.pending.push(resp);
+            }
+        }
+    }
+
+    /// Submits one deck and returns the admission decision
+    /// ([`Response::Accepted`] or [`Response::Rejected`]).
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or a malformed server line.
+    pub fn submit(&mut self, client: &str, deck: &str, priority: u8) -> Result<Response, String> {
+        self.send(&Request::Submit {
+            client: client.into(),
+            deck: deck.into(),
+            priority,
+        })?;
+        self.read_until(|r| matches!(r, Response::Accepted { .. } | Response::Rejected { .. }))
+    }
+
+    /// Blocks until the terminal response (`done` / `failed` / `shed`)
+    /// for `digest` arrives. Heartbeats for the job are counted and
+    /// folded into the return.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or a malformed server line.
+    pub fn wait(&mut self, digest: &str) -> Result<(Response, u64), String> {
+        let mut heartbeats = 0u64;
+        if let Some(i) = self
+            .pending
+            .iter()
+            .position(|r| r.is_terminal() && r.digest() == Some(digest))
+        {
+            return Ok((self.pending.remove(i), 0));
+        }
+        loop {
+            let resp = self.read_response()?;
+            if resp.is_terminal() && resp.digest() == Some(digest) {
+                return Ok((resp, heartbeats));
+            }
+            match resp {
+                Response::Heartbeat { digest: d, .. } => {
+                    if d == digest {
+                        heartbeats += 1;
+                    }
+                }
+                other => self.pending.push(other),
+            }
+        }
+    }
+
+    /// Probes the durable outcome of a canonical `deck` spec: `done`,
+    /// `failed`, `shed`, `running`, or a `not-found` rejection.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or a malformed server line.
+    pub fn result(&mut self, deck: &str) -> Result<Response, String> {
+        let digest = content_digest(deck);
+        self.send(&Request::Result { deck: deck.into() })?;
+        self.read_until(move |r| match r {
+            Response::Rejected { .. } => true,
+            Response::Heartbeat { .. } => false,
+            other => other.digest() == Some(digest.as_str()),
+        })
+    }
+
+    /// Fetches the health/statistics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or a malformed server line.
+    pub fn health(&mut self) -> Result<Json, String> {
+        self.send(&Request::Health)?;
+        match self.read_until(|r| matches!(r, Response::Health { .. }))? {
+            Response::Health { stats } => Ok(stats),
+            _ => unreachable!("read_until matched health"),
+        }
+    }
+
+    /// Requests a graceful drain; returns `(queued, running)` at the
+    /// flip.
+    ///
+    /// # Errors
+    ///
+    /// Transport failure or a malformed server line.
+    pub fn shutdown(&mut self) -> Result<(u64, u64), String> {
+        self.send(&Request::Shutdown)?;
+        match self.read_until(|r| matches!(r, Response::Draining { .. }))? {
+            Response::Draining { queued, running } => Ok((queued, running)),
+            _ => unreachable!("read_until matched draining"),
+        }
+    }
+
+    /// Convenience for drills: true if a rejection carries `reason`.
+    pub fn rejected_with(resp: &Response, reason: RejectReason) -> bool {
+        matches!(resp, Response::Rejected { reason: r, .. } if *r == reason)
+    }
+}

@@ -1,0 +1,525 @@
+//! Deck specs: the canonical, content-addressable job language.
+//!
+//! A deck is submitted as a single spec string — the same canonical
+//! rendering the harness cache keys on, so a deck's digest *is* its
+//! cache/journal identity. Four families cover the chaos-drill mix:
+//!
+//! | spec | workload |
+//! |------|----------|
+//! | `deck v1 verify name=<deck>`                     | one transient of a [`nemscmos_verify::diff`] differential deck |
+//! | `deck v1 domino fan_in=N fan_out=M`              | one clock period of the paper's hybrid dynamic OR gate |
+//! | `deck v1 mc trials=N seed=S sigma=F`             | Monte-Carlo divider variation study (the degradable family) |
+//! | `deck v1 fault kind=K disarm=D seed=S`           | a solve under a seeded injected fault ([`nemscmos_spice::faults`]) |
+//!
+//! Parsing is strict (unknown kinds, missing or duplicate keys, and
+//! out-of-range values are typed errors) and [`Deck::canonical`]
+//! re-renders the normalized form, so equivalent submissions always
+//! collapse to one digest. Execution is deterministic from the spec
+//! alone — seeds live *in* the spec, never in wall-clock or scheduler
+//! state — which is what makes journal replay bitwise-exact.
+//!
+//! Backpressure degrades only the Monte-Carlo family
+//! ([`Deck::degrade`]): fewer trials is still a statistically valid
+//! (noisier) answer, whereas a truncated transient is simply a
+//! different experiment. A degraded deck is a *different spec* with its
+//! own digest, so degraded artifacts can never shadow full-fidelity
+//! ones in the cache.
+
+use nemscmos::gates::{DynamicOrGate, DynamicOrParams, PdnStyle};
+use nemscmos::tech::Technology;
+use nemscmos_analysis::montecarlo::Normal;
+use nemscmos_harness::{HarnessError, Json};
+use nemscmos_numeric::rng::Xoshiro256pp;
+use nemscmos_numeric::stats::Summary;
+use nemscmos_spice::analysis::op::op;
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::faults::{self, Disarm, FaultKind, FaultPlan};
+use nemscmos_spice::waveform::Waveform;
+use nemscmos_verify::diff;
+
+/// Size limits enforced at admission (`deck-too-large` rejections).
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Largest admissible domino fan-in.
+    pub max_fan_in: usize,
+    /// Largest admissible Monte-Carlo trial count.
+    pub max_trials: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_fan_in: 64,
+            max_trials: 100_000,
+        }
+    }
+}
+
+/// Fault families a deck may arm (wire subset of [`FaultKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// NaN-poisoned residual.
+    Nan,
+    /// Forced singular pivot.
+    Singular,
+    /// Jacobian corruption strong enough to break Newton.
+    Jacobian,
+    /// Timestep-rejection storm (transient base deck).
+    Storm,
+}
+
+impl FaultSpec {
+    fn label(self) -> &'static str {
+        match self {
+            FaultSpec::Nan => "nan",
+            FaultSpec::Singular => "singular",
+            FaultSpec::Jacobian => "jacobian",
+            FaultSpec::Storm => "storm",
+        }
+    }
+
+    fn kind(self) -> FaultKind {
+        match self {
+            FaultSpec::Nan => FaultKind::NanResidual,
+            FaultSpec::Singular => FaultKind::SingularPivot,
+            FaultSpec::Jacobian => FaultKind::JacobianPerturb { relative: 1e3 },
+            FaultSpec::Storm => FaultKind::TimestepStorm,
+        }
+    }
+}
+
+/// Disarm policies a deck may request (wire subset of [`Disarm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisarmSpec {
+    /// Rescued at the `TightGmin` rung.
+    Gmin,
+    /// Rescued at the `SourceStepping` rung.
+    SrcStep,
+    /// Rescued at the `BackwardEuler` rung.
+    BeOnly,
+    /// Never rescued: must surface a typed diagnostic.
+    Never,
+}
+
+impl DisarmSpec {
+    fn label(self) -> &'static str {
+        match self {
+            DisarmSpec::Gmin => "gmin",
+            DisarmSpec::SrcStep => "src-step",
+            DisarmSpec::BeOnly => "be-only",
+            DisarmSpec::Never => "never",
+        }
+    }
+
+    fn disarm(self) -> Disarm {
+        match self {
+            DisarmSpec::Gmin => Disarm::WhenGminFloor,
+            DisarmSpec::SrcStep => Disarm::WhenSourceStepping,
+            DisarmSpec::BeOnly => Disarm::WhenBackwardEuler,
+            DisarmSpec::Never => Disarm::Never,
+        }
+    }
+}
+
+/// One parsed, validated deck.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Deck {
+    /// A differential-fleet verify deck by name.
+    Verify {
+        /// Name from [`diff::decks`].
+        name: String,
+    },
+    /// The paper's hybrid dynamic OR gate, one worst-case clock period.
+    Domino {
+        /// Pull-down network width.
+        fan_in: usize,
+        /// Output load gates.
+        fan_out: usize,
+    },
+    /// Monte-Carlo resistor-variation study of a divider.
+    MonteCarlo {
+        /// Sample count (the degradation knob).
+        trials: usize,
+        /// RNG master seed (spec-owned: replay-safe).
+        seed: u64,
+        /// Relative sigma of the varied resistor.
+        sigma: f64,
+    },
+    /// A solve under a seeded injected fault.
+    Fault {
+        /// Fault family.
+        kind: FaultSpec,
+        /// Rescue policy.
+        disarm: DisarmSpec,
+        /// Fault-plan seed (spec-owned: replay-safe).
+        seed: u64,
+    },
+}
+
+fn parse_kv<'a>(tokens: &'a [&str], keys: &[&str]) -> Result<Vec<&'a str>, String> {
+    if tokens.len() != keys.len() {
+        return Err(format!(
+            "expected exactly the keys {keys:?}, got {} token(s)",
+            tokens.len()
+        ));
+    }
+    keys.iter()
+        .zip(tokens)
+        .map(|(key, tok)| {
+            tok.strip_prefix(&format!("{key}="))
+                .ok_or(format!("expected `{key}=<value>`, got {tok:?}"))
+        })
+        .collect()
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("`{key}={raw}` is not a valid number"))
+}
+
+impl Deck {
+    /// Parses a canonical spec string.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the malformation — surfaced to
+    /// clients as a `bad-request` rejection.
+    pub fn parse(spec: &str) -> Result<Deck, String> {
+        let tokens: Vec<&str> = spec.split_whitespace().collect();
+        let rest = match tokens.as_slice() {
+            ["deck", "v1", rest @ ..] if !rest.is_empty() => rest,
+            _ => return Err("spec must start with `deck v1 <kind>`".into()),
+        };
+        match rest[0] {
+            "verify" => {
+                let vals = parse_kv(&rest[1..], &["name"])?;
+                let name = vals[0].to_string();
+                if !diff::decks().iter().any(|d| d.name == name) {
+                    return Err(format!("unknown verify deck {name:?}"));
+                }
+                Ok(Deck::Verify { name })
+            }
+            "domino" => {
+                let vals = parse_kv(&rest[1..], &["fan_in", "fan_out"])?;
+                let fan_in: usize = parse_num("fan_in", vals[0])?;
+                let fan_out: usize = parse_num("fan_out", vals[1])?;
+                if fan_in == 0 || fan_out == 0 {
+                    return Err("domino fan_in/fan_out must be positive".into());
+                }
+                Ok(Deck::Domino { fan_in, fan_out })
+            }
+            "mc" => {
+                let vals = parse_kv(&rest[1..], &["trials", "seed", "sigma"])?;
+                let trials: usize = parse_num("trials", vals[0])?;
+                let seed: u64 = parse_num("seed", vals[1])?;
+                let sigma: f64 = parse_num("sigma", vals[2])?;
+                if trials == 0 {
+                    return Err("mc trials must be positive".into());
+                }
+                if !(0.0..=1.0).contains(&sigma) {
+                    return Err(format!("mc sigma {sigma} outside [0, 1]"));
+                }
+                Ok(Deck::MonteCarlo {
+                    trials,
+                    seed,
+                    sigma,
+                })
+            }
+            "fault" => {
+                let vals = parse_kv(&rest[1..], &["kind", "disarm", "seed"])?;
+                let kind = [
+                    FaultSpec::Nan,
+                    FaultSpec::Singular,
+                    FaultSpec::Jacobian,
+                    FaultSpec::Storm,
+                ]
+                .into_iter()
+                .find(|k| k.label() == vals[0])
+                .ok_or(format!("unknown fault kind {:?}", vals[0]))?;
+                let disarm = [
+                    DisarmSpec::Gmin,
+                    DisarmSpec::SrcStep,
+                    DisarmSpec::BeOnly,
+                    DisarmSpec::Never,
+                ]
+                .into_iter()
+                .find(|d| d.label() == vals[1])
+                .ok_or(format!("unknown disarm policy {:?}", vals[1]))?;
+                let seed: u64 = parse_num("seed", vals[2])?;
+                Ok(Deck::Fault { kind, disarm, seed })
+            }
+            other => Err(format!("unknown deck kind {other:?}")),
+        }
+    }
+
+    /// The normalized spec string — the exact bytes that get digested,
+    /// journaled, and cached.
+    pub fn canonical(&self) -> String {
+        match self {
+            Deck::Verify { name } => format!("deck v1 verify name={name}"),
+            Deck::Domino { fan_in, fan_out } => {
+                format!("deck v1 domino fan_in={fan_in} fan_out={fan_out}")
+            }
+            Deck::MonteCarlo {
+                trials,
+                seed,
+                sigma,
+            } => format!("deck v1 mc trials={trials} seed={seed} sigma={sigma:?}"),
+            Deck::Fault { kind, disarm, seed } => format!(
+                "deck v1 fault kind={} disarm={} seed={seed}",
+                kind.label(),
+                disarm.label()
+            ),
+        }
+    }
+
+    /// Why this deck exceeds `limits`, if it does.
+    pub fn too_large(&self, limits: &Limits) -> Option<String> {
+        match self {
+            Deck::Domino { fan_in, .. } if *fan_in > limits.max_fan_in => Some(format!(
+                "domino fan_in {fan_in} exceeds the cap of {}",
+                limits.max_fan_in
+            )),
+            Deck::MonteCarlo { trials, .. } if *trials > limits.max_trials => Some(format!(
+                "mc trials {trials} exceeds the cap of {}",
+                limits.max_trials
+            )),
+            _ => None,
+        }
+    }
+
+    /// The reduced-fidelity variant run under overload, if this family
+    /// degrades: a Monte-Carlo deck drops to a quarter of its samples
+    /// (never below `min_trials`). `None` means the deck is already at
+    /// or below the floor, or its family does not degrade.
+    pub fn degrade(&self, min_trials: usize) -> Option<Deck> {
+        match self {
+            Deck::MonteCarlo {
+                trials,
+                seed,
+                sigma,
+            } if *trials > min_trials => Some(Deck::MonteCarlo {
+                trials: (*trials / 4).max(min_trials),
+                seed: *seed,
+                sigma: *sigma,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Runs the deck to completion. Called once per retry-ladder
+    /// attempt: fault decks re-arm their plan on every call so the
+    /// rung-keyed disarm policies see each escalation.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`HarnessError`] (solver health, non-convergence, or a
+    /// budget interrupt raised by the installed supervision scope).
+    pub fn execute(&self) -> Result<Json, HarnessError> {
+        match self {
+            Deck::Verify { name } => {
+                let deck = diff::decks()
+                    .into_iter()
+                    .find(|d| d.name == *name)
+                    .ok_or_else(|| HarnessError::Failed(format!("verify deck {name:?} gone")))?;
+                let (mut ckt, watch) = deck.build();
+                let res = transient(&mut ckt, deck.tstop, &TranOptions::default())?;
+                Ok(Json::Obj(
+                    watch
+                        .iter()
+                        .map(|(label, node)| {
+                            (label.clone(), Json::Num(res.voltage(*node).last_value()))
+                        })
+                        .collect(),
+                ))
+            }
+            Deck::Domino { fan_in, fan_out } => {
+                let tech = Technology::n90();
+                let params = DynamicOrParams::new(*fan_in, *fan_out, PdnStyle::HybridNems);
+                let mut built = DynamicOrGate::build(&tech, &params);
+                let opts = TranOptions {
+                    dt_max: Some(built.period / 400.0),
+                    ..Default::default()
+                };
+                let res = transient(&mut built.circuit, built.period, &opts)?;
+                Ok(Json::Obj(vec![
+                    (
+                        "dyn".into(),
+                        Json::Num(res.voltage(built.dyn_node).last_value()),
+                    ),
+                    (
+                        "out".into(),
+                        Json::Num(res.voltage(built.out_node).last_value()),
+                    ),
+                ]))
+            }
+            Deck::MonteCarlo {
+                trials,
+                seed,
+                sigma,
+            } => {
+                let mut samples = Vec::with_capacity(*trials);
+                for trial in 0..*trials {
+                    // One deterministic stream per trial index, so a
+                    // degraded run's samples are a strict prefix family
+                    // of the full run's.
+                    let mut rng = Xoshiro256pp::for_stream(*seed, trial as u64);
+                    let draw = Normal::new(0.0, 1.0).sample(&mut rng);
+                    let r2 = 1e3 * (1.0 + sigma * draw).max(0.05);
+                    let mut ckt = Circuit::new();
+                    let a = ckt.node("a");
+                    let b = ckt.node("b");
+                    ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.2));
+                    ckt.resistor(a, b, 1e3);
+                    ckt.resistor(b, Circuit::GROUND, r2);
+                    let res = op(&mut ckt)?;
+                    samples.push(res.voltage(b));
+                }
+                let s = Summary::of(&samples)
+                    .map_err(|e| HarnessError::Failed(format!("mc summary: {e}")))?;
+                Ok(Json::Obj(vec![
+                    ("trials".into(), Json::Num(*trials as f64)),
+                    ("mean".into(), Json::Num(s.mean)),
+                    ("std_dev".into(), Json::Num(s.std_dev)),
+                    ("min".into(), Json::Num(s.min)),
+                    ("max".into(), Json::Num(s.max)),
+                ]))
+            }
+            Deck::Fault { kind, disarm, seed } => {
+                let plan = FaultPlan::immediate(kind.kind(), disarm.disarm(), *seed);
+                faults::with(plan, || match kind {
+                    FaultSpec::Storm => {
+                        // Storms only fire on transients.
+                        let mut ckt = Circuit::new();
+                        let vin = ckt.node("in");
+                        let out = ckt.node("out");
+                        ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+                        ckt.resistor(vin, out, 1e3);
+                        ckt.capacitor(out, Circuit::GROUND, 1e-9);
+                        let res = transient(&mut ckt, 5e-6, &TranOptions::default())?;
+                        Ok(Json::Obj(vec![(
+                            "out".into(),
+                            Json::Num(res.voltage(out).last_value()),
+                        )]))
+                    }
+                    _ => {
+                        let mut ckt = Circuit::new();
+                        let a = ckt.node("a");
+                        let b = ckt.node("b");
+                        let c = ckt.node("c");
+                        ckt.vsource(a, Circuit::GROUND, Waveform::dc(3.0));
+                        ckt.resistor(a, b, 1e3);
+                        ckt.resistor(b, c, 2e3);
+                        ckt.resistor(c, Circuit::GROUND, 3e3);
+                        let res = op(&mut ckt)?;
+                        Ok(Json::Obj(vec![
+                            ("b".into(), Json::Num(res.voltage(b))),
+                            ("c".into(), Json::Num(res.voltage(c))),
+                        ]))
+                    }
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_round_trip_canonically() {
+        for spec in [
+            "deck v1 verify name=rlc-tank",
+            "deck v1 domino fan_in=4 fan_out=2",
+            "deck v1 mc trials=64 seed=7 sigma=0.05",
+            "deck v1 fault kind=nan disarm=gmin seed=11",
+            "deck v1 fault kind=storm disarm=never seed=3",
+        ] {
+            let deck = Deck::parse(spec).unwrap();
+            assert_eq!(deck.canonical(), spec);
+            assert_eq!(Deck::parse(&deck.canonical()).unwrap(), deck);
+        }
+    }
+
+    #[test]
+    fn malformed_specs_are_typed_errors() {
+        for bad in [
+            "",
+            "deck v2 mc trials=1 seed=1 sigma=0.1",
+            "deck v1 warp factor=9",
+            "deck v1 verify name=no-such-deck",
+            "deck v1 domino fan_in=0 fan_out=1",
+            "deck v1 domino fan_in=4",
+            "deck v1 mc trials=64 seed=7 sigma=1.5",
+            "deck v1 mc trials=64 sigma=0.1 seed=7",
+            "deck v1 fault kind=cosmic disarm=never seed=1",
+            "deck v1 fault kind=nan disarm=maybe seed=1",
+        ] {
+            assert!(Deck::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        let limits = Limits {
+            max_fan_in: 8,
+            max_trials: 100,
+        };
+        let ok = Deck::parse("deck v1 domino fan_in=8 fan_out=2").unwrap();
+        assert!(ok.too_large(&limits).is_none());
+        let wide = Deck::parse("deck v1 domino fan_in=9 fan_out=2").unwrap();
+        assert!(wide.too_large(&limits).is_some());
+        let heavy = Deck::parse("deck v1 mc trials=101 seed=1 sigma=0.1").unwrap();
+        assert!(heavy.too_large(&limits).is_some());
+    }
+
+    #[test]
+    fn only_monte_carlo_degrades_and_respects_the_floor() {
+        let mc = Deck::parse("deck v1 mc trials=64 seed=7 sigma=0.05").unwrap();
+        let degraded = mc.degrade(8).unwrap();
+        assert_eq!(
+            degraded.canonical(),
+            "deck v1 mc trials=16 seed=7 sigma=0.05"
+        );
+        // Already at the floor: nothing left to shed.
+        assert!(degraded.degrade(16).is_none());
+        // Floor clamping.
+        assert_eq!(
+            mc.degrade(32).unwrap().canonical(),
+            "deck v1 mc trials=32 seed=7 sigma=0.05"
+        );
+        for fixed in [
+            "deck v1 verify name=rlc-tank",
+            "deck v1 domino fan_in=4 fan_out=2",
+            "deck v1 fault kind=nan disarm=never seed=1",
+        ] {
+            assert!(Deck::parse(fixed).unwrap().degrade(8).is_none());
+        }
+    }
+
+    #[test]
+    fn execution_is_deterministic_from_the_spec() {
+        let mc = Deck::parse("deck v1 mc trials=12 seed=42 sigma=0.08").unwrap();
+        let a = mc.execute().unwrap().render();
+        let b = mc.execute().unwrap().render();
+        assert_eq!(a, b);
+        let other = Deck::parse("deck v1 mc trials=12 seed=43 sigma=0.08").unwrap();
+        assert_ne!(a, other.execute().unwrap().render());
+    }
+
+    #[test]
+    fn never_disarmed_faults_surface_typed() {
+        let deck = Deck::parse("deck v1 fault kind=nan disarm=never seed=5").unwrap();
+        let err = deck.execute().unwrap_err();
+        assert_eq!(err.kind(), nemscmos_harness::FailureKind::NonFinite);
+    }
+
+    #[test]
+    fn verify_deck_executes() {
+        let deck = Deck::parse("deck v1 verify name=rlc-tank").unwrap();
+        let out = deck.execute().unwrap();
+        assert!(out.get("out").and_then(Json::as_f64).is_some());
+    }
+}

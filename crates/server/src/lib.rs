@@ -1,0 +1,41 @@
+//! Resident simulation job server for the nemscmos workspace.
+//!
+//! A long-lived process that accepts simulation *decks* over a local
+//! Unix socket (newline-delimited JSON, vendored codec — std only) and
+//! runs them on the workspace's SPICE engine under the full harness
+//! discipline:
+//!
+//! * **Admission control** ([`admission`]) — a bounded, priority-ordered
+//!   queue; per-client solver-effort quotas drawn from a shared
+//!   [`QuotaPool`](nemscmos_spice::budget::QuotaPool); typed
+//!   [`RejectReason`]s for every refusal (`queue-full`,
+//!   `quota-exhausted`, `deck-too-large`, `bad-request`, `draining`).
+//! * **Backpressure** — under overload the lowest-priority queued job is
+//!   shed first, and degradable workloads (Monte Carlo) are admitted at
+//!   reduced sample counts with an explicit `degraded: true` flag and
+//!   their own content digest.
+//! * **Crash tolerance** — every acceptance is fsync'd to the
+//!   [`Journal`](nemscmos_harness::Journal) *before* the ack; a
+//!   `kill -9` and restart with the same run id re-runs the orphans
+//!   bitwise-identically (deck execution is deterministic from the spec
+//!   alone) and replays completed results from the journal and the
+//!   content-addressed cache.
+//! * **Lifecycle** — graceful drain on the `shutdown` op, a `health` op
+//!   exposing queue depth, shed/degraded/rejection counters and
+//!   supervision totals, and a retrying [`ServerClient`].
+//!
+//! The binary (`nemscmos-server`) wires [`server::serve`] to CLI flags
+//! and refuses to start on malformed supervision environment knobs. The
+//! matching chaos drill lives in `nemscmos-bench` as `bin/chaos`.
+
+pub mod admission;
+pub mod client;
+pub mod deck;
+pub mod proto;
+pub mod server;
+
+pub use admission::{Admission, AdmissionConfig, Counters, SubmitOutcome};
+pub use client::ServerClient;
+pub use deck::{Deck, Limits};
+pub use proto::{RejectReason, Request, Response};
+pub use server::{serve, ServerConfig};

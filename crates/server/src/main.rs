@@ -1,0 +1,135 @@
+//! `nemscmos-server` — the resident simulation job server binary.
+//!
+//! ```sh
+//! nemscmos-server --socket /tmp/nemscmos.sock --dir target/server-run \
+//!     --run-id nightly --workers 4
+//! ```
+//!
+//! Supervision comes from the environment (`NEMSCMOS_HARNESS_DEADLINE_MS`,
+//! `NEMSCMOS_HARNESS_STALL_MS`); a malformed knob is a *refusal to
+//! start* (exit 2), never a silently-unsupervised server. The effective
+//! policy and admission caps are logged at startup so the active limits
+//! are never a mystery.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use nemscmos_harness::Supervision;
+use nemscmos_server::{serve, AdmissionConfig, ServerConfig};
+
+const USAGE: &str = "usage: nemscmos-server [options]
+
+options:
+  --socket PATH     unix socket to listen on      [default: <dir>/server.sock]
+  --dir PATH        run directory (journal+cache) [default: target/server-run]
+  --run-id ID       journal run id; reuse to resume a run  [default: server]
+  --workers N       worker threads                [default: 2]
+  --queue N         queue capacity                [default: 64]
+  --watermark N     degrade queued MC decks at this depth  [default: 48]
+  --min-trials N    degraded Monte-Carlo floor    [default: 16]
+  --quota N         per-client newton-iteration grant      [default: 50000000]
+  --heartbeat-ms N  heartbeat streaming interval  [default: 250]
+  --help            print this help
+
+environment:
+  NEMSCMOS_HARNESS_DEADLINE_MS  per-job wall-clock deadline
+  NEMSCMOS_HARNESS_STALL_MS     per-job stall watchdog timeout
+(malformed values refuse to start: exit 2)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir = String::from("target/server-run");
+    let mut socket: Option<String> = None;
+    let mut run_id = String::from("server");
+    let mut workers: usize = 2;
+    let mut admission = AdmissionConfig::default();
+    let mut heartbeat_ms: u64 = 250;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--help" || flag == "-h" {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        let Some(value) = it.next() else {
+            eprintln!("nemscmos-server: {flag} needs a value\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        let parse_num = |what: &str| -> Result<u64, String> {
+            value
+                .parse::<u64>()
+                .ok()
+                .filter(|n| *n > 0)
+                .ok_or(format!("{what} {value:?} is not a positive integer"))
+        };
+        let result = match flag.as_str() {
+            "--socket" => {
+                socket = Some(value.clone());
+                Ok(())
+            }
+            "--dir" => {
+                dir = value.clone();
+                Ok(())
+            }
+            "--run-id" => {
+                run_id = value.clone();
+                Ok(())
+            }
+            "--workers" => parse_num("--workers").map(|n| workers = n as usize),
+            "--queue" => parse_num("--queue").map(|n| admission.queue_cap = n as usize),
+            "--watermark" => {
+                parse_num("--watermark").map(|n| admission.degrade_watermark = n as usize)
+            }
+            "--min-trials" => parse_num("--min-trials").map(|n| admission.min_trials = n as usize),
+            "--quota" => parse_num("--quota").map(|n| admission.quota_newton = n),
+            "--heartbeat-ms" => parse_num("--heartbeat-ms").map(|n| heartbeat_ms = n),
+            unknown => Err(format!("unknown flag {unknown:?}")),
+        };
+        if let Err(e) = result {
+            eprintln!("nemscmos-server: {e}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    // Satellite contract: a garbage supervision knob refuses to start
+    // with a typed config error instead of running unsupervised.
+    let supervision = match Supervision::from_env() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("nemscmos-server: refusing to start: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let socket = socket.unwrap_or_else(|| format!("{dir}/server.sock"));
+    let config = ServerConfig {
+        socket: socket.clone().into(),
+        dir: dir.clone().into(),
+        run_id: run_id.clone(),
+        workers,
+        admission: admission.clone(),
+        supervision: supervision.clone(),
+        heartbeat_every: Duration::from_millis(heartbeat_ms),
+    };
+    println!("nemscmos-server: run {run_id:?} in {dir:?} on {socket:?}");
+    println!(
+        "nemscmos-server: {workers} worker(s) | queue {} | watermark {} | \
+         mc floor {} | quota {} newton/client",
+        admission.queue_cap,
+        admission.degrade_watermark,
+        admission.min_trials,
+        admission.quota_newton
+    );
+    println!("nemscmos-server: supervision {}", supervision.describe());
+
+    match serve(config) {
+        Ok(()) => {
+            println!("nemscmos-server: drained, bye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("nemscmos-server: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -129,6 +129,79 @@ impl Budget {
     }
 }
 
+/// A shared allowance of solver effort, drawn down across many solves.
+///
+/// A [`Budget`] caps one scope; a `QuotaPool` caps a *stream* of scopes —
+/// e.g. every job one client submits to the job server. The pool holds a
+/// grant of Newton iterations. Before each job, [`QuotaPool::budget`]
+/// derives a `Budget` whose `max_newton` is the remaining allowance;
+/// after the job, [`QuotaPool::settle`] subtracts the effort actually
+/// spent (from the job's [`SolverStats`], success or failure alike). An
+/// exhausted pool derives no further budgets, which admission control
+/// surfaces as a typed quota rejection rather than letting a zero-cap
+/// solve trip mid-flight.
+///
+/// Clones share the same allowance (the counter is behind an `Arc`), so
+/// the admission thread and per-connection workers can draw on one pool.
+#[derive(Debug, Clone)]
+pub struct QuotaPool {
+    granted: u64,
+    remaining: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl QuotaPool {
+    /// A pool granting `newton` Newton iterations in total.
+    pub fn new(newton: u64) -> QuotaPool {
+        QuotaPool {
+            granted: newton,
+            remaining: Arc::new(std::sync::atomic::AtomicU64::new(newton)),
+        }
+    }
+
+    /// The original grant.
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Newton iterations still available.
+    pub fn remaining(&self) -> u64 {
+        self.remaining.load(std::sync::atomic::Ordering::Acquire)
+    }
+
+    /// True once the allowance is fully spent.
+    pub fn exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Derives a budget capped at the remaining allowance, or `None` if
+    /// the pool is exhausted (callers reject the job instead of running
+    /// it against a zero cap).
+    pub fn budget(&self) -> Option<Budget> {
+        let left = self.remaining();
+        (left > 0).then(|| Budget::unbounded().with_max_newton(left))
+    }
+
+    /// Charges the pool for effort actually spent, saturating at zero.
+    /// Returns the allowance left after the charge.
+    pub fn settle(&self, spent: &SolverStats) -> u64 {
+        use std::sync::atomic::Ordering;
+        let cost = spent.newton_iterations;
+        let mut cur = self.remaining.load(Ordering::Acquire);
+        loop {
+            let next = cur.saturating_sub(cost);
+            match self.remaining.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return next,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
 struct Scope {
     budget: Budget,
     armed: Instant,
@@ -370,6 +443,42 @@ mod tests {
             }
             other => panic!("expected DeadlineExceeded, got {other:?}"),
         });
+    }
+
+    #[test]
+    fn quota_pool_draws_down_and_exhausts() {
+        let pool = QuotaPool::new(100);
+        assert_eq!(pool.granted(), 100);
+        assert_eq!(pool.remaining(), 100);
+        assert!(!pool.exhausted());
+
+        let b = pool.budget().expect("fresh pool derives a budget");
+        assert_eq!(b.max_newton, Some(100));
+
+        let mut spent = SolverStats {
+            newton_iterations: 60,
+            ..Default::default()
+        };
+        assert_eq!(pool.settle(&spent), 40);
+        assert_eq!(pool.budget().unwrap().max_newton, Some(40));
+
+        // Overdraw saturates at zero instead of wrapping.
+        spent.newton_iterations = 1_000;
+        assert_eq!(pool.settle(&spent), 0);
+        assert!(pool.exhausted());
+        assert!(pool.budget().is_none());
+    }
+
+    #[test]
+    fn quota_pool_clones_share_the_allowance() {
+        let pool = QuotaPool::new(10);
+        let worker = pool.clone();
+        let spent = SolverStats {
+            newton_iterations: 7,
+            ..Default::default()
+        };
+        worker.settle(&spent);
+        assert_eq!(pool.remaining(), 3);
     }
 
     #[test]

@@ -52,10 +52,14 @@ fn cancellation_mid_newton_aborts_the_fallback_chain() {
     // An op that needs many damped iterations: cancel after the solve has
     // burned a few, and assert the whole fallback ladder (gmin stepping,
     // source stepping) bails out instead of restarting the solve.
+    // 2 V answer at 10 µV per step: at least 200k damped iterations, a
+    // window of tens of milliseconds — wide enough that the watcher
+    // thread is scheduled and lands its cancel even on a loaded test
+    // runner (with 1 mV steps the solve could finish first, flakily).
     let opts = OpOptions {
         newton: nemscmos_numeric::newton::NewtonOptions {
-            max_step: 1e-3, // 2 V answer at 1 mV per step: thousands of iterations
-            max_iter: 100_000,
+            max_step: 1e-5,
+            max_iter: 10_000_000,
             ..Default::default()
         },
         ..Default::default()
@@ -84,7 +88,8 @@ fn cancellation_mid_newton_aborts_the_fallback_chain() {
                 spent.newton_iterations >= 50,
                 "partial telemetry missing: {spent:?}"
             );
-            // Cancellation is prompt: nowhere near the full damped solve.
+            // Cancellation is prompt: nowhere near the full damped solve
+            // (which needs at least 200k iterations to move 2 V).
             assert!(spent.newton_iterations < 100_000);
         }
         other => panic!("expected Cancelled, got {other:?}"),
