@@ -39,6 +39,29 @@ cargo run --release --offline -q -p nemscmos-verify --bin golden
 echo "== perfbase fast-path smoke =="
 cargo run --release --offline -q -p nemscmos-bench --bin perfbase -- --smoke
 
+# SPICE netlist frontend smoke: a textual deck (with a .MODEL alias
+# resolved through the standard factory) must run end to end through
+# the spicerun binary and print the exact divider operating point.
+echo "== spicerun netlist smoke =="
+deck=$(mktemp /tmp/nemscmos-smoke-XXXXXX.cir)
+cat > "$deck" <<'EOF'
+* resistive divider observed by a .MODEL-aliased NMOS
+V1 in 0 DC 2.0
+R1 in out 1k
+R2 out 0 1k
+.model pulldown nmos90 W=1u
+M1 d out 0 pulldown
+R3 in d 10k
+.op
+EOF
+spice_out=$(cargo run --release --offline -q -p nemscmos-bench --bin spicerun -- "$deck")
+rm -f "$deck"
+echo "$spice_out" | head -n 5
+if ! echo "$spice_out" | grep -q 'v(out) = 1.000000 V'; then
+    echo "FAIL: spicerun divider operating point wrong" >&2
+    exit 1
+fi
+
 # Paper-claims conformance: re-measure every claim in
 # crates/verify/claims.toml and fail on any regression against the
 # paper's accepted bands (scoreboard printed either way).

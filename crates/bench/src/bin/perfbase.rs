@@ -5,26 +5,31 @@
 //! ```
 //!
 //! Times every deck of the verify differential fleet plus a domino
-//! (dynamic OR) fan-in sweep twice: once with the incremental
-//! linear-algebra fast path (pattern-frozen assembly, symbolic LU
-//! reuse, linear-circuit bypass) and once with it disabled through
-//! [`SolveProfile::legacy_linear_algebra`] — the exact pre-fast-path
-//! code path. Both runs use this same driver, so the before/after
-//! numbers are directly comparable, and the differential suite
-//! guarantees the two paths produce bitwise-identical results.
+//! (dynamic OR) fan-in sweep twice: once with every optimization
+//! disabled — [`SolveProfile::legacy_linear_algebra`] plus
+//! [`SolveProfile::scalar_device_eval`], the exact pre-fast-path code
+//! paths — and once on the default profile (pattern-frozen assembly,
+//! symbolic LU reuse, linear-circuit bypass, batched SoA device
+//! evaluation). Both runs use this same driver, so the before/after
+//! numbers are directly comparable, and the differential suites
+//! guarantee the paths produce bitwise-identical results.
 //!
 //! Writes the measurements (wall-clock min/median per deck, speedup,
-//! and the fast-path counter deltas) as canonical JSON to `--out`
-//! (default `BENCH_5.json`, committed at the repo root as the
-//! baseline).
+//! the fast-path counter deltas, and the eval-vs-solve time
+//! attribution that decomposes where each deck's Newton time goes) as
+//! canonical JSON to `--out` (default `BENCH_9.json`, committed at the
+//! repo root as the baseline).
 //!
 //! `--smoke` runs a reduced-iteration pass without writing the baseline
 //! file and asserts the fast path actually engaged: symbolic reuses and
-//! slot-cache hits observed, fallback count sane, legacy runs clean of
-//! fast-path counters. Prints `perfbase smoke OK` on success; exits
+//! slot-cache hits observed, batched evaluation engaged on device decks
+//! and bitwise-identical to the scalar path, fallback count sane,
+//! legacy runs clean of fast-path counters, device-free decks clean of
+//! eval attribution. Prints `perfbase smoke OK` on success; exits
 //! non-zero on violation. `ci.sh` runs this mode.
 //!
 //! [`SolveProfile::legacy_linear_algebra`]: nemscmos_spice::profile::SolveProfile::legacy_linear_algebra
+//! [`SolveProfile::scalar_device_eval`]: nemscmos_spice::profile::SolveProfile::scalar_device_eval
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -108,6 +113,7 @@ fn time_runs(iters: usize, f: &dyn Fn()) -> Vec<f64> {
 fn legacy_profile() -> SolveProfile {
     SolveProfile {
         legacy_linear_algebra: true,
+        scalar_device_eval: true,
         ..Default::default()
     }
 }
@@ -119,6 +125,17 @@ struct Measurement {
     fast_s: Vec<f64>,
     legacy_stats: SolverStats,
     fast_stats: SolverStats,
+}
+
+/// Fraction of attributed Newton time spent in the device-eval section
+/// (0 when nothing was attributed, i.e. device-free decks).
+fn eval_share(st: &SolverStats) -> f64 {
+    let total = st.device_eval_ns + st.linear_solve_ns;
+    if total == 0 {
+        0.0
+    } else {
+        st.device_eval_ns as f64 / total as f64
+    }
 }
 
 impl Measurement {
@@ -136,6 +153,13 @@ impl Measurement {
                 ("sym_reuse".into(), Json::Num(st.symbolic_reuses as f64)),
                 ("refac_fb".into(), Json::Num(st.refactor_fallbacks as f64)),
                 ("bypass".into(), Json::Num(st.bypass_solves as f64)),
+                ("batched".into(), Json::Num(st.batched_evals as f64)),
+                ("eval_ms".into(), Json::Num(st.device_eval_ns as f64 * 1e-6)),
+                (
+                    "solve_ms".into(),
+                    Json::Num(st.linear_solve_ns as f64 * 1e-6),
+                ),
+                ("eval_share".into(), Json::Num(eval_share(st))),
             ])
         };
         Json::Obj(vec![
@@ -167,7 +191,8 @@ fn measure(w: &Workload, iters: usize) -> Measurement {
     let fast_s = time_runs(iters, &w.run);
     println!(
         "{:<28} n={:<3} legacy {:>8.2} ms  fast {:>8.2} ms  speedup {:>5.2}x  \
-         (lu {} -> {}, sym-reuse {}, slot-hits {}, bypass {}, fallbacks {})",
+         (lu {} -> {}, sym-reuse {}, slot-hits {}, bypass {}, fallbacks {}, \
+         batched {}, eval-share {:.0}%)",
         w.name,
         w.unknowns,
         legacy_s[0] * 1e3,
@@ -179,6 +204,8 @@ fn measure(w: &Workload, iters: usize) -> Measurement {
         fast_stats.slot_cache_hits,
         fast_stats.bypass_solves,
         fast_stats.refactor_fallbacks,
+        fast_stats.batched_evals,
+        eval_share(&fast_stats) * 100.0,
     );
     Measurement {
         name: w.name.clone(),
@@ -197,7 +224,15 @@ fn smoke_violations(results: &[Measurement]) -> Vec<String> {
     for m in results {
         let f = &m.fast_stats;
         let l = &m.legacy_stats;
-        if l.slot_cache_hits + l.symbolic_reuses + l.refactor_fallbacks + l.bypass_solves > 0 {
+        // The time-attribution counters are profile-independent brackets,
+        // so only the discrete fast-path counters must stay zero here.
+        if l.slot_cache_hits
+            + l.symbolic_reuses
+            + l.refactor_fallbacks
+            + l.bypass_solves
+            + l.batched_evals
+            > 0
+        {
             violations.push(format!(
                 "{}: legacy run recorded fast-path counters ({l:?})",
                 m.name
@@ -225,17 +260,30 @@ fn smoke_violations(results: &[Measurement]) -> Vec<String> {
     if !results.iter().any(|m| m.fast_stats.bypass_solves > 0) {
         violations.push("no deck recorded a bypass solve".into());
     }
+    // Device decks must run batched, and device-free decks must record
+    // exactly zero eval attribution (the device section never executes).
+    if !results.iter().any(|m| m.fast_stats.batched_evals > 0) {
+        violations.push("no deck recorded a batched device evaluation".into());
+    }
+    for m in results {
+        if m.fast_stats.batched_evals == 0 && m.fast_stats.device_eval_ns > 0 {
+            violations.push(format!(
+                "{}: device-free deck attributed {} ns of device-eval time",
+                m.name, m.fast_stats.device_eval_ns
+            ));
+        }
+    }
     violations
 }
 
 fn main() -> ExitCode {
     let args = Cli::new("perfbase", "sparse fast-path benchmark baseline")
         .value("--iters", "timing iterations per workload [default: 5]")
-        .value("--out", "output JSON path [default: BENCH_5.json]")
+        .value("--out", "output JSON path [default: BENCH_9.json]")
         .switch("--smoke", "reduced CI smoke variant")
         .parse_or_exit();
     let mut iters: usize = args.num("--iters", 5);
-    let out = args.get("--out").unwrap_or("BENCH_5.json").to_string();
+    let out = args.get("--out").unwrap_or("BENCH_9.json").to_string();
     let smoke = args.has("--smoke");
     if smoke {
         iters = iters.min(2);
@@ -244,8 +292,10 @@ fn main() -> ExitCode {
     let mut workloads = verify_deck_workloads();
     // The domino fan-in sweep: the paper's workhorse circuit at growing
     // PDN width. The fan-in-16 / fan-out-8 point crosses the sparse
-    // threshold and is the headline before/after number.
-    for fan_in in [4usize, 8, 12, 16] {
+    // threshold; fan-in 24 pushes deeper into the regime where frozen
+    // linear algebra makes the per-iteration solve cheap and device
+    // evaluation dominates — the deck that isolates the batched-eval win.
+    for fan_in in [4usize, 8, 12, 16, 24] {
         workloads.push(domino_workload(fan_in, 8));
     }
     if smoke {
@@ -265,7 +315,14 @@ fn main() -> ExitCode {
     let results: Vec<Measurement> = workloads.iter().map(|w| measure(w, iters)).collect();
 
     if smoke {
-        let violations = smoke_violations(&results);
+        let mut violations = smoke_violations(&results);
+        // Batched and scalar device evaluation must stay bitwise
+        // identical on the differential fleet (cheap: snapshot decks).
+        for deck in diff::decks() {
+            if let Err(msg) = diff::batched_vs_scalar(&deck) {
+                violations.push(format!("batched-vs-scalar differential: {msg}"));
+            }
+        }
         if !violations.is_empty() {
             for v in &violations {
                 eprintln!("perfbase smoke violation: {v}");
@@ -278,7 +335,7 @@ fn main() -> ExitCode {
 
     let doc = Json::Obj(vec![
         ("bench".into(), Json::Str("perfbase".into())),
-        ("version".into(), Json::Num(1.0)),
+        ("version".into(), Json::Num(2.0)),
         ("iters".into(), Json::Num(iters as f64)),
         (
             "decks".into(),

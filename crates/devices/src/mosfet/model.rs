@@ -217,6 +217,25 @@ impl MosModel {
     pub fn swing(&self) -> f64 {
         self.n * self.thermal_voltage() * std::f64::consts::LN_10
     }
+
+    /// Hash of exactly the parameter bits [`MosModel::ids`] reads
+    /// (polarity, `is_spec`, `vth`, `n`, `lambda`, `temp_k`), used to
+    /// build batch-evaluation keys: cards with equal fingerprints produce
+    /// bitwise-identical currents for identical terminal inputs. The
+    /// capacitance parameters and diagnostic name are deliberately
+    /// excluded — they never enter the current evaluation.
+    pub fn eval_fingerprint(&self) -> u64 {
+        use nemscmos_spice::device::{batch_key_word, BATCH_KEY_SEED};
+        let tag = match self.polarity {
+            Polarity::Nmos => 1,
+            Polarity::Pmos => 2,
+        };
+        let mut h = batch_key_word(BATCH_KEY_SEED, tag);
+        for v in [self.is_spec, self.vth, self.n, self.lambda, self.temp_k] {
+            h = batch_key_word(h, v.to_bits());
+        }
+        h
+    }
 }
 
 #[cfg(test)]

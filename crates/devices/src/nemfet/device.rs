@@ -1,6 +1,6 @@
 //! Quasi-static (hysteretic switch) NEMFET device.
 
-use nemscmos_spice::device::{Device, LoadContext, Mode, Solution};
+use nemscmos_spice::device::{batch_key_word, Device, EvalBatch, LoadContext, Mode, Solution};
 use nemscmos_spice::element::NodeId;
 use nemscmos_spice::stamp::Stamper;
 
@@ -161,6 +161,65 @@ impl Device for Nemfet {
 
     fn reset_state(&mut self) {
         self.state = NemsState::released();
+    }
+
+    fn batch_key(&self) -> Option<u64> {
+        // Type tag 2 (vs. the Mosfet's 1). Only the contact-state EKV
+        // card enters `batch_eval`; the leakage conductance, hysteresis
+        // thresholds, and mechanical state are all per-instance and read
+        // from `self` during scatter/commit, so they stay out of the key
+        // — beams in different pull-in states share a batch via `bin`.
+        Some(batch_key_word(self.model.contact.eval_fingerprint(), 2))
+    }
+
+    fn batch_gather(&self, x: &Solution<'_>, batch: &mut EvalBatch) {
+        batch.vin[0].push(x.v(self.g));
+        batch.vin[1].push(x.v(self.d));
+        batch.vin[2].push(x.v(self.s));
+        batch.vin[3].push(self.width_um);
+        batch.bin.push(self.state.pulled_in);
+    }
+
+    fn batch_eval(&self, _ctx: &LoadContext, batch: &mut EvalBatch) {
+        let [vg, vd, vs, w] = &batch.vin;
+        let lanes = vg.iter().zip(vd).zip(vs).zip(w).zip(&batch.bin);
+        for ((((&vg, &vd), &vs), &w), &closed) in lanes {
+            // Released lanes stamp no channel current; push zeros to keep
+            // the output columns lane-aligned.
+            let (i, dg, dd, ds) = if closed {
+                self.model.contact.ids(vg, vd, vs, w)
+            } else {
+                (0.0, 0.0, 0.0, 0.0)
+            };
+            batch.out[0].push(i);
+            batch.out[1].push(dg);
+            batch.out[2].push(dd);
+            batch.out[3].push(ds);
+        }
+    }
+
+    fn batch_scatter(
+        &self,
+        lane: usize,
+        batch: &EvalBatch,
+        x: &Solution<'_>,
+        _ctx: &LoadContext,
+        st: &mut Stamper,
+    ) {
+        let g_off = self.model.g_off_per_um * self.width_um;
+        st.conductance(self.d, self.s, g_off, x.v(self.d), x.v(self.s));
+        if self.state.pulled_in {
+            st.nonlinear_current(
+                self.d,
+                self.s,
+                batch.out[0][lane],
+                &[
+                    (self.g, batch.out[1][lane]),
+                    (self.d, batch.out[2][lane]),
+                    (self.s, batch.out[3][lane]),
+                ],
+            );
+        }
     }
 }
 

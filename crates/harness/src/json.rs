@@ -413,6 +413,9 @@ impl JsonCodec for SolverStats {
             ("sym_reuse".into(), self.symbolic_reuses.to_json()),
             ("refac_fb".into(), self.refactor_fallbacks.to_json()),
             ("bypass".into(), self.bypass_solves.to_json()),
+            ("batched".into(), self.batched_evals.to_json()),
+            ("eval_ns".into(), self.device_eval_ns.to_json()),
+            ("solve_ns".into(), self.linear_solve_ns.to_json()),
         ])
     }
     fn from_json(v: &Json) -> Option<SolverStats> {
@@ -432,6 +435,9 @@ impl JsonCodec for SolverStats {
             symbolic_reuses: opt("sym_reuse")?,
             refactor_fallbacks: opt("refac_fb")?,
             bypass_solves: opt("bypass")?,
+            batched_evals: opt("batched")?,
+            device_eval_ns: opt("eval_ns")?,
+            linear_solve_ns: opt("solve_ns")?,
         })
     }
 }
@@ -523,6 +529,9 @@ mod tests {
             symbolic_reuses: 6,
             refactor_fallbacks: 1,
             bypass_solves: 3,
+            batched_evals: 9,
+            device_eval_ns: 123_456,
+            linear_solve_ns: 654_321,
         };
         assert_eq!(SolverStats::from_json(&st.to_json()), Some(st));
 
@@ -534,6 +543,22 @@ mod tests {
         assert_eq!(decoded.newton_iterations, 12);
         assert_eq!(decoded.slot_cache_hits, 0);
         assert_eq!(decoded.bypass_solves, 0);
+        assert_eq!(decoded.batched_evals, 0);
+        assert_eq!(decoded.device_eval_ns, 0);
+        assert_eq!(decoded.linear_solve_ns, 0);
+
+        // Entries from the linear-algebra-fast-path era (slot/bypass keys
+        // present, attribution keys absent) also default the new trio.
+        let pre_attr = Json::parse(
+            r#"{"newton":2,"lu":2,"rejected":0,"accepted":4,"nonconv":0,
+                "slot_hits":1,"sym_reuse":1,"refac_fb":0,"bypass":1}"#,
+        )
+        .unwrap();
+        let decoded = SolverStats::from_json(&pre_attr).unwrap();
+        assert_eq!(decoded.slot_cache_hits, 1);
+        assert_eq!(decoded.batched_evals, 0);
+        assert_eq!(decoded.device_eval_ns, 0);
+        assert_eq!(decoded.linear_solve_ns, 0);
     }
 
     #[test]

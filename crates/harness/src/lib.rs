@@ -289,11 +289,10 @@ mod tests {
 
     #[test]
     fn interrupts_stay_typed_but_are_not_retryable() {
-        use nemscmos_spice::stats::SolverStats;
         let deadline = SpiceError::DeadlineExceeded {
             limit: "wall-clock deadline of 250ms".into(),
             time: 1e-9,
-            spent: SolverStats::default(),
+            spent: Box::default(),
         };
         let e = HarnessError::from(deadline);
         assert!(matches!(e, HarnessError::Spice(_)));
@@ -302,7 +301,7 @@ mod tests {
 
         let cancelled = SpiceError::Cancelled {
             time: 0.0,
-            spent: SolverStats::default(),
+            spent: Box::default(),
         };
         let e = HarnessError::from(cancelled);
         assert_eq!(e.kind(), FailureKind::Cancelled);

@@ -3,8 +3,10 @@
 use nemscmos_numeric::newton::{NewtonOptions, NewtonSolver, NewtonStatus};
 use nemscmos_numeric::NumericError;
 
+use std::time::Instant;
+
 use crate::circuit::Circuit;
-use crate::device::{LoadContext, Mode, Solution};
+use crate::device::{EvalBatch, LoadContext, Mode, Solution};
 use crate::element::{Element, NodeId};
 use crate::faults::FaultKind;
 use crate::stamp::{JacobianKey, StampSection, Stamper};
@@ -23,16 +25,23 @@ use crate::{Result, SpiceError};
 #[derive(Debug, Default)]
 pub(crate) struct Workspace {
     st: Option<Stamper>,
+    /// Structure-of-arrays gather/eval columns, one per device batch,
+    /// reused across assemblies so the steady state allocates nothing.
+    scratch: Vec<EvalBatch>,
 }
 
 impl Workspace {
     pub(crate) fn new() -> Workspace {
-        Workspace { st: None }
+        Workspace {
+            st: None,
+            scratch: Vec::new(),
+        }
     }
 
-    /// The cached stamper for `n` unknowns, recreated when the dimension
-    /// or backend choice changed — or on every call in legacy mode.
-    fn stamper(&mut self, n: usize) -> &mut Stamper {
+    /// The cached stamper for `n` unknowns — recreated when the dimension
+    /// or backend choice changed, or on every call in legacy mode — plus
+    /// the batch scratch columns, split-borrowed so assembly can use both.
+    fn parts(&mut self, n: usize) -> (&mut Stamper, &mut Vec<EvalBatch>) {
         let stale = match &self.st {
             Some(st) => {
                 st.is_legacy()
@@ -45,7 +54,10 @@ impl Workspace {
         if stale {
             self.st = Some(Stamper::new(n));
         }
-        self.st.as_mut().expect("stamper just ensured")
+        (
+            self.st.as_mut().expect("stamper just ensured"),
+            &mut self.scratch,
+        )
     }
 }
 
@@ -309,21 +321,66 @@ pub(crate) fn load_ic_clamps(clamps: &[(NodeId, f64)], x: &[f64], st: &mut Stamp
 
 /// Assembles the full system (linear elements, devices, solver stamps) at
 /// candidate `x`, with section attribution for non-finite detection.
+///
+/// Device loads go through the circuit's batch plan (gather → one shared
+/// evaluation per batch → per-device scatter in original order) unless
+/// [`SolveProfile::scalar_device_eval`] pins the one-at-a-time loop or no
+/// device is batchable. Both paths stamp the identical call sequence, so
+/// the assembled system is bitwise the same either way. Time spent in the
+/// device section is attributed to [`SolverStats::device_eval_ns`].
+///
+/// [`SolveProfile::scalar_device_eval`]:
+///     crate::profile::SolveProfile::scalar_device_eval
+/// [`SolverStats::device_eval_ns`]: crate::stats::SolverStats::device_eval_ns
 fn assemble(
     ckt: &Circuit,
     x: &[f64],
     ctx: &LoadContext,
     st: &mut Stamper,
+    scratch: &mut Vec<EvalBatch>,
     lin: Option<&LinearState>,
     ic_clamps: Option<&[(NodeId, f64)]>,
 ) -> Result<()> {
     st.clear();
     st.set_section(StampSection::Linear);
     load_linear(ckt, x, ctx, st, lin)?;
-    let sol = Solution::new(x);
-    for (i, dev) in ckt.devices().iter().enumerate() {
-        st.set_section(StampSection::Device(i));
-        dev.load(&sol, ctx, st);
+    let devices = ckt.devices();
+    if !devices.is_empty() {
+        let eval_start = Instant::now();
+        let sol = Solution::new(x);
+        let plan = if crate::profile::current().scalar_device_eval {
+            None
+        } else {
+            ckt.batch_plan()
+        };
+        match plan {
+            Some(plan) => {
+                scratch.resize_with(plan.batches.len(), EvalBatch::new);
+                for (b, members) in plan.batches.iter().enumerate() {
+                    let batch = &mut scratch[b];
+                    batch.clear();
+                    for &i in members {
+                        devices[i].batch_gather(&sol, batch);
+                    }
+                    devices[members[0]].batch_eval(ctx, batch);
+                }
+                for (i, dev) in devices.iter().enumerate() {
+                    st.set_section(StampSection::Device(i));
+                    match plan.membership[i] {
+                        Some((b, lane)) => dev.batch_scatter(lane, &scratch[b], &sol, ctx, st),
+                        None => dev.load(&sol, ctx, st),
+                    }
+                }
+                crate::stats::count_batched_eval();
+            }
+            None => {
+                for (i, dev) in devices.iter().enumerate() {
+                    st.set_section(StampSection::Device(i));
+                    dev.load(&sol, ctx, st);
+                }
+            }
+        }
+        crate::stats::count_device_eval_ns(eval_start.elapsed().as_nanos() as u64);
     }
     st.set_section(StampSection::Solver);
     st.gmin_shunts(ctx.gmin, ckt.num_node_unknowns(), x);
@@ -351,17 +408,21 @@ fn attribute_singular(ckt: &Circuit, e: SpiceError, time: f64) -> SpiceError {
 }
 
 /// Post-solve KCL audit: re-assembles the residual at the converged point
-/// and fails if any node row carries more than `tol` amperes.
+/// and fails if any node row carries more than the configured tolerance in
+/// amperes. A no-op unless [`crate::guard::kcl_tolerance`] is set.
 fn kcl_audit(
     ckt: &Circuit,
     x: &[f64],
     ctx: &LoadContext,
     st: &mut Stamper,
+    scratch: &mut Vec<EvalBatch>,
     lin: Option<&LinearState>,
     ic_clamps: Option<&[(NodeId, f64)]>,
-    tol: f64,
 ) -> Result<()> {
-    assemble(ckt, x, ctx, st, lin, ic_clamps)?;
+    let Some(tol) = crate::guard::kcl_tolerance() else {
+        return Ok(());
+    };
+    assemble(ckt, x, ctx, st, scratch, lin, ic_clamps)?;
     let nn = ckt.num_node_unknowns();
     let (worst, residual) =
         st.residual()
@@ -433,7 +494,7 @@ pub(crate) fn newton_solve(
     } else {
         None
     };
-    let st = ws.stamper(n);
+    let (st, scratch) = ws.parts(n);
     loop {
         // Budget poll: publishes the heartbeat and fails the solve with a
         // typed interrupt error if a deadline, cap, or cancellation
@@ -442,7 +503,7 @@ pub(crate) fn newton_solve(
             crate::stats::count_newton_iterations(solver.iterations() as u64);
             return Err(e);
         }
-        assemble(ckt, x, ctx, st, lin, ic_clamps)?;
+        assemble(ckt, x, ctx, st, scratch, lin, ic_clamps)?;
 
         // Fault injection — inert (a thread-local load) unless a plan is
         // installed by a test or soak driver.
@@ -469,7 +530,10 @@ pub(crate) fn newton_solve(
             return Err(crate::guard::non_finite_error(ckt, note, ctx.time()));
         }
 
-        let dx = match st.solve_with_key(key) {
+        let solve_start = Instant::now();
+        let solved = st.solve_with_key(key);
+        crate::stats::count_linear_solve_ns(solve_start.elapsed().as_nanos() as u64);
+        let dx = match solved {
             Ok(dx) => dx,
             Err(e) => {
                 crate::stats::count_newton_iterations(solver.iterations() as u64);
@@ -489,9 +553,7 @@ pub(crate) fn newton_solve(
         match solver.apply_step(x, &dx) {
             NewtonStatus::Converged => {
                 crate::stats::count_newton_iterations(solver.iterations() as u64);
-                if let Some(tol) = crate::guard::kcl_tolerance() {
-                    kcl_audit(ckt, x, ctx, st, lin, ic_clamps, tol)?;
-                }
+                kcl_audit(ckt, x, ctx, st, scratch, lin, ic_clamps)?;
                 return Ok(solver.iterations());
             }
             NewtonStatus::Interrupted(kind) => {

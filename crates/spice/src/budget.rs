@@ -264,7 +264,11 @@ fn spent(scope: &Scope, pending_newton: u64) -> SolverStats {
 }
 
 fn deadline_error(limit: String, time: f64, spent: SolverStats) -> SpiceError {
-    SpiceError::DeadlineExceeded { limit, time, spent }
+    SpiceError::DeadlineExceeded {
+        limit,
+        time,
+        spent: Box::new(spent),
+    }
 }
 
 /// Builds the typed interrupt error for a raised flag observed by a
@@ -277,7 +281,10 @@ pub(crate) fn interrupted(kind: InterruptKind, time: f64, pending_newton: u64) -
             .unwrap_or_default()
     });
     match kind {
-        InterruptKind::Cancelled => SpiceError::Cancelled { time, spent },
+        InterruptKind::Cancelled => SpiceError::Cancelled {
+            time,
+            spent: Box::new(spent),
+        },
         InterruptKind::Deadline => deadline_error(
             "cancelled by supervisor (deadline or stall watchdog)".into(),
             time,
@@ -345,7 +352,10 @@ pub(crate) fn poll(time: f64, pending_newton: u64) -> crate::Result<()> {
 
 fn interrupted_with(kind: InterruptKind, time: f64, spent: SolverStats) -> SpiceError {
     match kind {
-        InterruptKind::Cancelled => SpiceError::Cancelled { time, spent },
+        InterruptKind::Cancelled => SpiceError::Cancelled {
+            time,
+            spent: Box::new(spent),
+        },
         InterruptKind::Deadline => deadline_error(
             "cancelled by supervisor (deadline or stall watchdog)".into(),
             time,

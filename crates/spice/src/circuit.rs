@@ -7,6 +7,21 @@ use crate::element::{Element, ElementId, NodeId, SourceRef};
 use crate::waveform::Waveform;
 use crate::{Result, SpiceError};
 
+/// Partition of a circuit's devices into homogeneous evaluation batches,
+/// computed once at layout freeze from [`Device::batch_key`].
+///
+/// Batches are ordered by first appearance of their key and lanes within
+/// a batch follow ascending device index, so the partition — and with it
+/// the gather/eval order — is a deterministic function of the netlist.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchPlan {
+    /// Device indices of each batch, ascending within a batch.
+    pub batches: Vec<Vec<usize>>,
+    /// For each device index: `Some((batch, lane))` when batched, `None`
+    /// for devices that always load through scalar dispatch.
+    pub membership: Vec<Option<(usize, usize)>>,
+}
+
 /// A circuit netlist: named nodes, linear elements, and nonlinear devices.
 ///
 /// # Example
@@ -32,6 +47,7 @@ pub struct Circuit {
     num_branches: usize,
     internal_unknowns: usize,
     layout_final: bool,
+    batch_plan: Option<BatchPlan>,
     ics: Vec<(NodeId, f64)>,
 }
 
@@ -49,6 +65,7 @@ impl Circuit {
             num_branches: 0,
             internal_unknowns: 0,
             layout_final: false,
+            batch_plan: None,
             ics: Vec::new(),
         };
         ckt.nodes_by_name.insert("0".to_string(), NodeId::GROUND);
@@ -122,7 +139,40 @@ impl Circuit {
             }
         }
         self.internal_unknowns = base - self.num_node_unknowns() - self.num_branches;
+        self.batch_plan = Self::build_batch_plan(&self.devices);
         self.layout_final = true;
+    }
+
+    /// Groups devices with equal [`Device::batch_key`]s into evaluation
+    /// batches; `None` when no device is batchable, which keeps scalar
+    /// circuits on the verbatim one-at-a-time load loop.
+    fn build_batch_plan(devices: &[Box<dyn Device>]) -> Option<BatchPlan> {
+        let mut by_key: HashMap<u64, usize> = HashMap::new();
+        let mut batches: Vec<Vec<usize>> = Vec::new();
+        let mut membership = vec![None; devices.len()];
+        for (i, dev) in devices.iter().enumerate() {
+            if let Some(key) = dev.batch_key() {
+                let b = *by_key.entry(key).or_insert_with(|| {
+                    batches.push(Vec::new());
+                    batches.len() - 1
+                });
+                membership[i] = Some((b, batches[b].len()));
+                batches[b].push(i);
+            }
+        }
+        if batches.is_empty() {
+            None
+        } else {
+            Some(BatchPlan {
+                batches,
+                membership,
+            })
+        }
+    }
+
+    /// The batch partition, available once the layout is finalized.
+    pub(crate) fn batch_plan(&self) -> Option<&BatchPlan> {
+        self.batch_plan.as_ref()
     }
 
     fn assert_mutable(&self) {

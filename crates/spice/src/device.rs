@@ -99,6 +99,76 @@ impl<'a> Solution<'a> {
     }
 }
 
+/// FNV-1a offset basis, the seed for [`Device::batch_key`] fingerprints.
+pub const BATCH_KEY_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds one 64-bit word into an FNV-1a hash; device implementations
+/// chain this over their model-parameter bits (via [`f64::to_bits`]) and
+/// a concrete-type tag to build a [`Device::batch_key`].
+pub fn batch_key_word(hash: u64, word: u64) -> u64 {
+    let mut h = hash;
+    for b in word.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Structure-of-arrays scratch columns for one homogeneous device batch.
+///
+/// The engine gathers every batch member's inputs into the `vin`/`bin`
+/// columns (one push per lane per column), has one representative member
+/// evaluate the whole batch into `out` in a tight slice loop, and then
+/// scatters each lane's outputs through the stamper in the original
+/// per-device order. Four `f64` columns each way plus one `bool` column
+/// cover the three-terminal conduction models in this workspace (gate /
+/// drain / source voltage + width in; current + three partials out);
+/// devices that need fewer columns simply leave the rest empty, as long
+/// as every member pushes the same columns so lanes stay aligned.
+#[derive(Debug)]
+pub struct EvalBatch {
+    /// Per-lane `f64` input columns gathered from the candidate solution.
+    pub vin: [Vec<f64>; 4],
+    /// Per-lane discrete-state column (e.g. a NEMFET's contact flag),
+    /// letting devices in different hysteresis states share a batch.
+    pub bin: Vec<bool>,
+    /// Per-lane `f64` output columns filled by [`Device::batch_eval`].
+    pub out: [Vec<f64>; 4],
+}
+
+impl EvalBatch {
+    /// An empty batch.
+    pub fn new() -> EvalBatch {
+        EvalBatch {
+            vin: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            bin: Vec::new(),
+            out: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+        }
+    }
+
+    /// Number of gathered lanes (length of the first input column).
+    pub fn lanes(&self) -> usize {
+        self.vin[0].len()
+    }
+
+    /// Empties every column, keeping the allocated capacity.
+    pub fn clear(&mut self) {
+        for c in &mut self.vin {
+            c.clear();
+        }
+        self.bin.clear();
+        for c in &mut self.out {
+            c.clear();
+        }
+    }
+}
+
+impl Default for EvalBatch {
+    fn default() -> EvalBatch {
+        EvalBatch::new()
+    }
+}
+
 /// A nonlinear multi-terminal device that participates in MNA assembly.
 ///
 /// Devices own their *dynamic state* (integration history, hysteresis
@@ -106,6 +176,26 @@ impl<'a> Solution<'a> {
 /// be a pure function of the candidate solution and the context. When a
 /// step (or DC point) is accepted the analysis calls [`Device::commit`],
 /// which is the only place state may change.
+///
+/// # Batched evaluation
+///
+/// Devices may opt into structure-of-arrays batched evaluation by
+/// returning a key from [`Device::batch_key`] and implementing the three
+/// `batch_*` hooks. At layout freeze the circuit groups instances with
+/// equal keys into one batch; per assembly the engine calls
+/// [`Device::batch_gather`] on every member (in device order),
+/// [`Device::batch_eval`] once on the first member, and
+/// [`Device::batch_scatter`] on every member in the original global
+/// device order. The scatter must replay *exactly* the stamp-call
+/// sequence [`Device::load`] would produce, so the batched and scalar
+/// paths are bitwise identical.
+///
+/// Key contract: equal keys imply the same concrete device type, the same
+/// gather/output column usage, and bitwise-equal model parameters for
+/// everything [`Device::batch_eval`] reads from `self` — per-instance
+/// values (terminal nodes, width, discrete state) must travel through the
+/// batch columns instead. Build keys by folding the parameter bits and a
+/// unique type tag with [`batch_key_word`].
 pub trait Device: std::fmt::Debug {
     /// Instance name for diagnostics.
     fn name(&self) -> &str;
@@ -140,5 +230,43 @@ pub trait Device: std::fmt::Debug {
     /// (node voltages are guessed by the analysis itself).
     fn initial_guess(&self, x: &mut [f64]) {
         let _ = x;
+    }
+
+    /// Batch-partitioning key (see the trait-level contract), or `None`
+    /// to always evaluate this instance through [`Device::load`]. Must be
+    /// stable across the circuit's lifetime — the partition is computed
+    /// once at layout freeze.
+    fn batch_key(&self) -> Option<u64> {
+        None
+    }
+
+    /// Pushes this instance's per-lane inputs (one value per used column)
+    /// onto the batch. Called once per assembly for every batch member.
+    fn batch_gather(&self, x: &Solution<'_>, batch: &mut EvalBatch) {
+        let _ = (x, batch);
+    }
+
+    /// Evaluates every gathered lane of the batch, pushing one value per
+    /// used output column per lane. Called once per batch on the first
+    /// member; by the key contract its model parameters are bitwise equal
+    /// to every other member's.
+    fn batch_eval(&self, ctx: &LoadContext, batch: &mut EvalBatch) {
+        let _ = (ctx, batch);
+    }
+
+    /// Stamps this instance's contributions from its `lane` of the
+    /// evaluated batch, replaying the exact stamp sequence of
+    /// [`Device::load`]. The default delegates to `load` so partially
+    /// implemented devices stay correct (at scalar cost).
+    fn batch_scatter(
+        &self,
+        lane: usize,
+        batch: &EvalBatch,
+        x: &Solution<'_>,
+        ctx: &LoadContext,
+        st: &mut Stamper,
+    ) {
+        let _ = (lane, batch);
+        self.load(x, ctx, st);
     }
 }

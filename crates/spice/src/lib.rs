@@ -139,8 +139,9 @@ pub enum SpiceError {
         /// for DC).
         time: f64,
         /// Partial telemetry: solver effort spent inside the budget scope
-        /// before the interrupt.
-        spent: SolverStats,
+        /// before the interrupt (boxed to keep `SpiceError` small on the
+        /// happy path's `Result`).
+        spent: Box<SolverStats>,
     },
     /// The solve was cooperatively cancelled through a
     /// [`budget::InterruptFlag`] (an explicit external cancellation, not
@@ -150,8 +151,9 @@ pub enum SpiceError {
         /// for DC).
         time: f64,
         /// Partial telemetry: solver effort spent inside the budget scope
-        /// before the interrupt.
-        spent: SolverStats,
+        /// before the interrupt (boxed to keep `SpiceError` small on the
+        /// happy path's `Result`).
+        spent: Box<SolverStats>,
     },
 }
 
@@ -287,11 +289,11 @@ mod tests {
             SpiceError::DeadlineExceeded {
                 limit: "wall-clock deadline of 250ms".into(),
                 time: 1e-9,
-                spent: SolverStats::default(),
+                spent: Box::default(),
             },
             SpiceError::Cancelled {
                 time: 0.0,
-                spent: SolverStats::default(),
+                spent: Box::default(),
             },
         ];
         for e in errors {
@@ -304,11 +306,11 @@ mod tests {
         let d = SpiceError::DeadlineExceeded {
             limit: "newton iteration cap of 10".into(),
             time: 0.0,
-            spent: SolverStats::default(),
+            spent: Box::default(),
         };
         let c = SpiceError::Cancelled {
             time: 0.0,
-            spent: SolverStats::default(),
+            spent: Box::default(),
         };
         assert!(d.is_interrupt());
         assert!(c.is_interrupt());

@@ -16,7 +16,10 @@
 //! `PWL(...)` / `SIN(...)` / `EXP(...)`), `E` (VCVS), `G` (VCCS), and device cards
 //! (`M`/`X`) resolved through a caller-supplied [`DeviceFactory`] — the
 //! `nemscmos` core crate registers the calibrated 90 nm MOSFET and NEMS
-//! models. Directives: `.op`, `.tran`, `.dc`, `.ac`, `.ic`, `.end`.
+//! models. `.MODEL` cards define deck-local aliases of factory models
+//! with default parameters (`.MODEL fast nmos90 W=2u`); instance
+//! parameters override the card's. Directives: `.op`, `.tran`, `.dc`,
+//! `.ac`, `.ic`, `.model`, `.end`.
 //! Engineering suffixes (`f p n u m k meg g t`) and `+` continuation
 //! lines follow SPICE conventions; `*` and `;` start comments.
 
@@ -415,11 +418,85 @@ fn expand_subckts(defs: &HashMap<String, Subckt>, top: Vec<String>) -> Result<Ve
     ))
 }
 
+/// A deck-local model alias declared by a `.MODEL` card.
+#[derive(Debug, Clone)]
+struct ModelCard {
+    /// The factory model (or another alias) this card refines.
+    base: String,
+    /// Default `KEY=value` parameters; instance parameters win.
+    params: HashMap<String, f64>,
+}
+
+/// Collects every `.MODEL name base [KEY=val ...]` card up front, so an
+/// instance may reference a model defined later in the deck.
+fn collect_models(lines: &[String]) -> Result<HashMap<String, ModelCard>> {
+    let mut models: HashMap<String, ModelCard> = HashMap::new();
+    for line in lines {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        if !tokens
+            .first()
+            .is_some_and(|t| t.eq_ignore_ascii_case(".model"))
+        {
+            continue;
+        }
+        let bad = |msg: &str| SpiceError::InvalidCircuit(format!("'{line}': {msg}"));
+        if tokens.len() < 3 || tokens[1].contains('=') || tokens[2].contains('=') {
+            return Err(bad(".model needs: .MODEL name base [KEY=value ...]"));
+        }
+        let name = tokens[1].to_ascii_lowercase();
+        let base = tokens[2].to_ascii_lowercase();
+        let mut params = HashMap::new();
+        for kv in &tokens[3..] {
+            let (k, v) = kv
+                .split_once('=')
+                .ok_or_else(|| bad("model parameters look like KEY=value"))?;
+            params.insert(k.to_ascii_uppercase(), parse_value(v)?);
+        }
+        if models
+            .insert(name.clone(), ModelCard { base, params })
+            .is_some()
+        {
+            return Err(bad(&format!("duplicate .MODEL '{name}'")));
+        }
+    }
+    Ok(models)
+}
+
+/// Resolves a device card's model through the `.MODEL` alias table:
+/// follows alias chains (depth-capped) and layers parameters so that the
+/// instance's own assignments override every card along the chain.
+fn resolve_model(
+    model: &str,
+    instance_params: &HashMap<String, f64>,
+    models: &HashMap<String, ModelCard>,
+) -> Result<(String, HashMap<String, f64>)> {
+    let mut name = model.to_string();
+    let mut chain = Vec::new();
+    while let Some(card) = models.get(&name) {
+        if chain.len() >= 8 {
+            return Err(SpiceError::InvalidCircuit(format!(
+                ".MODEL alias chain from '{model}' exceeds depth 8 (recursive definition?)"
+            )));
+        }
+        chain.push(card);
+        name = card.base.clone();
+    }
+    // Outermost alias wins over the ones it refines; the instance wins
+    // over all of them.
+    let mut params = HashMap::new();
+    for card in chain.iter().rev() {
+        params.extend(card.params.iter().map(|(k, v)| (k.clone(), *v)));
+    }
+    params.extend(instance_params.iter().map(|(k, v)| (k.clone(), *v)));
+    Ok((name, params))
+}
+
 /// Parses a SPICE deck into a circuit and directives.
 ///
 /// Supports hierarchical `.subckt`/`.ends` definitions: `X` cards whose
 /// model matches a subcircuit are flattened (internal nodes prefixed with
-/// the instance name); other `X`/`M` cards go to the device factory.
+/// the instance name); other `X`/`M` cards go to the device factory,
+/// after `.MODEL` aliases are resolved.
 ///
 /// # Errors
 ///
@@ -433,6 +510,7 @@ pub fn parse_deck<F: DeviceFactory>(text: &str, factory: &F) -> Result<ParsedDec
 
     let (defs, top) = extract_subckts(logical_lines(text))?;
     let flat = expand_subckts(&defs, top)?;
+    let models = collect_models(&flat)?;
 
     for line in flat {
         let tokens: Vec<String> = line.split_whitespace().map(|s| s.to_string()).collect();
@@ -491,6 +569,8 @@ pub fn parse_deck<F: DeviceFactory>(text: &str, factory: &F) -> Result<ParsedDec
                         ckt.set_ic(node, parse_value(inner.1)?);
                     }
                 }
+                // Consumed (and validated) by the `collect_models` pre-pass.
+                "MODEL" => {}
                 other => return Err(bad(&format!("unknown directive .{other}"))),
             }
             continue;
@@ -588,9 +668,18 @@ pub fn parse_deck<F: DeviceFactory>(text: &str, factory: &F) -> Result<ParsedDec
                         .ok_or_else(|| bad("device parameters look like KEY=value"))?;
                     params.insert(k.to_ascii_uppercase(), parse_value(v)?);
                 }
+                let (resolved, params) = resolve_model(&model, &params, &models)?;
                 let dev = factory
-                    .make(&card, &model, &ids, &params)
-                    .ok_or_else(|| bad(&format!("unknown device model '{model}'")))?;
+                    .make(&card, &resolved, &ids, &params)
+                    .ok_or_else(|| {
+                        if resolved == model {
+                            bad(&format!("unknown device model '{model}'"))
+                        } else {
+                            bad(&format!(
+                                "unknown device model '{resolved}' (via .MODEL '{model}')"
+                            ))
+                        }
+                    })?;
                 ckt.add_boxed_device(dev);
             }
             other => return Err(bad(&format!("unknown element type '{other}'"))),

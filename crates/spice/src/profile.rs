@@ -49,6 +49,12 @@ pub struct SolveProfile {
     /// the slow path and by `perfbase` to measure the baseline; the fast
     /// path is constructed to be bitwise identical to this one.
     pub legacy_linear_algebra: bool,
+    /// Disable structure-of-arrays batched device evaluation and load
+    /// every device instance one at a time through virtual dispatch, the
+    /// pre-batching code path verbatim. Mirrors `legacy_linear_algebra`:
+    /// differential testing pins this to prove the batched path bitwise
+    /// identical, and `perfbase` uses it for the baseline measurement.
+    pub scalar_device_eval: bool,
 }
 
 impl SolveProfile {
@@ -82,6 +88,7 @@ thread_local! {
         force_backward_euler: false,
         matrix_backend: None,
         legacy_linear_algebra: false,
+        scalar_device_eval: false,
     }) };
 }
 

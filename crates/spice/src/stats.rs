@@ -52,6 +52,21 @@ pub struct SolverStats {
     /// Linear-circuit solves that reused the previous factorization
     /// outright (RHS-only re-solve).
     pub bypass_solves: u64,
+    /// Assemblies whose device loads went through the structure-of-arrays
+    /// batched evaluation path (zero when the circuit has no batchable
+    /// devices or [`SolveProfile::scalar_device_eval`] pins the scalar
+    /// path).
+    ///
+    /// [`SolveProfile::scalar_device_eval`]:
+    ///     crate::profile::SolveProfile::scalar_device_eval
+    pub batched_evals: u64,
+    /// Wall-clock nanoseconds spent loading devices during assembly
+    /// (gather + model evaluation + Jacobian/residual scatter). Exactly
+    /// zero for circuits without nonlinear devices.
+    pub device_eval_ns: u64,
+    /// Wall-clock nanoseconds spent in the linear solve (factorization,
+    /// refactorization, or bypass back-substitution).
+    pub linear_solve_ns: u64,
 }
 
 impl SolverStats {
@@ -68,6 +83,9 @@ impl SolverStats {
             symbolic_reuses: self.symbolic_reuses - earlier.symbolic_reuses,
             refactor_fallbacks: self.refactor_fallbacks - earlier.refactor_fallbacks,
             bypass_solves: self.bypass_solves - earlier.bypass_solves,
+            batched_evals: self.batched_evals - earlier.batched_evals,
+            device_eval_ns: self.device_eval_ns - earlier.device_eval_ns,
+            linear_solve_ns: self.linear_solve_ns - earlier.linear_solve_ns,
         }
     }
 
@@ -90,6 +108,9 @@ impl Add for SolverStats {
             symbolic_reuses: self.symbolic_reuses + rhs.symbolic_reuses,
             refactor_fallbacks: self.refactor_fallbacks + rhs.refactor_fallbacks,
             bypass_solves: self.bypass_solves + rhs.bypass_solves,
+            batched_evals: self.batched_evals + rhs.batched_evals,
+            device_eval_ns: self.device_eval_ns + rhs.device_eval_ns,
+            linear_solve_ns: self.linear_solve_ns + rhs.linear_solve_ns,
         }
     }
 }
@@ -176,6 +197,9 @@ impl Heartbeat {
             symbolic_reuses: 0,
             refactor_fallbacks: 0,
             bypass_solves: 0,
+            batched_evals: 0,
+            device_eval_ns: 0,
+            linear_solve_ns: 0,
         }
     }
 }
@@ -191,6 +215,9 @@ thread_local! {
         symbolic_reuses: 0,
         refactor_fallbacks: 0,
         bypass_solves: 0,
+        batched_evals: 0,
+        device_eval_ns: 0,
+        linear_solve_ns: 0,
     }) };
 }
 
@@ -276,6 +303,27 @@ pub(crate) fn count_bypass_solve() {
     });
 }
 
+pub(crate) fn count_batched_eval() {
+    add(SolverStats {
+        batched_evals: 1,
+        ..SolverStats::default()
+    });
+}
+
+pub(crate) fn count_device_eval_ns(ns: u64) {
+    add(SolverStats {
+        device_eval_ns: ns,
+        ..SolverStats::default()
+    });
+}
+
+pub(crate) fn count_linear_solve_ns(ns: u64) {
+    add(SolverStats {
+        linear_solve_ns: ns,
+        ..SolverStats::default()
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -292,6 +340,9 @@ mod tests {
         count_symbolic_reuse();
         count_refactor_fallback();
         count_bypass_solve();
+        count_batched_eval();
+        count_device_eval_ns(250);
+        count_linear_solve_ns(750);
         let d = snapshot().delta_since(&a);
         assert_eq!(d.newton_iterations, 3);
         assert_eq!(d.lu_factorizations, 1);
@@ -302,6 +353,9 @@ mod tests {
         assert_eq!(d.symbolic_reuses, 1);
         assert_eq!(d.refactor_fallbacks, 1);
         assert_eq!(d.bypass_solves, 1);
+        assert_eq!(d.batched_evals, 1);
+        assert_eq!(d.device_eval_ns, 250);
+        assert_eq!(d.linear_solve_ns, 750);
         assert!(!d.is_zero());
     }
 

@@ -1,0 +1,177 @@
+//! Eval/solve attribution counters: `device_eval_ns` and `batched_evals`
+//! must be exactly zero on decks without devices (the device section is
+//! never entered, so no timestamp is ever taken), nonzero where batched
+//! device work actually happens, and pinned off by `scalar_device_eval`
+//! and `legacy_linear_algebra` without disturbing the solve counters.
+
+use nemscmos_spice::analysis::op::op;
+use nemscmos_spice::analysis::tran::{transient, TranOptions};
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::device::{batch_key_word, Device, LoadContext, Solution, BATCH_KEY_SEED};
+use nemscmos_spice::element::NodeId;
+use nemscmos_spice::profile::{self, SolveProfile};
+use nemscmos_spice::stamp::Stamper;
+use nemscmos_spice::stats;
+use nemscmos_spice::waveform::Waveform;
+
+/// A minimal batchable nonlinear shunt: i = k·v² to ground. Only the key
+/// is overridden — the default `batch_scatter` delegates to `load`, which
+/// is exactly the degenerate batch member the engine must also handle.
+#[derive(Debug)]
+struct SquareLaw {
+    node: NodeId,
+    k: f64,
+}
+
+impl Device for SquareLaw {
+    fn name(&self) -> &str {
+        "squarelaw"
+    }
+    fn load(&self, x: &Solution<'_>, _ctx: &LoadContext, st: &mut Stamper) {
+        let v = x.v(self.node);
+        st.nonlinear_current(
+            self.node,
+            NodeId::GROUND,
+            self.k * v * v,
+            &[(self.node, 2.0 * self.k * v)],
+        );
+    }
+    fn commit(&mut self, _x: &Solution<'_>, _ctx: &LoadContext) -> bool {
+        false
+    }
+    fn reset_state(&mut self) {}
+    fn batch_key(&self) -> Option<u64> {
+        Some(batch_key_word(BATCH_KEY_SEED, self.k.to_bits()))
+    }
+}
+
+/// Driven RC with a square-law shunt: nonlinear, so every Newton
+/// iteration runs the device section and a real factorization.
+fn device_deck() -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+    ckt.resistor(vin, out, 1e3);
+    ckt.capacitor(out, Circuit::GROUND, 1e-9);
+    ckt.add_device(SquareLaw { node: out, k: 1e-3 });
+    ckt.add_device(SquareLaw { node: out, k: 1e-3 });
+    ckt
+}
+
+/// Same deck minus the devices: the linear-bypass fast path.
+fn linear_deck() -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    let out = ckt.node("out");
+    ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+    ckt.resistor(vin, out, 1e3);
+    ckt.capacitor(out, Circuit::GROUND, 1e-9);
+    ckt
+}
+
+fn tran_opts() -> TranOptions {
+    TranOptions {
+        dt_init: Some(2e-9),
+        dt_max: Some(10e-9),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn device_decks_attribute_both_eval_and_solve_time() {
+    let mut ckt = device_deck();
+    let (_, spent) = stats::measure(|| transient(&mut ckt, 1e-6, &tran_opts()).unwrap());
+    assert!(spent.newton_iterations > 0);
+    // Hundreds of iterations, each bracketed by two monotonic-clock reads
+    // per section: zero accumulated time would mean the bracket vanished.
+    assert!(
+        spent.device_eval_ns > 0,
+        "eval time: {}",
+        spent.device_eval_ns
+    );
+    assert!(
+        spent.linear_solve_ns > 0,
+        "solve time: {}",
+        spent.linear_solve_ns
+    );
+    // Both instances share a batch key, so every assembly goes batched:
+    // at least one batched pass per Newton iteration.
+    assert!(
+        spent.batched_evals >= spent.newton_iterations,
+        "batched {} vs newton {}",
+        spent.batched_evals,
+        spent.newton_iterations
+    );
+}
+
+#[test]
+fn linear_decks_record_zero_device_attribution() {
+    let mut ckt = linear_deck();
+    let (_, spent) = stats::measure(|| transient(&mut ckt, 1e-6, &tran_opts()).unwrap());
+    assert!(spent.newton_iterations > 0);
+    assert_eq!(spent.device_eval_ns, 0, "no devices, no eval time");
+    assert_eq!(spent.batched_evals, 0);
+    // The factorization may be bypassed, but the back-substitution still
+    // runs inside the timed solve bracket every iteration.
+    assert!(
+        spent.linear_solve_ns > 0,
+        "solve time: {}",
+        spent.linear_solve_ns
+    );
+    assert!(spent.bypass_solves > 0, "linear bypass engaged");
+}
+
+#[test]
+fn scalar_pin_disables_batching_but_not_attribution() {
+    let mut ckt = device_deck();
+    let pin = SolveProfile {
+        scalar_device_eval: true,
+        ..Default::default()
+    };
+    let (_, spent) = profile::with(pin, || {
+        stats::measure(|| transient(&mut ckt, 1e-6, &tran_opts()).unwrap())
+    });
+    assert!(spent.newton_iterations > 0);
+    assert_eq!(spent.batched_evals, 0, "scalar pin must suppress batching");
+    // The eval/solve brackets time the section regardless of which path
+    // runs inside it.
+    assert!(spent.device_eval_ns > 0);
+    assert!(spent.linear_solve_ns > 0);
+}
+
+#[test]
+fn legacy_pin_also_runs_scalar_eval_when_asked() {
+    // The perfbase baseline pins both flags; the pair must compose.
+    let mut ckt = device_deck();
+    let pin = SolveProfile {
+        legacy_linear_algebra: true,
+        scalar_device_eval: true,
+        ..Default::default()
+    };
+    let (res, spent) = profile::with(pin, || {
+        stats::measure(|| transient(&mut ckt, 1e-6, &tran_opts()).unwrap())
+    });
+    assert!(res.num_points() > 10);
+    assert_eq!(spent.batched_evals, 0);
+    assert_eq!(
+        spent.slot_cache_hits, 0,
+        "legacy pin disables the fast path"
+    );
+    assert_eq!(spent.symbolic_reuses, 0);
+    assert!(spent.device_eval_ns > 0);
+}
+
+#[test]
+fn op_on_a_device_deck_batches_every_assembly() {
+    let mut ckt = device_deck();
+    let (_, spent) = stats::measure(|| op(&mut ckt).unwrap());
+    assert!(spent.newton_iterations > 0);
+    assert!(
+        spent.batched_evals >= spent.newton_iterations,
+        "batched {} vs newton {}",
+        spent.batched_evals,
+        spent.newton_iterations
+    );
+    assert!(spent.device_eval_ns > 0, "op evals must be timed");
+}

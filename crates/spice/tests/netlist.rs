@@ -1,0 +1,166 @@
+//! Netlist frontend regressions: error paths must name the offending
+//! card, and `.MODEL` aliases must resolve through the device factory
+//! with instance parameters overriding the card's defaults.
+
+use std::collections::HashMap;
+
+use nemscmos_spice::analysis::op::op;
+use nemscmos_spice::device::{Device, LoadContext, Solution};
+use nemscmos_spice::element::NodeId;
+use nemscmos_spice::netlist::{parse_deck, DeviceFactory, NoDevices};
+use nemscmos_spice::stamp::Stamper;
+
+/// A one-terminal linear shunt, so parameter plumbing is observable as a
+/// plain voltage-divider ratio.
+#[derive(Debug)]
+struct Shunt {
+    node: NodeId,
+    g: f64,
+}
+
+impl Device for Shunt {
+    fn name(&self) -> &str {
+        "shunt"
+    }
+    fn load(&self, x: &Solution<'_>, _ctx: &LoadContext, st: &mut Stamper) {
+        st.conductance(self.node, NodeId::GROUND, self.g, x.v(self.node), 0.0);
+    }
+    fn commit(&mut self, _x: &Solution<'_>, _ctx: &LoadContext) -> bool {
+        false
+    }
+    fn reset_state(&mut self) {}
+}
+
+/// Knows exactly one model, `shunt`, with a `G` parameter.
+struct ShuntFactory;
+
+impl DeviceFactory for ShuntFactory {
+    fn make(
+        &self,
+        _name: &str,
+        model: &str,
+        nodes: &[NodeId],
+        params: &HashMap<String, f64>,
+    ) -> Option<Box<dyn Device>> {
+        if model != "shunt" || nodes.is_empty() {
+            return None;
+        }
+        Some(Box::new(Shunt {
+            node: nodes[0],
+            g: params.get("G").copied().unwrap_or(1e-3),
+        }))
+    }
+}
+
+fn out_voltage(deck: &str) -> f64 {
+    let parsed = parse_deck(deck, &ShuntFactory).unwrap();
+    let out = parsed.nodes["out"];
+    let mut ckt = parsed.circuit;
+    op(&mut ckt).unwrap().voltage(out)
+}
+
+#[test]
+fn model_alias_resolves_through_the_factory() {
+    // 1 V through 1 kΩ into a 2 mS shunt: v(out) = 1m / 3m = 1/3.
+    let v = out_voltage(
+        "\
+.model leaky shunt G=2m
+V1 in 0 DC 1
+R1 in out 1k
+M1 out leaky
+.op
+",
+    );
+    assert!((v - 1.0 / 3.0).abs() < 1e-9, "v(out) = {v}");
+}
+
+#[test]
+fn instance_parameters_override_the_model_card() {
+    // The instance's G=5m beats the card's G=2m: v(out) = 1m / 6m.
+    let v = out_voltage(
+        "\
+.model leaky shunt G=2m
+V1 in 0 DC 1
+R1 in out 1k
+M1 out leaky G=5m
+.op
+",
+    );
+    assert!((v - 1.0 / 6.0).abs() < 1e-9, "v(out) = {v}");
+}
+
+#[test]
+fn model_cards_may_follow_their_instances_and_chain() {
+    // Forward reference plus a two-level alias chain; the outer card's
+    // G=4m overrides the inner card's G=2m.
+    let v = out_voltage(
+        "\
+V1 in 0 DC 1
+M1 out hot
+.model hot leaky G=4m
+.model leaky shunt G=2m
+R1 in out 1k
+.op
+",
+    );
+    assert!((v - 1.0 / 5.0).abs() < 1e-9, "v(out) = {v}");
+}
+
+#[test]
+fn duplicate_model_names_are_rejected() {
+    let err = parse_deck(
+        "\
+.model leaky shunt G=2m
+.model leaky shunt G=9m
+V1 in 0 DC 1
+.op
+",
+        &ShuntFactory,
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("duplicate"), "{err}");
+    assert!(err.to_string().contains("leaky"), "{err}");
+}
+
+#[test]
+fn malformed_model_cards_are_rejected() {
+    let err = parse_deck(".model onlyname\n.op\n", &NoDevices).unwrap_err();
+    assert!(err.to_string().contains(".MODEL name base"), "{err}");
+    let err = parse_deck(".model a shunt G-3\n.op\n", &NoDevices).unwrap_err();
+    assert!(err.to_string().contains("KEY=value"), "{err}");
+    let recursive = ".model a b\n.model b a\nM1 out a\nV1 out 0 DC 1\n.op\n";
+    let err = parse_deck(recursive, &ShuntFactory).unwrap_err();
+    assert!(err.to_string().contains("depth"), "{err}");
+}
+
+#[test]
+fn alias_to_unknown_base_names_both_models() {
+    let err = parse_deck(
+        ".model ghost nosuch\nV1 out 0 DC 1\nM1 out ghost\n.op\n",
+        &ShuntFactory,
+    )
+    .unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("nosuch"), "{msg}");
+    assert!(msg.contains("ghost"), "{msg}");
+}
+
+#[test]
+fn unknown_element_type_is_rejected_with_the_line() {
+    let err = parse_deck("Q1 c b e npn\n.op\n", &NoDevices).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("Q1"), "{msg}");
+    assert!(msg.contains("unknown element"), "{msg}");
+}
+
+#[test]
+fn element_arity_errors_name_the_expected_shape() {
+    let err = parse_deck("R1 a 0\n.op\n", &NoDevices).unwrap_err();
+    assert!(err.to_string().contains("name n1 n2 value"), "{err}");
+    let err = parse_deck("V1 a\n.op\n", &NoDevices).unwrap_err();
+    assert!(err.to_string().contains("n+ n- waveform"), "{err}");
+    let err = parse_deck("E1 a 0 b\n.op\n", &NoDevices).unwrap_err();
+    assert!(err.to_string().contains("ctl"), "{err}");
+    let err = parse_deck("M1 leaky\n.op\n", &NoDevices).unwrap_err();
+    assert!(err.to_string().contains("nodes and a model name"), "{err}");
+}

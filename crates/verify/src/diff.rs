@@ -340,6 +340,76 @@ pub fn fast_vs_slow(deck: &Deck) -> Result<(), String> {
     Ok(())
 }
 
+/// The structure-of-arrays batched device-evaluation path must be
+/// *bitwise identical* to the one-instance-at-a-time path it replaces:
+/// the rendered JSON snapshot of every deck must not change by a single
+/// byte when batching is disabled via
+/// [`SolveProfile::scalar_device_eval`].
+///
+/// # Errors
+///
+/// A message naming the deck and the rendered sizes when the artifacts
+/// differ.
+///
+/// [`SolveProfile::scalar_device_eval`]: nemscmos_spice::profile::SolveProfile::scalar_device_eval
+pub fn batched_vs_scalar(deck: &Deck) -> Result<(), String> {
+    let batched = snapshot_json(deck).render();
+    let scalar = profile::with(
+        SolveProfile {
+            scalar_device_eval: true,
+            ..Default::default()
+        },
+        || snapshot_json(deck).render(),
+    );
+    if batched != scalar {
+        return Err(format!(
+            "deck `{}` differs between the batched and scalar device-eval \
+             paths ({} vs {} rendered bytes)",
+            deck.name,
+            batched.len(),
+            scalar.len()
+        ));
+    }
+    Ok(())
+}
+
+/// [`batched_vs_scalar`] with a seeded fault plan installed identically
+/// around both runs: a mild Jacobian perturbation keeps the residual
+/// exact (so both paths still converge to the true solution) while
+/// forcing extra Newton iterations through the fault machinery. Both
+/// paths must see the identical fault stream and produce byte-identical
+/// snapshots.
+///
+/// # Errors
+///
+/// A message naming the deck when the faulted artifacts differ.
+pub fn batched_vs_scalar_faulted(deck: &Deck, seed: u64) -> Result<(), String> {
+    use nemscmos_spice::faults::{self, Disarm, FaultKind, FaultPlan};
+    let plan = FaultPlan::immediate(
+        FaultKind::JacobianPerturb { relative: 1e-4 },
+        Disarm::AfterTriggers(5),
+        seed,
+    );
+    let batched = faults::with(plan, || snapshot_json(deck).render());
+    let scalar = profile::with(
+        SolveProfile {
+            scalar_device_eval: true,
+            ..Default::default()
+        },
+        || faults::with(plan, || snapshot_json(deck).render()),
+    );
+    if batched != scalar {
+        return Err(format!(
+            "deck `{}` (fault seed {seed}) differs between the batched and \
+             scalar device-eval paths ({} vs {} rendered bytes)",
+            deck.name,
+            batched.len(),
+            scalar.len()
+        ));
+    }
+    Ok(())
+}
+
 /// A deck's waveforms rendered as canonical JSON (times plus one value
 /// array per observed node), decimated to a fixed grid so artifacts are
 /// small and digest-stable.
