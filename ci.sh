@@ -39,6 +39,16 @@ cargo run --release --offline -q -p nemscmos-verify --bin golden
 echo "== perfbase fast-path smoke =="
 cargo run --release --offline -q -p nemscmos-bench --bin perfbase -- --smoke
 
+# Fill-reducing ordering smoke (DESIGN.md §15): on generated SRAM /
+# domino decks the minimum-degree ordering must never worsen fill,
+# both factorization paths must solve to small residual, and a
+# transient above the ordering threshold must record the fill and
+# ordering attribution counters. The ordered_vs_natural differential
+# (run in the verify suites above) proves solution equivalence on the
+# golden fleet.
+echo "== perfbase ordering scaling smoke =="
+cargo run --release --offline -q -p nemscmos-bench --bin perfbase -- --scaling --smoke
+
 # SPICE netlist frontend smoke: a textual deck (with a .MODEL alias
 # resolved through the standard factory) must run end to end through
 # the spicerun binary and print the exact divider operating point.

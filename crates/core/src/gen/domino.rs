@@ -1,0 +1,149 @@
+//! Wide domino-OR fanout-tree generator.
+//!
+//! A wide dynamic OR gate (the paper's Fig. 8 structure) whose buffered
+//! output drives a logical-effort-sized inverter chain into a bank of
+//! unit loads. The dynamic node is a genuine hub — it couples to every
+//! pull-down branch, the precharge device, and the keeper — so even at a
+//! few hundred unknowns this family stresses the ordering differently
+//! from the SRAM sea: one catastrophic natural-order pivot instead of
+//! many medium ones.
+
+use super::GenDeck;
+use crate::gates::{DynamicOrGate, DynamicOrParams, PdnStyle};
+use crate::tech::Technology;
+
+/// Generator for a domino OR + fanout-tree deck.
+#[derive(Debug, Clone)]
+pub struct DominoTreeGen {
+    /// OR fan-in (number of parallel pull-down branches).
+    pub fan_in: usize,
+    /// Unit inverter loads hanging off the tree's tip.
+    pub load_units: usize,
+    /// Pull-down style for the dynamic gate.
+    pub style: PdnStyle,
+}
+
+impl DominoTreeGen {
+    /// A CMOS-pull-down tree of the given shape.
+    pub fn new(fan_in: usize, load_units: usize) -> DominoTreeGen {
+        DominoTreeGen {
+            fan_in,
+            load_units,
+            style: PdnStyle::Cmos,
+        }
+    }
+
+    /// Number of chain stages logical effort picks for `load_units`
+    /// (stage effort capped near 4).
+    pub fn chain_stages(&self) -> usize {
+        let h = (self.load_units as f64).max(1.0);
+        (h.ln() / 4.0f64.ln()).ceil().max(1.0) as usize
+    }
+
+    /// Builds the deck: the dynamic gate with its worst-case evaluation
+    /// stimulus, plus the sized chain and load bank on a new `tip` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fan_in` or `load_units` is zero.
+    pub fn build(&self, tech: &Technology) -> GenDeck {
+        assert!(self.fan_in > 0, "fan-in must be nonzero");
+        assert!(self.load_units > 0, "load bank must be nonzero");
+        let params = DynamicOrParams::new(self.fan_in, 2, self.style);
+        let built = DynamicOrGate::build(tech, &params);
+        let mut ckt = built.circuit;
+        let vdd_buf = ckt.find_node("vdd_buf").expect("buffer rail");
+
+        // Logical-effort chain: total electrical effort H ≈ load_units
+        // (unit loads on a unit first stage), split over N stages so each
+        // stage's effort is at most ~4.
+        let n_stages = self.chain_stages();
+        let f = (self.load_units as f64)
+            .max(1.0)
+            .powf(1.0 / n_stages as f64);
+        let mut prev = built.out_node;
+        for s in 0..n_stages {
+            let out = ckt.node(&format!("chain{s}"));
+            let wn = f.powi(s as i32 + 1);
+            tech.add_inverter(
+                &mut ckt,
+                &format!("ch{s}"),
+                vdd_buf,
+                prev,
+                out,
+                2.0 * wn,
+                wn,
+            );
+            prev = out;
+        }
+        let tip = prev;
+        for k in 0..self.load_units {
+            tech.add_inverter_load(&mut ckt, &format!("bank{k}"), vdd_buf, tip);
+        }
+
+        let style_tag = match self.style {
+            PdnStyle::Cmos => "",
+            PdnStyle::HybridNems => "-hybrid",
+        };
+        GenDeck {
+            name: format!("domino-or{}{}", self.fan_in, style_tag),
+            circuit: ckt,
+            tstop: built.period,
+            dt_max: built.period / 400.0,
+            probes: vec![
+                ("dyn".into(), built.dyn_node),
+                ("out".into(), built.out_node),
+                ("tip".into(), tip),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemscmos_spice::analysis::tran::{transient, TranOptions};
+
+    #[test]
+    fn evaluation_propagates_to_the_tree_tip() {
+        let tech = Technology::n90();
+        let gen = DominoTreeGen::new(8, 16);
+        let mut deck = gen.build(&tech);
+        let opts = TranOptions {
+            dt_max: Some(deck.dt_max),
+            ..Default::default()
+        };
+        let res = transient(&mut deck.circuit, deck.tstop, &opts).expect("domino transient");
+        // One input fires during evaluation: dyn discharges, the buffer
+        // drives high, and the chain has even parity relative to `out`.
+        let node = |tag: &str| deck.probes.iter().find(|(n, _)| n == tag).unwrap().1;
+        let t_eval = 0.6 * deck.tstop;
+        let v_out = res.voltage(node("out")).eval(t_eval);
+        assert!(v_out > 0.7 * tech.vdd, "gate must evaluate: out={v_out:.3}");
+        let v_tip = res.voltage(node("tip")).eval(t_eval);
+        let expect_high = gen.chain_stages().is_multiple_of(2);
+        if expect_high {
+            assert!(v_tip > 0.7 * tech.vdd, "tip={v_tip:.3}");
+        } else {
+            assert!(v_tip < 0.3 * tech.vdd, "tip={v_tip:.3}");
+        }
+    }
+
+    #[test]
+    fn chain_stage_count_follows_logical_effort() {
+        assert_eq!(DominoTreeGen::new(4, 1).chain_stages(), 1);
+        assert_eq!(DominoTreeGen::new(4, 4).chain_stages(), 1);
+        assert_eq!(DominoTreeGen::new(4, 16).chain_stages(), 2);
+        assert_eq!(DominoTreeGen::new(4, 17).chain_stages(), 3);
+        assert_eq!(DominoTreeGen::new(4, 64).chain_stages(), 3);
+    }
+
+    #[test]
+    fn wide_fan_in_grows_the_system() {
+        let tech = Technology::n90();
+        let mut small = DominoTreeGen::new(8, 4).build(&tech);
+        let mut wide = DominoTreeGen::new(48, 4).build(&tech);
+        assert!(wide.num_unknowns() > small.num_unknowns() + 40);
+        assert!(wide.name.contains("or48"), "{}", wide.name);
+    }
+}

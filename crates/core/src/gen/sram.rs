@@ -1,0 +1,231 @@
+//! m×n SRAM array generator with transistor-level periphery.
+//!
+//! Unlike [`SramArray`](crate::sram::SramArray) — whose word and bit
+//! lines are ideal PWL sources, fine for functional checks but
+//! structurally flattering to the solver — this generator drives every
+//! line through devices:
+//!
+//! - word lines are outputs of row-driver inverters (only the small
+//!   row-select inputs are ideal sources),
+//! - bit lines float behind a clocked precharge PMOS pair and carry a
+//!   rows-proportional wire capacitance,
+//! - writes go through pass-NMOS write drivers hanging off two shared
+//!   data rails, which (like the V_dd rail) become genuine high-degree
+//!   hub columns in the system matrix.
+//!
+//! The scripted stimulus is one precharge phase followed by one write of
+//! a checkerboard pattern into row 0 — short enough that the 64×64 array
+//! (thousands of unknowns) finishes a transient in reasonable time, rich
+//! enough that the matrix is the real coupled array, not a block
+//! diagonal of isolated cells.
+
+use nemscmos_spice::circuit::Circuit;
+use nemscmos_spice::waveform::Waveform;
+
+use super::GenDeck;
+use crate::sram::{SramCell, SramKind, SramParams};
+use crate::tech::Technology;
+
+/// Edge time for the generated control waveforms (s).
+const EDGE: f64 = 50e-12;
+/// Duration of each of the two phases: precharge, then write (s).
+const WINDOW: f64 = 1e-9;
+
+/// Generator for an `rows × cols` SRAM array deck.
+#[derive(Debug, Clone)]
+pub struct SramArrayGen {
+    /// Number of word lines.
+    pub rows: usize,
+    /// Number of bit-line pairs.
+    pub cols: usize,
+    /// Cell architecture for every cell in the array.
+    pub kind: SramKind,
+}
+
+impl SramArrayGen {
+    /// A conventional-6T array of the given shape.
+    pub fn new(rows: usize, cols: usize) -> SramArrayGen {
+        SramArrayGen {
+            rows,
+            cols,
+            kind: SramKind::Conventional,
+        }
+    }
+
+    /// Same shape, different cell architecture.
+    pub fn with_kind(mut self, kind: SramKind) -> SramArrayGen {
+        self.kind = kind;
+        self
+    }
+
+    /// Builds the array deck: netlist, stimulus, initial conditions,
+    /// probes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn build(&self, tech: &Technology) -> GenDeck {
+        assert!(
+            self.rows > 0 && self.cols > 0,
+            "array shape must be nonzero"
+        );
+        let (rows, cols) = (self.rows, self.cols);
+        let params = SramParams::new(self.kind);
+        let w = WINDOW;
+
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(tech.vdd));
+
+        // Precharge clock: active-low through phase 0, released shortly
+        // before the write window opens.
+        let pch = ckt.node("pch");
+        ckt.vsource(
+            pch,
+            Circuit::GROUND,
+            Waveform::step(0.0, tech.vdd, 0.85 * w, EDGE),
+        );
+
+        // Write enable: rises once the bit lines are released.
+        let we = ckt.node("we");
+        ckt.vsource(
+            we,
+            Circuit::GROUND,
+            Waveform::step(0.0, tech.vdd, 1.00 * w, EDGE),
+        );
+
+        // Shared data rails: every even column writes 1, every odd
+        // column writes 0, so each rail fans out to `cols` pass devices.
+        let rail1 = ckt.node("rail1");
+        ckt.vsource(rail1, Circuit::GROUND, Waveform::dc(tech.vdd));
+        let rail0 = ckt.node("rail0");
+        ckt.vsource(rail0, Circuit::GROUND, Waveform::dc(0.0));
+
+        // Row drivers: word line = inverter output, sized up with the
+        // row load. Row 0's select drops during the write window; every
+        // other row stays deselected (but its driver still loads the
+        // supply, as in the real array).
+        let wp = (cols as f64 * 0.25).max(2.0);
+        let mut word_lines = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let sel_b = ckt.node(&format!("selb{r}"));
+            let wave = if r == 0 {
+                Waveform::step(tech.vdd, 0.0, 1.10 * w, EDGE)
+            } else {
+                Waveform::dc(tech.vdd)
+            };
+            ckt.vsource(sel_b, Circuit::GROUND, wave);
+            let wl = ckt.node(&format!("wl{r}"));
+            tech.add_inverter(&mut ckt, &format!("rdrv{r}"), vdd, sel_b, wl, wp, wp / 2.0);
+            ckt.capacitor(wl, Circuit::GROUND, cols as f64 * 0.2e-15);
+            ckt.set_ic(wl, 0.0);
+            word_lines.push(wl);
+        }
+
+        // Columns: floating bit-line pair behind precharge PMOS, plus a
+        // write driver into the checkerboard data rail.
+        let mut bit_lines = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let bl = ckt.node(&format!("bl{c}"));
+            let blb = ckt.node(&format!("blb{c}"));
+            for (line, tag) in [(bl, "t"), (blb, "c")] {
+                tech.add_pmos(&mut ckt, &format!("pch{c}{tag}"), line, pch, vdd, 2.0);
+                ckt.capacitor(line, Circuit::GROUND, rows as f64 * 0.3e-15);
+                ckt.set_ic(line, tech.vdd);
+            }
+            let (d_bl, d_blb) = if c % 2 == 0 {
+                (rail1, rail0)
+            } else {
+                (rail0, rail1)
+            };
+            tech.add_nmos(&mut ckt, &format!("wr{c}t"), bl, we, d_bl, 2.0);
+            tech.add_nmos(&mut ckt, &format!("wr{c}c"), blb, we, d_blb, 2.0);
+            bit_lines.push((bl, blb));
+        }
+
+        // The cell sea, powered on holding all zeros.
+        let mut q00 = None;
+        for (r, &wl) in word_lines.iter().enumerate() {
+            for (c, &(bl, blb)) in bit_lines.iter().enumerate() {
+                let ql = ckt.node(&format!("q{r}_{c}"));
+                let qr = ckt.node(&format!("qb{r}_{c}"));
+                SramCell::stamp_cell(tech, &params, &mut ckt, vdd, wl, bl, blb, ql, qr);
+                ckt.set_ic(ql, 0.0);
+                ckt.set_ic(qr, tech.vdd);
+                if r == 0 && c == 0 {
+                    q00 = Some((ql, qr));
+                }
+            }
+        }
+        let (ql00, qr00) = q00.expect("at least one cell");
+
+        let kind_tag = match self.kind {
+            SramKind::Conventional => "",
+            SramKind::DualVt => "-dualvt",
+            SramKind::Asymmetric => "-asym",
+            SramKind::Hybrid => "-hybrid",
+            SramKind::HybridPullupOnly => "-hybrid-pu",
+        };
+        GenDeck {
+            name: format!("sram-{rows}x{cols}{kind_tag}"),
+            circuit: ckt,
+            tstop: 2.0 * w,
+            dt_max: 25e-12,
+            probes: vec![
+                ("wl0".into(), word_lines[0]),
+                ("bl0".into(), bit_lines[0].0),
+                ("q00".into(), ql00),
+                ("qb00".into(), qr00),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nemscmos_spice::analysis::tran::{transient, TranOptions};
+
+    #[test]
+    fn write_phase_flips_row_zero_checkerboard() {
+        let tech = Technology::n90();
+        let mut deck = SramArrayGen::new(4, 4).build(&tech);
+        let opts = TranOptions {
+            dt_max: Some(deck.dt_max),
+            ..Default::default()
+        };
+        let res = transient(&mut deck.circuit, deck.tstop, &opts).expect("array transient");
+        // Row 0 got the checkerboard: even columns now hold 1 (flipped
+        // from the all-zero power-on state), odd columns still hold 0.
+        let find = |name: &str| deck.circuit.find_node(name).expect(name);
+        let v = |n| res.voltage(n).last_value();
+        assert!(v(find("q0_0")) > 0.7 * tech.vdd, "cell (0,0) should flip");
+        assert!(v(find("q0_1")) < 0.3 * tech.vdd, "cell (0,1) should hold");
+        // Row 1 was never selected and keeps its power-on zero.
+        assert!(v(find("q1_0")) < 0.3 * tech.vdd, "row 1 must be untouched");
+        assert!(v(find("qb1_0")) > 0.7 * tech.vdd);
+    }
+
+    #[test]
+    fn unknown_count_scales_with_array_area() {
+        let tech = Technology::n90();
+        let mut small = SramArrayGen::new(4, 4).build(&tech);
+        let mut big = SramArrayGen::new(16, 16).build(&tech);
+        let (ns, nb) = (small.num_unknowns(), big.num_unknowns());
+        // Cells dominate: 2 unknowns per cell plus per-row/per-col
+        // periphery, so a 16× area increase lands near 16× unknowns.
+        assert!(ns > 2 * 4 * 4, "small array too small: {ns}");
+        assert!(nb > 2 * 16 * 16, "big array too small: {nb}");
+        assert!(nb > 8 * ns, "scaling off: {ns} -> {nb}");
+    }
+
+    #[test]
+    fn hybrid_kind_builds_and_names_itself() {
+        let tech = Technology::n90();
+        let mut deck = SramArrayGen::new(2, 2)
+            .with_kind(SramKind::Hybrid)
+            .build(&tech);
+        assert!(deck.name.contains("hybrid"), "{}", deck.name);
+        assert!(deck.num_unknowns() > 8);
+    }
+}

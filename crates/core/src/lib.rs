@@ -39,6 +39,7 @@
 
 pub mod factory;
 pub mod gates;
+pub mod gen;
 pub mod prelude;
 pub mod sleep;
 pub mod sram;

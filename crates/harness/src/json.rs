@@ -35,8 +35,14 @@ pub enum Json {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// A number (always carried as `f64`).
+    /// A floating-point number.
     Num(f64),
+    /// An integer (counters, sizes). Kept separate from [`Num`](Json::Num)
+    /// so it renders without a fractional suffix — `1039`, not `1039.0`.
+    /// The parser yields `Int` for any number token without `.`/`e`/`E`
+    /// that fits an `i64`, and the numeric codecs accept either form, so
+    /// artifacts written before this variant existed still decode.
+    Int(i64),
     /// A string.
     Str(String),
     /// An array.
@@ -54,10 +60,26 @@ impl Json {
         }
     }
 
-    /// The number, if this is a finite `Num`.
+    /// The number, if this is a finite `Num` or an `Int`.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(v) if v.is_finite() => Some(*v),
+            Json::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The integer, if this is an `Int` or an integral `Num`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            Json::Num(v)
+                if v.is_finite()
+                    && v.fract() == 0.0
+                    && (i64::MIN as f64..=i64::MAX as f64).contains(v) =>
+            {
+                Some(*v as i64)
+            }
             _ => None,
         }
     }
@@ -108,6 +130,7 @@ impl Json {
                     out.push_str("null");
                 }
             }
+            Json::Int(i) => out.push_str(&format!("{i}")),
             Json::Str(s) => render_string(s, out),
             Json::Arr(items) => {
                 out.push('[');
@@ -296,6 +319,14 @@ fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
         *pos += 1;
     }
     let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    // Digit-only tokens become `Int`; anything fractional/exponential (or
+    // too large for i64) stays a float. Old artifacts render integral
+    // floats as e.g. `4.0`, so they keep parsing as `Num`.
+    if !text.bytes().any(|c| matches!(c, b'.' | b'e' | b'E')) {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Json::Int(i));
+        }
+    }
     text.parse::<f64>()
         .map(Json::Num)
         .map_err(|_| format!("bad number `{text}` at byte {start}"))
@@ -333,9 +364,16 @@ impl JsonCodec for bool {
 
 impl JsonCodec for u64 {
     fn to_json(&self) -> Json {
-        Json::Num(*self as f64)
+        match i64::try_from(*self) {
+            Ok(i) => Json::Int(i),
+            Err(_) => Json::Num(*self as f64),
+        }
     }
     fn from_json(v: &Json) -> Option<u64> {
+        if let Json::Int(i) = v {
+            return u64::try_from(*i).ok();
+        }
+        // Legacy form: counters were serialized as floats (`1039.0`).
         let f = v.as_f64()?;
         (f >= 0.0 && f.fract() == 0.0 && f <= 2f64.powi(53)).then_some(f as u64)
     }
@@ -343,7 +381,7 @@ impl JsonCodec for u64 {
 
 impl JsonCodec for usize {
     fn to_json(&self) -> Json {
-        Json::Num(*self as f64)
+        (*self as u64).to_json()
     }
     fn from_json(v: &Json) -> Option<usize> {
         u64::from_json(v).map(|n| n as usize)
@@ -416,6 +454,8 @@ impl JsonCodec for SolverStats {
             ("batched".into(), self.batched_evals.to_json()),
             ("eval_ns".into(), self.device_eval_ns.to_json()),
             ("solve_ns".into(), self.linear_solve_ns.to_json()),
+            ("fill_nnz".into(), self.fill_nnz.to_json()),
+            ("ordering_ns".into(), self.ordering_ns.to_json()),
         ])
     }
     fn from_json(v: &Json) -> Option<SolverStats> {
@@ -438,6 +478,8 @@ impl JsonCodec for SolverStats {
             batched_evals: opt("batched")?,
             device_eval_ns: opt("eval_ns")?,
             linear_solve_ns: opt("solve_ns")?,
+            fill_nnz: opt("fill_nnz")?,
+            ordering_ns: opt("ordering_ns")?,
         })
     }
 }
@@ -452,13 +494,39 @@ mod tests {
             Json::Null,
             Json::Bool(true),
             Json::Bool(false),
-            Json::Num(0.0),
+            Json::Num(0.5),
             Json::Num(-1.25e-300),
             Json::Num(6.02214076e23),
+            Json::Int(0),
+            Json::Int(1039),
+            Json::Int(-42),
+            Json::Int(i64::MAX),
+            Json::Int(i64::MIN),
             Json::Str("hello \"world\"\n\tπ".into()),
         ] {
             assert_eq!(Json::parse(&v.render()).unwrap(), v);
         }
+    }
+
+    #[test]
+    fn integers_render_bare_and_floats_keep_suffix() {
+        assert_eq!(Json::Int(1039).render(), "1039");
+        // Integral floats keep their fractional suffix, so the legacy
+        // float form of a counter still round-trips as `Num` and the two
+        // variants never collide in rendered output.
+        assert_eq!(Json::Num(1039.0).render(), "1039.0");
+        assert_eq!(Json::parse("1039.0").unwrap(), Json::Num(1039.0));
+        assert_eq!(Json::parse("1039").unwrap(), Json::Int(1039));
+        // Digit-only tokens too large for i64 fall back to Num.
+        assert_eq!(
+            Json::parse("99999999999999999999").unwrap(),
+            Json::Num(1e20)
+        );
+        // Either numeric variant satisfies the numeric accessors.
+        assert_eq!(Json::Int(7).as_f64(), Some(7.0));
+        assert_eq!(Json::Int(7).as_i64(), Some(7));
+        assert_eq!(Json::Num(7.0).as_i64(), Some(7));
+        assert_eq!(Json::Num(7.5).as_i64(), None);
     }
 
     #[test]
@@ -532,8 +600,25 @@ mod tests {
             batched_evals: 9,
             device_eval_ns: 123_456,
             linear_solve_ns: 654_321,
+            fill_nnz: 2_048,
+            ordering_ns: 77,
         };
         assert_eq!(SolverStats::from_json(&st.to_json()), Some(st));
+
+        // Counters serialize as bare integers, not floats.
+        let rendered = st.to_json().render();
+        assert!(rendered.contains("\"newton\":12"), "{rendered}");
+        assert!(rendered.contains("\"fill_nnz\":2048"), "{rendered}");
+        assert!(!rendered.contains(".0"), "{rendered}");
+
+        // The float form written by older builds still decodes.
+        let float_form = Json::parse(
+            r#"{"newton":12.0,"lu":12.0,"rejected":1.0,"accepted":40.0,"nonconv":0.0}"#,
+        )
+        .unwrap();
+        let decoded = SolverStats::from_json(&float_form).unwrap();
+        assert_eq!(decoded.newton_iterations, 12);
+        assert_eq!(decoded.steps_accepted, 40);
 
         // Entries cached before the fast-path counters existed decode
         // with those counters at zero.
@@ -559,6 +644,8 @@ mod tests {
         assert_eq!(decoded.batched_evals, 0);
         assert_eq!(decoded.device_eval_ns, 0);
         assert_eq!(decoded.linear_solve_ns, 0);
+        assert_eq!(decoded.fill_nnz, 0);
+        assert_eq!(decoded.ordering_ns, 0);
     }
 
     #[test]
@@ -566,6 +653,8 @@ mod tests {
         assert_eq!(f64::from_json(&Json::Str("1.0".into())), None);
         assert_eq!(u64::from_json(&Json::Num(-1.0)), None);
         assert_eq!(u64::from_json(&Json::Num(1.5)), None);
+        assert_eq!(u64::from_json(&Json::Int(-1)), None);
+        assert_eq!(u64::from_json(&Json::Int(7)), Some(7));
         assert_eq!(Vec::<f64>::from_json(&Json::Arr(vec![Json::Null])), None);
     }
 }

@@ -6,8 +6,10 @@
 
 mod csc;
 mod lu;
+mod order;
 mod triplet;
 
 pub use csc::CscMatrix;
 pub use lu::{RefactorReject, SparseLu};
+pub use order::min_degree;
 pub use triplet::Triplet;

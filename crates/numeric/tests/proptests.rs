@@ -9,7 +9,7 @@ use nemscmos_numeric::interp::{trapezoid, PiecewiseLinear};
 use nemscmos_numeric::poly::Polynomial;
 use nemscmos_numeric::prop_check;
 use nemscmos_numeric::roots::{bisect, brent};
-use nemscmos_numeric::sparse::{CscMatrix, SparseLu};
+use nemscmos_numeric::sparse::{min_degree, CscMatrix, SparseLu};
 use nemscmos_numeric::stats::{quantile, Summary};
 
 /// Generator: a random diagonally dominant system as triplets plus a
@@ -119,6 +119,108 @@ fn sparse_refactor_is_bitwise_equal_to_fresh_factor() {
                     }
                 }
             }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn min_degree_always_returns_a_permutation() {
+    check(
+        "min degree always returns a permutation",
+        &Config::default(),
+        |d| {
+            let n = d.usize_in(1, 40);
+            let tri = d.vec_of(0, 4 * n, |d| {
+                (d.usize_in(0, n - 1), d.usize_in(0, n - 1), 1.0)
+            });
+            (n, tri)
+        },
+        |(n, tri)| {
+            // Pattern only — values are irrelevant to the ordering, but
+            // every column needs a diagonal so the matrix is factorable
+            // in principle (the ordering itself doesn't require it).
+            let mut tri = tri.clone();
+            for i in 0..*n {
+                tri.push((i, i, 1.0));
+            }
+            let a = CscMatrix::from_triplets(*n, *n, &tri);
+            let q = min_degree(&a);
+            prop_check!(q.len() == *n, "length {} != {n}", q.len());
+            let mut seen = vec![false; *n];
+            for &c in &q {
+                prop_check!(c < *n, "column {c} out of range");
+                prop_check!(!seen[c], "column {c} repeated");
+                seen[c] = true;
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn ordered_sparse_lu_matches_dense_lu() {
+    check(
+        "ordered sparse LU matches dense LU",
+        &Config::default(),
+        |d| dominant_system(d, 24),
+        |(tri, b)| {
+            let n = b.len();
+            let a_sparse = CscMatrix::from_triplets(n, n, tri);
+            let mut a_dense = DenseMatrix::zeros(n, n);
+            for &(r, c, v) in tri {
+                a_dense.add(r, c, v);
+            }
+            let q = min_degree(&a_sparse);
+            let xs = SparseLu::factor_symbolic_with_order(&a_sparse, &q)
+                .unwrap()
+                .solve(b)
+                .unwrap();
+            let xd = DenseLu::factor(a_dense).unwrap().solve(b).unwrap();
+            for (s, d) in xs.iter().zip(xd.iter()) {
+                prop_check!((s - d).abs() < 1e-8, "ordered sparse {s} vs dense {d}");
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn ordering_never_worsens_fill_on_grid_laplacians() {
+    check(
+        "ordering never worsens fill on grid laplacians",
+        &Config::default(),
+        |d| (d.usize_in(2, 12), d.usize_in(2, 12)),
+        |&(rows, cols)| {
+            // 5-point Laplacian on a rows × cols grid — the canonical
+            // fill-reduction benchmark (natural order is the worst-case
+            // banded elimination; minimum degree must never lose to it).
+            let n = rows * cols;
+            let mut tri = Vec::new();
+            for r in 0..rows {
+                for c in 0..cols {
+                    let i = r * cols + c;
+                    tri.push((i, i, 4.0));
+                    if c + 1 < cols {
+                        tri.push((i, i + 1, -1.0));
+                        tri.push((i + 1, i, -1.0));
+                    }
+                    if r + 1 < rows {
+                        tri.push((i, i + cols, -1.0));
+                        tri.push((i + cols, i, -1.0));
+                    }
+                }
+            }
+            let a = CscMatrix::from_triplets(n, n, &tri);
+            let natural = SparseLu::factor_symbolic(&a).unwrap();
+            let q = min_degree(&a);
+            let ordered = SparseLu::factor_symbolic_with_order(&a, &q).unwrap();
+            prop_check!(
+                ordered.factor_nnz() <= natural.factor_nnz(),
+                "{rows}x{cols} grid: ordered fill {} > natural {}",
+                ordered.factor_nnz(),
+                natural.factor_nnz()
+            );
             Ok(())
         },
     );

@@ -48,6 +48,7 @@ impl Workspace {
                     || crate::profile::current().legacy_linear_algebra
                     || st.dim() != n
                     || st.is_dense() != Stamper::want_dense(n)
+                    || st.is_ordered() != Stamper::want_ordered(n)
             }
             None => true,
         };

@@ -5,9 +5,11 @@ pub mod ac;
 pub mod dc_sweep;
 mod engine;
 pub mod op;
+pub mod probe;
 pub mod tran;
 
 pub use ac::{ac, log_sweep, AcResult};
 pub use dc_sweep::{dc_sweep, dc_sweep_seeded};
 pub use op::{op, op_seeded, op_with, OpOptions};
+pub use probe::{dc_jacobian, SystemProbe};
 pub use tran::{transient, IntegrationMethod, TranOptions};

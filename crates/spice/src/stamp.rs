@@ -46,7 +46,29 @@ use crate::profile::{self, MatrixBackend};
 use crate::Result;
 
 /// Below this number of unknowns the dense path is used.
+///
+/// Measured crossover (see DESIGN.md §15): on MNA-sparsity matrices the
+/// sparse factor+solve overtakes dense between ~40 and ~70 unknowns
+/// depending on pattern, so 64 sits inside the measured band. It must
+/// also stay below the 82-unknown `wide-rc-ladder` golden deck (which
+/// pins the sparse default) and above every other golden deck, so the
+/// committed golden waveforms are byte-stable against this constant.
 const DENSE_LIMIT: usize = 64;
+
+/// At or above this many unknowns the sparse backend computes a
+/// fill-reducing column ordering ([`min_degree`]) before factoring.
+///
+/// Deliberately above the largest golden deck (82 unknowns): the six
+/// committed golden waveforms must stay byte-identical, and the
+/// `fast_vs_slow` differential compares the default path bitwise against
+/// `legacy_linear_algebra`, which always factors in natural order. Decks
+/// below the threshold therefore keep the natural order verbatim; the
+/// `ordered_vs_natural` differential forces the ordering onto them via
+/// [`SolveProfile::ordering_limit`] and checks solution equivalence.
+///
+/// [`min_degree`]: nemscmos_numeric::sparse::min_degree
+/// [`SolveProfile::ordering_limit`]: crate::profile::SolveProfile::ordering_limit
+pub(crate) const ORDERING_LIMIT: usize = 96;
 
 /// Fingerprint of everything that can change the assembled Jacobian of a
 /// circuit *without nonlinear devices*: the analysis mode, the companion-
@@ -134,6 +156,13 @@ pub struct Stamper {
     /// one solve after a thaw so the frozen pattern is always rebuilt
     /// from a raw push sequence, never from a thawed hybrid.
     freeze_armed: bool,
+    /// Whether sparse factorizations use a fill-reducing column ordering
+    /// (decided at construction from size and profile, like `legacy`).
+    ordered: bool,
+    /// The fill-reducing column order of the frozen pattern, computed
+    /// once per pattern and reused across refactor fallbacks. Invalidated
+    /// by [`thaw`](Stamper::thaw) (the pattern is about to change).
+    col_order: Option<Vec<usize>>,
     /// Cached sparse factorization (symbolic record attached) for
     /// numeric-only refactorization and bypass.
     sparse_lu: Option<SparseLu>,
@@ -167,6 +196,8 @@ impl Stamper {
             first_non_finite: None,
             legacy: profile::current().legacy_linear_algebra,
             freeze_armed: true,
+            ordered: Self::want_ordered(n),
+            col_order: None,
             sparse_lu: None,
             dense_lu: None,
             factor_key: None,
@@ -184,9 +215,30 @@ impl Stamper {
         }
     }
 
+    /// The size-or-profile ordering decision for `n` unknowns: whether
+    /// sparse factorizations should use a fill-reducing column order.
+    /// Natural order is pinned by `SolveProfile::natural_ordering` (and
+    /// implied by `legacy_linear_algebra`, which predates the ordering);
+    /// the engagement threshold defaults to [`ORDERING_LIMIT`] and can be
+    /// overridden through `SolveProfile::ordering_limit`.
+    pub(crate) fn want_ordered(n: usize) -> bool {
+        let p = profile::current();
+        if p.legacy_linear_algebra || p.natural_ordering {
+            return false;
+        }
+        n >= p.ordering_limit.unwrap_or(ORDERING_LIMIT)
+    }
+
     /// True when this assembler replays the pre-fast-path behavior.
     pub(crate) fn is_legacy(&self) -> bool {
         self.legacy
+    }
+
+    /// True when sparse factorizations use a fill-reducing column order
+    /// (used by the engine to tell whether a cached `Stamper` is still
+    /// appropriate under the active profile).
+    pub(crate) fn is_ordered(&self) -> bool {
+        self.ordered
     }
 
     /// Number of unknowns.
@@ -315,6 +367,9 @@ impl Stamper {
         self.freeze_armed = false;
         self.sparse_lu = None;
         self.factor_key = None;
+        // The pattern is about to change; an ordering computed for the
+        // old pattern would silently misdirect the next factorization.
+        self.col_order = None;
     }
 
     /// Compresses the current triplet assembly and freezes its pattern:
@@ -530,7 +585,24 @@ impl Stamper {
                     }
                 }
                 if !reused {
-                    self.sparse_lu = Some(SparseLu::factor_symbolic(&fz.csc)?);
+                    let lu = if self.ordered {
+                        if self.col_order.is_none() {
+                            // Computed once per frozen pattern and kept
+                            // across refactor fallbacks (value drift does
+                            // not change the pattern the order was built
+                            // for).
+                            let t0 = std::time::Instant::now();
+                            let q = nemscmos_numeric::sparse::min_degree(&fz.csc);
+                            crate::stats::count_ordering_ns(t0.elapsed().as_nanos() as u64);
+                            self.col_order = Some(q);
+                        }
+                        let q = self.col_order.as_ref().unwrap();
+                        SparseLu::factor_symbolic_with_order(&fz.csc, q)?
+                    } else {
+                        SparseLu::factor_symbolic(&fz.csc)?
+                    };
+                    crate::stats::count_fill_nnz(lu.factor_nnz() as u64);
+                    self.sparse_lu = Some(lu);
                 }
                 self.factor_key = key;
                 Ok(self.sparse_lu.as_ref().unwrap().solve(&self.neg_f)?)
@@ -700,6 +772,97 @@ mod tests {
         });
         // Restored after the scopes.
         assert!(Stamper::new(2).is_dense());
+    }
+
+    #[test]
+    fn dense_limit_pins_backend_on_either_side() {
+        // The crossover constant itself is the contract: at the limit the
+        // dense kernel runs, one past it the sparse kernel runs.
+        assert!(Stamper::new(DENSE_LIMIT).is_dense());
+        assert!(!Stamper::new(DENSE_LIMIT + 1).is_dense());
+    }
+
+    #[test]
+    fn ordering_engages_by_size_and_profile() {
+        use crate::profile::{self, SolveProfile};
+        assert!(!Stamper::new(ORDERING_LIMIT - 1).is_ordered());
+        assert!(Stamper::new(ORDERING_LIMIT).is_ordered());
+        // The escape hatch pins natural order at any size.
+        let natural = SolveProfile {
+            natural_ordering: true,
+            ..Default::default()
+        };
+        profile::with(natural, || {
+            assert!(!Stamper::new(ORDERING_LIMIT).is_ordered());
+        });
+        // Legacy linear algebra predates the ordering and implies it off.
+        let legacy = SolveProfile {
+            legacy_linear_algebra: true,
+            ..Default::default()
+        };
+        profile::with(legacy, || {
+            assert!(!Stamper::new(ORDERING_LIMIT).is_ordered());
+        });
+        // An overridden threshold forces it onto small systems.
+        let forced = SolveProfile {
+            ordering_limit: Some(0),
+            ..Default::default()
+        };
+        profile::with(forced, || {
+            assert!(Stamper::new(2).is_ordered());
+        });
+    }
+
+    #[test]
+    fn ordered_frozen_solve_matches_natural_solution() {
+        use crate::profile::{self, MatrixBackend, SolveProfile};
+        // A ladder with a hub row: enough structure that the ordering
+        // actually permutes, solved through the full freeze/factor path.
+        let n = 24;
+        let stamp = |st: &mut Stamper| {
+            for r in 0..n {
+                st.j(r, r, 4.0 + 0.1 * r as f64);
+                if r + 1 < n {
+                    st.j(r, r + 1, -1.0);
+                    st.j(r + 1, r, -1.0);
+                }
+                if r > 0 {
+                    st.j(0, r, 0.25);
+                    st.j(r, 0, 0.25);
+                }
+                st.f(r, -(1.0 + (r % 3) as f64));
+            }
+        };
+        let run = |ordered: bool| -> Vec<f64> {
+            let prof = SolveProfile {
+                matrix_backend: Some(MatrixBackend::Sparse),
+                ordering_limit: ordered.then_some(0),
+                natural_ordering: !ordered,
+                ..Default::default()
+            };
+            profile::with(prof, || {
+                let mut st = Stamper::new(n);
+                assert_eq!(st.is_ordered(), ordered);
+                stamp(&mut st);
+                let first = st.solve().unwrap();
+                // Second pass exercises the frozen slot map + refactor.
+                st.clear();
+                stamp(&mut st);
+                let second = st.solve().unwrap();
+                for (a, b) in first.iter().zip(second.iter()) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "iterations must agree");
+                }
+                second
+            })
+        };
+        let natural = run(false);
+        let ordered = run(true);
+        for (a, b) in natural.iter().zip(ordered.iter()) {
+            assert!(
+                (a - b).abs() <= 1e-12 * a.abs().max(1.0),
+                "ordered {b} vs natural {a}"
+            );
+        }
     }
 
     #[test]

@@ -67,6 +67,16 @@ pub struct SolverStats {
     /// Wall-clock nanoseconds spent in the linear solve (factorization,
     /// refactorization, or bypass back-substitution).
     pub linear_solve_ns: u64,
+    /// Summed `nnz(L + U)` (diagonal included) over the fresh sparse
+    /// symbolic factorizations of the fast path — the honest fill cost
+    /// of the chosen column ordering. Refactorizations reuse the recorded
+    /// pattern and do not re-count; the legacy and dense paths never
+    /// count.
+    pub fill_nnz: u64,
+    /// Wall-clock nanoseconds spent computing fill-reducing column
+    /// orderings (once per frozen pattern; zero when the ordering does
+    /// not engage).
+    pub ordering_ns: u64,
 }
 
 impl SolverStats {
@@ -86,6 +96,8 @@ impl SolverStats {
             batched_evals: self.batched_evals - earlier.batched_evals,
             device_eval_ns: self.device_eval_ns - earlier.device_eval_ns,
             linear_solve_ns: self.linear_solve_ns - earlier.linear_solve_ns,
+            fill_nnz: self.fill_nnz - earlier.fill_nnz,
+            ordering_ns: self.ordering_ns - earlier.ordering_ns,
         }
     }
 
@@ -111,6 +123,8 @@ impl Add for SolverStats {
             batched_evals: self.batched_evals + rhs.batched_evals,
             device_eval_ns: self.device_eval_ns + rhs.device_eval_ns,
             linear_solve_ns: self.linear_solve_ns + rhs.linear_solve_ns,
+            fill_nnz: self.fill_nnz + rhs.fill_nnz,
+            ordering_ns: self.ordering_ns + rhs.ordering_ns,
         }
     }
 }
@@ -200,6 +214,8 @@ impl Heartbeat {
             batched_evals: 0,
             device_eval_ns: 0,
             linear_solve_ns: 0,
+            fill_nnz: 0,
+            ordering_ns: 0,
         }
     }
 }
@@ -218,6 +234,8 @@ thread_local! {
         batched_evals: 0,
         device_eval_ns: 0,
         linear_solve_ns: 0,
+        fill_nnz: 0,
+        ordering_ns: 0,
     }) };
 }
 
@@ -324,6 +342,20 @@ pub(crate) fn count_linear_solve_ns(ns: u64) {
     });
 }
 
+pub(crate) fn count_fill_nnz(nnz: u64) {
+    add(SolverStats {
+        fill_nnz: nnz,
+        ..SolverStats::default()
+    });
+}
+
+pub(crate) fn count_ordering_ns(ns: u64) {
+    add(SolverStats {
+        ordering_ns: ns,
+        ..SolverStats::default()
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -343,6 +375,8 @@ mod tests {
         count_batched_eval();
         count_device_eval_ns(250);
         count_linear_solve_ns(750);
+        count_fill_nnz(420);
+        count_ordering_ns(99);
         let d = snapshot().delta_since(&a);
         assert_eq!(d.newton_iterations, 3);
         assert_eq!(d.lu_factorizations, 1);
@@ -356,6 +390,8 @@ mod tests {
         assert_eq!(d.batched_evals, 1);
         assert_eq!(d.device_eval_ns, 250);
         assert_eq!(d.linear_solve_ns, 750);
+        assert_eq!(d.fill_nnz, 420);
+        assert_eq!(d.ordering_ns, 99);
         assert!(!d.is_zero());
     }
 

@@ -307,6 +307,46 @@ pub fn dense_vs_sparse(deck: &Deck) -> Result<(), Divergence> {
     })
 }
 
+/// The fill-reducing column ordering must not change what the sparse
+/// solver computes, only how much fill it creates doing so. Both sides
+/// pin the sparse backend; the natural side disables the ordering via
+/// [`SolveProfile::natural_ordering`], the ordered side forces it on
+/// every deck (the goldens are all below the size threshold) via
+/// [`SolveProfile::ordering_limit`] `Some(0)`.
+///
+/// Unlike `fast_vs_slow` this is a tolerance comparison, not a byte
+/// comparison: permuting the elimination order changes the partial-pivot
+/// sequence, so the two factorizations round differently at the last
+/// ulp and the adaptive controller can amplify that slightly.
+///
+/// # Errors
+///
+/// The first diverging (node, time) pair.
+///
+/// [`SolveProfile::natural_ordering`]: nemscmos_spice::profile::SolveProfile::natural_ordering
+/// [`SolveProfile::ordering_limit`]: nemscmos_spice::profile::SolveProfile::ordering_limit
+pub fn ordered_vs_natural(deck: &Deck) -> Result<(), Divergence> {
+    let natural = profile::with(
+        SolveProfile {
+            matrix_backend: Some(MatrixBackend::Sparse),
+            natural_ordering: true,
+            ..Default::default()
+        },
+        || run_deck(deck, &TranOptions::default()),
+    );
+    let ordered = profile::with(
+        SolveProfile {
+            matrix_backend: Some(MatrixBackend::Sparse),
+            ordering_limit: Some(0),
+            ..Default::default()
+        },
+        || run_deck(deck, &TranOptions::default()),
+    );
+    compare_runs(deck, &natural, &ordered, |scale| {
+        Tolerance::new(1e-6 * scale, 1e-6)
+    })
+}
+
 /// The incremental linear-algebra fast path (pattern-frozen assembly,
 /// symbolic LU reuse, linear-circuit bypass) must be *bitwise identical*
 /// to the from-scratch path it replaces: the rendered JSON snapshot of

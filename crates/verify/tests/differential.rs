@@ -19,6 +19,13 @@ fn dense_and_sparse_backends_agree_on_every_deck() {
 }
 
 #[test]
+fn ordered_and_natural_sparse_factorization_agree_on_every_deck() {
+    for deck in diff::decks() {
+        diff::ordered_vs_natural(&deck).unwrap_or_else(|d| panic!("deck `{}`: {d}", deck.name));
+    }
+}
+
+#[test]
 fn fast_and_legacy_linear_algebra_are_bitwise_identical_on_every_deck() {
     for deck in diff::decks() {
         diff::fast_vs_slow(&deck).unwrap_or_else(|msg| panic!("{msg}"));
